@@ -1,0 +1,37 @@
+"""Ablation benchmarks: the design-choice sweeps DESIGN.md calls out."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_bus_ablation,
+    run_context_schedule_experiment,
+    run_lbb_capacity_ablation,
+    run_reconfiguration_ablation,
+    run_search_ablation,
+)
+from repro.experiments.extraction_experiment import run_extraction_experiment
+from repro.experiments.futurework import run_futurework
+
+CONTEXT_ABLATIONS = {
+    "ablation_reconfig": run_reconfiguration_ablation,
+    "ablation_lbb": run_lbb_capacity_ablation,
+    "ablation_bus": run_bus_ablation,
+    "context_sched": run_context_schedule_experiment,
+    "futurework": run_futurework,
+    "extraction": run_extraction_experiment,
+}
+
+
+@pytest.mark.parametrize("name", list(CONTEXT_ABLATIONS))
+def bench_ablation(benchmark, context, save_artifact, name):
+    table = benchmark.pedantic(CONTEXT_ABLATIONS[name], args=(context,),
+                               rounds=1, iterations=1)
+    save_artifact(name, table.render())
+    assert table.rows
+
+
+def bench_ablation_search(benchmark, save_artifact):
+    table = benchmark.pedantic(run_search_ablation, kwargs={"frames": 3},
+                               rounds=1, iterations=1)
+    save_artifact("ablation_search", table.render())
+    assert len(table.rows) == 3

@@ -1,0 +1,34 @@
+"""Regenerate the paper's figures (1-4) from the live models."""
+
+import pytest
+
+from repro.experiments import run_figure1, run_figure2, run_figure3, run_figure4
+from repro.rfu.loop_model import InterpMode
+
+FIGURES = {
+    "figure1": run_figure1,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+}
+
+
+@pytest.mark.parametrize("name", list(FIGURES))
+def bench_figure(benchmark, save_artifact, name):
+    figure = benchmark(FIGURES[name])
+    save_artifact(name, figure.render())
+    assert figure.lines
+
+
+def bench_figure2_alignment_sweep(benchmark, save_artifact):
+    """Figure 2 across every alignment and interpolation mode."""
+    def sweep():
+        sections = []
+        for alignment in range(4):
+            for mode in InterpMode:
+                from repro.experiments import run_figure2
+                sections.append(run_figure2(alignment, mode).render())
+        return "\n\n".join(sections)
+
+    rendered = benchmark(sweep)
+    save_artifact("figure2", rendered)
+    assert "alignment 3, HV" in rendered

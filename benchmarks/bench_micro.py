@@ -1,0 +1,91 @@
+"""Microbenchmarks of the architectural substrate itself: scheduler,
+cycle-level core, cache model and GetSad kernel compilation."""
+
+import numpy as np
+
+from repro.isa import Operation, vreg
+from repro.kernels import KernelLibrary, KernelShape
+from repro.machine import Core, compile_kernel
+from repro.memory import Cache, MemorySystem
+from repro.program import BasicBlock, schedule_block
+from repro.program.builder import KernelBuilder
+from repro.rfu.loop_model import InterpMode
+
+
+def bench_list_scheduler_200_ops(benchmark):
+    def build_and_schedule():
+        produced = [vreg("seed")]
+        ops = [Operation("movi", dest=produced[0], imm=0)]
+        for i in range(200):
+            dest = vreg()
+            ops.append(Operation("addi", dest=dest,
+                                 srcs=(produced[i % len(produced)],), imm=1))
+            produced.append(dest)
+        return schedule_block(BasicBlock("b", ops))
+
+    scheduled = benchmark(build_and_schedule)
+    assert scheduled.op_count() == 201
+
+
+def bench_core_loop_execution(benchmark):
+    kb = KernelBuilder("spinsum")
+    base = kb.param("base")
+    count = kb.persistent_reg("count")
+    acc = kb.persistent_reg("acc")
+    with kb.block("init"):
+        kb.emit("movi", dest=count, imm=256)
+        kb.emit("movi", dest=acc, imm=0)
+    with kb.counted_loop("loop", count):
+        value = kb.load_word(base)
+        kb.emit("add", acc, value, dest=acc)
+        kb.emit("addi", base, dest=base, imm=4)
+    kb.set_result(acc)
+    loaded = compile_kernel(kb.finish())
+    memory = MemorySystem()
+    core = Core(memory)
+    core.run(loaded, [0x10000])  # warm
+
+    result = benchmark(core.run, loaded, [0x10000])
+    assert result.result == 0
+
+
+def bench_cache_model_raster_walk(benchmark):
+    cache = Cache(32 * 1024, 32, 4)
+
+    def walk():
+        hits = 0
+        for frame in range(2):
+            for addr in range(0, 176 * 144, 16):
+                if cache.access(addr):
+                    hits += 1
+                else:
+                    cache.fill(addr)
+        return hits
+
+    hits = benchmark(walk)
+    assert hits > 0
+
+
+def bench_getsad_kernel_compile_and_verify(benchmark):
+    def compile_all_diag_shapes():
+        library = KernelLibrary("a2")
+        return [library.timing(KernelShape(alignment, InterpMode.HV)).cycles
+                for alignment in range(4)]
+
+    cycles = benchmark(compile_all_diag_shapes)
+    assert all(c > 0 for c in cycles)
+
+
+def bench_golden_sad_numpy(benchmark):
+    rng = np.random.default_rng(1)
+    plane = rng.integers(0, 256, (144, 176), dtype=np.uint8)
+    from repro.codec.sad import getsad
+
+    def sad_sweep():
+        total = 0
+        for dx in range(-4, 5):
+            total += getsad(plane, plane, 64, 64, 64 + dx, 64, 1, 1)
+        return total
+
+    total = benchmark(sad_sweep)
+    assert total > 0

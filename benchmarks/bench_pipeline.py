@@ -1,0 +1,60 @@
+"""End-to-end pipeline benchmarks: encoder throughput, trace replay
+throughput, and scenario-level speedup extraction on a fresh (uncached)
+exploration.  These measure the *simulator's* performance, complementing
+the table benchmarks that regenerate the paper's numbers."""
+
+from repro.codec import EncoderConfig, Mpeg4Encoder, SyntheticSequenceConfig, \
+    synthetic_sequence
+from repro.codec.motion import ThreeStepSearch
+from repro.core import TraceReplayer, instruction_scenario, loop_scenario
+from repro.rfu.loop_model import Bandwidth
+
+
+def bench_encoder_three_frames(benchmark):
+    frames = synthetic_sequence(SyntheticSequenceConfig(frames=3))
+
+    def encode():
+        return Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2))) \
+            .encode(frames)
+
+    report = benchmark(encode)
+    assert len(report.trace) > 0
+
+
+def _small_trace():
+    frames = synthetic_sequence(SyntheticSequenceConfig(frames=3))
+    report = Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2))) \
+        .encode(frames)
+    return report.trace
+
+
+def bench_baseline_replay(benchmark):
+    trace = _small_trace()
+
+    def replay():
+        return TraceReplayer(trace).replay(instruction_scenario("orig"))
+
+    result = benchmark(replay)
+    assert result.total_cycles > 0
+
+
+def bench_loop_replay(benchmark):
+    trace = _small_trace()
+    scenario = loop_scenario(Bandwidth.B1X32)
+
+    def replay():
+        return TraceReplayer(trace).replay(scenario)
+
+    result = benchmark(replay)
+    assert result.total_cycles > 0
+
+
+def bench_two_line_buffer_replay(benchmark):
+    trace = _small_trace()
+    scenario = loop_scenario(Bandwidth.B1X32, line_buffer_b=True)
+
+    def replay():
+        return TraceReplayer(trace).replay(scenario)
+
+    result = benchmark(replay)
+    assert result.lb_reuse > 0

@@ -1,0 +1,59 @@
+"""Regenerate every table of the paper's evaluation (Tables 1-7 + the
+initial profile) and benchmark the regeneration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark writes the rendered table (our measured rows next to the
+paper's reference values) to ``benchmarks/results/<table>.txt``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_profile,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+
+RUNNERS = {
+    "profile": run_profile,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+}
+
+
+@pytest.mark.parametrize("name", list(RUNNERS))
+def bench_table(benchmark, context, save_artifact, name):
+    runner = RUNNERS[name]
+    table = benchmark(runner, context)
+    rendered = table.render()
+    save_artifact(name, rendered)
+    assert table.rows, f"{name} produced no rows"
+
+
+def bench_full_report_table2_shape(context, save_artifact):
+    """Not a timing benchmark: asserts the headline shapes on the bench
+    workload and records them (who wins, by roughly what factor)."""
+    table2 = run_table2(context)
+    speedups = [float(row[table2.columns.index("S.Up")])
+                for row in table2.rows[1:]]
+    beta1 = speedups[:3]
+    assert beta1[0] < beta1[1] < beta1[2], "bandwidth must scale speedup"
+    assert 2.0 < beta1[0] < 5.5, "1x32 speedup out of the paper's band"
+    table7 = run_table7(context)
+    headline = float(table7.rows[1][table7.columns.index("S.Up")])
+    assert 6.0 < headline < 12.0, "two-line-buffer headline (paper: 8x)"
+    save_artifact("headline_shapes",
+                  f"1x32/1x64/2x64 (b=1): {beta1}\n2LB headline: {headline}")

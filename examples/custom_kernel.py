@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Write, compile and run your own VLIW+RFU kernel.
+
+Demonstrates the library as a general architecture-exploration tool rather
+than a fixed benchmark: define a custom RFU instruction, build a kernel
+with the IR builder, compile it (scheduler + register allocator), execute
+it on the cycle-level core, and inspect the timing.
+
+The kernel computes a saturating 8-bit "blend" of two pixel arrays — the
+kind of small media op the paper's A1 scenario adds to the ISA — first
+with base-ISA operations, then with a 1-cycle RFU configuration, and
+compares the cycle counts.
+
+    python examples/custom_kernel.py
+"""
+
+from repro import Core, KernelBuilder, MachineConfig, MemorySystem, RfuUnit, \
+    compile_kernel
+from repro.isa.instruction import format_schedule
+from repro.rfu import ConfigRegistry, RfuConfiguration
+from repro.utils.bitops import unpack_bytes, pack_bytes
+
+#: custom configuration id (>= 32 keeps clear of the built-in ones)
+BLEND4 = 32
+PIXELS = 64  # 16 words per array
+
+
+def blend_execute(state, operands):
+    """out = (3*a + b + 2) >> 2 per byte lane — a simple alpha blend."""
+    a_lanes, b_lanes = unpack_bytes(operands[0]), unpack_bytes(operands[1])
+    return pack_bytes([(3 * x + y + 2) >> 2 for x, y in zip(a_lanes, b_lanes)])
+
+
+def build_kernel(use_rfu: bool):
+    kb = KernelBuilder("blend_rfu" if use_rfu else "blend_base")
+    src_a = kb.param("a")
+    src_b = kb.param("b")
+    dst = kb.param("dst")
+    count = kb.persistent_reg("count")
+    checksum = kb.persistent_reg("check")
+    with kb.block("init"):
+        kb.emit("movi", dest=count, imm=PIXELS // 4)
+        kb.emit("movi", dest=checksum, imm=0)
+        if use_rfu:
+            kb.emit("rfuinit", imm=BLEND4)
+    with kb.counted_loop("loop", count):
+        word_a = kb.emit("ldw", src_a, imm=0, mem_tag="a")
+        word_b = kb.emit("ldw", src_b, imm=0, mem_tag="b")
+        if use_rfu:
+            blended = kb.emit("rfuexec", word_a, word_b, imm=BLEND4)
+        else:
+            # base ISA: widen to 16-bit lanes, 3*a + b + 2 >> 2, repack
+            round_const = kb.const(0x00020002)
+            lanes = []
+            for unpack in ("unpkl2", "unpkh2"):
+                ua = kb.emit(unpack, word_a)
+                ub = kb.emit(unpack, word_b)
+                tripled = kb.emit("add2", kb.emit("add2", ua, ua), ua)
+                total = kb.emit("add2", kb.emit("add2", tripled, ub),
+                                round_const)
+                lanes.append(kb.emit("shri", total, imm=2))
+            blended = kb.emit("pack4", lanes[0], lanes[1])
+        kb.emit("stw", blended, dst, imm=0, mem_tag="out")
+        kb.emit("add", checksum, blended, dest=checksum)
+        for pointer in (src_a, src_b, dst):
+            kb.emit("addi", pointer, dest=pointer, imm=4)
+    kb.set_result(checksum)
+    return kb.finish()
+
+
+def main() -> None:
+    registry = ConfigRegistry()
+    registry.register(RfuConfiguration(
+        config_id=BLEND4, name="blend4", execute=blend_execute,
+        base_latency=1, description="4x8-bit alpha blend (3a+b+2)>>2"))
+
+    memory = MemorySystem()
+    base_a, base_b, base_out = 0x10000, 0x20000, 0x30000
+    for i in range(PIXELS):
+        memory.main.store_byte(base_a + i, (i * 7) & 0xFF)
+        memory.main.store_byte(base_b + i, (255 - i) & 0xFF)
+
+    results = {}
+    for use_rfu in (False, True):
+        program = build_kernel(use_rfu)
+        rfu = RfuUnit(registry)
+        loaded = compile_kernel(program, rfu, MachineConfig())
+        core = Core(memory, rfu)
+        core.run(loaded, [base_a, base_b, base_out])          # warm caches
+        result = core.run(loaded, [base_a, base_b, base_out])  # measure
+        results[program.name] = result
+        print(f"{program.name}: {result.cycles} cycles, "
+              f"{result.ops} ops, checksum 0x{result.result:08x}")
+        if use_rfu:
+            print("\nRFU loop body schedule:")
+            print(format_schedule(loaded.scheduled.block_map()["loop"]
+                                  .bundles))
+
+    assert results["blend_base"].result == results["blend_rfu"].result
+    speedup = results["blend_base"].cycles / results["blend_rfu"].cycles
+    print(f"\nISA-extension speedup on this kernel: {speedup:.2f}x "
+          f"(same 1-2x band the paper reports for instruction-level RFU use)")
+
+
+if __name__ == "__main__":
+    main()

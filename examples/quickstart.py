@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: encode a short synthetic sequence and measure how much a
+Reconfigurable Functional Unit accelerates its motion-estimation hotspot.
+
+Runs in well under a minute::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Bandwidth,
+    Exploration,
+    ExplorationConfig,
+    instruction_scenario,
+    loop_scenario,
+)
+
+
+def main() -> None:
+    # one encoding run (functional) + trace replays under three scenarios
+    exploration = Exploration(ExplorationConfig(frames=6))
+    result = exploration.run([
+        instruction_scenario("a3"),               # best instruction-level RFU
+        loop_scenario(Bandwidth.B1X32),           # whole kernel on the RFU
+        loop_scenario(Bandwidth.B1X32, line_buffer_b=True),  # + local memory
+    ])
+
+    trace = exploration.encoder_report.trace
+    print(f"encoded {exploration.config.frames} QCIF frames, "
+          f"{len(trace):,} GetSad calls "
+          f"({100 * trace.diagonal_fraction():.1f}% diagonal interpolation)")
+    print(f"baseline GetSad share of the app: "
+          f"{100 * result.me_fraction('orig'):.1f}%  (paper: 25.6%)\n")
+
+    print(f"{'scenario':24s} {'ME cycles':>12s} {'speedup':>8s}")
+    for name in ("orig", "a3", "loop_1x32_b1", "loop_1x32+2lb_b1"):
+        timing = result.result(name)
+        print(f"{name:24s} {timing.total_cycles:>12,} "
+              f"{result.speedup(name):>7.2f}x")
+
+    print("\nThe paper's conclusion, reproduced: extending the instruction "
+          "set buys 1-2x,\nmapping the whole kernel loop (with prefetch "
+          "patterns and local line buffers)\nbuys up to ~8x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper and print the report.
+
+The default workload matches the paper (25 QCIF frames, Q = 10); pass a
+smaller frame count for a quick look::
+
+    python examples/reproduce_paper.py          # full, a few minutes
+    python examples/reproduce_paper.py 6        # quick
+    python examples/reproduce_paper.py 25 out.md  # also write a file
+"""
+
+import sys
+
+from repro.experiments import run_all
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    report = run_all(frames=frames, verbose=True)
+    print()
+    print(report)
+    if len(sys.argv) > 2:
+        with open(sys.argv[2], "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nwritten to {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()

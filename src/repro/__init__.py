@@ -1,0 +1,76 @@
+"""repro — a reproduction of "A Video Compression Case Study on a
+Reconfigurable VLIW Architecture" (Rizzo & Colavin, DATE 2002).
+
+The package layers, bottom up:
+
+* :mod:`repro.isa`, :mod:`repro.program`, :mod:`repro.machine` — an
+  ST200/Lx-like 4-issue VLIW: ISA, dependence-DAG list scheduler, register
+  allocator and a cycle-level in-order core;
+* :mod:`repro.memory` — 128 KB I$, 32 KB 4-way D$ with prefetch buffer,
+  the shared external bus, and the RFU's Line Buffers A and B;
+* :mod:`repro.rfu` — the Reconfigurable Functional Unit at functional
+  level: custom-instruction configurations (the paper's A1/A2/A3),
+  technology scaling β, macroblock prefetch patterns, and the loop-level
+  ME kernel model;
+* :mod:`repro.codec` — an MPEG4-SP encoder substrate (motion estimation
+  with half-sample refinement, DCT/quant/entropy, reconstruction) that
+  produces the GetSad workload trace;
+* :mod:`repro.kernels` — GetSad VLIW kernels per (alignment,
+  interpolation) shape and variant, verified bit-exactly;
+* :mod:`repro.core` — the paper's contribution: the architectural
+  exploration replaying one trace under every scenario;
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import Exploration, ExplorationConfig, all_scenarios
+    result = Exploration(ExplorationConfig(frames=10)).run(all_scenarios())
+    print(result.speedup("loop_1x32+2lb_b1"))   # the paper's 8x headline
+"""
+
+from repro.core import (
+    Exploration,
+    ExplorationConfig,
+    ExplorationResult,
+    Scenario,
+    all_scenarios,
+    instruction_scenario,
+    loop_scenario,
+)
+from repro.codec import (
+    EncoderConfig,
+    Mpeg4Encoder,
+    SyntheticSequenceConfig,
+    synthetic_sequence,
+)
+from repro.machine import Core, MachineConfig, compile_kernel
+from repro.memory import MemorySystem, MemoryTimings
+from repro.program import KernelBuilder
+from repro.rfu import Bandwidth, RfuUnit, standard_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bandwidth",
+    "Core",
+    "EncoderConfig",
+    "Exploration",
+    "ExplorationConfig",
+    "ExplorationResult",
+    "KernelBuilder",
+    "MachineConfig",
+    "MemorySystem",
+    "MemoryTimings",
+    "Mpeg4Encoder",
+    "RfuUnit",
+    "Scenario",
+    "SyntheticSequenceConfig",
+    "all_scenarios",
+    "compile_kernel",
+    "instruction_scenario",
+    "loop_scenario",
+    "standard_registry",
+    "synthetic_sequence",
+    "__version__",
+]

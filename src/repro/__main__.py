@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``   — regenerate the paper's tables/figures (EXPERIMENTS-style);
+* ``encode``   — run the MPEG4-SP encoder substrate and print statistics;
+* ``kernels``  — compile, verify and time every GetSad kernel shape;
+* ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+    report = run_all(frames=args.frames, verbose=not args.quiet,
+                     extensions=not args.no_extensions)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.codec import EncoderConfig, Mpeg4Encoder, \
+        SyntheticSequenceConfig, synthetic_sequence
+    from repro.codec.motion import FullSearch, ThreeStepSearch
+    strategy = FullSearch(args.range) if args.strategy == "full" \
+        else ThreeStepSearch(args.step)
+    frames = synthetic_sequence(SyntheticSequenceConfig(frames=args.frames,
+                                                        seed=args.seed))
+    report = Mpeg4Encoder(EncoderConfig(qp=args.qp,
+                                        strategy=strategy)).encode(frames)
+    print(f"{'frame':>5s} {'type':>4s} {'bits':>8s} {'PSNR-Y':>7s} "
+          f"{'SAD calls':>9s}")
+    for stats in report.frame_stats:
+        print(f"{stats.index:>5d} {stats.frame_type:>4s} {stats.bits:>8,} "
+              f"{stats.psnr_y:>6.2f} {stats.getsad_calls:>9,}")
+    trace = report.trace
+    print(f"\ntotal bits {report.total_bits:,}, mean PSNR-Y "
+          f"{report.mean_psnr_y:.2f} dB")
+    print(f"GetSad calls {len(trace):,}, diagonal-interpolation fraction "
+          f"{100 * trace.diagonal_fraction():.1f}%")
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels import KernelLibrary, KernelShape, VARIANTS
+    from repro.rfu.loop_model import InterpMode
+    variants = [args.variant] if args.variant else list(VARIANTS)
+    header = f"{'variant':>8s} {'align':>5s}" \
+        + "".join(f" {mode.name:>6s}" for mode in InterpMode)
+    print(header + "   (cycles per GetSad call, verified bit-exact)")
+    for variant in variants:
+        library = KernelLibrary(variant)
+        for alignment in range(4):
+            cells = "".join(
+                f" {library.static_cycles(alignment, mode):>6d}"
+                for mode in InterpMode)
+            print(f"{variant:>8s} {alignment:>5d}{cells}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.isa.asmparser import parse_program
+    from repro.isa.instruction import format_schedule
+    from repro.machine import compile_kernel
+    from repro.program.analysis import occupancy_chart, utilisation_report
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    loaded = compile_kernel(program)
+    print(f"kernel {program.name}: {loaded.static_length} static cycles, "
+          f"{loaded.scheduled.op_count()} ops")
+    for block in loaded.scheduled.blocks:
+        print(f"\nblock {block.label}:")
+        print(format_schedule(block.bundles))
+    if args.stats:
+        print("\nutilisation:")
+        print(utilisation_report(loaded.scheduled))
+        print("\noccupancy (A=alu M=mul L=lsu B=branch R=rfu):")
+        for block in loaded.scheduled.blocks:
+            print(occupancy_chart(block))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reconfigurable-VLIW video-compression case study "
+                    "(DATE 2002 reproduction)")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate tables and figures")
+    report.add_argument("--frames", type=int, default=25)
+    report.add_argument("--output", "-o", default=None)
+    report.add_argument("--quiet", "-q", action="store_true")
+    report.add_argument("--no-extensions", action="store_true",
+                        help="skip the beyond-the-paper experiments")
+    report.set_defaults(handler=_cmd_report)
+
+    encode = sub.add_parser("encode", help="run the encoder substrate")
+    encode.add_argument("--frames", type=int, default=10)
+    encode.add_argument("--qp", type=int, default=10)
+    encode.add_argument("--seed", type=int, default=2002)
+    encode.add_argument("--strategy", choices=("three-step", "full"),
+                        default="three-step")
+    encode.add_argument("--step", type=int, default=2,
+                        help="initial three-step search step")
+    encode.add_argument("--range", type=int, default=4,
+                        help="full-search range")
+    encode.set_defaults(handler=_cmd_encode)
+
+    kernels = sub.add_parser("kernels", help="time every GetSad kernel")
+    kernels.add_argument("--variant", choices=("orig", "a1", "a2", "a3"),
+                         default=None)
+    kernels.set_defaults(handler=_cmd_kernels)
+
+    schedule = sub.add_parser("schedule", help="assemble and schedule a "
+                                               "kernel file")
+    schedule.add_argument("file")
+    schedule.add_argument("--stats", action="store_true",
+                          help="print utilisation and occupancy analysis")
+    schedule.set_defaults(handler=_cmd_schedule)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Bit-granular stream writer/reader with exponential-Golomb codes.
+
+Backs the serializable coded-sequence syntax (:mod:`repro.codec.syntax`).
+The codes are unsigned (``ue``) and signed (``se``) exp-Golomb — simpler
+than the normative MPEG4 VLC tables but real, decodable entropy codes, so
+the encoder/decoder round trip exercises genuine bitstream machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CodecError
+
+
+class BitWriter:
+    """Append-only MSB-first bit sink."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._bit_count = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        if self._bit_count % 8 == 0:
+            self._bytes.append(0)
+        if bit & 1:
+            self._bytes[-1] |= 0x80 >> (self._bit_count % 8)
+        self._bit_count += 1
+
+    def write_bits(self, value: int, width: int) -> None:
+        if width < 0 or (width and value >> width):
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_ue(self, value: int) -> None:
+        """Unsigned exp-Golomb: value >= 0."""
+        if value < 0:
+            raise CodecError(f"ue() needs a non-negative value, got {value}")
+        code = value + 1
+        width = code.bit_length()
+        for _ in range(width - 1):
+            self.write_bit(0)
+        self.write_bits(code, width)
+
+    def write_se(self, value: int) -> None:
+        """Signed exp-Golomb: 0, 1, -1, 2, -2 ... -> 0, 1, 2, 3, 4 ..."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.write_ue(mapped)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """MSB-first bit source over a byte string."""
+
+    def __init__(self, payload: bytes):
+        self._payload = payload
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def bits_remaining(self) -> int:
+        return 8 * len(self._payload) - self._position
+
+    def read_bit(self) -> int:
+        if self._position >= 8 * len(self._payload):
+            raise CodecError("bitstream exhausted")
+        byte = self._payload[self._position // 8]
+        bit = (byte >> (7 - self._position % 8)) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_ue(self) -> int:
+        zeros = 0
+        while self.read_bit() == 0:
+            zeros += 1
+            if zeros > 64:
+                raise CodecError("corrupt exp-Golomb code")
+        return (1 << zeros | self.read_bits(zeros)) - 1
+
+    def read_se(self) -> int:
+        mapped = self.read_ue()
+        if mapped % 2:
+            return (mapped + 1) // 2
+        return -(mapped // 2)

@@ -1,0 +1,42 @@
+"""8x8 forward/inverse DCT (type II/III, orthonormal).
+
+The encoder substrate uses the float reference DCT with rounding, which is
+what MPEG4 normatively specifies for the decoder-side IDCT accuracy; the
+cost model accounts for its cycle cost on the VLIW separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+BLOCK = 8
+
+
+def _dct_matrix() -> np.ndarray:
+    matrix = np.zeros((BLOCK, BLOCK), dtype=np.float64)
+    for k in range(BLOCK):
+        for n in range(BLOCK):
+            matrix[k, n] = np.cos(np.pi * (2 * n + 1) * k / (2 * BLOCK))
+    matrix *= np.sqrt(2.0 / BLOCK)
+    matrix[0, :] *= 1.0 / np.sqrt(2.0)
+    return matrix
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """2-D DCT of one 8x8 spatial block (int16-ish input, float64 output)."""
+    if block.shape != (BLOCK, BLOCK):
+        raise CodecError(f"DCT expects 8x8 blocks, got {block.shape}")
+    return _DCT @ block.astype(np.float64) @ _DCT.T
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """2-D inverse DCT, rounded to integers."""
+    if coefficients.shape != (BLOCK, BLOCK):
+        raise CodecError(f"IDCT expects 8x8 blocks, got {coefficients.shape}")
+    return np.rint(_IDCT @ coefficients.astype(np.float64) @ _IDCT.T)

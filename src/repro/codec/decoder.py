@@ -1,0 +1,100 @@
+"""MPEG4-SP decoder for the coded-sequence syntax.
+
+Mirrors the encoder's reconstruction loop exactly — the decoded frames
+must equal the encoder's ``report.reconstructed`` frames bit for bit,
+which is the codec substrate's end-to-end consistency property (tested in
+``tests/test_decoder.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.codec.dct import inverse_dct
+from repro.codec.encoder import chroma_motion_block
+from repro.codec.frame import MB_SIZE, YuvFrame
+from repro.codec.interp import halfpel_predictor
+from repro.codec.quant import dequantise
+from repro.codec.syntax import (
+    CodedFrame,
+    CodedMacroblock,
+    CodedSequence,
+    INTER,
+    INTRA,
+)
+from repro.errors import CodecError
+
+
+class Mpeg4Decoder:
+    """Decodes a :class:`CodedSequence` back to YUV frames."""
+
+    def __init__(self, sequence: CodedSequence):
+        self.sequence = sequence
+
+    def _decode_block(self, block, qp: int) -> np.ndarray:
+        return inverse_dct(dequantise(block.levels, qp, intra=block.intra))
+
+    def _place_plane_mb(self, plane: np.ndarray, x: int, y: int, size: int,
+                        predictor, blocks, qp: int) -> int:
+        """Rebuild one region from its 8x8 blocks; returns blocks consumed."""
+        consumed = 0
+        for by in range(0, size, 8):
+            for bx in range(0, size, 8):
+                residual = self._decode_block(blocks[consumed], qp)
+                if predictor is None:
+                    rebuilt = residual + 128.0
+                else:
+                    rebuilt = predictor[by:by + 8, bx:bx + 8] \
+                        .astype(np.float64) + residual
+                plane[y + by:y + by + 8, x + bx:x + bx + 8] = \
+                    np.clip(rebuilt, 0, 255).astype(np.uint8)
+                consumed += 1
+        return consumed
+
+    def _decode_macroblock(self, macroblock: CodedMacroblock,
+                           frame: YuvFrame, reference: YuvFrame) -> None:
+        qp = self.sequence.qp
+        mb_x, mb_y = macroblock.mb_x, macroblock.mb_y
+        cx, cy = mb_x // 2, mb_y // 2
+        if macroblock.mode == INTRA:
+            luma_pred = chroma_u_pred = chroma_v_pred = None
+        else:
+            if reference is None:
+                raise CodecError("inter macroblock in the first frame")
+            dx, dy = macroblock.mv
+            luma_pred = halfpel_predictor(
+                reference.y, mb_x + (dx >> 1), mb_y + (dy >> 1),
+                dx & 1, dy & 1)
+            chroma_u_pred = chroma_motion_block(reference.u, cx, cy, dx, dy)
+            chroma_v_pred = chroma_motion_block(reference.v, cx, cy, dx, dy)
+        blocks = macroblock.blocks
+        if len(blocks) != 6:
+            raise CodecError(
+                f"macroblock at ({mb_x},{mb_y}) carries {len(blocks)} "
+                f"blocks, expected 6")
+        self._place_plane_mb(frame.y, mb_x, mb_y, MB_SIZE, luma_pred,
+                             blocks[0:4], qp)
+        self._place_plane_mb(frame.u, cx, cy, 8, chroma_u_pred,
+                             blocks[4:5], qp)
+        self._place_plane_mb(frame.v, cx, cy, 8, chroma_v_pred,
+                             blocks[5:6], qp)
+
+    def decode(self) -> List[YuvFrame]:
+        """Decode every frame of the sequence."""
+        decoded: List[YuvFrame] = []
+        for index, coded in enumerate(self.sequence.frames):
+            frame = YuvFrame.blank(self.sequence.width, self.sequence.height)
+            reference = decoded[index - 1] if index else None
+            if coded.frame_type == "I" and index != 0:
+                reference = None
+            for macroblock in coded.macroblocks:
+                self._decode_macroblock(macroblock, frame, reference)
+            decoded.append(frame)
+        return decoded
+
+
+def decode_sequence(sequence: CodedSequence) -> List[YuvFrame]:
+    """Convenience wrapper."""
+    return Mpeg4Decoder(sequence).decode()

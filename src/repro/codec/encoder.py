@@ -1,0 +1,271 @@
+"""The MPEG4 simple-profile encoder driver.
+
+Functionally encodes a sequence (I frame followed by P frames) with the
+paper's settings — constant quantiser Q = 10, half-sample motion
+estimation on luma — while recording:
+
+* the GetSad invocation trace (the architectural workload),
+* per-frame statistics (bits, PSNR, interpolation mix),
+* non-ME work counts for the cycle cost model,
+* every reconstructed frame (the ME reference planes the timing replay
+  places into simulated memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.codec.costmodel import WorkCounts
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.entropy import block_bits, coded_symbols, mv_bits
+from repro.codec.frame import MB_SIZE, YuvFrame
+from repro.codec.interp import halfpel_predictor
+from repro.codec.motion import MotionEstimator, MotionVector, SearchStrategy
+from repro.codec.quant import dequantise, quantise
+from repro.codec.syntax import (
+    CodedBlock,
+    CodedFrame,
+    CodedMacroblock,
+    CodedSequence,
+    INTER,
+    INTRA,
+)
+from repro.codec.tracer import MeTrace
+from repro.errors import CodecError
+
+
+@dataclass
+class EncoderConfig:
+    """Encoder settings (paper defaults: QCIF, 25 frames, Q = 10)."""
+
+    qp: int = 10
+    strategy: Optional[SearchStrategy] = None   # default: three-step search
+    refine_halfpel: bool = True
+    #: SAD above which a P macroblock falls back to intra coding
+    intra_sad_threshold: int = 16 * 16 * 24
+    #: intra-frame period (GOP size); 0 = only the first frame is intra
+    gop_size: int = 0
+
+
+@dataclass
+class FrameStats:
+    """Per-frame encoding statistics."""
+
+    index: int
+    frame_type: str            # "I" or "P"
+    bits: int
+    psnr_y: float
+    intra_mbs: int
+    inter_mbs: int
+    getsad_calls: int
+
+
+@dataclass
+class EncoderReport:
+    """Everything one encoding run produced."""
+
+    frame_stats: List[FrameStats] = field(default_factory=list)
+    trace: MeTrace = field(default_factory=MeTrace)
+    work: WorkCounts = field(default_factory=WorkCounts)
+    reconstructed: List[YuvFrame] = field(default_factory=list)
+    motion_vectors: List[List[MotionVector]] = field(default_factory=list)
+    #: decoder-side syntax of the whole run (serializable, see
+    #: :mod:`repro.codec.syntax`)
+    coded: Optional[CodedSequence] = None
+
+    @property
+    def total_bits(self) -> int:
+        return sum(stats.bits for stats in self.frame_stats)
+
+    @property
+    def mean_psnr_y(self) -> float:
+        values = [stats.psnr_y for stats in self.frame_stats
+                  if stats.psnr_y != float("inf")]
+        return float(np.mean(values)) if values else float("inf")
+
+
+class Mpeg4Encoder:
+    """MPEG4-SP encoder over YUV 4:2:0 frames."""
+
+    def __init__(self, config: Optional[EncoderConfig] = None):
+        self.config = config or EncoderConfig()
+        self.estimator = MotionEstimator(self.config.strategy,
+                                         self.config.refine_halfpel)
+
+    # -- block helpers -------------------------------------------------------
+    def _code_block(self, spatial: np.ndarray, intra: bool,
+                    work: WorkCounts):
+        """DCT/quant/dequant/IDCT round trip of one 8x8 block.
+
+        Returns (reconstructed residual or texture, bits, levels)."""
+        coefficients = forward_dct(spatial)
+        levels = quantise(coefficients, self.config.qp, intra=intra)
+        bits = block_bits(levels)
+        rec = inverse_dct(dequantise(levels, self.config.qp, intra=intra))
+        work.dct_blocks += 1
+        work.quant_blocks += 1
+        work.zigzag_blocks += 1
+        work.coded_symbols += coded_symbols(levels)
+        if np.any(levels):
+            work.dequant_blocks += 1
+            work.idct_blocks += 1
+        work.recon_blocks += 1
+        return rec, bits, levels
+
+    def _code_plane_mb(self, plane_cur: np.ndarray, plane_rec: np.ndarray,
+                       x: int, y: int, size: int, predictor: Optional[np.ndarray],
+                       work: WorkCounts,
+                       collect: Optional[List[CodedBlock]] = None) -> int:
+        """Code one ``size x size`` region (luma MB quarter or chroma block)."""
+        bits = 0
+        for by in range(0, size, 8):
+            for bx in range(0, size, 8):
+                cur = plane_cur[y + by:y + by + 8, x + bx:x + bx + 8] \
+                    .astype(np.float64)
+                if predictor is None:
+                    rec, block_cost, levels = self._code_block(cur - 128.0,
+                                                               True, work)
+                    rebuilt = rec + 128.0
+                else:
+                    pred = predictor[by:by + 8, bx:bx + 8].astype(np.float64)
+                    rec, block_cost, levels = self._code_block(cur - pred,
+                                                               False, work)
+                    rebuilt = pred + rec
+                plane_rec[y + by:y + by + 8, x + bx:x + bx + 8] = \
+                    np.clip(rebuilt, 0, 255).astype(np.uint8)
+                bits += block_cost
+                if collect is not None:
+                    collect.append(CodedBlock(levels, predictor is None))
+        return bits
+
+    # -- frame coding -----------------------------------------------------------
+    def _encode_intra_frame(self, frame: YuvFrame, index: int,
+                            report: EncoderReport) -> FrameStats:
+        rec = YuvFrame.blank(frame.width, frame.height)
+        coded_frame = CodedFrame("I")
+        bits = 0
+        for mb_y in range(0, frame.height, MB_SIZE):
+            for mb_x in range(0, frame.width, MB_SIZE):
+                blocks: List[CodedBlock] = []
+                bits += self._code_plane_mb(frame.y, rec.y, mb_x, mb_y,
+                                            MB_SIZE, None, report.work,
+                                            blocks)
+                cx, cy = mb_x // 2, mb_y // 2
+                bits += self._code_plane_mb(frame.u, rec.u, cx, cy, 8, None,
+                                            report.work, blocks)
+                bits += self._code_plane_mb(frame.v, rec.v, cx, cy, 8, None,
+                                            report.work, blocks)
+                coded_frame.macroblocks.append(
+                    CodedMacroblock(mb_x, mb_y, INTRA, (0, 0), blocks))
+                report.work.macroblocks += 1
+        report.reconstructed.append(rec)
+        report.motion_vectors.append([])
+        report.coded.frames.append(coded_frame)
+        return FrameStats(index, "I", bits, rec.psnr_y(frame),
+                          intra_mbs=frame.mb_cols * frame.mb_rows,
+                          inter_mbs=0, getsad_calls=0)
+
+    def _chroma_mc(self, plane_ref: np.ndarray, cx: int, cy: int,
+                   mv: MotionVector) -> np.ndarray:
+        """Integer-rounded chroma motion compensation (8x8 block)."""
+        return chroma_motion_block(plane_ref, cx, cy, mv.dx, mv.dy)
+
+    def _encode_inter_frame(self, frame: YuvFrame, reference: YuvFrame,
+                            index: int, report: EncoderReport) -> FrameStats:
+        rec = YuvFrame.blank(frame.width, frame.height)
+        coded_frame = CodedFrame("P")
+        bits = 0
+        intra_mbs = inter_mbs = 0
+        calls_before = len(report.trace)
+        frame_mvs: List[MotionVector] = []
+        for mb_y in range(0, frame.height, MB_SIZE):
+            for mb_x in range(0, frame.width, MB_SIZE):
+                mv = self.estimator.estimate(frame.y, reference.y, mb_x, mb_y,
+                                             index, report.trace)
+                frame_mvs.append(mv)
+                report.work.macroblocks += 1
+                blocks: List[CodedBlock] = []
+                if mv.sad > self.config.intra_sad_threshold:
+                    bits += self._code_plane_mb(frame.y, rec.y, mb_x, mb_y,
+                                                MB_SIZE, None, report.work,
+                                                blocks)
+                    cx, cy = mb_x // 2, mb_y // 2
+                    bits += self._code_plane_mb(frame.u, rec.u, cx, cy, 8,
+                                                None, report.work, blocks)
+                    bits += self._code_plane_mb(frame.v, rec.v, cx, cy, 8,
+                                                None, report.work, blocks)
+                    coded_frame.macroblocks.append(
+                        CodedMacroblock(mb_x, mb_y, INTRA, (0, 0), blocks))
+                    intra_mbs += 1
+                    continue
+                half_x, half_y = mv.halfpel
+                predictor = halfpel_predictor(
+                    reference.y, mb_x + (mv.dx >> 1), mb_y + (mv.dy >> 1),
+                    half_x, half_y)
+                if half_x or half_y:
+                    report.work.mc_halfpel_mbs += 1
+                else:
+                    report.work.mc_full_mbs += 1
+                bits += mv_bits(mv.dx, mv.dy)
+                bits += self._code_plane_mb(frame.y, rec.y, mb_x, mb_y,
+                                            MB_SIZE, predictor, report.work,
+                                            blocks)
+                cx, cy = mb_x // 2, mb_y // 2
+                bits += self._code_plane_mb(
+                    frame.u, rec.u, cx, cy, 8,
+                    self._chroma_mc(reference.u, cx, cy, mv), report.work,
+                    blocks)
+                bits += self._code_plane_mb(
+                    frame.v, rec.v, cx, cy, 8,
+                    self._chroma_mc(reference.v, cx, cy, mv), report.work,
+                    blocks)
+                coded_frame.macroblocks.append(
+                    CodedMacroblock(mb_x, mb_y, INTER, (mv.dx, mv.dy),
+                                    blocks))
+                inter_mbs += 1
+        report.reconstructed.append(rec)
+        report.motion_vectors.append(frame_mvs)
+        report.coded.frames.append(coded_frame)
+        return FrameStats(index, "P", bits, rec.psnr_y(frame), intra_mbs,
+                          inter_mbs, len(report.trace) - calls_before)
+
+    # -- public API -----------------------------------------------------------
+    def encode(self, frames: List[YuvFrame]) -> EncoderReport:
+        """Encode a sequence; the first frame is intra, the rest are P."""
+        if not frames:
+            raise CodecError("cannot encode an empty sequence")
+        report = EncoderReport()
+        report.coded = CodedSequence(frames[0].width, frames[0].height,
+                                     self.config.qp)
+        report.frame_stats.append(
+            self._encode_intra_frame(frames[0], 0, report))
+        report.work.frames += 1
+        for index in range(1, len(frames)):
+            if self.config.gop_size and index % self.config.gop_size == 0:
+                report.frame_stats.append(
+                    self._encode_intra_frame(frames[index], index, report))
+            else:
+                reference = report.reconstructed[index - 1]
+                report.frame_stats.append(
+                    self._encode_inter_frame(frames[index], reference,
+                                             index, report))
+            report.work.frames += 1
+        return report
+
+
+def chroma_motion_block(plane_ref: np.ndarray, cx: int, cy: int,
+                        dx_half: int, dy_half: int) -> np.ndarray:
+    """Integer-rounded chroma motion compensation (shared with the decoder).
+
+    Luma half-sample units map to chroma full-sample offsets with
+    round-to-nearest; positions clamp to the plane.
+    """
+    height, width = plane_ref.shape
+    dx = int(np.rint(dx_half / 4.0))
+    dy = int(np.rint(dy_half / 4.0))
+    px = min(max(cx + dx, 0), width - 8)
+    py = min(max(cy + dy, 0), height - 8)
+    return plane_ref[py:py + 8, px:px + 8]

@@ -1,0 +1,68 @@
+"""Run-level entropy coding *size* model.
+
+The experiments never need an actual bitstream, only a realistic bit count
+per block/vector (for encoder statistics and the non-ME cycle cost model,
+whose entropy-stage cost scales with coded symbols).  The model follows the
+shape of the MPEG4 VLC tables: short codes for small levels after short
+runs, escape-length codes otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.codec.zigzag import zigzag_scan
+from repro.errors import CodecError
+
+
+def run_level_pairs(levels_zigzag: np.ndarray) -> List[Tuple[int, int, bool]]:
+    """(run, level, last) triples of one zigzag-scanned level block."""
+    pairs: List[Tuple[int, int, bool]] = []
+    run = 0
+    for value in levels_zigzag:
+        if value == 0:
+            run += 1
+            continue
+        pairs.append((run, int(value), False))
+        run = 0
+    if pairs:
+        run, level, _ = pairs[-1]
+        pairs[-1] = (run, level, True)
+    return pairs
+
+
+def _vlc_bits(run: int, level: int) -> int:
+    """Approximate MPEG4 TCOEF code length for one (run, level) event."""
+    magnitude = abs(level)
+    if magnitude == 0:
+        raise CodecError("zero level has no VLC code")
+    if run <= 1 and magnitude <= 6:
+        return 3 + magnitude + run
+    if run <= 8 and magnitude <= 2:
+        return 6 + run // 2 + magnitude
+    return 22  # fixed-length escape: ESC + last + 6-bit run + 8-bit level
+
+
+def block_bits(levels: np.ndarray) -> int:
+    """Bits to code one quantised 8x8 block (plus the CBP-ish overhead)."""
+    scanned = zigzag_scan(levels)
+    pairs = run_level_pairs(scanned)
+    if not pairs:
+        return 1  # not-coded flag
+    return 2 + sum(_vlc_bits(run, level) for run, level, _ in pairs)
+
+
+def mv_bits(dx_half: int, dy_half: int) -> int:
+    """Bits for a motion vector difference, exp-Golomb-shaped."""
+    total = 0
+    for component in (dx_half, dy_half):
+        magnitude = abs(int(component))
+        total += 1 if magnitude == 0 else 2 * int(np.log2(magnitude + 1)) + 2
+    return total
+
+
+def coded_symbols(levels: np.ndarray) -> int:
+    """Number of (run, level) events — the entropy stage's work unit."""
+    return len(run_level_pairs(zigzag_scan(levels)))

@@ -1,0 +1,136 @@
+"""Video frames and their placement in simulated main memory.
+
+The paper encodes a QCIF sequence with frames "allocated, aligning on 32
+bytes boundaries"; :class:`FrameLayout` reproduces that allocation so the
+predictor alignment distribution (Figure 2) emerges from real addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+QCIF_WIDTH = 176
+QCIF_HEIGHT = 144
+MB_SIZE = 16
+
+
+@dataclass
+class YuvFrame:
+    """One 4:2:0 frame: full-resolution luma, half-resolution chroma."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self):
+        height, width = self.y.shape
+        if width % MB_SIZE or height % MB_SIZE:
+            raise CodecError(
+                f"frame {width}x{height} is not a multiple of the "
+                f"{MB_SIZE}-pixel macroblock size")
+        if self.u.shape != (height // 2, width // 2) \
+                or self.v.shape != (height // 2, width // 2):
+            raise CodecError("chroma planes must be half resolution (4:2:0)")
+        for plane in (self.y, self.u, self.v):
+            if plane.dtype != np.uint8:
+                raise CodecError("planes must be uint8")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def mb_cols(self) -> int:
+        return self.width // MB_SIZE
+
+    @property
+    def mb_rows(self) -> int:
+        return self.height // MB_SIZE
+
+    @classmethod
+    def blank(cls, width: int = QCIF_WIDTH, height: int = QCIF_HEIGHT,
+              luma: int = 128) -> "YuvFrame":
+        return cls(
+            y=np.full((height, width), luma, dtype=np.uint8),
+            u=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+            v=np.full((height // 2, width // 2), 128, dtype=np.uint8),
+        )
+
+    def copy(self) -> "YuvFrame":
+        return YuvFrame(self.y.copy(), self.u.copy(), self.v.copy())
+
+    def psnr_y(self, other: "YuvFrame") -> float:
+        """Luma PSNR against another frame (dB)."""
+        diff = self.y.astype(np.float64) - other.y.astype(np.float64)
+        mse = float(np.mean(diff * diff))
+        if mse == 0:
+            return float("inf")
+        return 10.0 * np.log10(255.0 * 255.0 / mse)
+
+
+@dataclass
+class FrameLayout:
+    """Addresses of luma planes placed in simulated main memory.
+
+    Strides equal the plane width (176 bytes for QCIF luma, divisible by
+    the 32-byte cache line), and every plane base is 32-byte aligned, as in
+    the paper.  Only luma planes are placed: the ME kernel reads luma only.
+    """
+
+    width: int = QCIF_WIDTH
+    height: int = QCIF_HEIGHT
+    base: int = 0x0004_0000
+    alignment: int = 32
+    _bases: Dict[str, int] = field(default_factory=dict)
+    _next: int = 0
+
+    def __post_init__(self):
+        if self.width % 4:
+            raise CodecError("luma stride must be a multiple of 4")
+        self._next = self.base
+
+    @property
+    def stride(self) -> int:
+        return self.width
+
+    def plane_bytes(self) -> int:
+        return self.width * self.height
+
+    def allocate(self, name: str) -> int:
+        """Reserve a 32-byte aligned luma plane; returns its base address."""
+        if name in self._bases:
+            raise CodecError(f"plane {name!r} already allocated")
+        address = self._next
+        self._bases[name] = address
+        size = self.plane_bytes()
+        self._next = address + ((size + self.alignment - 1)
+                                // self.alignment) * self.alignment
+        return address
+
+    def plane_base(self, name: str) -> int:
+        try:
+            return self._bases[name]
+        except KeyError:
+            raise CodecError(f"plane {name!r} was never allocated") from None
+
+    def pixel_address(self, name: str, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise CodecError(f"pixel ({x},{y}) outside {self.width}x{self.height}")
+        return self.plane_base(name) + y * self.stride + x
+
+    def store_plane(self, memory, name: str, plane: np.ndarray) -> int:
+        """Copy a luma plane into simulated main memory; returns the base."""
+        if name not in self._bases:
+            self.allocate(name)
+        base = self._bases[name]
+        memory.write_block(base, np.ascontiguousarray(plane, dtype=np.uint8))
+        return base

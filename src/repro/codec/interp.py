@@ -1,0 +1,60 @@
+"""Half-sample interpolation (MPEG4 simple profile, rounding control 0).
+
+Predictor pixels at half-sample positions are built from the integer grid:
+
+* horizontal:  ``(a + b + 1) >> 1``
+* vertical:    ``(a + c + 1) >> 1``
+* diagonal:    ``(a + b + c + d + 2) >> 2``
+
+where ``a`` is the top-left integer pixel of the 2x2 neighbourhood.  These
+are the golden semantics every VLIW/RFU kernel must match bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.rfu.loop_model import InterpMode
+
+
+def halfpel_predictor(plane: np.ndarray, x: int, y: int, half_x: int,
+                      half_y: int, size: int = 16) -> np.ndarray:
+    """The ``size x size`` predictor block at integer corner ``(x, y)`` with
+    half-sample flags ``(half_x, half_y)`` in {0, 1}."""
+    if half_x not in (0, 1) or half_y not in (0, 1):
+        raise CodecError(f"half-sample flags must be 0/1, got ({half_x},{half_y})")
+    height, width = plane.shape
+    if not (0 <= x and 0 <= y and x + size + half_x <= width
+            and y + size + half_y <= height):
+        raise CodecError(
+            f"predictor at ({x},{y}) half=({half_x},{half_y}) exceeds the "
+            f"{width}x{height} plane")
+    region = plane[y:y + size + half_y, x:x + size + half_x].astype(np.int32)
+    if half_x and half_y:
+        return ((region[:-1, :-1] + region[:-1, 1:] + region[1:, :-1]
+                 + region[1:, 1:] + 2) >> 2).astype(np.uint8)
+    if half_x:
+        return ((region[:, :-1] + region[:, 1:] + 1) >> 1).astype(np.uint8)
+    if half_y:
+        return ((region[:-1, :] + region[1:, :] + 1) >> 1).astype(np.uint8)
+    return region.astype(np.uint8)
+
+
+def interpolate_halfpel_region(plane: np.ndarray, x: int, y: int,
+                               mode: InterpMode, size: int = 16) -> np.ndarray:
+    """Same as :func:`halfpel_predictor` but keyed by :class:`InterpMode`."""
+    return halfpel_predictor(plane, x, y,
+                             1 if mode.needs_extra_column else 0,
+                             1 if mode.needs_extra_row else 0, size)
+
+
+def mode_from_halfpel(half_x: int, half_y: int) -> InterpMode:
+    """Map half-sample flags to the kernel interpolation mode."""
+    if half_x and half_y:
+        return InterpMode.HV
+    if half_x:
+        return InterpMode.H
+    if half_y:
+        return InterpMode.V
+    return InterpMode.FULL

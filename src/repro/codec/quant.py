@@ -1,0 +1,52 @@
+"""H.263-style quantisation (MPEG4 SP second quantisation method).
+
+The paper encodes with a constant quantisation parameter Q = 10.
+
+* inter / intra AC:  ``level = sign(c) * (|c| - QP/2) // (2 * QP)``
+* intra DC:          ``level = round(c / 8)``
+* dequant:           ``|c'| = QP * (2*|level| + 1) - (QP+1)%2`` for level != 0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+DEFAULT_QP = 10
+
+
+def _check_qp(qp: int) -> None:
+    if not 1 <= qp <= 31:
+        raise CodecError(f"quantisation parameter must be 1..31, got {qp}")
+
+
+def quantise(coefficients: np.ndarray, qp: int = DEFAULT_QP,
+             intra: bool = False) -> np.ndarray:
+    """Quantise one 8x8 coefficient block to integer levels."""
+    _check_qp(qp)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    sign = np.sign(coefficients)
+    magnitude = np.abs(coefficients)
+    if intra:
+        levels = sign * (magnitude // (2 * qp))
+        levels[0, 0] = np.rint(coefficients[0, 0] / 8.0)
+    else:
+        levels = sign * ((magnitude - qp / 2.0) // (2 * qp))
+        levels[magnitude < qp / 2.0] = 0
+    return levels.astype(np.int32)
+
+
+def dequantise(levels: np.ndarray, qp: int = DEFAULT_QP,
+               intra: bool = False) -> np.ndarray:
+    """Reconstruct coefficients from quantised levels."""
+    _check_qp(qp)
+    levels = np.asarray(levels, dtype=np.int64)
+    odd_adjust = 0 if qp % 2 else 1
+    magnitude = qp * (2 * np.abs(levels) + 1) - odd_adjust
+    rec = np.sign(levels) * magnitude
+    rec[levels == 0] = 0
+    rec = rec.astype(np.float64)
+    if intra:
+        rec[0, 0] = float(levels[0, 0]) * 8.0
+    return rec

@@ -1,0 +1,146 @@
+"""Coded-sequence syntax: what the encoder emits, what the decoder needs.
+
+A :class:`CodedSequence` is the complete decoder-side description of one
+encoding run — quantised coefficient levels, macroblock modes and motion
+vectors — plus a real bit serialization via exp-Golomb codes
+(:mod:`repro.codec.bitstream`), so the whole pipeline round-trips through
+actual bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.zigzag import inverse_zigzag, zigzag_scan
+from repro.errors import CodecError
+
+INTRA = "intra"
+INTER = "inter"
+
+
+@dataclass
+class CodedBlock:
+    """One quantised 8x8 block."""
+
+    levels: np.ndarray  # int32 8x8
+    intra: bool
+
+    def __post_init__(self):
+        self.levels = np.asarray(self.levels, dtype=np.int32)
+        if self.levels.shape != (8, 8):
+            raise CodecError(f"coded block must be 8x8, got {self.levels.shape}")
+
+
+@dataclass
+class CodedMacroblock:
+    """One macroblock: mode, motion vector (half-sample units), 6 blocks
+    (4 luma + Cb + Cr)."""
+
+    mb_x: int
+    mb_y: int
+    mode: str
+    mv: Tuple[int, int] = (0, 0)
+    blocks: List[CodedBlock] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.mode not in (INTRA, INTER):
+            raise CodecError(f"unknown macroblock mode {self.mode!r}")
+
+
+@dataclass
+class CodedFrame:
+    frame_type: str  # "I" or "P"
+    macroblocks: List[CodedMacroblock] = field(default_factory=list)
+
+
+@dataclass
+class CodedSequence:
+    width: int
+    height: int
+    qp: int
+    frames: List[CodedFrame] = field(default_factory=list)
+
+
+# -- serialization -------------------------------------------------------------
+
+def _write_block(writer: BitWriter, block: CodedBlock) -> None:
+    scanned = zigzag_scan(block.levels)
+    nonzero = [(index, int(level)) for index, level in enumerate(scanned)
+               if level]
+    writer.write_ue(len(nonzero))
+    previous = -1
+    for index, level in nonzero:
+        writer.write_ue(index - previous - 1)  # zero run
+        writer.write_se(level)
+        previous = index
+
+
+def _read_block(reader: BitReader, intra: bool) -> CodedBlock:
+    count = reader.read_ue()
+    scanned = np.zeros(64, dtype=np.int32)
+    position = -1
+    for _ in range(count):
+        position += reader.read_ue() + 1
+        if position >= 64:
+            raise CodecError("run-level data overruns the block")
+        scanned[position] = reader.read_se()
+    return CodedBlock(inverse_zigzag(scanned), intra)
+
+
+def serialize(sequence: CodedSequence) -> bytes:
+    """Serialize a coded sequence to a byte string."""
+    writer = BitWriter()
+    writer.write_ue(sequence.width)
+    writer.write_ue(sequence.height)
+    writer.write_ue(sequence.qp)
+    writer.write_ue(len(sequence.frames))
+    for frame in sequence.frames:
+        writer.write_bit(1 if frame.frame_type == "I" else 0)
+        for macroblock in frame.macroblocks:
+            if frame.frame_type == "P":
+                writer.write_bit(1 if macroblock.mode == INTRA else 0)
+            if macroblock.mode == INTER:
+                writer.write_se(macroblock.mv[0])
+                writer.write_se(macroblock.mv[1])
+            if len(macroblock.blocks) != 6:
+                raise CodecError(
+                    f"macroblock at ({macroblock.mb_x},{macroblock.mb_y}) "
+                    f"has {len(macroblock.blocks)} blocks, expected 6")
+            for block in macroblock.blocks:
+                _write_block(writer, block)
+    return writer.getvalue()
+
+
+def deserialize(payload: bytes) -> CodedSequence:
+    """Parse a byte string produced by :func:`serialize`."""
+    reader = BitReader(payload)
+    width = reader.read_ue()
+    height = reader.read_ue()
+    qp = reader.read_ue()
+    frame_count = reader.read_ue()
+    if width % 16 or height % 16:
+        raise CodecError(f"bad dimensions {width}x{height} in stream")
+    mb_count = (width // 16) * (height // 16)
+    sequence = CodedSequence(width, height, qp)
+    for _ in range(frame_count):
+        frame_type = "I" if reader.read_bit() else "P"
+        frame = CodedFrame(frame_type)
+        for index in range(mb_count):
+            mb_x = 16 * (index % (width // 16))
+            mb_y = 16 * (index // (width // 16))
+            if frame_type == "I":
+                mode = INTRA
+            else:
+                mode = INTRA if reader.read_bit() else INTER
+            mv = (0, 0)
+            if mode == INTER:
+                mv = (reader.read_se(), reader.read_se())
+            blocks = [_read_block(reader, mode == INTRA) for _ in range(6)]
+            frame.macroblocks.append(
+                CodedMacroblock(mb_x, mb_y, mode, mv, blocks))
+        sequence.frames.append(frame)
+    return sequence

@@ -1,0 +1,85 @@
+"""GetSad invocation traces.
+
+The encoder records one :class:`MeInvocation` per GetSad call.  The
+architectural timing models replay these records: the per-shape static
+kernel cycles come from the scheduled VLIW kernels, the stalls from the
+cache/prefetch/line-buffer replay.  The record keeps pixel coordinates
+(plane-relative); addresses are derived through a
+:class:`~repro.codec.frame.FrameLayout` at replay time so the same trace
+can be replayed under different memory layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.rfu.loop_model import InterpMode
+
+
+@dataclass(frozen=True)
+class MeInvocation:
+    """One GetSad call."""
+
+    frame: int           # index of the *current* frame being encoded
+    mb_x: int            # macroblock origin, pixels
+    mb_y: int
+    pred_x: int          # predictor integer corner in the reference plane
+    pred_y: int
+    mode: InterpMode
+    sad: int             # golden SAD value
+    is_refinement: bool  # half-sample refinement phase vs integer search
+    chosen: bool = False  # this candidate became the macroblock's MV
+
+
+@dataclass
+class MeTrace:
+    """All GetSad invocations of one encoding run."""
+
+    invocations: List[MeInvocation] = field(default_factory=list)
+
+    def append(self, invocation: MeInvocation) -> None:
+        self.invocations.append(invocation)
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+    def __iter__(self) -> Iterator[MeInvocation]:
+        return iter(self.invocations)
+
+    # -- workload statistics (reported in EXPERIMENTS.md) ---------------------
+    def mode_histogram(self) -> Dict[InterpMode, int]:
+        histogram = {mode: 0 for mode in InterpMode}
+        for invocation in self.invocations:
+            histogram[invocation.mode] += 1
+        return histogram
+
+    def diagonal_fraction(self) -> float:
+        """Fraction of GetSad calls doing diagonal interpolation (the paper
+        measures 18 % on Foreman)."""
+        if not self.invocations:
+            return 0.0
+        diagonal = sum(1 for inv in self.invocations
+                       if inv.mode is InterpMode.HV)
+        return diagonal / len(self.invocations)
+
+    def alignment_histogram(self, stride: int) -> Dict[int, int]:
+        """Distribution of predictor word alignments (Figure 2's parameter).
+
+        Alignment here is relative to the plane origin; the replay adds the
+        plane base (32-byte aligned, so congruent mod 4)."""
+        histogram = {0: 0, 1: 0, 2: 0, 3: 0}
+        for invocation in self.invocations:
+            histogram[(invocation.pred_y * stride + invocation.pred_x) % 4] += 1
+        return histogram
+
+    def frames(self) -> List[int]:
+        return sorted({inv.frame for inv in self.invocations})
+
+    def split_by_frame(self) -> Dict[int, List[MeInvocation]]:
+        by_frame: Dict[int, List[MeInvocation]] = {}
+        for invocation in self.invocations:
+            by_frame.setdefault(invocation.frame, []).append(invocation)
+        return by_frame

@@ -1,0 +1,42 @@
+"""Zigzag coefficient ordering for 8x8 blocks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+def _zigzag_order(size: int = 8) -> List[Tuple[int, int]]:
+    order = []
+    for diagonal in range(2 * size - 1):
+        # even diagonals run top-right -> bottom-left, odd ones the reverse
+        cells = [(diagonal - col, col) for col in range(size)
+                 if 0 <= diagonal - col < size]
+        if diagonal % 2 == 1:
+            cells.reverse()
+        order.extend(cells)
+    return order
+
+
+#: (row, col) visiting order of the standard zigzag scan
+ZIGZAG_ORDER: List[Tuple[int, int]] = _zigzag_order()
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block into zigzag order."""
+    if block.shape != (8, 8):
+        raise CodecError(f"zigzag expects 8x8 blocks, got {block.shape}")
+    return np.array([block[r, c] for r, c in ZIGZAG_ORDER], dtype=block.dtype)
+
+
+def inverse_zigzag(scanned: np.ndarray) -> np.ndarray:
+    """Rebuild the 8x8 block from its zigzag-ordered coefficients."""
+    if scanned.shape != (64,):
+        raise CodecError(f"inverse zigzag expects 64 values, got {scanned.shape}")
+    block = np.zeros((8, 8), dtype=scanned.dtype)
+    for value, (r, c) in zip(scanned, ZIGZAG_ORDER):
+        block[r, c] = value
+    return block

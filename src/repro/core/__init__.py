@@ -1,0 +1,33 @@
+"""The paper's contribution: the RFU architectural exploration framework.
+
+Given one encoding run's GetSad trace, the framework replays it under each
+architectural scenario — the optimised baseline, the instruction-level RFU
+scenarios A1/A2/A3, and the loop-level kernels across bandwidth, technology
+scaling and local-storage options — and produces the cycle/stall/speedup
+numbers of the paper's Tables 1–7 on *one common platform*.
+"""
+
+from repro.core.scenarios import (
+    INSTRUCTION_SCENARIOS,
+    LOOP_SCENARIOS,
+    Scenario,
+    all_scenarios,
+    instruction_scenario,
+    loop_scenario,
+)
+from repro.core.timing import MeTimingResult, TraceReplayer
+from repro.core.exploration import ExplorationConfig, Exploration, ExplorationResult
+
+__all__ = [
+    "Exploration",
+    "ExplorationConfig",
+    "ExplorationResult",
+    "INSTRUCTION_SCENARIOS",
+    "LOOP_SCENARIOS",
+    "MeTimingResult",
+    "Scenario",
+    "TraceReplayer",
+    "all_scenarios",
+    "instruction_scenario",
+    "loop_scenario",
+]

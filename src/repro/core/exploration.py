@@ -1,0 +1,138 @@
+"""End-to-end exploration driver: encode once, replay every scenario.
+
+This is the top-level object the experiments and examples use::
+
+    exploration = Exploration(ExplorationConfig(frames=10))
+    result = exploration.run(all_scenarios())
+    print(result.speedup("loop_1x32_b1"))
+
+The encoder runs once (functional, numpy); its GetSad trace then replays
+under each architectural scenario.  Whole-application numbers (the paper's
+25.6 % initial profile and Table 7's %Rel column) combine the ME kernel
+cycles with the non-ME cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.codec.costmodel import CycleCostModel
+from repro.codec.encoder import EncoderConfig, EncoderReport, Mpeg4Encoder
+from repro.codec.motion import ThreeStepSearch
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.core.scenarios import Scenario, instruction_scenario
+from repro.core.timing import MeTimingResult, TraceReplayer
+from repro.errors import ExperimentError
+from repro.memory import MemoryTimings
+
+
+@dataclass
+class ExplorationConfig:
+    """Workload + platform parameters of one exploration run.
+
+    The paper's configuration is 25 QCIF frames at Q = 10; smaller frame
+    counts trade fidelity for runtime (tests use 3-4 frames).
+    """
+
+    frames: int = 25
+    seed: int = 2002
+    qp: int = 10
+    #: initial step of the three-step integer search; 2 puts the diagonal-
+    #: interpolation call fraction near the paper's measured 18 %
+    search_initial_step: int = 2
+    timings: MemoryTimings = field(default_factory=MemoryTimings)
+    cost_model: CycleCostModel = field(default_factory=CycleCostModel)
+
+
+@dataclass
+class ExplorationResult:
+    """Encoder statistics + per-scenario ME timing + whole-app context."""
+
+    config: ExplorationConfig
+    encoder_report: EncoderReport
+    results: Dict[str, MeTimingResult]
+    non_me_cycles: int
+
+    @property
+    def baseline(self) -> MeTimingResult:
+        try:
+            return self.results["orig"]
+        except KeyError:
+            raise ExperimentError(
+                "the baseline 'orig' scenario was not replayed") from None
+
+    def result(self, name: str) -> MeTimingResult:
+        try:
+            return self.results[name]
+        except KeyError:
+            raise ExperimentError(f"scenario {name!r} was not replayed") from None
+
+    def speedup(self, name: str) -> float:
+        """ME-kernel speedup of a scenario over the optimised baseline."""
+        return self.result(name).speedup_over(self.baseline)
+
+    def improvement_percent(self, name: str) -> float:
+        """Cycle reduction of the ME kernel, in percent of the baseline."""
+        baseline = self.baseline.total_cycles
+        return 100.0 * (baseline - self.result(name).total_cycles) / baseline
+
+    def application_cycles(self, name: str) -> int:
+        """Whole-application cycles with this scenario's ME kernel."""
+        return self.non_me_cycles + self.result(name).total_cycles
+
+    def me_fraction(self, name: str) -> float:
+        """GetSad share of the whole application (%Rel of Table 7)."""
+        return self.result(name).total_cycles / self.application_cycles(name)
+
+    def stall_reduction_percent(self, name: str) -> float:
+        """Cache-stall reduction relative to the baseline, in percent."""
+        base = self.baseline.stall_cycles
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.result(name).stall_cycles) / base
+
+
+class Exploration:
+    """Runs the functional encoder once and replays scenarios on demand."""
+
+    def __init__(self, config: Optional[ExplorationConfig] = None):
+        self.config = config or ExplorationConfig()
+        self._report: Optional[EncoderReport] = None
+        self._replayer: Optional[TraceReplayer] = None
+
+    @property
+    def encoder_report(self) -> EncoderReport:
+        if self._report is None:
+            sequence = synthetic_sequence(SyntheticSequenceConfig(
+                frames=self.config.frames, seed=self.config.seed))
+            encoder = Mpeg4Encoder(EncoderConfig(
+                qp=self.config.qp,
+                strategy=ThreeStepSearch(self.config.search_initial_step)))
+            self._report = encoder.encode(sequence)
+        return self._report
+
+    @property
+    def replayer(self) -> TraceReplayer:
+        if self._replayer is None:
+            self._replayer = TraceReplayer(self.encoder_report.trace,
+                                           timings=self.config.timings)
+        return self._replayer
+
+    def non_me_cycles(self) -> int:
+        return self.config.cost_model.non_me_cycles(self.encoder_report.work)
+
+    def run(self, scenarios: Iterable[Scenario],
+            include_baseline: bool = True) -> ExplorationResult:
+        """Replay the listed scenarios (plus the baseline unless disabled)."""
+        scenarios = list(scenarios)
+        if include_baseline and not any(s.name == "orig" for s in scenarios):
+            scenarios.insert(0, instruction_scenario("orig"))
+        results = {scenario.name: self.replayer.replay(scenario)
+                   for scenario in scenarios}
+        return ExplorationResult(
+            config=self.config,
+            encoder_report=self.encoder_report,
+            results=results,
+            non_me_cycles=self.non_me_cycles(),
+        )

@@ -1,0 +1,86 @@
+"""Named architectural scenarios of the exploration (paper §5).
+
+Instruction-level scenarios differ in the GetSad kernel variant executed on
+the core; loop-level scenarios replace the kernel with one long-latency RFU
+instruction and differ in bandwidth, technology scaling β and local
+storage.  Loop-level scenarios extend the prefetch buffer to 64 entries to
+hold the macroblock prefetch-pattern bursts, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ExperimentError
+from repro.rfu.loop_model import Bandwidth, LoopKernelParams
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the architectural space."""
+
+    name: str
+    kind: str                                 # "instruction" | "loop"
+    variant: Optional[str] = None             # instruction kind: kernel variant
+    loop_params: Optional[LoopKernelParams] = None
+    prefetch_entries: int = 8
+    software_prefetch: bool = False           # issue rfupft ahead of each MB
+    #: Line Buffer B organisation (banks x 17 lines); 4 is the paper's
+    lbb_banks: int = 4
+
+    def __post_init__(self):
+        if self.kind == "instruction" and self.variant is None:
+            raise ExperimentError(f"{self.name}: instruction scenario "
+                                  f"needs a kernel variant")
+        if self.kind == "loop" and self.loop_params is None:
+            raise ExperimentError(f"{self.name}: loop scenario needs params")
+        if self.kind not in ("instruction", "loop"):
+            raise ExperimentError(f"{self.name}: unknown kind {self.kind!r}")
+
+
+def instruction_scenario(variant: str) -> Scenario:
+    """Baseline or A1/A2/A3 scenario."""
+    return Scenario(name=variant, kind="instruction", variant=variant)
+
+
+def loop_scenario(bandwidth: Bandwidth, beta: float = 1.0,
+                  line_buffer_b: bool = False,
+                  lbb_banks: int = 4) -> Scenario:
+    """A loop-level kernel scenario (Tables 2 and 7)."""
+    params = LoopKernelParams(bandwidth=bandwidth, beta=beta,
+                              use_line_buffer_b=line_buffer_b)
+    suffix = "+2lb" if line_buffer_b else ""
+    if line_buffer_b and lbb_banks != 4:
+        suffix = f"+2lb{lbb_banks}"
+    return Scenario(
+        name=f"loop_{bandwidth.value}{suffix}_b{beta:g}",
+        kind="loop",
+        loop_params=params,
+        prefetch_entries=64,
+        software_prefetch=True,
+        lbb_banks=lbb_banks,
+    )
+
+
+#: Table 1 scenarios in paper order.
+INSTRUCTION_SCENARIOS: List[Scenario] = [
+    instruction_scenario(variant) for variant in ("orig", "a1", "a2", "a3")
+]
+
+#: Table 2 scenarios in paper order (one line buffer).
+LOOP_SCENARIOS: List[Scenario] = [
+    loop_scenario(bandwidth, beta)
+    for beta in (1.0, 5.0)
+    for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64)
+]
+
+#: Table 7 scenarios (two line buffers; misses served at 1x32).
+TWO_LINE_BUFFER_SCENARIOS: List[Scenario] = [
+    loop_scenario(Bandwidth.B1X32, beta, line_buffer_b=True)
+    for beta in (1.0, 5.0)
+]
+
+
+def all_scenarios() -> List[Scenario]:
+    return INSTRUCTION_SCENARIOS + LOOP_SCENARIOS + TWO_LINE_BUFFER_SCENARIOS

@@ -1,0 +1,238 @@
+"""Trace-driven timing of the ME kernel under each architectural scenario.
+
+The replayer walks one encoding run's GetSad trace in program order and
+charges, per invocation,
+
+* **static cycles** — the shape's measured kernel execution time
+  (instruction-level scenarios) or the RFU loop kernel's pipelined latency
+  (loop-level scenarios), and
+* **stall cycles** — from replaying the invocation's memory accesses
+  through the D-cache / prefetch-buffer / line-buffer models, with the
+  paper's prefetch strategy: the reference macroblock is gathered into
+  Line Buffer A once per macroblock, and the prefetch-pattern for the
+  *next* candidate predictor is issued before computing over the current
+  one (double buffering with Line Buffer B in the Table 7 scenarios).
+
+Instruction-level scenarios share the baseline's memory behaviour (A1/A2/A3
+change computation only), so the baseline stall replay is computed once and
+reused — exactly what the paper's tables imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codec.frame import FrameLayout
+from repro.codec.tracer import MeInvocation, MeTrace
+from repro.core.scenarios import Scenario
+from repro.errors import ExperimentError
+from repro.kernels import KernelLibrary, KernelShape
+from repro.memory import (
+    LineBufferA,
+    LineBufferB,
+    MemorySystem,
+    MemoryTimings,
+)
+from repro.rfu.loop_model import InterpMode, LoopKernelModel, predictor_geometry
+from repro.rfu.prefetch_ops import MacroblockPrefetchEngine
+
+
+@dataclass
+class MeTimingResult:
+    """Timing of the whole ME kernel workload under one scenario."""
+
+    scenario: str
+    static_cycles: int
+    stall_cycles: int
+    invocations: int
+    worst_loop_latency: Optional[int] = None
+    demand_misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_late: int = 0
+    lb_reuse: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.static_cycles + self.stall_cycles
+
+    def speedup_over(self, baseline: "MeTimingResult") -> float:
+        return baseline.total_cycles / self.total_cycles
+
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+class TraceReplayer:
+    """Replays one MeTrace under arbitrary scenarios."""
+
+    #: core cycles around each GetSad call that no scenario removes:
+    #: candidate address generation, the call itself, best-SAD compare and
+    #: motion-vector bookkeeping of the search loop
+    INVOCATION_OVERHEAD = 14
+
+    def __init__(self, trace: MeTrace, layout: Optional[FrameLayout] = None,
+                 timings: Optional[MemoryTimings] = None,
+                 invocation_overhead: Optional[int] = None):
+        self.trace = trace
+        self.layout = layout or FrameLayout()
+        self.base_timings = timings or MemoryTimings()
+        self.invocation_overhead = self.INVOCATION_OVERHEAD \
+            if invocation_overhead is None else invocation_overhead
+        self.stride = self.layout.stride
+        self._plane_bases: Dict[str, int] = {}
+        self._allocate_planes()
+        self._libraries: Dict[str, KernelLibrary] = {}
+        self._instruction_stalls: Optional[Tuple[int, int]] = None
+
+    # -- address plumbing -----------------------------------------------------
+    def _allocate_planes(self) -> None:
+        for frame in self.trace.frames():
+            for name in (f"orig{frame}", f"recon{frame - 1}"):
+                if name not in self._plane_bases:
+                    self._plane_bases[name] = self.layout.allocate(name)
+
+    def _addresses(self, inv: MeInvocation) -> Tuple[int, int, int]:
+        """(pred byte address, alignment, reference MB address)."""
+        pred_base = self._plane_bases[f"recon{inv.frame - 1}"] \
+            + inv.pred_y * self.stride + inv.pred_x
+        ref_base = self._plane_bases[f"orig{inv.frame}"] \
+            + inv.mb_y * self.stride + inv.mb_x
+        return pred_base, pred_base % 4, ref_base
+
+    def _macroblock_groups(self) -> List[List[MeInvocation]]:
+        groups: List[List[MeInvocation]] = []
+        key = None
+        for inv in self.trace:
+            inv_key = (inv.frame, inv.mb_x, inv.mb_y)
+            if inv_key != key:
+                groups.append([])
+                key = inv_key
+            groups[-1].append(inv)
+        return groups
+
+    def _library(self, variant: str) -> KernelLibrary:
+        if variant not in self._libraries:
+            self._libraries[variant] = KernelLibrary(variant)
+        return self._libraries[variant]
+
+    def _timings(self, scenario: Scenario) -> MemoryTimings:
+        base = self.base_timings
+        return MemoryTimings(
+            icache_size=base.icache_size, icache_line=base.icache_line,
+            icache_assoc=base.icache_assoc, dcache_size=base.dcache_size,
+            dcache_line=base.dcache_line, dcache_assoc=base.dcache_assoc,
+            prefetch_entries=scenario.prefetch_entries,
+            bus_latency=base.bus_latency,
+            bus_service_interval=base.bus_service_interval,
+            main_memory_size=base.main_memory_size,
+        )
+
+    # -- instruction-level scenarios ---------------------------------------------
+    def _replay_instruction_stalls(self, scenario: Scenario) -> Tuple[int, int]:
+        """(stall cycles, demand misses) of the baseline memory behaviour."""
+        if self._instruction_stalls is not None:
+            return self._instruction_stalls
+        memory = MemorySystem(self._timings(scenario))
+        dcache = memory.dcache
+        now = 0
+        stride = self.stride
+        for inv in self.trace:
+            pred_base, align, ref_base = self._addresses(inv)
+            rows, words = predictor_geometry(align, inv.mode)
+            word_base = pred_base - align
+            for row in range(rows):
+                row_addr = word_base + row * stride
+                for line in dcache.lines_for_range(row_addr, 4 * words):
+                    now += memory.load_timing(line, now)
+            for row in range(16):
+                now += memory.load_timing(ref_base + row * stride, now)
+            now += 280  # approximate inter-access spacing; stalls dominate
+        self._instruction_stalls = (memory.stats.dcache_stall_cycles,
+                                    memory.stats.demand_miss_stalls)
+        return self._instruction_stalls
+
+    def _replay_instruction(self, scenario: Scenario) -> MeTimingResult:
+        library = self._library(scenario.variant)
+        cache: Dict[Tuple[int, InterpMode], int] = {}
+        static = self.invocation_overhead * len(self.trace)
+        for inv in self.trace:
+            _, align, _ = self._addresses(inv)
+            key = (align, inv.mode)
+            if key not in cache:
+                cache[key] = library.static_cycles(align, inv.mode)
+            static += cache[key]
+        stalls, misses = self._replay_instruction_stalls(scenario)
+        return MeTimingResult(
+            scenario=scenario.name,
+            static_cycles=static,
+            stall_cycles=stalls,
+            invocations=len(self.trace),
+            demand_misses=misses,
+        )
+
+    # -- loop-level scenarios --------------------------------------------------------
+    def _replay_loop(self, scenario: Scenario) -> MeTimingResult:
+        params = scenario.loop_params
+        memory = MemorySystem(self._timings(scenario))
+        line_buffer_a = LineBufferA()
+        line_buffer_b = LineBufferB(memory, banks=scenario.lbb_banks) \
+            if params.use_line_buffer_b else None
+        engine = MacroblockPrefetchEngine(memory, line_buffer_a, line_buffer_b)
+        model = LoopKernelModel(params, memory, line_buffer_a, line_buffer_b,
+                                engine)
+        stride = self.stride
+        now = 0
+        static = stalls = 0
+
+        def prefetch_candidate(inv: MeInvocation, cycle: int) -> None:
+            pred_base, align, _ = self._addresses(inv)
+            rows, words = predictor_geometry(align, inv.mode)
+            word_base = pred_base - align
+            if line_buffer_b is not None:
+                engine.fill_line_buffer_b(word_base, stride, rows, cycle,
+                                          row_bytes=4 * words)
+            else:
+                engine.prefetch_macroblock(word_base, stride, rows, cycle,
+                                           row_bytes=4 * words)
+
+        for group in self._macroblock_groups():
+            _, _, ref_base = self._addresses(group[0])
+            engine.fill_line_buffer_a(ref_base, stride, now)
+            prefetch_candidate(group[0], now)
+            now += 2  # the two rfupft issue slots
+            for index, inv in enumerate(group):
+                now += self.invocation_overhead
+                static += self.invocation_overhead
+                if index + 1 < len(group):
+                    prefetch_candidate(group[index + 1], now)
+                    now += 1
+                pred_base, align, _ = self._addresses(inv)
+                cycles, stall = model.run_invocation(
+                    pred_base, stride, align, inv.mode, now)
+                now += cycles
+                static += cycles - stall
+                stalls += stall
+
+        pf_stats = memory.prefetch_buffer.stats
+        return MeTimingResult(
+            scenario=scenario.name,
+            static_cycles=static,
+            stall_cycles=stalls,
+            invocations=len(self.trace),
+            worst_loop_latency=model.worst_case_latency(),
+            demand_misses=memory.stats.demand_miss_stalls,
+            prefetch_issued=pf_stats.issued + (
+                line_buffer_b.stats.requests if line_buffer_b else 0),
+            prefetch_late=pf_stats.late,
+            lb_reuse=line_buffer_b.stats.reused if line_buffer_b else 0,
+        )
+
+    # -- public API -------------------------------------------------------------------
+    def replay(self, scenario: Scenario) -> MeTimingResult:
+        """Replay the full trace under one scenario."""
+        if not len(self.trace):
+            raise ExperimentError("cannot replay an empty trace")
+        if scenario.kind == "instruction":
+            return self._replay_instruction(scenario)
+        return self._replay_loop(scenario)

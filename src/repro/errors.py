@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """An instruction was malformed or used an unknown opcode/register."""
+
+
+class ScheduleError(ReproError):
+    """The VLIW scheduler could not produce a legal schedule."""
+
+
+class RegisterAllocationError(ReproError):
+    """The register allocator ran out of physical registers."""
+
+
+class MachineError(ReproError):
+    """The cycle-level machine hit an illegal state (bad PC, bad operand...)."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside main memory or violated alignment rules."""
+
+
+class RfuError(ReproError):
+    """Illegal RFU usage: unknown configuration, bad operand count..."""
+
+
+class CodecError(ReproError):
+    """The video codec substrate was misused (bad frame sizes, bad QP...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured inconsistently."""

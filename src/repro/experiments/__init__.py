@@ -1,0 +1,60 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each ``table*.py``/``figures.py`` module regenerates one artefact and
+returns an :class:`~repro.experiments.report.ExperimentTable` carrying both
+our measured values and the paper's reference values for side-by-side
+comparison.  ``runner.run_all`` produces the full EXPERIMENTS.md content.
+"""
+
+from repro.experiments.report import ExperimentTable
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.experiments.profile_experiment import run_profile
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.figures import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+from repro.experiments.futurework import run_futurework
+from repro.experiments.extraction_experiment import run_extraction_experiment
+from repro.experiments.ablations import (
+    run_bus_ablation,
+    run_context_schedule_experiment,
+    run_lbb_capacity_ablation,
+    run_reconfiguration_ablation,
+    run_search_ablation,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentTable",
+    "get_context",
+    "run_all",
+    "run_bus_ablation",
+    "run_context_schedule_experiment",
+    "run_extraction_experiment",
+    "run_futurework",
+    "run_lbb_capacity_ablation",
+    "run_reconfiguration_ablation",
+    "run_search_ablation",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_profile",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+]

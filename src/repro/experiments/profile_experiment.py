@@ -1,0 +1,36 @@
+"""Section 4's initial profile: GetSad() share of the whole application.
+
+The paper measures 25.6 % of execution time in GetSad() on the optimised
+reference code before any RFU work; this experiment reproduces that
+denominator (ME kernel cycles vs the non-ME cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.report import ExperimentTable, pct
+from repro.experiments.workload import ExperimentContext, get_context
+
+PAPER_FRACTION = 0.256
+
+
+def run_profile(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    trace = context.exploration.encoder_report.trace
+    table = ExperimentTable(
+        experiment_id="profile",
+        title="Initial application profile (GetSad share, §4)",
+        columns=["quantity", "measured", "paper"],
+        paper_reference="25.6% of execution time spent in GetSad()",
+    )
+    table.add_row("GetSad cycles", f"{baseline.total_cycles:,}", "-")
+    table.add_row("non-ME cycles", f"{context.non_me_cycles():,}", "-")
+    fraction = baseline.total_cycles / (baseline.total_cycles
+                                        + context.non_me_cycles())
+    table.add_row("GetSad fraction", pct(fraction), pct(PAPER_FRACTION))
+    table.add_row("GetSad invocations", f"{baseline.invocations:,}", "-")
+    table.add_row("diagonal-interp call fraction",
+                  pct(trace.diagonal_fraction()), "18.0%")
+    return table

@@ -1,0 +1,72 @@
+"""Text rendering of reproduced tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced artefact: measured rows plus the paper's reference."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    paper_reference: str = ""
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.rjust(width)
+                              for cell, width in zip(cells, widths))
+
+        out = [f"{self.experiment_id}: {self.title}"]
+        out.append(line(self.columns))
+        out.append("-+-".join("-" * width for width in widths))
+        out.extend(line(row) for row in self.rows)
+        if self.paper_reference:
+            out.append(f"paper: {self.paper_reference}")
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+    def cell(self, row: int, column_name: str) -> str:
+        return self.rows[row][self.columns.index(column_name)]
+
+
+@dataclass
+class ExperimentFigure:
+    """One reproduced figure, rendered as text."""
+
+    experiment_id: str
+    title: str
+    lines: List[str] = field(default_factory=list)
+    paper_reference: str = ""
+
+    def add(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def render(self) -> str:
+        out = [f"{self.experiment_id}: {self.title}"]
+        out.extend(self.lines)
+        if self.paper_reference:
+            out.append(f"paper: {self.paper_reference}")
+        return "\n".join(out)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def pct(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,44 @@
+"""Table 2: loop-level results across bandwidth and technology scaling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable, fmt
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+#: the paper's Table 2 speedups (one line buffer)
+PAPER_SPEEDUP = {
+    ("1x32", 1.0): 3.18, ("1x64", 1.0): 4.26, ("2x64", 1.0): 5.29,
+    ("1x32", 5.0): 2.74,
+}
+
+
+def run_table2(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    table = ExperimentTable(
+        experiment_id="table2",
+        title="Loop-level optimizations, one line buffer",
+        columns=["bandwidth", "b", "Lat", "Cycles", "S.Up", "paper S.Up"],
+        paper_reference="b=1: 3.18 / 4.26 / 5.29 for 1x32 / 1x64 / 2x64; "
+                        "b=5 1x32: 2.74; latency grows by a fixed +12 "
+                        "cycles at b=5",
+    )
+    table.add_row("Orig", "-", "-", f"{baseline.total_cycles:,}", "1.00", "-")
+    for beta in (1.0, 5.0):
+        for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+            scenario = loop_scenario(bandwidth, beta)
+            result = context.result(scenario)
+            paper = PAPER_SPEEDUP.get((bandwidth.value, beta))
+            table.add_row(
+                bandwidth.value,
+                f"{beta:g}",
+                result.worst_loop_latency,
+                f"{result.total_cycles:,}",
+                fmt(result.speedup_over(baseline)),
+                "-" if paper is None else fmt(paper),
+            )
+    return table

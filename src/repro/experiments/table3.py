@@ -1,0 +1,43 @@
+"""Table 3: relative latency increase and speedup reduction when b 1 -> 5."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable, fmt
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+#: the paper reports a fixed +12-cycle latency growth and a speedup
+#: reduction of -21.2% in the 2x64 case
+PAPER_SPEEDUP_REDUCTION_2X64 = -21.2
+
+
+def run_table3(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    table = ExperimentTable(
+        experiment_id="table3",
+        title="Static latency increase vs speedup reduction (b: 1 -> 5)",
+        columns=["bandwidth", "Lat b=1", "Lat b=5", "%Increased Latency",
+                 "%SpeedUp Reduction"],
+        paper_reference="latency increase is a fixed +12 cycles, so its "
+                        "relative weight (and the speedup loss) grows with "
+                        "bandwidth; 2x64 loses 21.2%",
+    )
+    for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+        fast = context.result(loop_scenario(bandwidth, 1.0))
+        slow = context.result(loop_scenario(bandwidth, 5.0))
+        lat_fast = fast.worst_loop_latency
+        lat_slow = slow.worst_loop_latency
+        speedup_fast = fast.speedup_over(baseline)
+        speedup_slow = slow.speedup_over(baseline)
+        table.add_row(
+            bandwidth.value,
+            lat_fast,
+            lat_slow,
+            f"+{100.0 * (lat_slow - lat_fast) / lat_fast:.1f}%",
+            f"{-100.0 * (speedup_fast - speedup_slow) / speedup_fast:.1f}%",
+        )
+    return table

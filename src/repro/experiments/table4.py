@@ -1,0 +1,32 @@
+"""Table 4: ME cache stalls with one line buffer, per bandwidth and b."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+
+def run_table4(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    table = ExperimentTable(
+        experiment_id="table4",
+        title="ME D$ stall cycles, one line buffer (reduction vs Orig)",
+        columns=["scenario", "b", "stall cycles", "%Red"],
+        paper_reference="stalls are greater in the 64-bit cases than the "
+                        "32-bit one (shorter loops narrow the prefetch "
+                        "window); scaling the technology reduces stalls",
+    )
+    table.add_row("Orig", "-", f"{baseline.stall_cycles:,}", "-")
+    for beta in (1.0, 5.0):
+        for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+            result = context.result(loop_scenario(bandwidth, beta))
+            reduction = 100.0 * (baseline.stall_cycles - result.stall_cycles) \
+                / baseline.stall_cycles if baseline.stall_cycles else 0.0
+            table.add_row(bandwidth.value, f"{beta:g}",
+                          f"{result.stall_cycles:,}", f"{reduction:.1f}%")
+    return table

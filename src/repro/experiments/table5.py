@@ -1,0 +1,34 @@
+"""Table 5: cache stalls as a percentage of total ME execution time."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable, pct
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+#: paper values: Orig 1.96%; with the loop kernels the share grows with
+#: bandwidth (up to 26.3%)
+PAPER_ORIG_PERCENT = 1.96
+
+
+def run_table5(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    table = ExperimentTable(
+        experiment_id="table5",
+        title="Cache stalls as % of total ME execution time",
+        columns=["scenario", "b=1", "b=5"],
+        paper_reference="Orig 1.96%; loop kernels: the stall share grows "
+                        "with bandwidth (paper column peaks at 26.3% for "
+                        "2x64) and shrinks under technology scaling",
+    )
+    table.add_row("Orig", pct(baseline.stall_fraction()), "-")
+    for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+        fast = context.result(loop_scenario(bandwidth, 1.0))
+        slow = context.result(loop_scenario(bandwidth, 5.0))
+        table.add_row(bandwidth.value, pct(fast.stall_fraction()),
+                      pct(slow.stall_fraction()))
+    return table

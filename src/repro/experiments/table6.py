@@ -1,0 +1,37 @@
+"""Table 6: theoretical (no-cache) vs experimental speedups."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable, fmt
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+
+def run_table6(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    table = ExperimentTable(
+        experiment_id="table6",
+        title="Theoretical speedup (ideal 100% hit) vs experimental",
+        columns=["bandwidth", "b", "StaticCycles", "Th.S.Up", "S.Up", "Ratio"],
+        paper_reference="the experimental result is always above 57% of the "
+                        "theoretical one, and the ratio degrades as more "
+                        "bandwidth is available (cache stalls grow)",
+    )
+    for beta in (1.0, 5.0):
+        for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+            result = context.result(loop_scenario(bandwidth, beta))
+            theoretical = baseline.total_cycles / result.static_cycles
+            measured = result.speedup_over(baseline)
+            table.add_row(
+                bandwidth.value,
+                f"{beta:g}",
+                f"{result.static_cycles:,}",
+                fmt(theoretical),
+                fmt(measured),
+                f"{100.0 * measured / theoretical:.1f}%",
+            )
+    return table

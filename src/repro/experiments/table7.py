@@ -1,0 +1,49 @@
+"""Table 7: two line buffers (double-buffered, fully-associative LB B)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenarios import loop_scenario
+from repro.experiments.report import ExperimentTable, fmt, pct
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+#: the paper's Table 7: S.Up 8.0 (b=1) / 5.4 (b=5); %Rel drops from 25.6%
+#: to 4.14% / 6.1%; stall reduction of at least 60%
+PAPER = {1.0: {"speedup": 8.0, "rel": 4.14}, 5.0: {"speedup": 5.4, "rel": 6.1}}
+
+
+def run_table7(context: Optional[ExperimentContext] = None) -> ExperimentTable:
+    context = context or get_context()
+    baseline = context.baseline()
+    non_me = context.non_me_cycles()
+    table = ExperimentTable(
+        experiment_id="table7",
+        title="Two line buffers: ME results",
+        columns=["scenario", "Lat", "ExCycles", "S.Up", "paper S.Up",
+                 "%Rel", "Stalls", "%Red"],
+        paper_reference="S.Up 8.0 / 5.4; GetSad falls from 25.6% of the "
+                        "application to 4.14% / 6.1%; stall reduction "
+                        ">= 60% thanks to LB B reuse",
+    )
+    orig_rel = baseline.total_cycles / (baseline.total_cycles + non_me)
+    table.add_row("Orig", "-", f"{baseline.total_cycles:,}", "1.00", "-",
+                  pct(orig_rel), f"{baseline.stall_cycles:,}", "-")
+    for beta in (1.0, 5.0):
+        scenario = loop_scenario(Bandwidth.B1X32, beta, line_buffer_b=True)
+        result = context.result(scenario)
+        rel = result.total_cycles / (result.total_cycles + non_me)
+        reduction = 100.0 * (baseline.stall_cycles - result.stall_cycles) \
+            / baseline.stall_cycles if baseline.stall_cycles else 0.0
+        table.add_row(
+            f"b={beta:g}",
+            result.worst_loop_latency,
+            f"{result.total_cycles:,}",
+            fmt(result.speedup_over(baseline)),
+            fmt(PAPER[beta]["speedup"]),
+            pct(rel),
+            f"{result.stall_cycles:,}",
+            f"{reduction:.1f}%",
+        )
+    return table

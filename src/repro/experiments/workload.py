@@ -1,0 +1,73 @@
+"""Shared experiment workload: one encoder run + cached scenario replays.
+
+Every table of the paper derives from the same encoding run; this module
+caches the :class:`~repro.core.exploration.Exploration` and its replayed
+scenarios so running all experiments (or all benchmarks) encodes once and
+replays each scenario once.
+
+The default workload is the paper's: 25 QCIF frames at Q = 10.  Pass a
+smaller ``frames`` for quick runs (the tests use 3-4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.exploration import Exploration, ExplorationConfig, ExplorationResult
+from repro.core.scenarios import Scenario, instruction_scenario
+from repro.core.timing import MeTimingResult
+
+DEFAULT_FRAMES = 25
+
+
+class ExperimentContext:
+    """Lazily replayed scenario results over one shared encoding run."""
+
+    def __init__(self, config: Optional[ExplorationConfig] = None):
+        self.exploration = Exploration(config or ExplorationConfig())
+        self._results: Dict[str, MeTimingResult] = {}
+
+    @property
+    def config(self) -> ExplorationConfig:
+        return self.exploration.config
+
+    def result(self, scenario: Scenario) -> MeTimingResult:
+        if scenario.name not in self._results:
+            self._results[scenario.name] = \
+                self.exploration.replayer.replay(scenario)
+        return self._results[scenario.name]
+
+    def baseline(self) -> MeTimingResult:
+        return self.result(instruction_scenario("orig"))
+
+    def speedup(self, scenario: Scenario) -> float:
+        return self.result(scenario).speedup_over(self.baseline())
+
+    def non_me_cycles(self) -> int:
+        return self.exploration.non_me_cycles()
+
+    def me_fraction(self, scenario: Scenario) -> float:
+        me = self.result(scenario).total_cycles
+        return me / (me + self.non_me_cycles())
+
+    def as_result(self) -> ExplorationResult:
+        """Snapshot of everything replayed so far."""
+        return ExplorationResult(
+            config=self.config,
+            encoder_report=self.exploration.encoder_report,
+            results=dict(self._results),
+            non_me_cycles=self.non_me_cycles(),
+        )
+
+
+_CONTEXTS: Dict[Tuple[int, int], ExperimentContext] = {}
+
+
+def get_context(frames: int = DEFAULT_FRAMES,
+                seed: int = 2002) -> ExperimentContext:
+    """Process-wide context cache keyed by workload size."""
+    key = (frames, seed)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = ExperimentContext(
+            ExplorationConfig(frames=frames, seed=seed))
+    return _CONTEXTS[key]

@@ -1,0 +1,37 @@
+"""ST200/Lx-like instruction set architecture definitions.
+
+This subpackage defines the register model (64 32-bit general-purpose
+registers, 8 1-bit branch registers), the opcode table with per-opcode
+latency and resource class, and the ``Operation``/``Bundle`` containers the
+scheduler and the cycle-level machine share.
+"""
+
+from repro.isa.registers import (
+    BranchRegister,
+    GeneralRegister,
+    Register,
+    VirtualRegister,
+    ZERO,
+    gpr,
+    br,
+    vreg,
+)
+from repro.isa.opcodes import OPCODES, OpSpec, Resource, opcode_spec
+from repro.isa.instruction import Bundle, Operation
+
+__all__ = [
+    "BranchRegister",
+    "Bundle",
+    "GeneralRegister",
+    "OPCODES",
+    "OpSpec",
+    "Operation",
+    "Register",
+    "Resource",
+    "VirtualRegister",
+    "ZERO",
+    "br",
+    "gpr",
+    "opcode_spec",
+    "vreg",
+]

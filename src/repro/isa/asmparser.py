@@ -1,0 +1,195 @@
+"""Text assembly frontend for the ST200+RFU IR.
+
+Kernels can be written as plain text instead of through
+:class:`~repro.program.builder.KernelBuilder`::
+
+    kernel sum8
+    params base
+    persistent acc, n
+
+    block init:
+        movi n = #8
+        movi acc = #0
+    block loop:
+        ldw t0 = base, #0
+        add acc = acc, t0
+        addi base = base, #4
+        addi n = n, #-1
+        cmpnei c = n, #0
+        br c, loop
+    result acc
+
+Syntax:
+
+* ``kernel <name>`` — starts a program (required, first directive);
+* ``params a, b`` / ``persistent x, y`` / ``result r`` — declarations;
+* ``block <label>:`` — opens a basic block;
+* operations: ``op dest = src1, src2, #imm`` (destination and ``=`` only
+  for value-producing opcodes; immediates prefixed ``#``);
+* branches: ``br cond, <label>`` / ``brf cond, <label>`` / ``goto <label>``;
+* RFU operations carry their configuration as ``cfg=<n>``:
+  ``rfuexec d = a, b, cfg=3``;
+* a trailing ``!tag`` attaches a memory alias tag: ``ldw t = p, #0 !frame``;
+* ``;`` or ``#`` at line start / ``//`` anywhere starts a comment.
+
+Operand names are virtual registers, created on first mention; names
+listed under ``params``/``persistent`` (and the result) become pinned
+registers exactly as with the builder API.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IsaError
+from repro.isa.instruction import Operation
+from repro.isa.opcodes import opcode_spec
+from repro.isa.registers import VirtualRegister, vreg
+from repro.program.ir import BasicBlock, Program
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_NAME_RE = re.compile(rf"^{_NAME}$")
+
+
+class _ParserState:
+    def __init__(self, line_number: int = 0):
+        self.program: Optional[Program] = None
+        self.block: Optional[BasicBlock] = None
+        self.registers: Dict[str, VirtualRegister] = {}
+        self.line_number = line_number
+
+    def error(self, message: str) -> IsaError:
+        return IsaError(f"asm line {self.line_number}: {message}")
+
+    def register(self, name: str, is_branch: bool = False) -> VirtualRegister:
+        if not _NAME_RE.match(name):
+            raise self.error(f"bad register name {name!r}")
+        if name not in self.registers:
+            self.registers[name] = vreg(name, is_branch=is_branch)
+        return self.registers[name]
+
+
+def _strip_comment(line: str) -> str:
+    line = line.split("//", 1)[0]
+    stripped = line.strip()
+    if stripped.startswith((";", "#")):
+        return ""
+    return stripped
+
+
+def _parse_operand_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_operation(state: _ParserState, line: str) -> Operation:
+    mem_tag = None
+    if "!" in line:
+        line, _, tag = line.rpartition("!")
+        mem_tag = tag.strip()
+        line = line.strip()
+
+    dest_name = None
+    dest_form = re.match(rf"^({_NAME})\s+({_NAME})\s*=\s*(.*)$", line)
+    if dest_form:
+        opcode, dest_name, rest = dest_form.groups()
+        rest = rest.strip()
+    else:
+        tokens = line.split(None, 1)
+        opcode = tokens[0]
+        rest = tokens[1].strip() if len(tokens) > 1 else ""
+
+    spec = opcode_spec(opcode)
+    items = _parse_operand_list(rest)
+    label: Optional[str] = None
+    if spec.is_branch:
+        if not items or items[-1].startswith(("#", "cfg=")):
+            raise state.error(f"{opcode} needs a target label last")
+        label = items.pop()
+    srcs: List[VirtualRegister] = []
+    imm: Optional[int] = None
+    for item in items:
+        if item.startswith("#"):
+            if imm is not None:
+                raise state.error("more than one immediate")
+            try:
+                imm = int(item[1:], 0)
+            except ValueError:
+                raise state.error(f"bad immediate {item!r}") from None
+        elif item.startswith("cfg="):
+            if imm is not None:
+                raise state.error("both cfg= and an immediate given")
+            imm = int(item[4:], 0)
+        else:
+            srcs.append(state.register(
+                item, is_branch=spec.is_branch and not srcs))
+    dest = None
+    if spec.has_dest:
+        if dest_name is None:
+            raise state.error(f"{opcode} needs a destination ('op d = ...')")
+        dest = state.register(dest_name, is_branch=spec.writes_branch_reg)
+    elif dest_name is not None:
+        raise state.error(f"{opcode} does not produce a value")
+    if spec.is_branch:
+        # branches encode the target as a label; imm stays unused
+        return Operation(opcode=opcode, dest=None, srcs=tuple(srcs),
+                         imm=imm or 0, label=label, mem_tag=mem_tag)
+    return Operation(opcode=opcode, dest=dest, srcs=tuple(srcs), imm=imm,
+                     label=label, mem_tag=mem_tag)
+
+
+def parse_program(text: str) -> Program:
+    """Parse assembly text into a validated :class:`Program`."""
+    state = _ParserState()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        state.line_number = line_number
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        directive, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if directive == "kernel":
+            if state.program is not None:
+                raise state.error("duplicate 'kernel' directive")
+            if not rest:
+                raise state.error("kernel needs a name")
+            state.program = Program(rest)
+            continue
+        if state.program is None:
+            raise state.error("text must start with 'kernel <name>'")
+        if directive == "params":
+            for name in _parse_operand_list(rest):
+                reg = state.register(name)
+                state.program.params.append(reg)
+                state.program.persistent.add(reg)
+        elif directive == "persistent":
+            for name in _parse_operand_list(rest):
+                state.program.persistent.add(state.register(name))
+        elif directive == "result":
+            names = _parse_operand_list(rest)
+            if len(names) != 1:
+                raise state.error("result takes exactly one register")
+            reg = state.register(names[0])
+            state.program.result = reg
+            state.program.persistent.add(reg)
+        elif directive == "block":
+            label = rest.rstrip(":").strip()
+            if not label:
+                raise state.error("block needs a label")
+            if any(blk.label == label for blk in state.program.blocks):
+                raise state.error(f"duplicate block label {label!r}")
+            state.block = BasicBlock(label)
+            state.program.blocks.append(state.block)
+        else:
+            if state.block is None:
+                raise state.error("operation outside of a block")
+            try:
+                state.block.append(_parse_operation(state, line))
+            except IsaError as exc:
+                if str(exc).startswith("asm line"):
+                    raise
+                raise state.error(str(exc)) from exc
+    if state.program is None:
+        raise IsaError("empty assembly text")
+    state.program.validate()
+    return state.program

@@ -1,0 +1,105 @@
+"""Operation and Bundle containers shared by the scheduler and the machine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import IsaError
+from repro.isa.opcodes import OpSpec, opcode_spec
+from repro.isa.registers import Register
+
+_OP_IDS = itertools.count()
+
+
+@dataclass
+class Operation:
+    """One VLIW operation (a *syllable* in Lx terminology).
+
+    ``srcs``/``dest`` hold :class:`Register` objects — virtual before register
+    allocation, architectural after.  ``imm`` carries immediates, branch
+    target labels, or the RFU configuration id depending on the opcode.
+    ``mem_tag`` groups memory operations that may alias: memory operations in
+    the same tag group keep their program order; differently-tagged groups may
+    be reordered freely by the scheduler.
+    """
+
+    opcode: str
+    dest: Optional[Register] = None
+    srcs: Tuple[Register, ...] = ()
+    imm: Optional[int] = None
+    label: Optional[str] = None
+    mem_tag: Optional[str] = None
+    comment: str = ""
+    uid: int = field(default_factory=lambda: next(_OP_IDS))
+
+    def __post_init__(self) -> None:
+        self.srcs = tuple(self.srcs)
+        spec = self.spec  # validates the opcode
+        if spec.num_srcs >= 0 and len(self.srcs) != spec.num_srcs:
+            raise IsaError(
+                f"{self.opcode} expects {spec.num_srcs} sources, "
+                f"got {len(self.srcs)}")
+        if spec.has_dest and self.dest is None:
+            raise IsaError(f"{self.opcode} requires a destination register")
+        if not spec.has_dest and self.dest is not None:
+            raise IsaError(f"{self.opcode} does not write a destination")
+        if spec.is_branch and self.label is None:
+            raise IsaError(f"{self.opcode} requires a target label")
+
+    @property
+    def spec(self) -> OpSpec:
+        return opcode_spec(self.opcode)
+
+    def renamed(self, mapping) -> "Operation":
+        """Return a copy with registers rewritten through ``mapping``."""
+        return Operation(
+            opcode=self.opcode,
+            dest=mapping(self.dest) if self.dest is not None else None,
+            srcs=tuple(mapping(src) for src in self.srcs),
+            imm=self.imm,
+            label=self.label,
+            mem_tag=self.mem_tag,
+            comment=self.comment,
+        )
+
+    def __repr__(self) -> str:
+        parts = [self.opcode]
+        if self.dest is not None:
+            parts.append(f"{self.dest} =")
+        parts.extend(str(src) for src in self.srcs)
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.label is not None:
+            parts.append(f"-> {self.label}")
+        return " ".join(parts)
+
+
+@dataclass
+class Bundle:
+    """The set of operations issued in one cycle (at most ``issue_width``)."""
+
+    ops: List[Operation] = field(default_factory=list)
+
+    #: Encoded size in bytes: 4 syllables x 4 bytes, the fetch granule used
+    #: by the instruction-cache model.
+    SIZE_BYTES = 16
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        body = " ; ".join(repr(op) for op in self.ops) or "nop"
+        return f"{{ {body} }}"
+
+
+def format_schedule(bundles: Sequence[Bundle]) -> str:
+    """Render a bundle sequence as readable VLIW assembly, one cycle per line."""
+    lines = []
+    for cycle, bundle in enumerate(bundles):
+        lines.append(f"{cycle:4d}: {bundle!r}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Opcode table: per-opcode latency, resource class and operand signature.
+
+The resource model matches the paper's 1-cluster ST200: a 4-issue datapath
+with 4 integer ALUs, 2 multipliers (16x32), 1 load/store unit and 1 branch
+unit.  The Reconfigurable Functional Unit (RFU) is an additional resource
+class; RFU operation latency is configuration-dependent and resolved by the
+scheduler/machine through the RFU registry, so the table stores latency
+``None`` for those opcodes.
+
+Latencies are producer-to-consumer distances in cycles (a latency-1 op's
+result is available to an op issued in the next cycle), matching an
+exposed-pipeline VLIW where the compiler schedules around latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import IsaError
+
+
+class Resource(enum.Enum):
+    """Functional-unit classes an operation can occupy for one cycle."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LSU = "lsu"
+    BRANCH = "branch"
+    RFU = "rfu"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    resource: Resource
+    latency: Optional[int]
+    num_srcs: int
+    has_dest: bool
+    has_imm: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_prefetch: bool = False
+    is_branch: bool = False
+    writes_branch_reg: bool = False
+    commutative: bool = False
+    description: str = ""
+
+
+#: Load-use latency on a D-cache hit (ST200-class short pipeline).
+LOAD_LATENCY = 3
+#: Multiplier latency.
+MUL_LATENCY = 3
+#: Compare-to-branch-register latency.
+COMPARE_LATENCY = 2
+
+_SPECS = [
+    # --- integer ALU ------------------------------------------------------
+    OpSpec("add", Resource.ALU, 1, 2, True, commutative=True,
+           description="32-bit add"),
+    OpSpec("sub", Resource.ALU, 1, 2, True, description="32-bit subtract"),
+    OpSpec("and", Resource.ALU, 1, 2, True, commutative=True,
+           description="bitwise and"),
+    OpSpec("or", Resource.ALU, 1, 2, True, commutative=True,
+           description="bitwise or"),
+    OpSpec("xor", Resource.ALU, 1, 2, True, commutative=True,
+           description="bitwise xor"),
+    OpSpec("shl", Resource.ALU, 1, 2, True, description="shift left"),
+    OpSpec("shr", Resource.ALU, 1, 2, True,
+           description="logical shift right"),
+    OpSpec("sra", Resource.ALU, 1, 2, True,
+           description="arithmetic shift right"),
+    OpSpec("min", Resource.ALU, 1, 2, True, commutative=True,
+           description="signed minimum"),
+    OpSpec("max", Resource.ALU, 1, 2, True, commutative=True,
+           description="signed maximum"),
+    OpSpec("mov", Resource.ALU, 1, 1, True, description="register copy"),
+    OpSpec("movi", Resource.ALU, 1, 0, True, has_imm=True,
+           description="load immediate"),
+    OpSpec("addi", Resource.ALU, 1, 1, True, has_imm=True,
+           description="add immediate"),
+    OpSpec("shli", Resource.ALU, 1, 1, True, has_imm=True,
+           description="shift left by immediate"),
+    OpSpec("shri", Resource.ALU, 1, 1, True, has_imm=True,
+           description="logical shift right by immediate"),
+    OpSpec("andi", Resource.ALU, 1, 1, True, has_imm=True,
+           description="and with immediate"),
+    # --- compares (write a 1-bit branch register) -------------------------
+    OpSpec("cmpeq", Resource.ALU, COMPARE_LATENCY, 2, True,
+           writes_branch_reg=True, commutative=True,
+           description="compare equal -> BR"),
+    OpSpec("cmpne", Resource.ALU, COMPARE_LATENCY, 2, True,
+           writes_branch_reg=True, commutative=True,
+           description="compare not-equal -> BR"),
+    OpSpec("cmplt", Resource.ALU, COMPARE_LATENCY, 2, True,
+           writes_branch_reg=True, description="signed less-than -> BR"),
+    OpSpec("cmpltu", Resource.ALU, COMPARE_LATENCY, 2, True,
+           writes_branch_reg=True, description="unsigned less-than -> BR"),
+    OpSpec("cmpgei", Resource.ALU, COMPARE_LATENCY, 1, True, has_imm=True,
+           writes_branch_reg=True,
+           description="signed greater-equal immediate -> BR"),
+    OpSpec("cmpnei", Resource.ALU, COMPARE_LATENCY, 1, True, has_imm=True,
+           writes_branch_reg=True,
+           description="compare not-equal immediate -> BR"),
+    # --- multiplier -------------------------------------------------------
+    OpSpec("mul", Resource.MUL, MUL_LATENCY, 2, True, commutative=True,
+           description="16x32 multiply (low 32 bits)"),
+    OpSpec("mulh", Resource.MUL, MUL_LATENCY, 2, True,
+           description="16x32 multiply, operand b high half"),
+    # --- SIMD subword (execute on the ALUs, 4x8-bit / 2x16-bit lanes) -----
+    OpSpec("add4", Resource.ALU, 1, 2, True, commutative=True,
+           description="4x8-bit modular add"),
+    OpSpec("addus4", Resource.ALU, 1, 2, True, commutative=True,
+           description="4x8-bit unsigned saturating add"),
+    OpSpec("sub4", Resource.ALU, 1, 2, True,
+           description="4x8-bit modular subtract"),
+    OpSpec("absd4", Resource.ALU, 1, 2, True, commutative=True,
+           description="4x8-bit absolute difference"),
+    OpSpec("avg4", Resource.ALU, 1, 2, True, commutative=True,
+           description="4x8-bit rounded average (a+b+1)>>1"),
+    OpSpec("sad4", Resource.ALU, 1, 2, True, commutative=True,
+           description="sum of 4 absolute byte differences -> scalar"),
+    OpSpec("add2", Resource.ALU, 1, 2, True, commutative=True,
+           description="2x16-bit modular add"),
+    OpSpec("unpkl2", Resource.ALU, 1, 1, True,
+           description="zero-extend low 2 bytes to 2x16-bit lanes"),
+    OpSpec("unpkh2", Resource.ALU, 1, 1, True,
+           description="zero-extend high 2 bytes to 2x16-bit lanes"),
+    OpSpec("pack4", Resource.ALU, 1, 2, True,
+           description="narrow 2+2 16-bit lanes to 4x8-bit with truncation"),
+    # --- memory -----------------------------------------------------------
+    OpSpec("ldw", Resource.LSU, LOAD_LATENCY, 1, True, has_imm=True,
+           is_load=True, description="load 32-bit word (base + imm)"),
+    OpSpec("ldb", Resource.LSU, LOAD_LATENCY, 1, True, has_imm=True,
+           is_load=True, description="load zero-extended byte"),
+    OpSpec("stw", Resource.LSU, 1, 2, False, has_imm=True, is_store=True,
+           description="store 32-bit word (srcs: value, base) + imm"),
+    OpSpec("stb", Resource.LSU, 1, 2, False, has_imm=True, is_store=True,
+           description="store low byte (srcs: value, base) + imm"),
+    OpSpec("pft", Resource.LSU, 1, 1, True, has_imm=True, is_prefetch=True,
+           description="prefetch cache line at base + imm (non-blocking); "
+                       "dest unused"),
+    # --- branch unit ------------------------------------------------------
+    OpSpec("br", Resource.BRANCH, 1, 1, False, has_imm=True, is_branch=True,
+           description="branch to label (imm) if BR source is true"),
+    OpSpec("brf", Resource.BRANCH, 1, 1, False, has_imm=True, is_branch=True,
+           description="branch to label (imm) if BR source is false"),
+    OpSpec("goto", Resource.BRANCH, 1, 0, False, has_imm=True, is_branch=True,
+           description="unconditional branch to label (imm)"),
+    # --- RFU custom operations (latency from the configuration) -----------
+    OpSpec("rfuinit", Resource.RFU, None, -1, False, has_imm=True,
+           description="activate RFU configuration #imm; optional operands "
+                       "set implicit configuration state"),
+    OpSpec("rfusend", Resource.RFU, None, -1, False, has_imm=True,
+           description="send explicit operands to RFU configuration #imm"),
+    OpSpec("rfuexec", Resource.RFU, None, -1, True, has_imm=True,
+           description="execute RFU configuration #imm, write dest"),
+    OpSpec("rfupft", Resource.RFU, None, -1, False, has_imm=True,
+           is_prefetch=True,
+           description="RFU prefetch-pattern instruction (non-blocking)"),
+]
+
+OPCODES: Dict[str, OpSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def opcode_spec(name: str) -> OpSpec:
+    """Look up an opcode's :class:`OpSpec`, raising :class:`IsaError`."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise IsaError(f"unknown opcode {name!r}") from None

@@ -1,0 +1,85 @@
+"""Register model of the single-cluster ST200.
+
+The paper's cluster has 64 32-bit general-purpose registers (``$r0`` is
+hardwired to zero, as on Lx) and 8 1-bit branch registers holding branch
+conditions, predicates and carries.
+
+The scheduler works on :class:`VirtualRegister` names; the register allocator
+rewrites them to :class:`GeneralRegister`/:class:`BranchRegister` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+NUM_GPR = 64
+NUM_BR = 8
+
+
+@dataclass(frozen=True)
+class Register:
+    """Base class for architectural and virtual registers."""
+
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class GeneralRegister(Register):
+    """A 32-bit general purpose register ``$r0 .. $r63``."""
+
+    def __repr__(self) -> str:
+        return f"$r{self.index}"
+
+
+@dataclass(frozen=True)
+class BranchRegister(Register):
+    """A 1-bit branch/predicate register ``$b0 .. $b7``."""
+
+    def __repr__(self) -> str:
+        return f"$b{self.index}"
+
+
+@dataclass(frozen=True)
+class VirtualRegister(Register):
+    """An unallocated register name produced by the kernel builders.
+
+    ``is_branch`` selects the target bank (GPR vs BR) for allocation.
+    """
+
+    name: str = ""
+    is_branch: bool = False
+
+    def __repr__(self) -> str:
+        prefix = "%b" if self.is_branch else "%v"
+        return f"{prefix}{self.name or self.index}"
+
+
+def gpr(index: int) -> GeneralRegister:
+    """Return the architectural GPR ``$r<index>``, validating the range."""
+    if not 0 <= index < NUM_GPR:
+        raise IsaError(f"GPR index {index} out of range 0..{NUM_GPR - 1}")
+    return GeneralRegister(index)
+
+
+def br(index: int) -> BranchRegister:
+    """Return the architectural branch register ``$b<index>``."""
+    if not 0 <= index < NUM_BR:
+        raise IsaError(f"BR index {index} out of range 0..{NUM_BR - 1}")
+    return BranchRegister(index)
+
+
+#: ``$r0`` is hardwired to zero; writes to it are discarded.
+ZERO = gpr(0)
+
+_VREG_COUNTER = [0]
+
+
+def vreg(name: str = "", is_branch: bool = False) -> VirtualRegister:
+    """Create a fresh virtual register with an optional debug name."""
+    _VREG_COUNTER[0] += 1
+    return VirtualRegister(_VREG_COUNTER[0], name, is_branch)

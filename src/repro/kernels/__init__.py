@@ -1,0 +1,37 @@
+"""GetSad() kernels for the ST200+RFU, one specialised program per shape.
+
+A *shape* is the pair (predictor alignment 0..3, interpolation mode); the
+reference C code branches on it once per call, so each shape executes a
+distinct straight-line row body — exactly the situation where building one
+specialised kernel per shape mirrors what the trace-scheduling compiler
+sees.  Variants:
+
+* ``orig`` — the paper's optimised baseline using the basic SIMD subset
+  (absd4/sad4/add2/unpk/pack, but no single-cycle average);
+* ``a1``  — diagonal interpolation via the A1 RFU instruction pair
+  (stash-and-combine rounded averages), up to 4 RFU ops/cycle;
+* ``a2``  — diagonal interpolation via the DIAG4 configuration (RFUSEND of
+  raw words + one EXEC per 4-pixel group);
+* ``a3``  — row-level DIAG16 configuration (two SENDs + four chained EXECs
+  per row).
+
+All variants share the baseline's FULL/H/V row bodies: the paper's A
+scenarios modify only the diagonal interpolation.
+"""
+
+from repro.kernels.getsad import (
+    VARIANTS,
+    KernelShape,
+    build_getsad_kernel,
+    kernel_rfu_issue_width,
+)
+from repro.kernels.library import KernelLibrary, ShapeTiming
+
+__all__ = [
+    "KernelLibrary",
+    "KernelShape",
+    "ShapeTiming",
+    "VARIANTS",
+    "build_getsad_kernel",
+    "kernel_rfu_issue_width",
+]

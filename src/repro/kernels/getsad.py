@@ -1,0 +1,239 @@
+"""Builders for the GetSad VLIW kernels (Listing 1, per shape and variant).
+
+Every kernel takes three parameters — the word-aligned address of the
+predictor's first row, the (word-aligned) address of the reference
+macroblock, and the plane stride — and returns the 16x16 SAD in its result
+register.  The predictor's byte alignment (0..3) and the interpolation mode
+are compile-time shape parameters, as they are in the specialised paths of
+the reference code.
+
+Row structure for interpolating modes follows Listing 1: the first
+predictor row is read in the prologue; each loop iteration reads the next
+row, interpolates against the carried previous row, reads the reference
+row, and accumulates the SAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CodecError
+from repro.isa.registers import VirtualRegister
+from repro.program.builder import KernelBuilder
+from repro.program.ir import Program
+from repro.rfu import custom_ops
+from repro.rfu.loop_model import InterpMode, predictor_geometry
+
+VARIANTS = ("orig", "a1", "a2", "a3")
+
+#: RFU issue capacity assumed per variant (paper: A1 "up to 4 instructions
+#: per cycle"; the wider configurations are single-issue).
+_RFU_ISSUE = {"orig": 1, "a1": 4, "a2": 1, "a3": 1}
+
+_ROUND1 = 0x0001_0001   # +1 per 16-bit lane (half-sample rounding)
+_ROUND2 = 0x0002_0002   # +2 per 16-bit lane (diagonal rounding)
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Compile-time specialisation of one GetSad kernel."""
+
+    alignment: int
+    mode: InterpMode
+
+    def __post_init__(self):
+        if not 0 <= self.alignment <= 3:
+            raise CodecError(f"alignment must be 0..3, got {self.alignment}")
+
+    @property
+    def words_per_row(self) -> int:
+        return predictor_geometry(self.alignment, self.mode)[1]
+
+    @property
+    def label(self) -> str:
+        return f"align{self.alignment}_{self.mode.name.lower()}"
+
+
+def kernel_rfu_issue_width(variant: str) -> int:
+    """RFU slots per cycle the scheduler should assume for this variant."""
+    try:
+        return _RFU_ISSUE[variant]
+    except KeyError:
+        raise CodecError(f"unknown kernel variant {variant!r}") from None
+
+
+# --------------------------------------------------------------------------
+# row-body helpers (operate inside the current block of ``kb``)
+# --------------------------------------------------------------------------
+
+def _load_row_words(kb: KernelBuilder, ptr, count: int) -> List:
+    """Load ``count`` consecutive predictor words; independent of stores."""
+    return [kb.emit("ldw", ptr, imm=4 * offset, mem_tag=f"pred{offset}")
+            for offset in range(count)]
+
+
+def _aligned_windows(kb: KernelBuilder, words: Sequence, byte_shift: int,
+                     count: int = 4) -> List:
+    """``count`` 32-bit pixel windows at ``byte_shift`` within the row."""
+    if byte_shift == 0:
+        return list(words[:count])
+    if byte_shift == 4:
+        return list(words[1:count + 1])
+    return [kb.align_window(words[i], words[i + 1], byte_shift)
+            for i in range(count)]
+
+
+def _avg_words(kb: KernelBuilder, a, b, round_const):
+    """Bit-exact (a + b + 1) >> 1 per byte lane with the basic SIMD subset.
+
+    Widens to 16-bit lanes (unpk), adds, rounds, shifts and repacks; the
+    pack4 truncation makes the cross-lane shift bleed harmless.
+    """
+    low = kb.emit("add2", kb.emit("unpkl2", a), kb.emit("unpkl2", b))
+    low = kb.emit("shri", kb.emit("add2", low, round_const), imm=1)
+    high = kb.emit("add2", kb.emit("unpkh2", a), kb.emit("unpkh2", b))
+    high = kb.emit("shri", kb.emit("add2", high, round_const), imm=1)
+    return kb.emit("pack4", low, high)
+
+
+def _diag_words_baseline(kb: KernelBuilder, taw, tbw, baw, bbw, round_const):
+    """Bit-exact (t0 + t1 + b0 + b1 + 2) >> 2 per byte lane, baseline ISA."""
+    low = kb.emit("add2", kb.emit("unpkl2", taw), kb.emit("unpkl2", tbw))
+    low = kb.emit("add2", low, kb.emit("unpkl2", baw))
+    low = kb.emit("add2", low, kb.emit("unpkl2", bbw))
+    low = kb.emit("shri", kb.emit("add2", low, round_const), imm=2)
+    high = kb.emit("add2", kb.emit("unpkh2", taw), kb.emit("unpkh2", tbw))
+    high = kb.emit("add2", high, kb.emit("unpkh2", baw))
+    high = kb.emit("add2", high, kb.emit("unpkh2", bbw))
+    high = kb.emit("shri", kb.emit("add2", high, round_const), imm=2)
+    return kb.emit("pack4", low, high)
+
+
+def _sad_row(kb: KernelBuilder, ref_ptr, pred_words: Sequence, acc):
+    """Reference-row loads + SAD accumulation into ``acc``."""
+    partials = []
+    for group in range(4):
+        cur = kb.emit("ldw", ref_ptr, imm=4 * group, mem_tag=f"ref{group}")
+        partials.append(kb.emit("sad4", cur, pred_words[group]))
+    total = kb.emit("add", partials[0], partials[1])
+    total = kb.emit("add", total, kb.emit("add", partials[2], partials[3]))
+    kb.emit("add", acc, total, dest=acc)
+
+
+# --------------------------------------------------------------------------
+# the kernel builder
+# --------------------------------------------------------------------------
+
+def build_getsad_kernel(variant: str, shape: KernelShape) -> Program:
+    """Build the GetSad program for one (variant, shape) pair."""
+    if variant not in VARIANTS:
+        raise CodecError(f"unknown kernel variant {variant!r}")
+    mode = shape.mode
+    align = shape.alignment
+    words = shape.words_per_row
+    diag_variant = variant if mode is InterpMode.HV else "orig"
+
+    kb = KernelBuilder(f"getsad_{variant}_{shape.label}")
+    pred_ptr = kb.param("pred_word_base")
+    ref_ptr = kb.param("ref_base")
+    stride = kb.param("stride")
+    acc = kb.persistent_reg("acc")
+    counter = kb.persistent_reg("rows")
+    round_const = kb.persistent_reg("round")
+    prev_aw = [kb.persistent_reg(f"prev_aw{i}") for i in range(4)] \
+        if mode in (InterpMode.V, InterpMode.HV) and diag_variant in ("orig", "a1") \
+        else []
+    prev_bw = [kb.persistent_reg(f"prev_bw{i}") for i in range(4)] \
+        if mode is InterpMode.HV and diag_variant in ("orig", "a1") else []
+    prev_raw = [kb.persistent_reg(f"prev_w{i}") for i in range(words)] \
+        if mode is InterpMode.HV and diag_variant in ("a2", "a3") else []
+
+    with kb.block("prologue"):
+        kb.emit("movi", dest=counter, imm=16)
+        kb.emit("movi", dest=acc, imm=0)
+        kb.emit("movi", dest=round_const,
+                imm=_ROUND2 if mode is InterpMode.HV else _ROUND1)
+        if diag_variant == "a2":
+            kb.emit("rfuinit", kb.const(align), imm=custom_ops.DIAG4)
+        elif diag_variant == "a3":
+            kb.emit("rfuinit", kb.const(align), imm=custom_ops.DIAG16)
+        if mode.needs_extra_row:
+            first = _load_row_words(kb, pred_ptr, words)
+            if prev_raw:
+                for reg, word in zip(prev_raw, first):
+                    kb.emit("mov", word, dest=reg)
+            else:
+                for reg, window in zip(prev_aw,
+                                       _aligned_windows(kb, first, align)):
+                    kb.emit("mov", window, dest=reg)
+                if prev_bw:
+                    for reg, window in zip(
+                            prev_bw, _aligned_windows(kb, first, align + 1)):
+                        kb.emit("mov", window, dest=reg)
+            kb.emit("add", pred_ptr, stride, dest=pred_ptr)
+
+    with kb.counted_loop("row_loop", counter):
+        row_words = _load_row_words(kb, pred_ptr, words)
+        if mode is InterpMode.FULL:
+            pred = _aligned_windows(kb, row_words, align)
+        elif mode is InterpMode.H:
+            top = _aligned_windows(kb, row_words, align)
+            shifted = _aligned_windows(kb, row_words, align + 1)
+            pred = [_avg_words(kb, a, b, round_const)
+                    for a, b in zip(top, shifted)]
+        elif mode is InterpMode.V:
+            new_aw = _aligned_windows(kb, row_words, align)
+            pred = [_avg_words(kb, prev, new, round_const)
+                    for prev, new in zip(prev_aw, new_aw)]
+            for reg, window in zip(prev_aw, new_aw):
+                kb.emit("mov", window, dest=reg)
+        else:
+            pred = _diag_row(kb, diag_variant, row_words, align, round_const,
+                             prev_aw, prev_bw, prev_raw)
+        _sad_row(kb, ref_ptr, pred, acc)
+        kb.emit("add", pred_ptr, stride, dest=pred_ptr)
+        kb.emit("add", ref_ptr, stride, dest=ref_ptr)
+
+    kb.set_result(acc)
+    return kb.finish()
+
+
+def _diag_row(kb: KernelBuilder, diag_variant: str, row_words: Sequence,
+              align: int, round_const, prev_aw, prev_bw, prev_raw) -> List:
+    """One diagonal-interpolation row body; returns the 4 predictor words."""
+    if diag_variant in ("orig", "a1"):
+        new_aw = _aligned_windows(kb, row_words, align)
+        new_bw = _aligned_windows(kb, row_words, align + 1)
+        pred = []
+        for taw, tbw, baw, bbw in zip(prev_aw, prev_bw, new_aw, new_bw):
+            if diag_variant == "orig":
+                pred.append(_diag_words_baseline(kb, taw, tbw, baw, bbw,
+                                                 round_const))
+            else:
+                h_top = kb.emit("rfuexec", taw, tbw, imm=custom_ops.A1_HAVG)
+                h_bottom = kb.emit("rfuexec", baw, bbw, imm=custom_ops.A1_HAVG)
+                pred.append(kb.emit("rfuexec", h_top, h_bottom,
+                                    imm=custom_ops.A1_COMBINE))
+        for reg, window in zip(prev_aw, new_aw):
+            kb.emit("mov", window, dest=reg)
+        for reg, window in zip(prev_bw, new_bw):
+            kb.emit("mov", window, dest=reg)
+        return pred
+    if diag_variant == "a2":
+        pred = []
+        for group in range(4):
+            kb.emit("rfusend", prev_raw[group], prev_raw[group + 1],
+                    row_words[group], row_words[group + 1],
+                    imm=custom_ops.DIAG4)
+            pred.append(kb.emit("rfuexec", imm=custom_ops.DIAG4))
+        for reg, word in zip(prev_raw, row_words):
+            kb.emit("mov", word, dest=reg)
+        return pred
+    # a3: two sends of five words each, then four chained drains
+    kb.emit("rfusend", *prev_raw[:5], imm=custom_ops.DIAG16)
+    kb.emit("rfusend", *row_words[:5], imm=custom_ops.DIAG16)
+    pred = [kb.emit("rfuexec", imm=custom_ops.DIAG16) for _ in range(4)]
+    for reg, word in zip(prev_raw, row_words):
+        kb.emit("mov", word, dest=reg)
+    return pred

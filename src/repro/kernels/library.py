@@ -1,0 +1,126 @@
+"""Compiled-kernel cache: per (variant, shape) static timing + verification.
+
+For every shape the library compiles the kernel, executes it twice on the
+cycle-level core against a deterministic random test plane — the first run
+warms the caches, the second measures the *static* execution time (schedule
+plus any residual interlocks, no cache stalls) — and checks the SAD against
+the golden model bit-exactly.  The trace replay then charges each GetSad
+invocation its shape's static cycles and models cache stalls separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.sad import getsad
+from repro.errors import CodecError
+from repro.kernels.getsad import (
+    KernelShape,
+    VARIANTS,
+    build_getsad_kernel,
+    kernel_rfu_issue_width,
+)
+from repro.machine import Core, LoadedProgram, MachineConfig, compile_kernel
+from repro.memory import MemorySystem
+from repro.rfu import RfuUnit, standard_registry
+from repro.rfu.loop_model import InterpMode
+
+_TEST_PLANE_SIZE = 64
+_TEST_PLANE_BASE = 0x0002_0000
+_TEST_STRIDE = _TEST_PLANE_SIZE
+
+
+@dataclass(frozen=True)
+class ShapeTiming:
+    """Measured static behaviour of one compiled kernel shape."""
+
+    cycles: int          # warm-cache execution cycles of one call
+    ops: int             # operations executed
+    bundles: int         # bundles executed
+    verified_sad: int    # SAD produced (matches the golden model)
+
+
+def _test_environment() -> Tuple[MemorySystem, np.ndarray]:
+    """A memory system holding a deterministic random test plane."""
+    rng = np.random.default_rng(42)
+    plane = rng.integers(0, 256, (_TEST_PLANE_SIZE, _TEST_PLANE_SIZE),
+                         dtype=np.uint8)
+    memory = MemorySystem()
+    memory.main.write_block(_TEST_PLANE_BASE, plane)
+    return memory, plane
+
+
+class KernelLibrary:
+    """Lazily compiles, verifies and times GetSad kernels for one variant."""
+
+    def __init__(self, variant: str, beta: float = 1.0):
+        if variant not in VARIANTS:
+            raise CodecError(f"unknown kernel variant {variant!r}")
+        self.variant = variant
+        self.beta = beta
+        self.config = MachineConfig().with_rfu_issue(
+            kernel_rfu_issue_width(variant))
+        self._loaded: Dict[KernelShape, LoadedProgram] = {}
+        self._timing: Dict[KernelShape, ShapeTiming] = {}
+
+    def _make_rfu(self) -> RfuUnit:
+        return RfuUnit(standard_registry(), beta=self.beta)
+
+    def loaded(self, shape: KernelShape) -> LoadedProgram:
+        if shape not in self._loaded:
+            program = build_getsad_kernel(self.variant, shape)
+            self._loaded[shape] = compile_kernel(
+                program, self._make_rfu(), self.config)
+        return self._loaded[shape]
+
+    # -- measurement -----------------------------------------------------------
+    def _measure(self, shape: KernelShape) -> ShapeTiming:
+        memory, plane = _test_environment()
+        loaded = self.loaded(shape)
+        # choose a predictor location with the requested byte alignment
+        pred_y = 7
+        pred_x = 4 + shape.alignment
+        mb_x, mb_y = 32, 32
+        pred_addr = _TEST_PLANE_BASE + pred_y * _TEST_STRIDE + pred_x
+        if pred_addr % 4 != shape.alignment:
+            raise CodecError("test plane base broke the alignment assumption")
+        ref_addr = _TEST_PLANE_BASE + mb_y * _TEST_STRIDE + mb_x
+        args = [pred_addr - shape.alignment, ref_addr, _TEST_STRIDE]
+
+        expected = getsad(
+            plane, plane, mb_x, mb_y, pred_x, pred_y,
+            1 if shape.mode.needs_extra_column else 0,
+            1 if shape.mode.needs_extra_row else 0)
+
+        rfu = self._make_rfu()
+        core = Core(memory, rfu, self.config)
+        warmup = core.run(loaded, args)
+        if warmup.result != expected:
+            raise CodecError(
+                f"{self.variant}/{shape.label}: kernel SAD {warmup.result} "
+                f"!= golden {expected}")
+        measured = core.run(loaded, args)
+        if measured.result != expected:
+            raise CodecError(
+                f"{self.variant}/{shape.label}: warm rerun diverged")
+        return ShapeTiming(cycles=measured.cycles, ops=measured.ops,
+                           bundles=measured.bundles,
+                           verified_sad=measured.result)
+
+    def timing(self, shape: KernelShape) -> ShapeTiming:
+        if shape not in self._timing:
+            self._timing[shape] = self._measure(shape)
+        return self._timing[shape]
+
+    def static_cycles(self, alignment: int, mode: InterpMode) -> int:
+        return self.timing(KernelShape(alignment, mode)).cycles
+
+    def all_shapes(self) -> Dict[KernelShape, ShapeTiming]:
+        """Compile and time every (alignment, mode) shape."""
+        for alignment in range(4):
+            for mode in InterpMode:
+                self.timing(KernelShape(alignment, mode))
+        return dict(self._timing)

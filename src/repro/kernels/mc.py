@@ -1,0 +1,173 @@
+"""Motion-compensation kernels (the paper's "future activity").
+
+The paper ends with "future work will extend the analysis to other parts
+of the application"; after GetSad, the next motion-estimation-stage
+consumer of the same data path is **half-sample motion compensation** —
+the same per-row load/align/interpolate structure as GetSad, but writing
+the interpolated predictor row instead of folding it into a SAD.
+
+This module builds the SIMD-optimised VLIW MC kernel per (alignment,
+interpolation) shape — sharing the row helpers with the GetSad builders —
+and verifies it bit-exactly against the golden
+:func:`~repro.codec.interp.halfpel_predictor`.  The loop-level RFU version
+is modelled with :class:`~repro.rfu.loop_model.LoopKernelModel` using
+``store_words_per_row=4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.codec.interp import halfpel_predictor
+from repro.errors import CodecError
+from repro.kernels.getsad import (
+    KernelShape,
+    _aligned_windows,
+    _avg_words,
+    _diag_words_baseline,
+    _load_row_words,
+    _ROUND1,
+    _ROUND2,
+)
+from repro.machine import Core, LoadedProgram, MachineConfig, compile_kernel
+from repro.memory import MemorySystem
+from repro.program.builder import KernelBuilder
+from repro.program.ir import Program
+from repro.rfu.loop_model import InterpMode
+
+_TEST_PLANE_SIZE = 64
+_TEST_PLANE_BASE = 0x0002_0000
+_TEST_DST_BASE = 0x0003_0000
+
+
+def build_mc_kernel(shape: KernelShape) -> Program:
+    """The baseline (SIMD subset) motion-compensation kernel for one shape.
+
+    Parameters: predictor word base, destination base (16-byte rows, word
+    aligned), plane stride.  Writes the 16x16 interpolated predictor block
+    to the destination.
+    """
+    mode = shape.mode
+    align = shape.alignment
+    words = shape.words_per_row
+
+    kb = KernelBuilder(f"mc_{shape.label}")
+    pred_ptr = kb.param("pred_word_base")
+    dst_ptr = kb.param("dst_base")
+    stride = kb.param("stride")
+    counter = kb.persistent_reg("rows")
+    round_const = kb.persistent_reg("round")
+    prev_aw = [kb.persistent_reg(f"prev_aw{i}") for i in range(4)] \
+        if mode.needs_extra_row else []
+    prev_bw = [kb.persistent_reg(f"prev_bw{i}") for i in range(4)] \
+        if mode is InterpMode.HV else []
+
+    with kb.block("prologue"):
+        kb.emit("movi", dest=counter, imm=16)
+        kb.emit("movi", dest=round_const,
+                imm=_ROUND2 if mode is InterpMode.HV else _ROUND1)
+        if mode.needs_extra_row:
+            first = _load_row_words(kb, pred_ptr, words)
+            for reg, window in zip(prev_aw, _aligned_windows(kb, first, align)):
+                kb.emit("mov", window, dest=reg)
+            if prev_bw:
+                for reg, window in zip(prev_bw,
+                                       _aligned_windows(kb, first, align + 1)):
+                    kb.emit("mov", window, dest=reg)
+            kb.emit("add", pred_ptr, stride, dest=pred_ptr)
+
+    with kb.counted_loop("row_loop", counter):
+        row_words = _load_row_words(kb, pred_ptr, words)
+        if mode is InterpMode.FULL:
+            pred = _aligned_windows(kb, row_words, align)
+        elif mode is InterpMode.H:
+            top = _aligned_windows(kb, row_words, align)
+            shifted = _aligned_windows(kb, row_words, align + 1)
+            pred = [_avg_words(kb, a, b, round_const)
+                    for a, b in zip(top, shifted)]
+        elif mode is InterpMode.V:
+            new_aw = _aligned_windows(kb, row_words, align)
+            pred = [_avg_words(kb, prev, new, round_const)
+                    for prev, new in zip(prev_aw, new_aw)]
+            for reg, window in zip(prev_aw, new_aw):
+                kb.emit("mov", window, dest=reg)
+        else:
+            new_aw = _aligned_windows(kb, row_words, align)
+            new_bw = _aligned_windows(kb, row_words, align + 1)
+            pred = [_diag_words_baseline(kb, taw, tbw, baw, bbw, round_const)
+                    for taw, tbw, baw, bbw
+                    in zip(prev_aw, prev_bw, new_aw, new_bw)]
+            for reg, window in zip(prev_aw, new_aw):
+                kb.emit("mov", window, dest=reg)
+            for reg, window in zip(prev_bw, new_bw):
+                kb.emit("mov", window, dest=reg)
+        for group, word in enumerate(pred):
+            kb.emit("stw", word, dst_ptr, imm=4 * group, mem_tag="dst")
+        kb.emit("add", pred_ptr, stride, dest=pred_ptr)
+        kb.emit("addi", dst_ptr, dest=dst_ptr, imm=16)
+
+    # MC produces memory side effects only; return the final dst pointer so
+    # the kernel has an observable register result too
+    kb.set_result(dst_ptr)
+    return kb.finish()
+
+
+@dataclass(frozen=True)
+class McShapeTiming:
+    """Measured static behaviour of one compiled MC kernel shape."""
+
+    cycles: int
+    ops: int
+
+
+class McKernelLibrary:
+    """Compiles, verifies and times the baseline MC kernels."""
+
+    def __init__(self):
+        self.config = MachineConfig()
+        self._loaded: Dict[KernelShape, LoadedProgram] = {}
+        self._timing: Dict[KernelShape, McShapeTiming] = {}
+
+    def loaded(self, shape: KernelShape) -> LoadedProgram:
+        if shape not in self._loaded:
+            self._loaded[shape] = compile_kernel(build_mc_kernel(shape),
+                                                 config=self.config)
+        return self._loaded[shape]
+
+    def _measure(self, shape: KernelShape) -> McShapeTiming:
+        rng = np.random.default_rng(42)
+        plane = rng.integers(0, 256, (_TEST_PLANE_SIZE, _TEST_PLANE_SIZE),
+                             dtype=np.uint8)
+        memory = MemorySystem()
+        memory.main.write_block(_TEST_PLANE_BASE, plane)
+        pred_y = 7
+        pred_x = 4 + shape.alignment
+        pred_addr = _TEST_PLANE_BASE + pred_y * _TEST_PLANE_SIZE + pred_x
+        args = [pred_addr - shape.alignment, _TEST_DST_BASE, _TEST_PLANE_SIZE]
+        loaded = self.loaded(shape)
+        core = Core(memory, config=self.config)
+        core.run(loaded, args)
+        measured = core.run(loaded, args)
+
+        expected = halfpel_predictor(
+            plane, pred_x, pred_y,
+            1 if shape.mode.needs_extra_column else 0,
+            1 if shape.mode.needs_extra_row else 0)
+        produced = memory.main.read_block(_TEST_DST_BASE, 256) \
+            .reshape(16, 16)
+        if not np.array_equal(produced, expected):
+            raise CodecError(
+                f"MC kernel {shape.label}: output diverged from the golden "
+                f"interpolation")
+        return McShapeTiming(cycles=measured.cycles, ops=measured.ops)
+
+    def timing(self, shape: KernelShape) -> McShapeTiming:
+        if shape not in self._timing:
+            self._timing[shape] = self._measure(shape)
+        return self._timing[shape]
+
+    def static_cycles(self, alignment: int, mode: InterpMode) -> int:
+        return self.timing(KernelShape(alignment, mode)).cycles

@@ -1,0 +1,13 @@
+"""Cycle-level model of the 1-cluster ST200 with attached RFU (Figure 1).
+
+The machine is in-order and interlocked: the scheduler is expected to cover
+operation latencies, and any residual read-before-ready (e.g. across a loop
+back edge) stalls the pipeline, as do D-cache demand misses ("the whole
+machine stalls as usual").
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.core import Core, LoadedProgram, RunResult, compile_kernel
+
+__all__ = ["Core", "LoadedProgram", "MachineConfig", "RunResult",
+           "compile_kernel"]

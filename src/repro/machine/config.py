@@ -1,0 +1,47 @@
+"""Machine configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.opcodes import Resource
+
+
+@dataclass
+class MachineConfig:
+    """Parameters of the VLIW core model.
+
+    Defaults match the paper's 1-cluster ST200: 4-issue, 4 ALUs, 2 multi-
+    pliers, one load/store unit, one branch unit, plus the single RFU slot.
+    """
+
+    issue_width: int = 4
+    capacity: Dict[Resource, int] = field(default_factory=lambda: {
+        Resource.ALU: 4,
+        Resource.MUL: 2,
+        Resource.LSU: 1,
+        Resource.BRANCH: 1,
+        Resource.RFU: 1,
+    })
+    #: extra cycles lost on a taken branch (short VLIW pipeline bubble)
+    taken_branch_penalty: int = 1
+    #: address where program text is placed (for I-cache indexing)
+    text_base: int = 0x0010_0000
+    #: simulate instruction fetch through the I-cache
+    model_icache: bool = True
+    max_cycles: int = 50_000_000
+
+    def with_rfu_issue(self, rfu_per_cycle: int) -> "MachineConfig":
+        """Copy of this config with a different RFU issue capacity (the A1
+        scenario assumes up to 4 of its simple RFU ops per cycle)."""
+        capacity = dict(self.capacity)
+        capacity[Resource.RFU] = rfu_per_cycle
+        return MachineConfig(
+            issue_width=self.issue_width,
+            capacity=capacity,
+            taken_branch_penalty=self.taken_branch_penalty,
+            text_base=self.text_base,
+            model_icache=self.model_icache,
+            max_cycles=self.max_cycles,
+        )

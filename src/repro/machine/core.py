@@ -1,0 +1,315 @@
+"""The in-order, interlocked VLIW core executor.
+
+A :class:`LoadedProgram` bundles a scheduled, register-allocated kernel;
+:class:`Core` executes it bundle-by-bundle against a
+:class:`~repro.memory.hierarchy.MemorySystem` and an optional
+:class:`~repro.rfu.unit.RfuUnit`, producing both functional results and the
+cycle/stall accounting the experiments consume.
+
+Timing rules:
+
+* one bundle issues per cycle;
+* a source read whose producer has not completed stalls the machine until
+  the value lands (interlock, e.g. a load consumed too early across a loop
+  back edge);
+* D-cache demand misses stall the whole machine (paper §5b);
+* taken branches cost ``taken_branch_penalty`` bubble cycles;
+* instruction fetch goes through the 128 KB direct-mapped I-cache — large
+  enough to hold the whole application, so after cold start its stall
+  contribution is negligible, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MachineError
+from repro.isa.instruction import Bundle, Operation
+from repro.isa.registers import (
+    NUM_BR,
+    NUM_GPR,
+    BranchRegister,
+    GeneralRegister,
+    Register,
+    VirtualRegister,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.semantics import PURE_OPS
+from repro.memory.hierarchy import MemorySystem
+from repro.program.ir import Program
+from repro.program.regalloc import allocate_registers
+from repro.program.scheduler import ScheduledProgram, schedule_program
+from repro.rfu.unit import RfuUnit
+
+
+@dataclass
+class LoadedProgram:
+    """A kernel ready to run: scheduled bundles + register mapping."""
+
+    scheduled: ScheduledProgram
+    mapping: Dict[VirtualRegister, Register]
+
+    @property
+    def program(self) -> Program:
+        return self.scheduled.program
+
+    @property
+    def name(self) -> str:
+        return self.scheduled.name
+
+    def physical_params(self) -> List[Register]:
+        return [self.mapping[param] for param in self.program.params]
+
+    def physical_result(self) -> Optional[Register]:
+        if self.program.result is None:
+            return None
+        return self.mapping[self.program.result]
+
+    @property
+    def static_length(self) -> int:
+        return self.scheduled.static_length
+
+
+def compile_kernel(program: Program, rfu: Optional[RfuUnit] = None,
+                   config: Optional[MachineConfig] = None) -> LoadedProgram:
+    """Schedule and register-allocate a kernel for the given machine.
+
+    RFU operation latencies are resolved through the RFU registry (with its
+    technology scaling), so the compiler sees the configuration's static
+    latency exactly as the paper's methodology requires.
+    """
+    config = config or MachineConfig()
+
+    def latency_of(op: Operation) -> int:
+        if op.spec.latency is not None:
+            return op.spec.latency
+        if op.opcode in ("rfuinit", "rfusend", "rfupft"):
+            return 1
+        if rfu is None:
+            return 1
+        return rfu.latency(op.imm)
+
+    scheduled = schedule_program(program, latency_of, config.capacity,
+                                 config.issue_width)
+    mapping = allocate_registers(scheduled)
+    return LoadedProgram(scheduled, mapping)
+
+
+@dataclass
+class RunResult:
+    """Counters and functional outcome of one kernel run."""
+
+    result: Optional[int]
+    cycles: int
+    bundles: int
+    ops: int
+    interlock_stalls: int
+    dcache_stalls: int
+    icache_stalls: int
+    branch_stalls: int
+    taken_branches: int
+
+    @property
+    def stall_cycles(self) -> int:
+        return (self.interlock_stalls + self.dcache_stalls
+                + self.icache_stalls + self.branch_stalls)
+
+
+class Core:
+    """Cycle-level executor for loaded programs."""
+
+    def __init__(self, memory: MemorySystem, rfu: Optional[RfuUnit] = None,
+                 config: Optional[MachineConfig] = None):
+        self.memory = memory
+        self.rfu = rfu
+        self.config = config or MachineConfig()
+        self.gpr = [0] * NUM_GPR
+        self.br = [0] * NUM_BR
+        self._pending_gpr: Dict[int, Tuple[int, int]] = {}
+        self._pending_br: Dict[int, Tuple[int, int]] = {}
+
+    # -- register plumbing ---------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        for index in [i for i, (ready, _) in self._pending_gpr.items()
+                      if ready <= cycle]:
+            _, value = self._pending_gpr.pop(index)
+            if index != 0:
+                self.gpr[index] = value
+        for index in [i for i, (ready, _) in self._pending_br.items()
+                      if ready <= cycle]:
+            _, value = self._pending_br.pop(index)
+            self.br[index] = value
+
+    def _read(self, reg: Register, cycle: int) -> Tuple[int, int]:
+        """Read a register; returns (value, interlock stall cycles)."""
+        if isinstance(reg, GeneralRegister):
+            pending = self._pending_gpr.get(reg.index)
+            bank, index = self.gpr, reg.index
+        elif isinstance(reg, BranchRegister):
+            pending = self._pending_br.get(reg.index)
+            bank, index = self.br, reg.index
+        else:
+            raise MachineError(f"unallocated register {reg!r} reached the core")
+        if pending is None:
+            return bank[index], 0
+        ready, _ = pending
+        if ready <= cycle:
+            self._commit(cycle)
+            return bank[index], 0
+        stall = ready - cycle
+        self._commit(ready)
+        return bank[index], stall
+
+    def _write(self, reg: Register, value: int, ready_cycle: int) -> None:
+        if isinstance(reg, GeneralRegister):
+            self._pending_gpr[reg.index] = (ready_cycle, value)
+        elif isinstance(reg, BranchRegister):
+            self._pending_br[reg.index] = (ready_cycle, value)
+        else:
+            raise MachineError(f"unallocated register {reg!r} reached the core")
+
+    def write_register(self, reg: Register, value: int) -> None:
+        """Set a register immediately (used to pass kernel arguments)."""
+        if isinstance(reg, GeneralRegister):
+            if reg.index != 0:
+                self.gpr[reg.index] = value & 0xFFFFFFFF
+        elif isinstance(reg, BranchRegister):
+            self.br[reg.index] = value & 1
+        else:
+            raise MachineError(f"cannot write unallocated register {reg!r}")
+
+    def read_register(self, reg: Register) -> int:
+        if isinstance(reg, GeneralRegister):
+            return self.gpr[reg.index]
+        if isinstance(reg, BranchRegister):
+            return self.br[reg.index]
+        raise MachineError(f"cannot read unallocated register {reg!r}")
+
+    # -- execution --------------------------------------------------------------
+    def run(self, loaded: LoadedProgram, args: Sequence[int] = (),
+            start_cycle: int = 0) -> RunResult:
+        """Execute a loaded kernel to completion."""
+        program = loaded.program
+        params = loaded.physical_params()
+        if len(args) != len(params):
+            raise MachineError(
+                f"kernel {loaded.name!r} expects {len(params)} arguments, "
+                f"got {len(args)}")
+        for reg, value in zip(params, args):
+            self.write_register(reg, value)
+        self._pending_gpr.clear()
+        self._pending_br.clear()
+
+        blocks = loaded.scheduled.blocks
+        index_of = {blk.label: i for i, blk in enumerate(blocks)}
+        # text layout: blocks placed back to back from text_base
+        block_base: Dict[int, int] = {}
+        address = self.config.text_base
+        for i, blk in enumerate(blocks):
+            block_base[i] = address
+            address += len(blk.bundles) * Bundle.SIZE_BYTES
+
+        cycle = start_cycle
+        bundles = ops = 0
+        interlock = dstalls = istalls = bstalls = 0
+        taken = 0
+        block_index = 0
+
+        while block_index < len(blocks):
+            block = blocks[block_index]
+            next_block = block_index + 1
+            bundle_index = 0
+            while bundle_index < len(block.bundles):
+                bundle = block.bundles[bundle_index]
+                if cycle - start_cycle > self.config.max_cycles:
+                    raise MachineError(
+                        f"kernel {loaded.name!r} exceeded "
+                        f"{self.config.max_cycles} cycles")
+                if self.config.model_icache:
+                    fetch_addr = block_base[block_index] \
+                        + bundle_index * Bundle.SIZE_BYTES
+                    stall = self.memory.ifetch(fetch_addr, cycle)
+                    istalls += stall
+                    cycle += stall
+                self._commit(cycle)
+                branch_taken_to: Optional[int] = None
+                for op in bundle:
+                    ops += 1
+                    values = []
+                    for src in op.srcs:
+                        value, stall = self._read(src, cycle)
+                        if stall:
+                            interlock += stall
+                            cycle += stall
+                        values.append(value)
+                    spec = op.spec
+                    if op.opcode in PURE_OPS:
+                        result = PURE_OPS[op.opcode](values, op.imm)
+                        self._write(op.dest, result, cycle + spec.latency)
+                    elif spec.is_load:
+                        addr = (values[0] + (op.imm or 0)) & 0xFFFFFFFF
+                        if op.opcode == "ldw":
+                            value, stall = self.memory.load_word(addr, cycle)
+                        else:
+                            value, stall = self.memory.load_byte(addr, cycle)
+                        dstalls += stall
+                        cycle += stall
+                        self._write(op.dest, value, cycle + spec.latency)
+                    elif spec.is_store:
+                        addr = (values[1] + (op.imm or 0)) & 0xFFFFFFFF
+                        if op.opcode == "stw":
+                            self.memory.store_word(addr, values[0], cycle)
+                        else:
+                            self.memory.store_byte(addr, values[0], cycle)
+                    elif op.opcode == "pft":
+                        addr = (values[0] + (op.imm or 0)) & 0xFFFFFFFF
+                        self.memory.prefetch_line(addr, cycle)
+                        self._write(op.dest, 0, cycle + 1)
+                    elif spec.is_branch:
+                        if op.opcode == "goto":
+                            condition = True
+                        elif op.opcode == "br":
+                            condition = bool(values[0])
+                        else:  # brf
+                            condition = not values[0]
+                        if condition:
+                            branch_taken_to = index_of[op.label]
+                            taken += 1
+                    elif op.opcode == "rfuinit":
+                        cycle += self.rfu.init(op.imm, tuple(values))
+                    elif op.opcode == "rfusend":
+                        self.rfu.send(op.imm, tuple(values))
+                    elif op.opcode == "rfuexec":
+                        result, latency = self.rfu.execute(op.imm, tuple(values))
+                        self._write(op.dest, result, cycle + latency)
+                    elif op.opcode == "rfupft":
+                        self.rfu.prefetch(tuple(values), cycle)
+                    else:
+                        raise MachineError(f"unhandled opcode {op.opcode!r}")
+                bundles += 1
+                cycle += 1
+                bundle_index += 1
+                if branch_taken_to is not None:
+                    bstalls += self.config.taken_branch_penalty
+                    cycle += self.config.taken_branch_penalty
+                    next_block = branch_taken_to
+                    break
+            block_index = next_block
+
+        pending = [ready for ready, _ in self._pending_gpr.values()]
+        pending += [ready for ready, _ in self._pending_br.values()]
+        self._commit(max([cycle] + pending))  # drain outstanding write-backs
+        result_reg = loaded.physical_result()
+        result = self.read_register(result_reg) if result_reg is not None else None
+        return RunResult(
+            result=result,
+            cycles=cycle - start_cycle,
+            bundles=bundles,
+            ops=ops,
+            interlock_stalls=interlock,
+            dcache_stalls=dstalls,
+            icache_stalls=istalls,
+            branch_stalls=bstalls,
+            taken_branches=taken,
+        )

@@ -1,0 +1,111 @@
+"""Functional semantics of the pure (register-to-register) operations.
+
+Each entry maps an opcode to ``fn(values, imm) -> result`` where ``values``
+are the unsigned 32-bit source register values.  Memory, branch and RFU
+opcodes are handled directly by the core because they touch machine state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.errors import MachineError
+from repro.utils.bitops import (
+    MASK16,
+    MASK32,
+    absdif_bytes,
+    add_bytes,
+    addus_bytes,
+    avg_bytes,
+    pack_halves,
+    sad_bytes,
+    sub_bytes,
+    to_s32,
+    to_u32,
+    unpack_halves,
+)
+
+
+def _shift_amount(value: int) -> int:
+    return value & 31
+
+
+def _add2(a: int, b: int) -> int:
+    return pack_halves([(x + y) & MASK16
+                        for x, y in zip(unpack_halves(a), unpack_halves(b))])
+
+
+def _unpkl2(a: int) -> int:
+    return pack_halves([a & 0xFF, (a >> 8) & 0xFF])
+
+
+def _unpkh2(a: int) -> int:
+    return pack_halves([(a >> 16) & 0xFF, (a >> 24) & 0xFF])
+
+
+def _pack4(lo: int, hi: int) -> int:
+    lanes_lo = unpack_halves(lo)
+    lanes_hi = unpack_halves(hi)
+    return (lanes_lo[0] & 0xFF) | ((lanes_lo[1] & 0xFF) << 8) \
+        | ((lanes_hi[0] & 0xFF) << 16) | ((lanes_hi[1] & 0xFF) << 24)
+
+
+def _mul(a: int, b: int) -> int:
+    # 16x32 multiplier: low 16 bits of a (signed) times full signed b
+    lhs = to_s32(a & MASK16 | (0xFFFF0000 if a & 0x8000 else 0))
+    return to_u32(lhs * to_s32(b))
+
+
+def _mulh(a: int, b: int) -> int:
+    lhs_bits = (a >> 16) & MASK16
+    lhs = to_s32(lhs_bits | (0xFFFF0000 if lhs_bits & 0x8000 else 0))
+    return to_u32(lhs * to_s32(b))
+
+
+PURE_OPS: Dict[str, Callable[[Sequence[int], Optional[int]], int]] = {
+    "add": lambda v, imm: to_u32(v[0] + v[1]),
+    "sub": lambda v, imm: to_u32(v[0] - v[1]),
+    "and": lambda v, imm: v[0] & v[1],
+    "or": lambda v, imm: v[0] | v[1],
+    "xor": lambda v, imm: v[0] ^ v[1],
+    "shl": lambda v, imm: to_u32(v[0] << _shift_amount(v[1])),
+    "shr": lambda v, imm: v[0] >> _shift_amount(v[1]),
+    "sra": lambda v, imm: to_u32(to_s32(v[0]) >> _shift_amount(v[1])),
+    "min": lambda v, imm: to_u32(min(to_s32(v[0]), to_s32(v[1]))),
+    "max": lambda v, imm: to_u32(max(to_s32(v[0]), to_s32(v[1]))),
+    "mov": lambda v, imm: v[0],
+    "movi": lambda v, imm: to_u32(imm),
+    "addi": lambda v, imm: to_u32(v[0] + imm),
+    "shli": lambda v, imm: to_u32(v[0] << _shift_amount(imm)),
+    "shri": lambda v, imm: v[0] >> _shift_amount(imm),
+    "andi": lambda v, imm: v[0] & to_u32(imm),
+    "cmpeq": lambda v, imm: int(v[0] == v[1]),
+    "cmpne": lambda v, imm: int(v[0] != v[1]),
+    "cmplt": lambda v, imm: int(to_s32(v[0]) < to_s32(v[1])),
+    "cmpltu": lambda v, imm: int(v[0] < v[1]),
+    "cmpgei": lambda v, imm: int(to_s32(v[0]) >= imm),
+    "cmpnei": lambda v, imm: int(to_s32(v[0]) != imm),
+    "mul": lambda v, imm: _mul(v[0], v[1]),
+    "mulh": lambda v, imm: _mulh(v[0], v[1]),
+    "add4": lambda v, imm: add_bytes(v[0], v[1]),
+    "addus4": lambda v, imm: addus_bytes(v[0], v[1]),
+    "sub4": lambda v, imm: sub_bytes(v[0], v[1]),
+    "absd4": lambda v, imm: absdif_bytes(v[0], v[1]),
+    "avg4": lambda v, imm: avg_bytes(v[0], v[1]),
+    "sad4": lambda v, imm: sad_bytes(v[0], v[1]),
+    "add2": lambda v, imm: _add2(v[0], v[1]),
+    "unpkl2": lambda v, imm: _unpkl2(v[0]),
+    "unpkh2": lambda v, imm: _unpkh2(v[0]),
+    "pack4": lambda v, imm: _pack4(v[0], v[1]),
+}
+
+
+def evaluate(opcode: str, values: Sequence[int], imm: Optional[int]) -> int:
+    """Evaluate one pure operation; raises :class:`MachineError` for opcodes
+    that need machine state (memory/branch/RFU)."""
+    try:
+        fn = PURE_OPS[opcode]
+    except KeyError:
+        raise MachineError(
+            f"{opcode!r} is not a pure register operation") from None
+    return fn(values, imm)

@@ -1,0 +1,29 @@
+"""Memory hierarchy: main memory, I$/D$ models, prefetch buffer, line buffers.
+
+Caches are *timing-only*: functional data always comes from
+:class:`~repro.memory.main_memory.MainMemory` (stores are write-through,
+no-allocate), while the cache/prefetch structures decide how many stall
+cycles each access costs.  This matches the paper's functional-level
+methodology, where the simulator "embeds I and D cache models" purely to
+account for stalls, and keeps the RFU's autonomous accesses trivially
+coherent.
+"""
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.prefetch import PrefetchBuffer
+from repro.memory.linebuffer import LineBufferA, LineBufferB
+from repro.memory.hierarchy import MemorySystem, MemoryTimings
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "LineBufferA",
+    "LineBufferB",
+    "MainMemory",
+    "MemoryBus",
+    "MemorySystem",
+    "MemoryTimings",
+    "PrefetchBuffer",
+]

@@ -1,0 +1,43 @@
+"""External memory bus: serialises cache-line fills.
+
+Every structure that brings lines on chip (demand misses, the prefetch
+buffer, Line Buffer B's autonomous prefetches) shares one bus.  The bus
+serves at most one line fill every ``service_interval`` cycles with a fixed
+``latency`` from service start to data arrival, so prefetch storms from the
+RFU's macroblock-pattern instructions naturally push each other (and demand
+misses) back in time — the effect behind the paper's Table 4/5 stall
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryBus:
+    """A single-channel line-fill pipe with limited issue bandwidth."""
+
+    latency: int = 25
+    service_interval: int = 4
+    next_free: int = 0
+    fills: int = 0
+    busy_cycles: int = 0
+
+    def request(self, cycle: int, urgent: bool = False) -> int:
+        """Schedule one line fill requested at ``cycle``; return arrival cycle.
+
+        ``urgent`` requests (demand misses) do not queue behind earlier
+        prefetches more than physically necessary — they still respect the
+        single channel, which is the point of the model.
+        """
+        start = max(cycle, self.next_free)
+        self.next_free = start + self.service_interval
+        self.fills += 1
+        self.busy_cycles += self.service_interval
+        return start + self.latency
+
+    def reset(self) -> None:
+        self.next_free = 0
+        self.fills = 0
+        self.busy_cycles = 0

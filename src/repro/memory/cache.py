@@ -1,0 +1,109 @@
+"""Set-associative timing cache with true-LRU replacement.
+
+Used for both caches of the paper's machine:
+
+* 128 KB direct-mapped instruction cache (associativity 1, 64-byte lines);
+* 32 KB 4-way data cache (32-byte lines).
+
+The cache tracks only line presence (timing); data lives in main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import MemoryError_
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.fills = self.evictions = 0
+
+
+class Cache:
+    """Timing-only set-associative cache."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, associativity: int,
+                 name: str = "cache"):
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise MemoryError_(
+                f"{name}: size {size_bytes} is not a multiple of "
+                f"line {line_bytes} x assoc {associativity}")
+        if line_bytes & (line_bytes - 1):
+            raise MemoryError_(f"{name}: line size must be a power of two")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        # per-set list of line addresses, most recently used last
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def line_address(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no statistics side effects."""
+        line = self.line_address(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; on hit, refresh LRU.  Returns hit/miss.
+
+        A miss does *not* fill the line: the caller decides (demand fill vs
+        prefetch completion) via :meth:`fill`, so that prefetch timing can be
+        modelled separately.
+        """
+        line = self.line_address(addr)
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing ``addr`` (evicting LRU if needed)."""
+        line = self.line_address(addr)
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+        elif len(ways) >= self.associativity:
+            ways.pop(0)
+            self.stats.evictions += 1
+        ways.append(line)
+        self.stats.fills += 1
+
+    def lines_for_range(self, addr: int, length: int) -> List[int]:
+        """Distinct line addresses covering ``[addr, addr + length)``."""
+        first = self.line_address(addr)
+        last = self.line_address(addr + length - 1)
+        return list(range(first, last + self.line_bytes, self.line_bytes))
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def __repr__(self) -> str:
+        return (f"Cache({self.name}: {self.size_bytes >> 10}KB, "
+                f"{self.associativity}-way, {self.line_bytes}B lines)")

@@ -1,0 +1,164 @@
+"""The complete memory system of the modified ST200 (Figure 1).
+
+Combines main memory, the 128 KB direct-mapped I-cache, the 32 KB 4-way
+D-cache with its prefetch buffer, and the shared external bus.  All demand
+misses stall the whole machine, per the paper ("on data cache misses, the
+whole machine stalls as usual").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.memory.bus import MemoryBus
+from repro.memory.cache import Cache
+from repro.memory.main_memory import MainMemory
+from repro.memory.prefetch import PrefetchBuffer
+
+
+@dataclass
+class MemoryTimings:
+    """Timing/geometry knobs of the memory hierarchy (paper defaults)."""
+
+    icache_size: int = 128 * 1024
+    icache_line: int = 64
+    icache_assoc: int = 1          # direct mapped
+    dcache_size: int = 32 * 1024
+    dcache_line: int = 32
+    dcache_assoc: int = 4
+    prefetch_entries: int = 8      # 64 in the loop-level experiments
+    bus_latency: int = 40          # line fill latency (cycles)
+    bus_service_interval: int = 8  # min cycles between line fills
+    #: the baseline prefetch buffer's hardware next-line prefetch on a miss
+    hardware_next_line_prefetch: bool = True
+    main_memory_size: int = 1 << 22
+
+
+@dataclass
+class MemoryStats:
+    load_count: int = 0
+    store_count: int = 0
+    dcache_stall_cycles: int = 0
+    demand_miss_stalls: int = 0
+    partial_miss_stalls: int = 0
+    icache_stall_cycles: int = 0
+
+    def reset(self) -> None:
+        self.load_count = self.store_count = 0
+        self.dcache_stall_cycles = 0
+        self.demand_miss_stalls = self.partial_miss_stalls = 0
+        self.icache_stall_cycles = 0
+
+
+class MemorySystem:
+    """Functional + timing memory model shared by the core and the RFU."""
+
+    def __init__(self, timings: Optional[MemoryTimings] = None):
+        self.timings = timings or MemoryTimings()
+        self.main = MainMemory(self.timings.main_memory_size)
+        self.bus = MemoryBus(self.timings.bus_latency,
+                             self.timings.bus_service_interval)
+        self.icache = Cache(self.timings.icache_size, self.timings.icache_line,
+                            self.timings.icache_assoc, name="I$")
+        self.dcache = Cache(self.timings.dcache_size, self.timings.dcache_line,
+                            self.timings.dcache_assoc, name="D$")
+        self.prefetch_buffer = PrefetchBuffer(self.timings.prefetch_entries,
+                                              self.bus)
+        self.stats = MemoryStats()
+
+    # -- data side -----------------------------------------------------------
+    def _dcache_stall(self, addr: int, cycle: int) -> int:
+        """Timing of one data access: 0 on hit, residual or full miss stall."""
+        if self.dcache.access(addr):
+            return 0
+        line = self.dcache.line_address(addr)
+        if self.timings.hardware_next_line_prefetch:
+            next_line = line + self.dcache.line_bytes
+            if not self.dcache.contains(next_line):
+                self.prefetch_buffer.issue(next_line, cycle)
+        ready = self.prefetch_buffer.lookup(line, cycle)
+        if ready is not None:
+            self.dcache.fill(addr)
+            stall = max(0, ready - cycle)
+            if stall:
+                self.stats.partial_miss_stalls += 1
+            return stall
+        arrival = self.bus.request(cycle, urgent=True)
+        self.dcache.fill(addr)
+        self.stats.demand_miss_stalls += 1
+        return arrival - cycle
+
+    def load_word(self, addr: int, cycle: int) -> Tuple[int, int]:
+        """Functional + timing word load: returns ``(value, stall_cycles)``."""
+        stall = self._dcache_stall(addr, cycle)
+        self.stats.load_count += 1
+        self.stats.dcache_stall_cycles += stall
+        return self.main.load_word(addr), stall
+
+    def load_byte(self, addr: int, cycle: int) -> Tuple[int, int]:
+        stall = self._dcache_stall(addr, cycle)
+        self.stats.load_count += 1
+        self.stats.dcache_stall_cycles += stall
+        return self.main.load_byte(addr), stall
+
+    def load_timing(self, addr: int, cycle: int) -> int:
+        """Timing-only load (trace replay fast path): returns stall cycles."""
+        stall = self._dcache_stall(addr, cycle)
+        self.stats.load_count += 1
+        self.stats.dcache_stall_cycles += stall
+        return stall
+
+    def store_word(self, addr: int, value: int, cycle: int) -> int:
+        """Write-through, no-allocate store; the write buffer hides latency."""
+        self.main.store_word(addr, value)
+        self.stats.store_count += 1
+        if self.dcache.contains(addr):
+            self.dcache.access(addr)  # update line + LRU on a write hit
+        return 0
+
+    def store_byte(self, addr: int, value: int, cycle: int) -> int:
+        self.main.store_byte(addr, value)
+        self.stats.store_count += 1
+        if self.dcache.contains(addr):
+            self.dcache.access(addr)
+        return 0
+
+    def prefetch_line(self, addr: int, cycle: int) -> bool:
+        """Software/RFU prefetch of one line into the prefetch buffer."""
+        line = self.dcache.line_address(addr)
+        if self.dcache.contains(line):
+            return False
+        return self.prefetch_buffer.issue(line, cycle)
+
+    def prefetch_range(self, addr: int, length: int, cycle: int) -> int:
+        """Prefetch all lines covering ``[addr, addr+length)``; returns count
+        of prefetches actually issued (a row crossing a line boundary issues
+        the extra prefetch the paper describes)."""
+        issued = 0
+        for line in self.dcache.lines_for_range(addr, length):
+            if self.prefetch_line(line, cycle):
+                issued += 1
+        return issued
+
+    # -- instruction side ------------------------------------------------------
+    def ifetch(self, addr: int, cycle: int) -> int:
+        """Instruction fetch timing for one bundle; returns stall cycles."""
+        if self.icache.access(addr):
+            return 0
+        arrival = self.bus.request(cycle, urgent=True)
+        self.icache.fill(addr)
+        stall = arrival - cycle
+        self.stats.icache_stall_cycles += stall
+        return stall
+
+    def reset_timing(self) -> None:
+        """Clear all timing state (caches, bus, stats) but keep memory data."""
+        self.icache.flush()
+        self.dcache.flush()
+        self.icache.stats.reset()
+        self.dcache.stats.reset()
+        self.prefetch_buffer.flush()
+        self.prefetch_buffer.stats.reset()
+        self.bus.reset()
+        self.stats.reset()

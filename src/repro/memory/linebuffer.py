@@ -1,0 +1,176 @@
+"""The RFU's local storage: Line Buffers A and B (paper §5b, Figs. 3 and 4).
+
+* **Line Buffer A** stores one *reference* macroblock: 16 rows of 16 pixels
+  (256 bytes) plus a ``Done`` flag per row.  The RFU macroblock-prefetch
+  instruction gathers the rows as their memory fills complete; a read of a
+  row whose flag is still 0 stalls the processor until the data lands.
+  Replacement is the natural circular row indexing.
+
+* **Line Buffer B** stores *candidate predictor* macroblocks: 4 x 17 cache
+  lines (double buffering x potential line crossings), fully associative
+  with tags derived from the row addresses.  Before issuing a line fill the
+  RFU checks for an already-present or pending entry with the same tag and
+  reuses it — the mechanism that exploits the overlap between consecutive
+  candidate predictors and cuts external traffic in Table 7.
+
+Both buffers have a 2-cycle access latency with throughput 1 (one whole row
+or line per access), exposed as ``ACCESS_LATENCY`` for the loop pipeline
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MemoryError_
+from repro.memory.bus import MemoryBus
+
+#: Row/line access latency of both buffers (cycles); throughput is 1.
+ACCESS_LATENCY = 2
+
+MACROBLOCK_ROWS = 16
+MACROBLOCK_COLS = 16
+
+
+@dataclass
+class LineBufferStats:
+    row_reads: int = 0
+    stalled_reads: int = 0
+    stall_cycles: int = 0
+    fills: int = 0
+    reused: int = 0
+    requests: int = 0
+
+    def reset(self) -> None:
+        self.row_reads = self.stalled_reads = self.stall_cycles = 0
+        self.fills = self.reused = self.requests = 0
+
+
+class LineBufferA:
+    """Reference-macroblock store: 16 rows x 16 pixels + Done flags."""
+
+    def __init__(self):
+        self.base_addr: Optional[int] = None
+        self.ready: List[Optional[int]] = [None] * MACROBLOCK_ROWS
+        self.stats = LineBufferStats()
+
+    def begin_fill(self, base_addr: int, row_ready_cycles: Sequence[int]) -> None:
+        """Start gathering a reference macroblock.
+
+        ``row_ready_cycles[i]`` is the cycle at which row ``i``'s memory fill
+        completes (scheduled by the prefetch engine on the shared bus); the
+        Done flag for the row turns 1 at that cycle.
+        """
+        if len(row_ready_cycles) != MACROBLOCK_ROWS:
+            raise MemoryError_(
+                f"LineBufferA fill needs {MACROBLOCK_ROWS} row completion "
+                f"times, got {len(row_ready_cycles)}")
+        self.base_addr = base_addr
+        self.ready = list(row_ready_cycles)
+        self.stats.fills += 1
+
+    def holds(self, base_addr: int) -> bool:
+        return self.base_addr == base_addr
+
+    def read_row(self, row: int, cycle: int) -> int:
+        """Read one 16-pixel row; returns the stall in cycles.
+
+        If the row's Done flag is still 0 the RFU stalls the processor until
+        the corresponding cache access completes (paper §5b).
+        """
+        if not 0 <= row < MACROBLOCK_ROWS:
+            raise MemoryError_(f"LineBufferA row {row} out of range")
+        ready = self.ready[row]
+        if ready is None:
+            raise MemoryError_("LineBufferA read before any fill was started")
+        self.stats.row_reads += 1
+        stall = max(0, ready - cycle)
+        if stall:
+            self.stats.stalled_reads += 1
+            self.stats.stall_cycles += stall
+        return stall
+
+
+class LineBufferB:
+    """Fully-associative, double-buffered predictor-line store.
+
+    Capacity: ``banks`` x ``lines_per_bank`` cache-line entries
+    (4 x 17 = 68 in the paper, 2176 data bytes + 240 tag/flag bits).
+
+    Entries are filled *through* the data-cache path (Figure 4: "Completed
+    from Data Cache (Prefetch buffer)"): a prefetch whose line already sits
+    in the D-cache completes at the buffer's access latency, anything else
+    goes through the prefetch buffer and shared bus.  A read whose tag
+    misses falls back to a normal data-cache access at the 1x32 bandwidth,
+    as the paper specifies for cache misses.
+    """
+
+    def __init__(self, memory, banks: int = 4, lines_per_bank: int = 17):
+        self.memory = memory
+        self.capacity = banks * lines_per_bank
+        self.banks = banks
+        self.lines_per_bank = lines_per_bank
+        # line address -> arrival cycle, insertion order = LRU order
+        self._entries: Dict[int, int] = {}
+        self.stats = LineBufferStats()
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._entries
+
+    def prefetch_lines(self, line_addrs: Sequence[int], cycle: int) -> List[Optional[int]]:
+        """Stage the prefetch-pattern of one candidate macroblock.
+
+        For every line: if an entry with the same tag is already present or
+        pending, the new request adopts its status and **no bus request is
+        issued** (the associative-reuse optimisation).  Returns the arrival
+        cycle per line (None when the prefetch was dropped).
+        """
+        arrivals: List[Optional[int]] = []
+        for line in line_addrs:
+            existing = self._entries.get(line)
+            if existing is not None:
+                # refresh LRU position, keep the (possibly earlier) arrival
+                del self._entries[line]
+                self._entries[line] = existing
+                self.stats.reused += 1
+                arrivals.append(existing)
+                continue
+            if self.memory.dcache.contains(line):
+                arrival = cycle + ACCESS_LATENCY
+            else:
+                arrival = self.memory.prefetch_buffer.issue_tracked(line, cycle)
+                if arrival is None:
+                    arrivals.append(None)  # dropped: demand access at read
+                    continue
+                self.stats.requests += 1
+            while len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[line] = arrival
+            self.stats.fills += 1
+            arrivals.append(arrival)
+        return arrivals
+
+    def read_line(self, line_addr: int, cycle: int) -> int:
+        """Read one line; returns stall cycles.
+
+        Tag hit: wait for the entry's arrival.  Tag miss: a normal D-cache
+        access (which may itself hit, partially hit the prefetch buffer, or
+        demand-miss to the bus)."""
+        self.stats.row_reads += 1
+        ready = self._entries.get(line_addr)
+        if ready is None:
+            stall = self.memory.load_timing(line_addr, cycle)
+        else:
+            stall = max(0, ready - cycle)
+            # the data moved on chip through the D$ controller; keep the
+            # line warm there for future tag misses
+            self.memory.dcache.fill(line_addr)
+        if stall:
+            self.stats.stalled_reads += 1
+            self.stats.stall_cycles += stall
+        return stall
+
+    def flush(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,67 @@
+"""Byte-addressable main memory backed by a numpy array (little endian)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.utils.bitops import MASK32, to_u32
+
+
+class MainMemory:
+    """Flat physical memory.
+
+    Words are little-endian: the byte at the lowest address is the least
+    significant lane, matching :mod:`repro.utils.bitops` packing so that the
+    pixel at the lowest address is SIMD lane 0.
+    """
+
+    def __init__(self, size: int = 1 << 22):
+        if size <= 0 or size % 4 != 0:
+            raise MemoryError_(f"memory size must be a positive multiple of 4,"
+                               f" got {size}")
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, addr: int, width: int) -> None:
+        if not 0 <= addr <= self.size - width:
+            raise MemoryError_(
+                f"access at 0x{addr:x} (width {width}) outside memory of "
+                f"size 0x{self.size:x}")
+
+    def load_byte(self, addr: int) -> int:
+        self._check(addr, 1)
+        return int(self.data[addr])
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self.data[addr] = value & 0xFF
+
+    def load_word(self, addr: int) -> int:
+        """Load a 32-bit little-endian word (4-byte aligned)."""
+        if addr % 4 != 0:
+            raise MemoryError_(f"unaligned word load at 0x{addr:x}")
+        self._check(addr, 4)
+        chunk = self.data[addr:addr + 4]
+        return int(chunk[0]) | (int(chunk[1]) << 8) | (int(chunk[2]) << 16) \
+            | (int(chunk[3]) << 24)
+
+    def store_word(self, addr: int, value: int) -> None:
+        if addr % 4 != 0:
+            raise MemoryError_(f"unaligned word store at 0x{addr:x}")
+        self._check(addr, 4)
+        value = to_u32(value)
+        self.data[addr] = value & 0xFF
+        self.data[addr + 1] = (value >> 8) & 0xFF
+        self.data[addr + 2] = (value >> 16) & 0xFF
+        self.data[addr + 3] = (value >> 24) & 0xFF
+
+    def write_block(self, addr: int, payload) -> None:
+        """Bulk byte copy (used to place frames in memory)."""
+        payload = np.asarray(payload, dtype=np.uint8).ravel()
+        self._check(addr, len(payload))
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_block(self, addr: int, length: int) -> np.ndarray:
+        self._check(addr, length)
+        return self.data[addr:addr + length].copy()

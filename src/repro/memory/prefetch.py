@@ -1,0 +1,101 @@
+"""The data-cache prefetch buffer.
+
+The paper's baseline D-cache has an 8-entry prefetch buffer, extended to 64
+entries for the loop-level RFU experiments so the macroblock prefetch-pattern
+instructions have room for their 16/17-line bursts.
+
+An entry tracks one in-flight line and the cycle its data arrives (scheduled
+on the shared :class:`~repro.memory.bus.MemoryBus`).  A demand load finding
+its line pending stalls only for the residual cycles (a *partial* miss); a
+prefetch arriving for a full buffer is dropped, as hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.memory.bus import MemoryBus
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    duplicates: int = 0
+    dropped: int = 0
+    useful: int = 0
+    late: int = 0
+
+    def reset(self) -> None:
+        self.issued = self.duplicates = 0
+        self.dropped = self.useful = self.late = 0
+
+
+class PrefetchBuffer:
+    """Fixed-capacity buffer of in-flight prefetched lines."""
+
+    def __init__(self, entries: int, bus: MemoryBus):
+        self.capacity = entries
+        self.bus = bus
+        self._pending: Dict[int, int] = {}  # line addr -> arrival cycle
+        self.stats = PrefetchStats()
+
+    def _reap(self, cycle: int) -> None:
+        """Drop bookkeeping for arrivals so far in the past they cannot
+        matter; keeps the dict bounded across long traces."""
+        if len(self._pending) <= 4 * self.capacity:
+            return
+        horizon = cycle - 8 * self.bus.latency
+        self._pending = {line: ready for line, ready in self._pending.items()
+                         if ready >= horizon}
+
+    def in_flight(self, cycle: int) -> int:
+        return sum(1 for ready in self._pending.values() if ready > cycle)
+
+    def issue(self, line_addr: int, cycle: int) -> bool:
+        """Issue a prefetch for ``line_addr`` at ``cycle``.
+
+        Returns False when dropped (buffer full) or deduplicated.
+        """
+        if line_addr in self._pending:
+            self.stats.duplicates += 1
+            return False
+        if self.in_flight(cycle) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._pending[line_addr] = self.bus.request(cycle)
+        self.stats.issued += 1
+        self._reap(cycle)
+        return True
+
+    def issue_tracked(self, line_addr: int, cycle: int) -> Optional[int]:
+        """Like :meth:`issue` but returns the arrival cycle (reusing a
+        pending entry's arrival on deduplication), or None when dropped.
+        Used by Line Buffer B, whose tag-matching adopts pending fills."""
+        pending = self._pending.get(line_addr)
+        if pending is not None:
+            self.stats.duplicates += 1
+            return pending
+        if self.in_flight(cycle) >= self.capacity:
+            self.stats.dropped += 1
+            return None
+        arrival = self.bus.request(cycle)
+        self._pending[line_addr] = arrival
+        self.stats.issued += 1
+        self._reap(cycle)
+        return arrival
+
+    def lookup(self, line_addr: int, cycle: int) -> Optional[int]:
+        """If the line is (or will be) in the buffer, pop it and return the
+        arrival cycle; otherwise None.  The caller moves it into the cache."""
+        ready = self._pending.pop(line_addr, None)
+        if ready is None:
+            return None
+        if ready <= cycle:
+            self.stats.useful += 1
+        else:
+            self.stats.late += 1
+        return ready
+
+    def flush(self) -> None:
+        self._pending.clear()

@@ -1,0 +1,39 @@
+"""Program representation and the VLIW 'compiler' substrate.
+
+The paper compiles C with the Multiflow-based ST200 compiler.  Here kernels
+are built programmatically as basic blocks of operations on virtual
+registers; a dependence-DAG list scheduler packs them into bundles under the
+cluster's resource constraints and a linear-scan allocator maps virtual to
+architectural registers.  See DESIGN.md §2 for why this substitution
+preserves the experiments' behaviour.
+"""
+
+from repro.program.ir import BasicBlock, Program
+from repro.program.builder import KernelBuilder
+from repro.program.dag import DependenceGraph, build_dependence_graph
+from repro.program.scheduler import ScheduledBlock, schedule_block, schedule_program
+from repro.program.regalloc import allocate_registers
+from repro.program.analysis import (
+    BlockAnalysis,
+    analyse_block,
+    analyse_program,
+    occupancy_chart,
+    utilisation_report,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockAnalysis",
+    "DependenceGraph",
+    "KernelBuilder",
+    "Program",
+    "ScheduledBlock",
+    "allocate_registers",
+    "analyse_block",
+    "analyse_program",
+    "build_dependence_graph",
+    "occupancy_chart",
+    "schedule_block",
+    "schedule_program",
+    "utilisation_report",
+]

@@ -1,0 +1,147 @@
+"""Static schedule analysis: utilisation, bounds, and occupancy rendering.
+
+Answers the questions an architect asks of a VLIW schedule: how full are
+the issue slots, which functional unit is the bottleneck, how close is the
+schedule to its dataflow and resource lower bounds, and what does slot
+occupancy look like cycle by cycle (the classic VLIW "schedule picture",
+used by ``python -m repro schedule --stats``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.opcodes import Resource
+from repro.program.dag import build_dependence_graph
+from repro.program.ir import BasicBlock
+from repro.program.scheduler import (
+    DEFAULT_CAPACITY,
+    ISSUE_WIDTH,
+    ScheduledBlock,
+    ScheduledProgram,
+    default_latency,
+)
+
+
+@dataclass
+class BlockAnalysis:
+    """Static schedule metrics of one block."""
+
+    label: str
+    cycles: int
+    ops: int
+    resource_ops: Dict[Resource, int]
+    critical_path: int
+    resource_bound: int
+
+    @property
+    def ipc(self) -> float:
+        return self.ops / self.cycles if self.cycles else 0.0
+
+    @property
+    def slot_utilisation(self) -> float:
+        return self.ops / (self.cycles * ISSUE_WIDTH) if self.cycles else 0.0
+
+    @property
+    def lower_bound(self) -> int:
+        return max(self.critical_path, self.resource_bound)
+
+    @property
+    def schedule_efficiency(self) -> float:
+        """lower bound / achieved: 1.0 means provably optimal length."""
+        return self.lower_bound / self.cycles if self.cycles else 1.0
+
+    def bottleneck(self) -> Optional[Resource]:
+        """The resource whose capacity bound is tightest, if any."""
+        best = None
+        best_cycles = 0
+        for resource, count in self.resource_ops.items():
+            capacity = DEFAULT_CAPACITY[resource]
+            needed = -(-count // capacity)
+            if needed > best_cycles:
+                best_cycles = needed
+                best = resource
+        return best
+
+
+def analyse_block(scheduled: ScheduledBlock,
+                  source: Optional[BasicBlock] = None,
+                  latency_of=default_latency) -> BlockAnalysis:
+    """Compute the metrics of one scheduled block.
+
+    ``source`` (the pre-schedule block) enables the critical-path bound;
+    without it the bound falls back to 1.
+    """
+    ops = [op for bundle in scheduled.bundles for op in bundle]
+    resource_ops = Counter(op.spec.resource for op in ops)
+    critical_path = 1
+    if source is not None and source.ops:
+        graph = build_dependence_graph(source, latency_of)
+        # longest path of edge distances; +1 for the final issue cycle
+        order = graph._topological_order()
+        longest: Dict[int, int] = {index: 0 for index in order}
+        for index in reversed(order):
+            for successor, distance in graph.succs.get(index, ()):
+                longest[index] = max(longest[index],
+                                     distance + longest[successor])
+        critical_path = max(longest.values()) + 1
+    resource_bound = 1
+    for resource, count in resource_ops.items():
+        capacity = DEFAULT_CAPACITY[resource]
+        resource_bound = max(resource_bound, -(-count // capacity))
+    resource_bound = max(resource_bound, -(-len(ops) // ISSUE_WIDTH))
+    return BlockAnalysis(
+        label=scheduled.label,
+        cycles=scheduled.length,
+        ops=len(ops),
+        resource_ops=dict(resource_ops),
+        critical_path=critical_path,
+        resource_bound=resource_bound,
+    )
+
+
+def analyse_program(scheduled: ScheduledProgram) -> List[BlockAnalysis]:
+    source_blocks = {block.label: block
+                     for block in scheduled.program.blocks}
+    return [analyse_block(block, source_blocks.get(block.label))
+            for block in scheduled.blocks]
+
+
+_RESOURCE_GLYPH = {
+    Resource.ALU: "A",
+    Resource.MUL: "M",
+    Resource.LSU: "L",
+    Resource.BRANCH: "B",
+    Resource.RFU: "R",
+}
+
+
+def occupancy_chart(scheduled: ScheduledBlock, width: int = ISSUE_WIDTH) -> str:
+    """Render the classic slot-occupancy picture, one cycle per line.
+
+    Glyphs: A = ALU, M = multiplier, L = load/store, B = branch,
+    R = RFU, '.' = empty slot.
+    """
+    lines = [f"{scheduled.label}: cycle | slots"]
+    for cycle, bundle in enumerate(scheduled.bundles):
+        glyphs = [_RESOURCE_GLYPH[op.spec.resource] for op in bundle]
+        glyphs += ["."] * (width - len(glyphs))
+        lines.append(f"{cycle:10d} | {' '.join(glyphs)}")
+    return "\n".join(lines)
+
+
+def utilisation_report(scheduled: ScheduledProgram) -> str:
+    """Multi-block utilisation summary, one line per block."""
+    lines = [f"{'block':>14s} {'cycles':>7s} {'ops':>5s} {'IPC':>5s} "
+             f"{'slots':>6s} {'eff':>5s}  bottleneck"]
+    for analysis in analyse_program(scheduled):
+        bottleneck = analysis.bottleneck()
+        lines.append(
+            f"{analysis.label:>14s} {analysis.cycles:>7d} "
+            f"{analysis.ops:>5d} {analysis.ipc:>5.2f} "
+            f"{100 * analysis.slot_utilisation:>5.1f}% "
+            f"{100 * analysis.schedule_efficiency:>4.0f}%  "
+            f"{bottleneck.value if bottleneck else '-'}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Fluent builder for constructing kernels in the ST200+RFU IR.
+
+Example::
+
+    kb = KernelBuilder("axpy")
+    a, x, y = kb.param("a"), kb.param("x"), kb.param("y")
+    with kb.block("body"):
+        product = kb.emit("mul", a, x)
+        total = kb.emit("add", product, y)
+    kb.set_result(total)
+    program = kb.finish()
+
+Each ``emit`` creates a fresh virtual destination register (SSA-style) unless
+``dest=`` names an existing one (used for loop-carried accumulators, which
+should also be declared ``persistent``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import IsaError
+from repro.isa.instruction import Operation
+from repro.isa.registers import Register, VirtualRegister, vreg
+from repro.program.ir import BasicBlock, Program
+
+RegisterLike = Union[Register, int]
+
+
+class KernelBuilder:
+    """Incrementally build a :class:`~repro.program.ir.Program`."""
+
+    def __init__(self, name: str):
+        self.program = Program(name)
+        self._current: Optional[BasicBlock] = None
+        self._materialised_consts = {}
+
+    # -- structure ---------------------------------------------------------
+    @contextlib.contextmanager
+    def block(self, label: str):
+        """Open a new basic block; emitted ops go into it."""
+        if any(blk.label == label for blk in self.program.blocks):
+            raise IsaError(f"duplicate block label {label!r}")
+        new_block = BasicBlock(label)
+        self.program.blocks.append(new_block)
+        previous, self._current = self._current, new_block
+        try:
+            yield new_block
+        finally:
+            self._current = previous
+
+    def param(self, name: str) -> VirtualRegister:
+        """Declare a kernel parameter (initialised by the caller)."""
+        reg = vreg(name)
+        self.program.params.append(reg)
+        self.program.persistent.add(reg)
+        return reg
+
+    def persistent_reg(self, name: str, is_branch: bool = False) -> VirtualRegister:
+        """Declare a register live across blocks / loop iterations."""
+        reg = vreg(name, is_branch=is_branch)
+        self.program.persistent.add(reg)
+        return reg
+
+    def set_result(self, reg: VirtualRegister) -> None:
+        self.program.result = reg
+        self.program.persistent.add(reg)
+
+    def finish(self) -> Program:
+        self.program.validate()
+        return self.program
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, opcode: str, *srcs: Register,
+             dest: Optional[Register] = None,
+             imm: Optional[int] = None,
+             label: Optional[str] = None,
+             mem_tag: Optional[str] = None,
+             comment: str = "",
+             is_branch_dest: bool = False) -> Optional[Register]:
+        """Append one operation to the current block.
+
+        Returns the destination register (a fresh virtual unless ``dest`` is
+        given), or ``None`` for ops without a destination.
+        """
+        if self._current is None:
+            raise IsaError("emit() outside of a block() context")
+        from repro.isa.opcodes import opcode_spec
+        spec = opcode_spec(opcode)
+        if spec.has_dest and dest is None:
+            dest = vreg(opcode, is_branch=spec.writes_branch_reg or is_branch_dest)
+        op = Operation(opcode=opcode, dest=dest, srcs=tuple(srcs), imm=imm,
+                       label=label, mem_tag=mem_tag, comment=comment)
+        self._current.append(op)
+        return dest
+
+    def const(self, value: int, comment: str = "") -> VirtualRegister:
+        """Materialise an integer constant (one ``movi`` per block & value)."""
+        key = (self._current.label if self._current else None, value)
+        cached = self._materialised_consts.get(key)
+        if cached is not None:
+            return cached
+        reg = self.emit("movi", imm=value, comment=comment or f"const {value}")
+        self._materialised_consts[key] = reg
+        return reg
+
+    # -- common idioms -----------------------------------------------------
+    def load_word(self, base: Register, offset: int = 0,
+                  mem_tag: Optional[str] = None) -> VirtualRegister:
+        return self.emit("ldw", base, imm=offset, mem_tag=mem_tag)
+
+    def align_window(self, low: Register, high: Register,
+                     byte_shift: int) -> Register:
+        """Baseline realignment of a pixel window spanning two words.
+
+        Uses the plain shift/or idiom available in the base ISA (three ops);
+        ``byte_shift`` 0 is a no-op returning ``low``.
+        """
+        if byte_shift == 0:
+            return low
+        shifted_low = self.emit("shri", low, imm=8 * byte_shift)
+        shifted_high = self.emit("shli", high, imm=32 - 8 * byte_shift)
+        return self.emit("or", shifted_low, shifted_high)
+
+    def counted_loop(self, label: str, counter: VirtualRegister):
+        """Context manager emitting the decrement-test-branch loop epilogue.
+
+        ``counter`` must be persistent and initialised before the block.
+        """
+        builder = self
+
+        @contextlib.contextmanager
+        def _loop():
+            with builder.block(label) as blk:
+                yield blk
+                builder.emit("addi", counter, dest=counter, imm=-1)
+                cond = builder.emit("cmpnei", counter, imm=0)
+                builder.emit("br", cond, imm=0, label=label)
+
+        return _loop()
+
+
+def straightline_program(name: str, ops: Sequence[Operation]) -> Program:
+    """Wrap a flat op list into a single-block program (testing helper)."""
+    block = BasicBlock("entry", list(ops))
+    program = Program(name, [block])
+    program.validate()
+    return program

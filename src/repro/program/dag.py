@@ -1,0 +1,133 @@
+"""Dependence graph construction for one basic block.
+
+Edges carry the minimum cycle distance between producer and consumer issue:
+
+* RAW (true) dependence: the producer's latency;
+* WAR anti-dependence: 0 (the exposed pipeline reads registers at issue, so
+  a write may share the reader's cycle);
+* WAW output dependence: 1;
+* memory ordering inside one ``mem_tag`` group: loads may pass loads, but
+  any pair involving a store keeps program order (distance 1 for
+  store->load so a subsequent load observes the stored value, 0 for
+  load->store and store->store which the machine applies in issue order).
+
+RFU operations on the same configuration are kept in program order with
+distance equal to the producer's configuration latency: the INIT/SEND/EXEC
+protocol of the paper is inherently sequential per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Operation
+from repro.isa.opcodes import Resource
+from repro.program.ir import BasicBlock
+
+
+@dataclass
+class DependenceGraph:
+    """Immutable-ish dependence DAG over the ops of one basic block."""
+
+    ops: List[Operation]
+    #: successor adjacency: index -> list of (successor index, min distance)
+    succs: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    preds: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def add_edge(self, src: int, dst: int, distance: int) -> None:
+        self.succs.setdefault(src, []).append((dst, distance))
+        self.preds.setdefault(dst, []).append((src, distance))
+
+    def critical_path_lengths(self, latency_of) -> List[int]:
+        """Height of each node: longest distance to any DAG sink.
+
+        ``latency_of(op)`` supplies the producer latency used for the node's
+        own contribution (RFU latencies are configuration-dependent).
+        """
+        order = self._topological_order()
+        heights = [0] * len(self.ops)
+        for index in reversed(order):
+            best = 0
+            for succ, distance in self.succs.get(index, ()):
+                best = max(best, distance + heights[succ])
+            heights[index] = best + max(1, latency_of(self.ops[index]))
+        return heights
+
+    def _topological_order(self) -> List[int]:
+        indegree = [0] * len(self.ops)
+        for dst, edges in self.preds.items():
+            indegree[dst] = len(edges)
+        ready = [i for i, degree in enumerate(indegree) if degree == 0]
+        order: List[int] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ, _ in self.succs.get(node, ()):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.ops):
+            raise AssertionError("dependence graph has a cycle")
+        return order
+
+
+def build_dependence_graph(block: BasicBlock, latency_of) -> DependenceGraph:
+    """Build the dependence DAG for ``block``.
+
+    ``latency_of(op)`` returns the producer latency of an operation,
+    resolving RFU configuration latencies through the active registry.
+    """
+    graph = DependenceGraph(list(block.ops))
+    last_def: Dict[object, int] = {}
+    uses_since_def: Dict[object, List[int]] = {}
+    last_store: Dict[Optional[str], int] = {}
+    mem_ops: Dict[Optional[str], List[int]] = {}
+    last_rfu: Dict[Optional[int], int] = {}
+    branch_index: Optional[int] = None
+
+    for index, op in enumerate(graph.ops):
+        spec = op.spec
+        # register dependences
+        for src in op.srcs:
+            if src in last_def:
+                producer = last_def[src]
+                graph.add_edge(producer, index,
+                               latency_of(graph.ops[producer]))
+            uses_since_def.setdefault(src, []).append(index)
+        if op.dest is not None:
+            if op.dest in last_def:
+                graph.add_edge(last_def[op.dest], index, 1)  # WAW
+            for reader in uses_since_def.get(op.dest, ()):
+                if reader != index:
+                    graph.add_edge(reader, index, 0)  # WAR
+            last_def[op.dest] = index
+            uses_since_def[op.dest] = []
+        # memory ordering within a tag group
+        if spec.is_load or spec.is_store or spec.is_prefetch:
+            tag = op.mem_tag
+            if spec.is_store:
+                for other in mem_ops.get(tag, ()):
+                    graph.add_edge(other, index, 0)
+            elif tag in last_store:
+                graph.add_edge(last_store[tag], index, 1)
+            mem_ops.setdefault(tag, []).append(index)
+            if spec.is_store:
+                last_store[tag] = index
+        # RFU protocol order per configuration
+        if spec.resource is Resource.RFU:
+            key = op.imm
+            if key in last_rfu:
+                producer = last_rfu[key]
+                graph.add_edge(producer, index,
+                               max(1, latency_of(graph.ops[producer])))
+            last_rfu[key] = index
+        if spec.is_branch:
+            branch_index = index
+
+    # The branch issues no earlier than every other op (it closes the block).
+    if branch_index is not None:
+        for index in range(len(graph.ops)):
+            if index != branch_index:
+                graph.add_edge(index, branch_index, 0)
+    return graph

@@ -1,0 +1,104 @@
+"""Intermediate representation: programs as labelled basic blocks.
+
+A :class:`Program` is an ordered list of :class:`BasicBlock`; control falls
+through block to block unless a branch operation transfers to another label.
+Registers are :class:`~repro.isa.registers.VirtualRegister` until
+:func:`repro.program.regalloc.allocate_registers` rewrites them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import IsaError
+from repro.isa.instruction import Operation
+from repro.isa.registers import Register, VirtualRegister
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of operations ending in (at most) one branch."""
+
+    label: str
+    ops: List[Operation] = field(default_factory=list)
+
+    def append(self, op: Operation) -> Operation:
+        if self.terminated:
+            raise IsaError(
+                f"block {self.label!r} already ends in a branch; "
+                f"cannot append {op!r}")
+        self.ops.append(op)
+        return op
+
+    @property
+    def terminated(self) -> bool:
+        return bool(self.ops) and self.ops[-1].spec.is_branch
+
+    @property
+    def branch(self) -> Optional[Operation]:
+        return self.ops[-1] if self.terminated else None
+
+    def defined_registers(self) -> Set[Register]:
+        return {op.dest for op in self.ops if op.dest is not None}
+
+    def used_registers(self) -> Set[Register]:
+        used: Set[Register] = set()
+        for op in self.ops:
+            used.update(op.srcs)
+        return used
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.label!r}, {len(self.ops)} ops)"
+
+
+@dataclass
+class Program:
+    """An ordered collection of basic blocks plus allocation metadata.
+
+    ``persistent`` lists virtual registers whose values must survive across
+    block boundaries and loop back-edges (kernel parameters, loop counters,
+    accumulators); the allocator pins each to a dedicated physical register
+    for the program's whole lifetime.
+    """
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    persistent: Set[VirtualRegister] = field(default_factory=set)
+    #: Virtual registers the caller initialises before execution, in order.
+    params: List[VirtualRegister] = field(default_factory=list)
+    #: Virtual register holding the kernel result (read after execution).
+    result: Optional[VirtualRegister] = None
+
+    def block(self, label: str) -> BasicBlock:
+        for candidate in self.blocks:
+            if candidate.label == label:
+                return candidate
+        raise IsaError(f"program {self.name!r} has no block {label!r}")
+
+    def block_index(self) -> Dict[str, int]:
+        return {blk.label: i for i, blk in enumerate(self.blocks)}
+
+    def all_ops(self) -> List[Operation]:
+        return [op for blk in self.blocks for op in blk.ops]
+
+    def validate(self) -> None:
+        """Check structural invariants: unique labels, resolvable branches."""
+        labels = [blk.label for blk in self.blocks]
+        if len(set(labels)) != len(labels):
+            raise IsaError(f"duplicate block labels in program {self.name!r}")
+        known = set(labels)
+        for blk in self.blocks:
+            for op in blk.ops:
+                if op.spec.is_branch and op.label not in known:
+                    raise IsaError(
+                        f"branch target {op.label!r} in block {blk.label!r} "
+                        f"does not name a block")
+            for op in blk.ops[:-1]:
+                if op.spec.is_branch:
+                    raise IsaError(
+                        f"branch {op!r} is not the last op of block "
+                        f"{blk.label!r}")
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.blocks)} blocks)"

@@ -1,0 +1,129 @@
+"""Linear-scan register allocation onto the 64 GPR / 8 BR cluster files.
+
+Virtual registers named in ``Program.persistent`` (parameters, loop counters,
+accumulators — anything live across a block boundary or a loop back edge)
+receive a dedicated physical register for the program's whole lifetime,
+allocated from the top of the file downwards.  All remaining virtuals are
+block-local temporaries allocated by linear scan from the bottom up
+(``$r1``..; ``$r0`` stays the hardwired zero).
+
+The allocator runs on the *scheduled* program so live ranges follow issue
+order, mirroring a postpass allocator as used by VLIW compilers of the Lx
+generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import RegisterAllocationError
+from repro.isa.instruction import Operation
+from repro.isa.registers import (
+    NUM_BR,
+    NUM_GPR,
+    BranchRegister,
+    GeneralRegister,
+    Register,
+    VirtualRegister,
+    br,
+    gpr,
+)
+from repro.program.scheduler import ScheduledProgram
+
+
+def _linear_ops(scheduled: ScheduledProgram) -> List[Tuple[int, Operation]]:
+    """All operations in global issue order with a monotone position index."""
+    out: List[Tuple[int, Operation]] = []
+    position = 0
+    for block in scheduled.blocks:
+        for bundle in block.bundles:
+            for op in bundle:
+                out.append((position, op))
+            position += 1
+        position += 1  # block boundary gap
+    return out
+
+
+def allocate_registers(scheduled: ScheduledProgram) -> Dict[VirtualRegister, Register]:
+    """Compute and apply a virtual -> architectural register mapping.
+
+    Returns the mapping; bundles are rewritten in place.
+    """
+    program = scheduled.program
+    ops = _linear_ops(scheduled)
+
+    first_def: Dict[VirtualRegister, int] = {}
+    last_use: Dict[VirtualRegister, int] = {}
+    for position, op in ops:
+        for reg in op.srcs:
+            if isinstance(reg, VirtualRegister):
+                last_use[reg] = position
+                first_def.setdefault(reg, position)  # used before def: param
+        if isinstance(op.dest, VirtualRegister):
+            first_def.setdefault(op.dest, position)
+            last_use.setdefault(op.dest, position)
+
+    mapping: Dict[VirtualRegister, Register] = {}
+    used_gpr: Set[int] = {0}
+    used_br: Set[int] = set()
+
+    persistent = set(program.persistent) | set(program.params)
+    if program.result is not None:
+        persistent.add(program.result)
+    gpr_top = NUM_GPR - 1
+    br_top = NUM_BR - 1
+    for reg in sorted(persistent, key=lambda v: v.index):
+        if reg.is_branch:
+            while br_top in used_br:
+                br_top -= 1
+            if br_top < 0:
+                raise RegisterAllocationError(
+                    f"out of branch registers in {program.name!r}")
+            mapping[reg] = br(br_top)
+            used_br.add(br_top)
+        else:
+            while gpr_top in used_gpr:
+                gpr_top -= 1
+            if gpr_top < 1:
+                raise RegisterAllocationError(
+                    f"out of general registers in {program.name!r}")
+            mapping[reg] = gpr(gpr_top)
+            used_gpr.add(gpr_top)
+
+    # Linear scan for the block-local temporaries.
+    temps = [reg for reg in first_def
+             if isinstance(reg, VirtualRegister) and reg not in mapping]
+    temps.sort(key=lambda v: (first_def[v], v.index))
+    free_gpr = [i for i in range(1, NUM_GPR) if i not in used_gpr]
+    free_br = [i for i in range(NUM_BR) if i not in used_br]
+    active: List[Tuple[int, int, bool]] = []  # (last_use, phys index, is_br)
+
+    for reg in temps:
+        start = first_def[reg]
+        still_active = []
+        for end, phys, is_branch in active:
+            if end < start:
+                (free_br if is_branch else free_gpr).append(phys)
+            else:
+                still_active.append((end, phys, is_branch))
+        active = still_active
+        pool = free_br if reg.is_branch else free_gpr
+        if not pool:
+            bank = "branch" if reg.is_branch else "general"
+            raise RegisterAllocationError(
+                f"out of {bank} registers in {program.name!r} "
+                f"({len(temps)} temporaries)")
+        pool.sort()
+        phys = pool.pop(0)
+        active.append((last_use[reg], phys, reg.is_branch))
+        mapping[reg] = br(phys) if reg.is_branch else gpr(phys)
+
+    def rewrite(reg):
+        if isinstance(reg, VirtualRegister):
+            return mapping[reg]
+        return reg
+
+    for block in scheduled.blocks:
+        for bundle in block.bundles:
+            bundle.ops = [op.renamed(rewrite) for op in bundle.ops]
+    return mapping

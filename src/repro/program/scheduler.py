@@ -1,0 +1,192 @@
+"""Cycle-by-cycle VLIW list scheduler.
+
+Classic critical-path list scheduling: operations become candidates once all
+predecessors have issued far enough in the past to satisfy edge distances;
+among candidates the one with the greatest height (critical path to a sink)
+issues first, subject to the cluster's per-cycle resource limits
+
+* 4 issue slots in total,
+* 4 ALU operations, 2 multiplies, 1 load/store/prefetch, 1 branch,
+* 1 RFU operation (the RFU is a single additional functional unit).
+
+The returned :class:`ScheduledBlock` stores the bundle list; its length is
+the block's static schedule length in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ScheduleError
+from repro.isa.instruction import Bundle, Operation
+from repro.isa.opcodes import Resource
+from repro.program.dag import build_dependence_graph
+from repro.program.ir import BasicBlock, Program
+
+#: Per-cycle resource capacities of the 1-cluster ST200 (+ RFU).
+DEFAULT_CAPACITY: Dict[Resource, int] = {
+    Resource.ALU: 4,
+    Resource.MUL: 2,
+    Resource.LSU: 1,
+    Resource.BRANCH: 1,
+    Resource.RFU: 1,
+}
+ISSUE_WIDTH = 4
+
+LatencyFn = Callable[[Operation], int]
+
+
+def default_latency(op: Operation) -> int:
+    """Producer latency from the opcode table; RFU ops default to 1 cycle."""
+    latency = op.spec.latency
+    return 1 if latency is None else latency
+
+
+@dataclass
+class ScheduledBlock:
+    """A basic block after scheduling: one bundle per cycle."""
+
+    label: str
+    bundles: List[Bundle] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Static schedule length in cycles."""
+        return len(self.bundles)
+
+    def op_count(self) -> int:
+        return sum(len(bundle) for bundle in self.bundles)
+
+
+#: live-value high-water mark: beyond this many in-flight temporaries the
+#: scheduler stops hoisting range-opening ops (the cluster has 63 usable
+#: GPRs and kernels pin ~15 persistent values)
+PRESSURE_LIMIT = 44
+
+
+def schedule_block(block: BasicBlock,
+                   latency_of: Optional[LatencyFn] = None,
+                   capacity: Optional[Dict[Resource, int]] = None,
+                   issue_width: int = ISSUE_WIDTH,
+                   pressure_limit: int = PRESSURE_LIMIT) -> ScheduledBlock:
+    """List-schedule one basic block into bundles.
+
+    Critical-path priority with a register-pressure guard: once the number
+    of live (defined, not yet fully consumed) values reaches
+    ``pressure_limit``, operations that would open a new live range are
+    deferred in favour of ops that close ranges, mirroring what a
+    production VLIW scheduler's pressure heuristic does.
+    """
+    latency_of = latency_of or default_latency
+    capacity = dict(capacity or DEFAULT_CAPACITY)
+    if not block.ops:
+        return ScheduledBlock(block.label, [Bundle()])
+
+    graph = build_dependence_graph(block, latency_of)
+    heights = graph.critical_path_lengths(latency_of)
+    num_ops = len(graph.ops)
+    remaining_preds = [len(graph.preds.get(i, ())) for i in range(num_ops)]
+    earliest = [0] * num_ops
+    issued_cycle: Dict[int, int] = {}
+    unscheduled = set(range(num_ops))
+    bundles: List[Bundle] = []
+
+    remaining_uses: Dict[object, int] = {}
+    for op in graph.ops:
+        for src in op.srcs:
+            remaining_uses[src] = remaining_uses.get(src, 0) + 1
+    live = 0
+
+    cycle = 0
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 100000:
+            raise ScheduleError(
+                f"scheduler failed to converge on block {block.label!r}")
+        bundle = Bundle()
+        used: Dict[Resource, int] = {resource: 0 for resource in capacity}
+        ready = [i for i in unscheduled
+                 if remaining_preds[i] == 0 and earliest[i] <= cycle]
+        # highest critical path first; ties broken by program order
+        ready.sort(key=lambda i: (-heights[i], i))
+        deferred_for_pressure = False
+        for index in ready:
+            op = graph.ops[index]
+            resource = op.spec.resource
+            if len(bundle) >= issue_width:
+                break
+            if used[resource] >= capacity[resource]:
+                continue
+            closes = sum(1 for src in set(op.srcs)
+                         if remaining_uses.get(src, 0) == op.srcs.count(src))
+            opens = 1 if (op.dest is not None
+                          and remaining_uses.get(op.dest, 0) > 0) else 0
+            if live >= pressure_limit and opens > closes:
+                deferred_for_pressure = True
+                continue
+            bundle.ops.append(op)
+            used[resource] += 1
+            issued_cycle[index] = cycle
+            unscheduled.discard(index)
+            for src in op.srcs:
+                remaining_uses[src] -= 1
+                if remaining_uses[src] == 0:
+                    live -= 1
+            live += opens
+        if not bundle.ops and deferred_for_pressure and ready:
+            # liveness cannot drop without issuing something: emergency
+            # issue of the highest-priority ready op to guarantee progress
+            index = ready[0]
+            op = graph.ops[index]
+            bundle.ops.append(op)
+            issued_cycle[index] = cycle
+            unscheduled.discard(index)
+            for src in op.srcs:
+                remaining_uses[src] -= 1
+                if remaining_uses[src] == 0:
+                    live -= 1
+            if op.dest is not None and remaining_uses.get(op.dest, 0) > 0:
+                live += 1
+        # release successors of everything issued this cycle
+        for index in list(issued_cycle):
+            if issued_cycle[index] != cycle:
+                continue
+            for succ, distance in graph.succs.get(index, ()):
+                remaining_preds[succ] -= 1
+                earliest[succ] = max(earliest[succ], cycle + distance)
+        bundles.append(bundle)
+        cycle += 1
+    return ScheduledBlock(block.label, bundles)
+
+
+@dataclass
+class ScheduledProgram:
+    """A fully scheduled program: blocks in original order."""
+
+    name: str
+    blocks: List[ScheduledBlock]
+    program: Program
+
+    def block_map(self) -> Dict[str, ScheduledBlock]:
+        return {blk.label: blk for blk in self.blocks}
+
+    @property
+    def static_length(self) -> int:
+        """Sum of block schedule lengths (single pass, no loop trip counts)."""
+        return sum(blk.length for blk in self.blocks)
+
+    def op_count(self) -> int:
+        return sum(blk.op_count() for blk in self.blocks)
+
+
+def schedule_program(program: Program,
+                     latency_of: Optional[LatencyFn] = None,
+                     capacity: Optional[Dict[Resource, int]] = None,
+                     issue_width: int = ISSUE_WIDTH) -> ScheduledProgram:
+    """Schedule every block of ``program`` independently."""
+    program.validate()
+    blocks = [schedule_block(blk, latency_of, capacity, issue_width)
+              for blk in program.blocks]
+    return ScheduledProgram(program.name, blocks, program)

@@ -1,0 +1,67 @@
+"""The Reconfigurable Functional Unit (RFU), modelled at functional level.
+
+Exactly as in the paper, the RFU is characterised only by functionality,
+throughput and latency — no fabric microarchitecture.  A *configuration* is
+a named custom instruction (semantics callable + latency + resource needs);
+the unit executes the paper's three-step protocol
+
+* ``RFUINIT(#x)``   — activate configuration ``x`` (zero reconfiguration
+  penalty by default; a penalty knob exists for ablations),
+* ``RFUSEND(#x, ...)`` — load implicit operands into the configuration's
+  local registers,
+* ``dest = RFUEXEC(#x, ...)`` — execute and write one destination register,
+
+plus ``RFUPFT`` prefetch-pattern instructions that run as a separate
+non-blocking thread against the memory system.
+"""
+
+from repro.rfu.config import ConfigRegistry, RfuConfiguration
+from repro.rfu.scaling import scaled_compute_depth, scaled_latency
+from repro.rfu.unit import RfuUnit
+from repro.rfu.custom_ops import (
+    A1_COMBINE,
+    A1_HAVG,
+    DIAG4,
+    DIAG16,
+    standard_registry,
+)
+from repro.rfu.prefetch_ops import MacroblockPrefetchEngine
+from repro.rfu.loop_model import (
+    Bandwidth,
+    InterpMode,
+    LoopKernelModel,
+    LoopKernelParams,
+    LoopLatency,
+)
+from repro.rfu.context_sched import (
+    BeladyPolicy,
+    ConfigurationUse,
+    LruPolicy,
+    simulate_context_schedule,
+)
+from repro.rfu.extraction import CandidateConfiguration, extract_candidates
+
+__all__ = [
+    "A1_COMBINE",
+    "A1_HAVG",
+    "Bandwidth",
+    "BeladyPolicy",
+    "CandidateConfiguration",
+    "ConfigRegistry",
+    "ConfigurationUse",
+    "DIAG4",
+    "DIAG16",
+    "InterpMode",
+    "LoopKernelModel",
+    "LoopKernelParams",
+    "LoopLatency",
+    "LruPolicy",
+    "MacroblockPrefetchEngine",
+    "RfuConfiguration",
+    "RfuUnit",
+    "extract_candidates",
+    "scaled_compute_depth",
+    "scaled_latency",
+    "simulate_context_schedule",
+    "standard_registry",
+]

@@ -1,0 +1,94 @@
+"""RFU configuration objects and the configuration registry.
+
+A configuration is one custom instruction the fabric currently implements.
+Its ``execute`` callable receives the configuration's private state dict,
+the explicit operand values, and returns the 32-bit result (or ``None`` for
+send-only configurations).  ``issue_per_cycle`` models how many instances
+the fabric can accept per cycle: the paper's A1 scenario assumes up to 4
+(the new ops behave like extra SIMD ALUs), while A2/A3 and the loop kernels
+are single-issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import RfuError
+
+ExecuteFn = Callable[[dict, tuple], Optional[int]]
+SendFn = Callable[[dict, tuple], None]
+
+
+@dataclass
+class RfuConfiguration:
+    """Static description of one RFU custom instruction."""
+
+    config_id: int
+    name: str
+    execute: ExecuteFn
+    send: Optional[SendFn] = None
+    #: called by RFUINIT with the configuration state and the INIT operand
+    #: values (implicit-operand setup, e.g. the alignment shift)
+    init: Optional[SendFn] = None
+    #: configurations sharing a ``state_key`` share one state dict (e.g. the
+    #: A1 pair, whose combine step consumes LSBs stashed by the average step)
+    state_key: Optional[int] = None
+    #: producer-to-consumer latency of RFUEXEC at β = 1 (cycles)
+    base_latency: int = 1
+    #: computational pipeline depth subject to technology scaling;
+    #: 0 means the instruction is unaffected by β (pure wiring/mux)
+    compute_depth: int = 0
+    read_stages: int = 0
+    write_stages: int = 0
+    #: how many instances the fabric accepts per cycle
+    issue_per_cycle: int = 1
+    description: str = ""
+
+    @property
+    def effective_state_key(self) -> int:
+        return self.config_id if self.state_key is None else self.state_key
+
+    def latency(self, beta: float) -> int:
+        """Latency under technology scaling factor β.
+
+        Only the compute stages scale; any residual (base latency minus the
+        unscaled pipeline) is kept so 1-cycle instructions stay 1 cycle at
+        β = 1.
+        """
+        from repro.rfu.scaling import scaled_compute_depth
+        unscaled = self.read_stages + self.compute_depth + self.write_stages
+        residual = self.base_latency - unscaled
+        scaled = (self.read_stages + scaled_compute_depth(self.compute_depth, beta)
+                  + self.write_stages)
+        return max(1, scaled + residual)
+
+
+class ConfigRegistry:
+    """Mutable map of configuration id -> :class:`RfuConfiguration`."""
+
+    def __init__(self):
+        self._configs: Dict[int, RfuConfiguration] = {}
+
+    def register(self, config: RfuConfiguration) -> RfuConfiguration:
+        if config.config_id in self._configs:
+            raise RfuError(
+                f"configuration id {config.config_id} already registered "
+                f"({self._configs[config.config_id].name!r})")
+        self._configs[config.config_id] = config
+        return config
+
+    def get(self, config_id: int) -> RfuConfiguration:
+        try:
+            return self._configs[config_id]
+        except KeyError:
+            raise RfuError(f"unknown RFU configuration #{config_id}") from None
+
+    def __contains__(self, config_id: int) -> bool:
+        return config_id in self._configs
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def ids(self):
+        return sorted(self._configs)

@@ -1,0 +1,177 @@
+"""Reconfiguration management: context scheduling for the multicontext RFU.
+
+The paper assumes zero reconfiguration penalty and defers the mechanisms —
+configuration caching [14] and context scheduling [15] — to future work.
+This module implements that future work at the same functional level as
+the rest of the RFU: given the *sequence* of configuration uses an
+application produces (each use separated by the kernel's execution time),
+it simulates a C-slot multicontext store under several policies and
+reports how much of the reconfiguration penalty each hides:
+
+* ``LruPolicy``     — replace the least recently used context (what the
+  runtime can do with no future knowledge);
+* ``BeladyPolicy``  — replace the context whose next use is farthest in
+  the future (the offline optimum; an upper bound on any caching scheme);
+* ``PrefetchPolicy``— LRU replacement plus *configuration prefetch*: while
+  configuration ``i`` executes, the (known or predicted) configuration of
+  use ``i+1`` loads in the background, so a switch stalls only for the
+  part of the load the execution gap did not cover — the paper's "smart
+  reconfiguration strategies, based on configuration prefetch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import RfuError
+
+
+@dataclass(frozen=True)
+class ConfigurationUse:
+    """One kernel launch: which configuration, and for how many cycles."""
+
+    config_id: int
+    execution_cycles: int
+
+
+@dataclass
+class ContextScheduleResult:
+    """Outcome of one simulated schedule."""
+
+    policy: str
+    uses: int
+    hits: int
+    loads: int
+    stall_cycles: int
+    execution_cycles: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.uses if self.uses else 0.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.execution_cycles + self.stall_cycles
+        return self.stall_cycles / total if total else 0.0
+
+
+class ReplacementPolicy:
+    """Interface: pick a victim slot among resident configuration ids."""
+
+    name = "abstract"
+
+    def victim(self, resident: List[int], position: int,
+               trace: Sequence[ConfigurationUse]) -> int:
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """``resident`` is maintained in LRU order (oldest first)."""
+
+    name = "lru"
+
+    def victim(self, resident, position, trace):
+        return resident[0]
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Evict the configuration reused farthest in the future (offline)."""
+
+    name = "belady"
+
+    def victim(self, resident, position, trace):
+        best_config = resident[0]
+        best_distance = -1
+        for config in resident:
+            distance = None
+            for later in range(position, len(trace)):
+                if trace[later].config_id == config:
+                    distance = later - position
+                    break
+            if distance is None:
+                return config  # never used again: perfect victim
+            if distance > best_distance:
+                best_distance = distance
+                best_config = config
+        return best_config
+
+
+def simulate_context_schedule(trace: Sequence[ConfigurationUse],
+                              contexts: int,
+                              load_penalty: int,
+                              policy: Optional[ReplacementPolicy] = None,
+                              prefetch_next: bool = False
+                              ) -> ContextScheduleResult:
+    """Simulate the multicontext store over a configuration-use trace.
+
+    With ``prefetch_next`` the loader starts fetching use ``i+1``'s
+    configuration as soon as use ``i`` begins executing (if it is not
+    resident); the visible stall at the switch is the residual
+    ``max(0, load_penalty - execution_cycles_i)``.  Without it, every miss
+    stalls for the full ``load_penalty``.
+    """
+    if contexts < 1:
+        raise RfuError("the context store needs at least one slot")
+    if load_penalty < 0:
+        raise RfuError("load penalty cannot be negative")
+    policy = policy or LruPolicy()
+    resident: List[int] = []          # LRU order, oldest first
+    in_flight: Dict[int, int] = {}    # config -> residual load cycles
+    hits = loads = stalls = executed = 0
+
+    for position, use in enumerate(trace):
+        executed += use.execution_cycles
+        if use.config_id in resident:
+            resident.remove(use.config_id)
+            resident.append(use.config_id)
+            residual = in_flight.pop(use.config_id, 0)
+            if residual:
+                stalls += residual  # prefetch started but did not finish
+            else:
+                hits += 1
+        else:
+            loads += 1
+            stalls += load_penalty
+            if len(resident) >= contexts:
+                victim = policy.victim(resident, position, trace)
+                resident.remove(victim)
+                in_flight.pop(victim, None)
+            resident.append(use.config_id)
+        # configuration prefetch of the next use, overlapped with this
+        # use's execution
+        if prefetch_next and position + 1 < len(trace):
+            upcoming = trace[position + 1].config_id
+            if upcoming not in resident:
+                loads += 1
+                if len(resident) >= contexts:
+                    victim = policy.victim(resident, position + 1, trace)
+                    if victim == use.config_id and contexts > 1:
+                        # never evict the currently executing context
+                        others = [c for c in resident if c != use.config_id]
+                        victim = others[0]
+                    elif victim == use.config_id:
+                        loads -= 1
+                        continue  # single slot: cannot prefetch at all
+                    resident.remove(victim)
+                    in_flight.pop(victim, None)
+                resident.insert(0, upcoming)  # cold until first use
+                in_flight[upcoming] = max(
+                    0, load_penalty - use.execution_cycles)
+
+    return ContextScheduleResult(
+        policy=policy.name + ("+prefetch" if prefetch_next else ""),
+        uses=len(trace),
+        hits=hits,
+        loads=loads,
+        stall_cycles=stalls,
+        execution_cycles=executed,
+    )
+
+
+def rotation_trace(config_ids: Sequence[int], repetitions: int,
+                   execution_cycles: int) -> List[ConfigurationUse]:
+    """A round-robin rotation workload (the worst case for LRU when the
+    rotation exceeds the context capacity)."""
+    return [ConfigurationUse(config_id, execution_cycles)
+            for _ in range(repetitions) for config_id in config_ids]

@@ -1,0 +1,164 @@
+"""The paper's instruction-level RFU configurations (scenarios A1/A2/A3).
+
+All three accelerate the *diagonal* half-sample interpolation of the
+predictor macroblock, ``out = (p00 + p01 + p10 + p11 + 2) >> 2`` per pixel:
+
+* **A1** — two new 1-cycle SIMD-style instructions usable like extra ALU
+  ops (up to 4 issued per cycle): ``A1_HAVG`` computes the rounded
+  horizontal average of two packed words and stashes the sum LSBs in RFU
+  state; ``A1_COMBINE`` merges two horizontal averages, consuming the
+  stashed LSBs to reconstruct the bit-exact 4-way rounded average.  This is
+  the paper's "intermediate horizontal and vertical interpolations with
+  some extra rounding adjustments".
+* **A2** — ``DIAG4``: an RFUSEND loads the raw 2x2 words covering a 4-pixel
+  group (alignment handled inside the fabric, set per-configuration by
+  RFUINIT); one single-cycle RFUEXEC returns the 4 interpolated pixels.
+* **A3** — ``DIAG16``: two RFUSENDs load the 10 words covering a whole
+  macroblock row pair; four chained RFUEXECs drain the 16 interpolated
+  pixels (one 32-bit destination per instruction).
+
+Configuration state keys used: ``lsb_fifo`` (A1), ``operands`` (A2/A3 send
+buffers), ``results`` (A3 drain queue), ``align``/``shift`` (implicit
+alignment operands set via RFUINIT immediates, paper §3's "mixed approach
+with explicit and implicit operands").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.errors import RfuError
+from repro.rfu.config import ConfigRegistry, RfuConfiguration
+from repro.utils.bitops import (
+    pack_bytes,
+    unpack_bytes,
+    words_to_bytes,
+)
+
+#: Configuration identifiers (the #x of RFUINIT/RFUSEND/RFUEXEC).
+A1_HAVG = 1
+A1_COMBINE = 2
+DIAG4 = 3
+DIAG16 = 4
+ME_LOOP_BASE = 16  # loop-level kernels use ids >= 16 (see loop_model)
+
+
+def diag_interpolate(top: List[int], bottom: List[int]) -> List[int]:
+    """Bit-exact MPEG4 diagonal half-sample interpolation.
+
+    ``top``/``bottom`` are byte sequences of length n+1; the result has n
+    pixels: ``(top[i] + top[i+1] + bottom[i] + bottom[i+1] + 2) >> 2``.
+    """
+    count = len(top) - 1
+    return [(top[i] + top[i + 1] + bottom[i] + bottom[i + 1] + 2) >> 2
+            for i in range(count)]
+
+
+# --- A1 -----------------------------------------------------------------------
+
+def _a1_havg_execute(state: dict, operands: tuple) -> int:
+    if len(operands) != 2:
+        raise RfuError(f"A1_HAVG expects 2 operands, got {len(operands)}")
+    a, b = operands
+    lanes_a, lanes_b = unpack_bytes(a), unpack_bytes(b)
+    state.setdefault("lsb_fifo", deque()).append(
+        [(x + y) & 1 for x, y in zip(lanes_a, lanes_b)])
+    return pack_bytes([(x + y + 1) >> 1 for x, y in zip(lanes_a, lanes_b)])
+
+
+def _a1_combine_execute(state: dict, operands: tuple) -> int:
+    if len(operands) != 2:
+        raise RfuError(f"A1_COMBINE expects 2 operands, got {len(operands)}")
+    fifo = state.get("lsb_fifo")
+    if not fifo or len(fifo) < 2:
+        raise RfuError("A1_COMBINE without two preceding A1_HAVG results")
+    lsb_top = fifo.popleft()
+    lsb_bottom = fifo.popleft()
+    h_top, h_bottom = unpack_bytes(operands[0]), unpack_bytes(operands[1])
+    lanes = []
+    for ht, hb, lt, lb in zip(h_top, h_bottom, lsb_top, lsb_bottom):
+        # invert the rounded averages: a+b = 2*ht - lt ... then exact 4-way
+        total = (2 * ht - lt) + (2 * hb - lb)
+        lanes.append((total + 2) >> 2)
+    return pack_bytes(lanes)
+
+
+# --- A2 -----------------------------------------------------------------------
+
+def _buffered_send(state: dict, operands: tuple) -> None:
+    state.setdefault("operands", []).extend(operands)
+
+
+def _diag4_execute(state: dict, operands: tuple) -> int:
+    """Diagonal interpolation of one 4-pixel group.
+
+    Expects 4 raw words in the send buffer: two consecutive words of the
+    top row and two of the bottom row; the group's byte offset within the
+    first word comes from the implicit ``shift`` state (set by RFUINIT).
+    """
+    words = state.pop("operands", [])
+    words.extend(operands)
+    if len(words) != 4:
+        raise RfuError(f"DIAG4 needs 4 loaded words, got {len(words)}")
+    shift = state.get("shift", 0)
+    top = words_to_bytes(words[0:2])[shift:shift + 5]
+    bottom = words_to_bytes(words[2:4])[shift:shift + 5]
+    return pack_bytes(diag_interpolate(top, bottom))
+
+
+# --- A3 -----------------------------------------------------------------------
+
+def _diag16_execute(state: dict, operands: tuple) -> int:
+    """Row-level diagonal interpolation with chained result drains.
+
+    The first EXEC after a send phase consumes the 10 buffered words
+    (5 top-row + 5 bottom-row), computes all 16 pixels, returns the first
+    word and queues the other three; the next three EXECs drain the queue.
+    """
+    results = state.setdefault("results", deque())
+    if results:
+        return results.popleft()
+    words = state.pop("operands", [])
+    words.extend(operands)
+    if len(words) != 10:
+        raise RfuError(f"DIAG16 needs 10 loaded words, got {len(words)}")
+    shift = state.get("shift", 0)
+    top = words_to_bytes(words[0:5])[shift:shift + 17]
+    bottom = words_to_bytes(words[5:10])[shift:shift + 17]
+    pixels = diag_interpolate(top, bottom)
+    for group in range(1, 4):
+        results.append(pack_bytes(pixels[4 * group:4 * group + 4]))
+    return pack_bytes(pixels[0:4])
+
+
+def _set_shift(state: dict, operands: tuple) -> None:
+    """RFUINIT handler: record the implicit alignment shift (0..3 bytes)."""
+    if len(operands) != 1:
+        raise RfuError(f"alignment init expects 1 operand, got {len(operands)}")
+    shift = operands[0]
+    if not 0 <= shift <= 3:
+        raise RfuError(f"alignment shift must be 0..3, got {shift}")
+    state["shift"] = shift
+
+
+def standard_registry() -> ConfigRegistry:
+    """Registry with the paper's instruction-level configurations."""
+    registry = ConfigRegistry()
+    registry.register(RfuConfiguration(
+        config_id=A1_HAVG, name="a1_havg", execute=_a1_havg_execute,
+        base_latency=1, issue_per_cycle=4, state_key=A1_HAVG,
+        description="A1: rounded horizontal average, LSBs stashed"))
+    registry.register(RfuConfiguration(
+        config_id=A1_COMBINE, name="a1_combine", execute=_a1_combine_execute,
+        base_latency=1, issue_per_cycle=4, state_key=A1_HAVG,
+        description="A1: exact diagonal combine with rounding adjustment"))
+    registry.register(RfuConfiguration(
+        config_id=DIAG4, name="diag4", execute=_diag4_execute,
+        send=_buffered_send, init=_set_shift, base_latency=1,
+        description="A2: diagonal interpolation of a 4-pixel group"))
+    registry.register(RfuConfiguration(
+        config_id=DIAG16, name="diag16", execute=_diag16_execute,
+        send=_buffered_send, init=_set_shift, base_latency=1,
+        description="A3: diagonal interpolation of a 16-pixel row"))
+    return registry

@@ -1,0 +1,202 @@
+"""Automatic custom-instruction extraction (the paper's final future-work
+item: "the VLIW compiler support to automate the analysis and extraction
+of the configurations").
+
+The pass enumerates **MISOs** — single-output connected dataflow subgraphs,
+the classic shape for custom-instruction identification — in a kernel
+block: for every root operation it grows the subgraph producer-by-producer
+while the region keeps exactly one external output, recording every
+intermediate (all of which are themselves legal candidates).  Candidates
+are grouped by a structural signature (isomorphic occurrences count
+together, commutative operands canonicalised), filtered by the paper's
+interface limits (at most 8 external inputs, 1 output, pure register ops
+only), and ranked by the operations removed if each occurrence collapses
+into one single-cycle RFU instruction.
+
+Run on the baseline GetSad diagonal kernel this rediscovers the
+interpolation cluster the paper selected by hand for A1/A2 (see
+``tests/test_extraction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import Operation
+from repro.isa.opcodes import Resource
+from repro.program.ir import BasicBlock, Program
+
+#: the paper's custom-instruction interface limits
+MAX_INPUTS = 8
+MAX_OUTPUTS = 1
+#: enumeration bound: subgraphs up to this many operations
+MAX_SUBGRAPH_OPS = 24
+
+
+def _is_collapsible(op: Operation) -> bool:
+    """Only pure register-to-register compute may enter a configuration."""
+    spec = op.spec
+    return (not spec.is_load and not spec.is_store and not spec.is_branch
+            and not spec.is_prefetch and spec.resource is not Resource.RFU
+            and spec.has_dest)
+
+
+@dataclass(frozen=True)
+class CandidateConfiguration:
+    """One extracted custom-instruction candidate."""
+
+    signature: Tuple
+    size: int             # operations collapsed per occurrence
+    inputs: int           # external operands
+    occurrences: int
+    #: static operations removed per block execution assuming the whole
+    #: cluster executes as one RFU instruction: (size - 1) per occurrence
+    saved_ops: int
+
+    @property
+    def opcodes(self) -> Tuple[str, ...]:
+        return tuple(sorted({entry[0] for entry in self.signature}))
+
+    @property
+    def description(self) -> str:
+        return (f"{self.size}-op cluster ({' '.join(self.opcodes)}), "
+                f"{self.inputs} inputs, x{self.occurrences}")
+
+
+class _BlockGraph:
+    """Dataflow indices over one block's operations."""
+
+    def __init__(self, block: BasicBlock):
+        self.ops: List[Operation] = list(block.ops)
+        self.producer_of: Dict[int, int] = {}
+        for index, op in enumerate(self.ops):
+            if op.dest is not None and _is_collapsible(op):
+                self.producer_of[id(op.dest)] = index
+        self.consumers: Dict[int, List[int]] = {}
+        for index, op in enumerate(self.ops):
+            for src in op.srcs:
+                producer = self.producer_of.get(id(src))
+                if producer is not None:
+                    self.consumers.setdefault(producer, []).append(index)
+        self.collapsible: Set[int] = {
+            index for index, op in enumerate(self.ops)
+            if _is_collapsible(op)}
+
+    def external_inputs(self, members: FrozenSet[int]) -> int:
+        inputs = set()
+        for op_index in members:
+            for src in self.ops[op_index].srcs:
+                producer = self.producer_of.get(id(src))
+                if producer is None or producer not in members:
+                    inputs.add(id(src))
+        return len(inputs)
+
+    def single_output(self, members: FrozenSet[int]) -> bool:
+        outputs = 0
+        for op_index in members:
+            consumer_list = self.consumers.get(op_index, ())
+            if not consumer_list or any(consumer not in members
+                                        for consumer in consumer_list):
+                outputs += 1
+        return outputs == MAX_OUTPUTS
+
+    def signature(self, members: FrozenSet[int]) -> Tuple:
+        """Structure-only signature: identical computation shapes anywhere
+        in the block produce equal signatures."""
+        ordered = sorted(members)
+        rank = {op_index: position
+                for position, op_index in enumerate(ordered)}
+        entries = []
+        for op_index in ordered:
+            op = self.ops[op_index]
+            links = []
+            for src in op.srcs:
+                producer = self.producer_of.get(id(src))
+                if producer is not None and producer in members:
+                    links.append(rank[producer])
+                else:
+                    links.append(-1)  # external input
+            if op.spec.commutative:
+                links.sort()
+            entries.append((op.opcode, op.imm, tuple(links)))
+        return tuple(entries)
+
+
+def _miso_growth(graph: _BlockGraph, root: int,
+                 max_size: int) -> List[FrozenSet[int]]:
+    """All intermediate subgraphs of the MISO growth rooted at ``root``.
+
+    Producers join one at a time; a producer is eligible once *all* its
+    consumers are already members (so the region keeps a single output,
+    the root's).  Every intermediate is itself a single-output subgraph.
+    """
+    members: Set[int] = {root}
+    stages: List[FrozenSet[int]] = []
+    grown = True
+    while grown and len(members) < max_size:
+        grown = False
+        for op_index in sorted(members):
+            for src in graph.ops[op_index].srcs:
+                producer = graph.producer_of.get(id(src))
+                if producer is None or producer in members \
+                        or producer not in graph.collapsible:
+                    continue
+                if all(consumer in members
+                       for consumer in graph.consumers.get(producer, ())):
+                    members.add(producer)
+                    stages.append(frozenset(members))
+                    grown = True
+        # loop again: newly added members may make more producers eligible
+    return stages
+
+
+def extract_candidates(block: BasicBlock,
+                       min_size: int = 2,
+                       min_occurrences: int = 2,
+                       max_size: int = MAX_SUBGRAPH_OPS
+                       ) -> List[CandidateConfiguration]:
+    """Enumerate and rank custom-instruction candidates in one block."""
+    graph = _BlockGraph(block)
+    by_signature: Dict[Tuple, List[FrozenSet[int]]] = {}
+    for root in graph.collapsible:
+        for members in _miso_growth(graph, root, max_size):
+            if len(members) < min_size:
+                continue
+            if graph.external_inputs(members) > MAX_INPUTS:
+                continue
+            if not graph.single_output(members):
+                continue
+            signature = graph.signature(members)
+            by_signature.setdefault(signature, []).append(members)
+
+    candidates = []
+    for signature, instances in by_signature.items():
+        used: Set[int] = set()
+        occurrences = 0
+        inputs = 0
+        for members in sorted(instances, key=min):
+            if members & used:
+                continue
+            used |= members
+            occurrences += 1
+            inputs = graph.external_inputs(members)
+        if occurrences < min_occurrences:
+            continue
+        size = len(signature)
+        candidates.append(CandidateConfiguration(
+            signature=signature,
+            size=size,
+            inputs=inputs,
+            occurrences=occurrences,
+            saved_ops=occurrences * (size - 1),
+        ))
+    candidates.sort(key=lambda c: (-c.saved_ops, -c.size))
+    return candidates
+
+
+def extract_from_program(program: Program, **kwargs
+                         ) -> Dict[str, List[CandidateConfiguration]]:
+    """Run extraction over every block of a program."""
+    return {block.label: extract_candidates(block, **kwargs)
+            for block in program.blocks}

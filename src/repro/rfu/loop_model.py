@@ -1,0 +1,255 @@
+"""Loop-level RFU kernels: the whole ME SAD loop as one long-latency
+instruction (paper §5b).
+
+The kernel loop is pipelined over load, computation and write stages with
+initiation interval II.  Enough operators are instantiated that computation
+never limits II; the bandwidth available to the RFU does:
+
+* ``1x32`` — one 32-bit access per cycle: II = predictor words per row;
+* ``1x64`` — one 64-bit access per cycle: II = ceil(words / 2);
+* ``2x64`` — two 64-bit accesses per cycle: II = ceil(ceil(words / 2) / 2).
+
+The reference macroblock always comes from Line Buffer A on its own port
+(2-cycle latency, throughput 1) so it never consumes predictor bandwidth.
+With Line Buffer B (Table 7) the predictor rows also come from local
+storage — one buffer access reads a row's cache line and its potential
+crossing at once — so II collapses to 1 and the memory ports fall quiet.
+
+Technology scaling multiplies only the computational stage depth
+(3 stages at β = 1), reproducing the paper's fixed "+12 cycles" when β = 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RfuError
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.linebuffer import ACCESS_LATENCY, LineBufferA, LineBufferB
+from repro.rfu.prefetch_ops import MacroblockPrefetchEngine
+from repro.rfu.scaling import scaled_compute_depth
+
+MB = 16  # macroblock dimension in pixels
+
+
+class Bandwidth(enum.Enum):
+    """Data bandwidth available to the RFU (paper's three scenarios)."""
+
+    B1X32 = "1x32"
+    B1X64 = "1x64"
+    B2X64 = "2x64"
+
+    @property
+    def bytes_per_access(self) -> int:
+        return 4 if self is Bandwidth.B1X32 else 8
+
+    @property
+    def accesses_per_cycle(self) -> int:
+        return 2 if self is Bandwidth.B2X64 else 1
+
+
+class InterpMode(enum.IntEnum):
+    """Half-sample interpolation required by the motion vector."""
+
+    FULL = 0   # integer-pel, no interpolation
+    H = 1      # horizontal half-sample
+    V = 2      # vertical half-sample
+    HV = 3     # diagonal half-sample
+
+    @property
+    def needs_extra_column(self) -> bool:
+        return self in (InterpMode.H, InterpMode.HV)
+
+    @property
+    def needs_extra_row(self) -> bool:
+        return self in (InterpMode.V, InterpMode.HV)
+
+
+def predictor_geometry(alignment: int, mode: InterpMode) -> Tuple[int, int]:
+    """(rows, words_per_row) of the predictor data set.
+
+    ``alignment`` is the predictor base address modulo 4 (Figure 2); the
+    row needs 16 or 17 pixels starting at that byte offset inside the first
+    packed word.
+    """
+    if not 0 <= alignment <= 3:
+        raise RfuError(f"alignment must be 0..3, got {alignment}")
+    pixels = MB + (1 if mode.needs_extra_column else 0)
+    words = (alignment + pixels + 3) // 4
+    rows = MB + (1 if mode.needs_extra_row else 0)
+    return rows, words
+
+
+@dataclass(frozen=True)
+class LoopKernelParams:
+    """Architectural parameters of one loop-level scenario."""
+
+    bandwidth: Bandwidth
+    beta: float = 1.0
+    use_line_buffer_b: bool = False
+    compute_depth: int = 3    # computational pipeline stages at beta = 1
+    write_stages: int = 1
+    issue_overhead: int = 2   # operand transfer + instruction issue
+    cache_read_depth: int = 3  # load-stage depth through the D-cache
+    #: per-row result words written back to memory (0 for GetSad, whose
+    #: only output is the scalar SAD; 4 for a motion-compensation kernel
+    #: storing the interpolated row).  Stores share the RFU's data port.
+    store_words_per_row: int = 0
+
+    @property
+    def label(self) -> str:
+        suffix = "+LBB" if self.use_line_buffer_b else ""
+        return f"{self.bandwidth.value}{suffix} (b={self.beta:g})"
+
+
+@dataclass(frozen=True)
+class LoopLatency:
+    """Static latency decomposition of one kernel invocation."""
+
+    initiation_interval: int
+    rows: int
+    fill: int
+    drain: int
+    overhead: int
+
+    @property
+    def total(self) -> int:
+        return self.overhead + self.fill + self.rows * self.initiation_interval \
+            + self.drain
+
+
+class LoopKernelModel:
+    """Static and trace-driven timing of the ME kernel loop on the RFU."""
+
+    def __init__(self, params: LoopKernelParams,
+                 memory: Optional[MemorySystem] = None,
+                 line_buffer_a: Optional[LineBufferA] = None,
+                 line_buffer_b: Optional[LineBufferB] = None,
+                 engine: Optional[MacroblockPrefetchEngine] = None):
+        self.params = params
+        self.memory = memory
+        self.line_buffer_a = line_buffer_a
+        self.line_buffer_b = line_buffer_b
+        self.engine = engine
+        if params.use_line_buffer_b and line_buffer_b is None and memory is not None:
+            raise RfuError("use_line_buffer_b requires a LineBufferB instance")
+
+    # -- static latency -------------------------------------------------------
+    def initiation_interval(self, alignment: int, mode: InterpMode) -> int:
+        rows, words = predictor_geometry(alignment, mode)
+        del rows
+        bandwidth = self.params.bandwidth
+        words_per_access = bandwidth.bytes_per_access // 4
+        store_accesses = (self.params.store_words_per_row
+                          + words_per_access - 1) // words_per_access
+        store_cycles = (store_accesses + bandwidth.accesses_per_cycle - 1) \
+            // bandwidth.accesses_per_cycle
+        if self.params.use_line_buffer_b:
+            # one LB-B access reads the row (+ crossing) at once; stores
+            # still occupy the external data port
+            return max(1, store_cycles)
+        accesses = (words + words_per_access - 1) // words_per_access
+        cycles = (accesses + store_accesses
+                  + bandwidth.accesses_per_cycle - 1) \
+            // bandwidth.accesses_per_cycle
+        return max(1, cycles)
+
+    def static_latency(self, alignment: int, mode: InterpMode) -> LoopLatency:
+        """Compiler-visible latency of one kernel invocation (no stalls)."""
+        rows, _ = predictor_geometry(alignment, mode)
+        read_depth = ACCESS_LATENCY if self.params.use_line_buffer_b \
+            else self.params.cache_read_depth
+        drain = scaled_compute_depth(self.params.compute_depth,
+                                     self.params.beta) + self.params.write_stages
+        return LoopLatency(
+            initiation_interval=self.initiation_interval(alignment, mode),
+            rows=rows,
+            fill=read_depth,
+            drain=drain,
+            overhead=self.params.issue_overhead,
+        )
+
+    def worst_case_latency(self) -> int:
+        """Static latency the compiler must assume (alignment 3, diagonal)."""
+        return self.static_latency(3, InterpMode.HV).total
+
+    # -- trace-driven timing ----------------------------------------------------
+    def run_invocation(self, pred_base: int, stride: int, alignment: int,
+                       mode: InterpMode, cycle: int) -> Tuple[int, int]:
+        """Execute one kernel invocation's timing starting at ``cycle``.
+
+        Returns ``(total_cycles, stall_cycles)``; the invocation's SAD value
+        itself comes from the golden functional model (the RFU is modelled
+        at functional level).  Requires a memory system.
+        """
+        if self.memory is None:
+            raise RfuError("run_invocation requires a memory system")
+        latency = self.static_latency(alignment, mode)
+        now = cycle + latency.overhead + latency.fill
+        stalls = 0
+        word_base = pred_base - alignment
+        rows, words = predictor_geometry(alignment, mode)
+        if self.params.use_line_buffer_b:
+            for row in range(rows):
+                addr = word_base + row * stride
+                for line in self.memory.dcache.lines_for_range(
+                        addr, 4 * words):
+                    stall = self.line_buffer_b.read_line(line, now)
+                    stalls += stall
+                    now += stall
+                if self.line_buffer_a is not None and row < MB:
+                    stall = self.line_buffer_a.read_row(row, now)
+                    stalls += stall
+                    now += stall
+                now += latency.initiation_interval
+        else:
+            # the II already reflects the word-by-word bandwidth cost; cache
+            # stalls are per distinct line, so replay at line granularity
+            for row in range(rows):
+                row_addr = word_base + row * stride
+                for line in self.memory.dcache.lines_for_range(
+                        row_addr, 4 * words):
+                    stall = self.memory.load_timing(line, now)
+                    stalls += stall
+                    now += stall
+                if self.line_buffer_a is not None and row < MB:
+                    stall = self.line_buffer_a.read_row(row, now)
+                    stalls += stall
+                    now += stall
+                now += latency.initiation_interval
+        now += latency.drain
+        return now - cycle, stalls
+
+    # -- functional execution -----------------------------------------------------
+    def compute_sad(self, ref_base: int, pred_base: int, stride: int,
+                    mode: InterpMode) -> int:
+        """Golden-equivalent SAD computed from main memory (for testing the
+        functional path of the long-latency instruction)."""
+        if self.memory is None:
+            raise RfuError("compute_sad requires a memory system")
+        data = self.memory.main.data
+        rows = MB + (1 if mode.needs_extra_row else 0)
+        cols = MB + (1 if mode.needs_extra_column else 0)
+        pred = np.empty((rows, cols), dtype=np.int32)
+        for row in range(rows):
+            start = pred_base + row * stride
+            pred[row] = data[start:start + cols]
+        if mode is InterpMode.FULL:
+            interpolated = pred
+        elif mode is InterpMode.H:
+            interpolated = (pred[:, :MB] + pred[:, 1:MB + 1] + 1) >> 1
+        elif mode is InterpMode.V:
+            interpolated = (pred[:MB, :] + pred[1:MB + 1, :] + 1) >> 1
+        else:
+            interpolated = (pred[:MB, :MB] + pred[:MB, 1:MB + 1]
+                            + pred[1:MB + 1, :MB] + pred[1:MB + 1, 1:MB + 1]
+                            + 2) >> 2
+        ref = np.empty((MB, MB), dtype=np.int32)
+        for row in range(MB):
+            start = ref_base + row * stride
+            ref[row] = data[start:start + MB]
+        return int(np.abs(ref - interpolated[:MB, :MB]).sum())

@@ -1,0 +1,135 @@
+"""Custom prefetch-pattern instructions (paper §5b).
+
+An RFU prefetch instruction hardwires a complex access pattern — here the
+macroblock — in its configuration.  After issue it runs as a separate,
+non-blocking thread: it sequences one cache-line request per macroblock row
+(16 rows for the reference, 17 for a predictor), plus the extra request
+when a row crosses a cache-line boundary.
+
+Three destinations are supported, matching the experiment generations:
+
+* ``prefetch_macroblock`` — fill the D-cache prefetch buffer (loop-level
+  scenarios with no local storage for the predictor);
+* ``fill_line_buffer_a`` — additionally gather the reference macroblock
+  into Line Buffer A as each row access completes, setting its Done flags;
+* ``fill_line_buffer_b`` — stage a candidate predictor macroblock into the
+  double-buffered, fully-associative Line Buffer B, reusing pending entries
+  with matching tags instead of re-requesting them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import RfuError
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.linebuffer import LineBufferA, LineBufferB, MACROBLOCK_ROWS
+
+
+def macroblock_row_addresses(base: int, stride: int, rows: int,
+                             row_bytes: int = 16) -> List[Tuple[int, int]]:
+    """(address, length) of each macroblock row in raster memory."""
+    return [(base + row * stride, row_bytes) for row in range(rows)]
+
+
+class MacroblockPrefetchEngine:
+    """Sequencer backing the ``rfupft`` instruction."""
+
+    #: cycles the engine needs to sequence one row request
+    SEQUENCE_INTERVAL = 1
+
+    def __init__(self, memory: MemorySystem,
+                 line_buffer_a: Optional[LineBufferA] = None,
+                 line_buffer_b: Optional[LineBufferB] = None):
+        self.memory = memory
+        self.line_buffer_a = line_buffer_a
+        self.line_buffer_b = line_buffer_b
+        self.issued_patterns = 0
+
+    # -- generic pattern -> prefetch buffer ---------------------------------
+    def prefetch_macroblock(self, base: int, stride: int, rows: int,
+                            cycle: int, row_bytes: int = 17) -> int:
+        """Prefetch one macroblock's lines into the D$ prefetch buffer.
+
+        ``row_bytes`` 17 covers the predictor's worst case (16 pixels + one
+        for half-sample interpolation); a row crossing a cache line issues
+        the extra prefetch the paper describes.  Returns prefetches issued.
+        """
+        issued = 0
+        when = cycle
+        for addr, length in macroblock_row_addresses(base, stride, rows,
+                                                     row_bytes):
+            issued += self.memory.prefetch_range(addr, length, when)
+            when += self.SEQUENCE_INTERVAL
+        self.issued_patterns += 1
+        return issued
+
+    # -- reference macroblock -> Line Buffer A ------------------------------
+    def fill_line_buffer_a(self, base: int, stride: int, cycle: int) -> None:
+        """Gather the reference macroblock into Line Buffer A.
+
+        Each row's Done flag turns 1 when its line fill(s) complete on the
+        shared bus; rows already resident in the D-cache complete at the
+        2-cycle buffer write latency.
+        """
+        if self.line_buffer_a is None:
+            raise RfuError("no Line Buffer A attached to the prefetch engine")
+        ready: List[int] = []
+        when = cycle
+        for row in range(MACROBLOCK_ROWS):
+            addr = base + row * stride
+            lines = self.memory.dcache.lines_for_range(addr, 16)
+            row_ready = when + 2
+            for line in lines:
+                if self.memory.dcache.contains(line):
+                    continue
+                row_ready = max(row_ready, self.memory.bus.request(when))
+            ready.append(row_ready)
+            when += self.SEQUENCE_INTERVAL
+        self.line_buffer_a.begin_fill(base, ready)
+        self.issued_patterns += 1
+
+    # -- predictor macroblock -> Line Buffer B ------------------------------
+    def fill_line_buffer_b(self, base: int, stride: int, rows: int,
+                           cycle: int, row_bytes: int = 17) -> List[List[int]]:
+        """Stage a candidate predictor macroblock into Line Buffer B.
+
+        Returns the per-row line-address lists so the loop model can later
+        read the exact entries.  Tag-matching reuse happens inside
+        :class:`LineBufferB`.
+        """
+        if self.line_buffer_b is None:
+            raise RfuError("no Line Buffer B attached to the prefetch engine")
+        per_row: List[List[int]] = []
+        when = cycle
+        for addr, length in macroblock_row_addresses(base, stride, rows,
+                                                     row_bytes):
+            lines = self.memory.dcache.lines_for_range(addr, length)
+            self.line_buffer_b.prefetch_lines(lines, when)
+            per_row.append(lines)
+            when += self.SEQUENCE_INTERVAL
+        self.issued_patterns += 1
+        return per_row
+
+    # -- rfupft dispatch -----------------------------------------------------
+    #: pattern selector values for the rfupft operation's immediate
+    PATTERN_PREDICTOR = 0
+    PATTERN_REFERENCE_LB_A = 1
+    PATTERN_PREDICTOR_LB_B = 2
+
+    def issue(self, operands: Sequence[int], cycle: int) -> None:
+        """Dispatch an ``rfupft`` whose operands are (pattern, base, stride,
+        rows)."""
+        if len(operands) != 4:
+            raise RfuError(
+                f"rfupft expects (pattern, base, stride, rows), "
+                f"got {len(operands)} operands")
+        pattern, base, stride, rows = operands
+        if pattern == self.PATTERN_PREDICTOR:
+            self.prefetch_macroblock(base, stride, rows, cycle)
+        elif pattern == self.PATTERN_REFERENCE_LB_A:
+            self.fill_line_buffer_a(base, stride, cycle)
+        elif pattern == self.PATTERN_PREDICTOR_LB_B:
+            self.fill_line_buffer_b(base, stride, rows, cycle)
+        else:
+            raise RfuError(f"unknown prefetch pattern {pattern}")

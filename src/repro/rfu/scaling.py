@@ -1,0 +1,35 @@
+"""Technology scaling of the RFU (paper §5b).
+
+The RFU is built from programmable logic and interconnect, hence presumably
+slower than the custom-logic CPU datapath.  The paper models this with a
+scaling factor β applied *only to the computational pipeline stages* of an
+RFU instruction — the read/write stages are constrained by the external
+architecture and stay unchanged — while assuming the scaled computation can
+still be pipelined at the CPU clock (the interconnect provides pipelining
+support).  β = 5 is the worst-case FPGA-vs-standard-cell speed ratio quoted
+by the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RfuError
+
+WORST_CASE_BETA = 5
+
+
+def scaled_compute_depth(compute_depth: int, beta: float) -> int:
+    """Number of compute pipeline stages after technology scaling.
+
+    With the paper's loop kernel (3 computational stages) this yields
+    3 -> 15 when β goes 1 -> 5, i.e. the fixed "+12 cycles" latency growth
+    it reports across all bandwidth scenarios.
+    """
+    if beta < 1:
+        raise RfuError(f"technology scaling factor must be >= 1, got {beta}")
+    return int(round(compute_depth * beta))
+
+
+def scaled_latency(read_stages: int, compute_depth: int, write_stages: int,
+                   beta: float) -> int:
+    """Total pipeline depth of an RFU instruction under scaling."""
+    return read_stages + scaled_compute_depth(compute_depth, beta) + write_stages

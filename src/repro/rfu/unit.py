@@ -1,0 +1,119 @@
+"""Runtime state of the Reconfigurable Functional Unit.
+
+The unit owns per-configuration private state (operand registers, stashed
+carries, drain queues), applies technology scaling β to instruction
+latencies, tracks reconfiguration events (with an optional penalty for
+ablation studies — the paper assumes zero), and dispatches the prefetch-
+pattern instructions to the :class:`MacroblockPrefetchEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RfuError
+from repro.rfu.config import ConfigRegistry, RfuConfiguration
+
+
+@dataclass
+class RfuStats:
+    inits: int = 0
+    sends: int = 0
+    execs: int = 0
+    prefetches: int = 0
+    reconfigurations: int = 0
+    reconfiguration_stall_cycles: int = 0
+
+    def reset(self) -> None:
+        self.inits = self.sends = self.execs = self.prefetches = 0
+        self.reconfigurations = self.reconfiguration_stall_cycles = 0
+
+
+class RfuUnit:
+    """One RFU instance attached to the core.
+
+    ``active_contexts`` models multicontext configuration memory: switching
+    among the most recently used ``active_contexts`` configurations is free;
+    activating a configuration outside that set costs
+    ``reconfiguration_penalty`` cycles (0 by default, the paper's
+    upper-bound assumption backed by configuration prefetch/caching
+    [12][14][15]).
+    """
+
+    def __init__(self, registry: ConfigRegistry, beta: float = 1.0,
+                 reconfiguration_penalty: int = 0, active_contexts: int = 8,
+                 prefetch_engine=None):
+        self.registry = registry
+        self.beta = beta
+        self.reconfiguration_penalty = reconfiguration_penalty
+        self.active_contexts = active_contexts
+        self.prefetch_engine = prefetch_engine
+        self._state: Dict[int, dict] = {}
+        self._loaded: list = []  # LRU list of config ids in context memory
+        self.stats = RfuStats()
+
+    # -- configuration/state helpers ----------------------------------------
+    def _config(self, config_id: int) -> RfuConfiguration:
+        return self.registry.get(config_id)
+
+    def state_of(self, config: RfuConfiguration) -> dict:
+        return self._state.setdefault(config.effective_state_key, {})
+
+    def latency(self, config_id: int) -> int:
+        return self._config(config_id).latency(self.beta)
+
+    def _touch_context(self, config_id: int) -> int:
+        """LRU context-memory bookkeeping; returns the stall cost."""
+        if config_id in self._loaded:
+            self._loaded.remove(config_id)
+            self._loaded.append(config_id)
+            return 0
+        self._loaded.append(config_id)
+        if len(self._loaded) > self.active_contexts:
+            self._loaded.pop(0)
+        self.stats.reconfigurations += 1
+        self.stats.reconfiguration_stall_cycles += self.reconfiguration_penalty
+        return self.reconfiguration_penalty
+
+    # -- the three-step protocol --------------------------------------------
+    def init(self, config_id: int, operands: Tuple[int, ...] = ()) -> int:
+        """RFUINIT: activate a configuration; returns stall cycles."""
+        config = self._config(config_id)
+        stall = self._touch_context(config_id)
+        state = self.state_of(config)
+        if config.init is not None:
+            config.init(state, operands)
+        self.stats.inits += 1
+        return stall
+
+    def send(self, config_id: int, operands: Tuple[int, ...]) -> None:
+        """RFUSEND: load explicit operands into configuration registers."""
+        config = self._config(config_id)
+        if config.send is None:
+            raise RfuError(
+                f"configuration {config.name!r} does not accept RFUSEND")
+        config.send(self.state_of(config), operands)
+        self.stats.sends += 1
+
+    def execute(self, config_id: int, operands: Tuple[int, ...]) -> Tuple[int, int]:
+        """RFUEXEC: run the configuration; returns ``(result, latency)``."""
+        config = self._config(config_id)
+        result = config.execute(self.state_of(config), operands)
+        self.stats.execs += 1
+        if result is None:
+            raise RfuError(
+                f"configuration {config.name!r} produced no result on EXEC")
+        return result & 0xFFFFFFFF, config.latency(self.beta)
+
+    def prefetch(self, operands: Tuple[int, ...], cycle: int) -> None:
+        """RFUPFT: launch a prefetch-pattern as a non-blocking thread."""
+        if self.prefetch_engine is None:
+            raise RfuError("no prefetch engine attached to the RFU")
+        self.prefetch_engine.issue(operands, cycle)
+        self.stats.prefetches += 1
+
+    def reset(self) -> None:
+        self._state.clear()
+        self._loaded.clear()
+        self.stats.reset()

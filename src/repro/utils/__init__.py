@@ -1,0 +1,5 @@
+"""Shared low-level helpers (subword bit manipulation, table rendering)."""
+
+from repro.utils import bitops
+
+__all__ = ["bitops"]

@@ -1,0 +1,149 @@
+"""32-bit subword (SIMD) arithmetic helpers.
+
+The ST200 SIMD model of the paper packs four 8-bit pixels or two 16-bit
+samples into one 32-bit general-purpose register.  Every helper here operates
+on plain Python ints constrained to 32 bits (``0 <= word < 2**32``) so the
+machine semantics stay exact and independent of numpy dtypes.
+
+Lane 0 is the least significant byte/halfword, matching little-endian memory
+packing: the pixel at the lowest address occupies bits 7..0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def to_u32(value: int) -> int:
+    """Wrap an arbitrary int to an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed 32-bit integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def to_u8(value: int) -> int:
+    """Wrap an arbitrary int to an unsigned 8-bit value."""
+    return value & MASK8
+
+
+def sat_u8(value: int) -> int:
+    """Saturate an arbitrary int to the unsigned 8-bit range [0, 255]."""
+    if value < 0:
+        return 0
+    if value > MASK8:
+        return MASK8
+    return value
+
+
+def pack_bytes(lanes: Sequence[int]) -> int:
+    """Pack four byte lanes (lane 0 = LSB) into one 32-bit word."""
+    if len(lanes) != 4:
+        raise ValueError(f"expected 4 byte lanes, got {len(lanes)}")
+    word = 0
+    for index, lane in enumerate(lanes):
+        word |= (lane & MASK8) << (8 * index)
+    return word
+
+
+def unpack_bytes(word: int) -> List[int]:
+    """Unpack a 32-bit word into its four byte lanes (lane 0 = LSB)."""
+    word = to_u32(word)
+    return [(word >> (8 * index)) & MASK8 for index in range(4)]
+
+
+def pack_halves(lanes: Sequence[int]) -> int:
+    """Pack two 16-bit lanes (lane 0 = LSB) into one 32-bit word."""
+    if len(lanes) != 2:
+        raise ValueError(f"expected 2 halfword lanes, got {len(lanes)}")
+    return (lanes[0] & MASK16) | ((lanes[1] & MASK16) << 16)
+
+
+def unpack_halves(word: int) -> List[int]:
+    """Unpack a 32-bit word into two 16-bit lanes (lane 0 = LSB)."""
+    word = to_u32(word)
+    return [word & MASK16, (word >> 16) & MASK16]
+
+
+def add_bytes(a: int, b: int) -> int:
+    """Lane-wise modular addition of four unsigned bytes."""
+    return pack_bytes([(x + y) & MASK8
+                       for x, y in zip(unpack_bytes(a), unpack_bytes(b))])
+
+
+def addus_bytes(a: int, b: int) -> int:
+    """Lane-wise unsigned saturating addition of four bytes."""
+    return pack_bytes([sat_u8(x + y)
+                       for x, y in zip(unpack_bytes(a), unpack_bytes(b))])
+
+
+def sub_bytes(a: int, b: int) -> int:
+    """Lane-wise modular subtraction of four unsigned bytes."""
+    return pack_bytes([(x - y) & MASK8
+                       for x, y in zip(unpack_bytes(a), unpack_bytes(b))])
+
+
+def absdif_bytes(a: int, b: int) -> int:
+    """Lane-wise absolute difference of four unsigned bytes."""
+    return pack_bytes([abs(x - y)
+                       for x, y in zip(unpack_bytes(a), unpack_bytes(b))])
+
+
+def avg_bytes(a: int, b: int) -> int:
+    """Lane-wise rounded average ((x + y + 1) >> 1) of four unsigned bytes."""
+    return pack_bytes([(x + y + 1) >> 1
+                       for x, y in zip(unpack_bytes(a), unpack_bytes(b))])
+
+
+def avg4_round_bytes(a: int, b: int, c: int, d: int) -> int:
+    """Lane-wise rounded 4-way average ((w+x+y+z+2) >> 2) of unsigned bytes.
+
+    This is the MPEG4 half-sample *diagonal* interpolation formula (with
+    ``rounding_control`` 0, i.e. the +2 rounding term).
+    """
+    lanes_a = unpack_bytes(a)
+    lanes_b = unpack_bytes(b)
+    lanes_c = unpack_bytes(c)
+    lanes_d = unpack_bytes(d)
+    return pack_bytes([(w + x + y + z + 2) >> 2
+                       for w, x, y, z in zip(lanes_a, lanes_b, lanes_c, lanes_d)])
+
+
+def sad_bytes(a: int, b: int) -> int:
+    """Sum of absolute byte differences between two packed words (0..1020)."""
+    return sum(abs(x - y) for x, y in zip(unpack_bytes(a), unpack_bytes(b)))
+
+
+def funnel_shift_right(low: int, high: int, byte_shift: int) -> int:
+    """Extract a 32-bit window from the 64-bit pair (high:low).
+
+    ``byte_shift`` counts bytes (0..3).  With little-endian pixel packing this
+    realigns a run of pixels that straddles two consecutive memory words:
+    lane i of the result is the pixel at ``address + byte_shift + i``.
+    """
+    if not 0 <= byte_shift <= 3:
+        raise ValueError(f"byte_shift must be in 0..3, got {byte_shift}")
+    combined = (to_u32(high) << 32) | to_u32(low)
+    return (combined >> (8 * byte_shift)) & MASK32
+
+
+def bytes_to_words(raw: Sequence[int]) -> List[int]:
+    """Pack a byte sequence (length multiple of 4) into 32-bit words."""
+    if len(raw) % 4 != 0:
+        raise ValueError(f"byte length {len(raw)} is not a multiple of 4")
+    return [pack_bytes(raw[offset:offset + 4]) for offset in range(0, len(raw), 4)]
+
+
+def words_to_bytes(words: Sequence[int]) -> List[int]:
+    """Flatten 32-bit words back into their byte lanes."""
+    out: List[int] = []
+    for word in words:
+        out.extend(unpack_bytes(word))
+    return out

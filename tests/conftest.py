@@ -1,0 +1,36 @@
+"""Shared fixtures: small, session-cached workloads so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.core.exploration import ExplorationConfig
+from repro.experiments.workload import ExperimentContext
+from repro.memory import MemorySystem, MemoryTimings
+
+
+@pytest.fixture(scope="session")
+def tiny_sequence():
+    """Three synthetic QCIF frames (deterministic)."""
+    return synthetic_sequence(SyntheticSequenceConfig(frames=3))
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """One shared 3-frame experiment context for every experiment test."""
+    return ExperimentContext(ExplorationConfig(frames=3))
+
+
+@pytest.fixture()
+def memory():
+    """A fresh memory system with default (paper) timings."""
+    return MemorySystem(MemoryTimings())
+
+
+@pytest.fixture(scope="session")
+def random_plane():
+    """A deterministic random 64x64 uint8 plane."""
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 256, (64, 64), dtype=np.uint8)

@@ -1,0 +1,70 @@
+"""Ablation experiments (the beyond-the-paper sweeps)."""
+
+from repro.experiments.ablations import (
+    run_bus_ablation,
+    run_lbb_capacity_ablation,
+    run_reconfiguration_ablation,
+    run_search_ablation,
+)
+
+
+class TestReconfigurationAblation:
+    def test_zero_penalty_matches_table1(self, small_context):
+        table = run_reconfiguration_ablation(small_context)
+        zero_rows = [row for row in table.rows if row[0] == "0"]
+        speedups = {float(row[3]) for row in zero_rows}
+        assert len(speedups) == 1  # penalty 0: rotation irrelevant
+
+    def test_thrashing_with_penalty_erases_the_gain(self, small_context):
+        table = run_reconfiguration_ablation(small_context)
+        worst = min(float(row[3]) for row in table.rows)
+        best = max(float(row[3]) for row in table.rows)
+        assert worst < 1.0 < best  # 512-cycle thrash turns A2 into a loss
+
+    def test_fitting_rotation_keeps_full_speedup(self, small_context):
+        table = run_reconfiguration_ablation(small_context)
+        for row in table.rows:
+            if row[2] == "no":
+                assert float(row[3]) > 1.0
+
+
+class TestLbbCapacityAblation:
+    def test_reuse_grows_with_capacity(self, small_context):
+        table = run_lbb_capacity_ablation(small_context)
+        reuses = [int(row[4].replace(",", "")) for row in table.rows]
+        assert reuses == sorted(reuses)
+
+    def test_all_organisations_beat_one_line_buffer(self, small_context):
+        from repro.core.scenarios import loop_scenario
+        from repro.rfu.loop_model import Bandwidth
+        one_lb = small_context.result(loop_scenario(Bandwidth.B1X32))
+        baseline = small_context.baseline()
+        one_lb_speedup = one_lb.speedup_over(baseline)
+        table = run_lbb_capacity_ablation(small_context)
+        for row in table.rows:
+            assert float(row[2]) > one_lb_speedup
+
+
+class TestBusAblation:
+    def test_stall_share_grows_as_bus_slows(self, small_context):
+        table = run_bus_ablation(small_context)
+        shares = [float(row[3].strip("%")) for row in table.rows]
+        assert shares[0] < shares[-1]
+
+    def test_speedup_survives_every_bus(self, small_context):
+        table = run_bus_ablation(small_context)
+        for row in table.rows:
+            assert float(row[2]) > 1.5
+
+
+class TestSearchAblation:
+    def test_diag_fraction_falls_with_wider_integer_search(self):
+        table = run_search_ablation(frames=3)
+        fractions = [float(row[2].strip("%")) for row in table.rows]
+        assert fractions[0] > fractions[-1]  # 3step/2 > full search
+
+    def test_loop_win_robust_to_strategy(self):
+        table = run_search_ablation(frames=3)
+        for row in table.rows:
+            assert float(row[4]) > 2.0   # 1x32 loop kernel
+            assert float(row[5]) > 5.0   # two line buffers

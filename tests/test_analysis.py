@@ -1,0 +1,120 @@
+"""Static schedule analysis (utilisation, bounds, occupancy)."""
+
+import pytest
+
+from repro.isa import Operation, Resource, vreg
+from repro.kernels import KernelLibrary, KernelShape
+from repro.machine import compile_kernel
+from repro.program import BasicBlock, Program, schedule_program
+from repro.program.analysis import (
+    analyse_block,
+    analyse_program,
+    occupancy_chart,
+    utilisation_report,
+)
+from repro.program.builder import KernelBuilder
+from repro.program.scheduler import schedule_block
+from repro.rfu.loop_model import InterpMode
+
+
+def _scheduled_simple():
+    ops = [Operation("movi", dest=vreg(), imm=i) for i in range(8)]
+    block = BasicBlock("b", ops)
+    return schedule_block(block), block
+
+
+class TestBlockAnalysis:
+    def test_counts_and_ipc(self):
+        scheduled, source = _scheduled_simple()
+        analysis = analyse_block(scheduled, source)
+        assert analysis.ops == 8
+        assert analysis.cycles == 2          # 8 independent ALU ops, 4-wide
+        assert analysis.ipc == 4.0
+        assert analysis.slot_utilisation == 1.0
+
+    def test_resource_bound(self):
+        scheduled, source = _scheduled_simple()
+        analysis = analyse_block(scheduled, source)
+        assert analysis.resource_bound == 2  # 8 ALU ops / 4 ALUs
+        assert analysis.bottleneck() is Resource.ALU
+
+    def test_critical_path_bound(self):
+        a = vreg("a")
+        chain = [Operation("movi", dest=a, imm=0)]
+        prev = a
+        for _ in range(5):
+            nxt = vreg()
+            chain.append(Operation("addi", dest=nxt, srcs=(prev,), imm=1))
+            prev = nxt
+        block = BasicBlock("chain", chain)
+        analysis = analyse_block(schedule_block(block), block)
+        assert analysis.critical_path == 6
+        assert analysis.schedule_efficiency == 1.0  # provably optimal
+
+    def test_lsu_bottleneck_detected(self):
+        p = vreg("p")
+        ops = [Operation("ldw", dest=vreg(), srcs=(p,), imm=4 * i,
+                         mem_tag=f"m{i}") for i in range(6)]
+        block = BasicBlock("loads", ops)
+        analysis = analyse_block(schedule_block(block), block)
+        assert analysis.bottleneck() is Resource.LSU
+        assert analysis.resource_bound >= 6
+
+
+class TestProgramAnalysis:
+    def test_per_block_entries(self):
+        kb = KernelBuilder("k")
+        with kb.block("one"):
+            kb.emit("movi", imm=1)
+        with kb.block("two"):
+            kb.emit("movi", imm=2)
+        analyses = analyse_program(schedule_program(kb.finish()))
+        assert [a.label for a in analyses] == ["one", "two"]
+
+    def test_getsad_kernel_is_well_scheduled(self):
+        """The HV row body must reach a VLIW-class schedule: within 1.5x of
+        its lower bound and above 2 IPC."""
+        library = KernelLibrary("orig")
+        loaded = library.loaded(KernelShape(1, InterpMode.HV))
+        analyses = analyse_program(loaded.scheduled)
+        row = next(a for a in analyses if a.label == "row_loop")
+        assert row.ipc > 2.0
+        assert row.schedule_efficiency > 0.65
+
+
+class TestRendering:
+    def test_occupancy_chart_glyphs(self):
+        scheduled, _ = _scheduled_simple()
+        chart = occupancy_chart(scheduled)
+        assert "A A A A" in chart
+        assert chart.count("\n") == scheduled.length
+
+    def test_empty_slots_rendered_as_dots(self):
+        block = BasicBlock("b", [Operation("movi", dest=vreg(), imm=0)])
+        chart = occupancy_chart(schedule_block(block))
+        assert "A . . ." in chart
+
+    def test_utilisation_report_lines(self):
+        kb = KernelBuilder("k")
+        with kb.block("body"):
+            for i in range(6):
+                kb.emit("movi", imm=i)
+        report = utilisation_report(schedule_program(kb.finish()))
+        assert "body" in report
+        assert "IPC" in report
+
+    def test_cli_stats_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+        source = tmp_path / "k.s"
+        source.write_text("""
+kernel tiny
+params p
+block b:
+    ldw t = p, #0
+    addi u = t, #1
+result u
+""")
+        assert main(["schedule", str(source), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "utilisation" in out
+        assert "occupancy" in out

@@ -1,0 +1,157 @@
+"""The text assembly frontend."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.asmparser import parse_program
+from repro.machine import Core, compile_kernel
+from repro.memory import MemorySystem
+
+SUM8 = """
+kernel sum8
+params base
+persistent acc, n
+
+block init:
+    movi n = #8
+    movi acc = #0
+block loop:
+    ldw t0 = base, #0 !frame
+    add acc = acc, t0
+    addi base = base, #4
+    addi n = n, #-1
+    cmpnei c = n, #0
+    br c, loop
+result acc
+"""
+
+
+class TestParsing:
+    def test_sum8_structure(self):
+        program = parse_program(SUM8)
+        assert program.name == "sum8"
+        assert [blk.label for blk in program.blocks] == ["init", "loop"]
+        assert len(program.params) == 1
+        assert program.result is not None
+
+    def test_mem_tag_attached(self):
+        program = parse_program(SUM8)
+        load = next(op for op in program.all_ops() if op.opcode == "ldw")
+        assert load.mem_tag == "frame"
+
+    def test_branch_register_inferred(self):
+        program = parse_program(SUM8)
+        compare = next(op for op in program.all_ops()
+                       if op.opcode == "cmpnei")
+        assert compare.dest.is_branch
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_program("""
+kernel c
+; full-line comment
+# another
+block b:
+    movi x = #1   // trailing comment
+""")
+        assert len(program.block("b").ops) == 1
+
+    def test_cfg_operand(self):
+        program = parse_program("""
+kernel r
+params a, b
+block x:
+    rfusend a, b, cfg=3
+    rfuexec out = cfg=3
+result out
+""")
+        send, execute = program.block("x").ops
+        assert send.imm == 3
+        assert execute.imm == 3
+        assert len(send.srcs) == 2
+
+    def test_hex_immediates(self):
+        program = parse_program("""
+kernel h
+block b:
+    movi mask = #0x00FF00FF
+""")
+        assert program.block("b").ops[0].imm == 0x00FF00FF
+
+
+class TestErrors:
+    def test_missing_kernel_directive(self):
+        with pytest.raises(IsaError, match="kernel"):
+            parse_program("block b:\n    movi x = #1\n")
+
+    def test_empty_text(self):
+        with pytest.raises(IsaError, match="empty"):
+            parse_program("   \n\n")
+
+    def test_op_outside_block(self):
+        with pytest.raises(IsaError, match="outside"):
+            parse_program("kernel k\nmovi x = #1\n")
+
+    def test_unknown_opcode_with_line_number(self):
+        with pytest.raises(IsaError, match="line 3"):
+            parse_program("kernel k\nblock b:\n    frobnicate x = #1\n")
+
+    def test_missing_destination(self):
+        with pytest.raises(IsaError, match="destination"):
+            parse_program("kernel k\nblock b:\n    movi #1\n")
+
+    def test_destination_on_store(self):
+        with pytest.raises(IsaError, match="does not produce"):
+            parse_program("kernel k\nparams p, v\nblock b:\n"
+                          "    stw x = v, p, #0\n")
+
+    def test_branch_without_label(self):
+        with pytest.raises(IsaError, match="label"):
+            parse_program("kernel k\nblock b:\n    goto #1\n")
+
+    def test_duplicate_block(self):
+        with pytest.raises(IsaError, match="duplicate"):
+            parse_program("kernel k\nblock b:\nblock b:\n")
+
+    def test_bad_immediate(self):
+        with pytest.raises(IsaError, match="immediate"):
+            parse_program("kernel k\nblock b:\n    movi x = #zz\n")
+
+    def test_unresolved_branch_target(self):
+        with pytest.raises(IsaError):
+            parse_program("kernel k\nblock b:\n    goto nowhere\n")
+
+
+class TestEndToEnd:
+    def test_parsed_kernel_runs_on_the_core(self):
+        program = parse_program(SUM8)
+        loaded = compile_kernel(program)
+        memory = MemorySystem()
+        for i in range(8):
+            memory.main.store_word(0x2000 + 4 * i, i + 1)
+        result = Core(memory).run(loaded, [0x2000])
+        assert result.result == 36
+
+    def test_parsed_equals_builder_built(self):
+        """The asm frontend and the builder produce equivalent kernels."""
+        from repro.program.builder import KernelBuilder
+        kb = KernelBuilder("sum8")
+        base = kb.param("base")
+        n = kb.persistent_reg("n")
+        acc = kb.persistent_reg("acc")
+        with kb.block("init"):
+            kb.emit("movi", dest=n, imm=8)
+            kb.emit("movi", dest=acc, imm=0)
+        with kb.counted_loop("loop", n):
+            value = kb.load_word(base, mem_tag="frame")
+            kb.emit("add", acc, value, dest=acc)
+            kb.emit("addi", base, dest=base, imm=4)
+        kb.set_result(acc)
+        built = compile_kernel(kb.finish())
+        parsed = compile_kernel(parse_program(SUM8))
+
+        memory = MemorySystem()
+        for i in range(8):
+            memory.main.store_word(0x2000 + 4 * i, 2 * i)
+        core = Core(memory)
+        assert core.run(built, [0x2000]).result \
+            == core.run(parsed, [0x2000]).result

@@ -1,0 +1,133 @@
+"""Unit and property tests for the 32-bit subword helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bitops
+
+bytes4 = st.lists(st.integers(0, 255), min_size=4, max_size=4)
+words = st.integers(0, 0xFFFFFFFF)
+
+
+class TestScalarConversions:
+    def test_to_u32_wraps(self):
+        assert bitops.to_u32(1 << 32) == 0
+        assert bitops.to_u32(-1) == 0xFFFFFFFF
+
+    def test_to_s32_sign(self):
+        assert bitops.to_s32(0x80000000) == -(1 << 31)
+        assert bitops.to_s32(0x7FFFFFFF) == (1 << 31) - 1
+        assert bitops.to_s32(5) == 5
+
+    @given(st.integers(-(1 << 40), 1 << 40))
+    def test_s32_u32_roundtrip(self, value):
+        assert bitops.to_u32(bitops.to_s32(value)) == bitops.to_u32(value)
+
+    def test_sat_u8(self):
+        assert bitops.sat_u8(-3) == 0
+        assert bitops.sat_u8(300) == 255
+        assert bitops.sat_u8(128) == 128
+
+
+class TestPacking:
+    @given(bytes4)
+    def test_pack_unpack_roundtrip(self, lanes):
+        assert bitops.unpack_bytes(bitops.pack_bytes(lanes)) == lanes
+
+    @given(words)
+    def test_unpack_pack_roundtrip(self, word):
+        assert bitops.pack_bytes(bitops.unpack_bytes(word)) == word
+
+    def test_lane0_is_lsb(self):
+        assert bitops.pack_bytes([1, 0, 0, 0]) == 1
+        assert bitops.pack_bytes([0, 0, 0, 1]) == 1 << 24
+
+    def test_pack_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            bitops.pack_bytes([1, 2, 3])
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=2, max_size=2))
+    def test_halves_roundtrip(self, lanes):
+        assert bitops.unpack_halves(bitops.pack_halves(lanes)) == lanes
+
+    def test_pack_halves_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            bitops.pack_halves([1])
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_bytes_words_roundtrip(self, raw):
+        assert bitops.words_to_bytes(bitops.bytes_to_words(raw)) == raw
+
+    def test_bytes_to_words_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            bitops.bytes_to_words([1, 2, 3])
+
+
+class TestLaneArithmetic:
+    @given(bytes4, bytes4)
+    def test_add_bytes_lanewise(self, a, b):
+        result = bitops.unpack_bytes(
+            bitops.add_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b)))
+        assert result == [(x + y) & 0xFF for x, y in zip(a, b)]
+
+    @given(bytes4, bytes4)
+    def test_addus_saturates(self, a, b):
+        result = bitops.unpack_bytes(
+            bitops.addus_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b)))
+        assert result == [min(255, x + y) for x, y in zip(a, b)]
+
+    @given(bytes4, bytes4)
+    def test_sub_bytes_lanewise(self, a, b):
+        result = bitops.unpack_bytes(
+            bitops.sub_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b)))
+        assert result == [(x - y) & 0xFF for x, y in zip(a, b)]
+
+    @given(bytes4, bytes4)
+    def test_absdif_bytes(self, a, b):
+        result = bitops.unpack_bytes(
+            bitops.absdif_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b)))
+        assert result == [abs(x - y) for x, y in zip(a, b)]
+
+    @given(bytes4, bytes4)
+    def test_avg_rounds_up(self, a, b):
+        result = bitops.unpack_bytes(
+            bitops.avg_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b)))
+        assert result == [(x + y + 1) >> 1 for x, y in zip(a, b)]
+
+    @given(bytes4, bytes4)
+    def test_sad_matches_scalar(self, a, b):
+        sad = bitops.sad_bytes(bitops.pack_bytes(a), bitops.pack_bytes(b))
+        assert sad == sum(abs(x - y) for x, y in zip(a, b))
+        assert 0 <= sad <= 4 * 255
+
+    @given(bytes4, bytes4, bytes4, bytes4)
+    def test_avg4_round_is_mpeg_diagonal(self, a, b, c, d):
+        result = bitops.unpack_bytes(bitops.avg4_round_bytes(
+            bitops.pack_bytes(a), bitops.pack_bytes(b),
+            bitops.pack_bytes(c), bitops.pack_bytes(d)))
+        assert result == [(w + x + y + z + 2) >> 2
+                          for w, x, y, z in zip(a, b, c, d)]
+
+    @given(bytes4, bytes4)
+    def test_commutativity(self, a, b):
+        pa, pb = bitops.pack_bytes(a), bitops.pack_bytes(b)
+        assert bitops.absdif_bytes(pa, pb) == bitops.absdif_bytes(pb, pa)
+        assert bitops.avg_bytes(pa, pb) == bitops.avg_bytes(pb, pa)
+        assert bitops.sad_bytes(pa, pb) == bitops.sad_bytes(pb, pa)
+
+
+class TestFunnelShift:
+    @given(words, words, st.integers(0, 3))
+    def test_funnel_selects_window(self, low, high, shift):
+        raw = bitops.unpack_bytes(low) + bitops.unpack_bytes(high)
+        expected = bitops.pack_bytes(raw[shift:shift + 4])
+        assert bitops.funnel_shift_right(low, high, shift) == expected
+
+    def test_funnel_shift_zero_is_low(self):
+        assert bitops.funnel_shift_right(0x12345678, 0xAABBCCDD, 0) \
+            == 0x12345678
+
+    def test_funnel_rejects_bad_shift(self):
+        with pytest.raises(ValueError):
+            bitops.funnel_shift_right(0, 0, 4)

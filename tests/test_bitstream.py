@@ -1,0 +1,84 @@
+"""Bit writer/reader and exp-Golomb codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.errors import CodecError
+
+
+class TestBits:
+    def test_single_bits_msb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.getvalue() == bytes([0b10110000])
+        assert len(writer) == 4
+
+    def test_fixed_width_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0xAB, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bits(8) == 0xAB
+
+    def test_overflowing_value_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(16, 4)
+
+    def test_exhausted_reader_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(CodecError):
+            reader.read_bit()
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    def test_bit_sequence_roundtrip(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in bits] == bits
+
+
+class TestExpGolomb:
+    def test_known_ue_codes(self):
+        # 0 -> 1, 1 -> 010, 2 -> 011, 3 -> 00100
+        for value, expected_bits in ((0, 1), (1, 3), (2, 3), (3, 5), (7, 7)):
+            writer = BitWriter()
+            writer.write_ue(value)
+            assert len(writer) == expected_bits
+
+    def test_negative_ue_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_ue(-1)
+
+    @given(st.lists(st.integers(0, 100000), min_size=1, max_size=50))
+    def test_ue_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_ue(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_ue() for _ in values] == values
+
+    @given(st.lists(st.integers(-50000, 50000), min_size=1, max_size=50))
+    def test_se_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_se(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_se() for _ in values] == values
+
+    def test_se_mapping_order(self):
+        """Smaller magnitudes must never cost more bits."""
+        def cost(value):
+            writer = BitWriter()
+            writer.write_se(value)
+            return len(writer)
+        assert cost(0) <= cost(1) <= cost(-1) <= cost(2) <= cost(-2)
+
+    def test_corrupt_stream_detected(self):
+        with pytest.raises(CodecError):
+            BitReader(b"\x00" * 16).read_ue()

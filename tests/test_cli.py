@@ -1,0 +1,63 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "1.0" in capsys.readouterr().out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.frames == 25
+        assert not args.no_extensions
+
+
+class TestCommands:
+    def test_encode_prints_stats(self, capsys):
+        assert main(["encode", "--frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR-Y" in out
+        assert "GetSad calls" in out
+
+    def test_encode_full_search(self, capsys):
+        assert main(["encode", "--frames", "2", "--strategy", "full",
+                     "--range", "2"]) == 0
+        assert "diagonal" in capsys.readouterr().out
+
+    def test_kernels_table(self, capsys):
+        assert main(["kernels", "--variant", "a3"]) == 0
+        out = capsys.readouterr().out
+        assert "a3" in out
+        assert "FULL" in out and "HV" in out
+
+    def test_schedule_command(self, tmp_path, capsys):
+        source = tmp_path / "k.s"
+        source.write_text("""
+kernel tiny
+params p
+block b:
+    ldw t = p, #0
+    addi u = t, #1
+result u
+""")
+        assert main(["schedule", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel tiny" in out
+        assert "ldw" in out
+
+    def test_report_small(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        assert main(["report", "--frames", "3", "-q", "--no-extensions",
+                     "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "table1" in text
+        assert "figure4" in text

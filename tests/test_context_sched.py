@@ -1,0 +1,125 @@
+"""Reconfiguration management: context scheduling policies."""
+
+import pytest
+
+from repro.errors import RfuError
+from repro.rfu.context_sched import (
+    BeladyPolicy,
+    ConfigurationUse,
+    LruPolicy,
+    rotation_trace,
+    simulate_context_schedule,
+)
+
+
+def _single_config_trace(uses=10, cycles=100):
+    return [ConfigurationUse(1, cycles) for _ in range(uses)]
+
+
+class TestBasics:
+    def test_single_config_loads_once(self):
+        result = simulate_context_schedule(_single_config_trace(), 4, 50)
+        assert result.loads == 1
+        assert result.hits == 9
+        assert result.stall_cycles == 50
+
+    def test_fitting_working_set_only_cold_misses(self):
+        trace = rotation_trace([1, 2, 3], repetitions=10,
+                               execution_cycles=100)
+        result = simulate_context_schedule(trace, contexts=4, load_penalty=50)
+        assert result.loads == 3
+        assert result.stall_cycles == 3 * 50
+
+    def test_lru_thrashes_on_oversized_rotation(self):
+        trace = rotation_trace([1, 2, 3, 4, 5], repetitions=10,
+                               execution_cycles=100)
+        result = simulate_context_schedule(trace, contexts=4, load_penalty=50)
+        # classic LRU pathological case: every use misses
+        assert result.hits == 0
+        assert result.stall_cycles == len(trace) * 50
+
+    def test_zero_penalty_costs_nothing(self):
+        trace = rotation_trace([1, 2, 3, 4, 5], 5, 100)
+        result = simulate_context_schedule(trace, 2, 0)
+        assert result.stall_cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(RfuError):
+            simulate_context_schedule([], 0, 10)
+        with pytest.raises(RfuError):
+            simulate_context_schedule([], 1, -1)
+
+
+class TestBelady:
+    def test_belady_beats_lru_on_rotation(self):
+        trace = rotation_trace([1, 2, 3, 4, 5], repetitions=10,
+                               execution_cycles=100)
+        lru = simulate_context_schedule(trace, 4, 50, LruPolicy())
+        belady = simulate_context_schedule(trace, 4, 50, BeladyPolicy())
+        assert belady.stall_cycles < lru.stall_cycles
+
+    def test_belady_never_worse_than_lru(self):
+        import random
+        rng = random.Random(7)
+        trace = [ConfigurationUse(rng.randrange(6), 80) for _ in range(200)]
+        lru = simulate_context_schedule(trace, 3, 40, LruPolicy())
+        belady = simulate_context_schedule(trace, 3, 40, BeladyPolicy())
+        assert belady.stall_cycles <= lru.stall_cycles
+
+    def test_belady_evicts_never_reused_first(self):
+        trace = [ConfigurationUse(c, 10) for c in (1, 2, 3, 1, 2, 1, 2)]
+        result = simulate_context_schedule(trace, 2, 10, BeladyPolicy())
+        # config 3 is loaded once and evicted; 1 and 2 stay resident
+        assert result.loads == 4  # 1, 2, 3, then reload of 1 or 2 once
+
+
+class TestPrefetch:
+    def test_prefetch_hides_penalty_when_kernel_is_long(self):
+        trace = rotation_trace([1, 2, 3, 4, 5], repetitions=10,
+                               execution_cycles=200)
+        plain = simulate_context_schedule(trace, 4, 100)
+        prefetched = simulate_context_schedule(trace, 4, 100,
+                                               prefetch_next=True)
+        assert prefetched.stall_cycles < plain.stall_cycles
+        # execution (200) covers the load (100) completely after warmup
+        assert prefetched.stall_cycles <= 5 * 100
+
+    def test_prefetch_partial_when_kernel_is_short(self):
+        trace = rotation_trace([1, 2, 3, 4, 5], repetitions=10,
+                               execution_cycles=30)
+        prefetched = simulate_context_schedule(trace, 4, 100,
+                                               prefetch_next=True)
+        plain = simulate_context_schedule(trace, 4, 100)
+        # residual 70 cycles per switch instead of 100
+        assert prefetched.stall_cycles < plain.stall_cycles
+        assert prefetched.stall_cycles > 0
+
+    def test_single_slot_cannot_prefetch(self):
+        trace = rotation_trace([1, 2], repetitions=5, execution_cycles=100)
+        prefetched = simulate_context_schedule(trace, 1, 50,
+                                               prefetch_next=True)
+        plain = simulate_context_schedule(trace, 1, 50)
+        assert prefetched.stall_cycles == plain.stall_cycles
+
+    def test_result_metadata(self):
+        trace = _single_config_trace()
+        result = simulate_context_schedule(trace, 2, 10, prefetch_next=True)
+        assert result.policy == "lru+prefetch"
+        assert result.uses == len(trace)
+        assert 0 <= result.hit_rate <= 1
+        assert 0 <= result.overhead_fraction < 1
+
+
+class TestExperiment:
+    def test_table_shapes(self, small_context):
+        from repro.experiments.ablations import run_context_schedule_experiment
+        table = run_context_schedule_experiment(small_context)
+        assert len(table.rows) == 9
+        # at every penalty, prefetch must beat plain LRU stalls
+        for penalty_group in range(3):
+            rows = table.rows[3 * penalty_group:3 * penalty_group + 3]
+            lru = int(rows[0][3].replace(",", ""))
+            belady = int(rows[1][3].replace(",", ""))
+            prefetch = int(rows[2][3].replace(",", ""))
+            assert belady <= lru
+            assert prefetch <= lru

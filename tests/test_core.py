@@ -1,0 +1,150 @@
+"""Scenario definitions, trace replay, and the exploration driver."""
+
+import pytest
+
+from repro.core import (
+    Exploration,
+    ExplorationConfig,
+    INSTRUCTION_SCENARIOS,
+    LOOP_SCENARIOS,
+    Scenario,
+    TraceReplayer,
+    all_scenarios,
+    instruction_scenario,
+    loop_scenario,
+)
+from repro.core.scenarios import TWO_LINE_BUFFER_SCENARIOS
+from repro.errors import ExperimentError
+from repro.rfu.loop_model import Bandwidth
+
+
+class TestScenarios:
+    def test_catalog_sizes(self):
+        assert len(INSTRUCTION_SCENARIOS) == 4
+        assert len(LOOP_SCENARIOS) == 6
+        assert len(TWO_LINE_BUFFER_SCENARIOS) == 2
+        assert len(all_scenarios()) == 12
+
+    def test_names_unique(self):
+        names = [scenario.name for scenario in all_scenarios()]
+        assert len(set(names)) == len(names)
+
+    def test_loop_scenarios_extend_prefetch_buffer(self):
+        scenario = loop_scenario(Bandwidth.B1X32)
+        assert scenario.prefetch_entries == 64
+        assert scenario.software_prefetch
+
+    def test_instruction_scenarios_keep_baseline_buffer(self):
+        assert instruction_scenario("orig").prefetch_entries == 8
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(ExperimentError):
+            Scenario(name="x", kind="instruction")
+        with pytest.raises(ExperimentError):
+            Scenario(name="x", kind="loop")
+        with pytest.raises(ExperimentError):
+            Scenario(name="x", kind="quantum", variant="orig")
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def context(self, small_context):
+        return small_context
+
+    def test_baseline_replay(self, context):
+        baseline = context.baseline()
+        assert baseline.invocations == \
+            len(context.exploration.encoder_report.trace)
+        assert baseline.static_cycles > 0
+        assert baseline.stall_cycles > 0
+        assert baseline.total_cycles \
+            == baseline.static_cycles + baseline.stall_cycles
+
+    def test_instruction_variants_share_stalls(self, context):
+        baseline = context.baseline()
+        for variant in ("a1", "a2", "a3"):
+            result = context.result(instruction_scenario(variant))
+            assert result.stall_cycles == baseline.stall_cycles
+            assert result.static_cycles <= baseline.static_cycles
+
+    def test_loop_speedup_beats_instruction_level(self, context):
+        a3 = context.speedup(instruction_scenario("a3"))
+        loop = context.speedup(loop_scenario(Bandwidth.B1X32))
+        assert loop > a3 > 1.0
+
+    def test_bandwidth_scales_speedup(self, context):
+        speedups = [context.speedup(loop_scenario(bw))
+                    for bw in (Bandwidth.B1X32, Bandwidth.B1X64,
+                               Bandwidth.B2X64)]
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_technology_scaling_costs_speedup(self, context):
+        for bandwidth in Bandwidth:
+            fast = context.speedup(loop_scenario(bandwidth, 1.0))
+            slow = context.speedup(loop_scenario(bandwidth, 5.0))
+            assert slow < fast
+
+    def test_two_line_buffers_beat_one(self, context):
+        one = context.result(loop_scenario(Bandwidth.B1X32))
+        two = context.result(loop_scenario(Bandwidth.B1X32,
+                                           line_buffer_b=True))
+        assert two.total_cycles < one.total_cycles
+        assert two.lb_reuse > 0
+
+    def test_loop_scenarios_report_latency(self, context):
+        result = context.result(loop_scenario(Bandwidth.B1X32))
+        assert result.worst_loop_latency is not None
+        assert context.baseline().worst_loop_latency is None
+
+    def test_empty_trace_rejected(self):
+        from repro.codec.tracer import MeTrace
+        replayer = TraceReplayer(MeTrace())
+        with pytest.raises(ExperimentError):
+            replayer.replay(instruction_scenario("orig"))
+
+    def test_alignment_distribution_nontrivial(self, context):
+        trace = context.exploration.encoder_report.trace
+        histogram = trace.alignment_histogram(176)
+        assert all(count > 0 for count in histogram.values())
+
+
+class TestExploration:
+    def test_run_includes_baseline_automatically(self, small_context):
+        exploration = small_context.exploration
+        result = exploration.run([loop_scenario(Bandwidth.B1X32)])
+        assert "orig" in result.results
+        assert result.speedup("loop_1x32_b1") > 1.0
+
+    def test_me_fraction_decreases_with_speedup(self, small_context):
+        exploration = small_context.exploration
+        result = exploration.run([loop_scenario(Bandwidth.B1X32)])
+        assert result.me_fraction("loop_1x32_b1") \
+            < result.me_fraction("orig")
+
+    def test_application_cycles_composition(self, small_context):
+        exploration = small_context.exploration
+        result = exploration.run([])
+        assert result.application_cycles("orig") \
+            == result.non_me_cycles + result.baseline.total_cycles
+
+    def test_missing_scenario_raises(self, small_context):
+        result = small_context.exploration.run([])
+        with pytest.raises(ExperimentError):
+            result.result("loop_9x99_b1")
+
+    def test_missing_baseline_raises(self):
+        from repro.core.exploration import ExplorationResult
+        empty = ExplorationResult(ExplorationConfig(), None, {}, 0)
+        with pytest.raises(ExperimentError):
+            empty.baseline
+
+    def test_encoder_report_cached(self, small_context):
+        exploration = small_context.exploration
+        assert exploration.encoder_report is exploration.encoder_report
+
+    def test_improvement_percent_consistent(self, small_context):
+        exploration = small_context.exploration
+        result = exploration.run([instruction_scenario("a2")])
+        speedup = result.speedup("a2")
+        improvement = result.improvement_percent("a2")
+        assert improvement == pytest.approx(100.0 * (1 - 1 / speedup))

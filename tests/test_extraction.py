@@ -1,0 +1,138 @@
+"""Automatic custom-instruction extraction."""
+
+import pytest
+
+from repro.isa import Operation, vreg
+from repro.kernels import KernelShape, build_getsad_kernel
+from repro.program.builder import KernelBuilder
+from repro.program.ir import BasicBlock
+from repro.rfu.extraction import (
+    MAX_INPUTS,
+    CandidateConfiguration,
+    extract_candidates,
+    extract_from_program,
+)
+from repro.rfu.loop_model import InterpMode
+
+
+def _repeated_pattern_block(repetitions=3):
+    """A block repeating (a+b)^c three times with fresh operands."""
+    kb = KernelBuilder("pattern")
+    with kb.block("body"):
+        for index in range(repetitions):
+            a = kb.emit("movi", imm=index)
+            b = kb.emit("movi", imm=index + 10)
+            c = kb.emit("movi", imm=index + 20)
+            total = kb.emit("add", a, b)
+            kb.emit("xor", total, c)
+    return kb.finish().block("body")
+
+
+class TestBasics:
+    def test_finds_repeated_pattern(self):
+        candidates = extract_candidates(_repeated_pattern_block(),
+                                        min_occurrences=3)
+        assert candidates
+        best = candidates[0]
+        assert best.occurrences == 3
+        assert "add" in best.opcodes or "xor" in best.opcodes
+
+    def test_min_occurrences_filter(self):
+        block = _repeated_pattern_block(repetitions=1)
+        assert extract_candidates(block, min_occurrences=2) == []
+
+    def test_empty_block(self):
+        assert extract_candidates(BasicBlock("empty")) == []
+
+    def test_memory_ops_never_collapse(self):
+        kb = KernelBuilder("mem")
+        p = kb.param("p")
+        with kb.block("body"):
+            for offset in (0, 4, 8):
+                value = kb.emit("ldw", p, imm=offset, mem_tag=f"m{offset}")
+                shifted = kb.emit("shri", value, imm=2)
+                kb.emit("addi", shifted, imm=1)
+        candidates = extract_candidates(kb.finish().block("body"))
+        for candidate in candidates:
+            assert "ldw" not in candidate.opcodes
+
+    def test_input_limit_respected(self):
+        candidates = extract_candidates(_repeated_pattern_block())
+        for candidate in candidates:
+            assert candidate.inputs <= MAX_INPUTS
+
+    def test_saved_ops_formula(self):
+        for candidate in extract_candidates(_repeated_pattern_block()):
+            assert candidate.saved_ops \
+                == candidate.occurrences * (candidate.size - 1)
+
+    def test_ranking_is_by_saving(self):
+        candidates = extract_candidates(_repeated_pattern_block())
+        savings = [candidate.saved_ops for candidate in candidates]
+        assert savings == sorted(savings, reverse=True)
+
+
+class TestCommutativity:
+    def test_swapped_commutative_operands_match(self):
+        kb = KernelBuilder("comm")
+        with kb.block("body"):
+            a1, b1 = kb.emit("movi", imm=1), kb.emit("movi", imm=2)
+            kb.emit("shri", kb.emit("add", a1, b1), imm=1)
+            a2, b2 = kb.emit("movi", imm=3), kb.emit("movi", imm=4)
+            kb.emit("shri", kb.emit("add", b2, a2), imm=1)  # swapped
+        candidates = extract_candidates(kb.finish().block("body"),
+                                        min_occurrences=2)
+        pair = [c for c in candidates
+                if set(c.opcodes) == {"add", "shri"} and c.size == 2]
+        assert pair and pair[0].occurrences == 2
+
+    def test_different_immediates_do_not_match(self):
+        kb = KernelBuilder("imm")
+        with kb.block("body"):
+            a1 = kb.emit("movi", imm=1)
+            kb.emit("shri", kb.emit("addi", a1, imm=5), imm=1)
+            a2 = kb.emit("movi", imm=2)
+            kb.emit("shri", kb.emit("addi", a2, imm=9), imm=1)  # other imm
+        candidates = extract_candidates(kb.finish().block("body"),
+                                        min_occurrences=2)
+        assert not any(set(c.opcodes) == {"addi", "shri"} and c.size == 2
+                       for c in candidates)
+
+
+class TestOnGetSad:
+    """The headline: extraction rediscovers the paper's configurations."""
+
+    @pytest.fixture(scope="class")
+    def diagonal_candidates(self):
+        program = build_getsad_kernel("orig", KernelShape(1, InterpMode.HV))
+        return extract_candidates(program.block("row_loop"))
+
+    def test_finds_the_per_group_interpolation_cluster(self,
+                                                       diagonal_candidates):
+        best = diagonal_candidates[0]
+        # one cluster per 4-pixel group: 4 occurrences, few inputs,
+        # dominated by the widening interpolation arithmetic
+        assert best.occurrences == 4
+        assert best.inputs <= 6
+        assert {"add2", "pack4", "shri"} <= set(best.opcodes)
+        assert best.size >= 15
+
+    def test_extraction_covers_most_of_the_interpolation(self,
+                                                         diagonal_candidates):
+        program = build_getsad_kernel("orig", KernelShape(1, InterpMode.HV))
+        block_ops = len(program.block("row_loop").ops)
+        assert diagonal_candidates[0].saved_ops > block_ops // 2
+
+    def test_full_pel_kernel_offers_less(self):
+        diag = extract_candidates(build_getsad_kernel(
+            "orig", KernelShape(1, InterpMode.HV)).block("row_loop"))
+        full = extract_candidates(build_getsad_kernel(
+            "orig", KernelShape(1, InterpMode.FULL)).block("row_loop"))
+        best_full = full[0].saved_ops if full else 0
+        assert diag[0].saved_ops > best_full
+
+    def test_program_level_api(self):
+        program = build_getsad_kernel("orig", KernelShape(2, InterpMode.H))
+        per_block = extract_from_program(program)
+        assert "row_loop" in per_block
+        assert per_block["row_loop"]

@@ -1,0 +1,98 @@
+"""Frames and memory layout."""
+
+import numpy as np
+import pytest
+
+from repro.codec.frame import FrameLayout, MB_SIZE, QCIF_HEIGHT, QCIF_WIDTH, YuvFrame
+from repro.errors import CodecError
+from repro.memory import MainMemory
+
+
+class TestYuvFrame:
+    def test_blank_shapes(self):
+        frame = YuvFrame.blank()
+        assert frame.width == QCIF_WIDTH
+        assert frame.height == QCIF_HEIGHT
+        assert frame.mb_cols == 11
+        assert frame.mb_rows == 9
+
+    def test_non_macroblock_size_rejected(self):
+        with pytest.raises(CodecError):
+            YuvFrame(np.zeros((100, 100), dtype=np.uint8),
+                     np.zeros((50, 50), dtype=np.uint8),
+                     np.zeros((50, 50), dtype=np.uint8))
+
+    def test_chroma_shape_checked(self):
+        with pytest.raises(CodecError):
+            YuvFrame(np.zeros((144, 176), dtype=np.uint8),
+                     np.zeros((144, 176), dtype=np.uint8),
+                     np.zeros((72, 88), dtype=np.uint8))
+
+    def test_dtype_checked(self):
+        with pytest.raises(CodecError):
+            YuvFrame(np.zeros((144, 176), dtype=np.int16),
+                     np.zeros((72, 88), dtype=np.uint8),
+                     np.zeros((72, 88), dtype=np.uint8))
+
+    def test_copy_is_deep(self):
+        frame = YuvFrame.blank()
+        clone = frame.copy()
+        clone.y[0, 0] = 9
+        assert frame.y[0, 0] != 9
+
+    def test_psnr_identical_is_infinite(self):
+        frame = YuvFrame.blank()
+        assert frame.psnr_y(frame.copy()) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = YuvFrame.blank(luma=128)
+        b = YuvFrame.blank(luma=129)  # MSE 1 -> 48.13 dB
+        assert abs(a.psnr_y(b) - 48.13) < 0.01
+
+
+class TestFrameLayout:
+    def test_allocation_is_32_byte_aligned(self):
+        layout = FrameLayout()
+        for name in ("a", "b", "c"):
+            assert layout.allocate(name) % 32 == 0
+
+    def test_planes_do_not_overlap(self):
+        layout = FrameLayout()
+        first = layout.allocate("a")
+        second = layout.allocate("b")
+        assert second >= first + layout.plane_bytes()
+
+    def test_double_allocation_rejected(self):
+        layout = FrameLayout()
+        layout.allocate("a")
+        with pytest.raises(CodecError):
+            layout.allocate("a")
+
+    def test_unknown_plane_rejected(self):
+        with pytest.raises(CodecError):
+            FrameLayout().plane_base("ghost")
+
+    def test_pixel_address_math(self):
+        layout = FrameLayout()
+        base = layout.allocate("a")
+        assert layout.pixel_address("a", 0, 0) == base
+        assert layout.pixel_address("a", 3, 2) == base + 2 * 176 + 3
+
+    def test_pixel_bounds_checked(self):
+        layout = FrameLayout()
+        layout.allocate("a")
+        with pytest.raises(CodecError):
+            layout.pixel_address("a", 176, 0)
+
+    def test_store_plane_roundtrip(self):
+        layout = FrameLayout()
+        memory = MainMemory()
+        plane = np.arange(176 * 144, dtype=np.uint32).astype(np.uint8)
+        plane = plane.reshape(144, 176)
+        base = layout.store_plane(memory, "a", plane)
+        assert memory.load_byte(base) == plane[0, 0]
+        assert memory.load_byte(base + 176 * 5 + 7) == plane[5, 7]
+
+    def test_odd_stride_rejected(self):
+        with pytest.raises(CodecError):
+            FrameLayout(width=177)

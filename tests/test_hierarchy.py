@@ -1,0 +1,105 @@
+"""The integrated memory system: hit/miss timing, prefetch interplay."""
+
+import pytest
+
+from repro.memory import MemorySystem, MemoryTimings
+
+
+@pytest.fixture()
+def system():
+    return MemorySystem(MemoryTimings(bus_latency=30, bus_service_interval=4,
+                                      hardware_next_line_prefetch=False))
+
+
+class TestLoadTiming:
+    def test_demand_miss_costs_bus_latency(self, system):
+        value, stall = system.load_word(0x1000, cycle=0)
+        assert stall == 30
+        assert system.stats.demand_miss_stalls == 1
+
+    def test_hit_after_fill_is_free(self, system):
+        system.load_word(0x1000, 0)
+        value, stall = system.load_word(0x1004, 100)  # same 32B line
+        assert stall == 0
+
+    def test_prefetch_hides_latency(self, system):
+        system.prefetch_line(0x2000, 0)
+        _, stall = system.load_word(0x2000, 100)
+        assert stall == 0
+        assert system.prefetch_buffer.stats.useful == 1
+
+    def test_partial_miss_pays_residual(self, system):
+        system.prefetch_line(0x2000, 0)
+        _, stall = system.load_word(0x2000, 10)   # arrives at 30
+        assert stall == 20
+        assert system.stats.partial_miss_stalls == 1
+
+    def test_prefetch_skipped_when_cached(self, system):
+        system.load_word(0x3000, 0)
+        assert not system.prefetch_line(0x3000, 10)
+
+    def test_prefetch_range_counts_line_crossings(self, system):
+        # 17 bytes starting 4 bytes before a line boundary: two lines
+        issued = system.prefetch_range(0x101C, 17, 0)
+        assert issued == 2
+        issued_single = system.prefetch_range(0x2000, 16, 0)
+        assert issued_single == 1
+
+    def test_functional_value_comes_from_main_memory(self, system):
+        system.main.store_word(0x1000, 0xCAFEBABE)
+        value, _ = system.load_word(0x1000, 0)
+        assert value == 0xCAFEBABE
+
+    def test_store_is_write_through(self, system):
+        system.store_word(0x1000, 42, 0)
+        assert system.main.load_word(0x1000) == 42
+        # no-allocate: the store did not install the line
+        assert not system.dcache.contains(0x1000)
+
+    def test_load_timing_equals_load_word_stall(self):
+        a = MemorySystem(MemoryTimings(hardware_next_line_prefetch=False))
+        b = MemorySystem(MemoryTimings(hardware_next_line_prefetch=False))
+        for cycle, addr in enumerate([0x100, 0x100, 0x5000, 0x5020]):
+            _, stall_a = a.load_word(addr, cycle * 10)
+            stall_b = b.load_timing(addr, cycle * 10)
+            assert stall_a == stall_b
+
+
+class TestHardwareNextLinePrefetch:
+    def test_sequential_misses_get_cheaper(self):
+        plain = MemorySystem(MemoryTimings(hardware_next_line_prefetch=False))
+        smart = MemorySystem(MemoryTimings(hardware_next_line_prefetch=True))
+        def walk(system):
+            total = 0
+            cycle = 0
+            for i in range(8):
+                stall = system.load_timing(0x4000 + 32 * i, cycle)
+                total += stall
+                cycle += stall + 40
+            return total
+        assert walk(smart) < walk(plain)
+
+
+class TestIfetch:
+    def test_icache_cold_then_warm(self, system):
+        stall_cold = system.ifetch(0x100000, 0)
+        assert stall_cold > 0
+        assert system.ifetch(0x100000, 100) == 0
+        # same 64-byte I$ line
+        assert system.ifetch(0x100030, 100) == 0
+
+    def test_icache_stats_accumulate(self, system):
+        system.ifetch(0x100000, 0)
+        assert system.stats.icache_stall_cycles > 0
+
+
+class TestReset:
+    def test_reset_timing_preserves_data(self, system):
+        system.main.store_word(0x1000, 7)
+        system.load_word(0x1000, 0)
+        system.reset_timing()
+        assert system.main.load_word(0x1000) == 7
+        assert not system.dcache.contains(0x1000)
+        assert system.stats.load_count == 0
+        _, stall = system.load_word(0x1000, 0)
+        assert stall > 0  # cold again

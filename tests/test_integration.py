@@ -1,0 +1,114 @@
+"""End-to-end integration: the paper's narrative on one medium workload,
+plus cross-layer consistency between the trace, the memory layout and the
+functional RFU kernel."""
+
+import numpy as np
+import pytest
+
+from repro.codec.frame import FrameLayout
+from repro.core import Exploration, ExplorationConfig, all_scenarios
+from repro.memory import MemorySystem
+from repro.rfu.loop_model import Bandwidth, LoopKernelModel, LoopKernelParams
+
+
+@pytest.fixture(scope="module")
+def medium_run():
+    exploration = Exploration(ExplorationConfig(frames=6))
+    result = exploration.run(all_scenarios())
+    return exploration, result
+
+
+class TestPaperNarrative:
+    """The abstract's claims, asserted in one place."""
+
+    def test_initial_profile_near_25_percent(self, medium_run):
+        _, result = medium_run
+        assert 0.15 < result.me_fraction("orig") < 0.35
+
+    def test_instruction_level_is_marginal(self, medium_run):
+        _, result = medium_run
+        for name in ("a1", "a2", "a3"):
+            assert 1.0 < result.speedup(name) < 2.0
+
+    def test_loop_level_reaches_3_to_8x(self, medium_run):
+        _, result = medium_run
+        assert 2.5 < result.speedup("loop_1x32_b1") < 5.0
+        assert result.speedup("loop_2x64_b1") < 9.0
+
+    def test_headline_8x_with_two_line_buffers(self, medium_run):
+        _, result = medium_run
+        assert 6.0 < result.speedup("loop_1x32+2lb_b1") < 12.0
+
+    def test_technology_scaling_graceful(self, medium_run):
+        _, result = medium_run
+        for bandwidth in ("1x32", "1x64", "2x64"):
+            fast = result.speedup(f"loop_{bandwidth}_b1")
+            slow = result.speedup(f"loop_{bandwidth}_b5")
+            assert 0.6 < slow / fast < 1.0
+
+    def test_io_is_the_limiting_factor(self, medium_run):
+        """Once parallelism is exposed, bandwidth sets the speedup and
+        stalls grow with it (the paper's central conclusion)."""
+        _, result = medium_run
+        speedups = [result.speedup(f"loop_{bw}_b1")
+                    for bw in ("1x32", "1x64", "2x64")]
+        stall_shares = [result.result(f"loop_{bw}_b1").stall_fraction()
+                        for bw in ("1x32", "1x64", "2x64")]
+        assert speedups == sorted(speedups)
+        assert stall_shares == sorted(stall_shares)
+
+    def test_application_share_collapses(self, medium_run):
+        _, result = medium_run
+        assert result.me_fraction("loop_1x32+2lb_b1") \
+            < result.me_fraction("orig") / 3
+
+
+class TestCrossLayerConsistency:
+    """The trace's SAD values must be reproducible by the functional RFU
+    kernel reading the simulated memory at the replayer's addresses."""
+
+    def test_loop_kernel_sad_matches_trace(self, medium_run):
+        exploration, _ = medium_run
+        report = exploration.encoder_report
+        layout = FrameLayout()
+        memory = MemorySystem()
+        bases = {}
+        frames_by_index = {}
+        for frame_index in report.trace.frames():
+            recon = report.reconstructed[frame_index - 1]
+            frames_by_index[frame_index] = recon
+            bases[frame_index] = layout.store_plane(
+                memory.main, f"recon{frame_index - 1}", recon.y)
+        # the current frames are the encoder's original inputs; regenerate
+        from repro.codec.sequence import SyntheticSequenceConfig, \
+            synthetic_sequence
+        originals = synthetic_sequence(SyntheticSequenceConfig(
+            frames=exploration.config.frames))
+        orig_bases = {
+            index: layout.store_plane(memory.main, f"orig{index}",
+                                      originals[index].y)
+            for index in report.trace.frames()}
+
+        model = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32),
+                                memory=memory)
+        stride = layout.stride
+        checked = 0
+        for invocation in list(report.trace)[:4000:97]:
+            pred_base = bases[invocation.frame] \
+                + invocation.pred_y * stride + invocation.pred_x
+            ref_base = orig_bases[invocation.frame] \
+                + invocation.mb_y * stride + invocation.mb_x
+            sad = model.compute_sad(ref_base, pred_base, stride,
+                                    invocation.mode)
+            assert sad == invocation.sad, invocation
+            checked += 1
+        assert checked > 20
+
+    def test_alignment_distribution_matches_plane_math(self, medium_run):
+        exploration, _ = medium_run
+        trace = exploration.encoder_report.trace
+        layout = FrameLayout()
+        base = layout.allocate("probe")
+        assert base % 4 == 0  # 32-byte alignment implies word alignment
+        histogram = trace.alignment_histogram(layout.stride)
+        assert sum(histogram.values()) == len(trace)

@@ -1,0 +1,94 @@
+"""Half-sample interpolation and the GetSad golden models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.interp import (
+    halfpel_predictor,
+    interpolate_halfpel_region,
+    mode_from_halfpel,
+)
+from repro.codec.sad import block_sad, getsad, getsad_reference
+from repro.errors import CodecError
+from repro.rfu.loop_model import InterpMode
+
+positions = st.tuples(st.integers(0, 40), st.integers(0, 40))
+halves = st.tuples(st.integers(0, 1), st.integers(0, 1))
+
+
+class TestModeMapping:
+    def test_all_combinations(self):
+        assert mode_from_halfpel(0, 0) is InterpMode.FULL
+        assert mode_from_halfpel(1, 0) is InterpMode.H
+        assert mode_from_halfpel(0, 1) is InterpMode.V
+        assert mode_from_halfpel(1, 1) is InterpMode.HV
+
+
+class TestHalfpelPredictor:
+    def test_full_pel_is_copy(self, random_plane):
+        pred = halfpel_predictor(random_plane, 5, 9, 0, 0)
+        assert np.array_equal(pred, random_plane[9:25, 5:21])
+
+    def test_horizontal_formula(self, random_plane):
+        pred = halfpel_predictor(random_plane, 5, 9, 1, 0)
+        a = random_plane[9:25, 5:21].astype(int)
+        b = random_plane[9:25, 6:22].astype(int)
+        assert np.array_equal(pred, (a + b + 1) >> 1)
+
+    def test_vertical_formula(self, random_plane):
+        pred = halfpel_predictor(random_plane, 5, 9, 0, 1)
+        a = random_plane[9:25, 5:21].astype(int)
+        c = random_plane[10:26, 5:21].astype(int)
+        assert np.array_equal(pred, (a + c + 1) >> 1)
+
+    def test_diagonal_formula(self, random_plane):
+        pred = halfpel_predictor(random_plane, 5, 9, 1, 1)
+        region = random_plane[9:26, 5:22].astype(int)
+        expected = (region[:-1, :-1] + region[:-1, 1:]
+                    + region[1:, :-1] + region[1:, 1:] + 2) >> 2
+        assert np.array_equal(pred, expected)
+
+    def test_mode_keyed_variant_agrees(self, random_plane):
+        for mode, (hx, hy) in [(InterpMode.FULL, (0, 0)),
+                               (InterpMode.H, (1, 0)),
+                               (InterpMode.V, (0, 1)),
+                               (InterpMode.HV, (1, 1))]:
+            a = interpolate_halfpel_region(random_plane, 3, 4, mode)
+            b = halfpel_predictor(random_plane, 3, 4, hx, hy)
+            assert np.array_equal(a, b)
+
+    def test_bounds_checked(self, random_plane):
+        with pytest.raises(CodecError):
+            halfpel_predictor(random_plane, 49, 0, 1, 0)  # needs column 65
+        with pytest.raises(CodecError):
+            halfpel_predictor(random_plane, -1, 0, 0, 0)
+
+    def test_bad_flags_rejected(self, random_plane):
+        with pytest.raises(CodecError):
+            halfpel_predictor(random_plane, 0, 0, 2, 0)
+
+
+class TestGetSad:
+    def test_block_sad_shape_checked(self):
+        with pytest.raises(CodecError):
+            block_sad(np.zeros((2, 2), dtype=np.uint8),
+                      np.zeros((3, 3), dtype=np.uint8))
+
+    def test_zero_for_identical_blocks(self, random_plane):
+        assert getsad(random_plane, random_plane, 8, 8, 8, 8) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(position=positions, half=halves)
+    def test_fast_matches_listing1_reference(self, random_plane, position, half):
+        x, y = position
+        hx, hy = half
+        fast = getsad(random_plane, random_plane, 16, 16, x, y, hx, hy)
+        slow = getsad_reference(random_plane, random_plane, 16, 16, x, y,
+                                hx, hy)
+        assert fast == slow
+
+    def test_sad_bounds(self, random_plane):
+        sad = getsad(random_plane, random_plane, 0, 0, 30, 30)
+        assert 0 <= sad <= 255 * 256

@@ -1,0 +1,139 @@
+"""ISA layer: opcode table, registers, Operation/Bundle validation."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (
+    OPCODES,
+    Bundle,
+    Operation,
+    Resource,
+    ZERO,
+    br,
+    gpr,
+    opcode_spec,
+    vreg,
+)
+from repro.isa.instruction import format_schedule
+from repro.isa.registers import NUM_BR, NUM_GPR
+
+
+class TestRegisters:
+    def test_gpr_range(self):
+        assert gpr(0) is not None
+        assert gpr(NUM_GPR - 1).index == NUM_GPR - 1
+        with pytest.raises(IsaError):
+            gpr(NUM_GPR)
+        with pytest.raises(IsaError):
+            gpr(-1)
+
+    def test_br_range(self):
+        assert br(NUM_BR - 1).index == NUM_BR - 1
+        with pytest.raises(IsaError):
+            br(NUM_BR)
+
+    def test_zero_register(self):
+        assert ZERO == gpr(0)
+
+    def test_vregs_are_unique(self):
+        assert vreg("a") != vreg("a")
+
+    def test_vreg_branch_flag(self):
+        assert vreg("c", is_branch=True).is_branch
+        assert not vreg("c").is_branch
+
+    def test_repr(self):
+        assert repr(gpr(5)) == "$r5"
+        assert repr(br(2)) == "$b2"
+        assert repr(vreg("x")).startswith("%v")
+
+
+class TestOpcodeTable:
+    def test_all_specs_consistent(self):
+        for name, spec in OPCODES.items():
+            assert spec.name == name
+            assert isinstance(spec.resource, Resource)
+            if spec.latency is not None:
+                assert spec.latency >= 1
+
+    def test_resource_classes(self):
+        assert opcode_spec("add").resource is Resource.ALU
+        assert opcode_spec("mul").resource is Resource.MUL
+        assert opcode_spec("ldw").resource is Resource.LSU
+        assert opcode_spec("br").resource is Resource.BRANCH
+        assert opcode_spec("rfuexec").resource is Resource.RFU
+
+    def test_memory_flags(self):
+        assert opcode_spec("ldw").is_load
+        assert opcode_spec("stw").is_store
+        assert opcode_spec("pft").is_prefetch
+        assert not opcode_spec("add").is_load
+
+    def test_branch_flags(self):
+        for name in ("br", "brf", "goto"):
+            assert opcode_spec(name).is_branch
+
+    def test_compare_writes_branch_register(self):
+        assert opcode_spec("cmpeq").writes_branch_reg
+        assert not opcode_spec("add").writes_branch_reg
+
+    def test_rfu_latency_is_dynamic(self):
+        assert opcode_spec("rfuexec").latency is None
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IsaError):
+            opcode_spec("fnord")
+
+
+class TestOperation:
+    def test_arity_checked(self):
+        with pytest.raises(IsaError):
+            Operation("add", dest=vreg(), srcs=(vreg(),))  # needs 2 srcs
+
+    def test_dest_required(self):
+        with pytest.raises(IsaError):
+            Operation("add", srcs=(vreg(), vreg()))
+
+    def test_dest_forbidden(self):
+        with pytest.raises(IsaError):
+            Operation("stw", dest=vreg(), srcs=(vreg(), vreg()))
+
+    def test_branch_needs_label(self):
+        with pytest.raises(IsaError):
+            Operation("goto")
+        Operation("goto", label="loop")  # fine
+
+    def test_variadic_rfu_ops(self):
+        Operation("rfusend", srcs=(vreg(), vreg(), vreg()), imm=3)
+        Operation("rfuexec", dest=vreg(), srcs=(), imm=3)
+
+    def test_renamed_preserves_everything(self):
+        a, b, d = vreg("a"), vreg("b"), vreg("d")
+        op = Operation("add", dest=d, srcs=(a, b), comment="x")
+        renamed = op.renamed(lambda r: gpr(1) if r is a else r)
+        assert renamed.srcs[0] == gpr(1)
+        assert renamed.srcs[1] is b
+        assert renamed.opcode == "add"
+
+    def test_repr_contains_opcode(self):
+        op = Operation("movi", dest=vreg(), imm=7)
+        assert "movi" in repr(op)
+        assert "#7" in repr(op)
+
+
+class TestBundle:
+    def test_len_and_iter(self):
+        ops = [Operation("movi", dest=vreg(), imm=i) for i in range(3)]
+        bundle = Bundle(ops)
+        assert len(bundle) == 3
+        assert list(bundle) == ops
+
+    def test_size_constant(self):
+        assert Bundle.SIZE_BYTES == 16
+
+    def test_format_schedule(self):
+        text = format_schedule([Bundle(), Bundle([Operation("movi",
+                                                            dest=vreg(),
+                                                            imm=1)])])
+        assert "nop" in text
+        assert "movi" in text

@@ -1,0 +1,140 @@
+"""GetSad VLIW kernels: bit-exactness against the golden model and the
+paper's expected cost ordering."""
+
+import pytest
+
+from repro.codec.frame import FrameLayout
+from repro.codec.sad import getsad
+from repro.errors import CodecError
+from repro.kernels import (
+    KernelLibrary,
+    KernelShape,
+    VARIANTS,
+    build_getsad_kernel,
+    kernel_rfu_issue_width,
+)
+from repro.machine import Core, MachineConfig, compile_kernel
+from repro.memory import MemorySystem
+from repro.rfu import RfuUnit, standard_registry
+from repro.rfu.loop_model import InterpMode
+
+ALL_SHAPES = [KernelShape(alignment, mode)
+              for alignment in range(4) for mode in InterpMode]
+
+
+@pytest.fixture(scope="module")
+def libraries():
+    return {variant: KernelLibrary(variant) for variant in VARIANTS}
+
+
+class TestBitExactness:
+    """KernelLibrary._measure raises if a kernel's SAD diverges from the
+    golden model; timing every shape therefore IS the bit-exactness test."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_all_shapes_verify(self, libraries, variant):
+        timings = libraries[variant].all_shapes()
+        assert len(timings) == 16
+        for shape, timing in timings.items():
+            assert timing.cycles > 0
+            assert timing.ops > 0
+
+    def test_kernel_on_frame_data(self, libraries, tiny_sequence):
+        """Run the baseline kernel against real video data in simulated
+        memory and compare with the golden SAD."""
+        plane = tiny_sequence[0].y
+        layout = FrameLayout()
+        memory = MemorySystem()
+        base = layout.store_plane(memory.main, "ref", plane)
+        mb_x, mb_y = 48, 32
+        pred_x, pred_y = 45, 30
+        shape = KernelShape((base + pred_y * 176 + pred_x) % 4, InterpMode.HV)
+        loaded = libraries["orig"].loaded(shape)
+        core = Core(memory, RfuUnit(standard_registry()),
+                    libraries["orig"].config)
+        pred_addr = base + pred_y * 176 + pred_x
+        result = core.run(loaded, [pred_addr - shape.alignment,
+                                   base + mb_y * 176 + mb_x, 176])
+        expected = getsad(plane, plane, mb_x, mb_y, pred_x, pred_y, 1, 1)
+        assert result.result == expected
+
+
+class TestCostOrdering:
+    def test_interpolation_costs_more_than_full_pel(self, libraries):
+        library = libraries["orig"]
+        for alignment in range(4):
+            full = library.static_cycles(alignment, InterpMode.FULL)
+            for mode in (InterpMode.H, InterpMode.V, InterpMode.HV):
+                assert library.static_cycles(alignment, mode) > full
+
+    def test_diagonal_is_the_most_expensive_baseline_mode(self, libraries):
+        library = libraries["orig"]
+        for alignment in range(4):
+            diagonal = library.static_cycles(alignment, InterpMode.HV)
+            for mode in (InterpMode.FULL, InterpMode.H, InterpMode.V):
+                assert diagonal > library.static_cycles(alignment, mode)
+
+    def test_paper_variant_ordering_on_diagonal(self, libraries):
+        """A1 beats the baseline; A2/A3 beat A1 (Table 1's shape)."""
+        for alignment in range(4):
+            orig = libraries["orig"].static_cycles(alignment, InterpMode.HV)
+            a1 = libraries["a1"].static_cycles(alignment, InterpMode.HV)
+            a2 = libraries["a2"].static_cycles(alignment, InterpMode.HV)
+            a3 = libraries["a3"].static_cycles(alignment, InterpMode.HV)
+            assert orig > a1 > a2
+            assert a3 <= a2
+
+    def test_variants_share_non_diagonal_paths(self, libraries):
+        """A1/A2/A3 modify only the diagonal interpolation."""
+        for mode in (InterpMode.FULL, InterpMode.H, InterpMode.V):
+            costs = {variant: libraries[variant].static_cycles(1, mode)
+                     for variant in VARIANTS}
+            assert len(set(costs.values())) == 1, costs
+
+
+class TestBuilders:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(CodecError):
+            build_getsad_kernel("a9", KernelShape(0, InterpMode.FULL))
+        with pytest.raises(CodecError):
+            KernelLibrary("a9")
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(CodecError):
+            KernelShape(5, InterpMode.FULL)
+
+    def test_rfu_issue_width_per_variant(self):
+        assert kernel_rfu_issue_width("orig") == 1
+        assert kernel_rfu_issue_width("a1") == 4
+        assert kernel_rfu_issue_width("a2") == 1
+        with pytest.raises(CodecError):
+            kernel_rfu_issue_width("zz")
+
+    def test_shape_labels_unique(self):
+        labels = {shape.label for shape in ALL_SHAPES}
+        assert len(labels) == 16
+
+    def test_programs_validate_and_fit_registers(self):
+        for variant in VARIANTS:
+            for shape in ALL_SHAPES:
+                program = build_getsad_kernel(variant, shape)
+                program.validate()
+                rfu = RfuUnit(standard_registry())
+                config = MachineConfig().with_rfu_issue(
+                    kernel_rfu_issue_width(variant))
+                compile_kernel(program, rfu, config)  # must not raise
+
+    def test_words_per_row_matches_geometry(self):
+        assert KernelShape(0, InterpMode.FULL).words_per_row == 4
+        assert KernelShape(3, InterpMode.HV).words_per_row == 5
+
+
+class TestTimingStability:
+    def test_timing_is_cached_and_deterministic(self, libraries):
+        library = libraries["orig"]
+        shape = KernelShape(2, InterpMode.H)
+        first = library.timing(shape)
+        second = library.timing(shape)
+        assert first is second
+        fresh = KernelLibrary("orig").timing(shape)
+        assert fresh.cycles == first.cycles

@@ -1,0 +1,113 @@
+"""Line Buffers A and B (paper §5b, Figures 3 and 4)."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import LineBufferA, LineBufferB, MemorySystem, MemoryTimings
+from repro.memory.linebuffer import ACCESS_LATENCY, MACROBLOCK_ROWS
+
+
+def _memory():
+    return MemorySystem(MemoryTimings(bus_latency=30, bus_service_interval=4,
+                                      prefetch_entries=64,
+                                      hardware_next_line_prefetch=False))
+
+
+class TestLineBufferA:
+    def test_fill_then_ready_rows_read_free(self):
+        buffer = LineBufferA()
+        buffer.begin_fill(0x1000, [10 * (row + 1)
+                                   for row in range(MACROBLOCK_ROWS)])
+        assert buffer.read_row(0, cycle=50) == 0
+        assert buffer.holds(0x1000)
+
+    def test_unready_row_stalls_until_done(self):
+        buffer = LineBufferA()
+        buffer.begin_fill(0x1000, [100] * MACROBLOCK_ROWS)
+        assert buffer.read_row(3, cycle=40) == 60
+        assert buffer.stats.stalled_reads == 1
+        assert buffer.stats.stall_cycles == 60
+
+    def test_wrong_fill_size_rejected(self):
+        buffer = LineBufferA()
+        with pytest.raises(MemoryError_):
+            buffer.begin_fill(0, [0] * 5)
+
+    def test_read_before_fill_rejected(self):
+        buffer = LineBufferA()
+        with pytest.raises(MemoryError_):
+            buffer.read_row(0, 0)
+
+    def test_row_range_checked(self):
+        buffer = LineBufferA()
+        buffer.begin_fill(0, [0] * MACROBLOCK_ROWS)
+        with pytest.raises(MemoryError_):
+            buffer.read_row(16, 0)
+
+    def test_refill_replaces_macroblock(self):
+        buffer = LineBufferA()
+        buffer.begin_fill(0x1000, [0] * MACROBLOCK_ROWS)
+        buffer.begin_fill(0x2000, [5] * MACROBLOCK_ROWS)
+        assert not buffer.holds(0x1000)
+        assert buffer.holds(0x2000)
+        assert buffer.stats.fills == 2
+
+
+class TestLineBufferB:
+    def test_capacity_is_paper_organisation(self):
+        buffer = LineBufferB(_memory())
+        assert buffer.banks == 4
+        assert buffer.lines_per_bank == 17
+        assert buffer.capacity == 68
+
+    def test_prefetch_then_timely_read_is_free(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        buffer.prefetch_lines([0x1000], cycle=0)
+        assert buffer.read_line(0x1000, cycle=200) == 0
+
+    def test_early_read_pays_residual(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        arrivals = buffer.prefetch_lines([0x1000], cycle=0)
+        assert buffer.read_line(0x1000, cycle=10) == arrivals[0] - 10
+
+    def test_tag_match_reuses_pending_entry(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        buffer.prefetch_lines([0x1000, 0x1020], cycle=0)
+        requests_before = buffer.stats.requests
+        arrivals = buffer.prefetch_lines([0x1000, 0x1020], cycle=5)
+        assert buffer.stats.requests == requests_before
+        assert buffer.stats.reused == 2
+        assert all(a is not None for a in arrivals)
+
+    def test_cached_line_fills_at_access_latency(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        memory.load_word(0x1000, 0)  # warm the D$
+        arrivals = buffer.prefetch_lines([0x1000], cycle=100)
+        assert arrivals[0] == 100 + ACCESS_LATENCY
+
+    def test_miss_falls_back_to_dcache(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        stall = buffer.read_line(0x5000, cycle=0)
+        assert stall > 0  # demand miss through the D$
+        assert memory.stats.demand_miss_stalls == 1
+        # second read of the same line: D$ hit, still a tag miss in LB B
+        assert buffer.read_line(0x5000, cycle=100) == 0
+
+    def test_eviction_keeps_capacity_bounded(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        lines = [0x8000 + 32 * i for i in range(100)]
+        buffer.prefetch_lines(lines, cycle=0)
+        assert len(buffer._entries) <= buffer.capacity
+
+    def test_flush(self):
+        memory = _memory()
+        buffer = LineBufferB(memory)
+        buffer.prefetch_lines([0x1000], 0)
+        buffer.flush()
+        assert 0x1000 not in buffer

@@ -1,0 +1,149 @@
+"""The loop-level RFU kernel model: geometry, latency, timing, function."""
+
+import numpy as np
+import pytest
+
+from repro.codec.sad import getsad
+from repro.errors import RfuError
+from repro.memory import LineBufferA, LineBufferB, MemorySystem, MemoryTimings
+from repro.rfu.loop_model import (
+    Bandwidth,
+    InterpMode,
+    LoopKernelModel,
+    LoopKernelParams,
+    predictor_geometry,
+)
+from repro.rfu.prefetch_ops import MacroblockPrefetchEngine
+
+
+class TestGeometry:
+    def test_figure2_case(self):
+        # alignment 3, diagonal: 5 words x 17 rows
+        assert predictor_geometry(3, InterpMode.HV) == (17, 5)
+
+    def test_aligned_full_pel_is_minimal(self):
+        assert predictor_geometry(0, InterpMode.FULL) == (16, 4)
+
+    def test_horizontal_needs_17th_pixel(self):
+        assert predictor_geometry(0, InterpMode.H) == (16, 5)
+
+    def test_vertical_needs_17th_row(self):
+        assert predictor_geometry(0, InterpMode.V) == (17, 4)
+
+    def test_all_alignments_fit_five_words(self):
+        for alignment in range(4):
+            for mode in InterpMode:
+                rows, words = predictor_geometry(alignment, mode)
+                assert 4 <= words <= 5
+                assert rows in (16, 17)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(RfuError):
+            predictor_geometry(4, InterpMode.FULL)
+
+
+class TestBandwidth:
+    def test_access_widths(self):
+        assert Bandwidth.B1X32.bytes_per_access == 4
+        assert Bandwidth.B1X64.bytes_per_access == 8
+        assert Bandwidth.B2X64.accesses_per_cycle == 2
+
+
+class TestStaticLatency:
+    def _model(self, bandwidth, beta=1.0, lbb=False):
+        return LoopKernelModel(LoopKernelParams(bandwidth, beta,
+                                                use_line_buffer_b=lbb))
+
+    def test_ii_follows_bandwidth(self):
+        assert self._model(Bandwidth.B1X32).initiation_interval(3, InterpMode.HV) == 5
+        assert self._model(Bandwidth.B1X64).initiation_interval(3, InterpMode.HV) == 3
+        assert self._model(Bandwidth.B2X64).initiation_interval(3, InterpMode.HV) == 2
+
+    def test_line_buffer_b_collapses_ii_to_one(self):
+        model = self._model(Bandwidth.B1X32, lbb=True)
+        for alignment in range(4):
+            assert model.initiation_interval(alignment, InterpMode.HV) == 1
+
+    def test_latency_monotone_in_bandwidth(self):
+        latencies = [self._model(bw).static_latency(3, InterpMode.HV).total
+                     for bw in (Bandwidth.B1X32, Bandwidth.B1X64,
+                                Bandwidth.B2X64)]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_technology_scaling_adds_fixed_12_cycles(self):
+        for bandwidth in Bandwidth:
+            fast = self._model(bandwidth, 1.0).worst_case_latency()
+            slow = self._model(bandwidth, 5.0).worst_case_latency()
+            assert slow - fast == 12  # the paper's fixed latency growth
+
+    def test_relative_increase_grows_with_bandwidth(self):
+        increases = []
+        for bandwidth in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64):
+            fast = self._model(bandwidth, 1.0).worst_case_latency()
+            slow = self._model(bandwidth, 5.0).worst_case_latency()
+            increases.append((slow - fast) / fast)
+        assert increases[0] < increases[1] < increases[2]
+
+    def test_worst_case_is_diagonal_alignment_3(self):
+        model = self._model(Bandwidth.B1X32)
+        worst = model.worst_case_latency()
+        for alignment in range(4):
+            for mode in InterpMode:
+                assert model.static_latency(alignment, mode).total <= worst
+
+
+class TestTraceTiming:
+    def _environment(self, lbb=False):
+        memory = MemorySystem(MemoryTimings(prefetch_entries=64,
+                                            bus_latency=30,
+                                            bus_service_interval=4))
+        buffer_a = LineBufferA()
+        buffer_b = LineBufferB(memory) if lbb else None
+        engine = MacroblockPrefetchEngine(memory, buffer_a, buffer_b)
+        params = LoopKernelParams(Bandwidth.B1X32, use_line_buffer_b=lbb)
+        model = LoopKernelModel(params, memory, buffer_a, buffer_b, engine)
+        return memory, buffer_a, engine, model
+
+    def test_invocation_total_includes_stalls(self):
+        memory, buffer_a, engine, model = self._environment()
+        engine.fill_line_buffer_a(0x10000, 176, 0)
+        cycles, stalls = model.run_invocation(0x20003, 176, 3,
+                                              InterpMode.HV, cycle=0)
+        static = model.static_latency(3, InterpMode.HV).total
+        assert cycles == static + stalls
+        assert stalls > 0  # cold memory
+
+    def test_warm_rerun_has_no_stalls(self):
+        memory, buffer_a, engine, model = self._environment()
+        engine.fill_line_buffer_a(0x10000, 176, 0)
+        model.run_invocation(0x20003, 176, 3, InterpMode.HV, cycle=0)
+        cycles, stalls = model.run_invocation(0x20003, 176, 3,
+                                              InterpMode.HV, cycle=10000)
+        assert stalls == 0
+        assert cycles == model.static_latency(3, InterpMode.HV).total
+
+    def test_requires_memory_system(self):
+        model = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32))
+        with pytest.raises(RfuError):
+            model.run_invocation(0, 176, 0, InterpMode.FULL, 0)
+
+
+class TestFunctionalSad:
+    def test_matches_golden_for_every_mode(self, random_plane):
+        memory = MemorySystem()
+        base = 0x30000
+        stride = random_plane.shape[1]
+        memory.main.write_block(base, random_plane)
+        model = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32),
+                                memory=memory)
+        mb_x, mb_y = 16, 16
+        for mode in InterpMode:
+            for pred_x, pred_y in [(4, 7), (9, 3), (21, 30)]:
+                expected = getsad(
+                    random_plane, random_plane, mb_x, mb_y, pred_x, pred_y,
+                    1 if mode.needs_extra_column else 0,
+                    1 if mode.needs_extra_row else 0)
+                measured = model.compute_sad(
+                    base + mb_y * stride + mb_x,
+                    base + pred_y * stride + pred_x, stride, mode)
+                assert measured == expected, mode

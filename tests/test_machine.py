@@ -1,0 +1,249 @@
+"""Cycle-level core: semantics, timing, control flow, RFU dispatch."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine import Core, MachineConfig, compile_kernel
+from repro.machine.semantics import PURE_OPS, evaluate
+from repro.memory import MemorySystem
+from repro.program.builder import KernelBuilder
+from repro.rfu import RfuUnit, standard_registry
+from repro.utils import bitops
+
+words = st.integers(0, 0xFFFFFFFF)
+
+
+def _run_kernel(build, args, memory=None, rfu=None, config=None):
+    kb = KernelBuilder("t")
+    build(kb)
+    loaded = compile_kernel(kb.finish(), rfu, config)
+    core = Core(memory or MemorySystem(), rfu, config)
+    return core.run(loaded, args)
+
+
+class TestPureSemantics:
+    @given(words, words)
+    def test_add_sub_inverse(self, a, b):
+        total = evaluate("add", [a, b], None)
+        assert evaluate("sub", [total, b], None) == a
+
+    @given(words, words)
+    def test_simd_ops_match_bitops(self, a, b):
+        assert evaluate("absd4", [a, b], None) == bitops.absdif_bytes(a, b)
+        assert evaluate("avg4", [a, b], None) == bitops.avg_bytes(a, b)
+        assert evaluate("sad4", [a, b], None) == bitops.sad_bytes(a, b)
+        assert evaluate("add4", [a, b], None) == bitops.add_bytes(a, b)
+
+    @given(words)
+    def test_unpack_pack_roundtrip(self, a):
+        low = evaluate("unpkl2", [a], None)
+        high = evaluate("unpkh2", [a], None)
+        assert evaluate("pack4", [low, high], None) == a
+
+    @given(words, st.integers(0, 31))
+    def test_shifts(self, a, amount):
+        assert evaluate("shri", [a], amount) == a >> amount
+        assert evaluate("shli", [a], amount) == (a << amount) & 0xFFFFFFFF
+        assert evaluate("sra", [a, amount], None) \
+            == (bitops.to_s32(a) >> amount) & 0xFFFFFFFF
+
+    @given(words, words)
+    def test_compares_are_boolean(self, a, b):
+        for op in ("cmpeq", "cmpne", "cmplt", "cmpltu"):
+            assert evaluate(op, [a, b], None) in (0, 1)
+
+    def test_signed_compare(self):
+        assert evaluate("cmplt", [0xFFFFFFFF, 0], None) == 1  # -1 < 0
+        assert evaluate("cmpltu", [0xFFFFFFFF, 0], None) == 0
+
+    def test_mul_uses_low_16_bits_signed(self):
+        assert evaluate("mul", [3, 5], None) == 15
+        assert evaluate("mul", [0xFFFF, 2], None) == bitops.to_u32(-2)
+
+    def test_mulh_uses_high_half(self):
+        assert evaluate("mulh", [0x00030000, 5], None) == 15
+
+    def test_non_pure_op_raises(self):
+        with pytest.raises(MachineError):
+            evaluate("ldw", [0], 0)
+
+    def test_every_pure_op_evaluates(self):
+        for name, fn in PURE_OPS.items():
+            spec_srcs = 2 if name not in ("mov", "movi", "addi", "shli",
+                                          "shri", "andi", "cmpgei", "cmpnei",
+                                          "unpkl2", "unpkh2") else 1
+            args = [7] * spec_srcs
+            result = fn(args, 3)
+            assert 0 <= result <= 0xFFFFFFFF
+
+
+class TestExecution:
+    def test_result_and_args(self):
+        def build(kb):
+            x = kb.param("x")
+            y = kb.param("y")
+            with kb.block("b"):
+                total = kb.emit("add", x, y)
+            kb.set_result(total)
+        result = _run_kernel(build, [20, 22])
+        assert result.result == 42
+
+    def test_wrong_arg_count_raises(self):
+        def build(kb):
+            kb.param("x")
+            with kb.block("b"):
+                kb.emit("movi", imm=0)
+        with pytest.raises(MachineError):
+            _run_kernel(build, [1, 2])
+
+    def test_load_store_roundtrip(self):
+        def build(kb):
+            addr = kb.param("addr")
+            value = kb.param("value")
+            with kb.block("b"):
+                kb.emit("stw", value, addr, imm=0, mem_tag="m")
+                loaded = kb.emit("ldw", addr, imm=0, mem_tag="m")
+                out = kb.emit("addi", loaded, imm=1)
+            kb.set_result(out)
+        result = _run_kernel(build, [0x3000, 99])
+        assert result.result == 100
+
+    def test_byte_load_store(self):
+        def build(kb):
+            addr = kb.param("addr")
+            value = kb.param("value")
+            with kb.block("b"):
+                kb.emit("stb", value, addr, imm=2, mem_tag="m")
+                loaded = kb.emit("ldb", addr, imm=2, mem_tag="m")
+            kb.set_result(loaded)
+        result = _run_kernel(build, [0x3000, 0x1FF])
+        assert result.result == 0xFF  # truncated to a byte
+
+    def test_loop_iterates(self):
+        def build(kb):
+            n = kb.persistent_reg("n")
+            acc = kb.persistent_reg("acc")
+            with kb.block("init"):
+                kb.emit("movi", dest=n, imm=10)
+                kb.emit("movi", dest=acc, imm=0)
+            with kb.counted_loop("loop", n):
+                kb.emit("addi", acc, dest=acc, imm=3)
+            kb.set_result(acc)
+        result = _run_kernel(build, [])
+        assert result.result == 30
+        assert result.taken_branches == 9
+
+    def test_branch_penalty_counted(self):
+        def build(kb):
+            n = kb.persistent_reg("n")
+            with kb.block("init"):
+                kb.emit("movi", dest=n, imm=5)
+            with kb.counted_loop("loop", n):
+                pass
+            kb.set_result(n)
+        result = _run_kernel(build, [])
+        assert result.branch_stalls == 4 * MachineConfig().taken_branch_penalty
+
+    def test_dcache_miss_stalls_machine(self):
+        def build(kb):
+            addr = kb.param("addr")
+            with kb.block("b"):
+                loaded = kb.emit("ldw", addr, imm=0)
+            kb.set_result(loaded)
+        memory = MemorySystem()
+        cold = _run_kernel(build, [0x4000], memory=memory)
+        assert cold.dcache_stalls > 0
+
+    def test_warm_run_has_no_dcache_stalls(self):
+        def build(kb):
+            addr = kb.param("addr")
+            with kb.block("b"):
+                loaded = kb.emit("ldw", addr, imm=0)
+            kb.set_result(loaded)
+        kb = KernelBuilder("t")
+        build(kb)
+        loaded_prog = compile_kernel(kb.finish())
+        memory = MemorySystem()
+        core = Core(memory)
+        core.run(loaded_prog, [0x4000])
+        warm = core.run(loaded_prog, [0x4000])
+        assert warm.dcache_stalls == 0
+        assert warm.icache_stalls == 0
+
+    def test_interlock_stall_on_cross_block_latency(self):
+        # a load in block 1 consumed immediately in block 2 must interlock
+        def build(kb):
+            addr = kb.param("addr")
+            loaded_reg = kb.persistent_reg("v")
+            with kb.block("first"):
+                kb.emit("ldw", addr, imm=0, dest=loaded_reg)
+            with kb.block("second"):
+                out = kb.emit("addi", loaded_reg, imm=0)
+            kb.set_result(out)
+        kb = KernelBuilder("t")
+        build(kb)
+        prog = compile_kernel(kb.finish())
+        memory = MemorySystem()
+        core = Core(memory)
+        core.run(prog, [0x4000])      # warm caches
+        warm = core.run(prog, [0x4000])
+        assert warm.interlock_stalls > 0
+
+    def test_r0_stays_zero(self):
+        from repro.isa.registers import ZERO
+        core = Core(MemorySystem())
+        core.write_register(ZERO, 123)
+        assert core.read_register(ZERO) == 0
+
+    def test_max_cycles_guard(self):
+        def build(kb):
+            with kb.block("spin"):
+                kb.emit("goto", imm=0, label="spin")
+        config = MachineConfig(max_cycles=200)
+        with pytest.raises(MachineError):
+            _run_kernel(build, [], config=config)
+
+    def test_prefetch_op_executes(self):
+        def build(kb):
+            addr = kb.param("addr")
+            with kb.block("b"):
+                kb.emit("pft", addr, imm=0)
+                out = kb.emit("movi", imm=1)
+            kb.set_result(out)
+        memory = MemorySystem()
+        result = _run_kernel(build, [0x8000], memory=memory)
+        assert result.result == 1
+        assert memory.prefetch_buffer.stats.issued == 1
+
+
+class TestRfuIntegration:
+    def test_rfu_exec_through_core(self):
+        from repro.rfu.custom_ops import A1_HAVG
+        def build(kb):
+            a = kb.param("a")
+            b = kb.param("b")
+            with kb.block("x"):
+                out = kb.emit("rfuexec", a, b, imm=A1_HAVG)
+            kb.set_result(out)
+        rfu = RfuUnit(standard_registry())
+        result = _run_kernel(build, [0x04040404, 0x02020202], rfu=rfu)
+        assert result.result == bitops.avg_bytes(0x04040404, 0x02020202)
+
+    def test_reconfiguration_penalty_costs_cycles(self):
+        from repro.rfu.custom_ops import A1_HAVG, DIAG4
+        def build(kb):
+            a = kb.param("a")
+            with kb.block("x"):
+                kb.emit("rfuinit", imm=A1_HAVG)
+                kb.emit("rfuinit", a, imm=DIAG4)
+                out = kb.emit("movi", imm=1)
+            kb.set_result(out)
+        free = _run_kernel(build, [0],
+                           rfu=RfuUnit(standard_registry()))
+        costly = _run_kernel(build, [0],
+                             rfu=RfuUnit(standard_registry(),
+                                         reconfiguration_penalty=50,
+                                         active_contexts=1))
+        assert costly.cycles > free.cycles

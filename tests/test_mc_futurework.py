@@ -1,0 +1,90 @@
+"""Motion-compensation kernels and the future-work stacking experiment."""
+
+import pytest
+
+from repro.experiments.futurework import run_futurework
+from repro.kernels import KernelShape
+from repro.kernels.mc import McKernelLibrary, build_mc_kernel
+from repro.rfu.loop_model import (
+    Bandwidth,
+    InterpMode,
+    LoopKernelModel,
+    LoopKernelParams,
+)
+
+
+@pytest.fixture(scope="module")
+def mc_library():
+    return McKernelLibrary()
+
+
+class TestMcKernels:
+    @pytest.mark.parametrize("alignment", range(4))
+    @pytest.mark.parametrize("mode", list(InterpMode))
+    def test_every_shape_verifies_bit_exactly(self, mc_library, alignment,
+                                              mode):
+        # _measure raises if the stored block diverges from the golden
+        # half-sample interpolation
+        timing = mc_library.timing(KernelShape(alignment, mode))
+        assert timing.cycles > 0
+
+    def test_interpolating_modes_cost_more(self, mc_library):
+        full = mc_library.static_cycles(1, InterpMode.FULL)
+        for mode in (InterpMode.H, InterpMode.V, InterpMode.HV):
+            assert mc_library.static_cycles(1, mode) > full
+
+    def test_mc_cheaper_than_getsad_of_same_shape(self, mc_library):
+        """MC has no reference loads and no SAD reduction."""
+        from repro.kernels import KernelLibrary
+        getsad = KernelLibrary("orig")
+        for mode in InterpMode:
+            assert mc_library.static_cycles(1, mode) \
+                <= getsad.static_cycles(1, mode)
+
+    def test_program_validates(self):
+        program = build_mc_kernel(KernelShape(2, InterpMode.HV))
+        program.validate()
+        stores = [op for op in program.all_ops() if op.opcode == "stw"]
+        assert len(stores) == 4  # one row's worth inside the loop block
+
+
+class TestStoreAwareLoopModel:
+    def test_stores_lengthen_the_loop(self):
+        plain = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32))
+        storing = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32,
+                                                   store_words_per_row=4))
+        assert storing.worst_case_latency() > plain.worst_case_latency()
+
+    def test_bandwidth_still_helps_with_stores(self):
+        latencies = [
+            LoopKernelModel(LoopKernelParams(bw, store_words_per_row=4))
+            .worst_case_latency()
+            for bw in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64)]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_line_buffer_b_with_stores(self):
+        model = LoopKernelModel(LoopKernelParams(
+            Bandwidth.B1X32, use_line_buffer_b=True, store_words_per_row=4))
+        assert model.initiation_interval(3, InterpMode.HV) == 4  # store bound
+
+
+class TestFutureWork:
+    def test_stacking_is_monotone(self, small_context):
+        table = run_futurework(small_context)
+        speedups = [float(row[4]) for row in table.rows]
+        assert speedups[0] == 1.0
+        assert speedups == sorted(speedups)
+
+    def test_getsad_stage_dominates_the_gain(self, small_context):
+        table = run_futurework(small_context)
+        speedups = [float(row[4]) for row in table.rows]
+        getsad_gain = speedups[1] - speedups[0]
+        mc_gain = speedups[3] - speedups[1]
+        assert getsad_gain > mc_gain  # Amdahl: the 25% hotspot first
+
+    def test_mc_cycles_shrink_per_stage(self, small_context):
+        table = run_futurework(small_context)
+        mc_cycles = [int(row[1].replace(",", "")) for row in table.rows]
+        assert mc_cycles[1] == mc_cycles[0]       # untouched by GetSad stage
+        assert mc_cycles[2] < mc_cycles[1]        # SIMD VLIW kernel
+        assert mc_cycles[3] < mc_cycles[2]        # RFU loop kernel

@@ -1,0 +1,224 @@
+"""Main memory, caches, prefetch buffer and the bus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import Cache, MainMemory, MemoryBus, PrefetchBuffer
+
+
+class TestMainMemory:
+    def test_word_roundtrip_little_endian(self):
+        memory = MainMemory(1024)
+        memory.store_word(8, 0x11223344)
+        assert memory.load_word(8) == 0x11223344
+        assert memory.load_byte(8) == 0x44   # LSB at the low address
+        assert memory.load_byte(11) == 0x11
+
+    def test_byte_then_word(self):
+        memory = MainMemory(64)
+        for i, value in enumerate([1, 2, 3, 4]):
+            memory.store_byte(4 + i, value)
+        assert memory.load_word(4) == 0x04030201
+
+    def test_unaligned_word_rejected(self):
+        memory = MainMemory(64)
+        with pytest.raises(MemoryError_):
+            memory.load_word(2)
+        with pytest.raises(MemoryError_):
+            memory.store_word(7, 0)
+
+    def test_out_of_bounds_rejected(self):
+        memory = MainMemory(64)
+        with pytest.raises(MemoryError_):
+            memory.load_word(64)
+        with pytest.raises(MemoryError_):
+            memory.load_byte(-1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(10)
+        with pytest.raises(MemoryError_):
+            MainMemory(0)
+
+    def test_block_io(self):
+        memory = MainMemory(256)
+        payload = np.arange(16, dtype=np.uint8)
+        memory.write_block(32, payload)
+        assert np.array_equal(memory.read_block(32, 16), payload)
+
+    @given(st.integers(0, 60), st.integers(0, 0xFFFFFFFF))
+    def test_word_store_load_roundtrip(self, offset, value):
+        memory = MainMemory(256)
+        addr = offset * 4 % 252
+        memory.store_word(addr, value)
+        assert memory.load_word(addr) == value
+
+
+class TestCacheGeometry:
+    def test_paper_dcache_shape(self):
+        dcache = Cache(32 * 1024, 32, 4, "D$")
+        assert dcache.num_sets == 256
+
+    def test_paper_icache_shape(self):
+        icache = Cache(128 * 1024, 64, 1, "I$")
+        assert icache.num_sets == 2048
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(MemoryError_):
+            Cache(1000, 32, 4)
+        with pytest.raises(MemoryError_):
+            Cache(1024, 24, 1)  # not a power of two
+
+    def test_line_address(self):
+        cache = Cache(1024, 32, 2)
+        assert cache.line_address(0) == 0
+        assert cache.line_address(31) == 0
+        assert cache.line_address(32) == 32
+
+    def test_lines_for_range(self):
+        cache = Cache(1024, 32, 2)
+        assert cache.lines_for_range(30, 4) == [0, 32]
+        assert cache.lines_for_range(0, 32) == [0]
+        assert cache.lines_for_range(100, 1) == [96]
+
+
+class TestCacheBehaviour:
+    def test_miss_then_fill_then_hit(self):
+        cache = Cache(1024, 32, 2)
+        assert not cache.access(40)
+        cache.fill(40)
+        assert cache.access(40)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_contains_has_no_side_effects(self):
+        cache = Cache(1024, 32, 2)
+        cache.fill(0)
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.contains(0)
+        assert not cache.contains(32)
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache(128, 32, 2)  # 2 sets, 2 ways
+        set_stride = cache.num_sets * 32
+        a, b, c = 0, set_stride, 2 * set_stride  # same set
+        cache.fill(a)
+        cache.fill(b)
+        cache.access(a)   # a is now MRU
+        cache.fill(c)     # evicts b (LRU)
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+        assert cache.stats.evictions == 1
+
+    def test_direct_mapped_conflicts(self):
+        cache = Cache(128, 32, 1)
+        set_stride = cache.num_sets * 32
+        cache.fill(0)
+        cache.fill(set_stride)
+        assert not cache.contains(0)
+
+    def test_flush(self):
+        cache = Cache(1024, 32, 2)
+        cache.fill(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    def test_matches_reference_lru_model(self, accesses):
+        """The cache must agree with a brute-force LRU reference model."""
+        cache = Cache(512, 32, 2)  # 8 sets, 2 ways
+        reference = {}  # set index -> list of lines, MRU last
+        for slot in accesses:
+            addr = slot * 32
+            set_index = (addr // 32) % cache.num_sets
+            ways = reference.setdefault(set_index, [])
+            expected_hit = addr in ways
+            assert cache.access(addr) == expected_hit
+            if expected_hit:
+                ways.remove(addr)
+                ways.append(addr)
+            else:
+                cache.fill(addr)
+                if len(ways) >= 2:
+                    ways.pop(0)
+                ways.append(addr)
+
+
+class TestBus:
+    def test_serialises_requests(self):
+        bus = MemoryBus(latency=25, service_interval=4)
+        first = bus.request(0)
+        second = bus.request(0)
+        assert first == 25
+        assert second == 29
+
+    def test_idle_bus_resets_spacing(self):
+        bus = MemoryBus(latency=25, service_interval=4)
+        bus.request(0)
+        later = bus.request(100)
+        assert later == 125
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.request(0)
+        bus.reset()
+        assert bus.fills == 0
+        assert bus.request(0) == bus.latency
+
+
+class TestPrefetchBuffer:
+    def _buffer(self, entries=4):
+        return PrefetchBuffer(entries, MemoryBus(latency=20,
+                                                 service_interval=2))
+
+    def test_issue_and_lookup(self):
+        buffer = self._buffer()
+        assert buffer.issue(64, 0)
+        assert buffer.lookup(64, 100) == 20
+        assert buffer.stats.useful == 1
+
+    def test_late_lookup_counted(self):
+        buffer = self._buffer()
+        buffer.issue(64, 0)
+        ready = buffer.lookup(64, 5)
+        assert ready == 20
+        assert buffer.stats.late == 1
+
+    def test_lookup_pops_entry(self):
+        buffer = self._buffer()
+        buffer.issue(64, 0)
+        assert buffer.lookup(64, 50) is not None
+        assert buffer.lookup(64, 50) is None
+
+    def test_duplicate_suppressed(self):
+        buffer = self._buffer()
+        assert buffer.issue(64, 0)
+        assert not buffer.issue(64, 0)
+        assert buffer.stats.duplicates == 1
+
+    def test_capacity_drops(self):
+        buffer = self._buffer(entries=2)
+        assert buffer.issue(0, 0)
+        assert buffer.issue(32, 0)
+        assert not buffer.issue(64, 0)
+        assert buffer.stats.dropped == 1
+
+    def test_capacity_frees_after_arrival(self):
+        buffer = self._buffer(entries=2)
+        buffer.issue(0, 0)
+        buffer.issue(32, 0)
+        # both have arrived by cycle 30: new prefetches fit again
+        assert buffer.issue(64, 40)
+
+    def test_issue_tracked_returns_arrival(self):
+        buffer = self._buffer()
+        arrival = buffer.issue_tracked(64, 0)
+        assert arrival == 20
+        # deduplication adopts the same arrival
+        assert buffer.issue_tracked(64, 3) == 20

@@ -1,0 +1,103 @@
+"""Property-based invariants of the memory/timing models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemorySystem, MemoryTimings
+from repro.rfu.loop_model import (
+    Bandwidth,
+    InterpMode,
+    LoopKernelModel,
+    LoopKernelParams,
+)
+
+addresses = st.lists(st.integers(0, 500), min_size=1, max_size=80)
+
+
+def _system():
+    return MemorySystem(MemoryTimings(hardware_next_line_prefetch=False))
+
+
+class TestCacheTimingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(addresses)
+    def test_stalls_are_never_negative(self, slots):
+        system = _system()
+        cycle = 0
+        for slot in slots:
+            stall = system.load_timing(0x1000 + 32 * slot, cycle)
+            assert stall >= 0
+            cycle += stall + 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses)
+    def test_immediate_replay_hits(self, slots):
+        """Re-accessing the just-loaded address must always hit."""
+        system = _system()
+        cycle = 0
+        for slot in slots:
+            addr = 0x1000 + 32 * slot
+            cycle += system.load_timing(addr, cycle)
+            assert system.load_timing(addr, cycle) == 0
+            cycle += 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(addresses)
+    def test_prefetching_never_increases_total_stalls(self, slots):
+        """With an idle-enough issue point, software prefetch can only help
+        (or tie) versus demand fetching the same stream."""
+        plain = _system()
+        smart = _system()
+        plain_total = smart_total = 0
+        cycle = 0
+        horizon = 400  # prefetches launched comfortably ahead
+        for slot in slots:
+            addr = 0x1000 + 32 * slot
+            smart.prefetch_line(addr, cycle)
+            cycle += 1
+        cycle += horizon
+        for index, slot in enumerate(slots):
+            addr = 0x1000 + 32 * slot
+            now = cycle + 40 * index
+            plain_total += plain.load_timing(addr, now)
+            smart_total += smart.load_timing(addr, now)
+        assert smart_total <= plain_total
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2000), st.integers(0, 2000))
+    def test_bus_requests_are_monotone(self, first, second):
+        from repro.memory import MemoryBus
+        bus = MemoryBus()
+        early = bus.request(min(first, second))
+        late = bus.request(max(first, second))
+        assert late >= early
+
+
+class TestLoopLatencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 3), st.sampled_from(list(InterpMode)),
+           st.floats(1.0, 8.0))
+    def test_beta_never_shortens_the_loop(self, alignment, mode, beta):
+        base = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32, 1.0))
+        scaled = LoopKernelModel(LoopKernelParams(Bandwidth.B1X32, beta))
+        assert scaled.static_latency(alignment, mode).total \
+            >= base.static_latency(alignment, mode).total
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 3), st.sampled_from(list(InterpMode)))
+    def test_bandwidth_never_hurts(self, alignment, mode):
+        latencies = [
+            LoopKernelModel(LoopKernelParams(bw)).static_latency(
+                alignment, mode).total
+            for bw in (Bandwidth.B1X32, Bandwidth.B1X64, Bandwidth.B2X64)]
+        assert latencies[0] >= latencies[1] >= latencies[2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 3), st.sampled_from(list(InterpMode)),
+           st.integers(0, 8))
+    def test_stores_never_shorten_the_loop(self, alignment, mode, stores):
+        plain = LoopKernelModel(LoopKernelParams(Bandwidth.B1X64))
+        storing = LoopKernelModel(LoopKernelParams(
+            Bandwidth.B1X64, store_words_per_row=stores))
+        assert storing.static_latency(alignment, mode).total \
+            >= plain.static_latency(alignment, mode).total

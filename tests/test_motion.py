@@ -1,0 +1,164 @@
+"""Motion estimation: search strategies, half-sample refinement, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.codec.motion import (
+    FullSearch,
+    MotionEstimator,
+    ThreeStepSearch,
+)
+from repro.codec.tracer import MeTrace
+from repro.errors import CodecError
+from repro.rfu.loop_model import InterpMode
+
+
+def _planted_pair(dx, dy, size=64, seed=3, smooth=False):
+    """(current, reference): current block at (24,24) == reference block at
+    (24+dx, 24+dy) exactly.
+
+    ``smooth`` uses textured-but-smooth content whose SAD surface has a
+    gradient toward the planted offset (what logarithmic searches rely on);
+    the default is random content (adversarial for everything but full
+    search)."""
+    rng = np.random.default_rng(seed)
+    if smooth:
+        yy, xx = np.mgrid[0:size, 0:size].astype(float)
+        base = 128 + 60 * np.sin(xx / 5.0) * np.cos(yy / 6.0)
+        reference = np.clip(base, 0, 255).astype(np.uint8)
+        current = np.clip(base + rng.normal(0, 1, base.shape), 0, 255) \
+            .astype(np.uint8)
+    else:
+        reference = rng.integers(0, 256, (size, size), dtype=np.uint8)
+        current = rng.integers(0, 256, (size, size), dtype=np.uint8)
+    current[24:40, 24:40] = reference[24 + dy:40 + dy, 24 + dx:40 + dx]
+    return current, reference
+
+
+class TestFullSearch:
+    def test_finds_planted_integer_motion(self):
+        current, reference = _planted_pair(3, -2)
+        estimator = MotionEstimator(FullSearch(4), refine_halfpel=False)
+        mv = estimator.estimate(current, reference, 24, 24, 1)
+        assert (mv.dx, mv.dy) == (6, -4)  # half-sample units
+        assert mv.sad == 0
+
+    def test_zero_motion_for_identical_frames(self):
+        current, reference = _planted_pair(0, 0)
+        estimator = MotionEstimator(FullSearch(2), refine_halfpel=False)
+        mv = estimator.estimate(reference, reference, 24, 24, 1)
+        assert (mv.dx, mv.dy) == (0, 0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(CodecError):
+            FullSearch(0)
+
+
+class TestThreeStepSearch:
+    def test_finds_planted_motion_on_smooth_content(self):
+        # (4, -2) is reachable by steps 4 then 2; smooth content gives the
+        # logarithmic search the SAD gradient it needs
+        current, reference = _planted_pair(4, -2, smooth=True)
+        estimator = MotionEstimator(ThreeStepSearch(4), refine_halfpel=False)
+        mv = estimator.estimate(current, reference, 24, 24, 1)
+        assert (mv.dx, mv.dy) == (8, -4)
+        assert mv.sad == 0
+
+    def test_evaluates_fewer_candidates_than_full_search(self):
+        current, reference = _planted_pair(1, 1)
+        full_trace, tss_trace = MeTrace(), MeTrace()
+        MotionEstimator(FullSearch(4), refine_halfpel=False).estimate(
+            current, reference, 24, 24, 1, full_trace)
+        MotionEstimator(ThreeStepSearch(4), refine_halfpel=False).estimate(
+            current, reference, 24, 24, 1, tss_trace)
+        assert len(tss_trace) < len(full_trace)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(CodecError):
+            ThreeStepSearch(0)
+
+
+class TestHalfpelRefinement:
+    def test_finds_planted_halfpel_motion(self):
+        rng = np.random.default_rng(5)
+        reference = rng.integers(0, 256, (64, 64), dtype=np.uint8)
+        current = reference.copy()
+        # plant a horizontal half-sample shift at the tested macroblock
+        region = reference[24:40, 24:41].astype(int)
+        current[24:40, 24:40] = ((region[:, :-1] + region[:, 1:] + 1) >> 1) \
+            .astype(np.uint8)
+        estimator = MotionEstimator(FullSearch(2), refine_halfpel=True)
+        mv = estimator.estimate(current, reference, 24, 24, 1)
+        assert (mv.dx, mv.dy) == (1, 0)
+        assert mv.sad == 0
+
+    def test_refinement_never_worse_than_integer(self):
+        current, reference = _planted_pair(2, 1)
+        integer = MotionEstimator(FullSearch(3), refine_halfpel=False) \
+            .estimate(current, reference, 24, 24, 1)
+        refined = MotionEstimator(FullSearch(3), refine_halfpel=True) \
+            .estimate(current, reference, 24, 24, 1)
+        assert refined.sad <= integer.sad
+
+
+class TestTraceRecording:
+    def test_trace_counts_and_modes(self):
+        current, reference = _planted_pair(1, 1)
+        trace = MeTrace()
+        MotionEstimator(ThreeStepSearch(2), refine_halfpel=True).estimate(
+            current, reference, 24, 24, frame_index=1, trace=trace)
+        histogram = trace.mode_histogram()
+        assert histogram[InterpMode.HV] == 4  # the 4 diagonal refinements
+        assert histogram[InterpMode.H] == 2
+        assert histogram[InterpMode.V] == 2
+        assert sum(histogram.values()) == len(trace)
+
+    def test_exactly_one_chosen_invocation(self):
+        current, reference = _planted_pair(2, 0)
+        trace = MeTrace()
+        MotionEstimator(ThreeStepSearch(2)).estimate(
+            current, reference, 24, 24, 1, trace)
+        chosen = [inv for inv in trace if inv.chosen]
+        assert len(chosen) == 1
+
+    def test_refinement_flag_set(self):
+        current, reference = _planted_pair(0, 0)
+        trace = MeTrace()
+        MotionEstimator(ThreeStepSearch(2)).estimate(
+            current, reference, 24, 24, 1, trace)
+        assert any(inv.is_refinement for inv in trace)
+        assert any(not inv.is_refinement for inv in trace)
+
+    def test_candidates_respect_plane_bounds(self):
+        current, reference = _planted_pair(0, 0)
+        trace = MeTrace()
+        # corner macroblock: clamping must keep every candidate in bounds
+        MotionEstimator(ThreeStepSearch(4)).estimate(
+            current, reference, 0, 0, 1, trace)
+        for inv in trace:
+            assert inv.pred_x >= 0 and inv.pred_y >= 0
+            assert inv.pred_x + 17 <= 64 or inv.mode in (InterpMode.FULL,
+                                                         InterpMode.V)
+            assert inv.pred_y + 17 <= 64 or inv.mode in (InterpMode.FULL,
+                                                         InterpMode.H)
+
+
+class TestTraceStatistics:
+    def test_diagonal_fraction(self):
+        current, reference = _planted_pair(1, 1)
+        trace = MeTrace()
+        MotionEstimator(ThreeStepSearch(2)).estimate(
+            current, reference, 24, 24, 1, trace)
+        fraction = trace.diagonal_fraction()
+        assert 0 < fraction < 0.5
+
+    def test_alignment_histogram_sums_to_calls(self):
+        current, reference = _planted_pair(1, 0)
+        trace = MeTrace()
+        MotionEstimator(ThreeStepSearch(2)).estimate(
+            current, reference, 24, 24, 1, trace)
+        histogram = trace.alignment_histogram(stride=64)
+        assert sum(histogram.values()) == len(trace)
+
+    def test_empty_trace_fraction_is_zero(self):
+        assert MeTrace().diagonal_fraction() == 0.0

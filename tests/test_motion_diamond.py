@@ -1,0 +1,54 @@
+"""Diamond search strategy."""
+
+import numpy as np
+import pytest
+
+from repro.codec.motion import DiamondSearch, FullSearch, MotionEstimator
+from repro.codec.tracer import MeTrace
+from repro.errors import CodecError
+from tests.test_motion import _planted_pair
+
+
+class TestDiamondSearch:
+    def test_finds_planted_motion_on_smooth_content(self):
+        current, reference = _planted_pair(3, -2, smooth=True)
+        estimator = MotionEstimator(DiamondSearch(), refine_halfpel=False)
+        mv = estimator.estimate(current, reference, 24, 24, 1)
+        assert (mv.dx, mv.dy) == (6, -4)
+        assert mv.sad == 0
+
+    def test_zero_motion_terminates_immediately(self):
+        current, reference = _planted_pair(0, 0, smooth=True)
+        trace = MeTrace()
+        MotionEstimator(DiamondSearch(), refine_halfpel=False).estimate(
+            reference, reference, 24, 24, 1, trace)
+        # one large diamond round + the small refinement + center
+        assert len(trace) <= 13
+
+    def test_cheaper_than_full_search(self):
+        current, reference = _planted_pair(2, 2, smooth=True)
+        diamond_trace, full_trace = MeTrace(), MeTrace()
+        MotionEstimator(DiamondSearch(), refine_halfpel=False).estimate(
+            current, reference, 24, 24, 1, diamond_trace)
+        MotionEstimator(FullSearch(6), refine_halfpel=False).estimate(
+            current, reference, 24, 24, 1, full_trace)
+        assert len(diamond_trace) < len(full_trace)
+
+    def test_never_revisits_a_candidate(self):
+        current, reference = _planted_pair(4, 2, smooth=True)
+        trace = MeTrace()
+        MotionEstimator(DiamondSearch(), refine_halfpel=False).estimate(
+            current, reference, 24, 24, 1, trace)
+        points = [(inv.pred_x, inv.pred_y) for inv in trace]
+        assert len(points) == len(set(points))
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(CodecError):
+            DiamondSearch(0)
+
+    def test_works_in_the_encoder(self, tiny_sequence):
+        from repro.codec.encoder import EncoderConfig, Mpeg4Encoder
+        report = Mpeg4Encoder(EncoderConfig(strategy=DiamondSearch())) \
+            .encode(tiny_sequence[:2])
+        assert report.frame_stats[1].getsad_calls > 0
+        assert report.frame_stats[1].psnr_y > 30

@@ -1,0 +1,128 @@
+"""The macroblock prefetch-pattern engine (rfupft)."""
+
+import pytest
+
+from repro.errors import RfuError
+from repro.memory import LineBufferA, LineBufferB, MemorySystem, MemoryTimings
+from repro.memory.linebuffer import MACROBLOCK_ROWS
+from repro.rfu.prefetch_ops import (
+    MacroblockPrefetchEngine,
+    macroblock_row_addresses,
+)
+
+
+def _memory():
+    return MemorySystem(MemoryTimings(prefetch_entries=64, bus_latency=30,
+                                      bus_service_interval=4,
+                                      hardware_next_line_prefetch=False))
+
+
+class TestRowAddresses:
+    def test_stride_walk(self):
+        rows = macroblock_row_addresses(0x1000, 176, 3)
+        assert rows == [(0x1000, 16), (0x1000 + 176, 16), (0x1000 + 352, 16)]
+
+    def test_row_bytes(self):
+        rows = macroblock_row_addresses(0, 176, 1, row_bytes=17)
+        assert rows[0] == (0, 17)
+
+
+class TestPredictorPattern:
+    def test_prefetches_every_line_with_crossings(self):
+        memory = _memory()
+        engine = MacroblockPrefetchEngine(memory)
+        # base 28 bytes into a line: rows alternate between crossing a line
+        # boundary (offset 28 + 17 > 32) and fitting in one line (offset 12)
+        expected = sum(
+            len(memory.dcache.lines_for_range(0x101C + row * 176, 17))
+            for row in range(17))
+        issued = engine.prefetch_macroblock(0x101C, 176, rows=17, cycle=0)
+        assert issued == expected
+        assert issued > 17  # at least one crossing issued the extra prefetch
+
+    def test_skips_cached_lines(self):
+        memory = _memory()
+        engine = MacroblockPrefetchEngine(memory)
+        for row in range(17):
+            for line in memory.dcache.lines_for_range(0x1000 + row * 176, 17):
+                memory.load_word(line, 0)
+        issued = engine.prefetch_macroblock(0x1000, 176, rows=17, cycle=10)
+        assert issued == 0
+
+    def test_counts_patterns(self):
+        memory = _memory()
+        engine = MacroblockPrefetchEngine(memory)
+        engine.prefetch_macroblock(0x1000, 176, 16, 0)
+        engine.prefetch_macroblock(0x9000, 176, 16, 0)
+        assert engine.issued_patterns == 2
+
+
+class TestLineBufferAFill:
+    def test_fill_sets_all_rows(self):
+        memory = _memory()
+        buffer_a = LineBufferA()
+        engine = MacroblockPrefetchEngine(memory, line_buffer_a=buffer_a)
+        engine.fill_line_buffer_a(0x2000, 176, cycle=0)
+        assert buffer_a.holds(0x2000)
+        assert all(ready is not None for ready in buffer_a.ready)
+
+    def test_rows_complete_in_sequence(self):
+        memory = _memory()
+        buffer_a = LineBufferA()
+        engine = MacroblockPrefetchEngine(memory, line_buffer_a=buffer_a)
+        engine.fill_line_buffer_a(0x2000, 176, cycle=0)
+        assert buffer_a.ready == sorted(buffer_a.ready)
+
+    def test_cached_rows_complete_at_access_latency(self):
+        memory = _memory()
+        buffer_a = LineBufferA()
+        engine = MacroblockPrefetchEngine(memory, line_buffer_a=buffer_a)
+        for row in range(MACROBLOCK_ROWS):
+            memory.load_word((0x2000 + row * 176) & ~3, 0)
+        engine.fill_line_buffer_a(0x2000, 176, cycle=100)
+        assert all(ready <= 100 + MACROBLOCK_ROWS + 2
+                   for ready in buffer_a.ready)
+
+    def test_requires_buffer(self):
+        engine = MacroblockPrefetchEngine(_memory())
+        with pytest.raises(RfuError):
+            engine.fill_line_buffer_a(0, 176, 0)
+
+
+class TestLineBufferBFill:
+    def test_returns_per_row_lines(self):
+        memory = _memory()
+        buffer_b = LineBufferB(memory)
+        engine = MacroblockPrefetchEngine(memory, line_buffer_b=buffer_b)
+        per_row = engine.fill_line_buffer_b(0x3000, 176, rows=17, cycle=0)
+        assert len(per_row) == 17
+        for lines in per_row:
+            for line in lines:
+                assert line % 32 == 0
+
+    def test_requires_buffer(self):
+        engine = MacroblockPrefetchEngine(_memory())
+        with pytest.raises(RfuError):
+            engine.fill_line_buffer_b(0, 176, 17, 0)
+
+
+class TestDispatch:
+    def test_pattern_selector(self):
+        memory = _memory()
+        buffer_a = LineBufferA()
+        buffer_b = LineBufferB(memory)
+        engine = MacroblockPrefetchEngine(memory, buffer_a, buffer_b)
+        engine.issue((engine.PATTERN_PREDICTOR, 0x1000, 176, 17), 0)
+        engine.issue((engine.PATTERN_REFERENCE_LB_A, 0x2000, 176, 16), 0)
+        engine.issue((engine.PATTERN_PREDICTOR_LB_B, 0x3000, 176, 17), 0)
+        assert engine.issued_patterns == 3
+
+    def test_bad_pattern_rejected(self):
+        engine = MacroblockPrefetchEngine(_memory())
+        with pytest.raises(RfuError):
+            engine.issue((9, 0, 0, 0), 0)
+
+    def test_bad_arity_rejected(self):
+        engine = MacroblockPrefetchEngine(_memory())
+        with pytest.raises(RfuError):
+            engine.issue((0, 0), 0)

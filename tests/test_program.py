@@ -1,0 +1,209 @@
+"""IR structure, dependence graph, builder."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import Operation, vreg
+from repro.program import (
+    BasicBlock,
+    KernelBuilder,
+    Program,
+    build_dependence_graph,
+)
+from repro.program.builder import straightline_program
+from repro.program.scheduler import default_latency
+
+
+def _edges(graph):
+    return {(src, dst): dist
+            for src, lst in graph.succs.items()
+            for dst, dist in lst}
+
+
+class TestBasicBlock:
+    def test_append_after_branch_fails(self):
+        block = BasicBlock("b")
+        block.append(Operation("goto", label="b"))
+        with pytest.raises(IsaError):
+            block.append(Operation("movi", dest=vreg(), imm=0))
+
+    def test_terminated_and_branch(self):
+        block = BasicBlock("b")
+        assert not block.terminated
+        assert block.branch is None
+        op = block.append(Operation("goto", label="b"))
+        assert block.terminated
+        assert block.branch is op
+
+    def test_def_use_sets(self):
+        a, b, c = vreg("a"), vreg("b"), vreg("c")
+        block = BasicBlock("b", [Operation("add", dest=c, srcs=(a, b))])
+        assert block.defined_registers() == {c}
+        assert block.used_registers() == {a, b}
+
+
+class TestProgramValidation:
+    def test_duplicate_labels_rejected(self):
+        program = Program("p", [BasicBlock("x"), BasicBlock("x")])
+        with pytest.raises(IsaError):
+            program.validate()
+
+    def test_unresolved_branch_rejected(self):
+        block = BasicBlock("entry")
+        block.append(Operation("goto", label="nowhere"))
+        with pytest.raises(IsaError):
+            Program("p", [block]).validate()
+
+    def test_branch_must_be_last(self):
+        block = BasicBlock("entry")
+        block.ops = [Operation("goto", label="entry"),
+                     Operation("movi", dest=vreg(), imm=0)]
+        with pytest.raises(IsaError):
+            Program("p", [block]).validate()
+
+    def test_block_lookup(self):
+        program = Program("p", [BasicBlock("a"), BasicBlock("b")])
+        assert program.block("b").label == "b"
+        with pytest.raises(IsaError):
+            program.block("c")
+
+
+class TestDependenceGraph:
+    def test_raw_edge_carries_latency(self):
+        a = vreg("a")
+        dst = vreg("d")
+        block = BasicBlock("b", [
+            Operation("ldw", dest=a, srcs=(vreg("p"),), imm=0),
+            Operation("addi", dest=dst, srcs=(a,), imm=1),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert _edges(graph)[(0, 1)] == 3  # load latency
+
+    def test_waw_edge(self):
+        a = vreg("a")
+        block = BasicBlock("b", [
+            Operation("movi", dest=a, imm=1),
+            Operation("movi", dest=a, imm=2),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert _edges(graph)[(0, 1)] == 1
+
+    def test_war_edge_is_zero_distance(self):
+        a, b = vreg("a"), vreg("b")
+        block = BasicBlock("b", [
+            Operation("addi", dest=b, srcs=(a,), imm=0),  # reads a
+            Operation("movi", dest=a, imm=2),             # then writes a
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert _edges(graph)[(0, 1)] == 0
+
+    def test_loads_do_not_order_loads(self):
+        p = vreg("p")
+        block = BasicBlock("b", [
+            Operation("ldw", dest=vreg(), srcs=(p,), imm=0, mem_tag="m"),
+            Operation("ldw", dest=vreg(), srcs=(p,), imm=4, mem_tag="m"),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert (0, 1) not in _edges(graph)
+
+    def test_store_orders_same_tag_load(self):
+        p, v = vreg("p"), vreg("v")
+        block = BasicBlock("b", [
+            Operation("stw", srcs=(v, p), imm=0, mem_tag="m"),
+            Operation("ldw", dest=vreg(), srcs=(p,), imm=0, mem_tag="m"),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert _edges(graph)[(0, 1)] == 1
+
+    def test_different_tags_independent(self):
+        p, v = vreg("p"), vreg("v")
+        block = BasicBlock("b", [
+            Operation("stw", srcs=(v, p), imm=0, mem_tag="a"),
+            Operation("ldw", dest=vreg(), srcs=(p,), imm=0, mem_tag="b"),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert (0, 1) not in _edges(graph)
+
+    def test_rfu_protocol_order_per_config(self):
+        block = BasicBlock("b", [
+            Operation("rfusend", srcs=(vreg(),), imm=3),
+            Operation("rfuexec", dest=vreg(), srcs=(), imm=3),
+            Operation("rfuexec", dest=vreg(), srcs=(), imm=4),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        edges = _edges(graph)
+        assert (0, 1) in edges      # same configuration: ordered
+        assert (1, 2) not in edges  # different configuration: free
+
+    def test_branch_scheduled_last(self):
+        cond = vreg("c", is_branch=True)
+        block = BasicBlock("b", [
+            Operation("movi", dest=vreg(), imm=0),
+            Operation("br", srcs=(cond,), imm=0, label="b"),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        assert (0, 1) in _edges(graph)
+
+    def test_critical_path_heights(self):
+        a, b = vreg("a"), vreg("b")
+        block = BasicBlock("b", [
+            Operation("movi", dest=a, imm=1),
+            Operation("addi", dest=b, srcs=(a,), imm=1),
+        ])
+        graph = build_dependence_graph(block, default_latency)
+        heights = graph.critical_path_lengths(default_latency)
+        assert heights[0] > heights[1]
+
+
+class TestKernelBuilder:
+    def test_emit_outside_block_fails(self):
+        kb = KernelBuilder("k")
+        with pytest.raises(IsaError):
+            kb.emit("movi", imm=0)
+
+    def test_duplicate_block_label_fails(self):
+        kb = KernelBuilder("k")
+        with kb.block("a"):
+            pass
+        with pytest.raises(IsaError):
+            with kb.block("a"):
+                pass
+
+    def test_const_is_cached_per_block(self):
+        kb = KernelBuilder("k")
+        with kb.block("a"):
+            first = kb.const(7)
+            second = kb.const(7)
+            third = kb.const(8)
+        assert first is second
+        assert third is not first
+
+    def test_params_are_persistent(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p")
+        assert p in kb.program.persistent
+        assert kb.program.params == [p]
+
+    def test_align_window_zero_shift_is_identity(self):
+        kb = KernelBuilder("k")
+        with kb.block("a"):
+            word = kb.emit("movi", imm=0)
+            assert kb.align_window(word, word, 0) is word
+
+    def test_counted_loop_emits_backedge(self):
+        kb = KernelBuilder("k")
+        counter = kb.persistent_reg("n")
+        with kb.block("init"):
+            kb.emit("movi", dest=counter, imm=3)
+        with kb.counted_loop("loop", counter):
+            kb.emit("movi", imm=1)
+        program = kb.finish()
+        loop = program.block("loop")
+        assert loop.terminated
+        assert loop.branch.label == "loop"
+
+    def test_straightline_program(self):
+        program = straightline_program("s", [
+            Operation("movi", dest=vreg(), imm=1)])
+        assert len(program.blocks) == 1
+        program.validate()

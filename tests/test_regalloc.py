@@ -1,0 +1,137 @@
+"""Register allocation: correctness of the mapping."""
+
+import pytest
+
+from repro.errors import RegisterAllocationError
+from repro.isa import Operation, vreg
+from repro.isa.registers import (
+    BranchRegister,
+    GeneralRegister,
+    VirtualRegister,
+)
+from repro.program import BasicBlock, Program, allocate_registers, schedule_program
+from repro.program.builder import KernelBuilder
+
+
+def _build_and_allocate(program):
+    scheduled = schedule_program(program)
+    mapping = allocate_registers(scheduled)
+    return scheduled, mapping
+
+
+class TestBasicAllocation:
+    def test_all_virtuals_mapped(self):
+        kb = KernelBuilder("k")
+        p = kb.param("p")
+        with kb.block("b"):
+            a = kb.emit("addi", p, imm=1)
+            kb.emit("add", a, p)
+        scheduled, mapping = _build_and_allocate(kb.finish())
+        for block in scheduled.blocks:
+            for bundle in block.bundles:
+                for op in bundle:
+                    for reg in list(op.srcs) + ([op.dest] if op.dest else []):
+                        assert not isinstance(reg, VirtualRegister)
+
+    def test_branch_virtuals_get_branch_registers(self):
+        kb = KernelBuilder("k")
+        n = kb.persistent_reg("n")
+        with kb.block("init"):
+            kb.emit("movi", dest=n, imm=2)
+        with kb.counted_loop("loop", n):
+            kb.emit("movi", imm=0)
+        scheduled, mapping = _build_and_allocate(kb.finish())
+        kinds = {type(reg) for reg in mapping.values()}
+        assert BranchRegister in kinds
+        assert GeneralRegister in kinds
+
+    def test_persistent_registers_are_distinct(self):
+        kb = KernelBuilder("k")
+        regs = [kb.persistent_reg(f"p{i}") for i in range(10)]
+        with kb.block("b"):
+            for reg in regs:
+                kb.emit("movi", dest=reg, imm=0)
+        _, mapping = _build_and_allocate(kb.finish())
+        physical = [mapping[reg] for reg in regs]
+        assert len(set(physical)) == len(physical)
+
+    def test_zero_register_never_allocated(self):
+        kb = KernelBuilder("k")
+        with kb.block("b"):
+            for i in range(30):
+                kb.emit("movi", imm=i)
+        _, mapping = _build_and_allocate(kb.finish())
+        assert all(reg.index != 0 for reg in mapping.values()
+                   if isinstance(reg, GeneralRegister))
+
+    def test_temporaries_reuse_registers(self):
+        # a long sequence of short-lived temps must fit in the file
+        kb = KernelBuilder("k")
+        p = kb.param("p")
+        with kb.block("b"):
+            for _ in range(200):
+                t = kb.emit("addi", p, imm=1)
+                kb.emit("add", t, p)
+        _, mapping = _build_and_allocate(kb.finish())  # must not raise
+        assert len(mapping) > 200
+
+
+class TestLiveRangeCorrectness:
+    def test_no_overlapping_live_ranges(self):
+        """Two temps sharing a physical register never have overlapping
+        [def, last-use] windows in issue order."""
+        kb = KernelBuilder("k")
+        p = kb.param("p")
+        with kb.block("b"):
+            values = [kb.emit("addi", p, imm=i) for i in range(12)]
+            total = values[0]
+            for value in values[1:]:
+                total = kb.emit("add", total, value)
+        program = kb.finish()
+        scheduled = schedule_program(program)
+        mapping = allocate_registers(scheduled)
+
+        # reconstruct issue positions per physical register
+        windows = {}
+        position = 0
+        ranges = {}
+        for block in scheduled.blocks:
+            for bundle in block.bundles:
+                for op in bundle:
+                    for src in op.srcs:
+                        if src in ranges:
+                            ranges[src][1] = position
+                    if op.dest is not None and op.dest not in ranges:
+                        ranges[op.dest] = [position, position]
+                position += 1
+        by_phys = {}
+        for reg, (start, end) in ranges.items():
+            by_phys.setdefault(reg, []).append((start, end))
+        for reg, spans in by_phys.items():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2, f"{reg} live ranges overlap"
+
+
+class TestExhaustion:
+    def test_too_many_persistent_registers(self):
+        kb = KernelBuilder("k")
+        regs = [kb.persistent_reg(f"p{i}") for i in range(70)]
+        with kb.block("b"):
+            for reg in regs:
+                kb.emit("movi", dest=reg, imm=0)
+        with pytest.raises(RegisterAllocationError):
+            _build_and_allocate(kb.finish())
+
+    def test_pressure_guard_keeps_wide_blocks_allocatable(self):
+        """The scheduler's register-pressure guard must keep even very wide
+        independent dataflow within the 64-register file."""
+        kb = KernelBuilder("k")
+        p = kb.param("p")
+        with kb.block("b"):
+            temps = [kb.emit("addi", p, imm=i) for i in range(120)]
+            total = temps[-1]
+            for t in reversed(temps[:-1]):
+                total = kb.emit("add", total, t)
+        _, mapping = _build_and_allocate(kb.finish())  # must not raise
+        assert len(mapping) >= 240

@@ -1,0 +1,102 @@
+"""Report rendering, the shared workload cache, and the full runner."""
+
+import pytest
+
+from repro.core.scenarios import instruction_scenario, loop_scenario
+from repro.experiments.report import ExperimentFigure, ExperimentTable, fmt, pct
+from repro.experiments.runner import EXTENSION_RUNNERS, run_all
+from repro.experiments.workload import ExperimentContext, get_context
+from repro.rfu.loop_model import Bandwidth
+
+
+class TestTableRendering:
+    def _table(self):
+        table = ExperimentTable("t9", "demo", ["name", "value"],
+                                paper_reference="ref text",
+                                notes="a note")
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22222)
+        return table
+
+    def test_render_alignment(self):
+        lines = self._table().render().splitlines()
+        assert lines[0].startswith("t9: demo")
+        header, separator, *rows = lines[1:]
+        assert len(header) == len(separator)
+        assert all(len(row) == len(header) for row in rows[:2])
+
+    def test_render_includes_reference_and_notes(self):
+        rendered = self._table().render()
+        assert "paper: ref text" in rendered
+        assert "note: a note" in rendered
+
+    def test_cell_lookup(self):
+        table = self._table()
+        assert table.cell(1, "value") == "22222"
+        with pytest.raises(ValueError):
+            table.cell(0, "missing")
+
+    def test_formatters(self):
+        assert fmt(3.14159) == "3.14"
+        assert fmt(3.14159, 3) == "3.142"
+        assert pct(0.256) == "25.6%"
+        assert pct(0.5, 0) == "50%"
+
+    def test_figure_render(self):
+        figure = ExperimentFigure("f9", "demo figure",
+                                  paper_reference="some ref")
+        figure.add("line one")
+        figure.add()
+        rendered = figure.render()
+        assert "f9: demo figure" in rendered
+        assert "line one" in rendered
+        assert "paper: some ref" in rendered
+
+
+class TestWorkloadCache:
+    def test_context_cache_by_key(self):
+        assert get_context(3, seed=999) is get_context(3, seed=999)
+        assert get_context(3, seed=999) is not get_context(3, seed=998)
+
+    def test_results_cached_per_scenario(self, small_context):
+        scenario = instruction_scenario("orig")
+        assert small_context.result(scenario) is small_context.result(scenario)
+
+    def test_as_result_snapshot(self, small_context):
+        small_context.result(loop_scenario(Bandwidth.B1X32))
+        snapshot = small_context.as_result()
+        assert "loop_1x32_b1" in snapshot.results
+        assert snapshot.non_me_cycles == small_context.non_me_cycles()
+
+    def test_me_fraction_uses_scenario_cycles(self, small_context):
+        fast = small_context.me_fraction(
+            loop_scenario(Bandwidth.B1X32, line_buffer_b=True))
+        slow = small_context.me_fraction(instruction_scenario("orig"))
+        assert fast < slow
+
+
+class TestRunner:
+    def test_run_all_contains_every_artifact(self, small_context):
+        report = run_all(context=small_context, extensions=True)
+        for artifact in ("profile", "table1", "table2", "table3", "table4",
+                         "table5", "table6", "table7", "figure1", "figure2",
+                         "figure3", "figure4", "futurework", "extraction",
+                         "context-sched", "ablation-reconfig",
+                         "ablation-lbb", "ablation-bus"):
+            assert artifact in report, f"missing {artifact}"
+
+    def test_run_all_without_extensions(self, small_context):
+        report = run_all(context=small_context, extensions=False)
+        assert "table7" in report
+        assert "futurework" not in report
+
+    def test_header_describes_the_workload(self, small_context):
+        report = run_all(context=small_context, extensions=False)
+        first_line = report.splitlines()[0]
+        assert "QCIF" in first_line
+        assert "GetSad calls" in first_line
+
+    def test_every_extension_runner_accepts_the_context(self, small_context):
+        for name, runner in EXTENSION_RUNNERS:
+            table = runner(small_context)
+            assert table.rows, name

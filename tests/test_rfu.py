@@ -1,0 +1,200 @@
+"""RFU configurations, runtime unit, technology scaling, custom ops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RfuError
+from repro.rfu import (
+    A1_COMBINE,
+    A1_HAVG,
+    DIAG4,
+    DIAG16,
+    ConfigRegistry,
+    RfuConfiguration,
+    RfuUnit,
+    scaled_compute_depth,
+    scaled_latency,
+    standard_registry,
+)
+from repro.rfu.custom_ops import diag_interpolate
+from repro.utils.bitops import pack_bytes, unpack_bytes, words_to_bytes
+
+bytes_lists = st.lists(st.integers(0, 255), min_size=4, max_size=4)
+
+
+class TestScaling:
+    def test_identity_at_beta_1(self):
+        assert scaled_compute_depth(3, 1.0) == 3
+
+    def test_paper_plus_12_cycles(self):
+        # 3 computational stages at beta=5 -> 15: the fixed +12 of Table 3
+        assert scaled_compute_depth(3, 5.0) - scaled_compute_depth(3, 1.0) == 12
+
+    def test_read_write_stages_unscaled(self):
+        assert scaled_latency(2, 3, 1, 5.0) == 2 + 15 + 1
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(RfuError):
+            scaled_compute_depth(3, 0.5)
+
+
+class TestRegistry:
+    def test_duplicate_id_rejected(self):
+        registry = ConfigRegistry()
+        config = RfuConfiguration(1, "x", lambda s, o: 0)
+        registry.register(config)
+        with pytest.raises(RfuError):
+            registry.register(RfuConfiguration(1, "y", lambda s, o: 0))
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(RfuError):
+            ConfigRegistry().get(99)
+
+    def test_standard_registry_contents(self):
+        registry = standard_registry()
+        assert all(cid in registry
+                   for cid in (A1_HAVG, A1_COMBINE, DIAG4, DIAG16))
+        assert registry.get(A1_HAVG).issue_per_cycle == 4
+        assert registry.get(DIAG4).issue_per_cycle == 1
+
+    def test_configuration_latency_scaling(self):
+        config = RfuConfiguration(9, "piped", lambda s, o: 0,
+                                  base_latency=6, read_stages=1,
+                                  compute_depth=4, write_stages=1)
+        assert config.latency(1.0) == 6
+        assert config.latency(5.0) == 6 + 16  # compute 4 -> 20
+
+
+class TestUnitProtocol:
+    def test_exec_without_config_fails(self):
+        unit = RfuUnit(standard_registry())
+        with pytest.raises(RfuError):
+            unit.execute(99, ())
+
+    def test_send_to_sendless_config_fails(self):
+        unit = RfuUnit(standard_registry())
+        with pytest.raises(RfuError):
+            unit.send(A1_HAVG, (1, 2))
+
+    def test_init_sets_alignment_state(self):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG4, (2,))
+        assert unit.state_of(unit.registry.get(DIAG4))["shift"] == 2
+
+    def test_init_rejects_bad_alignment(self):
+        unit = RfuUnit(standard_registry())
+        with pytest.raises(RfuError):
+            unit.init(DIAG4, (5,))
+
+    def test_context_lru_and_penalty(self):
+        unit = RfuUnit(standard_registry(), reconfiguration_penalty=10,
+                       active_contexts=2)
+        assert unit.init(A1_HAVG) == 10      # cold
+        assert unit.init(A1_HAVG) == 0       # resident
+        unit.init(A1_COMBINE)                # second context
+        unit.init(DIAG4, (0,))               # evicts A1_HAVG
+        assert unit.init(A1_HAVG) == 10      # cold again
+        assert unit.stats.reconfigurations == 4
+
+    def test_prefetch_without_engine_fails(self):
+        unit = RfuUnit(standard_registry())
+        with pytest.raises(RfuError):
+            unit.prefetch((0, 0, 0, 0), 0)
+
+    def test_reset_clears_state(self):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG4, (1,))
+        unit.reset()
+        assert unit.state_of(unit.registry.get(DIAG4)) == {}
+        assert unit.stats.inits == 0
+
+
+class TestA1Semantics:
+    @given(bytes_lists, bytes_lists, bytes_lists, bytes_lists)
+    def test_stash_and_combine_is_exact_diagonal(self, t0, t1, b0, b1):
+        unit = RfuUnit(standard_registry())
+        h_top, _ = unit.execute(A1_HAVG, (pack_bytes(t0), pack_bytes(t1)))
+        h_bot, _ = unit.execute(A1_HAVG, (pack_bytes(b0), pack_bytes(b1)))
+        combined, latency = unit.execute(A1_COMBINE, (h_top, h_bot))
+        expected = [(w + x + y + z + 2) >> 2
+                    for w, x, y, z in zip(t0, t1, b0, b1)]
+        assert unpack_bytes(combined) == expected
+        assert latency == 1
+
+    def test_combine_without_havg_fails(self):
+        unit = RfuUnit(standard_registry())
+        with pytest.raises(RfuError):
+            unit.execute(A1_COMBINE, (0, 0))
+
+    def test_fifo_pairing_across_groups(self):
+        """Two interleaved groups must pair their LSBs positionally."""
+        unit = RfuUnit(standard_registry())
+        groups = [([1, 3, 5, 7], [2, 4, 6, 8], [9, 11, 13, 15],
+                   [10, 12, 14, 16]),
+                  ([255, 0, 1, 2], [254, 1, 0, 3], [100, 101, 102, 103],
+                   [104, 105, 106, 107])]
+        halves = []
+        for t0, t1, b0, b1 in groups:
+            h_top, _ = unit.execute(A1_HAVG, (pack_bytes(t0), pack_bytes(t1)))
+            h_bot, _ = unit.execute(A1_HAVG, (pack_bytes(b0), pack_bytes(b1)))
+            halves.append((h_top, h_bot))
+        for (h_top, h_bot), (t0, t1, b0, b1) in zip(halves, groups):
+            combined, _ = unit.execute(A1_COMBINE, (h_top, h_bot))
+            expected = [(w + x + y + z + 2) >> 2
+                        for w, x, y, z in zip(t0, t1, b0, b1)]
+            assert unpack_bytes(combined) == expected
+
+
+class TestDiag4Semantics:
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8),
+           st.lists(st.integers(0, 255), min_size=8, max_size=8),
+           st.integers(0, 3))
+    def test_matches_golden_interpolation(self, top, bottom, shift):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG4, (shift,))
+        unit.send(DIAG4, (pack_bytes(top[:4]), pack_bytes(top[4:])))
+        unit.send(DIAG4, (pack_bytes(bottom[:4]), pack_bytes(bottom[4:])))
+        result, _ = unit.execute(DIAG4, ())
+        expected = diag_interpolate(top[shift:shift + 5],
+                                    bottom[shift:shift + 5])
+        assert unpack_bytes(result) == expected
+
+    def test_wrong_operand_count_fails(self):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG4, (0,))
+        unit.send(DIAG4, (0, 0, 0))
+        with pytest.raises(RfuError):
+            unit.execute(DIAG4, ())
+
+
+class TestDiag16Semantics:
+    @given(st.lists(st.integers(0, 255), min_size=20, max_size=20),
+           st.lists(st.integers(0, 255), min_size=20, max_size=20),
+           st.integers(0, 3))
+    def test_row_drain_matches_golden(self, top, bottom, shift):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG16, (shift,))
+        top_words = [pack_bytes(top[4 * i:4 * i + 4]) for i in range(5)]
+        bottom_words = [pack_bytes(bottom[4 * i:4 * i + 4]) for i in range(5)]
+        unit.send(DIAG16, tuple(top_words))
+        unit.send(DIAG16, tuple(bottom_words))
+        drained = []
+        for _ in range(4):
+            word, _ = unit.execute(DIAG16, ())
+            drained.extend(unpack_bytes(word))
+        expected = diag_interpolate(top[shift:shift + 17],
+                                    bottom[shift:shift + 17])
+        assert drained == expected
+
+    def test_two_rows_in_sequence(self):
+        unit = RfuUnit(standard_registry())
+        unit.init(DIAG16, (0,))
+        for _ in range(2):
+            unit.send(DIAG16, tuple(pack_bytes([10, 20, 30, 40])
+                                    for _ in range(5)))
+            unit.send(DIAG16, tuple(pack_bytes([50, 60, 70, 80])
+                                    for _ in range(5)))
+            for _ in range(4):
+                unit.execute(DIAG16, ())
+        assert unit.stats.execs == 8

@@ -1,0 +1,182 @@
+"""VLIW list scheduler: legality and quality properties."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Operation, Resource, vreg
+from repro.program import BasicBlock, Program, schedule_block, schedule_program
+from repro.program.scheduler import DEFAULT_CAPACITY, ISSUE_WIDTH, default_latency
+
+
+def _assert_legal(scheduled, capacity=None, issue_width=ISSUE_WIDTH):
+    """Resource limits, issue width and latencies must hold per bundle."""
+    capacity = capacity or DEFAULT_CAPACITY
+    issue_cycle = {}
+    for cycle, bundle in enumerate(scheduled.bundles):
+        assert len(bundle) <= issue_width
+        used = Counter(op.spec.resource for op in bundle)
+        for resource, count in used.items():
+            assert count <= capacity[resource], (
+                f"cycle {cycle} oversubscribes {resource}")
+        for op in bundle:
+            issue_cycle[op.uid] = cycle
+    return issue_cycle
+
+
+def _chain(length):
+    """A serial dependence chain of adds."""
+    regs = [vreg(f"c{i}") for i in range(length + 1)]
+    ops = [Operation("movi", dest=regs[0], imm=0)]
+    ops += [Operation("addi", dest=regs[i + 1], srcs=(regs[i],), imm=1)
+            for i in range(length)]
+    return BasicBlock("chain", ops)
+
+
+class TestLegality:
+    def test_issue_width_respected(self):
+        ops = [Operation("movi", dest=vreg(), imm=i) for i in range(12)]
+        scheduled = schedule_block(BasicBlock("b", ops))
+        _assert_legal(scheduled)
+        # 12 independent 1-cycle ALU ops on a 4-wide machine: 3 cycles
+        assert scheduled.length == 3
+
+    def test_single_lsu_serialises_loads(self):
+        p = vreg("p")
+        ops = [Operation("ldw", dest=vreg(), srcs=(p,), imm=4 * i,
+                         mem_tag=f"t{i}") for i in range(6)]
+        scheduled = schedule_block(BasicBlock("b", ops))
+        _assert_legal(scheduled)
+        assert scheduled.length >= 6
+
+    def test_two_multipliers(self):
+        a = vreg("a")
+        ops = [Operation("mul", dest=vreg(), srcs=(a, a)) for _ in range(6)]
+        scheduled = schedule_block(BasicBlock("b", ops))
+        _assert_legal(scheduled)
+        assert scheduled.length >= 3
+
+    def test_rfu_capacity_override(self):
+        ops = [Operation("rfuexec", dest=vreg(), srcs=(), imm=10 + i)
+               for i in range(4)]
+        narrow = schedule_block(BasicBlock("b", list(ops)))
+        wide_cap = dict(DEFAULT_CAPACITY)
+        wide_cap[Resource.RFU] = 4
+        wide = schedule_block(BasicBlock("b2", list(ops)), capacity=wide_cap)
+        assert narrow.length >= 4
+        assert wide.length < narrow.length
+
+    def test_latency_respected(self):
+        a = vreg("a")
+        b = vreg("b")
+        block = BasicBlock("b", [
+            Operation("ldw", dest=a, srcs=(vreg("p"),), imm=0),
+            Operation("addi", dest=b, srcs=(a,), imm=1),
+        ])
+        scheduled = schedule_block(block)
+        cycles = _assert_legal(scheduled)
+        load, add = block.ops
+        assert cycles[add.uid] - cycles[load.uid] >= 3
+
+    def test_branch_in_last_bundle(self):
+        cond = vreg("c", is_branch=True)
+        block = BasicBlock("b", [
+            Operation("movi", dest=vreg(), imm=0),
+            Operation("cmpnei", dest=cond, srcs=(vreg("n"),), imm=0),
+            Operation("br", srcs=(cond,), imm=0, label="b"),
+        ])
+        scheduled = schedule_block(block)
+        _assert_legal(scheduled)
+        assert any(op.opcode == "br" for op in scheduled.bundles[-1])
+
+    def test_empty_block_gets_one_bundle(self):
+        scheduled = schedule_block(BasicBlock("empty"))
+        assert scheduled.length == 1
+        assert len(scheduled.bundles[0]) == 0
+
+
+class TestQuality:
+    def test_chain_length_is_critical_path(self):
+        scheduled = schedule_block(_chain(10))
+        assert scheduled.length == 11  # movi + 10 dependent adds
+
+    def test_independent_work_overlaps_chain(self):
+        block = _chain(10)
+        block.ops += [Operation("movi", dest=vreg(), imm=i)
+                      for i in range(20)]
+        scheduled = schedule_block(block)
+        _assert_legal(scheduled)
+        # the 20 extra ops hide inside the 11-cycle chain
+        assert scheduled.length == 11
+
+    def test_all_ops_scheduled_exactly_once(self):
+        block = _chain(5)
+        block.ops += [Operation("movi", dest=vreg(), imm=i) for i in range(7)]
+        scheduled = schedule_block(block)
+        scheduled_uids = [op.uid for bundle in scheduled.bundles
+                          for op in bundle]
+        assert sorted(scheduled_uids) == sorted(op.uid for op in block.ops)
+
+
+class TestScheduleProgram:
+    def test_multi_block(self):
+        a = BasicBlock("a", [Operation("movi", dest=vreg(), imm=0)])
+        b = BasicBlock("b", [Operation("movi", dest=vreg(), imm=1)])
+        scheduled = schedule_program(Program("p", [a, b]))
+        assert [blk.label for blk in scheduled.blocks] == ["a", "b"]
+        assert scheduled.static_length == 2
+        assert scheduled.op_count() == 2
+
+    def test_validates_program(self):
+        bad = BasicBlock("a")
+        bad.append(Operation("goto", label="missing"))
+        with pytest.raises(Exception):
+            schedule_program(Program("p", [bad]))
+
+
+@st.composite
+def random_dataflow_block(draw):
+    """Random DAG-shaped blocks: each op reads earlier results."""
+    num_ops = draw(st.integers(1, 25))
+    produced = [vreg("seed")]
+    ops = [Operation("movi", dest=produced[0], imm=0)]
+    for i in range(num_ops):
+        choice = draw(st.sampled_from(["movi", "addi", "add", "ldw"]))
+        if choice == "movi":
+            dest = vreg()
+            ops.append(Operation("movi", dest=dest, imm=i))
+        elif choice == "addi":
+            src = draw(st.sampled_from(produced))
+            dest = vreg()
+            ops.append(Operation("addi", dest=dest, srcs=(src,), imm=1))
+        elif choice == "add":
+            src1 = draw(st.sampled_from(produced))
+            src2 = draw(st.sampled_from(produced))
+            dest = vreg()
+            ops.append(Operation("add", dest=dest, srcs=(src1, src2)))
+        else:
+            src = draw(st.sampled_from(produced))
+            dest = vreg()
+            ops.append(Operation("ldw", dest=dest, srcs=(src,), imm=0,
+                                 mem_tag=f"m{i}"))
+        produced.append(dest)
+    return BasicBlock("rand", ops)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_dataflow_block())
+    def test_random_blocks_schedule_legally(self, block):
+        scheduled = schedule_block(block)
+        cycles = _assert_legal(scheduled)
+        # every RAW dependence respects the producer latency
+        def_cycle = {}
+        for op in block.ops:
+            for src in op.srcs:
+                if src in def_cycle:
+                    producer_cycle, producer_latency = def_cycle[src]
+                    assert cycles[op.uid] >= producer_cycle + producer_latency
+            if op.dest is not None:
+                def_cycle[op.dest] = (cycles[op.uid], default_latency(op))

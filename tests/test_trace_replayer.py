@@ -1,0 +1,95 @@
+"""TraceReplayer internals: plane placement, addressing, grouping."""
+
+import pytest
+
+from repro.codec.tracer import MeInvocation, MeTrace
+from repro.core.timing import TraceReplayer
+from repro.core.scenarios import instruction_scenario, loop_scenario
+from repro.rfu.loop_model import Bandwidth, InterpMode
+
+
+def _invocation(frame=1, mb_x=16, mb_y=16, pred_x=14, pred_y=15,
+                mode=InterpMode.FULL, sad=100):
+    return MeInvocation(frame=frame, mb_x=mb_x, mb_y=mb_y, pred_x=pred_x,
+                        pred_y=pred_y, mode=mode, sad=sad,
+                        is_refinement=False)
+
+
+def _trace(invocations):
+    trace = MeTrace()
+    for invocation in invocations:
+        trace.append(invocation)
+    return trace
+
+
+class TestAddressing:
+    def test_planes_allocated_per_frame(self):
+        trace = _trace([_invocation(frame=1), _invocation(frame=2)])
+        replayer = TraceReplayer(trace)
+        for name in ("orig1", "recon0", "orig2", "recon1"):
+            assert name in replayer._plane_bases
+
+    def test_alignment_follows_pixel_position(self):
+        trace = _trace([_invocation(pred_x=13), _invocation(pred_x=14)])
+        replayer = TraceReplayer(trace)
+        _, align_13, _ = replayer._addresses(trace.invocations[0])
+        _, align_14, _ = replayer._addresses(trace.invocations[1])
+        # stride 176 is a multiple of 4, plane bases are 32-aligned
+        assert (align_14 - align_13) % 4 == 1
+
+    def test_predictor_and_reference_in_different_planes(self):
+        trace = _trace([_invocation()])
+        replayer = TraceReplayer(trace)
+        pred, _, ref = replayer._addresses(trace.invocations[0])
+        plane_bytes = replayer.layout.plane_bytes()
+        assert abs(pred - ref) >= plane_bytes - 176 * 17
+
+
+class TestGrouping:
+    def test_groups_follow_macroblock_changes(self):
+        trace = _trace([
+            _invocation(mb_x=0), _invocation(mb_x=0),
+            _invocation(mb_x=16), _invocation(mb_x=16),
+            _invocation(mb_x=0),  # revisiting opens a new group
+        ])
+        replayer = TraceReplayer(trace)
+        groups = replayer._macroblock_groups()
+        assert [len(group) for group in groups] == [2, 2, 1]
+
+    def test_groups_cover_every_invocation(self):
+        trace = _trace([_invocation(mb_x=16 * (i % 3)) for i in range(9)])
+        replayer = TraceReplayer(trace)
+        total = sum(len(group) for group in replayer._macroblock_groups())
+        assert total == len(trace)
+
+
+class TestOverheadAccounting:
+    def test_invocation_overhead_in_static_cycles(self):
+        trace = _trace([_invocation() for _ in range(10)])
+        with_overhead = TraceReplayer(trace, invocation_overhead=14)
+        without = TraceReplayer(trace, invocation_overhead=0)
+        scenario = instruction_scenario("orig")
+        delta = with_overhead.replay(scenario).static_cycles \
+            - without.replay(scenario).static_cycles
+        assert delta == 14 * 10
+
+    def test_loop_scenario_also_pays_overhead(self):
+        trace = _trace([_invocation() for _ in range(10)])
+        with_overhead = TraceReplayer(trace, invocation_overhead=14)
+        without = TraceReplayer(trace, invocation_overhead=0)
+        scenario = loop_scenario(Bandwidth.B1X32)
+        delta = with_overhead.replay(scenario).static_cycles \
+            - without.replay(scenario).static_cycles
+        assert delta == 14 * 10
+
+
+class TestScenarioIsolation:
+    def test_each_replay_uses_fresh_memory_state(self):
+        trace = _trace([_invocation(pred_x=10 + i, mb_x=16)
+                        for i in range(20)])
+        replayer = TraceReplayer(trace)
+        scenario = loop_scenario(Bandwidth.B1X32)
+        first = replayer.replay(scenario)
+        second = replayer.replay(scenario)
+        assert first.stall_cycles == second.stall_cycles
+        assert first.total_cycles == second.total_cycles

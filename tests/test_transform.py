@@ -1,0 +1,143 @@
+"""DCT, quantisation, zigzag, entropy size model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.entropy import block_bits, coded_symbols, mv_bits, run_level_pairs
+from repro.codec.quant import dequantise, quantise
+from repro.codec.zigzag import ZIGZAG_ORDER, inverse_zigzag, zigzag_scan
+from repro.errors import CodecError
+
+blocks8 = st.lists(st.integers(-255, 255), min_size=64, max_size=64).map(
+    lambda flat: np.array(flat, dtype=np.float64).reshape(8, 8))
+
+
+class TestDct:
+    def test_constant_block_has_only_dc(self):
+        coefficients = forward_dct(np.full((8, 8), 100.0))
+        assert abs(coefficients[0, 0] - 800.0) < 1e-9
+        ac = coefficients.copy()
+        ac[0, 0] = 0
+        assert np.abs(ac).max() < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(blocks8)
+    def test_roundtrip_within_rounding(self, block):
+        rebuilt = inverse_dct(forward_dct(block))
+        assert np.abs(rebuilt - block).max() <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(blocks8)
+    def test_parseval_energy_preserved(self, block):
+        coefficients = forward_dct(block)
+        assert abs((block ** 2).sum() - (coefficients ** 2).sum()) \
+            < 1e-6 * max(1.0, (block ** 2).sum())
+
+    def test_shape_checked(self):
+        with pytest.raises(CodecError):
+            forward_dct(np.zeros((4, 4)))
+        with pytest.raises(CodecError):
+            inverse_dct(np.zeros((8, 4)))
+
+
+class TestQuant:
+    def test_zero_block_stays_zero(self):
+        levels = quantise(np.zeros((8, 8)), qp=10)
+        assert not np.any(levels)
+        assert not np.any(dequantise(levels, qp=10))
+
+    def test_small_coefficients_die(self):
+        coefficients = np.full((8, 8), 4.0)
+        assert not np.any(quantise(coefficients, qp=10))
+
+    @settings(max_examples=30, deadline=None)
+    @given(blocks8, st.integers(1, 31))
+    def test_reconstruction_error_bounded(self, block, qp):
+        levels = quantise(block, qp)
+        rebuilt = dequantise(levels, qp)
+        # dead zone: zeroed coefficients may be off by up to 2.5*qp;
+        # coded ones by qp
+        assert np.abs(rebuilt - block).max() <= 2.5 * qp + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(blocks8, st.integers(1, 31))
+    def test_sign_symmetry(self, block, qp):
+        assert np.array_equal(quantise(-block, qp), -quantise(block, qp))
+
+    def test_intra_dc_uses_divisor_8(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 800.0
+        levels = quantise(block, qp=10, intra=True)
+        assert levels[0, 0] == 100
+        assert dequantise(levels, qp=10, intra=True)[0, 0] == 800.0
+
+    def test_qp_range_checked(self):
+        with pytest.raises(CodecError):
+            quantise(np.zeros((8, 8)), qp=0)
+        with pytest.raises(CodecError):
+            dequantise(np.zeros((8, 8), dtype=np.int32), qp=32)
+
+
+class TestZigzag:
+    def test_order_is_a_permutation(self):
+        assert sorted(ZIGZAG_ORDER) == [(r, c) for r in range(8)
+                                        for c in range(8)]
+
+    def test_known_prefix(self):
+        assert ZIGZAG_ORDER[:4] == [(0, 0), (0, 1), (1, 0), (2, 0)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(blocks8)
+    def test_scan_inverse_roundtrip(self, block):
+        block = block.astype(np.int32)
+        assert np.array_equal(inverse_zigzag(zigzag_scan(block)), block)
+
+    def test_shapes_checked(self):
+        with pytest.raises(CodecError):
+            zigzag_scan(np.zeros((4, 4), dtype=np.int32))
+        with pytest.raises(CodecError):
+            inverse_zigzag(np.zeros(63, dtype=np.int32))
+
+
+class TestEntropy:
+    def test_run_level_extraction(self):
+        scanned = np.zeros(64, dtype=np.int32)
+        scanned[0] = 5
+        scanned[3] = -2
+        pairs = run_level_pairs(scanned)
+        assert pairs == [(0, 5, False), (2, -2, True)]
+
+    def test_empty_block_costs_one_bit(self):
+        assert block_bits(np.zeros((8, 8), dtype=np.int32)) == 1
+
+    def test_more_coefficients_cost_more_bits(self):
+        sparse = np.zeros((8, 8), dtype=np.int32)
+        sparse[0, 0] = 3
+        dense = sparse.copy()
+        dense[0, 1] = 2
+        dense[1, 0] = -1
+        assert block_bits(dense) > block_bits(sparse)
+
+    def test_escape_for_large_levels(self):
+        big = np.zeros((8, 8), dtype=np.int32)
+        big[0, 0] = 100
+        small = np.zeros((8, 8), dtype=np.int32)
+        small[0, 0] = 1
+        assert block_bits(big) > block_bits(small)
+
+    def test_coded_symbols_counts_nonzeros(self):
+        block = np.zeros((8, 8), dtype=np.int32)
+        block[0, 0] = 1
+        block[7, 7] = 2
+        assert coded_symbols(block) == 2
+
+    def test_mv_bits_zero_is_cheapest(self):
+        assert mv_bits(0, 0) == 2
+        assert mv_bits(1, 0) > mv_bits(0, 0)
+        assert mv_bits(8, 8) > mv_bits(1, 1)
+
+    def test_mv_bits_sign_symmetric(self):
+        assert mv_bits(-5, 3) == mv_bits(5, -3)
