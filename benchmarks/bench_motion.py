@@ -1,0 +1,234 @@
+"""Motion-estimation throughput benchmark: scalar GetSad vs the SAD engine.
+
+Standalone usage (the acceptance gate of the fast-ME work)::
+
+    PYTHONPATH=src python benchmarks/bench_motion.py [--frames 25]
+                                                     [--min-speedup 5.0]
+
+The script runs the default synthetic QCIF workload, extracts the exact
+GetSad candidate stream the three-step search evaluates, and times three
+replay tiers over identical candidates:
+
+1. ``scalar``   — per-call :func:`repro.codec.sad.getsad`, the pre-change
+   evaluation path (re-slices and re-interpolates on every call);
+2. ``batched``  — per-macroblock :meth:`ReferencePlanes.sad_many` batches,
+   the shape the motion-search driver uses;
+3. ``stream``   — the columnar :meth:`ReferencePlanes.sad_stream` form, the
+   engine's full candidate-evaluation throughput (the headline number the
+   ``--min-speedup`` gate applies to).
+
+Every tier's SAD values are verified against the golden trace, and a
+fast-vs-scalar driver pass asserts byte-identical ``MeTrace`` output
+(signature, call count, diagonal fraction, chosen vectors) before any
+timing is reported.
+
+The ``bench_*`` functions at the bottom expose tiers 1-3 to
+pytest-benchmark (``python -m pytest benchmarks/bench_motion.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.codec.fastme import FastSadEngine
+from repro.codec.motion import MotionEstimator, ThreeStepSearch
+from repro.codec.sad import getsad
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.codec.tracer import MeTrace
+
+DEFAULT_FRAMES = 25
+DEFAULT_MIN_SPEEDUP = 5.0
+
+
+def workload_frames(frames: int, seed: int = 2002) -> List[np.ndarray]:
+    sequence = synthetic_sequence(SyntheticSequenceConfig(frames=frames,
+                                                          seed=seed))
+    return [frame.y for frame in sequence]
+
+
+def me_pass(frames: List[np.ndarray], *, use_fast_engine: bool,
+            initial_step: int = 2) -> Tuple[MeTrace, float]:
+    """One full motion-estimation pass; returns (trace, wall seconds)."""
+    estimator = MotionEstimator(strategy=ThreeStepSearch(initial_step),
+                                use_fast_engine=use_fast_engine)
+    trace = MeTrace()
+    start = time.perf_counter()
+    for index in range(1, len(frames)):
+        current, reference = frames[index], frames[index - 1]
+        height, width = current.shape
+        for mb_y in range(0, height, 16):
+            for mb_x in range(0, width, 16):
+                estimator.estimate(current, reference, mb_x, mb_y,
+                                   frame_index=index, trace=trace)
+    return trace, time.perf_counter() - start
+
+
+def candidate_stream(trace: MeTrace) -> Dict[int, List[Tuple[int, ...]]]:
+    """Per-frame (mb_x, mb_y, pred_x, pred_y, half_x, half_y) rows."""
+    stream: Dict[int, List[Tuple[int, ...]]] = {}
+    for inv in trace:
+        stream.setdefault(inv.frame, []).append(
+            (inv.mb_x, inv.mb_y, inv.pred_x, inv.pred_y,
+             inv.mode.value & 1, inv.mode.value >> 1))
+    return stream
+
+
+def replay_scalar(frames, stream) -> List[int]:
+    """Tier 1: the pre-change per-call GetSad path."""
+    out: List[int] = []
+    for index, rows in stream.items():
+        current, reference = frames[index], frames[index - 1]
+        for mb_x, mb_y, px, py, half_x, half_y in rows:
+            out.append(getsad(current, reference, mb_x, mb_y, px, py,
+                              half_x, half_y))
+    return out
+
+
+def replay_batched(frames, batches, engine: FastSadEngine) -> List[int]:
+    """Tier 2: per-macroblock sad_many batches (driver-shaped)."""
+    out: List[int] = []
+    for (index, mb_x, mb_y), candidates in batches:
+        planes = engine.planes(frames[index - 1])
+        block = engine.block(frames[index], mb_x, mb_y)
+        out.extend(planes.sad_many(block, candidates))
+    return out
+
+
+def replay_stream(frames, columns, engine: FastSadEngine) -> np.ndarray:
+    """Tier 3: columnar sad_stream evaluation (the engine's headline)."""
+    out = []
+    for index, arrays in columns.items():
+        out.append(engine.sad_stream(frames[index], frames[index - 1],
+                                     *arrays))
+    return np.concatenate(out)
+
+
+def _mb_batches(stream):
+    batches: Dict[Tuple[int, int, int], List[Tuple[int, ...]]] = {}
+    for index, rows in stream.items():
+        for mb_x, mb_y, px, py, half_x, half_y in rows:
+            batches.setdefault((index, mb_x, mb_y), []).append(
+                (px, py, half_x, half_y))
+    return list(batches.items())
+
+
+def _columns(stream):
+    return {index: [np.array(column) for column in zip(*rows)]
+            for index, rows in stream.items()}
+
+
+def _best_of(callable_, reps: int) -> float:
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def run(frames_count: int = DEFAULT_FRAMES,
+        min_speedup: float = DEFAULT_MIN_SPEEDUP, reps: int = 3,
+        verbose: bool = True) -> float:
+    frames = workload_frames(frames_count)
+
+    # -- correctness gate: the engine-backed driver must emit a trace
+    # byte-identical to the scalar path's, with identical statistics
+    slow_trace, slow_seconds = me_pass(frames, use_fast_engine=False)
+    fast_trace, fast_seconds = me_pass(frames, use_fast_engine=True)
+    if slow_trace.signature() != fast_trace.signature():
+        raise AssertionError("fast-ME trace diverges from the scalar path")
+    assert len(slow_trace) == len(fast_trace)
+    assert slow_trace.diagonal_fraction() == fast_trace.diagonal_fraction()
+
+    stream = candidate_stream(fast_trace)
+    golden = [inv.sad for inv in fast_trace]
+    batches = _mb_batches(stream)
+    columns = _columns(stream)
+    engine = FastSadEngine()
+
+    assert replay_scalar(frames, stream) == golden
+    assert replay_batched(frames, batches, engine) == golden
+    assert replay_stream(frames, columns, engine).tolist() == golden
+
+    calls = len(golden)
+    scalar_s = _best_of(lambda: replay_scalar(frames, stream), reps)
+    batched_s = _best_of(lambda: replay_batched(frames, batches, engine),
+                         reps)
+    stream_s = _best_of(lambda: replay_stream(frames, columns, engine), reps)
+    speedup = scalar_s / stream_s
+
+    if verbose:
+        print(f"workload: {frames_count} QCIF frames, three-step search, "
+              f"{calls:,} GetSad candidates "
+              f"({100 * fast_trace.diagonal_fraction():.1f}% diagonal)")
+        print(f"driver pass: scalar {calls / slow_seconds:,.0f} calls/s, "
+              f"engine {calls / fast_seconds:,.0f} calls/s "
+              f"({slow_seconds / fast_seconds:.2f}x), traces byte-identical")
+        print("candidate-evaluation throughput (identical candidates, "
+              "SADs verified):")
+        print(f"  scalar getsad : {calls / scalar_s:>10,.0f} candidates/s")
+        print(f"  sad_many      : {calls / batched_s:>10,.0f} candidates/s "
+              f"({scalar_s / batched_s:.2f}x)")
+        print(f"  sad_stream    : {calls / stream_s:>10,.0f} candidates/s "
+              f"({speedup:.2f}x)  <- headline")
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES)
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="fail unless sad_stream beats scalar getsad by "
+                             "this factor (0 disables the gate)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+    if args.frames < 2:
+        parser.error("--frames must be >= 2 (frame 0 is the I-frame "
+                     "reference; motion estimation starts at frame 1)")
+    speedup = run(args.frames, args.min_speedup, args.reps)
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: {speedup:.2f}x < required {args.min_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {speedup:.2f}x")
+    return 0
+
+
+# -- pytest-benchmark entry points (small workload) --------------------------
+
+def _fixture_state():
+    frames = workload_frames(4)
+    trace, _ = me_pass(frames, use_fast_engine=True)
+    stream = candidate_stream(trace)
+    return frames, stream
+
+
+def bench_scalar_getsad_replay(benchmark):
+    frames, stream = _fixture_state()
+    benchmark(replay_scalar, frames, stream)
+
+
+def bench_engine_sad_many_replay(benchmark):
+    frames, stream = _fixture_state()
+    batches = _mb_batches(stream)
+    engine = FastSadEngine()
+    benchmark(replay_batched, frames, batches, engine)
+
+
+def bench_engine_sad_stream_replay(benchmark):
+    frames, stream = _fixture_state()
+    columns = _columns(stream)
+    engine = FastSadEngine()
+    benchmark(replay_stream, frames, columns, engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

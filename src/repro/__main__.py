@@ -21,7 +21,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = run_all(frames=args.frames, verbose=not args.quiet,
                      extensions=not args.no_extensions)
     if args.output:
-        with open(args.output, "w") as handle:
+        with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"written to {args.output}")
     else:
@@ -32,13 +32,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_encode(args: argparse.Namespace) -> int:
     from repro.codec import EncoderConfig, Mpeg4Encoder, \
         SyntheticSequenceConfig, synthetic_sequence
-    from repro.codec.motion import FullSearch, ThreeStepSearch
-    strategy = FullSearch(args.range) if args.strategy == "full" \
-        else ThreeStepSearch(args.step)
+    from repro.codec.motion import DiamondSearch, FullSearch, ThreeStepSearch
+    if args.strategy == "three-step" and args.range is not None:
+        print(f"warning: --range is ignored by --strategy {args.strategy} "
+              f"(it only applies to full and diamond)", file=sys.stderr)
+    if args.strategy != "three-step" and args.step is not None:
+        print(f"warning: --step is ignored by --strategy {args.strategy} "
+              f"(it only applies to three-step)", file=sys.stderr)
+    step = 2 if args.step is None else args.step
+    search_range = 4 if args.range is None else args.range
+    if args.strategy == "full":
+        strategy = FullSearch(search_range)
+    elif args.strategy == "diamond":
+        strategy = DiamondSearch(search_range)
+    else:
+        strategy = ThreeStepSearch(step)
     frames = synthetic_sequence(SyntheticSequenceConfig(frames=args.frames,
                                                         seed=args.seed))
-    report = Mpeg4Encoder(EncoderConfig(qp=args.qp,
-                                        strategy=strategy)).encode(frames)
+    report = Mpeg4Encoder(EncoderConfig(
+        qp=args.qp, strategy=strategy,
+        use_fast_engine=not args.no_fast_me,
+        early_terminate=args.early_terminate)).encode(frames)
     print(f"{'frame':>5s} {'type':>4s} {'bits':>8s} {'PSNR-Y':>7s} "
           f"{'SAD calls':>9s}")
     for stats in report.frame_stats:
@@ -74,7 +88,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.isa.instruction import format_schedule
     from repro.machine import compile_kernel
     from repro.program.analysis import occupancy_chart, utilisation_report
-    with open(args.file) as handle:
+    with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
     loaded = compile_kernel(program)
     print(f"kernel {program.name}: {loaded.static_length} static cycles, "
@@ -111,12 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("--frames", type=int, default=10)
     encode.add_argument("--qp", type=int, default=10)
     encode.add_argument("--seed", type=int, default=2002)
-    encode.add_argument("--strategy", choices=("three-step", "full"),
+    encode.add_argument("--strategy",
+                        choices=("three-step", "full", "diamond"),
                         default="three-step")
-    encode.add_argument("--step", type=int, default=2,
-                        help="initial three-step search step")
-    encode.add_argument("--range", type=int, default=4,
-                        help="full-search range")
+    encode.add_argument("--step", type=int, default=None,
+                        help="initial three-step search step (default 2; "
+                             "only with --strategy three-step)")
+    encode.add_argument("--range", type=int, default=None,
+                        help="full/diamond search range (default 4; only "
+                             "with --strategy full or diamond)")
+    encode.add_argument("--no-fast-me", action="store_true",
+                        help="score candidates on the scalar GetSad model "
+                             "instead of the vectorized half-pel SAD engine "
+                             "(the trace is bit-identical either way)")
+    encode.add_argument("--early-terminate", action="store_true",
+                        help="stop each SAD once it exceeds the best "
+                             "candidate so far (chosen vectors unchanged)")
     encode.set_defaults(handler=_cmd_encode)
 
     kernels = sub.add_parser("kernels", help="time every GetSad kernel")

@@ -11,9 +11,15 @@ for the non-ME stages (the other ~74 % of the paper's profile).
 
 from repro.codec.frame import FrameLayout, YuvFrame, QCIF_WIDTH, QCIF_HEIGHT
 from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
-from repro.codec.interp import halfpel_predictor, interpolate_halfpel_region
+from repro.codec.interp import (
+    halfpel_planes,
+    halfpel_predictor,
+    interpolate_halfpel_region,
+)
 from repro.codec.sad import block_sad, getsad, getsad_reference
+from repro.codec.fastme import FastSadEngine, ReferencePlanes
 from repro.codec.motion import (
+    DiamondSearch,
     FullSearch,
     MotionEstimator,
     SearchStrategy,
@@ -50,8 +56,10 @@ __all__ = [
     "CodedMacroblock",
     "CodedSequence",
     "CycleCostModel",
+    "DiamondSearch",
     "EncoderConfig",
     "EncoderReport",
+    "FastSadEngine",
     "FrameLayout",
     "FullSearch",
     "MeInvocation",
@@ -60,6 +68,7 @@ __all__ = [
     "Mpeg4Encoder",
     "QCIF_HEIGHT",
     "QCIF_WIDTH",
+    "ReferencePlanes",
     "SearchStrategy",
     "SyntheticSequenceConfig",
     "ThreeStepSearch",
@@ -76,6 +85,7 @@ __all__ = [
     "forward_dct",
     "getsad",
     "getsad_reference",
+    "halfpel_planes",
     "halfpel_predictor",
     "interpolate_halfpel_region",
     "inverse_dct",

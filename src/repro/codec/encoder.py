@@ -48,6 +48,12 @@ class EncoderConfig:
     intra_sad_threshold: int = 16 * 16 * 24
     #: intra-frame period (GOP size); 0 = only the first frame is intra
     gop_size: int = 0
+    #: score ME candidates on the vectorized half-pel plane engine
+    #: (bit-exact with the scalar getsad path, same MeTrace)
+    use_fast_engine: bool = True
+    #: let losing SAD candidates terminate early (opt-in: chosen MVs are
+    #: unchanged but losers' recorded SADs become lower bounds)
+    early_terminate: bool = False
 
 
 @dataclass
@@ -92,8 +98,10 @@ class Mpeg4Encoder:
 
     def __init__(self, config: Optional[EncoderConfig] = None):
         self.config = config or EncoderConfig()
-        self.estimator = MotionEstimator(self.config.strategy,
-                                         self.config.refine_halfpel)
+        self.estimator = MotionEstimator(
+            self.config.strategy, self.config.refine_halfpel,
+            use_fast_engine=self.config.use_fast_engine,
+            early_terminate=self.config.early_terminate)
 
     # -- block helpers -------------------------------------------------------
     def _code_block(self, spatial: np.ndarray, intra: bool,

@@ -12,6 +12,8 @@ are the golden semantics every VLIW/RFU kernel must match bit-exactly.
 
 from __future__ import annotations
 
+from typing import Dict
+
 import numpy as np
 
 from repro.errors import CodecError
@@ -47,6 +49,33 @@ def interpolate_halfpel_region(plane: np.ndarray, x: int, y: int,
     return halfpel_predictor(plane, x, y,
                              1 if mode.needs_extra_column else 0,
                              1 if mode.needs_extra_row else 0, size)
+
+
+def halfpel_planes(plane: np.ndarray) -> Dict[InterpMode, np.ndarray]:
+    """Interpolate a whole reference plane once per half-sample mode.
+
+    Returns int16 planes (values fit: the diagonal sum peaks at 1022):
+
+    * ``FULL`` — the plane itself, ``(H, W)``;
+    * ``H``    — ``(H, W-1)``, pixel ``[y, x]`` is the half-sample between
+      columns ``x`` and ``x+1``;
+    * ``V``    — ``(H-1, W)``;
+    * ``HV``   — ``(H-1, W-1)``.
+
+    A 16x16 slice at ``[y:y+16, x:x+16]`` of the mode's plane is bit-exact
+    with :func:`halfpel_predictor` at integer corner ``(x, y)`` — that
+    equivalence is what :class:`repro.codec.fastme.FastSadEngine` builds on.
+    """
+    if plane.ndim != 2:
+        raise CodecError(f"reference plane must be 2-D, got {plane.ndim}-D")
+    p = plane.astype(np.int16)
+    return {
+        InterpMode.FULL: p,
+        InterpMode.H: (p[:, :-1] + p[:, 1:] + 1) >> 1,
+        InterpMode.V: (p[:-1, :] + p[1:, :] + 1) >> 1,
+        InterpMode.HV: (p[:-1, :-1] + p[:-1, 1:] + p[1:, :-1]
+                        + p[1:, 1:] + 2) >> 2,
+    }
 
 
 def mode_from_halfpel(half_x: int, half_y: int) -> InterpMode:

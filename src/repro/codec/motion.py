@@ -12,19 +12,30 @@ GetSad() is called once per candidate; every call is recorded in the
 After the integer winner, the 8 surrounding half-sample candidates are
 evaluated (4 of them diagonal), exactly the sub-task Listing 1 describes.
 Motion vectors are in half-sample units.
+
+Candidate scoring goes through a :class:`FastSadEngine` by default (half-pel
+planes interpolated once per reference frame, batched reductions); the
+recorded trace is call-for-call identical to the scalar
+:func:`~repro.codec.sad.getsad` path, which remains available with
+``use_fast_engine=False`` and is what the differential tests compare
+against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.codec.fastme import FastSadEngine
 from repro.codec.interp import mode_from_halfpel
 from repro.codec.sad import getsad
 from repro.codec.tracer import MeInvocation, MeTrace
 from repro.errors import CodecError
+from repro.rfu.loop_model import InterpMode
+
+Offset = Tuple[int, int]
 
 
 @dataclass
@@ -50,18 +61,38 @@ class SearchStrategy:
     name = "abstract"
 
     def integer_candidates(self, mb_x: int, mb_y: int, width: int,
-                           height: int, evaluate) -> Tuple[int, int]:
+                           height: int, evaluate) -> Tuple[Offset, int]:
         """Run the integer search; ``evaluate(dx, dy) -> sad`` scores one
-        integer offset (and records the trace).  Returns the best offset."""
+        integer offset (and records the trace).  Returns the best offset
+        together with its SAD."""
         raise NotImplementedError
+
+    @staticmethod
+    def evaluate_many(offsets: Sequence[Offset],
+                      evaluate) -> List[Tuple[Offset, int]]:
+        """Score ``offsets`` in order, preferring the evaluator's vectorized
+        batch hook (``evaluate.many``) when it exposes one.  Trace records
+        and SAD values are identical either way; only the number of numpy
+        dispatches changes."""
+        many = getattr(evaluate, "many", None)
+        if many is not None:
+            return list(zip(offsets, many(offsets)))
+        return [(offset, evaluate(*offset)) for offset in offsets]
 
 
 def _clamp_offset(mb_x: int, mb_y: int, dx: int, dy: int, width: int,
                   height: int) -> bool:
-    """Is the 17x17 worst-case predictor at this offset inside the plane?"""
+    """Is the 16x16 integer predictor at this offset inside the plane?
+
+    Integer candidates only ever read a 16x16 block; the extra row/column
+    that half-sample interpolation needs is bounds-checked per refinement
+    candidate in :meth:`MotionEstimator.estimate` (an out-of-plane
+    half-sample neighbour is skipped there without constraining the integer
+    search).  Demanding 17x17 here — as the code once did — silently
+    shrank the search window for macroblocks in the last row/column."""
     x = mb_x + dx
     y = mb_y + dy
-    return 0 <= x and 0 <= y and x + 17 <= width and y + 17 <= height
+    return 0 <= x and 0 <= y and x + 16 <= width and y + 16 <= height
 
 
 class FullSearch(SearchStrategy):
@@ -74,18 +105,23 @@ class FullSearch(SearchStrategy):
         self.name = f"full±{search_range}"
 
     def integer_candidates(self, mb_x, mb_y, width, height, evaluate):
-        best = (0, 0)
-        best_sad = evaluate(0, 0)
-        for dy in range(-self.search_range, self.search_range + 1):
-            for dx in range(-self.search_range, self.search_range + 1):
-                if (dx, dy) == (0, 0):
-                    continue
-                if not _clamp_offset(mb_x, mb_y, dx, dy, width, height):
-                    continue
-                sad = evaluate(dx, dy)
-                if sad < best_sad:
-                    best, best_sad = (dx, dy), sad
-        return best
+        # the admissible offsets are the window clamped to the plane — a
+        # rectangle, computed directly instead of per-candidate checks
+        dx_lo, dx_hi = max(-self.search_range, -mb_x), \
+            min(self.search_range, width - 16 - mb_x)
+        dy_lo, dy_hi = max(-self.search_range, -mb_y), \
+            min(self.search_range, height - 16 - mb_y)
+        offsets: List[Offset] = [(0, 0)]
+        for dy in range(dy_lo, dy_hi + 1):
+            for dx in range(dx_lo, dx_hi + 1):
+                if (dx, dy) != (0, 0):
+                    offsets.append((dx, dy))
+        scored = self.evaluate_many(offsets, evaluate)
+        best, best_sad = scored[0]
+        for offset, sad in scored[1:]:
+            if sad < best_sad:
+                best, best_sad = offset, sad
+        return best, best_sad
 
 
 class ThreeStepSearch(SearchStrategy):
@@ -102,7 +138,7 @@ class ThreeStepSearch(SearchStrategy):
         best_sad = evaluate(0, 0)
         step = self.initial_step
         while step >= 1:
-            best = center
+            ring: List[Offset] = []
             for dy in (-step, 0, step):
                 for dx in (-step, 0, step):
                     if (dx, dy) == (0, 0):
@@ -111,12 +147,14 @@ class ThreeStepSearch(SearchStrategy):
                     if not _clamp_offset(mb_x, mb_y, cand[0], cand[1],
                                          width, height):
                         continue
-                    sad = evaluate(cand[0], cand[1])
-                    if sad < best_sad:
-                        best, best_sad = cand, sad
+                    ring.append(cand)
+            best = center
+            for cand, sad in self.evaluate_many(ring, evaluate):
+                if sad < best_sad:
+                    best, best_sad = cand, sad
             center = best
             step //= 2
-        return center
+        return center, best_sad
 
 
 class DiamondSearch(SearchStrategy):
@@ -141,7 +179,7 @@ class DiamondSearch(SearchStrategy):
         center = (0, 0)
         best_sad = evaluate(0, 0)
         for _ in range(self.max_rounds):
-            best = center
+            ring: List[Offset] = []
             for dx, dy in self.LARGE:
                 cand = (center[0] + dx, center[1] + dy)
                 if cand in seen:
@@ -150,12 +188,15 @@ class DiamondSearch(SearchStrategy):
                                      width, height):
                     continue
                 seen.add(cand)
-                sad = evaluate(cand[0], cand[1])
+                ring.append(cand)
+            best = center
+            for cand, sad in self.evaluate_many(ring, evaluate):
                 if sad < best_sad:
                     best, best_sad = cand, sad
             if best == center:
                 break
             center = best
+        # the small diamond recentres between candidates, so it stays scalar
         for dx, dy in self.SMALL:
             cand = (center[0] + dx, center[1] + dy)
             if cand in seen:
@@ -166,16 +207,132 @@ class DiamondSearch(SearchStrategy):
             sad = evaluate(cand[0], cand[1])
             if sad < best_sad:
                 center, best_sad = cand, sad
-        return center
+        return center, best_sad
+
+
+class _CandidateEvaluator:
+    """Scores integer candidates, records trace calls, tracks the best SAD.
+
+    Callable (one offset at a time) for the scalar strategies, with a
+    ``many`` batch hook the :meth:`SearchStrategy.evaluate_many` helper
+    picks up: a dense rectangle of offsets (the full-search window)
+    collapses into one :meth:`FastSadEngine.sad_map`, any other batch into
+    one :meth:`FastSadEngine.sad_many`.  Trace records are appended in
+    offset order, so scalar and batched evaluation produce identical
+    traces."""
+
+    def __init__(self, engine: Optional[FastSadEngine], current: np.ndarray,
+                 reference: np.ndarray, mb_x: int, mb_y: int,
+                 frame_index: int, calls: List[MeInvocation],
+                 early_terminate: bool):
+        self.engine = engine
+        self.current = current
+        self.reference = reference
+        self.mb_x = mb_x
+        self.mb_y = mb_y
+        self.frame_index = frame_index
+        self.calls = calls
+        self.early_terminate = early_terminate
+        self.best: Optional[int] = None
+        #: index into ``calls`` of the first call achieving ``best`` — the
+        #: candidate the trace will mark ``chosen`` (unless half-sample
+        #: refinement improves on it)
+        self.best_index: int = -1
+        if engine is not None:
+            self.planes = engine.planes(reference)
+            self.block = engine.block(current, mb_x, mb_y)
+        else:
+            self.planes = None
+            self.block = None
+
+    def _record(self, dx: int, dy: int, sad: int) -> None:
+        self.calls.append(MeInvocation(
+            self.frame_index, self.mb_x, self.mb_y,
+            self.mb_x + dx, self.mb_y + dy, InterpMode.FULL, sad, False))
+        if self.best is None or sad < self.best:
+            self.best = sad
+            self.best_index = len(self.calls) - 1
+
+    def __call__(self, dx: int, dy: int) -> int:
+        best_so_far = self.best if self.early_terminate else None
+        if self.planes is not None:
+            sad = self.planes.sad(
+                self.block, self.mb_x + dx, self.mb_y + dy, 0, 0,
+                best_so_far=best_so_far,
+                early_terminate=self.early_terminate)
+        else:
+            sad = getsad(
+                self.current, self.reference, self.mb_x, self.mb_y,
+                self.mb_x + dx, self.mb_y + dy, 0, 0,
+                best_so_far=best_so_far,
+                early_terminate=self.early_terminate)
+        self._record(dx, dy, sad)
+        return sad
+
+    def many(self, offsets: Sequence[Offset]) -> List[int]:
+        # early termination depends on call-by-call state; keep it scalar
+        if self.planes is None or self.early_terminate or not offsets:
+            return [self(dx, dy) for dx, dy in offsets]
+        sads = self._batch(offsets)
+        calls, mb_x, mb_y = self.calls, self.mb_x, self.mb_y
+        frame, best, best_index = self.frame_index, self.best, self.best_index
+        base = len(calls)
+        for position, ((dx, dy), sad) in enumerate(zip(offsets, sads)):
+            calls.append(MeInvocation(frame, mb_x, mb_y, mb_x + dx,
+                                      mb_y + dy, InterpMode.FULL, sad, False))
+            if best is None or sad < best:
+                best = sad
+                best_index = base + position
+        self.best, self.best_index = best, best_index
+        return sads
+
+    def _batch(self, offsets: Sequence[Offset]) -> List[int]:
+        xs = [self.mb_x + dx for dx, _ in offsets]
+        ys = [self.mb_y + dy for _, dy in offsets]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        area = (x_hi - x_lo + 1) * (y_hi - y_lo + 1)
+        if area == len(set(offsets)) == len(offsets):
+            rows = self.planes.sad_map(self.block, x_lo, x_hi,
+                                       y_lo, y_hi).tolist()
+            return [rows[y - y_lo][x - x_lo] for x, y in zip(xs, ys)]
+        return self.planes.sad_many(
+            self.block, [(x, y, 0, 0) for x, y in zip(xs, ys)])
 
 
 class MotionEstimator:
-    """Per-macroblock ME driver: integer strategy + half-sample refinement."""
+    """Per-macroblock ME driver: integer strategy + half-sample refinement.
+
+    ``use_fast_engine`` (default on) scores candidates on a
+    :class:`FastSadEngine` — same SADs, same trace, a fraction of the
+    wall time.  ``early_terminate`` (default off) additionally lets losing
+    candidates abort their SAD accumulation early; the chosen motion
+    vectors are provably unchanged, but losing candidates' recorded SADs
+    become lower bounds, so the flag is opt-in."""
 
     def __init__(self, strategy: Optional[SearchStrategy] = None,
-                 refine_halfpel: bool = True):
+                 refine_halfpel: bool = True,
+                 engine: Optional[FastSadEngine] = None,
+                 use_fast_engine: bool = True,
+                 early_terminate: bool = False):
         self.strategy = strategy or ThreeStepSearch()
         self.refine_halfpel = refine_halfpel
+        if engine is None and use_fast_engine:
+            engine = FastSadEngine()
+        self.engine = engine
+        self.early_terminate = early_terminate
+
+    def _refinement_sad(self, evaluator: _CandidateEvaluator, px: int,
+                        py: int, half_x: int, half_y: int,
+                        best_so_far: int) -> int:
+        best = best_so_far if self.early_terminate else None
+        if evaluator.planes is not None:
+            return evaluator.planes.sad(evaluator.block, px, py,
+                                        half_x, half_y, best_so_far=best,
+                                        early_terminate=self.early_terminate)
+        return getsad(evaluator.current, evaluator.reference,
+                      evaluator.mb_x, evaluator.mb_y, px, py, half_x, half_y,
+                      best_so_far=best, early_terminate=self.early_terminate)
 
     def estimate(self, current: np.ndarray, reference: np.ndarray,
                  mb_x: int, mb_y: int, frame_index: int,
@@ -183,24 +340,19 @@ class MotionEstimator:
         """Find the best half-sample MV for the macroblock at (mb_x, mb_y)."""
         height, width = reference.shape
         calls: List[MeInvocation] = []
+        evaluator = _CandidateEvaluator(self.engine, current, reference,
+                                        mb_x, mb_y, frame_index, calls,
+                                        self.early_terminate)
 
-        def evaluate_integer(dx: int, dy: int) -> int:
-            sad = getsad(current, reference, mb_x, mb_y,
-                         mb_x + dx, mb_y + dy, 0, 0)
-            calls.append(MeInvocation(
-                frame=frame_index, mb_x=mb_x, mb_y=mb_y,
-                pred_x=mb_x + dx, pred_y=mb_y + dy,
-                mode=mode_from_halfpel(0, 0), sad=sad, is_refinement=False))
-            return sad
-
-        best_dx, best_dy = self.strategy.integer_candidates(
-            mb_x, mb_y, width, height, evaluate_integer)
-        best_sad = min(call.sad for call in calls
-                       if (call.pred_x, call.pred_y)
-                       == (mb_x + best_dx, mb_y + best_dy))
+        (best_dx, best_dy), best_sad = self.strategy.integer_candidates(
+            mb_x, mb_y, width, height, evaluator)
         best = MotionVector(2 * best_dx, 2 * best_dy, best_sad)
+        # index into ``calls`` of the winning candidate: the integer
+        # search's first best so far, displaced by any refinement win below
+        chosen_index = evaluator.best_index
 
         if self.refine_halfpel:
+            candidates = []
             for hdy in (-1, 0, 1):
                 for hdx in (-1, 0, 1):
                     if (hdx, hdy) == (0, 0):
@@ -214,32 +366,27 @@ class MotionEstimator:
                             and px + 16 + half_x <= width
                             and py + 16 + half_y <= height):
                         continue
-                    sad = getsad(current, reference, mb_x, mb_y, px, py,
-                                 half_x, half_y)
-                    calls.append(MeInvocation(
-                        frame=frame_index, mb_x=mb_x, mb_y=mb_y,
-                        pred_x=px, pred_y=py,
-                        mode=mode_from_halfpel(half_x, half_y), sad=sad,
-                        is_refinement=True))
-                    if sad < best.sad:
-                        best = MotionVector(mv_x, mv_y, sad)
+                    candidates.append((mv_x, mv_y, px, py, half_x, half_y))
+            batched: Optional[List[int]] = None
+            if evaluator.planes is not None and not self.early_terminate \
+                    and candidates:
+                batched = evaluator.planes.sad_many(
+                    evaluator.block, [cand[2:] for cand in candidates])
+            for i, (mv_x, mv_y, px, py, half_x, half_y) \
+                    in enumerate(candidates):
+                if batched is not None:
+                    sad = batched[i]
+                else:
+                    sad = self._refinement_sad(evaluator, px, py,
+                                               half_x, half_y, best.sad)
+                calls.append(MeInvocation(
+                    frame_index, mb_x, mb_y, px, py,
+                    mode_from_halfpel(half_x, half_y), sad, True))
+                if sad < best.sad:
+                    best = MotionVector(mv_x, mv_y, sad)
+                    chosen_index = len(calls) - 1
 
         if trace is not None:
-            chosen_key = (mb_x + (best.dx >> 1), mb_y + (best.dy >> 1),
-                          mode_from_halfpel(*best.halfpel))
-            marked = False
-            for call in calls:
-                is_chosen = (not marked
-                             and (call.pred_x, call.pred_y, call.mode)
-                             == chosen_key
-                             and call.sad == best.sad)
-                if is_chosen:
-                    marked = True
-                    trace.append(MeInvocation(
-                        frame=call.frame, mb_x=call.mb_x, mb_y=call.mb_y,
-                        pred_x=call.pred_x, pred_y=call.pred_y,
-                        mode=call.mode, sad=call.sad,
-                        is_refinement=call.is_refinement, chosen=True))
-                else:
-                    trace.append(call)
+            calls[chosen_index] = calls[chosen_index]._replace(chosen=True)
+            trace.extend(calls)
         return best

@@ -18,6 +18,12 @@ from repro.errors import CodecError
 from repro.rfu.loop_model import InterpMode
 
 
+#: Rows accumulated between early-termination checks.  Shared with the
+#: fast engine so the partial sums (and therefore the returned values) of
+#: both implementations are bit-identical when the flag is on.
+EARLY_EXIT_ROW_CHUNK = 4
+
+
 def block_sad(a: np.ndarray, b: np.ndarray) -> int:
     """SAD between two equal-shape uint8 blocks."""
     if a.shape != b.shape:
@@ -25,15 +31,49 @@ def block_sad(a: np.ndarray, b: np.ndarray) -> int:
     return int(np.abs(a.astype(np.int32) - b.astype(np.int32)).sum())
 
 
+def sad_early_exit(block: np.ndarray, predictor: np.ndarray,
+                   best_so_far: int) -> int:
+    """Row-chunked SAD that stops once the candidate can no longer win.
+
+    Accumulates :data:`EARLY_EXIT_ROW_CHUNK` rows at a time and returns the
+    partial sum as soon as it exceeds ``best_so_far``.  Because partial sums
+    only grow, a candidate whose true SAD improves on ``best_so_far`` is
+    never cut short — so motion search picks the same winner, only losers
+    get truncated (their reported SAD is a lower bound >= the running best,
+    which loses the strict ``<`` comparison exactly like their true SAD).
+    """
+    if block.shape != predictor.shape:
+        raise CodecError(
+            f"SAD shapes differ: {block.shape} vs {predictor.shape}")
+    a = block.astype(np.int32)
+    b = predictor.astype(np.int32)
+    total = 0
+    for row in range(0, a.shape[0], EARLY_EXIT_ROW_CHUNK):
+        chunk = row + EARLY_EXIT_ROW_CHUNK
+        total += int(np.abs(a[row:chunk] - b[row:chunk]).sum())
+        if total > best_so_far:
+            return total
+    return total
+
+
 def getsad(current: np.ndarray, reference: np.ndarray, mb_x: int, mb_y: int,
            pred_x: int, pred_y: int, half_x: int = 0, half_y: int = 0,
-           best_so_far: Optional[int] = None) -> int:
+           best_so_far: Optional[int] = None,
+           early_terminate: bool = False) -> int:
     """SAD between the current frame's macroblock at ``(mb_x, mb_y)`` (pixel
     units) and the predictor at integer corner ``(pred_x, pred_y)`` with
-    half-sample flags, in the reference plane."""
+    half-sample flags, in the reference plane.
+
+    ``best_so_far`` only takes effect when ``early_terminate`` is set (the
+    default path stays deterministic and exact): the call then may return
+    early with a partial SAD once the candidate provably loses to
+    ``best_so_far`` — see :func:`sad_early_exit` for why the chosen motion
+    vector is unchanged.
+    """
     block = current[mb_y:mb_y + 16, mb_x:mb_x + 16]
     predictor = halfpel_predictor(reference, pred_x, pred_y, half_x, half_y)
-    del best_so_far  # early termination intentionally not applied (determinism)
+    if early_terminate and best_so_far is not None:
+        return sad_early_exit(block, predictor, best_so_far)
     return block_sad(block, predictor)
 
 

@@ -11,17 +11,23 @@ can be replayed under different memory layouts.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Tuple
 
 import numpy as np
 
 from repro.rfu.loop_model import InterpMode
 
 
-@dataclass(frozen=True)
-class MeInvocation:
-    """One GetSad call."""
+class MeInvocation(NamedTuple):
+    """One GetSad call.
+
+    A NamedTuple rather than a dataclass: motion estimation creates one of
+    these per candidate (tens of thousands per encode), and tuple
+    construction is several times cheaper than a frozen dataclass'
+    ``object.__setattr__`` loop — it shows up directly in GetSad
+    candidate-evaluation throughput."""
 
     frame: int           # index of the *current* frame being encoded
     mb_x: int            # macroblock origin, pixels
@@ -43,11 +49,29 @@ class MeTrace:
     def append(self, invocation: MeInvocation) -> None:
         self.invocations.append(invocation)
 
+    def extend(self, invocations: Iterable[MeInvocation]) -> None:
+        self.invocations.extend(invocations)
+
     def __len__(self) -> int:
         return len(self.invocations)
 
     def __iter__(self) -> Iterator[MeInvocation]:
         return iter(self.invocations)
+
+    def signature(self) -> str:
+        """Stable digest of the full invocation stream.
+
+        Two traces have equal signatures iff they are call-for-call
+        identical (order, coordinates, mode, SAD, flags) — the byte-identity
+        check the fast-ME engine is held to against the scalar path."""
+        digest = hashlib.sha256()
+        for inv in self.invocations:
+            digest.update(
+                f"{inv.frame},{inv.mb_x},{inv.mb_y},{inv.pred_x},"
+                f"{inv.pred_y},{inv.mode.name},{inv.sad},"
+                f"{int(inv.is_refinement)},{int(inv.chosen)};"
+                .encode("ascii"))
+        return digest.hexdigest()
 
     # -- workload statistics (reported in EXPERIMENTS.md) ---------------------
     def mode_histogram(self) -> Dict[InterpMode, int]:

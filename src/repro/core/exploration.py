@@ -41,6 +41,9 @@ class ExplorationConfig:
     #: initial step of the three-step integer search; 2 puts the diagonal-
     #: interpolation call fraction near the paper's measured 18 %
     search_initial_step: int = 2
+    #: score ME candidates on the vectorized half-pel plane engine; the
+    #: GetSad trace every scenario replays is bit-identical either way
+    use_fast_engine: bool = True
     timings: MemoryTimings = field(default_factory=MemoryTimings)
     cost_model: CycleCostModel = field(default_factory=CycleCostModel)
 
@@ -108,7 +111,8 @@ class Exploration:
                 frames=self.config.frames, seed=self.config.seed))
             encoder = Mpeg4Encoder(EncoderConfig(
                 qp=self.config.qp,
-                strategy=ThreeStepSearch(self.config.search_initial_step)))
+                strategy=ThreeStepSearch(self.config.search_initial_step),
+                use_fast_engine=self.config.use_fast_engine))
             self._report = encoder.encode(sequence)
         return self._report
 

@@ -31,7 +31,41 @@ class TestCommands:
     def test_encode_full_search(self, capsys):
         assert main(["encode", "--frames", "2", "--strategy", "full",
                      "--range", "2"]) == 0
-        assert "diagonal" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "diagonal" in captured.out
+        assert "warning" not in captured.err
+
+    def test_encode_diamond_search(self, capsys):
+        assert main(["encode", "--frames", "2", "--strategy", "diamond",
+                     "--range", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "GetSad calls" in captured.out
+        assert "warning" not in captured.err
+
+    def test_encode_warns_on_inapplicable_step(self, capsys):
+        assert main(["encode", "--frames", "2", "--strategy", "full",
+                     "--step", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "--step is ignored" in err
+
+    def test_encode_warns_on_inapplicable_range(self, capsys):
+        assert main(["encode", "--frames", "2", "--strategy", "three-step",
+                     "--range", "8"]) == 0
+        err = capsys.readouterr().err
+        assert "--range is ignored" in err
+
+    def test_encode_applicable_flags_do_not_warn(self, capsys):
+        assert main(["encode", "--frames", "2", "--strategy", "three-step",
+                     "--step", "2"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_encode_scalar_and_early_terminate_paths(self, capsys):
+        assert main(["encode", "--frames", "2", "--no-fast-me"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(["encode", "--frames", "2", "--early-terminate"]) == 0
+        early_out = capsys.readouterr().out
+        # same encode decisions either way: identical bit/PSNR summary
+        assert scalar_out.splitlines()[-2:] == early_out.splitlines()[-2:]
 
     def test_kernels_table(self, capsys):
         assert main(["kernels", "--variant", "a3"]) == 0

@@ -1,0 +1,355 @@
+"""Differential tests for the vectorized half-pel SAD engine.
+
+The engine (:mod:`repro.codec.fastme`) must be *bit-exact* with the scalar
+GetSad models: every plane value equals what ``halfpel_predictor`` computes,
+every batched SAD equals the per-call ``getsad`` / ``getsad_reference``
+value, and the motion estimator produces call-for-call identical traces
+with the engine on or off.  Early termination may truncate losing
+candidates' SADs but must never change a chosen motion vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.fastme import STREAM_CHUNK, FastSadEngine, ReferencePlanes
+from repro.codec.interp import halfpel_planes, halfpel_predictor, \
+    mode_from_halfpel
+from repro.codec.motion import DiamondSearch, FullSearch, MotionEstimator, \
+    ThreeStepSearch
+from repro.codec.sad import getsad, getsad_reference
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.codec.tracer import MeTrace
+from repro.errors import CodecError
+from repro.rfu.loop_model import InterpMode
+
+
+def _frame_pair(seed: int, height: int = 48, width: int = 64):
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+    shifted = np.roll(base, (rng.integers(-2, 3), rng.integers(-2, 3)),
+                      axis=(0, 1))
+    noise = rng.integers(-6, 7, size=(height, width))
+    current = np.clip(shifted.astype(np.int16) + noise, 0, 255) \
+        .astype(np.uint8)
+    return current, base
+
+
+def _all_mode_candidates(width: int, height: int, seed: int, count: int = 40):
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for _ in range(count):
+        half_x = int(rng.integers(0, 2))
+        half_y = int(rng.integers(0, 2))
+        px = int(rng.integers(0, width - 16 - half_x + 1))
+        py = int(rng.integers(0, height - 16 - half_y + 1))
+        candidates.append((px, py, half_x, half_y))
+    # pin the extreme corners of every mode
+    for half_x in (0, 1):
+        for half_y in (0, 1):
+            candidates.append((0, 0, half_x, half_y))
+            candidates.append((width - 16 - half_x, height - 16 - half_y,
+                               half_x, half_y))
+    return candidates
+
+
+class TestHalfpelPlanes:
+    def test_planes_match_per_call_predictor(self):
+        _, reference = _frame_pair(1)
+        planes = halfpel_planes(reference)
+        height, width = reference.shape
+        for mode in InterpMode:
+            extra_x = 1 if mode in (InterpMode.H, InterpMode.HV) else 0
+            extra_y = 1 if mode in (InterpMode.V, InterpMode.HV) else 0
+            for px, py in [(0, 0), (3, 5), (width - 16 - extra_x,
+                                            height - 16 - extra_y)]:
+                half_x = 1 if extra_x else 0
+                half_y = 1 if extra_y else 0
+                expected = halfpel_predictor(reference, px, py,
+                                             half_x, half_y)
+                got = planes[mode][py:py + 16, px:px + 16]
+                assert np.array_equal(got, expected), (mode, px, py)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(CodecError):
+            halfpel_planes(np.zeros((4, 4, 4), dtype=np.uint8))
+
+
+class TestEngineBitExactness:
+    def test_engine_getsad_matches_scalar_all_modes(self):
+        current, reference = _frame_pair(2)
+        engine = FastSadEngine()
+        height, width = reference.shape
+        for px, py, half_x, half_y in _all_mode_candidates(width, height, 3):
+            expected = getsad(current, reference, 16, 16, px, py,
+                              half_x, half_y)
+            assert engine.getsad(current, reference, 16, 16, px, py,
+                                 half_x, half_y) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), mb=st.sampled_from([(0, 0), (16, 16),
+                                                            (48, 32)]),
+           half_x=st.integers(0, 1), half_y=st.integers(0, 1),
+           px=st.integers(0, 40), py=st.integers(0, 24))
+    def test_property_engine_vs_listing1_reference(self, seed, mb, half_x,
+                                                   half_y, px, py):
+        current, reference = _frame_pair(seed)
+        engine = FastSadEngine()
+        mb_x, mb_y = mb
+        expected = getsad_reference(current, reference, mb_x, mb_y, px, py,
+                                    half_x, half_y)
+        assert engine.getsad(current, reference, mb_x, mb_y, px, py,
+                             half_x, half_y) == expected
+        assert getsad(current, reference, mb_x, mb_y, px, py,
+                      half_x, half_y) == expected
+
+    def test_sad_many_matches_per_call(self):
+        current, reference = _frame_pair(4)
+        engine = FastSadEngine()
+        height, width = reference.shape
+        candidates = _all_mode_candidates(width, height, 5)
+        batched = engine.sad_many(current, reference, 16, 16, candidates)
+        for candidate, sad in zip(candidates, batched):
+            assert sad == getsad(current, reference, 16, 16, *candidate)
+
+    def test_sad_many_empty(self):
+        current, reference = _frame_pair(6)
+        assert FastSadEngine().sad_many(current, reference, 0, 0, []) == []
+
+    def test_sad_map_matches_per_call(self):
+        current, reference = _frame_pair(7)
+        engine = FastSadEngine()
+        sad_map = engine.sad_map(current, reference, 16, 16, 10, 20, 6, 14)
+        for j, py in enumerate(range(6, 15)):
+            for i, px in enumerate(range(10, 21)):
+                assert sad_map[j, i] == getsad(current, reference, 16, 16,
+                                               px, py)
+
+    def test_sad_stream_matches_per_call(self):
+        current, reference = _frame_pair(8)
+        engine = FastSadEngine()
+        height, width = reference.shape
+        rows = []
+        for mb_x in range(0, width - 15, 16):
+            for mb_y in range(0, height - 15, 16):
+                for candidate in _all_mode_candidates(width, height,
+                                                      mb_x + mb_y, count=16):
+                    rows.append((mb_x, mb_y) + candidate)
+        arrays = [np.array(column) for column in zip(*rows)]
+        sads = engine.sad_stream(current, reference, *arrays)
+        assert len(rows) > STREAM_CHUNK  # exercises the chunked path
+        for row, sad in zip(rows, sads):
+            mb_x, mb_y, px, py, half_x, half_y = row
+            assert sad == getsad(current, reference, mb_x, mb_y, px, py,
+                                 half_x, half_y)
+
+    def test_early_terminate_partials_match_scalar_model(self):
+        current, reference = _frame_pair(9)
+        engine = FastSadEngine()
+        for best in (0, 100, 1000, 1 << 20):
+            expected = getsad(current, reference, 16, 16, 5, 7, 1, 1,
+                              best_so_far=best, early_terminate=True)
+            assert engine.getsad(current, reference, 16, 16, 5, 7, 1, 1,
+                                 best_so_far=best,
+                                 early_terminate=True) == expected
+
+
+class TestEngineValidation:
+    def setup_method(self):
+        self.current, self.reference = _frame_pair(10)
+        self.engine = FastSadEngine()
+
+    def test_bad_flags_rejected(self):
+        for flags in [(2, 0), (0, 2), (-1, 0), (0, -1)]:
+            with pytest.raises(CodecError):
+                self.engine.getsad(self.current, self.reference, 0, 0,
+                                   0, 0, *flags)
+            with pytest.raises(CodecError):
+                self.engine.sad_many(self.current, self.reference, 0, 0,
+                                     [(0, 0) + flags])
+            with pytest.raises(CodecError):
+                self.engine.sad_stream(
+                    self.current, self.reference, np.array([0]),
+                    np.array([0]), np.array([0]), np.array([0]),
+                    np.array([flags[0]]), np.array([flags[1]]))
+
+    def test_out_of_bounds_rejected(self):
+        height, width = self.reference.shape
+        bad = [(-1, 0, 0, 0), (0, -1, 0, 0),
+               (width - 15, 0, 0, 0), (0, height - 15, 0, 0),
+               (width - 16, 0, 1, 0), (0, height - 16, 0, 1)]
+        for candidate in bad:
+            with pytest.raises(CodecError):
+                self.engine.getsad(self.current, self.reference, 0, 0,
+                                   *candidate)
+            with pytest.raises(CodecError):
+                self.engine.sad_many(self.current, self.reference, 0, 0,
+                                     [candidate])
+
+    def test_sad_map_window_validated(self):
+        with pytest.raises(CodecError):
+            self.engine.sad_map(self.current, self.reference, 0, 0,
+                                0, self.reference.shape[1] - 15, 0, 0)
+
+    def test_block_rows_requires_grid_alignment(self):
+        with pytest.raises(CodecError):
+            self.engine.block_rows(self.current, np.array([8]),
+                                   np.array([0]))
+        with pytest.raises(CodecError):
+            self.engine.block_rows(self.current, np.array([0]),
+                                   np.array([self.current.shape[0]]))
+
+
+class TestEngineCaching:
+    def test_plane_cache_hits_and_builds(self):
+        current, reference = _frame_pair(11)
+        engine = FastSadEngine()
+        engine.getsad(current, reference, 0, 0, 0, 0)
+        engine.getsad(current, reference, 0, 0, 1, 1)
+        assert engine.plane_builds == 1
+        assert engine.plane_hits == 1
+
+    def test_identical_content_different_array_rebuilds(self):
+        current, reference = _frame_pair(12)
+        engine = FastSadEngine()
+        engine.getsad(current, reference, 0, 0, 0, 0)
+        engine.getsad(current, reference.copy(), 0, 0, 0, 0)
+        assert engine.plane_builds == 2
+
+    def test_lru_eviction(self):
+        current, ref_a = _frame_pair(13)
+        _, ref_b = _frame_pair(14)
+        engine = FastSadEngine(max_cached_references=1)
+        engine.planes(ref_a)
+        engine.planes(ref_b)   # evicts ref_a
+        engine.planes(ref_a)   # rebuild
+        assert engine.plane_builds == 3
+
+    def test_cache_needs_a_slot(self):
+        with pytest.raises(CodecError):
+            FastSadEngine(max_cached_references=0)
+
+    def test_block_matches_slice_cast(self):
+        current, _ = _frame_pair(15)
+        engine = FastSadEngine()
+        for mb_x, mb_y in [(0, 0), (16, 32), (48, 32),  # aligned, cached
+                           (7, 9), (3, 32)]:            # unaligned fallback
+            expected = current[mb_y:mb_y + 16, mb_x:mb_x + 16] \
+                .astype(np.int16)
+            got = engine.block(current, mb_x, mb_y)
+            assert got.dtype == np.int16
+            assert np.array_equal(got, expected), (mb_x, mb_y)
+
+    def test_block_matrix_reused_per_frame(self):
+        current, _ = _frame_pair(16)
+        engine = FastSadEngine()
+        first = engine.block_matrix(current)
+        assert engine.block_matrix(current) is first
+
+
+class TestEdgeMacroblockClamp:
+    """Regression for the integer-search edge clamp (satellite bugfix).
+
+    The clamp used to demand a 17x17 predictor for *integer* candidates,
+    silently excluding every offset whose 16x16 block touches the plane's
+    last row or column — for an edge macroblock that includes the zero
+    offset and the true motion."""
+
+    def test_full_search_finds_motion_at_bottom_right_macroblock(self):
+        reference = np.random.default_rng(17).integers(
+            0, 256, size=(64, 64), dtype=np.uint8)
+        current = reference.copy()
+        # the bottom-right macroblock moved down by 3: its best predictor
+        # is at offset (0, -3), whose block ends exactly at the plane edge
+        current[48:64, 48:64] = reference[45:61, 48:64]
+        for fast in (True, False):
+            estimator = MotionEstimator(strategy=FullSearch(4),
+                                        use_fast_engine=fast)
+            mv = estimator.estimate(current, reference, 48, 48,
+                                    frame_index=0)
+            assert (mv.dx, mv.dy) == (0, -6), f"fast={fast}"  # half-pel units
+            assert mv.sad == 0
+
+    def test_edge_macroblock_evaluates_zero_offset(self):
+        current, reference = _frame_pair(18, height=64, width=64)
+        trace = MeTrace()
+        estimator = MotionEstimator(strategy=ThreeStepSearch(2))
+        estimator.estimate(current, reference, 48, 48, frame_index=0,
+                           trace=trace)
+        zero = [inv for inv in trace
+                if (inv.pred_x, inv.pred_y) == (48, 48)
+                and not inv.is_refinement]
+        assert zero, "the zero offset of an edge macroblock must be scored"
+
+
+def _me_pass(strategy, frames, *, use_fast_engine, early_terminate=False):
+    estimator = MotionEstimator(strategy=strategy,
+                                use_fast_engine=use_fast_engine,
+                                early_terminate=early_terminate)
+    trace = MeTrace()
+    vectors = []
+    for index in range(1, len(frames)):
+        current, reference = frames[index], frames[index - 1]
+        height, width = current.shape
+        for mb_y in range(0, height, 16):
+            for mb_x in range(0, width, 16):
+                mv = estimator.estimate(current, reference, mb_x, mb_y,
+                                        frame_index=index, trace=trace)
+                vectors.append((mb_x, mb_y, mv.dx, mv.dy, mv.sad))
+    return trace, vectors
+
+
+@pytest.fixture(scope="module")
+def qcif_frames():
+    sequence = synthetic_sequence(SyntheticSequenceConfig(frames=4,
+                                                          seed=2002))
+    return [frame.y for frame in sequence]
+
+
+class TestTraceByteIdentity:
+    @pytest.mark.parametrize("make_strategy", [
+        lambda: ThreeStepSearch(2),
+        lambda: FullSearch(6),
+        lambda: DiamondSearch(8),
+    ], ids=["three-step", "full", "diamond"])
+    def test_engine_trace_identical_to_scalar_path(self, qcif_frames,
+                                                   make_strategy):
+        slow_trace, slow_vectors = _me_pass(make_strategy(), qcif_frames,
+                                            use_fast_engine=False)
+        fast_trace, fast_vectors = _me_pass(make_strategy(), qcif_frames,
+                                            use_fast_engine=True)
+        assert fast_vectors == slow_vectors
+        assert fast_trace.signature() == slow_trace.signature()
+
+    def test_early_termination_preserves_chosen_vectors(self, qcif_frames):
+        exact_trace, exact_vectors = _me_pass(ThreeStepSearch(2), qcif_frames,
+                                              use_fast_engine=True)
+        for fast in (True, False):
+            early_trace, early_vectors = _me_pass(
+                ThreeStepSearch(2), qcif_frames, use_fast_engine=fast,
+                early_terminate=True)
+            # chosen motion vectors and their SADs are bit-identical ...
+            assert early_vectors == exact_vectors, f"fast={fast}"
+            # ... and the trace marks the same calls chosen, with winners'
+            # SADs exact (only losers may be truncated, never below-best)
+            assert len(early_trace) == len(exact_trace)
+            for early, exact in zip(early_trace, exact_trace):
+                assert early.chosen == exact.chosen
+                assert early[:6] == exact[:6]  # coords + mode
+                if early.chosen:
+                    assert early.sad == exact.sad
+                else:
+                    # a truncated SAD is a prefix sum: a lower bound
+                    assert early.sad <= exact.sad
+
+    def test_strategies_return_offset_with_sad(self, qcif_frames):
+        current, reference = qcif_frames[1], qcif_frames[0]
+        height, width = current.shape
+        estimator = MotionEstimator(strategy=ThreeStepSearch(2),
+                                    refine_halfpel=False)
+        mv = estimator.estimate(current, reference, 32, 32, frame_index=1)
+        assert mv.sad == getsad(current, reference, 32, 32,
+                                32 + mv.dx // 2, 32 + mv.dy // 2)
