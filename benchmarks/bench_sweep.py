@@ -1,0 +1,96 @@
+"""Sweep-orchestration benchmark: cold vs warm cache, with assertions.
+
+Standalone usage (the acceptance smoke of the sweep work; CI runs the
+3-frame form)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--frames 3]
+                                                    [--jobs 2]
+                                                    [--min-hit-rate 0.8]
+
+The script runs the full experiment sweep twice against a fresh temporary
+sweep directory:
+
+1. **cold** — empty cache: every cell executes (``--jobs`` of them
+   concurrently);
+2. **warm** — identical configuration: cells must restore from the
+   on-disk cache.
+
+It then asserts, before reporting any timing:
+
+* the two reports are **byte-identical**;
+* the warm run's cache-hit rate is at least ``--min-hit-rate`` (default
+  0.8, i.e. a warm rerun skips >= 80% of the runner work), verified from
+  the ``cache_hit`` events in the JSONL run log, not just the summary;
+* no cell failed in either run.
+
+Exit status is non-zero on any violation, so the script doubles as a CI
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sweep import SweepConfig, read_events, run_sweep
+
+DEFAULT_FRAMES = 3
+DEFAULT_JOBS = 2
+DEFAULT_MIN_HIT_RATE = 0.8
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--min-hit-rate", type=float,
+                        default=DEFAULT_MIN_HIT_RATE)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        config = SweepConfig(frames=args.frames, jobs=args.jobs,
+                             root=Path(tmp))
+        started = time.perf_counter()
+        cold = run_sweep(config)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_sweep(config)
+        warm_s = time.perf_counter() - started
+
+        failures = []
+        if cold.failures or warm.failures:
+            failures.append(
+                f"failed cells: cold={[c.name for c in cold.failures]} "
+                f"warm={[c.name for c in warm.failures]}")
+        if cold.report != warm.report:
+            failures.append("cold and warm reports are not byte-identical")
+        if cold.cache_hits != 0:
+            failures.append(f"cold run hit the cache {cold.cache_hits}x "
+                            f"(expected a cold start)")
+        hits = read_events(warm.run_log, "cache_hit")
+        hit_rate = len(hits) / len(warm.cells)
+        if hit_rate < args.min_hit_rate:
+            failures.append(f"warm hit rate {hit_rate:.0%} below the "
+                            f"{args.min_hit_rate:.0%} gate "
+                            f"(hits: {sorted(e['cell'] for e in hits)})")
+
+        print(f"sweep x{len(cold.cells)} cells, {args.frames} frames, "
+              f"jobs={args.jobs}")
+        print(f"  cold: {cold_s:6.2f}s  "
+              f"({cold.sweep_report['totals']['executed']} executed)")
+        print(f"  warm: {warm_s:6.2f}s  ({len(hits)} cache hits, "
+              f"hit rate {hit_rate:.0%}, {cold_s / max(warm_s, 1e-9):.0f}x "
+              f"faster)")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("OK: byte-identical reports, cache gate passed")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,29 +1,54 @@
 #!/usr/bin/env python
 """Reproduce every table and figure of the paper and print the report.
 
-The default workload matches the paper (25 QCIF frames, Q = 10); pass a
-smaller frame count for a quick look::
+Runs through the cached sweep orchestrator (``repro.sweep``): the first
+run encodes and replays everything; re-runs restore unchanged cells from
+the on-disk cache in seconds, and only cells invalidated by a workload or
+``src/repro`` code change are recomputed.  The default workload matches
+the paper (25 QCIF frames, Q = 10)::
 
-    python examples/reproduce_paper.py          # full, a few minutes
-    python examples/reproduce_paper.py 6        # quick
-    python examples/reproduce_paper.py 25 out.md  # also write a file
+    python examples/reproduce_paper.py               # full, a few minutes
+    python examples/reproduce_paper.py 6             # quick
+    python examples/reproduce_paper.py 25 out.md     # also write a file
+    python examples/reproduce_paper.py 25 --jobs 4   # parallel fan-out
+    python examples/reproduce_paper.py 25 --no-cache # force recompute
+
+Cache, run logs and ``sweep_report.json`` land under ``.repro-sweep/``;
+``python -m repro sweep`` exposes the same machinery with more knobs.
 """
 
+import argparse
 import sys
 
-from repro.experiments import run_all
+from repro.sweep import SweepConfig, run_sweep
 
 
-def main() -> None:
-    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 25
-    report = run_all(frames=frames, verbose=True)
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("frames", nargs="?", type=int, default=25)
+    parser.add_argument("output", nargs="?", default=None)
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    result = run_sweep(
+        SweepConfig(frames=args.frames, jobs=args.jobs,
+                    use_cache=not args.no_cache),
+        progress=lambda message: print(message, flush=True))
     print()
-    print(report)
-    if len(sys.argv) > 2:
-        with open(sys.argv[2], "w") as handle:
-            handle.write(report + "\n")
-        print(f"\nwritten to {sys.argv[2]}")
+    print(result.report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.report + "\n")
+        print(f"\nwritten to {args.output}")
+    totals = result.sweep_report["totals"]
+    print(f"\nsweep: {totals['cells']} cells, {totals['cache_hits']} cache "
+          f"hits, {totals['errors']} failed in {totals['wall_s']:.1f}s; "
+          f"run log {result.run_log}")
+    return 1 if result.failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    status = main()
+    if status:
+        sys.exit(status)

@@ -3,6 +3,10 @@
 Commands:
 
 * ``report``   — regenerate the paper's tables/figures (EXPERIMENTS-style);
+* ``sweep``    — the same report through the parallel, cached sweep
+  orchestrator (``--jobs``, ``--only``, ``--no-cache``; run logs and
+  ``sweep_report.json`` land under ``--sweep-dir``, default
+  ``.repro-sweep/``);
 * ``encode``   — run the MPEG4-SP encoder substrate and print statistics;
 * ``kernels``  — compile, verify and time every GetSad kernel shape;
 * ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule.
@@ -26,6 +30,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"written to {args.output}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.sweep import SweepConfig, run_sweep
+    config = SweepConfig(
+        frames=args.frames,
+        seed=args.seed,
+        jobs=args.jobs,
+        extensions=not args.no_extensions,
+        only=args.only or None,
+        root=pathlib.Path(args.sweep_dir),
+        cache_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        use_cache=not args.no_cache,
+    )
+    progress = None if args.quiet else \
+        (lambda message: print(message, file=sys.stderr, flush=True))
+    result = run_sweep(config, progress=progress)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.report + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(result.report)
+    if args.stamp:
+        from repro.experiments.report import stamp_sweep_provenance
+        path = pathlib.Path(args.stamp)
+        stamped = stamp_sweep_provenance(
+            path.read_text(encoding="utf-8") if path.exists() else "",
+            result.sweep_report)
+        path.write_text(stamped, encoding="utf-8")
+        print(f"provenance stamped into {args.stamp}")
+    totals = result.sweep_report["totals"]
+    print(f"sweep: {totals['cells']} cells, {totals['cache_hits']} cache "
+          f"hits, {totals['executed']} executed, {totals['errors']} failed "
+          f"in {totals['wall_s']:.1f}s; run log {result.run_log}",
+          file=sys.stderr)
+    if result.failures:
+        for cell in result.failures:
+            print(f"FAILED {cell.name}: "
+                  f"{cell.error.strip().splitlines()[-1]}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -120,6 +168,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-extensions", action="store_true",
                         help="skip the beyond-the-paper experiments")
     report.set_defaults(handler=_cmd_report)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="regenerate the report via the parallel, cached sweep runner")
+    sweep.add_argument("--frames", type=int, default=25)
+    sweep.add_argument("--seed", type=int, default=2002)
+    sweep.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes to fan cells across "
+                            "(default 1 = serial)")
+    sweep.add_argument("--only", action="append", metavar="CELL",
+                       help="run only this cell (repeatable), e.g. "
+                            "--only table3 --only figure2")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not write the on-disk cell cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cell cache location (default "
+                            "<sweep-dir>/cache)")
+    sweep.add_argument("--sweep-dir", default=".repro-sweep",
+                       help="root for the cache, JSONL run logs and "
+                            "sweep_report.json (default .repro-sweep)")
+    sweep.add_argument("--output", "-o", default=None)
+    sweep.add_argument("--stamp", default=None, metavar="MARKDOWN",
+                       help="stamp this markdown file (e.g. EXPERIMENTS.md) "
+                            "with the sweep's timing provenance block")
+    sweep.add_argument("--quiet", "-q", action="store_true")
+    sweep.add_argument("--no-extensions", action="store_true",
+                       help="skip the beyond-the-paper experiments")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     encode = sub.add_parser("encode", help="run the encoder substrate")
     encode.add_argument("--frames", type=int, default=10)

@@ -10,10 +10,18 @@ The encoder runs once (functional, numpy); its GetSad trace then replays
 under each architectural scenario.  Whole-application numbers (the paper's
 25.6 % initial profile and Table 7's %Rel column) combine the ME kernel
 cycles with the non-ME cost model.
+
+Scenario replays are mutually independent (each builds a fresh memory
+system over the shared immutable trace), so :meth:`Exploration.run`
+accepts a ``jobs`` knob that fans them across forked worker processes —
+the parent materialises the trace, the replayer and the shared baseline
+stall replay first, so workers inherit the expensive state copy-on-write
+and results are identical to the serial path in the original order.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -127,16 +135,58 @@ class Exploration:
         return self.config.cost_model.non_me_cycles(self.encoder_report.work)
 
     def run(self, scenarios: Iterable[Scenario],
-            include_baseline: bool = True) -> ExplorationResult:
-        """Replay the listed scenarios (plus the baseline unless disabled)."""
+            include_baseline: bool = True,
+            jobs: int = 1) -> ExplorationResult:
+        """Replay the listed scenarios (plus the baseline unless disabled).
+
+        ``jobs > 1`` replays the scenarios across that many forked worker
+        processes (independent replays, deterministic result ordering);
+        it falls back to the serial path where ``fork`` is unavailable.
+        """
         scenarios = list(scenarios)
         if include_baseline and not any(s.name == "orig" for s in scenarios):
             scenarios.insert(0, instruction_scenario("orig"))
-        results = {scenario.name: self.replayer.replay(scenario)
-                   for scenario in scenarios}
+        if jobs > 1 and len(scenarios) > 1 \
+                and "fork" in multiprocessing.get_all_start_methods():
+            results = self._replay_parallel(scenarios, jobs)
+        else:
+            results = {scenario.name: self.replayer.replay(scenario)
+                       for scenario in scenarios}
         return ExplorationResult(
             config=self.config,
             encoder_report=self.encoder_report,
             results=results,
             non_me_cycles=self.non_me_cycles(),
         )
+
+    def _replay_parallel(self, scenarios: List[Scenario],
+                         jobs: int) -> Dict[str, MeTimingResult]:
+        """Fan independent scenario replays across forked workers.
+
+        The instruction-level scenarios share one baseline stall replay;
+        it is computed here, in the parent, so every forked worker
+        inherits the cached result instead of recomputing it."""
+        replayer = self.replayer
+        first_instruction = next(
+            (s for s in scenarios if s.kind == "instruction"), None)
+        if first_instruction is not None:
+            replayer._replay_instruction_stalls(first_instruction)
+        global _FORK_EXPLORATION
+        _FORK_EXPLORATION = self
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(min(jobs, len(scenarios))) as pool:
+                timings = pool.map(_replay_in_worker, scenarios)
+        finally:
+            _FORK_EXPLORATION = None
+        return {scenario.name: timing
+                for scenario, timing in zip(scenarios, timings)}
+
+
+#: the exploration the forked replay workers operate on (set by the parent
+#: immediately before the fork, inherited copy-on-write by the children)
+_FORK_EXPLORATION: Optional[Exploration] = None
+
+
+def _replay_in_worker(scenario: Scenario) -> MeTimingResult:
+    return _FORK_EXPLORATION.replayer.replay(scenario)

@@ -62,6 +62,19 @@ class MeTimingResult:
     def stall_fraction(self) -> float:
         return self.stall_cycles / self.total_cycles if self.total_cycles else 0.0
 
+    def as_dict(self) -> Dict[str, int]:
+        """Cycle totals as a JSON-serialisable dict (sweep observability).
+
+        These are deterministic replay numbers — a serial and a parallel
+        sweep of the same workload log identical values, which the sweep
+        differential tests assert."""
+        return {
+            "static_cycles": self.static_cycles,
+            "stall_cycles": self.stall_cycles,
+            "total_cycles": self.total_cycles,
+            "invocations": self.invocations,
+        }
+
 
 class TraceReplayer:
     """Replays one MeTrace under arbitrary scenarios."""

@@ -1,9 +1,23 @@
-"""Text rendering of reproduced tables."""
+"""Text rendering of reproduced artefacts and sweep provenance.
+
+:class:`ExperimentTable` and :class:`ExperimentFigure` are the containers
+every ``run_table*``/``run_figure*`` runner returns — measured rows next
+to the paper's reference values, rendered to aligned plain text so the
+EXPERIMENTS report diffs cleanly between runs.
+
+The module also owns the *provenance stamp*:
+:func:`render_sweep_provenance` turns a ``sweep_report.json`` dict (see
+:mod:`repro.sweep.events`) into a markdown block recording when the sweep
+ran, on which workload and code version, with what parallelism, and how
+long each cell took (or that it was restored from cache), and
+:func:`stamp_sweep_provenance` splices that block into EXPERIMENTS.md
+between ``<!-- sweep:provenance -->`` markers.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -70,3 +84,64 @@ def fmt(value: float, digits: int = 2) -> str:
 
 def pct(value: float, digits: int = 1) -> str:
     return f"{100.0 * value:.{digits}f}%"
+
+
+PROVENANCE_BEGIN = "<!-- sweep:provenance -->"
+PROVENANCE_END = "<!-- /sweep:provenance -->"
+
+
+def render_sweep_provenance(sweep_report: Dict) -> str:
+    """Render a ``sweep_report.json`` dict as a markdown provenance block.
+
+    The block records the generation timestamp, workload, code version,
+    job count and per-cell timing (wall seconds, or "cache" for restored
+    cells, or "FAILED"), so a stamped EXPERIMENTS.md states exactly which
+    sweep produced its numbers and what that sweep cost.
+    """
+    workload = sweep_report.get("workload", {})
+    totals = sweep_report.get("totals", {})
+    lines = [
+        "### Timing provenance",
+        "",
+        f"Generated {sweep_report.get('generated_at', '?')} by "
+        f"`python -m repro sweep` — {workload.get('frames', '?')} frames, "
+        f"seed {workload.get('seed', '?')}, code version "
+        f"`{sweep_report.get('code_version', '?')}`, "
+        f"jobs {sweep_report.get('jobs', '?')}: "
+        f"{totals.get('cells', '?')} cells "
+        f"({totals.get('cache_hits', 0)} cache hits, "
+        f"{totals.get('errors', 0)} errors) in "
+        f"{totals.get('wall_s', 0):.1f}s.",
+        "",
+        "| cell | wall s | source |",
+        "|---|---|---|",
+    ]
+    for cell in sweep_report.get("cells", []):
+        if cell.get("error"):
+            source = "FAILED"
+        elif cell.get("cached"):
+            source = "cache"
+        else:
+            source = "executed"
+        lines.append(f"| {cell['name']} | {cell.get('wall_s', 0):.2f} "
+                     f"| {source} |")
+    return "\n".join(lines)
+
+
+def stamp_sweep_provenance(text: str, sweep_report: Dict) -> str:
+    """Insert/replace the provenance block of a markdown document.
+
+    The block lives between :data:`PROVENANCE_BEGIN` and
+    :data:`PROVENANCE_END`; documents without the markers get the block
+    appended.  Returns the stamped text.
+    """
+    block = (f"{PROVENANCE_BEGIN}\n"
+             f"{render_sweep_provenance(sweep_report)}\n"
+             f"{PROVENANCE_END}")
+    begin = text.find(PROVENANCE_BEGIN)
+    end = text.find(PROVENANCE_END)
+    if begin != -1 and end != -1 and end >= begin:
+        return text[:begin] + block + text[end + len(PROVENANCE_END):]
+    if not text.endswith("\n"):
+        text += "\n"
+    return text + "\n" + block + "\n"

@@ -1,10 +1,32 @@
-"""Run every experiment and assemble the EXPERIMENTS.md report."""
+"""Run every experiment and assemble the EXPERIMENTS.md report.
+
+This module is the *registry* of the paper's reproduction: it names every
+cell of the evaluation — the initial profile, Tables 1-7, Figures 1-4 and
+the beyond-the-paper extension experiments — in report order, and knows how
+to render each one (:func:`run_cell`).  Two drivers sit on top of it:
+
+* :func:`run_all` — the serial, in-process driver used by the tests, the
+  ``report`` CLI subcommand, and anything that wants the full report as one
+  string;
+* :mod:`repro.sweep` — the parallel, cached sweep orchestrator (``python -m
+  repro sweep``), which fans the same cells across worker processes and
+  memoises them on disk.  Both drivers render cells through the same
+  :func:`run_cell`, so their table/figure sections are byte-identical.
+
+A failing runner no longer aborts the whole sweep: :func:`run_all` isolates
+each runner's exceptions, substitutes an error section, finishes the rest,
+and raises one :class:`~repro.errors.ExperimentError` summarising every
+failure at the end (pass ``raise_on_error=False`` to get the partial report
+back instead).
+"""
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ExperimentError
 from repro.experiments.figures import (
     run_figure1,
     run_figure2,
@@ -56,37 +78,97 @@ FIGURE_RUNNERS = [
     ("figure4", run_figure4),
 ]
 
+#: every cell the report can contain: name -> (kind, runner).  ``table``
+#: and ``extension`` runners take the shared :class:`ExperimentContext`;
+#: ``figure`` runners regenerate from the live platform models alone.
+RUNNERS: Dict[str, Tuple[str, Callable]] = {}
+for _name, _runner in TABLE_RUNNERS:
+    RUNNERS[_name] = ("table", _runner)
+for _name, _runner in FIGURE_RUNNERS:
+    RUNNERS[_name] = ("figure", _runner)
+for _name, _runner in EXTENSION_RUNNERS:
+    RUNNERS[_name] = ("extension", _runner)
 
-def run_all(frames: int = 25, context: Optional[ExperimentContext] = None,
-            verbose: bool = False, extensions: bool = True) -> str:
-    """Run every table and figure; returns the full text report.
 
-    ``extensions`` additionally runs the beyond-the-paper experiments
-    (future-work stacking and the ablation sweeps)."""
-    context = context or get_context(frames)
-    sections: List[str] = []
-    started = time.time()
-    for name, runner in TABLE_RUNNERS:
-        if verbose:
-            print(f"running {name}...", flush=True)
-        sections.append(runner(context).render())
-    for name, runner in FIGURE_RUNNERS:
-        if verbose:
-            print(f"running {name}...", flush=True)
-        sections.append(runner().render())
+def cell_names(extensions: bool = True) -> List[str]:
+    """Cell names in report order (tables, figures, then extensions)."""
+    names = [name for name, _ in TABLE_RUNNERS]
+    names += [name for name, _ in FIGURE_RUNNERS]
     if extensions:
-        for name, runner in EXTENSION_RUNNERS:
-            if verbose:
-                print(f"running {name}...", flush=True)
-            sections.append(runner(context).render())
+        names += [name for name, _ in EXTENSION_RUNNERS]
+    return names
+
+
+def run_cell(name: str,
+             context: Optional[ExperimentContext] = None) -> str:
+    """Render one report cell (table, figure or extension) to text.
+
+    Table and extension runners receive ``context`` (a default one is
+    created from the process-wide cache when omitted); figure runners
+    regenerate from the live models and ignore it.  This is the single
+    rendering path shared by the serial runner and the parallel sweep, so
+    a cell's section is byte-identical no matter which driver produced it.
+    """
+    try:
+        kind, runner = RUNNERS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown report cell {name!r}; expected one of "
+            f"{', '.join(sorted(RUNNERS))}") from None
+    if kind == "figure":
+        return runner().render()
+    return runner(context or get_context()).render()
+
+
+def workload_header(context: ExperimentContext) -> str:
+    """The deterministic workload-description line of the report."""
     trace = context.exploration.encoder_report.trace
-    header = (
+    return (
         f"Workload: {context.config.frames} synthetic QCIF frames, "
         f"Q={context.config.qp}, three-step search (step "
         f"{context.config.search_initial_step}) + half-sample refinement; "
         f"{len(trace):,} GetSad calls, diagonal-interpolation fraction "
-        f"{100 * trace.diagonal_fraction():.1f}% (paper: 18%).\n"
+        f"{100 * trace.diagonal_fraction():.1f}% (paper: 18%)."
+    )
+
+
+def error_section(name: str, error: str) -> str:
+    """The section substituted for a cell whose runner raised."""
+    return f"{name}: ERROR — {error.strip().splitlines()[-1]}"
+
+
+def run_all(frames: int = 25, context: Optional[ExperimentContext] = None,
+            verbose: bool = False, extensions: bool = True,
+            raise_on_error: bool = True) -> str:
+    """Run every table and figure serially; returns the full text report.
+
+    ``extensions`` additionally runs the beyond-the-paper experiments
+    (future-work stacking and the ablation sweeps).  A runner that raises
+    is isolated: its section is replaced by an error marker and the
+    remaining runners still execute; the collected failures are raised as
+    one summary :class:`ExperimentError` at the end unless
+    ``raise_on_error`` is false."""
+    context = context or get_context(frames)
+    sections: List[str] = []
+    failures: List[Tuple[str, str]] = []
+    started = time.time()
+    for name in cell_names(extensions):
+        if verbose:
+            print(f"running {name}...", flush=True)
+        try:
+            sections.append(run_cell(name, context))
+        except Exception:
+            failures.append((name, traceback.format_exc()))
+            sections.append(error_section(name, failures[-1][1]))
+    header = (
+        workload_header(context) + "\n"
         f"Report generated in {time.time() - started:.1f}s of wall time "
         f"(excluding the shared encoder/replay cache)."
     )
-    return header + "\n\n" + "\n\n".join(sections)
+    report = header + "\n\n" + "\n\n".join(sections)
+    if failures and raise_on_error:
+        summary = ", ".join(name for name, _ in failures)
+        details = "\n\n".join(tb for _, tb in failures)
+        raise ExperimentError(
+            f"{len(failures)} runner(s) failed: {summary}\n{details}")
+    return report

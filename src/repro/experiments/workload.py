@@ -11,10 +11,11 @@ smaller ``frames`` for quick runs (the tests use 3-4).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.exploration import Exploration, ExplorationConfig, ExplorationResult
-from repro.core.scenarios import Scenario, instruction_scenario
+from repro.core.scenarios import Scenario, all_scenarios, instruction_scenario
 from repro.core.timing import MeTimingResult
 
 DEFAULT_FRAMES = 25
@@ -37,6 +38,23 @@ class ExperimentContext:
                 self.exploration.replayer.replay(scenario)
         return self._results[scenario.name]
 
+    def prime(self, scenarios: Optional[Iterable[Scenario]] = None,
+              jobs: int = 1) -> None:
+        """Replay ``scenarios`` (default: the full catalogue) into the cache.
+
+        With ``jobs > 1`` the missing replays fan across forked worker
+        processes (:meth:`Exploration.run`); results are identical to the
+        lazy serial path, just computed up front.  The sweep executor
+        primes the shared context before forking its cell workers so every
+        worker inherits a fully warm replay cache."""
+        wanted = list(scenarios) if scenarios is not None else all_scenarios()
+        missing = [s for s in wanted if s.name not in self._results]
+        if not missing:
+            return
+        replayed = self.exploration.run(missing, include_baseline=False,
+                                        jobs=jobs)
+        self._results.update(replayed.results)
+
     def baseline(self) -> MeTimingResult:
         return self.result(instruction_scenario("orig"))
 
@@ -58,6 +76,26 @@ class ExperimentContext:
             results=dict(self._results),
             non_me_cycles=self.non_me_cycles(),
         )
+
+
+def workload_fingerprint(config: ExplorationConfig) -> Dict:
+    """JSON-serialisable fingerprint of everything that shapes a result.
+
+    This is the "workload config" input of the sweep cache key
+    (:func:`repro.sweep.cache.cell_key`): two runs with equal fingerprints
+    replay byte-identical cells, and any knob change — frame count, seed,
+    Q, search step, the fast-engine toggle, a memory-timing or cost-model
+    constant — changes the fingerprint and invalidates every cached cell.
+    """
+    return {
+        "frames": config.frames,
+        "seed": config.seed,
+        "qp": config.qp,
+        "search_initial_step": config.search_initial_step,
+        "use_fast_engine": config.use_fast_engine,
+        "timings": asdict(config.timings),
+        "cost_model": asdict(config.cost_model),
+    }
 
 
 _CONTEXTS: Dict[Tuple[int, int], ExperimentContext] = {}

@@ -1,0 +1,49 @@
+"""Parallel, cached orchestration of the experiment sweep.
+
+The paper's evaluation is a design-space sweep — 7 tables, 4 figures and 6
+extension experiments over scenario × bandwidth × β × buffering
+combinations — and every cell of it is a pure function of (workload
+configuration, repository code).  This package exploits that purity:
+
+* :mod:`~repro.sweep.executor` fans independent cells across a process
+  pool (``--jobs``) with deterministic result ordering — workers are
+  forked *after* the shared encoder run and baseline replay are warm, so
+  they inherit the expensive state instead of recomputing it;
+* :mod:`~repro.sweep.cache` memoises rendered cells on disk, keyed by a
+  content hash of (workload config, cell name, repo code version), so a
+  re-run after an unrelated edit replays only invalidated cells and an
+  interrupted sweep resumes where it stopped;
+* :mod:`~repro.sweep.events` records structured start/finish/cache-hit
+  events (wall time, cycle totals) to a JSONL run log and distils them
+  into the ``sweep_report.json`` artifact that
+  :func:`repro.experiments.report.render_sweep_provenance` turns into the
+  EXPERIMENTS.md provenance stamp;
+* :mod:`~repro.sweep.orchestrator` ties the three together behind
+  :func:`run_sweep` / ``python -m repro sweep``.
+
+The parallel + cached path renders every cell through the same
+:func:`repro.experiments.runner.run_cell` as the serial runner, so its
+table/figure sections are byte-identical to ``python -m repro report`` —
+asserted by the differential tests in ``tests/test_sweep.py``.
+"""
+
+from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
+from repro.sweep.events import RunLog, read_events
+from repro.sweep.executor import WORKLOAD_CELL, CellResult, execute_cell, \
+    run_cells
+from repro.sweep.orchestrator import SweepConfig, SweepResult, run_sweep
+
+__all__ = [
+    "CellResult",
+    "RunLog",
+    "SweepCache",
+    "SweepConfig",
+    "SweepResult",
+    "WORKLOAD_CELL",
+    "cell_key",
+    "code_fingerprint",
+    "execute_cell",
+    "read_events",
+    "run_cells",
+    "run_sweep",
+]

@@ -1,0 +1,127 @@
+"""On-disk memoisation of rendered report cells.
+
+Every cell of the experiment sweep is a pure function of three inputs: the
+workload configuration (frames, seed, Q, search step, timing/cost-model
+knobs), the cell's name, and the version of the code that computes it.
+:func:`cell_key` hashes those three into a content address and
+:class:`SweepCache` stores the rendered section plus its timing metadata
+under it, one JSON file per cell.
+
+Invalidation rules (documented in EXPERIMENTS.md):
+
+* changing any workload knob (``--frames``, seed, Q, ...) invalidates every
+  cell, because each key embeds the full workload fingerprint;
+* editing any module under ``src/repro/`` **except** this ``sweep/``
+  package invalidates every cell — :func:`code_fingerprint` hashes the
+  model/experiment sources, and the orchestration layer is deliberately
+  excluded because it cannot change what a cell computes;
+* editing docs, tests, benchmarks or examples invalidates nothing.
+
+Writes are atomic (temp file + :func:`os.replace`), so a sweep killed
+mid-write never leaves a truncated cell behind and an interrupted sweep
+resumes from its completed cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+_FINGERPRINTS: Dict[str, str] = {}
+
+
+def code_fingerprint(package_root: Optional[pathlib.Path] = None) -> str:
+    """Content hash of every model/experiment source under ``repro``.
+
+    Hashes (relative path, file contents) of each ``*.py`` file in the
+    installed ``repro`` package, excluding the ``sweep/`` orchestration
+    package itself and the CLI shim — neither affects what a cell
+    computes.  Memoised per path for the life of the process.
+    """
+    if package_root is None:
+        import repro
+        package_root = pathlib.Path(repro.__file__).parent
+    root = pathlib.Path(package_root)
+    cache_token = str(root.resolve())
+    if cache_token in _FINGERPRINTS:
+        return _FINGERPRINTS[cache_token]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("sweep/") or rel == "__main__.py":
+            continue
+        digest.update(rel.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    _FINGERPRINTS[cache_token] = digest.hexdigest()[:16]
+    return _FINGERPRINTS[cache_token]
+
+
+def cell_key(name: str, workload: Dict, code_version: str) -> str:
+    """Stable content address of one sweep cell.
+
+    ``workload`` is the JSON-serialisable fingerprint from
+    :func:`repro.experiments.workload.workload_fingerprint`; the key is the
+    sha256 of the canonical (sorted-keys) JSON encoding of all three
+    inputs, so equal configurations hash equally across processes and
+    platforms.
+    """
+    blob = json.dumps(
+        {"cell": name, "workload": workload, "code": code_version},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """One-file-per-cell JSON store with atomic writes.
+
+    ``enabled=False`` turns every operation into a no-op so callers never
+    branch on ``--no-cache`` themselves.
+    """
+
+    def __init__(self, root: pathlib.Path, enabled: bool = True):
+        self.root = pathlib.Path(root)
+        self.enabled = enabled
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Atomically store ``payload`` (a JSON-serialisable dict)."""
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,113 @@
+"""Structured observability for sweep runs.
+
+Two artifacts record what a sweep did and how long it took:
+
+* the **run log** — an append-only JSONL stream (:class:`RunLog`), one
+  event per line: ``sweep_start``, then per cell either ``cache_hit`` or
+  ``cell_start``/``cell_finish``/``cell_error`` (with wall time and cycle
+  totals), then ``sweep_finish`` with the totals.  Because each line is
+  flushed as it is written, a killed sweep still leaves a parseable prefix
+  — :func:`read_events` tolerates a truncated final line;
+* the **sweep report** — ``sweep_report.json``
+  (:func:`build_sweep_report`), the per-cell summary that
+  :func:`repro.experiments.report.render_sweep_provenance` consumes to
+  stamp EXPERIMENTS.md with timing provenance.
+
+Cycle totals in both artifacts come from
+:meth:`repro.core.timing.MeTimingResult.as_dict` — deterministic replay
+numbers, so a serial and a parallel sweep of the same workload report
+identical cycles (only the wall times differ).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+
+class RunLog:
+    """Append-only JSONL event stream, flushed per event."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def event(self, kind: str, **fields) -> None:
+        """Write one event line: ``{"t": ..., "event": kind, **fields}``."""
+        record = {"t": round(time.time(), 3), "event": kind}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: pathlib.Path,
+                kind: Optional[str] = None) -> List[Dict]:
+    """Parse a run log back into event dicts (optionally one kind only).
+
+    A truncated final line — the signature of an interrupted sweep — is
+    skipped rather than raised on.
+    """
+    events: List[Dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if kind is None or record.get("event") == kind:
+                events.append(record)
+    return events
+
+
+def build_sweep_report(workload: Dict, code_version: str, jobs: int,
+                       cells: List, wall_s: float) -> Dict:
+    """Distil a sweep's cell results into the ``sweep_report.json`` dict.
+
+    ``cells`` are :class:`repro.sweep.executor.CellResult` objects in
+    report order.  The dict is stable apart from wall times and the
+    generation timestamp, so differential tests compare its cycle numbers
+    directly.
+    """
+    cell_rows = []
+    for cell in cells:
+        row = {
+            "name": cell.name,
+            "cached": cell.cached,
+            "wall_s": round(cell.wall_s, 4),
+            "error": cell.error.strip().splitlines()[-1] if cell.error
+            else None,
+        }
+        if cell.cycles is not None:
+            row["cycles"] = cell.cycles
+        cell_rows.append(row)
+    return {
+        "version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workload": workload,
+        "code_version": code_version,
+        "jobs": jobs,
+        "cells": cell_rows,
+        "totals": {
+            "cells": len(cells),
+            "cache_hits": sum(1 for cell in cells if cell.cached),
+            "executed": sum(1 for cell in cells
+                            if not cell.cached and not cell.error),
+            "errors": sum(1 for cell in cells if cell.error),
+            "wall_s": round(wall_s, 4),
+        },
+    }

@@ -1,0 +1,156 @@
+"""Process-pool execution of independent report cells.
+
+Each cell of the sweep (a table, figure or extension experiment — plus the
+synthetic ``workload`` header cell) is independent of every other, so they
+fan across a process pool with a ``--jobs`` knob.  Two properties keep the
+fan-out cheap and deterministic:
+
+* **warm fork** — on platforms with ``fork`` (the only place the pool is
+  used), the parent materialises the shared encoder run, the trace
+  replayer and the baseline replay *before* forking, so every worker
+  inherits that state copy-on-write instead of re-encoding;
+* **deterministic ordering** — results are collected by submission index,
+  so the assembled report is byte-identical to the serial runner's no
+  matter which worker finished first.
+
+Worker exceptions never escape: :func:`execute_cell` catches them and
+returns the traceback inside its :class:`CellResult`, so one failing cell
+cannot abort the sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import RUNNERS, run_cell, workload_header
+from repro.experiments.workload import DEFAULT_FRAMES, ExperimentContext, \
+    get_context
+
+#: the synthetic cell rendering the report's workload-description header
+WORKLOAD_CELL = "workload"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: rendered text plus observability metadata."""
+
+    name: str
+    rendered: str = ""
+    wall_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+    cycles: Optional[Dict[str, int]] = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _cycle_totals(context: ExperimentContext) -> Dict[str, int]:
+    """Deterministic cycle totals recorded with every context-backed cell."""
+    baseline = context.baseline()
+    totals = baseline.as_dict()
+    totals["non_me_cycles"] = context.non_me_cycles()
+    return totals
+
+
+def execute_cell(name: str, frames: int = DEFAULT_FRAMES,
+                 seed: int = 2002) -> CellResult:
+    """Run one cell to completion, trapping any exception it raises."""
+    started = time.perf_counter()
+    try:
+        if name == WORKLOAD_CELL:
+            context = get_context(frames, seed)
+            rendered = workload_header(context)
+            cycles: Optional[Dict[str, int]] = _cycle_totals(context)
+        elif RUNNERS[name][0] == "figure":
+            rendered = run_cell(name)
+            cycles = None
+        else:
+            context = get_context(frames, seed)
+            rendered = run_cell(name, context)
+            cycles = _cycle_totals(context)
+    except Exception:
+        return CellResult(name, error=traceback.format_exc(),
+                          wall_s=time.perf_counter() - started)
+    return CellResult(name, rendered=rendered, cycles=cycles,
+                      wall_s=time.perf_counter() - started)
+
+
+def warm_context(frames: int, seed: int, jobs: int = 1) -> ExperimentContext:
+    """Materialise the shared encode + scenario replays in this process.
+
+    Called in the parent before the pool forks: the encoder runs once, the
+    baseline replays, and the full scenario catalogue is primed — itself
+    fanned across ``jobs`` forked workers
+    (:meth:`ExperimentContext.prime`) — so every cell worker inherits a
+    fully warm replay cache copy-on-write and spends its time only on
+    cell-specific work (rendering, ablation variants).
+    """
+    context = get_context(frames, seed)
+    context.exploration.replayer          # encode + build the replayer
+    context.baseline()                    # baseline replay + stall cache
+    context.prime(jobs=jobs)              # the shared scenario catalogue
+    return context
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def run_cells(names: Sequence[str], frames: int = DEFAULT_FRAMES,
+              seed: int = 2002, jobs: int = 1,
+              on_start: Optional[Callable[[str], None]] = None,
+              on_result: Optional[Callable[[CellResult], None]] = None
+              ) -> List[CellResult]:
+    """Execute ``names`` and return their results in the same order.
+
+    ``jobs > 1`` fans the cells across a forked process pool (falling back
+    to serial where ``fork`` is unavailable, e.g. Windows); ``on_start`` /
+    ``on_result`` fire as each cell is dispatched / completes, in
+    completion order, so the run log reflects real timing.
+    """
+    names = list(names)
+    mp_context = _fork_context()
+    if jobs <= 1 or len(names) <= 1 or mp_context is None:
+        results = []
+        for name in names:
+            if on_start:
+                on_start(name)
+            result = execute_cell(name, frames, seed)
+            if on_result:
+                on_result(result)
+            results.append(result)
+        return results
+
+    warm_context(frames, seed, jobs)
+    results: List[Optional[CellResult]] = [None] * len(names)
+    workers = min(jobs, len(names))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=mp_context) as pool:
+        futures = {}
+        for index, name in enumerate(names):
+            if on_start:
+                on_start(name)
+            futures[pool.submit(execute_cell, name, frames, seed)] = index
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                try:
+                    result = future.result()
+                except Exception:
+                    result = CellResult(names[index],
+                                        error=traceback.format_exc())
+                results[index] = result
+                if on_result:
+                    on_result(result)
+    return [result for result in results if result is not None]

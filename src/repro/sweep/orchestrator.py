@@ -1,0 +1,195 @@
+"""The sweep driver: plan → cache probe → parallel execute → report.
+
+:func:`run_sweep` regenerates the EXPERIMENTS report the same way the
+serial runner does, but treats each section as an independent, memoisable
+*cell*:
+
+1. resolve the cell list (``workload`` header + tables + figures +
+   extensions, optionally filtered by ``--only``);
+2. probe the on-disk cache with each cell's content key — hits are
+   restored without running anything and logged as ``cache_hit`` events;
+3. fan the misses across the process pool (``--jobs``), logging
+   ``cell_start``/``cell_finish``/``cell_error`` events with wall times
+   and cycle totals as they complete, and writing each finished cell back
+   to the cache atomically (so an interrupted sweep resumes from what it
+   finished);
+4. assemble the report in deterministic cell order — byte-identical
+   regardless of job count or cache state — and write
+   ``sweep_report.json`` next to the run logs.
+
+Failures are isolated per cell: the report carries an error marker
+section, the run log carries the traceback, and the caller (the ``sweep``
+CLI) exits non-zero with a summary at the end instead of dying mid-sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.exploration import ExplorationConfig
+from repro.errors import ExperimentError
+from repro.experiments.runner import RUNNERS, cell_names, error_section
+from repro.experiments.workload import DEFAULT_FRAMES, workload_fingerprint
+from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
+from repro.sweep.events import RunLog, build_sweep_report
+from repro.sweep.executor import WORKLOAD_CELL, CellResult, run_cells
+
+#: default root for the cache, run logs and sweep_report.json
+DEFAULT_ROOT = pathlib.Path(".repro-sweep")
+
+
+@dataclass
+class SweepConfig:
+    """Everything one sweep invocation needs to know."""
+
+    frames: int = DEFAULT_FRAMES
+    seed: int = 2002
+    jobs: int = 1
+    extensions: bool = True
+    #: restrict to these cells (the workload header always runs)
+    only: Optional[Sequence[str]] = None
+    root: pathlib.Path = field(default_factory=lambda: DEFAULT_ROOT)
+    #: overrides ``root/cache`` when set
+    cache_dir: Optional[pathlib.Path] = None
+    use_cache: bool = True
+
+    def resolve_cells(self) -> List[str]:
+        names = [WORKLOAD_CELL] + cell_names(self.extensions)
+        if self.only is None:
+            return names
+        wanted = list(dict.fromkeys(self.only))
+        unknown = [name for name in wanted
+                   if name != WORKLOAD_CELL and name not in RUNNERS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown cell(s) {', '.join(unknown)}; available: "
+                f"{', '.join(cell_names(True))}")
+        return [WORKLOAD_CELL] + [n for n in wanted if n != WORKLOAD_CELL]
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: the report text plus its observability record."""
+
+    report: str
+    cells: List[CellResult]
+    sweep_report: Dict
+    run_log: pathlib.Path
+    report_path: pathlib.Path
+
+    @property
+    def failures(self) -> List[CellResult]:
+        return [cell for cell in self.cells if cell.error]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+
+def _assemble(cells: List[CellResult]) -> str:
+    """Join cell sections into the report, in deterministic cell order."""
+    sections = []
+    for cell in cells:
+        if cell.error:
+            sections.append(error_section(cell.name, cell.error))
+        else:
+            sections.append(cell.rendered)
+    return "\n\n".join(sections)
+
+
+def _write_json(path: pathlib.Path, payload: Dict) -> None:
+    import json
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def run_sweep(config: Optional[SweepConfig] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SweepResult:
+    """Run (or restore from cache) every requested cell and assemble the
+    report; see the module docstring for the full pipeline."""
+    config = config or SweepConfig()
+    names = config.resolve_cells()
+    workload = workload_fingerprint(
+        ExplorationConfig(frames=config.frames, seed=config.seed))
+    code_version = code_fingerprint()
+    cache = SweepCache(config.cache_dir or config.root / "cache",
+                       enabled=config.use_cache)
+    label = time.strftime("run-%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+    started = time.perf_counter()
+
+    keys = {name: cell_key(name, workload, code_version) for name in names}
+    results: Dict[str, CellResult] = {}
+    misses: List[str] = []
+    with RunLog(config.root / "runs" / f"{label}.jsonl") as log:
+        log.event("sweep_start", label=label, frames=config.frames,
+                  seed=config.seed, jobs=config.jobs,
+                  cache_enabled=config.use_cache,
+                  code_version=code_version, cells=names)
+        for name in names:
+            payload = cache.get(keys[name])
+            if payload is not None:
+                results[name] = CellResult(
+                    name, rendered=payload["rendered"], cached=True,
+                    wall_s=payload.get("wall_s", 0.0),
+                    cycles=payload.get("cycles"))
+                log.event("cache_hit", cell=name, key=keys[name],
+                          saved_wall_s=payload.get("wall_s", 0.0),
+                          cycles=payload.get("cycles"))
+                if progress:
+                    progress(f"{name}: cache hit")
+            else:
+                misses.append(name)
+
+        def on_start(name: str) -> None:
+            log.event("cell_start", cell=name, key=keys[name])
+            if progress:
+                progress(f"running {name}...")
+
+        def on_result(result: CellResult) -> None:
+            if result.error:
+                log.event("cell_error", cell=result.name,
+                          wall_s=round(result.wall_s, 4),
+                          traceback=result.error)
+                if progress:
+                    progress(f"{result.name}: FAILED")
+                return
+            log.event("cell_finish", cell=result.name,
+                      wall_s=round(result.wall_s, 4), cycles=result.cycles)
+            cache.put(keys[result.name], {
+                "cell": result.name,
+                "rendered": result.rendered,
+                "wall_s": round(result.wall_s, 4),
+                "cycles": result.cycles,
+                "workload": workload,
+                "code_version": code_version,
+            })
+
+        for result in run_cells(misses, config.frames, config.seed,
+                                jobs=config.jobs, on_start=on_start,
+                                on_result=on_result):
+            results[result.name] = result
+
+        ordered = [results[name] for name in names]
+        wall_s = time.perf_counter() - started
+        sweep_report = build_sweep_report(workload, code_version,
+                                          config.jobs, ordered, wall_s)
+        log.event("sweep_finish", **sweep_report["totals"])
+
+    report_path = config.root / "sweep_report.json"
+    _write_json(report_path, sweep_report)
+    return SweepResult(
+        report=_assemble(ordered),
+        cells=ordered,
+        sweep_report=sweep_report,
+        run_log=config.root / "runs" / f"{label}.jsonl",
+        report_path=report_path,
+    )

@@ -1,0 +1,307 @@
+"""The parallel cached sweep: determinism, caching, resume, isolation.
+
+The load-bearing guarantees asserted here:
+
+* serial and ``jobs=4`` sweeps produce **byte-identical** reports and
+  identical ``sweep_report.json`` cycle numbers (the differential tests);
+* cache keys are stable across processes, change with any workload knob or
+  the code version, and a warm rerun restores every cell from cache;
+* an interrupted sweep resumes — cells cached before the interruption are
+  not recomputed;
+* one failing runner cannot abort the sweep: its error is isolated,
+  logged, and surfaced in the exit summary.
+"""
+
+import json
+
+import pytest
+
+from repro.core.exploration import Exploration, ExplorationConfig
+from repro.core.scenarios import all_scenarios, instruction_scenario, \
+    loop_scenario
+from repro.errors import ExperimentError
+from repro.experiments import runner as runner_mod
+from repro.experiments.report import (
+    PROVENANCE_BEGIN,
+    render_sweep_provenance,
+    stamp_sweep_provenance,
+)
+from repro.experiments.runner import cell_names, run_all
+from repro.experiments.workload import workload_fingerprint
+from repro.rfu.loop_model import Bandwidth
+from repro.sweep import (
+    SweepCache,
+    SweepConfig,
+    WORKLOAD_CELL,
+    cell_key,
+    code_fingerprint,
+    read_events,
+    run_sweep,
+)
+
+FRAMES = 3
+
+
+def _sweep(tmp_path, **overrides):
+    defaults = dict(frames=FRAMES, root=tmp_path / "sweep")
+    defaults.update(overrides)
+    return run_sweep(SweepConfig(**defaults))
+
+
+class TestCacheKey:
+    def test_stable_for_equal_inputs(self):
+        workload = workload_fingerprint(ExplorationConfig(frames=3))
+        again = workload_fingerprint(ExplorationConfig(frames=3))
+        assert cell_key("table1", workload, "abc") \
+            == cell_key("table1", again, "abc")
+
+    def test_changes_with_cell_workload_and_code(self):
+        workload = workload_fingerprint(ExplorationConfig(frames=3))
+        other_frames = workload_fingerprint(ExplorationConfig(frames=4))
+        other_seed = workload_fingerprint(ExplorationConfig(frames=3,
+                                                            seed=7))
+        base = cell_key("table1", workload, "abc")
+        assert cell_key("table2", workload, "abc") != base
+        assert cell_key("table1", other_frames, "abc") != base
+        assert cell_key("table1", other_seed, "abc") != base
+        assert cell_key("table1", workload, "def") != base
+
+    def test_fingerprint_covers_timing_and_cost_knobs(self):
+        workload = workload_fingerprint(ExplorationConfig(frames=3))
+        assert workload["timings"]["bus_latency"] == 40
+        assert workload["cost_model"]["dct_block"] == 1800
+
+    def test_code_fingerprint_ignores_sweep_package(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "sweep").mkdir(parents=True)
+        (pkg / "model.py").write_text("A = 1\n")
+        (pkg / "sweep" / "orchestrator.py").write_text("B = 1\n")
+        baseline = code_fingerprint(pkg)
+        # the fingerprint memoises per path, so compare fresh trees: an
+        # edit under sweep/ must not change it, a model edit must
+        pkg2 = tmp_path / "pkg2"
+        (pkg2 / "sweep").mkdir(parents=True)
+        (pkg2 / "model.py").write_text("A = 1\n")
+        (pkg2 / "sweep" / "orchestrator.py").write_text("B = 2\n")
+        assert code_fingerprint(pkg2) == baseline
+        pkg3 = tmp_path / "pkg3"
+        pkg3.mkdir()
+        (pkg3 / "model.py").write_text("A = 2\n")
+        assert code_fingerprint(pkg3) != baseline
+
+
+class TestSweepCache:
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"rendered": "x", "wall_s": 0.5})
+        assert cache.get("deadbeef")["rendered"] == "x"
+
+    def test_disabled_cache_is_a_noop(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache", enabled=False)
+        cache.put("k", {"rendered": "x"})
+        assert cache.get("k") is None
+        assert not (tmp_path / "cache").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.put("k", {"rendered": "x"})
+        (tmp_path / "cache" / "k.json").write_text("{truncated")
+        assert cache.get("k") is None
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.put("a", {"rendered": "x"})
+        cache.put("b", {"rendered": "y"})
+        assert cache.clear() == 2
+        assert cache.get("a") is None
+
+
+class TestDifferential:
+    """Serial vs parallel vs the plain serial runner: identical artefacts."""
+
+    @pytest.fixture(scope="class")
+    def serial(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("serial")
+        return run_sweep(SweepConfig(frames=FRAMES, jobs=1, root=root,
+                                     use_cache=False))
+
+    @pytest.fixture(scope="class")
+    def parallel(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("parallel")
+        return run_sweep(SweepConfig(frames=FRAMES, jobs=4, root=root,
+                                     use_cache=False))
+
+    def test_reports_byte_identical(self, serial, parallel):
+        assert serial.report == parallel.report
+
+    def test_cycle_numbers_identical(self, serial, parallel):
+        serial_cycles = {c["name"]: c.get("cycles")
+                         for c in serial.sweep_report["cells"]}
+        parallel_cycles = {c["name"]: c.get("cycles")
+                           for c in parallel.sweep_report["cells"]}
+        assert serial_cycles == parallel_cycles
+        assert serial_cycles["table7"]["total_cycles"] > 0
+
+    def test_sections_match_the_serial_runner(self, serial, small_context):
+        expected = run_all(context=small_context, extensions=True)
+        # drop each header (the runner's includes a wall-time line)
+        expected_sections = expected.split("\n\n")[1:]
+        sweep_sections = serial.report.split("\n\n")[1:]
+        assert sweep_sections == expected_sections
+
+    def test_workload_header_matches_the_serial_runner(self, serial,
+                                                       small_context):
+        expected = run_all(context=small_context, extensions=True)
+        assert serial.report.split("\n\n")[0] \
+            == expected.splitlines()[0]
+
+    def test_every_cell_present_in_order(self, serial):
+        assert [c.name for c in serial.cells] \
+            == [WORKLOAD_CELL] + cell_names(extensions=True)
+
+
+class TestCachingAndResume:
+    def test_warm_rerun_hits_every_cell(self, tmp_path):
+        cold = _sweep(tmp_path, jobs=2)
+        warm = _sweep(tmp_path, jobs=2)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(warm.cells)
+        assert warm.report == cold.report
+        hits = read_events(warm.run_log, "cache_hit")
+        assert len(hits) == len(warm.cells)
+        assert warm.sweep_report["totals"]["cache_hits"] \
+            >= 0.8 * warm.sweep_report["totals"]["cells"]
+
+    def test_resume_after_interrupt(self, tmp_path):
+        # simulate an interrupted sweep: only a prefix of cells completed
+        partial = _sweep(tmp_path, only=["profile", "table1", "table2"])
+        assert partial.cache_hits == 0
+        full = _sweep(tmp_path)
+        hit_names = {c.name for c in full.cells if c.cached}
+        assert {"workload", "profile", "table1", "table2"} <= hit_names
+        assert not all(c.cached for c in full.cells)
+
+    def test_no_cache_flag_skips_read_and_write(self, tmp_path):
+        _sweep(tmp_path)  # warm
+        bypass = _sweep(tmp_path, use_cache=False,
+                        only=["profile", "table1"])
+        assert bypass.cache_hits == 0
+
+    def test_workload_change_invalidates(self, tmp_path):
+        _sweep(tmp_path, only=["figure1"])
+        changed = _sweep(tmp_path, frames=4, only=["figure1"])
+        assert changed.cache_hits == 0
+
+    def test_only_unknown_cell_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="unknown cell"):
+            _sweep(tmp_path, only=["table99"])
+
+
+class TestFailureIsolation:
+    def test_one_failing_runner_does_not_abort_the_sweep(self, tmp_path,
+                                                         monkeypatch):
+        def explode(context=None):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(runner_mod.RUNNERS, "table3",
+                            ("table", explode))
+        result = _sweep(tmp_path, only=["table1", "table3", "figure1"])
+        assert [c.name for c in result.failures] == ["table3"]
+        assert "table3: ERROR" in result.report
+        assert "injected failure" in result.failures[0].error
+        # healthy cells still rendered and were cached
+        assert "table1:" in result.report
+        errors = read_events(result.run_log, "cell_error")
+        assert len(errors) == 1 and errors[0]["cell"] == "table3"
+        # the failure was not cached: a healthy rerun recomputes it
+        monkeypatch.undo()
+        rerun = _sweep(tmp_path, only=["table1", "table3", "figure1"])
+        assert not rerun.failures
+        assert {c.name for c in rerun.cells if c.cached} \
+            >= {"table1", "figure1"}
+
+    def test_run_all_collects_failures_and_raises_at_end(self, monkeypatch,
+                                                         small_context):
+        def explode(context=None):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(runner_mod.RUNNERS, "table3",
+                            ("table", explode))
+        with pytest.raises(ExperimentError, match="1 runner"):
+            run_all(context=small_context, extensions=False)
+        report = run_all(context=small_context, extensions=False,
+                         raise_on_error=False)
+        assert "table3: ERROR" in report
+        assert "table7" in report  # later runners still executed
+
+
+class TestRunLog:
+    def test_events_cover_the_lifecycle(self, tmp_path):
+        result = _sweep(tmp_path, only=["figure1"])
+        kinds = [e["event"] for e in read_events(result.run_log)]
+        assert kinds[0] == "sweep_start"
+        assert "cell_start" in kinds and "cell_finish" in kinds
+        assert kinds[-1] == "sweep_finish"
+
+    def test_finish_events_carry_wall_time_and_cycles(self, tmp_path):
+        result = _sweep(tmp_path, only=["table1"])
+        finishes = {e["cell"]: e
+                    for e in read_events(result.run_log, "cell_finish")}
+        assert finishes["table1"]["wall_s"] >= 0
+        assert finishes["table1"]["cycles"]["total_cycles"] > 0
+        assert finishes["workload"]["cycles"]["invocations"] > 0
+
+    def test_truncated_log_still_parses(self, tmp_path):
+        result = _sweep(tmp_path, only=["figure1"])
+        with open(result.run_log, "a") as handle:
+            handle.write('{"event": "cell_')
+        events = read_events(result.run_log)
+        assert events[-1]["event"] == "sweep_finish"
+
+
+class TestProvenance:
+    def test_render_includes_totals_and_cells(self, tmp_path):
+        result = _sweep(tmp_path, only=["table1", "figure1"])
+        block = render_sweep_provenance(result.sweep_report)
+        assert "Timing provenance" in block
+        assert "| table1 |" in block
+        assert f"code version `{result.sweep_report['code_version']}`" \
+            in block
+
+    def test_stamp_inserts_and_replaces(self, tmp_path):
+        result = _sweep(tmp_path, only=["figure1"])
+        doc = "# EXPERIMENTS\n\nbody\n"
+        stamped = stamp_sweep_provenance(doc, result.sweep_report)
+        assert stamped.startswith(doc)
+        assert stamped.count(PROVENANCE_BEGIN) == 1
+        restamped = stamp_sweep_provenance(stamped, result.sweep_report)
+        assert restamped.count(PROVENANCE_BEGIN) == 1
+        assert "body" in restamped
+
+    def test_sweep_report_artifact_written(self, tmp_path):
+        result = _sweep(tmp_path, only=["figure1"])
+        on_disk = json.loads(result.report_path.read_text())
+        assert on_disk["totals"] == result.sweep_report["totals"]
+        assert on_disk["workload"]["frames"] == FRAMES
+
+
+class TestParallelExploration:
+    def test_parallel_replay_matches_serial(self):
+        scenarios = [instruction_scenario("orig"),
+                     instruction_scenario("a2"),
+                     loop_scenario(Bandwidth.B1X32),
+                     loop_scenario(Bandwidth.B1X32, line_buffer_b=True)]
+        exploration = Exploration(ExplorationConfig(frames=FRAMES))
+        serial = exploration.run(scenarios)
+        parallel = exploration.run(scenarios, jobs=2)
+        assert set(serial.results) == set(parallel.results)
+        for name, timing in serial.results.items():
+            assert parallel.results[name] == timing
+
+    def test_prime_fills_the_context_cache(self, tmp_path):
+        from repro.experiments.workload import ExperimentContext
+        context = ExperimentContext(ExplorationConfig(frames=FRAMES))
+        context.prime(jobs=2)
+        assert set(context._results) \
+            == {s.name for s in all_scenarios()}
