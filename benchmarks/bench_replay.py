@@ -1,0 +1,181 @@
+"""Trace-replay throughput benchmark: columnar engine vs legacy walk.
+
+Standalone usage (the acceptance gate of the columnar-replay work)::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py [--frames 3]
+                                                     [--min-speedup 5.0]
+                                                     [--json breakdown.json]
+
+The script encodes the workload once, then times the full scenario
+catalogue (Tables 1-7: four instruction-level plus eight loop-level
+scenarios) through
+
+1. ``legacy``   — a fresh :class:`TraceReplayer` walking every invocation
+   through the object-model memory hierarchy;
+2. ``columnar`` — a fresh :class:`TraceReplayer` on the columnar engine,
+   *including* its one-off trace compilation and classification passes.
+
+Before any timing, every scenario's :class:`MeTimingResult` from the two
+engines is compared field for field — a single differing cycle fails the
+run.  Kernel static timings are deterministic and shared process-wide, so
+they are warmed once up front and neither side pays compilation inside the
+timed region (both engines use the identical measured numbers).
+
+``--json`` additionally writes the columnar engine's per-phase breakdown
+(compile/static/stall/loop wall time, calls, cycles) plus both wall times
+— the artifact CI uploads.
+
+The ``bench_*`` functions at the bottom expose both engines to
+pytest-benchmark (``python -m pytest benchmarks/bench_replay.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Tuple
+
+from repro.codec.tracer import MeTrace
+from repro.core.exploration import Exploration, ExplorationConfig
+from repro.core.scenarios import all_scenarios
+from repro.core.timing import MeTimingResult, TraceReplayer
+
+DEFAULT_FRAMES = 3
+DEFAULT_MIN_SPEEDUP = 5.0
+
+
+def workload_trace(frames: int, seed: int = 2002) -> MeTrace:
+    """The GetSad trace of one deterministic synthetic encode."""
+    exploration = Exploration(ExplorationConfig(frames=frames, seed=seed))
+    return exploration.encoder_report.trace
+
+
+def replay_catalogue(trace: MeTrace, engine: str) \
+        -> Tuple[Dict[str, MeTimingResult], float, TraceReplayer]:
+    """Replay every catalogue scenario on a fresh replayer of ``engine``;
+    returns (results by name, wall seconds, the replayer)."""
+    replayer = TraceReplayer(trace, engine=engine)
+    start = time.perf_counter()
+    results = {scenario.name: replayer.replay(scenario)
+               for scenario in all_scenarios()}
+    return results, time.perf_counter() - start, replayer
+
+
+def warm_kernel_timings(trace: MeTrace) -> None:
+    """Measure every kernel shape once so the process-wide shared timing
+    cache is hot: the timed replays then exercise replay code only, and
+    both engines read identical static-cycle numbers."""
+    throwaway = TraceReplayer(trace, engine="legacy")
+    for scenario in all_scenarios():
+        if scenario.kind == "instruction":
+            library = throwaway._library(scenario.variant)
+            library.all_shapes()
+
+
+def run(frames: int = DEFAULT_FRAMES,
+        min_speedup: float = DEFAULT_MIN_SPEEDUP, reps: int = 3,
+        verbose: bool = True, json_path: str = None) -> float:
+    trace = workload_trace(frames)
+    warm_kernel_timings(trace)
+
+    # -- correctness gate: both engines must produce identical results for
+    # every scenario of the catalogue before any throughput is reported
+    legacy_results, _, _ = replay_catalogue(trace, "legacy")
+    columnar_results, _, _ = replay_catalogue(trace, "columnar")
+    for name, expected in legacy_results.items():
+        if columnar_results[name] != expected:
+            raise AssertionError(
+                f"columnar replay diverges on {name}: "
+                f"{columnar_results[name]} != {expected}")
+
+    legacy_s = None
+    columnar_s = None
+    breakdown = None
+    for _ in range(reps):
+        _, elapsed, _ = replay_catalogue(trace, "legacy")
+        legacy_s = elapsed if legacy_s is None else min(legacy_s, elapsed)
+        _, elapsed, replayer = replay_catalogue(trace, "columnar")
+        if columnar_s is None or elapsed < columnar_s:
+            columnar_s = elapsed
+            breakdown = replayer.phase_breakdown()
+    speedup = legacy_s / columnar_s
+
+    scenarios = len(legacy_results)
+    if verbose:
+        print(f"workload: {frames} QCIF frames, {len(trace):,} GetSad "
+              f"invocations, {scenarios} catalogue scenarios "
+              f"(results verified identical)")
+        print(f"  legacy   : {legacy_s:.3f}s "
+              f"({scenarios / legacy_s:.1f} scenarios/s)")
+        print(f"  columnar : {columnar_s:.3f}s "
+              f"({scenarios / columnar_s:.1f} scenarios/s)  "
+              f"{speedup:.2f}x  <- headline")
+        phases = ", ".join(
+            f"{name} {bucket['wall_s']:.3f}s/{bucket['calls']}"
+            for name, bucket in breakdown.items())
+        print(f"  columnar phases: {phases}")
+    if json_path:
+        payload = {
+            "frames": frames,
+            "invocations": len(trace),
+            "scenarios": scenarios,
+            "legacy_wall_s": round(legacy_s, 4),
+            "columnar_wall_s": round(columnar_s, 4),
+            "speedup": round(speedup, 3),
+            "phases": breakdown,
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if verbose:
+            print(f"breakdown written to {json_path}")
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES)
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP,
+                        help="fail unless the columnar engine beats the "
+                             "legacy walk by this factor (0 disables)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the per-phase breakdown JSON here")
+    args = parser.parse_args(argv)
+    if args.frames < 2:
+        parser.error("--frames must be >= 2 (frame 0 is the I-frame "
+                     "reference; motion estimation starts at frame 1)")
+    speedup = run(args.frames, args.min_speedup, args.reps,
+                  json_path=args.json)
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: {speedup:.2f}x < required {args.min_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {speedup:.2f}x")
+    return 0
+
+
+# -- pytest-benchmark entry points (small workload) --------------------------
+
+def _fixture_trace() -> MeTrace:
+    trace = workload_trace(DEFAULT_FRAMES)
+    warm_kernel_timings(trace)
+    return trace
+
+
+def bench_legacy_replay(benchmark):
+    trace = _fixture_trace()
+    benchmark(replay_catalogue, trace, "legacy")
+
+
+def bench_columnar_replay(benchmark):
+    trace = _fixture_trace()
+    benchmark(replay_catalogue, trace, "columnar")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

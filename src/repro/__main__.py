@@ -20,8 +20,15 @@ import sys
 from repro import __version__
 
 
+def _apply_replay_engine(args: argparse.Namespace) -> None:
+    if getattr(args, "legacy_replay", False):
+        from repro.core.timing import set_default_replay_engine
+        set_default_replay_engine("legacy")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import run_all
+    _apply_replay_engine(args)
     report = run_all(frames=args.frames, verbose=not args.quiet,
                      extensions=not args.no_extensions)
     if args.output:
@@ -37,6 +44,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import pathlib
 
     from repro.sweep import SweepConfig, run_sweep
+    _apply_replay_engine(args)
     config = SweepConfig(
         frames=args.frames,
         seed=args.seed,
@@ -167,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quiet", "-q", action="store_true")
     report.add_argument("--no-extensions", action="store_true",
                         help="skip the beyond-the-paper experiments")
+    report.add_argument("--legacy-replay", action="store_true",
+                        help="replay scenarios through the legacy "
+                             "object-model walk instead of the columnar "
+                             "engine (identical numbers, slower)")
     report.set_defaults(handler=_cmd_report)
 
     sweep = sub.add_parser(
@@ -195,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", "-q", action="store_true")
     sweep.add_argument("--no-extensions", action="store_true",
                        help="skip the beyond-the-paper experiments")
+    sweep.add_argument("--legacy-replay", action="store_true",
+                       help="replay scenarios through the legacy "
+                            "object-model walk instead of the columnar "
+                            "engine (identical numbers, slower)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     encode = sub.add_parser("encode", help="run the encoder substrate")

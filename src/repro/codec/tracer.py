@@ -12,12 +12,21 @@ can be replayed under different memory layouts.
 from __future__ import annotations
 
 import hashlib
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Tuple, Union
 
 import numpy as np
 
 from repro.rfu.loop_model import InterpMode
+
+#: (column name, dtype) of the on-disk columnar trace format; the order
+#: matches the MeInvocation fields
+_NPZ_COLUMNS = (
+    ("frame", np.int32), ("mb_x", np.int32), ("mb_y", np.int32),
+    ("pred_x", np.int32), ("pred_y", np.int32), ("mode", np.int8),
+    ("sad", np.int64), ("is_refinement", np.bool_), ("chosen", np.bool_),
+)
 
 
 class MeInvocation(NamedTuple):
@@ -72,6 +81,35 @@ class MeTrace:
                 f"{int(inv.is_refinement)},{int(inv.chosen)};"
                 .encode("ascii"))
         return digest.hexdigest()
+
+    # -- columnar persistence -------------------------------------------------
+    def save_npz(self, path: Union[str, pathlib.Path]) -> None:
+        """Persist the trace as compressed numpy columns.
+
+        One array per :class:`MeInvocation` field; round-trips exactly
+        through :meth:`load_npz` (equal :meth:`signature`).  A 3-frame
+        trace is a few kilobytes, so sweep artifacts can ship the exact
+        replayed workload."""
+        columns = {
+            name: np.fromiter((getattr(inv, name) for inv in self.invocations),
+                              dtype=dtype, count=len(self.invocations))
+            for name, dtype in _NPZ_COLUMNS
+        }
+        np.savez_compressed(path, **columns)
+
+    @classmethod
+    def load_npz(cls, path: Union[str, pathlib.Path]) -> "MeTrace":
+        """Load a trace previously written by :meth:`save_npz`."""
+        with np.load(path) as data:
+            columns = [data[name].tolist() for name, _ in _NPZ_COLUMNS]
+        trace = cls()
+        for frame, mb_x, mb_y, pred_x, pred_y, mode, sad, refine, chosen \
+                in zip(*columns):
+            trace.append(MeInvocation(
+                frame=frame, mb_x=mb_x, mb_y=mb_y, pred_x=pred_x,
+                pred_y=pred_y, mode=InterpMode(mode), sad=sad,
+                is_refinement=refine, chosen=chosen))
+        return trace
 
     # -- workload statistics (reported in EXPERIMENTS.md) ---------------------
     def mode_histogram(self) -> Dict[InterpMode, int]:

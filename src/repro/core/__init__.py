@@ -15,10 +15,17 @@ from repro.core.scenarios import (
     instruction_scenario,
     loop_scenario,
 )
-from repro.core.timing import MeTimingResult, TraceReplayer
+from repro.core.replay_compile import CompiledTrace
+from repro.core.timing import (
+    MeTimingResult,
+    TraceReplayer,
+    default_replay_engine,
+    set_default_replay_engine,
+)
 from repro.core.exploration import ExplorationConfig, Exploration, ExplorationResult
 
 __all__ = [
+    "CompiledTrace",
     "Exploration",
     "ExplorationConfig",
     "ExplorationResult",
@@ -27,6 +34,8 @@ __all__ = [
     "MeTimingResult",
     "Scenario",
     "TraceReplayer",
+    "default_replay_engine",
+    "set_default_replay_engine",
     "all_scenarios",
     "instruction_scenario",
     "loop_scenario",

@@ -52,6 +52,9 @@ class ExplorationConfig:
     #: score ME candidates on the vectorized half-pel plane engine; the
     #: GetSad trace every scenario replays is bit-identical either way
     use_fast_engine: bool = True
+    #: replay engine override ("columnar"/"legacy"); None follows the
+    #: process-wide default selected by ``--legacy-replay``
+    replay_engine: Optional[str] = None
     timings: MemoryTimings = field(default_factory=MemoryTimings)
     cost_model: CycleCostModel = field(default_factory=CycleCostModel)
 
@@ -128,7 +131,8 @@ class Exploration:
     def replayer(self) -> TraceReplayer:
         if self._replayer is None:
             self._replayer = TraceReplayer(self.encoder_report.trace,
-                                           timings=self.config.timings)
+                                           timings=self.config.timings,
+                                           engine=self.config.replay_engine)
         return self._replayer
 
     def non_me_cycles(self) -> int:
@@ -163,24 +167,26 @@ class Exploration:
                          jobs: int) -> Dict[str, MeTimingResult]:
         """Fan independent scenario replays across forked workers.
 
-        The instruction-level scenarios share one baseline stall replay;
-        it is computed here, in the parent, so every forked worker
-        inherits the cached result instead of recomputing it."""
+        Everything the scenarios share — the compiled trace columns, the
+        stream classifications, the instruction-level stall replays — is
+        computed here, in the parent, so every forked worker inherits the
+        cached state instead of recomputing it.  Workers return their
+        phase-counter deltas alongside the timing so the parent's replay
+        observability covers the forked work without double counting."""
         replayer = self.replayer
-        first_instruction = next(
-            (s for s in scenarios if s.kind == "instruction"), None)
-        if first_instruction is not None:
-            replayer._replay_instruction_stalls(first_instruction)
+        replayer.prime_shared(scenarios)
         global _FORK_EXPLORATION
         _FORK_EXPLORATION = self
         try:
             context = multiprocessing.get_context("fork")
             with context.Pool(min(jobs, len(scenarios))) as pool:
-                timings = pool.map(_replay_in_worker, scenarios)
+                outcomes = pool.map(_replay_in_worker, scenarios)
         finally:
             _FORK_EXPLORATION = None
+        for _, delta in outcomes:
+            replayer.merge_phases(delta)
         return {scenario.name: timing
-                for scenario, timing in zip(scenarios, timings)}
+                for scenario, (timing, _) in zip(scenarios, outcomes)}
 
 
 #: the exploration the forked replay workers operate on (set by the parent
@@ -188,5 +194,13 @@ class Exploration:
 _FORK_EXPLORATION: Optional[Exploration] = None
 
 
-def _replay_in_worker(scenario: Scenario) -> MeTimingResult:
-    return _FORK_EXPLORATION.replayer.replay(scenario)
+def _replay_in_worker(scenario: Scenario):
+    """Replay one scenario; returns ``(timing, phase-counter delta)``.
+
+    The snapshot/delta dance exists because the forked worker inherits the
+    parent's phase counters: reporting only the growth keeps the parent's
+    merge free of the inherited (already-counted) portion."""
+    replayer = _FORK_EXPLORATION.replayer
+    before = replayer.phases_snapshot()
+    timing = replayer.replay(scenario)
+    return timing, replayer.phases_delta(before)

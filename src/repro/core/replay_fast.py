@@ -1,0 +1,356 @@
+"""Per-scenario evaluation over a compiled trace (the columnar engine).
+
+:mod:`repro.core.replay_compile` reduces each stream family to its flagged
+events (misses, absent-line prefetch attempts, stale reference rows); the
+evaluators here replay only those events with exact bus and prefetch-buffer
+state (:class:`~repro.memory.prefetch.PrefetchArrayState`) and charge every
+stall-free invocation its memoized static loop latency in O(1).
+
+The cycle-exactness contract: every evaluator reproduces the legacy
+:class:`~repro.core.timing.TraceReplayer` walk operation for operation —
+same bus-request order, same prefetch dedup/drop/reap decisions, same
+Line Buffer A/B semantics — asserted field-for-field by the differential
+tests.  The one case the columnar model cannot represent (a Line Buffer B
+prefetch dropped because the prefetch buffer is full, which changes buffer
+membership and invalidates the shared classification) raises
+:class:`ColumnarFallback`, and the caller reruns that scenario through the
+legacy path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.replay_compile import CompiledTrace, REFERENCE_ROWS
+from repro.memory.hierarchy import MemoryTimings
+from repro.memory.prefetch import PrefetchArrayState
+from repro.rfu.loop_model import LoopKernelModel, LoopKernelParams
+
+#: inter-invocation spacing of the instruction-level stall replay (cycles);
+#: the legacy walk in ``TraceReplayer._replay_instruction_stalls`` advances
+#: ``now`` by this amount after each invocation's accesses
+INTER_ACCESS_SPACING = 280
+
+
+class ColumnarFallback(Exception):
+    """The compiled classification cannot represent this scenario's timing
+    (a Line Buffer B prefetch was dropped); replay via the legacy path."""
+
+
+def _prefetch_state(timings: MemoryTimings) -> PrefetchArrayState:
+    return PrefetchArrayState(timings.prefetch_entries, timings.bus_latency,
+                              timings.bus_service_interval)
+
+
+def instruction_stall_replay(compiled: CompiledTrace,
+                             timings: MemoryTimings) -> Tuple[int, int]:
+    """(stall cycles, demand misses) of the baseline memory behaviour.
+
+    Walks only the classified misses: a hit never advances the legacy
+    walk's clock, so the cycle of miss *j* in invocation *k* is exactly
+    ``k * INTER_ACCESS_SPACING`` plus the stalls accumulated so far.
+    """
+    cls = compiled.instruction_classification()
+    pf = _prefetch_state(timings)
+    hw_next_line = timings.hardware_next_line_prefetch
+    lb = compiled.line_bytes
+    miss_line = cls.miss_line
+    miss_inv = cls.miss_inv
+    miss_next = cls.miss_next_absent
+    issue, lookup, bus_request = pf.issue, pf.lookup, pf.bus_request
+    now = 0
+    prev_inv = 0
+    stalls = 0
+    demand = 0
+    for j in range(len(miss_line)):
+        inv = miss_inv[j]
+        if inv != prev_inv:
+            now += INTER_ACCESS_SPACING * (inv - prev_inv)
+            prev_inv = inv
+        line = miss_line[j]
+        if hw_next_line and miss_next[j]:
+            issue(line + lb, now)
+        ready = lookup(line, now)
+        if ready is None:
+            stall = bus_request(now) - now
+            demand += 1
+        elif ready > now:
+            stall = ready - now
+        else:
+            stall = 0
+        stalls += stall
+        now += stall
+    return stalls, demand
+
+
+def _latency_tuples(model: LoopKernelModel) -> List[Tuple[int, ...]]:
+    """(pre-loop cycles, II, drain, rows, total) per ``alignment*4+mode``."""
+    return [(lat.overhead + lat.fill, lat.initiation_interval, lat.drain,
+             lat.rows, lat.total) for lat in model.latency_table()]
+
+
+def loop_replay(compiled: CompiledTrace, params: LoopKernelParams,
+                timings: MemoryTimings, lbb_banks: int,
+                invocation_overhead: int) -> Dict[str, int]:
+    """Replay one loop-level scenario; returns the MeTimingResult fields.
+
+    Raises :class:`ColumnarFallback` when the scenario's timing leaves the
+    compiled classification's domain (LBB prefetch drop).
+    """
+    model = LoopKernelModel(params)
+    lat = _latency_tuples(model)
+    pf = _prefetch_state(timings)
+    if params.use_line_buffer_b:
+        out = _loop_lbb_replay(compiled, lat, pf, lbb_banks * 17,
+                               invocation_overhead,
+                               timings.hardware_next_line_prefetch)
+    else:
+        out = _loop_plain_replay(compiled, lat, pf, invocation_overhead,
+                                 timings.hardware_next_line_prefetch)
+    out["worst_loop_latency"] = model.worst_case_latency()
+    return out
+
+
+def _lba_schedule(counts: List[int], now: int,
+                  bus_request) -> Tuple[List[int], int]:
+    """Row-ready cycles of one Line Buffer A fill with missing lines."""
+    ready = [0] * REFERENCE_ROWS
+    when = now
+    for r in range(REFERENCE_ROWS):
+        row_ready = when + 2
+        remaining = counts[r]
+        while remaining:
+            arrival = bus_request(when)
+            if arrival > row_ready:
+                row_ready = arrival
+            remaining -= 1
+        ready[r] = row_ready
+        when += 1
+    return ready, max(ready)
+
+
+def _loop_plain_replay(compiled: CompiledTrace, lat, pf: PrefetchArrayState,
+                       overhead: int, hw_next_line: bool) -> Dict[str, int]:
+    cls = compiled.loop_classification()
+    lb = compiled.line_bytes
+    key_list = compiled.key_list
+    rows_unused = None
+    del rows_unused
+    row_first, row_last = compiled.row_first, compiled.row_last
+    gstarts = compiled.group_starts_list
+    lba_counts = cls.lba_miss_counts
+    lba_any = cls.lba_group_has_miss
+    pf_line, pf_row, pf_off = cls.pf_line, cls.pf_row, cls.pf_off
+    load_flags, load_off = cls.load_flags, cls.load_off
+    inv_nmiss, miss_off = cls.inv_nmiss, cls.miss_off
+    miss_next = cls.miss_next_absent
+    issue, lookup, bus_request = pf.issue, pf.lookup, pf.bus_request
+    now = 0
+    static = 0
+    stalls = 0
+    demand = 0
+    for g in range(len(gstarts) - 1):
+        start, end = gstarts[g], gstarts[g + 1]
+        group_base = now
+        if lba_any[g]:
+            ready, ready_max = _lba_schedule(lba_counts[g], now, bus_request)
+        else:
+            ready = None
+            ready_max = now + REFERENCE_ROWS + 1
+        k = pf_off[start]
+        k_end = pf_off[start + 1]
+        while k < k_end:
+            issue(pf_line[k], now + pf_row[k])
+            k += 1
+        now += 2  # the two rfupft issue slots
+        for i in range(start, end):
+            now += overhead
+            static += overhead
+            if i + 1 < end:
+                k = pf_off[i + 1]
+                k_end = pf_off[i + 2]
+                while k < k_end:
+                    issue(pf_line[k], now + pf_row[k])
+                    k += 1
+                now += 1
+            pre, ii, drain, rows_i, total = lat[key_list[i]]
+            if not inv_nmiss[i] and now + pre >= ready_max:
+                # stall-free: every load hits, every reference row is ready
+                now += total
+                static += total
+                continue
+            t = now + pre
+            inv_stall = 0
+            fo = load_off[i]
+            mo = miss_off[i]
+            first_i = row_first[i]
+            last_i = row_last[i]
+            for r in range(rows_i):
+                line = first_i[r]
+                while True:
+                    if load_flags[fo]:
+                        if hw_next_line and miss_next[mo]:
+                            issue(line + lb, t)
+                        mo += 1
+                        arrival = lookup(line, t)
+                        if arrival is None:
+                            stall = bus_request(t) - t
+                            demand += 1
+                        elif arrival > t:
+                            stall = arrival - t
+                        else:
+                            stall = 0
+                        if stall:
+                            inv_stall += stall
+                            t += stall
+                    fo += 1
+                    if line == last_i[r]:
+                        break
+                    line = last_i[r]
+                if r < REFERENCE_ROWS:
+                    row_ready = ready[r] if ready is not None \
+                        else group_base + r + 2
+                    if row_ready > t:
+                        inv_stall += row_ready - t
+                        t = row_ready
+                t += ii
+            t += drain
+            cycles = t - now
+            now = t
+            static += cycles - inv_stall
+            stalls += inv_stall
+    return {"static_cycles": static, "stall_cycles": stalls,
+            "demand_misses": demand, "prefetch_issued": pf.issued,
+            "prefetch_late": pf.late, "lb_reuse": 0}
+
+
+def _loop_lbb_replay(compiled: CompiledTrace, lat, pf: PrefetchArrayState,
+                     capacity: int, overhead: int,
+                     hw_next_line: bool) -> Dict[str, int]:
+    cls = compiled.lbb_classification(capacity)
+    lb = compiled.line_bytes
+    key_list = compiled.key_list
+    row_first, row_last = compiled.row_first, compiled.row_last
+    gstarts = compiled.group_starts_list
+    lba_counts = cls.lba_miss_counts
+    lba_any = cls.lba_group_has_miss
+    pf_line, pf_row = cls.pf_line, cls.pf_row
+    pf_kind, pf_off = cls.pf_kind, cls.pf_off
+    read_flags, read_off = cls.read_flags, cls.read_off
+    inv_nmiss, miss_off = cls.inv_nmiss, cls.miss_off
+    miss_next = cls.miss_next_absent
+    issue, lookup, bus_request = pf.issue, pf.lookup, pf.bus_request
+    pending = pf.pending
+    arrival_of: Dict[int, int] = {}  # line -> staged arrival cycle
+    arrival_max = 0
+    requests = 0
+    now = 0
+    static = 0
+    stalls = 0
+    demand = 0
+
+    def stage(i: int, base: int) -> None:
+        """Process candidate ``i``'s non-reuse prefetch-pattern events."""
+        nonlocal requests, arrival_max
+        k = pf_off[i]
+        k_end = pf_off[i + 1]
+        while k < k_end:
+            line = pf_line[k]
+            when = base + pf_row[k]
+            if pf_kind[k] == 1:
+                arrival = when + 2  # resident line: buffer access latency
+            else:
+                arrival = pending.get(line)
+                if arrival is not None:
+                    pf.duplicates += 1
+                else:
+                    if pf.in_flight(when) >= pf.capacity:
+                        raise ColumnarFallback(
+                            "Line Buffer B prefetch dropped (prefetch "
+                            "buffer full): classification no longer valid")
+                    arrival = bus_request(when)
+                    pending[line] = arrival
+                    pf.issued += 1
+                    pf.reap(when)
+                requests += 1
+            arrival_of[line] = arrival
+            if arrival > arrival_max:
+                arrival_max = arrival
+            k += 1
+
+    for g in range(len(gstarts) - 1):
+        start, end = gstarts[g], gstarts[g + 1]
+        group_base = now
+        if lba_any[g]:
+            ready, ready_max = _lba_schedule(lba_counts[g], now, bus_request)
+        else:
+            ready = None
+            ready_max = now + REFERENCE_ROWS + 1
+        stage(start, now)
+        now += 2
+        for i in range(start, end):
+            now += overhead
+            static += overhead
+            if i + 1 < end:
+                stage(i + 1, now)
+                now += 1
+            pre, ii, drain, rows_i, total = lat[key_list[i]]
+            t0 = now + pre
+            if not inv_nmiss[i] and t0 >= ready_max and t0 >= arrival_max:
+                # every read tag-hits an already-arrived entry (or hits the
+                # D-cache), and every reference row is long ready
+                now += total
+                static += total
+                continue
+            t = t0
+            inv_stall = 0
+            ro = read_off[i]
+            mo = miss_off[i]
+            first_i = row_first[i]
+            last_i = row_last[i]
+            for r in range(rows_i):
+                line = first_i[r]
+                while True:
+                    flag = read_flags[ro]
+                    if flag == 0:
+                        arrival = arrival_of[line]
+                        if arrival > t:
+                            inv_stall += arrival - t
+                            t = arrival
+                    elif flag == 2:
+                        if hw_next_line and miss_next[mo]:
+                            issue(line + lb, t)
+                        mo += 1
+                        arrival = lookup(line, t)
+                        if arrival is None:
+                            stall = bus_request(t) - t
+                            demand += 1
+                        elif arrival > t:
+                            stall = arrival - t
+                        else:
+                            stall = 0
+                        if stall:
+                            inv_stall += stall
+                            t += stall
+                    else:
+                        mo = mo  # tag miss, D-cache hit: no stall
+                    ro += 1
+                    if line == last_i[r]:
+                        break
+                    line = last_i[r]
+                if r < REFERENCE_ROWS:
+                    row_ready = ready[r] if ready is not None \
+                        else group_base + r + 2
+                    if row_ready > t:
+                        inv_stall += row_ready - t
+                        t = row_ready
+                t += ii
+            t += drain
+            cycles = t - now
+            now = t
+            static += cycles - inv_stall
+            stalls += inv_stall
+    return {"static_cycles": static, "stall_cycles": stalls,
+            "demand_misses": demand,
+            "prefetch_issued": pf.issued + requests,
+            "prefetch_late": pf.late, "lb_reuse": cls.reused_total}

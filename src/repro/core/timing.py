@@ -16,15 +16,37 @@ charges, per invocation,
 Instruction-level scenarios share the baseline's memory behaviour (A1/A2/A3
 change computation only), so the baseline stall replay is computed once and
 reused — exactly what the paper's tables imply.
+
+Two replay engines produce these numbers:
+
+* ``"columnar"`` (default) compiles the trace once into numpy column
+  arrays (:class:`~repro.core.replay_compile.CompiledTrace`), classifies
+  each memory stream's timing-independent hit/miss behaviour once, and
+  then evaluates each scenario by replaying only the flagged events
+  (:mod:`repro.core.replay_fast`);
+* ``"legacy"`` walks every invocation through the object-model memory
+  hierarchy (:class:`~repro.memory.MemorySystem` et al.).
+
+Both are cycle-exact and produce identical :class:`MeTimingResult` values;
+``--legacy-replay`` on the CLI (or ``set_default_replay_engine``) selects
+the reference path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.codec.frame import FrameLayout
 from repro.codec.tracer import MeInvocation, MeTrace
+from repro.core.replay_compile import CompiledTrace
+from repro.core.replay_fast import (
+    INTER_ACCESS_SPACING,
+    ColumnarFallback,
+    instruction_stall_replay,
+    loop_replay,
+)
 from repro.core.scenarios import Scenario
 from repro.errors import ExperimentError
 from repro.kernels import KernelLibrary, KernelShape
@@ -36,6 +58,27 @@ from repro.memory import (
 )
 from repro.rfu.loop_model import InterpMode, LoopKernelModel, predictor_geometry
 from repro.rfu.prefetch_ops import MacroblockPrefetchEngine
+
+REPLAY_ENGINES = ("columnar", "legacy")
+PHASE_NAMES = ("compile", "static", "stall", "loop")
+
+_DEFAULT_ENGINE = ["columnar"]
+
+
+def set_default_replay_engine(name: str) -> None:
+    """Select the engine new :class:`TraceReplayer` instances use
+    (``"columnar"`` or ``"legacy"``); the CLI's ``--legacy-replay`` flag
+    routes here."""
+    if name not in REPLAY_ENGINES:
+        raise ExperimentError(
+            f"unknown replay engine {name!r}; expected one of "
+            f"{', '.join(REPLAY_ENGINES)}")
+    _DEFAULT_ENGINE[0] = name
+
+
+def default_replay_engine() -> str:
+    """The engine newly constructed replayers default to."""
+    return _DEFAULT_ENGINE[0]
 
 
 @dataclass
@@ -76,6 +119,29 @@ class MeTimingResult:
         }
 
 
+class _PhaseTimer:
+    """Accumulates one phase's wall time + call count on ``__exit__``."""
+
+    __slots__ = ("_bucket", "_start")
+
+    def __init__(self, bucket: Dict[str, float]):
+        self._bucket = bucket
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._bucket["wall_s"] += time.perf_counter() - self._start
+        self._bucket["calls"] += 1
+
+
+def _new_phases() -> Dict[str, Dict[str, float]]:
+    return {name: {"wall_s": 0.0, "calls": 0, "cycles": 0}
+            for name in PHASE_NAMES}
+
+
 class TraceReplayer:
     """Replays one MeTrace under arbitrary scenarios."""
 
@@ -86,17 +152,63 @@ class TraceReplayer:
 
     def __init__(self, trace: MeTrace, layout: Optional[FrameLayout] = None,
                  timings: Optional[MemoryTimings] = None,
-                 invocation_overhead: Optional[int] = None):
+                 invocation_overhead: Optional[int] = None,
+                 engine: Optional[str] = None):
         self.trace = trace
         self.layout = layout or FrameLayout()
         self.base_timings = timings or MemoryTimings()
         self.invocation_overhead = self.INVOCATION_OVERHEAD \
             if invocation_overhead is None else invocation_overhead
+        engine = default_replay_engine() if engine is None else engine
+        if engine not in REPLAY_ENGINES:
+            raise ExperimentError(
+                f"unknown replay engine {engine!r}; expected one of "
+                f"{', '.join(REPLAY_ENGINES)}")
+        self.engine_name = engine
         self.stride = self.layout.stride
         self._plane_bases: Dict[str, int] = {}
         self._allocate_planes()
         self._libraries: Dict[str, KernelLibrary] = {}
-        self._instruction_stalls: Optional[Tuple[int, int]] = None
+        #: (stall cycles, demand misses) keyed by MemoryTimings.memory_key()
+        #: so scenarios with different memory knobs never share a result
+        self._instruction_stalls: Dict[Tuple, Tuple[int, int]] = {}
+        self._compiled_trace: Optional[CompiledTrace] = None
+        self.phases = _new_phases()
+
+    # -- observability --------------------------------------------------------
+    def _phase(self, name: str) -> _PhaseTimer:
+        return _PhaseTimer(self.phases[name])
+
+    def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase replay cost (compile/static/stall/loop): wall seconds,
+        number of timed sections, and model cycles attributed to the phase.
+        Logged in sweep run-log events and ``sweep_report.json``."""
+        return {name: {"wall_s": round(bucket["wall_s"], 6),
+                       "calls": int(bucket["calls"]),
+                       "cycles": int(bucket["cycles"])}
+                for name, bucket in self.phases.items()}
+
+    def phases_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Deep copy of the phase counters (taken before forked work)."""
+        return {name: dict(bucket) for name, bucket in self.phases.items()}
+
+    def phases_delta(self, before: Dict[str, Dict[str, float]]) \
+            -> Dict[str, Dict[str, float]]:
+        """Phase counters accumulated since ``before`` (a snapshot).
+
+        Parallel replay workers inherit the parent's counters via fork;
+        returning only the delta lets the parent merge without double
+        counting the inherited portion."""
+        return {name: {key: bucket[key] - before[name][key]
+                       for key in bucket}
+                for name, bucket in self.phases.items()}
+
+    def merge_phases(self, delta: Dict[str, Dict[str, float]]) -> None:
+        """Fold a worker's :meth:`phases_delta` into this replayer."""
+        for name, bucket in delta.items():
+            mine = self.phases[name]
+            for key, value in bucket.items():
+                mine[key] += value
 
     # -- address plumbing -----------------------------------------------------
     def _allocate_planes(self) -> None:
@@ -141,12 +253,35 @@ class TraceReplayer:
             main_memory_size=base.main_memory_size,
         )
 
+    def _compiled(self) -> CompiledTrace:
+        """The columnar view of the trace, built once on first use."""
+        if self._compiled_trace is None:
+            with self._phase("compile"):
+                self._compiled_trace = CompiledTrace(
+                    self.trace, self._plane_bases, self.stride,
+                    *self.base_timings.dcache_geometry())
+        return self._compiled_trace
+
     # -- instruction-level scenarios ---------------------------------------------
     def _replay_instruction_stalls(self, scenario: Scenario) -> Tuple[int, int]:
         """(stall cycles, demand misses) of the baseline memory behaviour."""
-        if self._instruction_stalls is not None:
-            return self._instruction_stalls
-        memory = MemorySystem(self._timings(scenario))
+        timings = self._timings(scenario)
+        key = timings.memory_key()
+        cached = self._instruction_stalls.get(key)
+        if cached is not None:
+            return cached
+        with self._phase("stall"):
+            if self.engine_name == "columnar":
+                result = instruction_stall_replay(self._compiled(), timings)
+            else:
+                result = self._legacy_instruction_stalls(timings)
+            self.phases["stall"]["cycles"] += result[0]
+        self._instruction_stalls[key] = result
+        return result
+
+    def _legacy_instruction_stalls(self, timings: MemoryTimings) \
+            -> Tuple[int, int]:
+        memory = MemorySystem(timings)
         dcache = memory.dcache
         now = 0
         stride = self.stride
@@ -160,21 +295,18 @@ class TraceReplayer:
                     now += memory.load_timing(line, now)
             for row in range(16):
                 now += memory.load_timing(ref_base + row * stride, now)
-            now += 280  # approximate inter-access spacing; stalls dominate
-        self._instruction_stalls = (memory.stats.dcache_stall_cycles,
-                                    memory.stats.demand_miss_stalls)
-        return self._instruction_stalls
+            now += INTER_ACCESS_SPACING  # stalls dominate the spacing
+        return (memory.stats.dcache_stall_cycles,
+                memory.stats.demand_miss_stalls)
 
     def _replay_instruction(self, scenario: Scenario) -> MeTimingResult:
         library = self._library(scenario.variant)
-        cache: Dict[Tuple[int, InterpMode], int] = {}
-        static = self.invocation_overhead * len(self.trace)
-        for inv in self.trace:
-            _, align, _ = self._addresses(inv)
-            key = (align, inv.mode)
-            if key not in cache:
-                cache[key] = library.static_cycles(align, inv.mode)
-            static += cache[key]
+        with self._phase("static"):
+            if self.engine_name == "columnar":
+                static = self._columnar_static(library)
+            else:
+                static = self._legacy_static(library)
+            self.phases["static"]["cycles"] += static
         stalls, misses = self._replay_instruction_stalls(scenario)
         return MeTimingResult(
             scenario=scenario.name,
@@ -184,7 +316,50 @@ class TraceReplayer:
             demand_misses=misses,
         )
 
+    def _columnar_static(self, library: KernelLibrary) -> int:
+        """Static cycles as one vectorized lookup: per-(alignment, mode)
+        invocation counts dotted with the measured kernel latencies."""
+        counts = self._compiled().static_key_counts()
+        static = self.invocation_overhead * len(self.trace)
+        for key, count in enumerate(counts):
+            if count:
+                static += int(count) * library.static_cycles(
+                    key // 4, InterpMode(key % 4))
+        return static
+
+    def _legacy_static(self, library: KernelLibrary) -> int:
+        cache: Dict[Tuple[int, InterpMode], int] = {}
+        static = self.invocation_overhead * len(self.trace)
+        for inv in self.trace:
+            _, align, _ = self._addresses(inv)
+            key = (align, inv.mode)
+            if key not in cache:
+                cache[key] = library.static_cycles(align, inv.mode)
+            static += cache[key]
+        return static
+
     # -- loop-level scenarios --------------------------------------------------------
+    def _replay_loop_columnar(self, scenario: Scenario) -> MeTimingResult:
+        compiled = self._compiled()
+        params = scenario.loop_params
+        with self._phase("compile"):
+            # classification passes are memoized on the compiled trace;
+            # charging them here keeps "loop" a pure evaluation phase
+            if params.use_line_buffer_b:
+                compiled.lbb_classification(scenario.lbb_banks * 17)
+            else:
+                compiled.loop_classification()
+        with self._phase("loop"):
+            out = loop_replay(compiled, params, self._timings(scenario),
+                              scenario.lbb_banks, self.invocation_overhead)
+            self.phases["loop"]["cycles"] += \
+                out["static_cycles"] + out["stall_cycles"]
+        return MeTimingResult(
+            scenario=scenario.name,
+            invocations=len(self.trace),
+            **out,
+        )
+
     def _replay_loop(self, scenario: Scenario) -> MeTimingResult:
         params = scenario.loop_params
         memory = MemorySystem(self._timings(scenario))
@@ -241,6 +416,13 @@ class TraceReplayer:
             lb_reuse=line_buffer_b.stats.reused if line_buffer_b else 0,
         )
 
+    def _replay_loop_legacy_timed(self, scenario: Scenario) -> MeTimingResult:
+        with self._phase("loop"):
+            result = self._replay_loop(scenario)
+            self.phases["loop"]["cycles"] += \
+                result.static_cycles + result.stall_cycles
+        return result
+
     # -- public API -------------------------------------------------------------------
     def replay(self, scenario: Scenario) -> MeTimingResult:
         """Replay the full trace under one scenario."""
@@ -248,4 +430,31 @@ class TraceReplayer:
             raise ExperimentError("cannot replay an empty trace")
         if scenario.kind == "instruction":
             return self._replay_instruction(scenario)
-        return self._replay_loop(scenario)
+        if self.engine_name == "columnar":
+            try:
+                return self._replay_loop_columnar(scenario)
+            except ColumnarFallback:
+                # a dropped Line Buffer B prefetch invalidates the shared
+                # classification for this scenario only; the legacy walk
+                # is always exact
+                return self._replay_loop_legacy_timed(scenario)
+        return self._replay_loop_legacy_timed(scenario)
+
+    def prime_shared(self, scenarios: List[Scenario]) -> None:
+        """Precompute every structure the given scenarios share (compiled
+        columns, stream classifications, instruction stall replays) so that
+        forked replay workers inherit them instead of each rebuilding."""
+        instruction = [s for s in scenarios if s.kind == "instruction"]
+        loops = [s for s in scenarios if s.kind != "instruction"]
+        if self.engine_name == "columnar" and scenarios:
+            compiled = self._compiled()
+            with self._phase("compile"):
+                if instruction:
+                    compiled.instruction_classification()
+                if any(not s.loop_params.use_line_buffer_b for s in loops):
+                    compiled.loop_classification()
+                for banks in sorted({s.lbb_banks for s in loops
+                                     if s.loop_params.use_line_buffer_b}):
+                    compiled.lbb_classification(banks * 17)
+        for scenario in instruction:
+            self._replay_instruction_stalls(scenario)

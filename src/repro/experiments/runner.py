@@ -165,6 +165,14 @@ def run_all(frames: int = 25, context: Optional[ExperimentContext] = None,
         f"Report generated in {time.time() - started:.1f}s of wall time "
         f"(excluding the shared encoder/replay cache)."
     )
+    breakdown = context.replay_breakdown()
+    if breakdown is not None:
+        phase_text = ", ".join(
+            f"{name} {bucket['wall_s']:.2f}s"
+            for name, bucket in breakdown["phases"].items())
+        header += (f"\nReplay engine: {breakdown['engine']} "
+                   f"({breakdown['invocations']:,} invocations; "
+                   f"{phase_text}).")
     report = header + "\n\n" + "\n\n".join(sections)
     if failures and raise_on_error:
         summary = ", ".join(name for name, _ in failures)

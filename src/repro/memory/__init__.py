@@ -12,7 +12,7 @@ coherent.
 from repro.memory.main_memory import MainMemory
 from repro.memory.bus import MemoryBus
 from repro.memory.cache import Cache, CacheStats
-from repro.memory.prefetch import PrefetchBuffer
+from repro.memory.prefetch import PrefetchArrayState, PrefetchBuffer
 from repro.memory.linebuffer import LineBufferA, LineBufferB
 from repro.memory.hierarchy import MemorySystem, MemoryTimings
 
@@ -25,5 +25,6 @@ __all__ = [
     "MemoryBus",
     "MemorySystem",
     "MemoryTimings",
+    "PrefetchArrayState",
     "PrefetchBuffer",
 ]

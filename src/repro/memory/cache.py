@@ -35,6 +35,18 @@ class CacheStats:
         self.hits = self.misses = self.fills = self.evictions = 0
 
 
+def new_lru_sets(num_sets: int) -> List[List[int]]:
+    """Bare per-set true-LRU state: one MRU-last list of line addresses per
+    set, exactly the structure :class:`Cache` keeps internally.
+
+    The columnar replay engine's classification passes run the LRU update
+    rules inline over this raw array state (hit → move to back; miss →
+    evict front when full, append) instead of through :class:`Cache`
+    method calls; sharing the structure here keeps the two in lockstep.
+    """
+    return [[] for _ in range(num_sets)]
+
+
 class Cache:
     """Timing-only set-associative cache."""
 

@@ -34,6 +34,24 @@ class MemoryTimings:
     hardware_next_line_prefetch: bool = True
     main_memory_size: int = 1 << 22
 
+    def dcache_geometry(self) -> Tuple[int, int, int]:
+        """``(line_bytes, num_sets, associativity)`` of the D-cache.
+
+        The columnar replay engine classifies every access against raw
+        per-set LRU state; deriving the geometry here keeps it in exact
+        agreement with what :class:`~repro.memory.cache.Cache` builds."""
+        num_sets = self.dcache_size // (self.dcache_line * self.dcache_assoc)
+        return self.dcache_line, num_sets, self.dcache_assoc
+
+    def memory_key(self) -> Tuple:
+        """Hashable key of every field that can change data-side replay
+        timing.  Replay caches (the instruction-level stall memo) key on
+        this so two scenarios differing in, say, ``prefetch_entries`` never
+        share a cached stall count."""
+        return (self.dcache_size, self.dcache_line, self.dcache_assoc,
+                self.prefetch_entries, self.bus_latency,
+                self.bus_service_interval, self.hardware_next_line_prefetch)
+
 
 @dataclass
 class MemoryStats:

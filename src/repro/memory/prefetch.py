@@ -99,3 +99,91 @@ class PrefetchBuffer:
 
     def flush(self) -> None:
         self._pending.clear()
+
+
+class PrefetchArrayState:
+    """Flattened prefetch-buffer **and** bus state for the columnar replay.
+
+    A per-scenario replay needs exactly one prefetch buffer and one bus;
+    this class keeps both in plain scalars plus one dict so the replay's
+    hot loop pays no object-graph indirection.  Semantics mirror
+    :class:`PrefetchBuffer` over :class:`~repro.memory.bus.MemoryBus`
+    operation for operation (issue/issue_tracked/lookup ordering, the
+    ``in_flight`` capacity rule, and the ``_reap`` bound) — the columnar
+    engine's cycle-exactness contract depends on it, and the differential
+    tests replay both models over identical streams.
+    """
+
+    __slots__ = ("capacity", "latency", "interval", "next_free", "pending",
+                 "issued", "duplicates", "dropped", "useful", "late",
+                 "_reap_limit", "_horizon")
+
+    def __init__(self, entries: int, latency: int, service_interval: int):
+        self.capacity = entries
+        self.latency = latency
+        self.interval = service_interval
+        self.next_free = 0
+        self.pending: Dict[int, int] = {}  # line addr -> arrival cycle
+        self.issued = 0
+        self.duplicates = 0
+        self.dropped = 0
+        self.useful = 0
+        self.late = 0
+        self._reap_limit = 4 * entries
+        self._horizon = 8 * latency
+
+    def bus_request(self, cycle: int) -> int:
+        """Schedule one line fill; same arithmetic as ``MemoryBus.request``."""
+        start = cycle if cycle > self.next_free else self.next_free
+        self.next_free = start + self.interval
+        return start + self.latency
+
+    def in_flight(self, cycle: int) -> int:
+        return sum(1 for ready in self.pending.values() if ready > cycle)
+
+    def reap(self, cycle: int) -> None:
+        # prune in place: the LBB evaluator keeps a direct reference to
+        # ``pending``, so the dict object must never be replaced
+        if len(self.pending) <= self._reap_limit:
+            return
+        horizon = cycle - self._horizon
+        stale = [line for line, ready in self.pending.items()
+                 if ready < horizon]
+        for line in stale:
+            del self.pending[line]
+
+    def issue(self, line_addr: int, cycle: int) -> bool:
+        if line_addr in self.pending:
+            self.duplicates += 1
+            return False
+        if self.in_flight(cycle) >= self.capacity:
+            self.dropped += 1
+            return False
+        self.pending[line_addr] = self.bus_request(cycle)
+        self.issued += 1
+        self.reap(cycle)
+        return True
+
+    def issue_tracked(self, line_addr: int, cycle: int) -> Optional[int]:
+        pending = self.pending.get(line_addr)
+        if pending is not None:
+            self.duplicates += 1
+            return pending
+        if self.in_flight(cycle) >= self.capacity:
+            self.dropped += 1
+            return None
+        arrival = self.bus_request(cycle)
+        self.pending[line_addr] = arrival
+        self.issued += 1
+        self.reap(cycle)
+        return arrival
+
+    def lookup(self, line_addr: int, cycle: int) -> Optional[int]:
+        ready = self.pending.pop(line_addr, None)
+        if ready is None:
+            return None
+        if ready <= cycle:
+            self.useful += 1
+        else:
+            self.late += 1
+        return ready

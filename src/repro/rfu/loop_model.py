@@ -69,6 +69,22 @@ class InterpMode(enum.IntEnum):
         return self in (InterpMode.V, InterpMode.HV)
 
 
+def predictor_geometry_tables() -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`predictor_geometry`: ``(rows, words)`` lookup tables.
+
+    Both tables have shape ``(4, 4)`` indexed ``[alignment, mode]``, so a
+    trace compiler can derive every invocation's geometry with two fancy
+    index operations instead of one Python call per invocation.
+    """
+    rows = np.empty((4, 4), dtype=np.int64)
+    words = np.empty((4, 4), dtype=np.int64)
+    for alignment in range(4):
+        for mode in InterpMode:
+            rows[alignment, mode], words[alignment, mode] = \
+                predictor_geometry(alignment, mode)
+    return rows, words
+
+
 def predictor_geometry(alignment: int, mode: InterpMode) -> Tuple[int, int]:
     """(rows, words_per_row) of the predictor data set.
 
@@ -172,6 +188,16 @@ class LoopKernelModel:
             drain=drain,
             overhead=self.params.issue_overhead,
         )
+
+    def latency_table(self) -> List[LoopLatency]:
+        """Static latency for every shape, indexed ``alignment * 4 + mode``.
+
+        The batched companion of :meth:`static_latency`: the columnar
+        replay engine computes the 16 possible latencies once per scenario
+        and replays invocations against the table.
+        """
+        return [self.static_latency(alignment, mode)
+                for alignment in range(4) for mode in InterpMode]
 
     def worst_case_latency(self) -> int:
         """Static latency the compiler must assume (alignment 3, diagonal)."""

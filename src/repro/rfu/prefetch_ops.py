@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import RfuError
 from repro.memory.hierarchy import MemorySystem
 from repro.memory.linebuffer import LineBufferA, LineBufferB, MACROBLOCK_ROWS
@@ -30,6 +32,29 @@ def macroblock_row_addresses(base: int, stride: int, rows: int,
                              row_bytes: int = 16) -> List[Tuple[int, int]]:
     """(address, length) of each macroblock row in raster memory."""
     return [(base + row * stride, row_bytes) for row in range(rows)]
+
+
+def macroblock_row_line_bounds(base, stride: int, rows: int, row_bytes,
+                               line_bytes: int = 32
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched row-address generation: the first/last cache-line address of
+    every macroblock row.
+
+    ``base`` (and ``row_bytes``) may be scalars or arrays of macroblock
+    bases, so one call covers a whole trace column; the returned arrays
+    have shape ``base.shape + (rows,)``.  Each row covers at most two
+    lines for this machine (a row is at most 24 bytes against 32-byte
+    lines), so ``(first, last)`` fully enumerates its line stream —
+    equal entries mean the row stays inside one line.
+    """
+    base = np.asarray(base, dtype=np.int64)
+    row_bytes = np.broadcast_to(np.asarray(row_bytes, dtype=np.int64),
+                                base.shape)
+    addr = base[..., None] + np.arange(rows, dtype=np.int64) * stride
+    end = addr + row_bytes[..., None] - 1
+    first = addr - addr % line_bytes
+    last = end - end % line_bytes
+    return first, last
 
 
 class MacroblockPrefetchEngine:

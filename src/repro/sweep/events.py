@@ -75,13 +75,16 @@ def read_events(path: pathlib.Path,
 
 
 def build_sweep_report(workload: Dict, code_version: str, jobs: int,
-                       cells: List, wall_s: float) -> Dict:
+                       cells: List, wall_s: float,
+                       replay: Optional[Dict] = None) -> Dict:
     """Distil a sweep's cell results into the ``sweep_report.json`` dict.
 
     ``cells`` are :class:`repro.sweep.executor.CellResult` objects in
     report order.  The dict is stable apart from wall times and the
     generation timestamp, so differential tests compare its cycle numbers
-    directly.
+    directly.  ``replay`` is the replay-engine observability block
+    (:meth:`repro.experiments.workload.ExperimentContext.replay_breakdown`)
+    of the run's warmed context, when one exists.
     """
     cell_rows = []
     for cell in cells:
@@ -101,6 +104,7 @@ def build_sweep_report(workload: Dict, code_version: str, jobs: int,
         "workload": workload,
         "code_version": code_version,
         "jobs": jobs,
+        "replay": replay,
         "cells": cell_rows,
         "totals": {
             "cells": len(cells),

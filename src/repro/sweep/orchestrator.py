@@ -33,7 +33,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.exploration import ExplorationConfig
 from repro.errors import ExperimentError
 from repro.experiments.runner import RUNNERS, cell_names, error_section
-from repro.experiments.workload import DEFAULT_FRAMES, workload_fingerprint
+from repro.experiments.workload import (
+    DEFAULT_FRAMES,
+    peek_context,
+    workload_fingerprint,
+)
 from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
 from repro.sweep.events import RunLog, build_sweep_report
 from repro.sweep.executor import WORKLOAD_CELL, CellResult, run_cells
@@ -180,8 +184,13 @@ def run_sweep(config: Optional[SweepConfig] = None,
 
         ordered = [results[name] for name in names]
         wall_s = time.perf_counter() - started
+        context = peek_context(config.frames, config.seed)
+        replay = context.replay_breakdown() if context is not None else None
+        if replay is not None:
+            log.event("replay_breakdown", **replay)
         sweep_report = build_sweep_report(workload, code_version,
-                                          config.jobs, ordered, wall_s)
+                                          config.jobs, ordered, wall_s,
+                                          replay=replay)
         log.event("sweep_finish", **sweep_report["totals"])
 
     report_path = config.root / "sweep_report.json"

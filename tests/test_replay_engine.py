@@ -1,0 +1,274 @@
+"""Columnar replay engine: cycle-exactness against the legacy walk.
+
+The contract under test: for every scenario the repo can express —
+the full Tables 1-7 catalogue, ablation variants (bank counts, bus
+timings, prefetch-buffer sizes) and randomized synthetic traces — a
+columnar :class:`TraceReplayer` produces a :class:`MeTimingResult` equal
+field-for-field to the legacy object-model walk.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.tracer import MeInvocation, MeTrace
+from repro.core.scenarios import (
+    all_scenarios,
+    instruction_scenario,
+    loop_scenario,
+)
+from repro.core.timing import (
+    TraceReplayer,
+    default_replay_engine,
+    set_default_replay_engine,
+)
+from repro.errors import ExperimentError
+from repro.memory import MemoryTimings
+from repro.rfu.loop_model import Bandwidth, InterpMode
+
+
+def _invocation(frame=1, mb_x=16, mb_y=16, pred_x=14, pred_y=15,
+                mode=InterpMode.FULL, sad=100):
+    return MeInvocation(frame=frame, mb_x=mb_x, mb_y=mb_y, pred_x=pred_x,
+                        pred_y=pred_y, mode=mode, sad=sad,
+                        is_refinement=False)
+
+
+def _trace(invocations):
+    trace = MeTrace()
+    for invocation in invocations:
+        trace.append(invocation)
+    return trace
+
+
+def _assert_engines_agree(trace, scenarios, timings=None):
+    """Fresh replayer per engine (independent caches), equal results."""
+    legacy = TraceReplayer(trace, timings=timings, engine="legacy")
+    columnar = TraceReplayer(trace, timings=timings, engine="columnar")
+    for scenario in scenarios:
+        assert columnar.replay(scenario) == legacy.replay(scenario), \
+            f"engines disagree on {scenario.name}"
+
+
+class TestCatalogueDifferential:
+    """Every tables 1-7 scenario, on the real 3-frame workload trace."""
+
+    def test_full_catalogue_identical(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        _assert_engines_agree(trace, all_scenarios())
+
+    def test_ablation_variants_identical(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        scenarios = [
+            loop_scenario(Bandwidth.B1X32, beta=1.0, line_buffer_b=True,
+                          lbb_banks=1),
+            loop_scenario(Bandwidth.B1X32, beta=1.0, line_buffer_b=True,
+                          lbb_banks=2),
+            loop_scenario(Bandwidth.B2X64, beta=5.0, line_buffer_b=True,
+                          lbb_banks=8),
+            dataclasses.replace(
+                loop_scenario(Bandwidth.B1X32, beta=1.0),
+                name="loop_small_pf", prefetch_entries=4),
+        ]
+        _assert_engines_agree(trace, scenarios)
+
+    def test_custom_bus_timings_identical(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        timings = MemoryTimings(bus_latency=60, bus_service_interval=16)
+        scenarios = [instruction_scenario("orig"),
+                     loop_scenario(Bandwidth.B1X32, beta=1.0),
+                     loop_scenario(Bandwidth.B1X32, beta=1.0,
+                                   line_buffer_b=True)]
+        _assert_engines_agree(trace, scenarios, timings=timings)
+
+    def test_tiny_prefetch_buffer_lbb_fallback_stays_exact(self,
+                                                           small_context):
+        """A starved prefetch buffer drops LBB prefetches; the columnar
+        engine must detect that, fall back, and still match."""
+        trace = small_context.exploration.encoder_report.trace
+        scenario = dataclasses.replace(
+            loop_scenario(Bandwidth.B1X32, beta=1.0, line_buffer_b=True),
+            name="loop_lbb_starved", prefetch_entries=1)
+        _assert_engines_agree(trace, [scenario])
+
+
+class TestEdgeTraces:
+    def test_empty_trace_raises_on_both_engines(self):
+        for engine in ("legacy", "columnar"):
+            replayer = TraceReplayer(MeTrace(), engine=engine)
+            with pytest.raises(ExperimentError):
+                replayer.replay(instruction_scenario("orig"))
+
+    def test_single_invocation_identical(self):
+        trace = _trace([_invocation()])
+        _assert_engines_agree(
+            trace,
+            [instruction_scenario("orig"),
+             loop_scenario(Bandwidth.B1X32, beta=1.0),
+             loop_scenario(Bandwidth.B1X32, beta=1.0, line_buffer_b=True)])
+
+    def test_single_invocation_groups(self):
+        """Each invocation its own macroblock group (group size 1)."""
+        trace = _trace([_invocation(mb_x=16 * i, pred_x=16 * i + (i % 4),
+                                    mode=InterpMode(i % 4))
+                        for i in range(6)])
+        _assert_engines_agree(
+            trace,
+            [loop_scenario(Bandwidth.B1X64, beta=5.0),
+             loop_scenario(Bandwidth.B1X32, beta=1.0, line_buffer_b=True)])
+
+
+_random_invocations = st.lists(
+    st.tuples(
+        st.integers(1, 2),             # frame
+        st.integers(0, 8),             # macroblock column (x16)
+        st.integers(0, 5),             # macroblock row (x16)
+        st.integers(-2, 130),          # pred_x (includes negatives)
+        st.integers(-2, 130),          # pred_y
+        st.integers(0, 3),             # mode
+    ),
+    min_size=1, max_size=40)
+
+
+class TestRandomizedTraces:
+    @settings(max_examples=25, deadline=None)
+    @given(_random_invocations)
+    def test_random_traces_identical(self, rows):
+        rows.sort(key=lambda row: (row[0], row[1], row[2]))
+        trace = _trace([
+            _invocation(frame=frame, mb_x=16 * mbx, mb_y=16 * mby,
+                        pred_x=px, pred_y=py, mode=InterpMode(mode))
+            for frame, mbx, mby, px, py, mode in rows])
+        _assert_engines_agree(
+            trace,
+            [instruction_scenario("a3"),
+             loop_scenario(Bandwidth.B1X32, beta=1.0),
+             loop_scenario(Bandwidth.B2X64, beta=5.0),
+             loop_scenario(Bandwidth.B1X32, beta=1.0,
+                           line_buffer_b=True)])
+
+
+class TestStallCacheKeying:
+    def test_cache_keys_on_memory_relevant_fields(self, small_context):
+        """Two instruction scenarios with different prefetch-buffer sizes
+        must not share one cached stall replay (the pre-columnar cache was
+        a single unkeyed tuple)."""
+        trace = small_context.exploration.encoder_report.trace
+        replayer = TraceReplayer(trace, engine="columnar")
+        base = instruction_scenario("orig")
+        bigger = dataclasses.replace(base, name="orig_pf64",
+                                     prefetch_entries=64)
+        first = replayer._replay_instruction_stalls(base)
+        second = replayer._replay_instruction_stalls(bigger)
+        assert len(replayer._instruction_stalls) == 2
+        assert first != second  # a larger buffer changes stall behaviour
+        # and each key returns its own cached value on re-request
+        assert replayer._replay_instruction_stalls(base) == first
+
+    def test_legacy_engine_keys_identically(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        legacy = TraceReplayer(trace, engine="legacy")
+        base = instruction_scenario("orig")
+        bigger = dataclasses.replace(base, name="orig_pf64",
+                                     prefetch_entries=64)
+        assert legacy._replay_instruction_stalls(base) \
+            != legacy._replay_instruction_stalls(bigger)
+
+
+class TestEngineSelection:
+    def test_default_engine_is_columnar(self):
+        assert default_replay_engine() == "columnar"
+
+    def test_set_default_engine_routes_new_replayers(self):
+        try:
+            set_default_replay_engine("legacy")
+            assert TraceReplayer(_trace([_invocation()])).engine_name \
+                == "legacy"
+        finally:
+            set_default_replay_engine("columnar")
+        assert TraceReplayer(_trace([_invocation()])).engine_name \
+            == "columnar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExperimentError):
+            set_default_replay_engine("quantum")
+        with pytest.raises(ExperimentError):
+            TraceReplayer(_trace([_invocation()]), engine="quantum")
+
+
+class TestPhaseObservability:
+    def test_phases_populated_after_replay(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        replayer = TraceReplayer(trace, engine="columnar")
+        replayer.replay(instruction_scenario("orig"))
+        replayer.replay(loop_scenario(Bandwidth.B1X32, beta=1.0))
+        breakdown = replayer.phase_breakdown()
+        assert set(breakdown) == {"compile", "static", "stall", "loop"}
+        assert breakdown["compile"]["calls"] >= 1
+        assert breakdown["static"]["cycles"] > 0
+        assert breakdown["stall"]["cycles"] > 0
+        assert breakdown["loop"]["cycles"] > 0
+
+    def test_delta_and_merge_round_trip(self, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        replayer = TraceReplayer(trace, engine="columnar")
+        replayer.replay(instruction_scenario("orig"))
+        before = replayer.phases_snapshot()
+        replayer.replay(loop_scenario(Bandwidth.B1X32, beta=1.0))
+        delta = replayer.phases_delta(before)
+        assert delta["loop"]["calls"] == 1
+        assert delta["static"]["calls"] == 0
+        replayer.merge_phases(delta)  # double-apply on purpose
+        assert replayer.phases["loop"]["calls"] == 2
+
+
+class TestTraceNpzRoundTrip:
+    def test_round_trip_preserves_signature(self, tmp_path, small_context):
+        trace = small_context.exploration.encoder_report.trace
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = MeTrace.load_npz(path)
+        assert len(loaded) == len(trace)
+        assert loaded.signature() == trace.signature()
+        assert isinstance(loaded.invocations[0].mode, InterpMode)
+
+    def test_round_trip_preserves_flags(self, tmp_path):
+        trace = _trace([_invocation()])
+        trace.append(MeInvocation(frame=2, mb_x=0, mb_y=0, pred_x=-1,
+                                  pred_y=3, mode=InterpMode.HV, sad=7,
+                                  is_refinement=True, chosen=True))
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = MeTrace.load_npz(path)
+        assert loaded.signature() == trace.signature()
+        assert loaded.invocations[1].chosen is True
+        assert loaded.invocations[1].is_refinement is True
+        assert loaded.invocations[1].pred_x == -1
+
+
+class TestEntropyVectorization:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-300, 300), min_size=0, max_size=64))
+    def test_run_level_pairs_match_scalar(self, values):
+        from repro.codec.entropy import run_level_pairs, \
+            run_level_pairs_scalar
+        block = np.array(values, dtype=np.int64)
+        assert run_level_pairs(block) == run_level_pairs_scalar(block)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-300, 300), min_size=64, max_size=64))
+    def test_block_bits_match_scalar(self, values):
+        from repro.codec.entropy import block_bits, block_bits_scalar
+        block = np.array(values, dtype=np.int64).reshape(8, 8)
+        assert block_bits(block) == block_bits_scalar(block)
+
+    def test_coded_symbols_counts_nonzeros(self):
+        from repro.codec.entropy import coded_symbols
+        block = np.zeros((8, 8), dtype=np.int64)
+        assert coded_symbols(block) == 0
+        block[0, 0] = 5
+        block[7, 7] = -2
+        assert coded_symbols(block) == 2
