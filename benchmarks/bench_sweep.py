@@ -6,22 +6,31 @@ Standalone usage (the acceptance smoke of the sweep work; CI runs the
     PYTHONPATH=src python benchmarks/bench_sweep.py [--frames 3]
                                                     [--jobs 2]
                                                     [--min-hit-rate 0.8]
+                                                    [--max-overhead 0.05]
 
-The script runs the full experiment sweep twice against a fresh temporary
-sweep directory:
+The script runs the full experiment sweep four times against fresh
+temporary sweep directories:
 
 1. **cold** — empty cache: every cell executes (``--jobs`` of them
    concurrently);
 2. **warm** — identical configuration: cells must restore from the
-   on-disk cache.
+   on-disk cache;
+3. **plain** / **armed** — the resilience-overhead pair: two more
+   empty-cache runs off the now-warm in-process context (neither pays
+   the encode), one with the defaults and one with the resilience layer
+   armed (a generous ``--cell-timeout`` plus the retry budget),
+   measuring what the fault-tolerance machinery costs when nothing
+   fails.
 
 It then asserts, before reporting any timing:
 
-* the two reports are **byte-identical**;
+* all four reports are **byte-identical**;
 * the warm run's cache-hit rate is at least ``--min-hit-rate`` (default
   0.8, i.e. a warm rerun skips >= 80% of the runner work), verified from
   the ``cache_hit`` events in the JSONL run log, not just the summary;
-* no cell failed in either run.
+* the armed run costs at most ``--max-overhead`` (default 5%) over the
+  plain cold run, plus an absolute ``--overhead-slack`` for timer noise;
+* no cell failed in any run.
 
 Exit status is non-zero on any violation, so the script doubles as a CI
 gate.
@@ -40,6 +49,8 @@ from repro.sweep import SweepConfig, read_events, run_sweep
 DEFAULT_FRAMES = 3
 DEFAULT_JOBS = 2
 DEFAULT_MIN_HIT_RATE = 0.8
+DEFAULT_MAX_OVERHEAD = 0.05
+DEFAULT_OVERHEAD_SLACK_S = 0.75
 
 
 def main() -> int:
@@ -48,6 +59,14 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
     parser.add_argument("--min-hit-rate", type=float,
                         default=DEFAULT_MIN_HIT_RATE)
+    parser.add_argument("--max-overhead", type=float,
+                        default=DEFAULT_MAX_OVERHEAD,
+                        help="relative warm-path cost ceiling of the "
+                             "armed resilience layer (0.05 = 5%%)")
+    parser.add_argument("--overhead-slack", type=float,
+                        default=DEFAULT_OVERHEAD_SLACK_S,
+                        help="absolute seconds of timer noise tolerated "
+                             "on top of --max-overhead")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
@@ -59,14 +78,34 @@ def main() -> int:
         started = time.perf_counter()
         warm = run_sweep(config)
         warm_s = time.perf_counter() - started
+        # the resilience overhead pair: two more cold-cache runs off the
+        # now-warm in-process context (so neither pays the encode), one
+        # plain and one with every resilience knob armed — per-cell
+        # deadlines and the retry budget, nothing failing
+        started = time.perf_counter()
+        plain = run_sweep(SweepConfig(frames=args.frames, jobs=args.jobs,
+                                      root=Path(tmp) / "plain"))
+        plain_s = time.perf_counter() - started
+        started = time.perf_counter()
+        armed = run_sweep(SweepConfig(frames=args.frames, jobs=args.jobs,
+                                      root=Path(tmp) / "armed",
+                                      cell_timeout_s=600.0,
+                                      max_retries=2))
+        armed_s = time.perf_counter() - started
 
         failures = []
-        if cold.failures or warm.failures:
+        if cold.failures or warm.failures or plain.failures \
+                or armed.failures:
             failures.append(
                 f"failed cells: cold={[c.name for c in cold.failures]} "
-                f"warm={[c.name for c in warm.failures]}")
+                f"warm={[c.name for c in warm.failures]} "
+                f"plain={[c.name for c in plain.failures]} "
+                f"armed={[c.name for c in armed.failures]}")
         if cold.report != warm.report:
             failures.append("cold and warm reports are not byte-identical")
+        if cold.report != armed.report or cold.report != plain.report:
+            failures.append(
+                "resilience-pair reports are not byte-identical to cold")
         if cold.cache_hits != 0:
             failures.append(f"cold run hit the cache {cold.cache_hits}x "
                             f"(expected a cold start)")
@@ -76,19 +115,31 @@ def main() -> int:
             failures.append(f"warm hit rate {hit_rate:.0%} below the "
                             f"{args.min_hit_rate:.0%} gate "
                             f"(hits: {sorted(e['cell'] for e in hits)})")
+        overhead_budget_s = plain_s * (1.0 + args.max_overhead) \
+            + args.overhead_slack
+        if armed_s > overhead_budget_s:
+            failures.append(
+                f"armed resilience run took {armed_s:.2f}s, over the "
+                f"{overhead_budget_s:.2f}s budget (plain {plain_s:.2f}s "
+                f"x {1 + args.max_overhead:.2f} + {args.overhead_slack}s "
+                f"slack)")
 
         print(f"sweep x{len(cold.cells)} cells, {args.frames} frames, "
               f"jobs={args.jobs}")
-        print(f"  cold: {cold_s:6.2f}s  "
+        print(f"  cold:  {cold_s:6.2f}s  "
               f"({cold.sweep_report['totals']['executed']} executed)")
-        print(f"  warm: {warm_s:6.2f}s  ({len(hits)} cache hits, "
+        print(f"  warm:  {warm_s:6.2f}s  ({len(hits)} cache hits, "
               f"hit rate {hit_rate:.0%}, {cold_s / max(warm_s, 1e-9):.0f}x "
               f"faster)")
+        print(f"  plain: {plain_s:6.2f}s  (cold cache, warm context)")
+        print(f"  armed: {armed_s:6.2f}s  (timeouts+retries armed, "
+              f"{100 * (armed_s / max(plain_s, 1e-9) - 1):+.1f}% vs plain)")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print("OK: byte-identical reports, cache gate passed")
+        print("OK: byte-identical reports, cache gate and resilience "
+              "overhead gate passed")
         return 0
 
 

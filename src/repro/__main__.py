@@ -3,8 +3,11 @@
 Commands:
 
 * ``report``   — regenerate the paper's tables/figures (EXPERIMENTS-style);
-* ``sweep``    — the same report through the parallel, cached sweep
-  orchestrator (``--jobs``, ``--only``, ``--no-cache``; run logs and
+* ``sweep``    — the same report through the parallel, cached, fault-
+  tolerant sweep orchestrator (``--jobs``, ``--only``, ``--no-cache``;
+  resilience knobs ``--cell-timeout``, ``--max-retries``,
+  ``--retry-backoff``, ``--max-pool-deaths``; chaos/verification hooks
+  ``--inject-faults``, ``--verify-replay``; run logs and
   ``sweep_report.json`` land under ``--sweep-dir``, default
   ``.repro-sweep/``);
 * ``encode``   — run the MPEG4-SP encoder substrate and print statistics;
@@ -24,6 +27,25 @@ def _apply_replay_engine(args: argparse.Namespace) -> None:
     if getattr(args, "legacy_replay", False):
         from repro.core.timing import set_default_replay_engine
         set_default_replay_engine("legacy")
+    if getattr(args, "verify_replay", None):
+        from repro.core.timing import set_replay_verification
+        set_replay_verification(args.verify_replay)
+    if getattr(args, "inject_faults", None):
+        from repro import faults
+        faults.install(args.inject_faults)
+
+
+def _print_divergences(frames: int, seed: int = 2002) -> int:
+    """Surface any --verify-replay divergences on stderr; returns count."""
+    from repro.experiments.workload import peek_context
+    context = peek_context(frames, seed)
+    if context is None:
+        return 0
+    divergences = context.replay_divergences()
+    for record in divergences:
+        print(f"replay divergence [{record['code']}] scenario "
+              f"{record['scenario']}: {record['fields']}", file=sys.stderr)
+    return len(divergences)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -37,6 +59,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"written to {args.output}")
     else:
         print(report)
+    if args.verify_replay:
+        divergences = _print_divergences(args.frames)
+        print(f"verify-replay: {divergences} divergence(s) "
+              f"(legacy fallback applied)" if divergences else
+              "verify-replay: all sampled replays matched the legacy walk",
+              file=sys.stderr)
     return 0
 
 
@@ -54,6 +82,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         root=pathlib.Path(args.sweep_dir),
         cache_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
         use_cache=not args.no_cache,
+        cell_timeout_s=args.cell_timeout,
+        max_retries=args.max_retries,
+        retry_backoff_s=args.retry_backoff,
+        max_pool_deaths=args.max_pool_deaths,
+        verify_replay_pct=args.verify_replay or 0.0,
+        fault_spec=args.inject_faults,
     )
     progress = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
@@ -74,12 +108,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"provenance stamped into {args.stamp}")
     totals = result.sweep_report["totals"]
     print(f"sweep: {totals['cells']} cells, {totals['cache_hits']} cache "
-          f"hits, {totals['executed']} executed, {totals['errors']} failed "
-          f"in {totals['wall_s']:.1f}s; run log {result.run_log}",
-          file=sys.stderr)
+          f"hits, {totals['executed']} executed, {totals['errors']} failed, "
+          f"{totals['retries']} retries in {totals['wall_s']:.1f}s; "
+          f"run log {result.run_log}", file=sys.stderr)
+    if args.verify_replay:
+        _print_divergences(args.frames, args.seed)
     if result.failures:
         for cell in result.failures:
-            print(f"FAILED {cell.name}: "
+            code = f" [{cell.error_code}]" if cell.error_code else ""
+            print(f"FAILED {cell.name}{code}: "
                   f"{cell.error.strip().splitlines()[-1]}", file=sys.stderr)
         return 1
     return 0
@@ -179,6 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay scenarios through the legacy "
                              "object-model walk instead of the columnar "
                              "engine (identical numbers, slower)")
+    report.add_argument("--verify-replay", type=float, default=None,
+                        metavar="PCT",
+                        help="re-check this percentage of columnar replay "
+                             "evaluations against the legacy walk; "
+                             "divergences are diagnosed on stderr and fall "
+                             "back to the legacy result")
+    report.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection spec (also via "
+                             "the REPRO_FAULTS env var); see repro.faults "
+                             "for the grammar")
     report.set_defaults(handler=_cmd_report)
 
     sweep = sub.add_parser(
@@ -211,6 +258,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay scenarios through the legacy "
                             "object-model walk instead of the columnar "
                             "engine (identical numbers, slower)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock budget; a cell over "
+                            "budget is abandoned (SIGALRM inside the "
+                            "worker) and retried up to --max-retries")
+    sweep.add_argument("--max-retries", type=int, default=2,
+                       help="retry budget per cell for timeouts and "
+                            "transient failures (default 2)")
+    sweep.add_argument("--retry-backoff", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base of the exponential backoff between "
+                            "retries of one cell (default 0.05)")
+    sweep.add_argument("--max-pool-deaths", type=int, default=3,
+                       help="consecutive worker-pool deaths tolerated "
+                            "before degrading to serial in-process "
+                            "execution (default 3)")
+    sweep.add_argument("--verify-replay", type=float, default=None,
+                       metavar="PCT",
+                       help="re-check this percentage of columnar replay "
+                            "evaluations against the legacy walk; "
+                            "divergences land in the run log as "
+                            "replay_divergence events and fall back to "
+                            "the legacy result")
+    sweep.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault-injection spec, e.g. "
+                            "'kill:table3;latency:table5:delay=30' (also "
+                            "via the REPRO_FAULTS env var); see "
+                            "repro.faults for the grammar")
     sweep.set_defaults(handler=_cmd_sweep)
 
     encode = sub.add_parser("encode", help="run the encoder substrate")

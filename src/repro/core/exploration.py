@@ -183,10 +183,12 @@ class Exploration:
                 outcomes = pool.map(_replay_in_worker, scenarios)
         finally:
             _FORK_EXPLORATION = None
-        for _, delta in outcomes:
+        for _, delta, divergences, verified in outcomes:
             replayer.merge_phases(delta)
+            replayer.divergences.extend(divergences)
+            replayer.verified_replays += verified
         return {scenario.name: timing
-                for scenario, (timing, _) in zip(scenarios, outcomes)}
+                for scenario, (timing, _, _, _) in zip(scenarios, outcomes)}
 
 
 #: the exploration the forked replay workers operate on (set by the parent
@@ -195,12 +197,18 @@ _FORK_EXPLORATION: Optional[Exploration] = None
 
 
 def _replay_in_worker(scenario: Scenario):
-    """Replay one scenario; returns ``(timing, phase-counter delta)``.
+    """Replay one scenario; returns ``(timing, phase-counter delta,
+    new divergence records, verified-replay count)``.
 
     The snapshot/delta dance exists because the forked worker inherits the
-    parent's phase counters: reporting only the growth keeps the parent's
-    merge free of the inherited (already-counted) portion."""
+    parent's phase counters (and any pre-existing divergence records):
+    reporting only the growth keeps the parent's merge free of the
+    inherited (already-counted) portion."""
     replayer = _FORK_EXPLORATION.replayer
     before = replayer.phases_snapshot()
+    known = len(replayer.divergences)
+    verified_before = replayer.verified_replays
     timing = replayer.replay(scenario)
-    return timing, replayer.phases_delta(before)
+    return (timing, replayer.phases_delta(before),
+            replayer.divergences[known:],
+            replayer.verified_replays - verified_before)

@@ -34,9 +34,14 @@ the reference path.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro import faults
 
 from repro.codec.frame import FrameLayout
 from repro.codec.tracer import MeInvocation, MeTrace
@@ -48,7 +53,7 @@ from repro.core.replay_fast import (
     loop_replay,
 )
 from repro.core.scenarios import Scenario
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReplayDivergence
 from repro.kernels import KernelLibrary, KernelShape
 from repro.memory import (
     LineBufferA,
@@ -79,6 +84,33 @@ def set_default_replay_engine(name: str) -> None:
 def default_replay_engine() -> str:
     """The engine newly constructed replayers default to."""
     return _DEFAULT_ENGINE[0]
+
+
+#: process-wide sampled-verification state (``--verify-replay``); read
+#: live by every replayer so it can be armed before or after construction
+_VERIFICATION = {"pct": 0.0, "seed": 2002, "strict": False}
+
+
+def set_replay_verification(pct: float, seed: int = 2002,
+                            strict: bool = False) -> None:
+    """Arm the sampled differential guard: re-check ``pct`` percent of
+    columnar replay evaluations against the legacy walk.
+
+    On a divergence the legacy result wins and a field-level diagnostic is
+    recorded on the replayer (:attr:`TraceReplayer.divergences`, surfaced
+    as ``replay_divergence`` run-log events); with ``strict=True`` the
+    divergence raises :class:`~repro.errors.ReplayDivergence` instead.
+    ``pct=0`` disarms the guard (the default — zero warm-path cost).
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ExperimentError(
+            f"--verify-replay expects a percentage in [0, 100], got {pct}")
+    _VERIFICATION.update(pct=float(pct), seed=int(seed), strict=bool(strict))
+
+
+def replay_verification() -> Dict:
+    """The current verification state (pct/seed/strict)."""
+    return dict(_VERIFICATION)
 
 
 @dataclass
@@ -174,6 +206,10 @@ class TraceReplayer:
         self._instruction_stalls: Dict[Tuple, Tuple[int, int]] = {}
         self._compiled_trace: Optional[CompiledTrace] = None
         self.phases = _new_phases()
+        #: how many replays the sampled differential guard re-checked
+        self.verified_replays = 0
+        #: field-level diagnostics of every columnar/legacy divergence
+        self.divergences: List[Dict] = []
 
     # -- observability --------------------------------------------------------
     def _phase(self, name: str) -> _PhaseTimer:
@@ -423,22 +459,95 @@ class TraceReplayer:
                 result.static_cycles + result.stall_cycles
         return result
 
+    # -- sampled differential verification ------------------------------------
+    def _should_verify(self, scenario_name: str) -> bool:
+        """Deterministic sampling decision for ``--verify-replay PCT``."""
+        pct = _VERIFICATION["pct"]
+        if pct <= 0.0 or self.engine_name != "columnar":
+            return False
+        if pct >= 100.0:
+            return True
+        blob = f"{_VERIFICATION['seed']}:{scenario_name}"
+        digest = hashlib.sha256(blob.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < pct / 100.0
+
+    def _reference_replay(self, scenario: Scenario) -> MeTimingResult:
+        """The scenario through the legacy walk, bypassing every memoised
+        structure the columnar path may have populated — a genuinely
+        independent recomputation."""
+        if scenario.kind == "instruction":
+            library = self._library(scenario.variant)
+            stalls, misses = self._legacy_instruction_stalls(
+                self._timings(scenario))
+            return MeTimingResult(
+                scenario=scenario.name,
+                static_cycles=self._legacy_static(library),
+                stall_cycles=stalls,
+                invocations=len(self.trace),
+                demand_misses=misses,
+            )
+        return self._replay_loop(scenario)
+
+    def _verified(self, scenario: Scenario,
+                  result: MeTimingResult) -> MeTimingResult:
+        """Re-check a columnar result against the legacy walk; on
+        divergence record the field-level diff and fall back to legacy."""
+        perturbation = faults.replay_perturbation(scenario.name)
+        if perturbation:
+            result = dataclasses.replace(
+                result, static_cycles=result.static_cycles + perturbation)
+        reference = self._reference_replay(scenario)
+        self.verified_replays += 1
+        if result == reference:
+            return result
+        diff = {}
+        for f in dataclasses.fields(MeTimingResult):
+            mine, theirs = getattr(result, f.name), \
+                getattr(reference, f.name)
+            if mine != theirs:
+                diff[f.name] = {"columnar": mine, "legacy": theirs}
+        record = {"scenario": scenario.name, "engine": "columnar",
+                  "code": ReplayDivergence.code, "fields": diff}
+        self.divergences.append(record)
+        message = (f"columnar/legacy divergence in scenario "
+                   f"{scenario.name!r}: {diff}")
+        if _VERIFICATION["strict"]:
+            raise ReplayDivergence(message)
+        print(f"warning: [{ReplayDivergence.code}] {message}; using the "
+              f"legacy result", file=sys.stderr)
+        return reference
+
     # -- public API -------------------------------------------------------------------
     def replay(self, scenario: Scenario) -> MeTimingResult:
-        """Replay the full trace under one scenario."""
+        """Replay the full trace under one scenario.
+
+        When the sampled differential guard is armed
+        (:func:`set_replay_verification`), a deterministic fraction of
+        columnar evaluations is re-checked field-for-field against the
+        legacy walk; a divergence is diagnosed and the legacy result is
+        returned (the columnar engine never silently wins an argument
+        with the reference model).
+        """
         if not len(self.trace):
             raise ExperimentError("cannot replay an empty trace")
+        used_columnar = self.engine_name == "columnar"
         if scenario.kind == "instruction":
-            return self._replay_instruction(scenario)
-        if self.engine_name == "columnar":
+            result = self._replay_instruction(scenario)
+        elif self.engine_name == "columnar":
             try:
-                return self._replay_loop_columnar(scenario)
+                result = self._replay_loop_columnar(scenario)
             except ColumnarFallback:
                 # a dropped Line Buffer B prefetch invalidates the shared
                 # classification for this scenario only; the legacy walk
                 # is always exact
-                return self._replay_loop_legacy_timed(scenario)
-        return self._replay_loop_legacy_timed(scenario)
+                result = self._replay_loop_legacy_timed(scenario)
+                used_columnar = False
+        else:
+            result = self._replay_loop_legacy_timed(scenario)
+        if used_columnar and self._should_verify(scenario.name):
+            result = self._verified(scenario, result)
+        return result
 
     def prime_shared(self, scenarios: List[Scenario]) -> None:
         """Precompute every structure the given scenarios share (compiled

@@ -1,41 +1,202 @@
-"""Exception hierarchy for the repro package.
+"""Structured exception taxonomy for the repro package.
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures without masking programming errors.
+Each class carries a stable machine-readable ``code`` and an actionable
+``hint`` (what the operator should do about it); :meth:`ReproError.describe`
+formats both, and the sweep's structured run-log events embed the codes so
+a log consumer can classify failures without parsing prose.
+
+The resilience layer (:mod:`repro.sweep`, :mod:`repro.faults`,
+``--verify-replay``) routes its recovery events through the dedicated
+subclasses below — :class:`SweepWorkerDied`, :class:`CellTimeout`,
+:class:`CacheCorrupt`, :class:`ReplayDivergence` et al. — rather than
+generic exceptions, so every failure mode has exactly one code.
+:class:`TransientCellError` is the retry marker: a cell failing with it
+(or a timeout, or a worker death) is retried with backoff; anything else
+is treated as deterministic and fails fast.
 """
+
+from typing import Optional
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``code`` is a stable machine-readable identifier (``REPRO-...``) and
+    ``hint`` a one-line actionable suggestion; both are class attributes
+    so run-log events can reference them without an instance.
+    """
+
+    code: str = "REPRO-E000"
+    hint: str = "see the traceback; this is a generic library failure"
+
+    def describe(self) -> str:
+        """``[CODE] message (hint: ...)`` — the structured rendering."""
+        message = super().__str__()
+        return f"[{self.code}] {message} (hint: {self.hint})"
 
 
 class IsaError(ReproError):
     """An instruction was malformed or used an unknown opcode/register."""
 
+    code = "REPRO-ISA-001"
+    hint = "check the kernel assembly against repro.isa.opcodes"
+
 
 class ScheduleError(ReproError):
     """The VLIW scheduler could not produce a legal schedule."""
+
+    code = "REPRO-SCHED-001"
+    hint = "the kernel exceeds issue-slot or latency constraints"
 
 
 class RegisterAllocationError(ReproError):
     """The register allocator ran out of physical registers."""
 
+    code = "REPRO-REGALLOC-001"
+    hint = "reduce live ranges or spill; the ISA has a fixed register file"
+
 
 class MachineError(ReproError):
     """The cycle-level machine hit an illegal state (bad PC, bad operand...)."""
+
+    code = "REPRO-MACHINE-001"
+    hint = "the scheduled kernel executed outside its legal state space"
 
 
 class MemoryError_(ReproError):
     """An access fell outside main memory or violated alignment rules."""
 
+    code = "REPRO-MEMORY-001"
+    hint = "check plane allocation and access alignment"
+
 
 class RfuError(ReproError):
     """Illegal RFU usage: unknown configuration, bad operand count..."""
+
+    code = "REPRO-RFU-001"
+    hint = "check the configuration registry and operand arity"
 
 
 class CodecError(ReproError):
     """The video codec substrate was misused (bad frame sizes, bad QP...)."""
 
+    code = "REPRO-CODEC-001"
+    hint = "frame dimensions must be macroblock-aligned and QP in range"
+
 
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently."""
+
+    code = "REPRO-EXP-001"
+    hint = "check cell names, scenario names and workload knobs"
+
+
+# -- resilience taxonomy ------------------------------------------------------
+#
+# Raised (or referenced by code) by the fault-tolerant sweep layer.  Each
+# maps one-to-one onto a structured run-log event, so operators can grep a
+# JSONL run log by code.
+
+class ResilienceError(ReproError):
+    """Base class for the sweep resilience layer's failure modes."""
+
+    code = "REPRO-RES-000"
+    hint = "see the sweep run log for the recovery event stream"
+
+
+class SweepWorkerDied(ResilienceError):
+    """A sweep worker process died mid-cell (OOM kill, SIGKILL, crash).
+
+    The orchestrator responds by respawning the pool and requeueing the
+    in-flight cells (``pool_respawn`` event); after
+    ``ResiliencePolicy.max_pool_deaths`` consecutive deaths it degrades to
+    serial in-process execution (``degraded_serial`` event).
+    """
+
+    code = "REPRO-RES-WORKER-DIED"
+    hint = ("a worker was killed mid-cell; the pool was respawned — check "
+            "memory limits if this recurs, or run with --jobs 1")
+
+
+class CellTimeout(ResilienceError):
+    """A cell exceeded its per-cell wall-clock budget (``--cell-timeout``).
+
+    Raised inside the worker by a SIGALRM deadline so the worker itself
+    survives; the cell is retried up to the retry budget (a genuinely
+    slow cell will time out again and surface as an error section).
+    """
+
+    code = "REPRO-RES-TIMEOUT"
+    hint = ("raise --cell-timeout or investigate the cell; deterministic "
+            "workloads that time out once usually time out every attempt")
+
+
+class TransientCellError(ResilienceError):
+    """A cell failed in a way the caller declared retryable.
+
+    Raise this (or a subclass) from experiment code to opt a failure into
+    the sweep's bounded retry-with-backoff; any other exception is treated
+    as deterministic and fails the cell on first occurrence.
+    """
+
+    code = "REPRO-RES-TRANSIENT"
+    hint = "retried automatically with exponential backoff"
+
+
+class CacheCorrupt(ResilienceError):
+    """A sweep cache entry failed its checksum or could not be decoded.
+
+    Never treated as a silent miss: the entry is quarantined (renamed into
+    ``quarantine/``) and a ``cache_corrupt`` event is logged before the
+    cell recomputes.
+    """
+
+    code = "REPRO-RES-CACHE-CORRUPT"
+    hint = ("the entry was quarantined and the cell recomputed; inspect "
+            "<cache-dir>/quarantine/ and check the disk if this recurs")
+
+
+class RunLogCorrupt(ResilienceError):
+    """A run-log JSONL line other than the final one failed to parse.
+
+    A truncated *final* line is the expected signature of a crash mid-write
+    and is always tolerated; corruption earlier in the stream means the
+    log cannot be trusted and is raised on (``read_events(strict=False)``
+    downgrades it to a skip).
+    """
+
+    code = "REPRO-RES-RUNLOG-CORRUPT"
+    hint = ("mid-stream corruption: the log predates the final write, so "
+            "pass strict=False only if a partial event stream is acceptable")
+
+
+class ReplayDivergence(ResilienceError):
+    """The columnar replay engine disagreed with the legacy reference walk.
+
+    Detected by the sampled differential guard (``--verify-replay``); the
+    scenario result falls back to the legacy value and the field-level
+    diff is logged as a ``replay_divergence`` event.  Raised only when
+    verification runs in strict mode.
+    """
+
+    code = "REPRO-RES-REPLAY-DIVERGENCE"
+    hint = ("a columnar-engine bug: the legacy result was used; run with "
+            "--legacy-replay and file the replay_divergence diagnostic")
+
+
+class FaultSpecError(ReproError):
+    """An ``--inject-faults`` specification did not parse."""
+
+    code = "REPRO-FAULT-SPEC-001"
+    hint = ("grammar: [seed=<int>;]<kind>:<target>[:times=<n>|p=<f>|"
+            "delay=<s>][;...] with kind in kill|raise|latency|corrupt|"
+            "truncate|diverge")
+
+
+def event_code(exc_type: type, default: Optional[str] = None) -> str:
+    """The stable event code for an exception class (run-log plumbing)."""
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        return exc_type.code
+    return default or ReproError.code

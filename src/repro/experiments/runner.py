@@ -133,8 +133,16 @@ def workload_header(context: ExperimentContext) -> str:
 
 
 def error_section(name: str, error: str) -> str:
-    """The section substituted for a cell whose runner raised."""
-    return f"{name}: ERROR — {error.strip().splitlines()[-1]}"
+    """The section substituted for a cell whose runner raised.
+
+    Carries the cell name, the exception summary, and the **full**
+    traceback (indented) — a failed report must be diagnosable from its
+    own text, without digging for the run log.
+    """
+    stripped = error.strip()
+    summary = stripped.splitlines()[-1]
+    body = "\n".join("    " + line for line in stripped.splitlines())
+    return f"{name}: ERROR — {summary}\n{body}"
 
 
 def run_all(frames: int = 25, context: Optional[ExperimentContext] = None,
@@ -157,6 +165,10 @@ def run_all(frames: int = 25, context: Optional[ExperimentContext] = None,
             print(f"running {name}...", flush=True)
         try:
             sections.append(run_cell(name, context))
+        except (KeyboardInterrupt, SystemExit):
+            # an operator interrupt or explicit exit must never be
+            # absorbed into an error section
+            raise
         except Exception:
             failures.append((name, traceback.format_exc()))
             sections.append(error_section(name, failures[-1][1]))

@@ -12,7 +12,7 @@ smaller ``frames`` for quick runs (the tests use 3-4).
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.exploration import Exploration, ExplorationConfig, ExplorationResult
 from repro.core.scenarios import Scenario, all_scenarios, instruction_scenario
@@ -71,15 +71,35 @@ class ExperimentContext:
     def replay_breakdown(self) -> Optional[Dict]:
         """Replay-engine observability: which engine ran and what each
         replay phase (compile/static/stall/loop) cost.  ``None`` until the
-        first replay happens (no replayer was ever constructed)."""
+        first replay happens (no replayer was ever constructed).  When the
+        sampled differential guard is armed (``--verify-replay``), a
+        ``verify`` block reports how many replays were re-checked against
+        the legacy walk and how many diverged."""
+        from repro.core.timing import replay_verification
         replayer = self.exploration._replayer
         if replayer is None:
             return None
-        return {
+        breakdown = {
             "engine": replayer.engine_name,
             "invocations": len(replayer.trace),
             "phases": replayer.phase_breakdown(),
         }
+        verification = replay_verification()
+        if verification["pct"] > 0:
+            breakdown["verify"] = {
+                "pct": verification["pct"],
+                "checked": replayer.verified_replays,
+                "divergences": len(replayer.divergences),
+            }
+        return breakdown
+
+    def replay_divergences(self) -> List[Dict]:
+        """Field-level diagnostics recorded by the ``--verify-replay``
+        guard (empty while verification is off or everything agrees)."""
+        replayer = self.exploration._replayer
+        if replayer is None:
+            return []
+        return list(replayer.divergences)
 
     def as_result(self) -> ExplorationResult:
         """Snapshot of everything replayed so far."""

@@ -1,0 +1,289 @@
+"""Deterministic, seeded fault injection for the sweep resilience layer.
+
+Every recovery path in :mod:`repro.sweep` — pool respawn after a worker
+death, per-cell timeouts, retry-with-backoff, cache quarantine, run-log
+truncation tolerance, the ``--verify-replay`` differential guard — is
+exercised by *injected* faults so the chaos tests and the CI chaos job can
+prove the machinery works without depending on real OOM kills.  The
+injector is:
+
+* **deterministic** — whether a fault fires is a pure function of
+  ``(seed, kind, target, attempt)``, so a killed-and-retried cell sees the
+  same decision sequence in every run and across processes (forked
+  workers inherit the installed plan; requeued attempts carry their
+  attempt number);
+* **scoped** — nothing in this module runs unless a plan is installed via
+  ``--inject-faults SPEC``, the ``REPRO_FAULTS`` environment variable, or
+  :func:`install`; the default is a no-op plan with zero overhead at the
+  fire points (one ``is None`` check).
+
+Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
+
+    SPEC   := [ 'seed=' INT ';' ] clause ( (';' | ',') clause )*
+    clause := KIND ':' TARGET ( ':' PARAM )*
+    KIND   := 'kill' | 'raise' | 'latency' | 'corrupt' | 'truncate'
+              | 'diverge'
+    TARGET := cell or scenario name, or '*' (any)
+    PARAM  := 'times=' INT   -- fire on the first INT attempts (default 1)
+            | 'p=' FLOAT     -- fire with this probability per attempt
+            | 'delay=' FLOAT -- seconds of injected latency ('latency')
+
+Kinds and their fire points:
+
+===========  ================================================================
+``kill``     worker calls ``os._exit(13)`` at cell start — the classic
+             SIGKILL/OOM signature that breaks the process pool.  Honoured
+             only inside pool workers (never in-process, so the degraded
+             serial path always terminates).
+``raise``    raises :class:`repro.errors.TransientCellError` at cell start
+             — the retry-with-backoff path.
+``latency``  sleeps ``delay`` seconds inside the cell's deadline — the
+             ``--cell-timeout`` path.
+``corrupt``  flips one byte of a just-written cache entry — the checksum
+             + quarantine path (parent-side, counted per plan instance).
+``truncate`` truncates the final run-log line mid-write — the tolerant
+             JSONL reader path (parent-side).
+``diverge``  perturbs a columnar replay result before the sampled
+             differential guard compares it to the legacy walk — the
+             ``--verify-replay`` detection + fallback path.
+===========  ================================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FaultSpecError, TransientCellError
+
+KINDS = ("kill", "raise", "latency", "corrupt", "truncate", "diverge")
+
+#: environment variable holding a spec (inherited by forked workers)
+ENV_VAR = "REPRO_FAULTS"
+
+#: exit status of an injected worker kill (distinctive in pool diagnostics)
+KILL_EXIT_STATUS = 13
+
+
+@dataclass
+class FaultClause:
+    """One parsed clause: fire ``kind`` at ``target`` per its schedule."""
+
+    kind: str
+    target: str
+    times: int = 1
+    probability: Optional[float] = None
+    delay_s: float = 0.0
+    #: parent-side fire count for stateful kinds (corrupt/truncate)
+    fired: int = field(default=0, compare=False)
+
+    def matches(self, target: str) -> bool:
+        return self.target in ("*", target)
+
+
+class FaultPlan:
+    """An installed set of clauses plus the seed their decisions hash."""
+
+    def __init__(self, clauses: List[FaultClause], seed: int = 0):
+        self.clauses = clauses
+        self.seed = seed
+
+    def _fires(self, clause: FaultClause, target: str, attempt: int) -> bool:
+        if clause.probability is not None:
+            blob = f"{self.seed}:{clause.kind}:{target}:{attempt}"
+            digest = hashlib.sha256(blob.encode("utf-8")).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            return draw < clause.probability
+        return attempt < clause.times
+
+    def decide(self, kind: str, target: str,
+               attempt: int = 0) -> Optional[FaultClause]:
+        """The first matching clause that fires, else None (stateless)."""
+        for clause in self.clauses:
+            if clause.kind == kind and clause.matches(target) \
+                    and self._fires(clause, target, attempt):
+                return clause
+        return None
+
+    def consume(self, kind: str, target: str) -> Optional[FaultClause]:
+        """Like :meth:`decide` for parent-side points, counting each fire
+        against ``times`` on this plan instance (corrupt/truncate have no
+        natural attempt number)."""
+        for clause in self.clauses:
+            if clause.kind == kind and clause.matches(target) \
+                    and clause.probability is None \
+                    and clause.fired < clause.times:
+                clause.fired += 1
+                return clause
+        return None
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse the spec grammar into a :class:`FaultPlan`.
+
+    Raises :class:`~repro.errors.FaultSpecError` with the offending clause
+    on any syntax problem.
+    """
+    seed = 0
+    clauses: List[FaultClause] = []
+    parts = [part.strip()
+             for part in spec.replace(",", ";").split(";") if part.strip()]
+    if not parts:
+        raise FaultSpecError(f"empty fault spec {spec!r}")
+    if parts[0].startswith("seed="):
+        try:
+            seed = int(parts[0][len("seed="):])
+        except ValueError:
+            raise FaultSpecError(f"bad seed clause {parts[0]!r}") from None
+        parts = parts[1:]
+    for part in parts:
+        fields = part.split(":")
+        if len(fields) < 2:
+            raise FaultSpecError(
+                f"clause {part!r} needs at least kind:target")
+        kind, target = fields[0], fields[1]
+        if kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} in {part!r}; expected one of "
+                f"{', '.join(KINDS)}")
+        if not target:
+            raise FaultSpecError(f"empty target in clause {part!r}")
+        clause = FaultClause(kind=kind, target=target)
+        for param in fields[2:]:
+            key, sep, value = param.partition("=")
+            try:
+                if key == "times" and sep:
+                    clause.times = int(value)
+                elif key == "p" and sep:
+                    clause.probability = float(value)
+                    if not 0.0 <= clause.probability <= 1.0:
+                        raise ValueError
+                elif key == "delay" and sep:
+                    clause.delay_s = float(value)
+                else:
+                    raise FaultSpecError(
+                        f"unknown parameter {param!r} in clause {part!r}")
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad value in parameter {param!r} of clause "
+                    f"{part!r}") from None
+        clauses.append(clause)
+    return FaultPlan(clauses, seed=seed)
+
+
+# -- installation -------------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Install (or with None, clear) the process-wide fault plan.
+
+    Also mirrors the spec into :data:`ENV_VAR` so pool workers spawned by
+    any start method — not just ``fork`` — inherit it.
+    """
+    global _PLAN
+    if spec is None:
+        _PLAN = None
+        os.environ.pop(ENV_VAR, None)
+        return None
+    _PLAN = parse_spec(spec)
+    os.environ[ENV_VAR] = spec
+    return _PLAN
+
+
+def install_from_environment() -> Optional[FaultPlan]:
+    """Adopt :data:`ENV_VAR` if set and no plan is installed yet."""
+    global _PLAN
+    if _PLAN is None and os.environ.get(ENV_VAR):
+        _PLAN = parse_spec(os.environ[ENV_VAR])
+    return _PLAN
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or None when fault injection is off."""
+    return _PLAN
+
+
+def clear() -> None:
+    """Remove any installed plan (test teardown)."""
+    install(None)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+# -- fire points --------------------------------------------------------------
+
+def fire_worker_faults(cell: str, attempt: int) -> None:
+    """Called at cell start inside :func:`repro.sweep.executor.execute_cell`.
+
+    Applies ``kill`` (pool workers only), ``raise`` and ``latency`` clauses
+    in that order; a no-op unless a plan is installed.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    if _in_worker() and plan.decide("kill", cell, attempt) is not None:
+        os._exit(KILL_EXIT_STATUS)
+    clause = plan.decide("raise", cell, attempt)
+    if clause is not None:
+        raise TransientCellError(
+            f"injected transient fault in cell {cell!r} "
+            f"(attempt {attempt})")
+    clause = plan.decide("latency", cell, attempt)
+    if clause is not None:
+        time.sleep(clause.delay_s)
+
+
+def maybe_corrupt_file(path: pathlib.Path, target: str) -> bool:
+    """Flip one mid-file byte of ``path`` if a ``corrupt`` clause matches.
+
+    Called by the orchestrator right after a cache write; returns whether
+    corruption was applied.
+    """
+    plan = _PLAN
+    if plan is None or plan.consume("corrupt", target) is None:
+        return False
+    path = pathlib.Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return False
+    index = len(data) // 2
+    data[index] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return True
+
+
+def maybe_truncate_file(path: pathlib.Path, target: str = "*",
+                        keep_fraction: float = 0.5) -> bool:
+    """Truncate the final line of ``path`` if a ``truncate`` clause matches
+    — the signature of a crash mid-write that the tolerant JSONL reader
+    must absorb."""
+    plan = _PLAN
+    if plan is None or plan.consume("truncate", target) is None:
+        return False
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    if not data:
+        return False
+    body = data.rstrip(b"\n")
+    cut = body.rfind(b"\n") + 1          # start of the final line
+    keep = cut + int((len(body) - cut) * keep_fraction)
+    path.write_bytes(data[:max(keep, 1)])
+    return True
+
+
+def replay_perturbation(scenario: str, attempt: int = 0) -> int:
+    """Extra cycles a ``diverge`` clause injects into a columnar result
+    before the ``--verify-replay`` guard compares it to the legacy walk."""
+    plan = _PLAN
+    if plan is None:
+        return 0
+    return 1 if plan.decide("diverge", scenario, attempt) is not None else 0

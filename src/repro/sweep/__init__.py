@@ -25,16 +25,27 @@ The parallel + cached path renders every cell through the same
 :func:`repro.experiments.runner.run_cell` as the serial runner, so its
 table/figure sections are byte-identical to ``python -m repro report`` —
 asserted by the differential tests in ``tests/test_sweep.py``.
+
+On top sits the **resilience layer** (free when nothing fails): per-cell
+wall-clock timeouts, bounded retry-with-backoff for transient failures,
+pool respawn after worker deaths with serial degradation as the last
+resort, checksummed cache entries with quarantine of corrupt files, a
+crash-recovery checkpoint that survives ``--no-cache``, and the sampled
+``--verify-replay`` differential guard — every recovery action a
+structured run-log event, every failure mode a deterministic
+:mod:`repro.faults` injection exercised by ``tests/test_resilience.py``
+and the CI chaos job.
 """
 
 from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
 from repro.sweep.events import RunLog, read_events
-from repro.sweep.executor import WORKLOAD_CELL, CellResult, execute_cell, \
-    run_cells
+from repro.sweep.executor import WORKLOAD_CELL, CellResult, \
+    ResiliencePolicy, execute_cell, run_cells
 from repro.sweep.orchestrator import SweepConfig, SweepResult, run_sweep
 
 __all__ = [
     "CellResult",
+    "ResiliencePolicy",
     "RunLog",
     "SweepCache",
     "SweepConfig",

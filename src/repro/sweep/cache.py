@@ -1,4 +1,4 @@
-"""On-disk memoisation of rendered report cells.
+"""On-disk memoisation of rendered report cells, with integrity checking.
 
 Every cell of the experiment sweep is a pure function of three inputs: the
 workload configuration (frames, seed, Q, search step, timing/cost-model
@@ -20,6 +20,16 @@ Invalidation rules (documented in EXPERIMENTS.md):
 Writes are atomic (temp file + :func:`os.replace`), so a sweep killed
 mid-write never leaves a truncated cell behind and an interrupted sweep
 resumes from its completed cells.
+
+**Integrity.** Each entry is an envelope ``{format, sha256, payload}``
+where the digest covers the canonical JSON encoding of the payload.  An
+entry that fails to decode, fails its checksum, or predates the envelope
+format is **never a silent miss**: it is quarantined — renamed into
+``quarantine/`` next to the cache — and reported through the
+``on_corrupt`` callback (the orchestrator logs it as a ``cache_corrupt``
+run-log event, code :class:`repro.errors.CacheCorrupt`).  Quarantining
+instead of deleting preserves the evidence, and renaming guarantees the
+corrupt bytes cannot be re-hit on the next run.
 """
 
 from __future__ import annotations
@@ -28,10 +38,16 @@ import hashlib
 import json
 import os
 import pathlib
+import sys
 import tempfile
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
+
+from repro.errors import CacheCorrupt
 
 _FINGERPRINTS: Dict[str, str] = {}
+
+#: envelope format version; bumping it invalidates (quarantines) old entries
+CACHE_FORMAT = 2
 
 
 def code_fingerprint(package_root: Optional[pathlib.Path] = None) -> str:
@@ -39,8 +55,8 @@ def code_fingerprint(package_root: Optional[pathlib.Path] = None) -> str:
 
     Hashes (relative path, file contents) of each ``*.py`` file in the
     installed ``repro`` package, excluding the ``sweep/`` orchestration
-    package itself and the CLI shim — neither affects what a cell
-    computes.  Memoised per path for the life of the process.
+    package itself, the fault injector and the CLI shim — none affects
+    what a cell computes.  Memoised per path for the life of the process.
     """
     if package_root is None:
         import repro
@@ -52,7 +68,7 @@ def code_fingerprint(package_root: Optional[pathlib.Path] = None) -> str:
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith("sweep/") or rel == "__main__.py":
+        if rel.startswith("sweep/") or rel in ("__main__.py", "faults.py"):
             continue
         digest.update(rel.encode("utf-8"))
         digest.update(b"\0")
@@ -76,40 +92,106 @@ def cell_key(name: str, workload: Dict, code_version: str) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def payload_digest(payload: Dict) -> str:
+    """sha256 of the canonical JSON encoding of a cache payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class SweepCache:
-    """One-file-per-cell JSON store with atomic writes.
+    """One-file-per-cell JSON store with atomic writes and checksums.
 
     ``enabled=False`` turns every operation into a no-op so callers never
-    branch on ``--no-cache`` themselves.
+    branch on ``--no-cache`` themselves.  ``on_corrupt`` receives a dict
+    ``{key, path, reason, code}`` whenever an entry is quarantined; with
+    no callback the report goes to stderr — corruption is never silent.
     """
 
-    def __init__(self, root: pathlib.Path, enabled: bool = True):
+    def __init__(self, root: pathlib.Path, enabled: bool = True,
+                 on_corrupt: Optional[Callable[[Dict], None]] = None):
         self.root = pathlib.Path(root)
         self.enabled = enabled
+        self.on_corrupt = on_corrupt
 
-    def _path(self, key: str) -> pathlib.Path:
+    def entry_path(self, key: str) -> pathlib.Path:
+        """Where the entry for ``key`` lives on disk."""
         return self.root / f"{key}.json"
 
+    # kept for callers that used the private spelling
+    _path = entry_path
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, key: str, path: pathlib.Path,
+                    reason: str) -> None:
+        """Move a corrupt entry aside and report it (never silently)."""
+        target = self.quarantine_dir / f"{path.name}.corrupt"
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            target = path  # leave evidence in place if the move fails
+        info = {"key": key, "path": str(target), "reason": reason,
+                "code": CacheCorrupt.code}
+        if self.on_corrupt is not None:
+            self.on_corrupt(info)
+        else:
+            print(f"warning: [{CacheCorrupt.code}] quarantined corrupt "
+                  f"sweep-cache entry {path.name}: {reason}",
+                  file=sys.stderr)
+
     def get(self, key: str) -> Optional[Dict]:
-        """The stored payload for ``key``, or None on miss/corruption."""
+        """The stored payload for ``key``, or None on miss.
+
+        A present-but-corrupt entry (bad JSON, failed checksum, unknown
+        format) is quarantined and reported, then treated as a miss so
+        the cell recomputes.
+        """
         if not self.enabled:
+            return None
+        path = self.entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
             return None
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+            # UnicodeDecodeError is a ValueError: bytes that are no longer
+            # valid UTF-8 take the same quarantine path as bad JSON
+            envelope = json.loads(raw.decode("utf-8"))
+            if not isinstance(envelope, dict):
+                raise ValueError("entry is not a JSON object")
+            if envelope.get("format") != CACHE_FORMAT:
+                raise ValueError(
+                    f"unknown cache format {envelope.get('format')!r} "
+                    f"(expected {CACHE_FORMAT})")
+            payload = envelope["payload"]
+            stored = envelope["sha256"]
+            actual = payload_digest(payload)
+            if stored != actual:
+                raise ValueError(
+                    f"checksum mismatch: stored {stored[:12]}..., "
+                    f"computed {actual[:12]}...")
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(key, path, str(exc))
             return None
+        return payload
 
     def put(self, key: str, payload: Dict) -> None:
-        """Atomically store ``payload`` (a JSON-serialisable dict)."""
+        """Atomically store ``payload`` (a JSON-serialisable dict) inside
+        a checksummed envelope."""
         if not self.enabled:
             return
+        envelope = {"format": CACHE_FORMAT,
+                    "sha256": payload_digest(payload),
+                    "payload": payload}
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, self._path(key))
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp, self.entry_path(key))
         except BaseException:
             try:
                 os.unlink(tmp)

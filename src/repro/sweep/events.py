@@ -3,11 +3,16 @@
 Two artifacts record what a sweep did and how long it took:
 
 * the **run log** — an append-only JSONL stream (:class:`RunLog`), one
-  event per line: ``sweep_start``, then per cell either ``cache_hit`` or
-  ``cell_start``/``cell_finish``/``cell_error`` (with wall time and cycle
-  totals), then ``sweep_finish`` with the totals.  Because each line is
-  flushed as it is written, a killed sweep still leaves a parseable prefix
-  — :func:`read_events` tolerates a truncated final line;
+  event per line: ``sweep_start``, then per cell either ``cache_hit``,
+  ``checkpoint_restore`` or ``cell_start``/``cell_finish``/``cell_error``
+  (with wall time and cycle totals), interleaved with the resilience
+  layer's recovery events — ``cell_retry``, ``cell_timeout``,
+  ``pool_respawn``, ``degraded_serial``, ``cache_corrupt``,
+  ``replay_divergence``, each tagged with its :mod:`repro.errors` code —
+  then ``sweep_finish`` with the totals.  Because each line is flushed as
+  it is written, a killed sweep still leaves a parseable prefix —
+  :func:`read_events` tolerates a truncated final line (and raises
+  :class:`~repro.errors.RunLogCorrupt` on mid-stream corruption);
 * the **sweep report** — ``sweep_report.json``
   (:func:`build_sweep_report`), the per-cell summary that
   :func:`repro.experiments.report.render_sweep_provenance` consumes to
@@ -25,6 +30,8 @@ import json
 import pathlib
 import time
 from typing import Dict, List, Optional
+
+from repro.errors import RunLogCorrupt
 
 
 class RunLog:
@@ -52,25 +59,37 @@ class RunLog:
         self.close()
 
 
-def read_events(path: pathlib.Path,
-                kind: Optional[str] = None) -> List[Dict]:
+def read_events(path: pathlib.Path, kind: Optional[str] = None,
+                strict: bool = True) -> List[Dict]:
     """Parse a run log back into event dicts (optionally one kind only).
 
-    A truncated final line — the signature of an interrupted sweep — is
-    skipped rather than raised on.
+    A truncated **final** line — the signature of a crash mid-write — is
+    always skipped rather than raised on.  An unparseable line *earlier*
+    in the stream means the log cannot be trusted and raises
+    :class:`~repro.errors.RunLogCorrupt` (code
+    ``REPRO-RES-RUNLOG-CORRUPT``); pass ``strict=False`` to skip such
+    lines when a partial event stream is acceptable.
     """
-    events: List[Dict] = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue
-            if kind is None or record.get("event") == kind:
-                events.append(record)
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    events: List[Dict] = []
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if index == len(lines) - 1:
+                continue  # tolerated: crash mid-write of the final event
+            if strict:
+                raise RunLogCorrupt(
+                    f"run log {path} line {index + 1} is not valid JSON "
+                    f"(and is not the final line): {line[:80]!r}") from None
+            continue
+        if kind is None or record.get("event") == kind:
+            events.append(record)
     return events
 
 
@@ -97,6 +116,10 @@ def build_sweep_report(workload: Dict, code_version: str, jobs: int,
         }
         if cell.cycles is not None:
             row["cycles"] = cell.cycles
+        if cell.attempts > 1:
+            row["attempts"] = cell.attempts
+        if cell.error_code:
+            row["error_code"] = cell.error_code
         cell_rows.append(row)
     return {
         "version": 1,
@@ -112,6 +135,7 @@ def build_sweep_report(workload: Dict, code_version: str, jobs: int,
             "executed": sum(1 for cell in cells
                             if not cell.cached and not cell.error),
             "errors": sum(1 for cell in cells if cell.error),
+            "retries": sum(cell.attempts - 1 for cell in cells),
             "wall_s": round(wall_s, 4),
         },
     }

@@ -1,4 +1,4 @@
-"""Process-pool execution of independent report cells.
+"""Fault-tolerant process-pool execution of independent report cells.
 
 Each cell of the sweep (a table, figure or extension experiment — plus the
 synthetic ``workload`` header cell) is independent of every other, so they
@@ -9,30 +9,95 @@ fan-out cheap and deterministic:
   used), the parent materialises the shared encoder run, the trace
   replayer and the baseline replay *before* forking, so every worker
   inherits that state copy-on-write instead of re-encoding;
-* **deterministic ordering** — results are collected by submission index,
-  so the assembled report is byte-identical to the serial runner's no
-  matter which worker finished first.
+* **deterministic ordering** — results are collected by cell name and
+  assembled in submission order, so the report is byte-identical to the
+  serial runner's no matter which worker finished first.
+
+On top of that sits the resilience layer (:class:`ResiliencePolicy`),
+designed so that *nothing here costs anything when nothing fails*:
+
+* **per-cell wall-clock timeouts** — a SIGALRM deadline raised *inside*
+  the worker (:class:`~repro.errors.CellTimeout`), so a runaway cell is
+  abandoned without killing the worker or the pool;
+* **bounded retry with exponential backoff** — timeouts and failures
+  marked :class:`~repro.errors.TransientCellError` (the fault injector's
+  ``raise`` kind uses it) are retried up to ``max_retries`` times;
+* **pool-death recovery** — a worker killed mid-cell (OOM, SIGKILL, the
+  injector's ``kill`` kind) breaks the pool; the runner respawns it and
+  requeues every unfinished cell with an incremented attempt number.
+  After ``max_pool_deaths`` *consecutive* deaths without progress it
+  degrades to serial in-process execution, which always terminates
+  (injected kills are honoured only inside pool workers);
+* **structured events** — every recovery action surfaces through the
+  ``on_event`` callback as ``cell_timeout`` / ``cell_retry`` /
+  ``pool_respawn`` / ``degraded_serial``, each tagged with its
+  :mod:`repro.errors` code, which the orchestrator writes to the run log.
 
 Worker exceptions never escape: :func:`execute_cell` catches them and
 returns the traceback inside its :class:`CellResult`, so one failing cell
-cannot abort the sweep.
+cannot abort the sweep.  ``KeyboardInterrupt``/``SystemExit`` are
+re-raised, never absorbed.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
+from repro.errors import (
+    CellTimeout,
+    ReproError,
+    SweepWorkerDied,
+    TransientCellError,
+)
 from repro.experiments.runner import RUNNERS, run_cell, workload_header
 from repro.experiments.workload import DEFAULT_FRAMES, ExperimentContext, \
     get_context
 
 #: the synthetic cell rendering the report's workload-description header
 WORKLOAD_CELL = "workload"
+
+#: signature of an event sink: ``on_event(kind, **fields)``
+EventSink = Callable[..., None]
+
+
+@dataclass
+class ResiliencePolicy:
+    """Failure-handling knobs of one sweep run.
+
+    The defaults keep the warm path free: with no timeout configured and
+    no faults installed, :func:`execute_cell` performs zero extra
+    syscalls, and the retry machinery is a handful of integer
+    comparisons per cell.
+    """
+
+    #: per-cell wall-clock budget in seconds (None = unlimited)
+    cell_timeout_s: Optional[float] = None
+    #: how many times one cell may be retried after a retryable failure
+    max_retries: int = 2
+    #: base of the exponential backoff between retries of the same cell
+    backoff_base_s: float = 0.05
+    #: ceiling on any single backoff sleep
+    backoff_max_s: float = 2.0
+    #: consecutive pool deaths tolerated before degrading to serial
+    max_pool_deaths: int = 3
+    #: injectable sleep (tests replace it to assert the backoff schedule)
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_base_s * (2 ** max(attempt - 1, 0)),
+                   self.backoff_max_s)
 
 
 @dataclass
@@ -45,6 +110,14 @@ class CellResult:
     cached: bool = False
     error: Optional[str] = None
     cycles: Optional[Dict[str, int]] = field(default=None)
+    #: execution attempts this result took (1 = first try succeeded)
+    attempts: int = 1
+    #: the failed attempt exceeded its wall-clock budget
+    timed_out: bool = False
+    #: the failure was declared retryable (TransientCellError)
+    transient: bool = False
+    #: stable repro.errors code of the failure, when one applies
+    error_code: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -59,27 +132,81 @@ def _cycle_totals(context: ExperimentContext) -> Dict[str, int]:
     return totals
 
 
+@contextmanager
+def _deadline(seconds: Optional[float], cell: str):
+    """Raise :class:`CellTimeout` inside the block after ``seconds``.
+
+    Implemented with ``SIGALRM`` so the timeout fires *inside* the
+    (single-threaded) worker and the worker survives to take the next
+    cell.  A no-op when no budget is set, off the main thread, or on
+    platforms without ``SIGALRM`` — exactly the "free when unused"
+    property the warm path needs.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(
+            f"cell {cell!r} exceeded its {seconds:.4g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def execute_cell(name: str, frames: int = DEFAULT_FRAMES,
-                 seed: int = 2002) -> CellResult:
-    """Run one cell to completion, trapping any exception it raises."""
+                 seed: int = 2002, attempt: int = 0,
+                 timeout_s: Optional[float] = None) -> CellResult:
+    """Run one cell to completion, trapping any exception it raises.
+
+    ``attempt`` is the zero-based retry count — it feeds the deterministic
+    fault injector (so an injected fault stops firing once its ``times``
+    budget is spent) and the returned :attr:`CellResult.attempts`.
+    ``KeyboardInterrupt`` and ``SystemExit`` propagate: an operator's ^C
+    must never be swallowed into an error section.
+    """
+    faults.install_from_environment()
     started = time.perf_counter()
     try:
-        if name == WORKLOAD_CELL:
-            context = get_context(frames, seed)
-            rendered = workload_header(context)
-            cycles: Optional[Dict[str, int]] = _cycle_totals(context)
-        elif RUNNERS[name][0] == "figure":
-            rendered = run_cell(name)
-            cycles = None
-        else:
-            context = get_context(frames, seed)
-            rendered = run_cell(name, context)
-            cycles = _cycle_totals(context)
-    except Exception:
+        with _deadline(timeout_s, name):
+            faults.fire_worker_faults(name, attempt)
+            if name == WORKLOAD_CELL:
+                context = get_context(frames, seed)
+                rendered = workload_header(context)
+                cycles: Optional[Dict[str, int]] = _cycle_totals(context)
+            elif RUNNERS[name][0] == "figure":
+                rendered = run_cell(name)
+                cycles = None
+            else:
+                context = get_context(frames, seed)
+                rendered = run_cell(name, context)
+                cycles = _cycle_totals(context)
+    except CellTimeout:
         return CellResult(name, error=traceback.format_exc(),
-                          wall_s=time.perf_counter() - started)
+                          wall_s=time.perf_counter() - started,
+                          attempts=attempt + 1, timed_out=True,
+                          error_code=CellTimeout.code)
+    except TransientCellError:
+        return CellResult(name, error=traceback.format_exc(),
+                          wall_s=time.perf_counter() - started,
+                          attempts=attempt + 1, transient=True,
+                          error_code=TransientCellError.code)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        code = exc.code if isinstance(exc, ReproError) else None
+        return CellResult(name, error=traceback.format_exc(),
+                          wall_s=time.perf_counter() - started,
+                          attempts=attempt + 1, error_code=code)
     return CellResult(name, rendered=rendered, cycles=cycles,
-                      wall_s=time.perf_counter() - started)
+                      wall_s=time.perf_counter() - started,
+                      attempts=attempt + 1)
 
 
 def warm_context(frames: int, seed: int, jobs: int = 1) -> ExperimentContext:
@@ -105,52 +232,180 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return multiprocessing.get_context("fork")
 
 
+def _retry_reason(result: CellResult) -> Optional[str]:
+    """Why this failed attempt qualifies for a retry, or None if it
+    doesn't (deterministic failures fail fast)."""
+    if result.timed_out:
+        return "timeout"
+    if result.transient:
+        return "transient"
+    return None
+
+
+def _note_attempt(result: CellResult, attempt: int,
+                  policy: ResiliencePolicy, emit: EventSink) -> None:
+    """Emit the per-attempt observability events (timeouts)."""
+    if result.timed_out:
+        emit("cell_timeout", cell=result.name, attempt=attempt,
+             timeout_s=policy.cell_timeout_s, code=CellTimeout.code,
+             wall_s=round(result.wall_s, 4))
+
+
+def _run_serial(items: Sequence[Tuple[str, int]], frames: int, seed: int,
+                policy: ResiliencePolicy,
+                on_start: Optional[Callable[[str], None]],
+                on_result: Optional[Callable[[CellResult], None]],
+                emit: EventSink) -> Dict[str, CellResult]:
+    """In-process execution with the same retry/timeout semantics as the
+    pool path.  Used for ``jobs <= 1`` and as the degraded mode after
+    repeated pool deaths (injected kills are not honoured in-process, so
+    degradation always terminates)."""
+    results: Dict[str, CellResult] = {}
+    for name, attempt in items:
+        if on_start and attempt == 0:
+            on_start(name)
+        while True:
+            result = execute_cell(name, frames, seed, attempt,
+                                  policy.cell_timeout_s)
+            if result.error:
+                _note_attempt(result, attempt, policy, emit)
+                reason = _retry_reason(result)
+                if reason and attempt < policy.max_retries:
+                    attempt += 1
+                    delay = policy.backoff_s(attempt)
+                    emit("cell_retry", cell=name, attempt=attempt,
+                         reason=reason, backoff_s=round(delay, 4),
+                         code=result.error_code)
+                    policy.sleep(delay)
+                    continue
+            break
+        results[name] = result
+        if on_result:
+            on_result(result)
+    return results
+
+
 def run_cells(names: Sequence[str], frames: int = DEFAULT_FRAMES,
               seed: int = 2002, jobs: int = 1,
               on_start: Optional[Callable[[str], None]] = None,
-              on_result: Optional[Callable[[CellResult], None]] = None
+              on_result: Optional[Callable[[CellResult], None]] = None,
+              policy: Optional[ResiliencePolicy] = None,
+              on_event: Optional[EventSink] = None
               ) -> List[CellResult]:
     """Execute ``names`` and return their results in the same order.
 
     ``jobs > 1`` fans the cells across a forked process pool (falling back
     to serial where ``fork`` is unavailable, e.g. Windows); ``on_start`` /
     ``on_result`` fire as each cell is dispatched / completes, in
-    completion order, so the run log reflects real timing.
+    completion order, so the run log reflects real timing.  ``policy``
+    configures the resilience layer and ``on_event`` receives its
+    structured recovery events (see the module docstring).
     """
     names = list(names)
+    policy = policy or ResiliencePolicy()
+    emit: EventSink = on_event or (lambda kind, **fields: None)
     mp_context = _fork_context()
     if jobs <= 1 or len(names) <= 1 or mp_context is None:
-        results = []
-        for name in names:
-            if on_start:
-                on_start(name)
-            result = execute_cell(name, frames, seed)
-            if on_result:
-                on_result(result)
-            results.append(result)
-        return results
+        results = _run_serial([(name, 0) for name in names], frames, seed,
+                              policy, on_start, on_result, emit)
+        return [results[name] for name in names]
 
     warm_context(frames, seed, jobs)
-    results: List[Optional[CellResult]] = [None] * len(names)
-    workers = min(jobs, len(names))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=mp_context) as pool:
-        futures = {}
-        for index, name in enumerate(names):
-            if on_start:
-                on_start(name)
-            futures[pool.submit(execute_cell, name, frames, seed)] = index
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = futures[future]
-                try:
-                    result = future.result()
-                except Exception:
-                    result = CellResult(names[index],
-                                        error=traceback.format_exc())
-                results[index] = result
-                if on_result:
-                    on_result(result)
-    return [result for result in results if result is not None]
+    results: Dict[str, CellResult] = {}
+    queue: Deque[Tuple[str, int]] = deque((name, 0) for name in names)
+    pool_deaths = 0
+
+    while queue:
+        if pool_deaths >= policy.max_pool_deaths:
+            remaining = list(queue)
+            queue.clear()
+            emit("degraded_serial", pool_deaths=pool_deaths,
+                 cells=[name for name, _ in remaining],
+                 code=SweepWorkerDied.code)
+            results.update(_run_serial(remaining, frames, seed, policy,
+                                       on_start, on_result, emit))
+            break
+
+        inflight: Dict[object, Tuple[str, int]] = {}
+        unfinished: List[Tuple[str, int]] = []
+        broken = False
+        with ProcessPoolExecutor(max_workers=min(jobs, len(queue)),
+                                 mp_context=mp_context) as pool:
+
+            def submit(name: str, attempt: int) -> object:
+                future = pool.submit(execute_cell, name, frames, seed,
+                                     attempt, policy.cell_timeout_s)
+                inflight[future] = (name, attempt)
+                return future
+
+            while queue:
+                name, attempt = queue.popleft()
+                if on_start and attempt == 0:
+                    on_start(name)
+                submit(name, attempt)
+
+            pending = set(inflight)
+            while pending and not broken:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name, attempt = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        unfinished.append((name, attempt))
+                        continue
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception:
+                        # pool infrastructure failure other than a death:
+                        # surface it as this cell's error
+                        result = CellResult(name,
+                                            error=traceback.format_exc(),
+                                            attempts=attempt + 1)
+                    if result.error:
+                        _note_attempt(result, attempt, policy, emit)
+                        reason = _retry_reason(result)
+                        if reason and attempt < policy.max_retries:
+                            if broken:
+                                # the pool died while this retryable
+                                # failure was in flight; let the respawn
+                                # requeue it instead of resubmitting into
+                                # a broken pool
+                                unfinished.append((name, attempt))
+                                continue
+                            attempt += 1
+                            delay = policy.backoff_s(attempt)
+                            emit("cell_retry", cell=name, attempt=attempt,
+                                 reason=reason, backoff_s=round(delay, 4),
+                                 code=result.error_code)
+                            policy.sleep(delay)
+                            try:
+                                pending.add(submit(name, attempt))
+                            except BrokenProcessPool:
+                                broken = True
+                                unfinished.append((name, attempt))
+                            continue
+                    results[name] = result
+                    pool_deaths = 0
+                    if on_result:
+                        on_result(result)
+            if broken:
+                unfinished.extend(inflight.pop(future)
+                                  for future in pending)
+
+        if broken:
+            pool_deaths += 1
+            requeued = sorted({name for name, _ in unfinished})
+            emit("pool_respawn", death=pool_deaths, requeued=requeued,
+                 code=SweepWorkerDied.code,
+                 max_pool_deaths=policy.max_pool_deaths)
+            # every unfinished cell might have been the one that killed
+            # the worker, so each carries an incremented attempt — the
+            # deterministic fault injector then stops firing once its
+            # ``times`` budget is spent, and real repeat offenders are
+            # bounded by max_pool_deaths
+            queue.extend((name, attempt + 1)
+                         for name, attempt in unfinished)
+
+    return [results[name] for name in names if name in results]

@@ -1,4 +1,4 @@
-"""The sweep driver: plan → cache probe → parallel execute → report.
+"""The sweep driver: plan → cache probe → resilient execute → report.
 
 :func:`run_sweep` regenerates the EXPERIMENTS report the same way the
 serial runner does, but treats each section as an independent, memoisable
@@ -8,29 +8,49 @@ serial runner does, but treats each section as an independent, memoisable
    extensions, optionally filtered by ``--only``);
 2. probe the on-disk cache with each cell's content key — hits are
    restored without running anything and logged as ``cache_hit`` events;
-3. fan the misses across the process pool (``--jobs``), logging
-   ``cell_start``/``cell_finish``/``cell_error`` events with wall times
-   and cycle totals as they complete, and writing each finished cell back
-   to the cache atomically (so an interrupted sweep resumes from what it
-   finished);
+   corrupt entries are quarantined (``cache_corrupt``) and recomputed,
+   never silently re-hit.  Cells the **checkpoint** recorded from an
+   interrupted earlier run restore next (``checkpoint_restore``) — this
+   works even with ``--no-cache``, because the checkpoint is the crash-
+   recovery journal, not the memoisation cache;
+3. fan the misses across the process pool (``--jobs``) under the
+   resilience policy: per-cell timeouts, bounded retry-with-backoff,
+   pool respawn after worker deaths and serial degradation as the last
+   resort — every recovery action logged as a structured event
+   (``cell_timeout`` / ``cell_retry`` / ``pool_respawn`` /
+   ``degraded_serial``).  Each finished cell is written to the cache and
+   the checkpoint atomically, so an interrupted sweep resumes from what
+   it finished;
 4. assemble the report in deterministic cell order — byte-identical
-   regardless of job count or cache state — and write
-   ``sweep_report.json`` next to the run logs.
+   regardless of job count, cache state, or how many faults were
+   recovered from — and write ``sweep_report.json`` next to the run
+   logs.  A fully successful sweep clears its checkpoint.
 
 Failures are isolated per cell: the report carries an error marker
 section, the run log carries the traceback, and the caller (the ``sweep``
 CLI) exits non-zero with a summary at the end instead of dying mid-sweep.
+
+``--verify-replay PCT`` arms the sampled differential guard
+(:func:`repro.core.timing.set_replay_verification`): that fraction of
+columnar replay evaluations is re-checked against the legacy walk, and
+any divergence is logged as a ``replay_divergence`` event with the
+field-level diff (the legacy result wins).  ``--inject-faults SPEC``
+installs the deterministic fault injector (:mod:`repro.faults`) that the
+chaos tests and the CI chaos job drive these paths with.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.core.exploration import ExplorationConfig
+from repro.core.timing import set_replay_verification
 from repro.errors import ExperimentError
 from repro.experiments.runner import RUNNERS, cell_names, error_section
 from repro.experiments.workload import (
@@ -40,10 +60,18 @@ from repro.experiments.workload import (
 )
 from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
 from repro.sweep.events import RunLog, build_sweep_report
-from repro.sweep.executor import WORKLOAD_CELL, CellResult, run_cells
+from repro.sweep.executor import (
+    WORKLOAD_CELL,
+    CellResult,
+    ResiliencePolicy,
+    run_cells,
+)
 
 #: default root for the cache, run logs and sweep_report.json
 DEFAULT_ROOT = pathlib.Path(".repro-sweep")
+
+#: disambiguates run-log labels of sweeps started in the same second
+_RUN_SEQUENCE = itertools.count()
 
 
 @dataclass
@@ -60,6 +88,19 @@ class SweepConfig:
     #: overrides ``root/cache`` when set
     cache_dir: Optional[pathlib.Path] = None
     use_cache: bool = True
+    #: per-cell wall-clock budget in seconds (None = unlimited)
+    cell_timeout_s: Optional[float] = None
+    #: retry budget for timeouts and transient failures
+    max_retries: int = 2
+    #: base of the exponential retry backoff
+    retry_backoff_s: float = 0.05
+    #: consecutive pool deaths tolerated before degrading to serial
+    max_pool_deaths: int = 3
+    #: percentage of columnar replays re-checked against the legacy walk
+    verify_replay_pct: float = 0.0
+    #: deterministic fault-injection spec (see :mod:`repro.faults`);
+    #: None also adopts the REPRO_FAULTS environment variable
+    fault_spec: Optional[str] = None
 
     def resolve_cells(self) -> List[str]:
         names = [WORKLOAD_CELL] + cell_names(self.extensions)
@@ -73,6 +114,14 @@ class SweepConfig:
                 f"unknown cell(s) {', '.join(unknown)}; available: "
                 f"{', '.join(cell_names(True))}")
         return [WORKLOAD_CELL] + [n for n in wanted if n != WORKLOAD_CELL]
+
+    def policy(self) -> ResiliencePolicy:
+        return ResiliencePolicy(
+            cell_timeout_s=self.cell_timeout_s,
+            max_retries=self.max_retries,
+            backoff_base_s=self.retry_backoff_s,
+            max_pool_deaths=self.max_pool_deaths,
+        )
 
 
 @dataclass
@@ -115,83 +164,148 @@ def _write_json(path: pathlib.Path, payload: Dict) -> None:
     os.replace(tmp, path)
 
 
+def _restored_result(name: str, payload: Dict) -> CellResult:
+    return CellResult(
+        name, rendered=payload["rendered"], cached=True,
+        wall_s=payload.get("wall_s", 0.0),
+        cycles=payload.get("cycles"))
+
+
 def run_sweep(config: Optional[SweepConfig] = None,
               progress: Optional[Callable[[str], None]] = None
               ) -> SweepResult:
-    """Run (or restore from cache) every requested cell and assemble the
-    report; see the module docstring for the full pipeline."""
+    """Run (or restore from cache/checkpoint) every requested cell and
+    assemble the report; see the module docstring for the full pipeline."""
     config = config or SweepConfig()
+    if config.fault_spec is not None:
+        faults.install(config.fault_spec)
+    else:
+        faults.install_from_environment()
+    if config.verify_replay_pct:
+        set_replay_verification(config.verify_replay_pct, seed=config.seed)
     names = config.resolve_cells()
     workload = workload_fingerprint(
         ExplorationConfig(frames=config.frames, seed=config.seed))
     code_version = code_fingerprint()
     cache = SweepCache(config.cache_dir or config.root / "cache",
                        enabled=config.use_cache)
-    label = time.strftime("run-%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+    #: the crash-recovery journal: always on, cleared by a clean finish,
+    #: so an interrupted sweep resumes its completed cells even when the
+    #: memoisation cache is disabled
+    checkpoint = SweepCache(config.root / "checkpoint")
+    # pid + per-process counter: two sweeps in the same process and second
+    # must not append to the same run log
+    label = (time.strftime("run-%Y%m%d-%H%M%S")
+             + f"-{os.getpid()}-{next(_RUN_SEQUENCE)}")
     started = time.perf_counter()
 
     keys = {name: cell_key(name, workload, code_version) for name in names}
     results: Dict[str, CellResult] = {}
     misses: List[str] = []
-    with RunLog(config.root / "runs" / f"{label}.jsonl") as log:
+    log_path = config.root / "runs" / f"{label}.jsonl"
+    with RunLog(log_path) as log:
+        cache.on_corrupt = checkpoint.on_corrupt = \
+            lambda info: log.event("cache_corrupt", **info)
         log.event("sweep_start", label=label, frames=config.frames,
                   seed=config.seed, jobs=config.jobs,
                   cache_enabled=config.use_cache,
-                  code_version=code_version, cells=names)
+                  code_version=code_version, cells=names,
+                  cell_timeout_s=config.cell_timeout_s,
+                  max_retries=config.max_retries,
+                  verify_replay_pct=config.verify_replay_pct,
+                  faults=faults.active() is not None)
         for name in names:
             payload = cache.get(keys[name])
             if payload is not None:
-                results[name] = CellResult(
-                    name, rendered=payload["rendered"], cached=True,
-                    wall_s=payload.get("wall_s", 0.0),
-                    cycles=payload.get("cycles"))
+                results[name] = _restored_result(name, payload)
                 log.event("cache_hit", cell=name, key=keys[name],
                           saved_wall_s=payload.get("wall_s", 0.0),
                           cycles=payload.get("cycles"))
                 if progress:
                     progress(f"{name}: cache hit")
-            else:
-                misses.append(name)
+                continue
+            payload = checkpoint.get(keys[name])
+            if payload is not None:
+                results[name] = _restored_result(name, payload)
+                log.event("checkpoint_restore", cell=name, key=keys[name],
+                          saved_wall_s=payload.get("wall_s", 0.0))
+                # promote the checkpointed cell into the cache so the
+                # recovery survives the checkpoint's end-of-run cleanup
+                cache.put(keys[name], payload)
+                if progress:
+                    progress(f"{name}: restored from checkpoint")
+                continue
+            misses.append(name)
 
         def on_start(name: str) -> None:
             log.event("cell_start", cell=name, key=keys[name])
             if progress:
                 progress(f"running {name}...")
 
+        def on_event(kind: str, **fields) -> None:
+            log.event(kind, **fields)
+            if progress:
+                cell = fields.get("cell", ", ".join(
+                    fields.get("cells", fields.get("requeued", []))) or "-")
+                progress(f"{kind}: {cell}")
+
         def on_result(result: CellResult) -> None:
             if result.error:
                 log.event("cell_error", cell=result.name,
                           wall_s=round(result.wall_s, 4),
+                          attempts=result.attempts,
+                          error_code=result.error_code,
                           traceback=result.error)
                 if progress:
                     progress(f"{result.name}: FAILED")
                 return
             log.event("cell_finish", cell=result.name,
-                      wall_s=round(result.wall_s, 4), cycles=result.cycles)
-            cache.put(keys[result.name], {
+                      wall_s=round(result.wall_s, 4), cycles=result.cycles,
+                      attempts=result.attempts)
+            payload = {
                 "cell": result.name,
                 "rendered": result.rendered,
                 "wall_s": round(result.wall_s, 4),
                 "cycles": result.cycles,
                 "workload": workload,
                 "code_version": code_version,
-            })
+            }
+            key = keys[result.name]
+            checkpoint.put(key, payload)
+            cache.put(key, payload)
+            if cache.enabled:
+                # chaos hook: a ``corrupt`` fault clause flips a byte of
+                # the entry we just wrote, exercising the quarantine path
+                # on the next run
+                faults.maybe_corrupt_file(cache.entry_path(key),
+                                          result.name)
 
         for result in run_cells(misses, config.frames, config.seed,
                                 jobs=config.jobs, on_start=on_start,
-                                on_result=on_result):
+                                on_result=on_result,
+                                policy=config.policy(),
+                                on_event=on_event):
             results[result.name] = result
 
-        ordered = [results[name] for name in names]
+        ordered = [results[name] for name in names if name in results]
         wall_s = time.perf_counter() - started
         context = peek_context(config.frames, config.seed)
         replay = context.replay_breakdown() if context is not None else None
         if replay is not None:
             log.event("replay_breakdown", **replay)
+        if context is not None:
+            for record in context.replay_divergences():
+                log.event("replay_divergence", **record)
         sweep_report = build_sweep_report(workload, code_version,
                                           config.jobs, ordered, wall_s,
                                           replay=replay)
         log.event("sweep_finish", **sweep_report["totals"])
+
+    # chaos hook: a ``truncate`` clause shears the final run-log line,
+    # exercising the tolerant JSONL reader
+    faults.maybe_truncate_file(log_path, "runlog")
+    if len(ordered) == len(names) and not any(c.error for c in ordered):
+        checkpoint.clear()
 
     report_path = config.root / "sweep_report.json"
     _write_json(report_path, sweep_report)
@@ -199,6 +313,6 @@ def run_sweep(config: Optional[SweepConfig] = None,
         report=_assemble(ordered),
         cells=ordered,
         sweep_report=sweep_report,
-        run_log=config.root / "runs" / f"{label}.jsonl",
+        run_log=log_path,
         report_path=report_path,
     )
