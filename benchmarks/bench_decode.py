@@ -1,0 +1,145 @@
+"""Decode-path benchmark: strict vs robust on clean streams, with gates.
+
+Standalone usage (CI runs the 3-frame form)::
+
+    PYTHONPATH=src python benchmarks/bench_decode.py [--frames 5]
+                                                     [--resync-every 2]
+                                                     [--max-overhead 0.05]
+
+The script encodes a synthetic QCIF sequence once, serializes it in both
+wire layouts, and asserts correctness before reporting any timing:
+
+* the strict decode of the **legacy** payload equals the encoder's
+  reconstruction bit for bit;
+* the strict decode of the **resilient** payload equals it too (the two
+  layouts carry identical macroblock syntax);
+* the robust decode of either clean payload is bit-identical to the
+  strict decode with a clean :class:`~repro.codec.decoder.DecodeHealth`
+  (zero events, zero concealment) — the differential guarantee;
+* the resilient layout's size overhead stays under ``--max-size-overhead``
+  (default 15%).
+
+It then times strict vs robust decodes of the same clean resilient
+payload (best of ``--repeats``) and fails if the robust path costs more
+than ``--max-overhead`` (default 5%) over strict, plus an absolute
+``--overhead-slack`` for timer noise.  Exit status is non-zero on any
+violation, so the script doubles as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.codec import (
+    EncoderConfig,
+    Mpeg4Encoder,
+    decode_sequence,
+    deserialize,
+    robust_decode,
+    serialize,
+)
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+
+DEFAULT_FRAMES = 5
+DEFAULT_RESYNC_EVERY = 2
+DEFAULT_REPEATS = 3
+DEFAULT_MAX_OVERHEAD = 0.05
+DEFAULT_MAX_SIZE_OVERHEAD = 0.15
+DEFAULT_OVERHEAD_SLACK_S = 0.25
+
+
+def _frames_equal(decoded, reference) -> bool:
+    return len(decoded) == len(reference) and all(
+        np.array_equal(a.y, b.y) and np.array_equal(a.u, b.u)
+        and np.array_equal(a.v, b.v)
+        for a, b in zip(decoded, reference))
+
+
+def _best_of(repeats, thunk):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES)
+    parser.add_argument("--resync-every", type=int,
+                        default=DEFAULT_RESYNC_EVERY)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--max-overhead", type=float,
+                        default=DEFAULT_MAX_OVERHEAD,
+                        help="relative robust-decode cost ceiling on a "
+                             "clean stream (0.05 = 5%%)")
+    parser.add_argument("--max-size-overhead", type=float,
+                        default=DEFAULT_MAX_SIZE_OVERHEAD,
+                        help="relative resilient-layout size ceiling "
+                             "(0.15 = 15%%)")
+    parser.add_argument("--overhead-slack", type=float,
+                        default=DEFAULT_OVERHEAD_SLACK_S,
+                        help="absolute seconds of timer noise tolerated "
+                             "on top of --max-overhead")
+    args = parser.parse_args()
+
+    frames = synthetic_sequence(SyntheticSequenceConfig(frames=args.frames))
+    report = Mpeg4Encoder(EncoderConfig(
+        resync_every=args.resync_every)).encode(frames)
+    legacy = serialize(report.coded, resync_every=0)
+    resilient = report.serialize()
+
+    failures = []
+    strict_legacy = decode_sequence(deserialize(legacy))
+    if not _frames_equal(strict_legacy, report.reconstructed):
+        failures.append("strict legacy decode != encoder reconstruction")
+    strict_resilient = decode_sequence(deserialize(resilient))
+    if not _frames_equal(strict_resilient, report.reconstructed):
+        failures.append("strict resilient decode != encoder reconstruction")
+    for name, payload in (("legacy", legacy), ("resilient", resilient)):
+        robust_frames, health = robust_decode(payload)
+        if not _frames_equal(robust_frames, report.reconstructed):
+            failures.append(f"robust {name} decode of a clean stream is "
+                            f"not bit-identical to strict")
+        if not health.ok:
+            failures.append(f"robust {name} decode of a clean stream "
+                            f"reports corruption: {health.summary()}")
+    size_overhead = len(resilient) / len(legacy) - 1.0
+    if size_overhead > args.max_size_overhead:
+        failures.append(
+            f"resilient layout is {size_overhead:.1%} larger than legacy, "
+            f"over the {args.max_size_overhead:.0%} gate")
+
+    strict_s = _best_of(
+        args.repeats, lambda: decode_sequence(deserialize(resilient)))
+    robust_s = _best_of(args.repeats, lambda: robust_decode(resilient))
+    budget_s = strict_s * (1.0 + args.max_overhead) + args.overhead_slack
+    if robust_s > budget_s:
+        failures.append(
+            f"robust decode took {robust_s:.3f}s on a clean stream, over "
+            f"the {budget_s:.3f}s budget (strict {strict_s:.3f}s x "
+            f"{1 + args.max_overhead:.2f} + {args.overhead_slack}s slack)")
+
+    print(f"decode x{args.frames} frames, resync_every="
+          f"{args.resync_every}")
+    print(f"  payload: legacy {len(legacy):,} B, resilient "
+          f"{len(resilient):,} B ({size_overhead:+.1%})")
+    print(f"  strict:  {strict_s:6.3f}s  (best of {args.repeats})")
+    print(f"  robust:  {robust_s:6.3f}s  "
+          f"({100 * (robust_s / max(strict_s, 1e-9) - 1):+.1f}% vs strict)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: bit-identical decodes on both layouts, clean health, "
+          "size and overhead gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

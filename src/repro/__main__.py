@@ -11,6 +11,14 @@ Commands:
   ``sweep_report.json`` land under ``--sweep-dir``, default
   ``.repro-sweep/``);
 * ``encode``   — run the MPEG4-SP encoder substrate and print statistics;
+* ``decode``   — encode → serialize → decode round trip (on a raw YUV420
+  file or the synthetic sequence), reporting stream size, per-frame PSNR
+  and — with ``--robust`` — the ``DecodeHealth`` report; ``--resync-every
+  N`` emits the error-resilient stream layout;
+* ``fuzz-decode`` — the seeded bitstream-fuzzing harness: sweeps
+  corruption rates × seeds over a serialized stream, asserts the robust
+  decoder only ever fails structurally (``REPRO-DEC-*``), and emits the
+  corruption-rate → concealed-PSNR degradation curve (``--json``);
 * ``kernels``  — compile, verify and time every GetSad kernel shape;
 * ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule.
 """
@@ -156,6 +164,204 @@ def _cmd_encode(args: argparse.Namespace) -> int:
           f"{report.mean_psnr_y:.2f} dB")
     print(f"GetSad calls {len(trace):,}, diagonal-interpolation fraction "
           f"{100 * trace.diagonal_fraction():.1f}%")
+    return 0
+
+
+def _load_yuv_frames(path: str, width: int, height: int):
+    """Raw planar YUV420 frames from a file (trailing partials dropped)."""
+    import numpy as np
+
+    from repro.codec import YuvFrame
+    from repro.errors import CodecError
+    data = np.fromfile(path, dtype=np.uint8)
+    frame_bytes = width * height * 3 // 2
+    if frame_bytes == 0 or len(data) < frame_bytes:
+        raise CodecError(
+            f"{path} holds {len(data)} bytes, less than one "
+            f"{width}x{height} YUV420 frame ({frame_bytes} bytes)")
+    frames = []
+    for start in range(0, len(data) - frame_bytes + 1, frame_bytes):
+        chunk = data[start:start + frame_bytes]
+        y = chunk[:width * height].reshape(height, width)
+        u = chunk[width * height:width * height * 5 // 4] \
+            .reshape(height // 2, width // 2)
+        v = chunk[width * height * 5 // 4:].reshape(height // 2, width // 2)
+        frames.append(YuvFrame(y.copy(), u.copy(), v.copy()))
+    return frames
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.codec import (
+        EncoderConfig,
+        Mpeg4Encoder,
+        SyntheticSequenceConfig,
+        decode_sequence,
+        deserialize,
+        robust_decode,
+        synthetic_sequence,
+    )
+    from repro.errors import CodecError
+    if args.input:
+        frames = _load_yuv_frames(args.input, args.width, args.height)
+        if args.frames:
+            frames = frames[:args.frames]
+    else:
+        frames = synthetic_sequence(SyntheticSequenceConfig(
+            frames=args.frames or 10, seed=args.seed))
+    report = Mpeg4Encoder(EncoderConfig(
+        qp=args.qp, resync_every=args.resync_every)).encode(frames)
+    payload = report.serialize()
+    layout = f"resilient (resync every {args.resync_every} MB rows)" \
+        if args.resync_every else "legacy"
+    print(f"encoded {len(frames)} frames -> {len(payload):,} bytes "
+          f"({layout} layout)")
+    try:
+        if args.robust:
+            decoded, health = robust_decode(payload)
+            print(health.summary())
+        else:
+            decoded = decode_sequence(deserialize(payload))
+    except CodecError as exc:
+        print(exc.describe(), file=sys.stderr)
+        return 1
+    exact = all(
+        np.array_equal(dec.y, rec.y) and np.array_equal(dec.u, rec.u)
+        and np.array_equal(dec.v, rec.v)
+        for dec, rec in zip(decoded, report.reconstructed))
+    print(f"{'frame':>5s} {'type':>4s} {'PSNR-Y':>7s}")
+    for stats, (source, dec) in zip(report.frame_stats,
+                                    zip(frames, decoded)):
+        print(f"{stats.index:>5d} {stats.frame_type:>4s} "
+              f"{dec.psnr_y(source):>6.2f}")
+    print(f"decode matches the encoder reconstruction bit-exactly: "
+          f"{'yes' if exact else 'NO'}")
+    return 0 if exact else 1
+
+
+def _cmd_fuzz_decode(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.codec import (
+        EncoderConfig,
+        Mpeg4Encoder,
+        SyntheticSequenceConfig,
+        decode_sequence,
+        deserialize,
+        robust_decode,
+        serialize,
+        synthetic_sequence,
+    )
+    from repro.codec.decoder import concealment_psnr
+    from repro.errors import CodecError
+    from repro.faults import BITSTREAM_KINDS, corrupt_bitstream
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip()) \
+        if args.kinds else BITSTREAM_KINDS
+    rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    frames = synthetic_sequence(SyntheticSequenceConfig(
+        frames=args.frames, seed=args.seed))
+    report = Mpeg4Encoder(EncoderConfig(
+        qp=args.qp, resync_every=args.resync_every)).encode(frames)
+    clean_payload = serialize(report.coded)
+    clean_frames = decode_sequence(report.coded)
+    # differential guarantee: zero corruption => robust == strict, exactly
+    robust_clean, clean_health = robust_decode(clean_payload)
+    if not clean_health.ok or concealment_psnr(
+            robust_clean, clean_frames) != float("inf"):
+        print("FATAL: robust decode of the clean stream is not identical "
+              "to the strict decode", file=sys.stderr)
+        return 1
+    curve = []
+    unstructured = 0
+    total = 0
+    if not args.quiet:
+        print(f"fuzzing {len(clean_payload):,}-byte stream "
+              f"({args.frames} frames, resync every "
+              f"{args.resync_every or 'never'}): {len(rates)} rates x "
+              f"{args.seeds} seeds, kinds {','.join(kinds)}")
+        print(f"{'rate':>10s} {'streams':>7s} {'hit':>5s} "
+              f"{'struct-err':>10s} {'concealed%':>10s} {'PSNR dB':>9s} "
+              f"{'exact':>5s}")
+    for rate in rates:
+        psnrs = []
+        concealed = []
+        exact = corrupted = strict_errors = 0
+        for seed in range(args.seeds):
+            total += 1
+            payload, events = corrupt_bitstream(
+                clean_payload, seed=seed, kinds=kinds, rate=rate)
+            if events:
+                corrupted += 1
+            try:
+                decode_sequence(deserialize(payload))
+            except CodecError:
+                strict_errors += 1
+            except Exception as exc:  # noqa: BLE001 -- the harness's point
+                unstructured += 1
+                print(f"UNSTRUCTURED strict failure (rate {rate}, seed "
+                      f"{seed}): {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+            try:
+                decoded, health = robust_decode(payload)
+                mb_total = max(health.mbs_decoded + health.mbs_concealed, 1)
+                psnr = concealment_psnr(decoded, clean_frames)
+                health.concealment_psnr = None \
+                    if psnr == float("inf") else psnr
+            except Exception as exc:  # noqa: BLE001 -- the harness's point
+                unstructured += 1
+                print(f"UNSTRUCTURED robust failure (rate {rate}, seed "
+                      f"{seed}): {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                continue
+            concealed.append(1.0 if not decoded
+                             else health.mbs_concealed / mb_total)
+            if psnr == float("inf"):
+                exact += 1
+            else:
+                psnrs.append(psnr)
+        entry = {
+            "rate": rate,
+            "streams": args.seeds,
+            "corrupted_streams": corrupted,
+            "strict_structured_errors": strict_errors,
+            "exact_decodes": exact,
+            "mean_concealed_fraction": sum(concealed) / len(concealed)
+            if concealed else 0.0,
+            "mean_concealed_psnr_db": sum(psnrs) / len(psnrs)
+            if psnrs else None,
+            "min_concealed_psnr_db": min(psnrs) if psnrs else None,
+        }
+        curve.append(entry)
+        if not args.quiet:
+            psnr_text = f"{entry['mean_concealed_psnr_db']:>9.2f}" \
+                if psnrs else f"{'--':>9s}"
+            print(f"{rate:>10.2e} {args.seeds:>7d} {corrupted:>5d} "
+                  f"{strict_errors:>10d} "
+                  f"{100 * entry['mean_concealed_fraction']:>9.1f}% "
+                  f"{psnr_text} {exact:>5d}")
+    artifact = {
+        "frames": args.frames,
+        "seed": args.seed,
+        "qp": args.qp,
+        "resync_every": args.resync_every,
+        "kinds": list(kinds),
+        "stream_bytes": len(clean_payload),
+        "seeds_per_rate": args.seeds,
+        "total_streams": total,
+        "unstructured_failures": unstructured,
+        "degradation_curve": curve,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"degradation curve written to {args.json}")
+    if unstructured:
+        print(f"FAILED: {unstructured} unstructured failure(s) across "
+              f"{total} corrupted streams", file=sys.stderr)
+        return 1
+    print(f"fuzz-decode: {total} corrupted streams, every failure "
+          f"structured (REPRO-DEC-*), no hangs")
     return 0
 
 
@@ -309,6 +515,58 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop each SAD once it exceeds the best "
                              "candidate so far (chosen vectors unchanged)")
     encode.set_defaults(handler=_cmd_encode)
+
+    decode = sub.add_parser(
+        "decode",
+        help="encode -> serialize -> decode round trip with PSNR and "
+             "decode-health reporting")
+    decode.add_argument("--frames", type=int, default=None,
+                        help="frame count (default 10 synthetic, or every "
+                             "frame of --input)")
+    decode.add_argument("--qp", type=int, default=10)
+    decode.add_argument("--seed", type=int, default=2002)
+    decode.add_argument("--input", default=None, metavar="FILE",
+                        help="raw planar YUV420 file to encode instead of "
+                             "the synthetic sequence")
+    decode.add_argument("--width", type=int, default=176,
+                        help="luma width of --input (default QCIF 176)")
+    decode.add_argument("--height", type=int, default=144,
+                        help="luma height of --input (default QCIF 144)")
+    decode.add_argument("--resync-every", type=int, default=0,
+                        metavar="ROWS",
+                        help="serialize with a byte-aligned resync marker "
+                             "every N macroblock rows (error-resilient "
+                             "layout; 0 = legacy compact layout)")
+    decode.add_argument("--robust", action="store_true",
+                        help="decode through the concealing RobustDecoder "
+                             "and print its DecodeHealth report instead of "
+                             "the strict decoder")
+    decode.set_defaults(handler=_cmd_decode)
+
+    fuzz = sub.add_parser(
+        "fuzz-decode",
+        help="seeded bitstream-fuzzing harness: corrupted streams must "
+             "fail structurally and conceal gracefully")
+    fuzz.add_argument("--seeds", type=int, default=20,
+                      help="corruption seeds per rate (default 20)")
+    fuzz.add_argument("--frames", type=int, default=2)
+    fuzz.add_argument("--qp", type=int, default=10)
+    fuzz.add_argument("--seed", type=int, default=2002,
+                      help="synthetic-sequence seed (not the fuzz seed)")
+    fuzz.add_argument("--resync-every", type=int, default=1,
+                      metavar="ROWS",
+                      help="resync-marker period of the fuzzed stream "
+                           "(0 fuzzes the legacy layout)")
+    fuzz.add_argument("--rates",
+                      default="1e-5,3e-5,1e-4,3e-4,1e-3,3e-3,1e-2,3e-2",
+                      help="comma-separated corruption rates to sweep")
+    fuzz.add_argument("--kinds", default=None,
+                      help="comma-separated corruption kinds (default: "
+                           "bitflip,burst,truncate,duplicate,insert)")
+    fuzz.add_argument("--json", default=None, metavar="PATH",
+                      help="write the degradation-curve artifact here")
+    fuzz.add_argument("--quiet", "-q", action="store_true")
+    fuzz.set_defaults(handler=_cmd_fuzz_decode)
 
     kernels = sub.add_parser("kernels", help="time every GetSad kernel")
     kernels.add_argument("--variant", choices=("orig", "a1", "a2", "a3"),

@@ -9,7 +9,14 @@ trace that drives the architectural timing models, and a cycle cost model
 for the non-ME stages (the other ~74 % of the paper's profile).
 """
 
-from repro.codec.frame import FrameLayout, YuvFrame, QCIF_WIDTH, QCIF_HEIGHT
+from repro.codec.frame import (
+    FrameLayout,
+    YuvFrame,
+    QCIF_WIDTH,
+    QCIF_HEIGHT,
+    plane_psnr,
+    sequence_psnr_y,
+)
 from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
 from repro.codec.interp import (
     halfpel_planes,
@@ -36,7 +43,13 @@ from repro.codec.syntax import (
     CodedFrame,
     CodedMacroblock,
     CodedSequence,
+    FRAME_MARKER,
+    RESILIENT_MAGIC,
+    RESYNC_MARKER,
+    RobustParse,
+    StreamEvent,
     deserialize,
+    parse_robust,
     serialize,
 )
 from repro.codec.encoder import (
@@ -45,7 +58,14 @@ from repro.codec.encoder import (
     Mpeg4Encoder,
     chroma_motion_block,
 )
-from repro.codec.decoder import Mpeg4Decoder, decode_sequence
+from repro.codec.decoder import (
+    DecodeHealth,
+    Mpeg4Decoder,
+    RobustDecoder,
+    concealment_psnr,
+    decode_sequence,
+    robust_decode,
+)
 from repro.codec.costmodel import CycleCostModel
 
 __all__ = [
@@ -56,11 +76,13 @@ __all__ = [
     "CodedMacroblock",
     "CodedSequence",
     "CycleCostModel",
+    "DecodeHealth",
     "DiamondSearch",
     "EncoderConfig",
     "EncoderReport",
     "FastSadEngine",
     "FrameLayout",
+    "FRAME_MARKER",
     "FullSearch",
     "MeInvocation",
     "MeTrace",
@@ -68,8 +90,13 @@ __all__ = [
     "Mpeg4Encoder",
     "QCIF_HEIGHT",
     "QCIF_WIDTH",
+    "RESILIENT_MAGIC",
+    "RESYNC_MARKER",
     "ReferencePlanes",
+    "RobustDecoder",
+    "RobustParse",
     "SearchStrategy",
+    "StreamEvent",
     "SyntheticSequenceConfig",
     "ThreeStepSearch",
     "YuvFrame",
@@ -78,9 +105,14 @@ __all__ = [
     "block_bits",
     "block_sad",
     "chroma_motion_block",
+    "concealment_psnr",
     "decode_sequence",
     "dequantise",
     "deserialize",
+    "parse_robust",
+    "plane_psnr",
+    "robust_decode",
+    "sequence_psnr_y",
     "serialize",
     "forward_dct",
     "getsad",

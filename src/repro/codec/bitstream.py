@@ -4,13 +4,50 @@ Backs the serializable coded-sequence syntax (:mod:`repro.codec.syntax`).
 The codes are unsigned (``ue``) and signed (``se``) exp-Golomb — simpler
 than the normative MPEG4 VLC tables but real, decodable entropy codes, so
 the encoder/decoder round trip exercises genuine bitstream machinery.
+
+The reader is hardened for hostile input: every failure is a structured
+:class:`repro.errors.DecodeError` subclass carrying the bit offset, reads
+past the payload raise :class:`~repro.errors.BitstreamExhausted`, and the
+exp-Golomb zero-prefix bound derives from :meth:`BitReader.bits_remaining`
+(a prefix no completable code could have fails immediately instead of
+walking a magic 64 zeros).  The byte-aligned helpers (:meth:`BitWriter.
+align`, :meth:`BitReader.align`, CRC-8/16) support the resilient stream
+format's resync markers and payload checksums.
 """
 
 from __future__ import annotations
 
-from typing import List
+from repro.errors import (
+    BitstreamExhausted,
+    CodecError,
+    ExpGolombCorrupt,
+)
 
-from repro.errors import CodecError
+#: hard ceiling on one exp-Golomb zero-prefix even in huge payloads — a
+#: 64-zero prefix encodes values >= 2**64 - 1, far beyond any field the
+#: syntax carries, so longer prefixes are corruption regardless of size
+MAX_UE_PREFIX = 64
+
+
+def crc8(data: bytes) -> int:
+    """CRC-8 (poly 0x07, init 0) — guards resilient slice/frame headers."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT (poly 0x1021, init 0xFFFF) — frame payload checksums."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) & 0xFFFF if crc & 0x8000 \
+                else (crc << 1) & 0xFFFF
+    return crc
 
 
 class BitWriter:
@@ -32,7 +69,9 @@ class BitWriter:
         self._bit_count += 1
 
     def write_bits(self, value: int, width: int) -> None:
-        if width < 0 or (width and value >> width):
+        if width < 0:
+            raise CodecError(f"cannot write a negative bit width ({width})")
+        if width and value >> width:
             raise CodecError(f"value {value} does not fit in {width} bits")
         for shift in range(width - 1, -1, -1):
             self.write_bit((value >> shift) & 1)
@@ -52,6 +91,19 @@ class BitWriter:
         mapped = 2 * value - 1 if value > 0 else -2 * value
         self.write_ue(mapped)
 
+    def align(self) -> None:
+        """Zero-pad to the next byte boundary (no-op when aligned)."""
+        while self._bit_count % 8:
+            self.write_bit(0)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (the writer must be byte-aligned)."""
+        if self._bit_count % 8:
+            raise CodecError(
+                f"write_bytes needs byte alignment, at bit {self._bit_count}")
+        self._bytes.extend(data)
+        self._bit_count += 8 * len(data)
+
     def getvalue(self) -> bytes:
         return bytes(self._bytes)
 
@@ -70,26 +122,45 @@ class BitReader:
     def bits_remaining(self) -> int:
         return 8 * len(self._payload) - self._position
 
+    def seek_bit(self, position: int) -> None:
+        """Jump to an absolute bit offset (resync re-entry)."""
+        if not 0 <= position <= 8 * len(self._payload):
+            raise CodecError(
+                f"seek to bit {position} outside the "
+                f"{8 * len(self._payload)}-bit payload")
+        self._position = position
+
     def read_bit(self) -> int:
         if self._position >= 8 * len(self._payload):
-            raise CodecError("bitstream exhausted")
+            raise BitstreamExhausted(
+                f"bitstream exhausted at bit {self._position} of "
+                f"{8 * len(self._payload)}")
         byte = self._payload[self._position // 8]
         bit = (byte >> (7 - self._position % 8)) & 1
         self._position += 1
         return bit
 
     def read_bits(self, width: int) -> int:
+        if width < 0:
+            raise CodecError(f"cannot read a negative bit width ({width})")
         value = 0
         for _ in range(width):
             value = (value << 1) | self.read_bit()
         return value
 
     def read_ue(self) -> int:
+        start = self._position
+        # a completable code with Z leading zeros needs 2Z+1 bits in total,
+        # so the prefix bound derives from what is actually left to read
+        limit = min((self.bits_remaining() - 1) // 2, MAX_UE_PREFIX)
         zeros = 0
         while self.read_bit() == 0:
             zeros += 1
-            if zeros > 64:
-                raise CodecError("corrupt exp-Golomb code")
+            if zeros > limit:
+                raise ExpGolombCorrupt(
+                    f"corrupt exp-Golomb code at bit {start}: {zeros} "
+                    f"leading zeros cannot terminate in the "
+                    f"{8 * len(self._payload) - start} bits remaining")
         return (1 << zeros | self.read_bits(zeros)) - 1
 
     def read_se(self) -> int:
@@ -97,3 +168,23 @@ class BitReader:
         if mapped % 2:
             return (mapped + 1) // 2
         return -(mapped // 2)
+
+    def align(self) -> None:
+        """Skip to the next byte boundary (no-op when aligned)."""
+        self._position = min((self._position + 7) // 8 * 8,
+                             8 * len(self._payload))
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read whole bytes (the reader must be byte-aligned)."""
+        if self._position % 8:
+            raise CodecError(
+                f"read_bytes needs byte alignment, at bit {self._position}")
+        if count < 0:
+            raise CodecError(f"cannot read a negative byte count ({count})")
+        start = self._position // 8
+        if start + count > len(self._payload):
+            raise BitstreamExhausted(
+                f"bitstream exhausted at bit {self._position}: {count} bytes "
+                f"requested, {len(self._payload) - start} available")
+        self._position += 8 * count
+        return self._payload[start:start + count]

@@ -4,17 +4,32 @@ Mirrors the encoder's reconstruction loop exactly — the decoded frames
 must equal the encoder's ``report.reconstructed`` frames bit for bit,
 which is the codec substrate's end-to-end consistency property (tested in
 ``tests/test_decoder.py``).
+
+Two decode disciplines share the reconstruction math:
+
+* :class:`Mpeg4Decoder` — the strict path: a malformed sequence raises a
+  structured :class:`repro.errors.DecodeError` subclass (``REPRO-DEC-*``)
+  with frame/macroblock context and never anything unstructured.
+* :class:`RobustDecoder` (via :func:`robust_decode`) — the concealing
+  path over :func:`repro.codec.syntax.parse_robust`: macroblocks the
+  parser flagged ``lost`` (and any macroblock whose decode still fails)
+  are **concealed** — copied from the reference frame at zero motion for
+  P frames, left at mid-grey for I frames — and every event lands in a
+  :class:`DecodeHealth` report (bits consumed, decoded/concealed counts,
+  structured error events with bit offsets, checksum failures, optional
+  concealment PSNR against a clean decode).
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.codec.dct import inverse_dct
 from repro.codec.encoder import chroma_motion_block
-from repro.codec.frame import MB_SIZE, YuvFrame
+from repro.codec.frame import MB_SIZE, YuvFrame, sequence_psnr_y
 from repro.codec.interp import halfpel_predictor
 from repro.codec.quant import dequantise
 from repro.codec.syntax import (
@@ -23,8 +38,10 @@ from repro.codec.syntax import (
     CodedSequence,
     INTER,
     INTRA,
+    StreamEvent,
+    parse_robust,
 )
-from repro.errors import CodecError
+from repro.errors import CodecError, ReferenceMissing, StreamSyntaxError
 
 
 class Mpeg4Decoder:
@@ -54,7 +71,8 @@ class Mpeg4Decoder:
         return consumed
 
     def _decode_macroblock(self, macroblock: CodedMacroblock,
-                           frame: YuvFrame, reference: YuvFrame) -> None:
+                           frame: YuvFrame, reference: YuvFrame,
+                           frame_index: int = 0) -> None:
         qp = self.sequence.qp
         mb_x, mb_y = macroblock.mb_x, macroblock.mb_y
         cx, cy = mb_x // 2, mb_y // 2
@@ -62,7 +80,9 @@ class Mpeg4Decoder:
             luma_pred = chroma_u_pred = chroma_v_pred = None
         else:
             if reference is None:
-                raise CodecError("inter macroblock in the first frame")
+                raise ReferenceMissing(
+                    f"inter macroblock at ({mb_x},{mb_y}) in frame "
+                    f"{frame_index}, which has no reference frame")
             dx, dy = macroblock.mv
             luma_pred = halfpel_predictor(
                 reference.y, mb_x + (dx >> 1), mb_y + (dy >> 1),
@@ -71,9 +91,9 @@ class Mpeg4Decoder:
             chroma_v_pred = chroma_motion_block(reference.v, cx, cy, dx, dy)
         blocks = macroblock.blocks
         if len(blocks) != 6:
-            raise CodecError(
-                f"macroblock at ({mb_x},{mb_y}) carries {len(blocks)} "
-                f"blocks, expected 6")
+            raise StreamSyntaxError(
+                f"macroblock at ({mb_x},{mb_y}) in frame {frame_index} "
+                f"carries {len(blocks)} blocks, expected 6")
         self._place_plane_mb(frame.y, mb_x, mb_y, MB_SIZE, luma_pred,
                              blocks[0:4], qp)
         self._place_plane_mb(frame.u, cx, cy, 8, chroma_u_pred,
@@ -90,7 +110,7 @@ class Mpeg4Decoder:
             if coded.frame_type == "I" and index != 0:
                 reference = None
             for macroblock in coded.macroblocks:
-                self._decode_macroblock(macroblock, frame, reference)
+                self._decode_macroblock(macroblock, frame, reference, index)
             decoded.append(frame)
         return decoded
 
@@ -98,3 +118,140 @@ class Mpeg4Decoder:
 def decode_sequence(sequence: CodedSequence) -> List[YuvFrame]:
     """Convenience wrapper."""
     return Mpeg4Decoder(sequence).decode()
+
+
+# -- robust decoding ----------------------------------------------------------
+
+@dataclass
+class DecodeHealth:
+    """Everything one robust decode observed about its stream.
+
+    ``events`` are the structured corruption events (``REPRO-DEC-*`` code,
+    bit offset, frame index, message) from both the parser and the decode
+    stage; ``mbs_concealed`` counts macroblocks filled from the reference
+    frame (or mid-grey); ``concealment_psnr`` is set by callers that hold
+    a clean decode to compare against (the fuzz harness does)."""
+
+    bits_total: int = 0
+    bits_consumed: int = 0
+    frames_decoded: int = 0
+    mbs_decoded: int = 0
+    mbs_concealed: int = 0
+    checksum_failures: int = 0
+    resilient: bool = False
+    events: List[StreamEvent] = field(default_factory=list)
+    concealment_psnr: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the stream decoded with no corruption of any kind."""
+        return not self.events and not self.checksum_failures \
+            and not self.mbs_concealed
+
+    def summary(self) -> str:
+        psnr = "" if self.concealment_psnr is None \
+            else f", concealment PSNR {self.concealment_psnr:.2f} dB"
+        return (f"decoded {self.frames_decoded} frames: {self.mbs_decoded} "
+                f"MBs decoded, {self.mbs_concealed} concealed, "
+                f"{self.checksum_failures} checksum failures, "
+                f"{len(self.events)} error events{psnr}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bits_total": self.bits_total,
+            "bits_consumed": self.bits_consumed,
+            "frames_decoded": self.frames_decoded,
+            "mbs_decoded": self.mbs_decoded,
+            "mbs_concealed": self.mbs_concealed,
+            "checksum_failures": self.checksum_failures,
+            "resilient": self.resilient,
+            "events": [event.to_dict() for event in self.events],
+            "concealment_psnr": self.concealment_psnr,
+        }
+
+
+class RobustDecoder(Mpeg4Decoder):
+    """Decodes a robust-parsed sequence, concealing what cannot decode.
+
+    Lost macroblocks — and any macroblock whose decode raises a
+    :class:`~repro.errors.CodecError` despite parsing (belt and braces;
+    the parser's field validation should catch everything first) — are
+    filled from the reference frame at zero motion, or left at the blank
+    frame's mid-grey for I frames, and accounted in :attr:`health`.
+    """
+
+    def __init__(self, sequence: CodedSequence,
+                 health: Optional[DecodeHealth] = None):
+        super().__init__(sequence)
+        self.health = health if health is not None else DecodeHealth()
+
+    def _conceal(self, macroblock: CodedMacroblock, frame: YuvFrame,
+                 reference: Optional[YuvFrame]) -> None:
+        self.health.mbs_concealed += 1
+        if reference is None:
+            return  # the blank frame's mid-grey is the I-frame concealment
+        mb_x, mb_y = macroblock.mb_x, macroblock.mb_y
+        cx, cy = mb_x // 2, mb_y // 2
+        frame.y[mb_y:mb_y + MB_SIZE, mb_x:mb_x + MB_SIZE] = \
+            reference.y[mb_y:mb_y + MB_SIZE, mb_x:mb_x + MB_SIZE]
+        frame.u[cy:cy + 8, cx:cx + 8] = reference.u[cy:cy + 8, cx:cx + 8]
+        frame.v[cy:cy + 8, cx:cx + 8] = reference.v[cy:cy + 8, cx:cx + 8]
+
+    def decode(self) -> List[YuvFrame]:
+        decoded: List[YuvFrame] = []
+        for index, coded in enumerate(self.sequence.frames):
+            frame = YuvFrame.blank(self.sequence.width, self.sequence.height)
+            reference = decoded[index - 1] if index else None
+            conceal_reference = reference
+            if coded.frame_type == "I" and index != 0:
+                reference = conceal_reference = None
+            for macroblock in coded.macroblocks:
+                if macroblock.lost:
+                    self._conceal(macroblock, frame, conceal_reference)
+                    continue
+                try:
+                    self._decode_macroblock(macroblock, frame, reference,
+                                            index)
+                except CodecError as exc:
+                    code = getattr(exc, "code", CodecError.code)
+                    self.health.events.append(StreamEvent(
+                        code, -1, index, str(exc)))
+                    self._conceal(macroblock, frame, conceal_reference)
+                else:
+                    self.health.mbs_decoded += 1
+            decoded.append(frame)
+        self.health.frames_decoded = len(decoded)
+        return decoded
+
+
+def robust_decode(payload: bytes) -> Tuple[List[YuvFrame], DecodeHealth]:
+    """Decode a (possibly corrupt) serialized payload, concealing damage.
+
+    Never raises on corruption: returns the decoded frames (empty only
+    when the stream header itself is unrecoverable) and the
+    :class:`DecodeHealth` report.  With zero corruption the frames are
+    bit-identical to ``decode_sequence(deserialize(payload))``.
+    """
+    parse = parse_robust(payload)
+    health = DecodeHealth(
+        bits_total=8 * len(payload),
+        bits_consumed=parse.bits_consumed,
+        checksum_failures=parse.checksum_failures,
+        resilient=parse.resilient,
+        events=list(parse.events),
+    )
+    if parse.sequence is None:
+        return [], health
+    frames = RobustDecoder(parse.sequence, health).decode()
+    return frames, health
+
+
+def concealment_psnr(decoded: List[YuvFrame],
+                     clean: List[YuvFrame]) -> float:
+    """Mean luma PSNR of a (possibly concealed) decode against the clean
+    decode — the fuzz harness's degradation metric.  A short decode is
+    padded with mid-grey frames so total loss is scored, not skipped."""
+    padded = list(decoded)
+    while len(padded) < len(clean):
+        padded.append(YuvFrame.blank(clean[0].width, clean[0].height))
+    return sequence_psnr_y(padded[:len(clean)], clean)

@@ -54,6 +54,10 @@ class EncoderConfig:
     #: let losing SAD candidates terminate early (opt-in: chosen MVs are
     #: unchanged but losers' recorded SADs become lower bounds)
     early_terminate: bool = False
+    #: emit a byte-aligned resync marker + slice header every N macroblock
+    #: rows when the coded sequence is serialized (0 = legacy compact
+    #: layout); see :mod:`repro.codec.syntax` for the resilient format
+    resync_every: int = 0
 
 
 @dataclass
@@ -91,6 +95,14 @@ class EncoderReport:
         values = [stats.psnr_y for stats in self.frame_stats
                   if stats.psnr_y != float("inf")]
         return float(np.mean(values)) if values else float("inf")
+
+    def serialize(self) -> bytes:
+        """The run's bitstream (resilient when the encoder was configured
+        with ``resync_every >= 1``, legacy otherwise)."""
+        from repro.codec.syntax import serialize
+        if self.coded is None:
+            raise CodecError("no coded sequence: encode() was never run")
+        return serialize(self.coded)
 
 
 class Mpeg4Encoder:
@@ -247,7 +259,8 @@ class Mpeg4Encoder:
             raise CodecError("cannot encode an empty sequence")
         report = EncoderReport()
         report.coded = CodedSequence(frames[0].width, frames[0].height,
-                                     self.config.qp)
+                                     self.config.qp,
+                                     resync_every=self.config.resync_every)
         report.frame_stats.append(
             self._encode_intra_frame(frames[0], 0, report))
         report.work.frames += 1

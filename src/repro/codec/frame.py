@@ -19,6 +19,37 @@ QCIF_HEIGHT = 144
 MB_SIZE = 16
 
 
+def plane_psnr(plane: np.ndarray, other: np.ndarray) -> float:
+    """PSNR between two same-shape uint8 planes (dB; inf when identical)."""
+    if plane.shape != other.shape:
+        raise CodecError(
+            f"PSNR needs same-shape planes, got {plane.shape} vs "
+            f"{other.shape}")
+    diff = plane.astype(np.float64) - other.astype(np.float64)
+    mse = float(np.mean(diff * diff))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 * 255.0 / mse)
+
+
+def sequence_psnr_y(frames: "list[YuvFrame]",
+                    references: "list[YuvFrame]") -> float:
+    """Mean finite luma PSNR across two aligned frame lists (dB).
+
+    Frame pairs that match exactly contribute nothing to the mean (their
+    PSNR is infinite); if every pair matches the result is inf.  Used by
+    the decode-health/fuzz tooling to score concealment quality.
+    """
+    if len(frames) != len(references):
+        raise CodecError(
+            f"PSNR needs aligned sequences, got {len(frames)} vs "
+            f"{len(references)} frames")
+    values = [frame.psnr_y(reference)
+              for frame, reference in zip(frames, references)]
+    finite = [value for value in values if value != float("inf")]
+    return float(np.mean(finite)) if finite else float("inf")
+
+
 @dataclass
 class YuvFrame:
     """One 4:2:0 frame: full-resolution luma, half-resolution chroma."""
@@ -70,11 +101,7 @@ class YuvFrame:
 
     def psnr_y(self, other: "YuvFrame") -> float:
         """Luma PSNR against another frame (dB)."""
-        diff = self.y.astype(np.float64) - other.y.astype(np.float64)
-        mse = float(np.mean(diff * diff))
-        if mse == 0:
-            return float("inf")
-        return 10.0 * np.log10(255.0 * 255.0 / mse)
+        return plane_psnr(self.y, other.y)
 
 
 @dataclass

@@ -5,21 +5,75 @@ encoding run — quantised coefficient levels, macroblock modes and motion
 vectors — plus a real bit serialization via exp-Golomb codes
 (:mod:`repro.codec.bitstream`), so the whole pipeline round-trips through
 actual bits.
+
+Two wire formats share the macroblock-level syntax:
+
+* **legacy** (``resync_every == 0``, the default) — the original compact
+  layout: one header, then every frame's macroblocks back to back.  Byte
+  identical to what earlier revisions produced.
+* **resilient** (``resync_every >= 1``) — an error-resilient layout in
+  the spirit of MPEG4's video-packet resync: the stream opens with a
+  2-byte magic (:data:`RESILIENT_MAGIC`, whose MSB no legacy stream can
+  set), every frame gets a byte-aligned :data:`FRAME_MARKER` section with
+  a CRC-8-guarded header and a CRC-16 payload checksum, and every
+  ``resync_every`` macroblock rows start a byte-aligned
+  :data:`RESYNC_MARKER` slice whose header (frame index, first MB index,
+  MB count, CRC-8) makes the stream independently re-enterable mid-way::
+
+      A5 4D | seq header ue(w) ue(h) ue(qp) ue(frames) ue(resync) | crc8
+      00 00 B0 | frame hdr ue(f) bit(I) ue(len) crc16 | crc8 | payload
+        payload := slice+
+        slice   := 00 00 B7 | ue(f) bit(I) ue(first_mb) ue(mbs) | crc8
+                   | macroblock bits ... | byte-align
+
+Three parsers consume the formats.  :func:`deserialize` is the strict
+path: it auto-detects the format and raises only structured
+:class:`repro.errors.DecodeError` subclasses (``REPRO-DEC-*``), with every
+decoded field validated against the frame geometry (dimension/QP ranges,
+MB coordinates, motion-vector windows, level magnitudes, run positions).
+:func:`parse_robust` is the concealing path: on corruption it records a
+:class:`StreamEvent` and scans forward to the next valid marker, marking
+unrecovered macroblocks ``lost`` for the decoder to conceal
+(:class:`repro.codec.decoder.RobustDecoder`).  Legacy streams have no
+markers, so their robust parse conceals everything after the first error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.bitstream import BitReader, BitWriter, crc8, crc16
 from repro.codec.zigzag import inverse_zigzag, zigzag_scan
-from repro.errors import CodecError
+from repro.errors import (
+    BitstreamExhausted,
+    ChecksumMismatch,
+    CodecError,
+    DecodeError,
+    FieldRangeError,
+    ResyncLost,
+    StreamSyntaxError,
+)
 
 INTRA = "intra"
 INTER = "inter"
+
+#: first two bytes of a resilient stream; a legacy stream always starts
+#: with the zero-prefix of ue(width >= 16), so its first bit is 0 and the
+#: 0xA5 MSB is unambiguous
+RESILIENT_MAGIC = b"\xa5\x4d"
+#: byte-aligned start of one frame section (resilient format)
+FRAME_MARKER = b"\x00\x00\xb0"
+#: byte-aligned start of one slice (resilient format)
+RESYNC_MARKER = b"\x00\x00\xb7"
+
+#: geometry/field bounds the parsers enforce (REPRO-DEC-RANGE beyond them)
+MAX_DIMENSION = 4096
+MAX_FRAMES = 1 << 16
+MV_LIMIT_HALFPEL = 128
+LEVEL_LIMIT = 2048
 
 
 @dataclass
@@ -38,13 +92,15 @@ class CodedBlock:
 @dataclass
 class CodedMacroblock:
     """One macroblock: mode, motion vector (half-sample units), 6 blocks
-    (4 luma + Cb + Cr)."""
+    (4 luma + Cb + Cr).  ``lost`` marks a macroblock the robust parser
+    could not recover — it carries no blocks and must be concealed."""
 
     mb_x: int
     mb_y: int
     mode: str
     mv: Tuple[int, int] = (0, 0)
     blocks: List[CodedBlock] = field(default_factory=list)
+    lost: bool = False
 
     def __post_init__(self):
         if self.mode not in (INTRA, INTER):
@@ -63,9 +119,81 @@ class CodedSequence:
     height: int
     qp: int
     frames: List[CodedFrame] = field(default_factory=list)
+    #: resync-marker period in macroblock rows; 0 = legacy layout
+    resync_every: int = 0
 
 
-# -- serialization -------------------------------------------------------------
+@dataclass
+class StreamEvent:
+    """One structured corruption event recorded by the robust parser or
+    decoder: the stable ``REPRO-DEC-*`` code, the bit offset at which the
+    stream stopped making sense, and the frame it affects (when known)."""
+
+    code: str
+    bit_offset: int
+    frame_index: Optional[int]
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "bit_offset": self.bit_offset,
+                "frame_index": self.frame_index, "message": self.message}
+
+
+@dataclass
+class RobustParse:
+    """What :func:`parse_robust` recovered from a (possibly corrupt)
+    payload.  ``sequence`` is None only when the stream header itself is
+    unrecoverable; otherwise every frame has its full macroblock count,
+    with unrecovered macroblocks flagged ``lost``."""
+
+    sequence: Optional[CodedSequence]
+    events: List[StreamEvent]
+    bits_consumed: int
+    mbs_parsed: int
+    mbs_lost: int
+    checksum_failures: int
+    resilient: bool
+
+
+# -- field validation ---------------------------------------------------------
+
+def _check_sequence_header(width: int, height: int, qp: int,
+                           frame_count: int, position: int) -> None:
+    if width % 16 or height % 16 \
+            or not 16 <= width <= MAX_DIMENSION \
+            or not 16 <= height <= MAX_DIMENSION:
+        raise FieldRangeError(
+            f"bad dimensions {width}x{height} in stream header "
+            f"(need multiples of 16 in 16..{MAX_DIMENSION}, bit {position})")
+    if not 1 <= qp <= 31:
+        raise FieldRangeError(
+            f"quantiser {qp} outside 1..31 in stream header (bit {position})")
+    if frame_count > MAX_FRAMES:
+        raise FieldRangeError(
+            f"implausible frame count {frame_count} in stream header "
+            f"(bit {position})")
+
+
+def _check_mv(dx: int, dy: int, mb_x: int, mb_y: int, width: int,
+              height: int, position: int) -> None:
+    if abs(dx) > MV_LIMIT_HALFPEL or abs(dy) > MV_LIMIT_HALFPEL:
+        raise FieldRangeError(
+            f"motion vector ({dx},{dy}) at macroblock ({mb_x},{mb_y}) "
+            f"exceeds +/-{MV_LIMIT_HALFPEL} half-pels (bit {position})")
+    x, y = mb_x + (dx >> 1), mb_y + (dy >> 1)
+    if not (0 <= x and x + 16 + (dx & 1) <= width
+            and 0 <= y and y + 16 + (dy & 1) <= height):
+        raise FieldRangeError(
+            f"motion vector ({dx},{dy}) at macroblock ({mb_x},{mb_y}) "
+            f"reads outside the {width}x{height} frame (bit {position})")
+
+
+def _lost_macroblock(index: int, mb_cols: int) -> CodedMacroblock:
+    return CodedMacroblock(16 * (index % mb_cols), 16 * (index // mb_cols),
+                           INTRA, (0, 0), [], lost=True)
+
+
+# -- block / macroblock serialization ----------------------------------------
 
 def _write_block(writer: BitWriter, block: CodedBlock) -> None:
     scanned = zigzag_scan(block.levels)
@@ -80,19 +208,148 @@ def _write_block(writer: BitWriter, block: CodedBlock) -> None:
 
 
 def _read_block(reader: BitReader, intra: bool) -> CodedBlock:
+    start = reader.position
     count = reader.read_ue()
+    if count > 64:
+        raise FieldRangeError(
+            f"{count} run-level pairs in one 64-coefficient block "
+            f"(bit {start})")
     scanned = np.zeros(64, dtype=np.int32)
     position = -1
     for _ in range(count):
         position += reader.read_ue() + 1
         if position >= 64:
-            raise CodecError("run-level data overruns the block")
-        scanned[position] = reader.read_se()
+            raise FieldRangeError(
+                f"run-level data overruns the block (bit {reader.position})")
+        level = reader.read_se()
+        if abs(level) > LEVEL_LIMIT:
+            raise FieldRangeError(
+                f"coefficient level {level} exceeds +/-{LEVEL_LIMIT} "
+                f"(bit {reader.position})")
+        scanned[position] = level
     return CodedBlock(inverse_zigzag(scanned), intra)
 
 
-def serialize(sequence: CodedSequence) -> bytes:
-    """Serialize a coded sequence to a byte string."""
+def _write_macroblock(writer: BitWriter, macroblock: CodedMacroblock,
+                      frame_type: str) -> None:
+    if macroblock.lost:
+        raise StreamSyntaxError(
+            f"cannot serialize the concealed macroblock at "
+            f"({macroblock.mb_x},{macroblock.mb_y})")
+    if frame_type == "P":
+        writer.write_bit(1 if macroblock.mode == INTRA else 0)
+    if macroblock.mode == INTER:
+        writer.write_se(macroblock.mv[0])
+        writer.write_se(macroblock.mv[1])
+    if len(macroblock.blocks) != 6:
+        raise CodecError(
+            f"macroblock at ({macroblock.mb_x},{macroblock.mb_y}) "
+            f"has {len(macroblock.blocks)} blocks, expected 6")
+    for block in macroblock.blocks:
+        _write_block(writer, block)
+
+
+def _read_macroblock(reader: BitReader, frame_type: str, mb_x: int,
+                     mb_y: int, width: int, height: int) -> CodedMacroblock:
+    if frame_type == "I":
+        mode = INTRA
+    else:
+        mode = INTRA if reader.read_bit() else INTER
+    mv = (0, 0)
+    if mode == INTER:
+        start = reader.position
+        dx, dy = reader.read_se(), reader.read_se()
+        _check_mv(dx, dy, mb_x, mb_y, width, height, start)
+        mv = (dx, dy)
+    blocks = [_read_block(reader, mode == INTRA) for _ in range(6)]
+    return CodedMacroblock(mb_x, mb_y, mode, mv, blocks)
+
+
+# -- checked byte-aligned headers (resilient format) --------------------------
+
+def _emit_checked(writer: BitWriter, header: BitWriter) -> None:
+    """Byte-align a header sub-writer and append it plus its CRC-8."""
+    header.align()
+    data = header.getvalue()
+    writer.write_bytes(data)
+    writer.write_bytes(bytes([crc8(data)]))
+
+
+def _verify_header_crc(reader: BitReader, rebuild: BitWriter,
+                       what: str, start: int) -> None:
+    """Align, read the CRC-8 byte, and compare against the canonical
+    re-encoding of the parsed fields (exp-Golomb codes are canonical, so
+    re-serializing the fields reproduces the original header bytes)."""
+    reader.align()
+    stored = reader.read_bytes(1)[0]
+    rebuild.align()
+    if crc8(rebuild.getvalue()) != stored:
+        raise ChecksumMismatch(f"{what} header CRC mismatch (bit {start})")
+
+
+def _read_sequence_header(reader: BitReader) -> Tuple[int, int, int, int, int]:
+    start = reader.position
+    width = reader.read_ue()
+    height = reader.read_ue()
+    qp = reader.read_ue()
+    frame_count = reader.read_ue()
+    resync_every = reader.read_ue()
+    rebuild = BitWriter()
+    for value in (width, height, qp, frame_count, resync_every):
+        rebuild.write_ue(value)
+    _verify_header_crc(reader, rebuild, "sequence", start)
+    _check_sequence_header(width, height, qp, frame_count, start)
+    if not 1 <= resync_every <= height // 16:
+        raise FieldRangeError(
+            f"resync period {resync_every} outside 1..{height // 16} "
+            f"macroblock rows (bit {start})")
+    return width, height, qp, frame_count, resync_every
+
+
+def _read_frame_header(reader: BitReader) -> Tuple[int, bool, int, int]:
+    start = reader.position
+    frame_index = reader.read_ue()
+    is_intra = bool(reader.read_bit())
+    payload_len = reader.read_ue()
+    checksum = reader.read_bits(16)
+    rebuild = BitWriter()
+    rebuild.write_ue(frame_index)
+    rebuild.write_bit(1 if is_intra else 0)
+    rebuild.write_ue(payload_len)
+    rebuild.write_bits(checksum, 16)
+    _verify_header_crc(reader, rebuild, "frame", start)
+    return frame_index, is_intra, payload_len, checksum
+
+
+def _read_slice_header(reader: BitReader) -> Tuple[int, bool, int, int]:
+    start = reader.position
+    frame_index = reader.read_ue()
+    is_intra = bool(reader.read_bit())
+    first_mb = reader.read_ue()
+    mb_count = reader.read_ue()
+    rebuild = BitWriter()
+    rebuild.write_ue(frame_index)
+    rebuild.write_bit(1 if is_intra else 0)
+    rebuild.write_ue(first_mb)
+    rebuild.write_ue(mb_count)
+    _verify_header_crc(reader, rebuild, "slice", start)
+    return frame_index, is_intra, first_mb, mb_count
+
+
+# -- serialization ------------------------------------------------------------
+
+def serialize(sequence: CodedSequence,
+              resync_every: Optional[int] = None) -> bytes:
+    """Serialize a coded sequence to a byte string.
+
+    ``resync_every`` overrides ``sequence.resync_every``; 0 produces the
+    legacy layout (byte identical to earlier revisions), ``N >= 1`` the
+    resilient layout with a resync marker every N macroblock rows.
+    """
+    if resync_every is None:
+        resync_every = sequence.resync_every
+    if resync_every:
+        return _serialize_resilient(sequence, resync_every)
     writer = BitWriter()
     writer.write_ue(sequence.width)
     writer.write_ue(sequence.height)
@@ -101,46 +358,365 @@ def serialize(sequence: CodedSequence) -> bytes:
     for frame in sequence.frames:
         writer.write_bit(1 if frame.frame_type == "I" else 0)
         for macroblock in frame.macroblocks:
-            if frame.frame_type == "P":
-                writer.write_bit(1 if macroblock.mode == INTRA else 0)
-            if macroblock.mode == INTER:
-                writer.write_se(macroblock.mv[0])
-                writer.write_se(macroblock.mv[1])
-            if len(macroblock.blocks) != 6:
-                raise CodecError(
-                    f"macroblock at ({macroblock.mb_x},{macroblock.mb_y}) "
-                    f"has {len(macroblock.blocks)} blocks, expected 6")
-            for block in macroblock.blocks:
-                _write_block(writer, block)
+            _write_macroblock(writer, macroblock, frame.frame_type)
     return writer.getvalue()
 
 
+def _serialize_resilient(sequence: CodedSequence, resync_every: int) -> bytes:
+    mb_rows = sequence.height // 16
+    mb_cols = sequence.width // 16
+    if not 1 <= resync_every <= mb_rows:
+        raise CodecError(
+            f"resync_every must be 1..{mb_rows} macroblock rows, "
+            f"got {resync_every}")
+    writer = BitWriter()
+    writer.write_bytes(RESILIENT_MAGIC)
+    header = BitWriter()
+    for value in (sequence.width, sequence.height, sequence.qp,
+                  len(sequence.frames), resync_every):
+        header.write_ue(value)
+    _emit_checked(writer, header)
+    for frame_index, frame in enumerate(sequence.frames):
+        payload = _serialize_frame_payload(frame, frame_index, resync_every,
+                                           mb_cols, mb_rows)
+        writer.write_bytes(FRAME_MARKER)
+        frame_header = BitWriter()
+        frame_header.write_ue(frame_index)
+        frame_header.write_bit(1 if frame.frame_type == "I" else 0)
+        frame_header.write_ue(len(payload))
+        frame_header.write_bits(crc16(payload), 16)
+        _emit_checked(writer, frame_header)
+        writer.write_bytes(payload)
+    return writer.getvalue()
+
+
+def _serialize_frame_payload(frame: CodedFrame, frame_index: int,
+                             resync_every: int, mb_cols: int,
+                             mb_rows: int) -> bytes:
+    if len(frame.macroblocks) != mb_cols * mb_rows:
+        raise StreamSyntaxError(
+            f"frame {frame_index} carries {len(frame.macroblocks)} "
+            f"macroblocks, expected {mb_cols * mb_rows}")
+    writer = BitWriter()
+    for row_start in range(0, mb_rows, resync_every):
+        rows = min(resync_every, mb_rows - row_start)
+        first_mb = row_start * mb_cols
+        count = rows * mb_cols
+        writer.write_bytes(RESYNC_MARKER)
+        slice_header = BitWriter()
+        slice_header.write_ue(frame_index)
+        slice_header.write_bit(1 if frame.frame_type == "I" else 0)
+        slice_header.write_ue(first_mb)
+        slice_header.write_ue(count)
+        _emit_checked(writer, slice_header)
+        for macroblock in frame.macroblocks[first_mb:first_mb + count]:
+            _write_macroblock(writer, macroblock, frame.frame_type)
+        writer.align()
+    return writer.getvalue()
+
+
+# -- strict deserialization ---------------------------------------------------
+
 def deserialize(payload: bytes) -> CodedSequence:
-    """Parse a byte string produced by :func:`serialize`."""
+    """Parse a byte string produced by :func:`serialize` (either layout).
+
+    Strict: any corruption raises a structured
+    :class:`repro.errors.DecodeError` subclass carrying the bit offset.
+    """
+    if payload[:2] == RESILIENT_MAGIC:
+        return _deserialize_resilient(payload)
+    parse = _parse_legacy(payload, robust=False)
+    return parse.sequence
+
+
+def _deserialize_resilient(payload: bytes) -> CodedSequence:
     reader = BitReader(payload)
-    width = reader.read_ue()
-    height = reader.read_ue()
-    qp = reader.read_ue()
-    frame_count = reader.read_ue()
-    if width % 16 or height % 16:
-        raise CodecError(f"bad dimensions {width}x{height} in stream")
-    mb_count = (width // 16) * (height // 16)
+    reader.read_bytes(2)  # magic
+    width, height, qp, frame_count, resync_every = \
+        _read_sequence_header(reader)
+    mb_cols = width // 16
+    mb_count = mb_cols * (height // 16)
+    sequence = CodedSequence(width, height, qp, resync_every=resync_every)
+    for expected_index in range(frame_count):
+        start = reader.position
+        if reader.read_bytes(3) != FRAME_MARKER:
+            raise StreamSyntaxError(
+                f"frame marker missing for frame {expected_index} "
+                f"(bit {start})")
+        frame_index, is_intra, payload_len, checksum = \
+            _read_frame_header(reader)
+        if frame_index != expected_index:
+            raise FieldRangeError(
+                f"frame header claims index {frame_index}, expected "
+                f"{expected_index} (bit {start})")
+        frame_payload = reader.read_bytes(payload_len)
+        if crc16(frame_payload) != checksum:
+            raise ChecksumMismatch(
+                f"frame {frame_index} payload checksum mismatch "
+                f"(bit {start})")
+        frame = _parse_frame_payload_strict(
+            frame_payload, frame_index, is_intra, width, height, mb_count,
+            mb_cols)
+        sequence.frames.append(frame)
+    if reader.bits_remaining():
+        raise StreamSyntaxError(
+            f"{reader.bits_remaining()} trailing bits after the final "
+            f"frame (bit {reader.position})")
+    return sequence
+
+
+def _parse_frame_payload_strict(payload: bytes, frame_index: int,
+                                is_intra: bool, width: int, height: int,
+                                mb_count: int, mb_cols: int) -> CodedFrame:
+    frame_type = "I" if is_intra else "P"
+    frame = CodedFrame(frame_type)
+    reader = BitReader(payload)
+    expected_mb = 0
+    while expected_mb < mb_count:
+        start = reader.position
+        if reader.read_bytes(3) != RESYNC_MARKER:
+            raise StreamSyntaxError(
+                f"resync marker missing at macroblock {expected_mb} of "
+                f"frame {frame_index} (payload bit {start})")
+        slice_frame, slice_intra, first_mb, count = _read_slice_header(reader)
+        if slice_frame != frame_index or slice_intra != is_intra:
+            raise FieldRangeError(
+                f"slice header belongs to frame {slice_frame} "
+                f"(intra={slice_intra}), inside frame {frame_index} "
+                f"(payload bit {start})")
+        if first_mb != expected_mb or not 1 <= count <= mb_count - first_mb:
+            raise FieldRangeError(
+                f"slice covers macroblocks {first_mb}..{first_mb + count - 1},"
+                f" expected to start at {expected_mb} of {mb_count} "
+                f"(payload bit {start})")
+        for index in range(first_mb, first_mb + count):
+            frame.macroblocks.append(_read_macroblock(
+                reader, frame_type, 16 * (index % mb_cols),
+                16 * (index // mb_cols), width, height))
+        reader.align()
+        expected_mb += count
+    if reader.bits_remaining():
+        raise StreamSyntaxError(
+            f"{reader.bits_remaining()} trailing bits in frame "
+            f"{frame_index}'s payload")
+    return frame
+
+
+# -- legacy parse (strict and robust) ----------------------------------------
+
+def _parse_legacy(payload: bytes, robust: bool) -> RobustParse:
+    reader = BitReader(payload)
+    events: List[StreamEvent] = []
+    try:
+        start = reader.position
+        width = reader.read_ue()
+        height = reader.read_ue()
+        qp = reader.read_ue()
+        frame_count = reader.read_ue()
+        _check_sequence_header(width, height, qp, frame_count, start)
+    except DecodeError as exc:
+        if not robust:
+            raise
+        events.append(StreamEvent(exc.code, reader.position, None, str(exc)))
+        return RobustParse(None, events, reader.position, 0, 0, 0,
+                           resilient=False)
+    mb_cols = width // 16
+    mb_count = mb_cols * (height // 16)
     sequence = CodedSequence(width, height, qp)
-    for _ in range(frame_count):
-        frame_type = "I" if reader.read_bit() else "P"
+    mbs_parsed = 0
+    try:
+        for _ in range(frame_count):
+            frame = CodedFrame("I" if reader.read_bit() else "P")
+            sequence.frames.append(frame)
+            for index in range(mb_count):
+                frame.macroblocks.append(_read_macroblock(
+                    reader, frame.frame_type, 16 * (index % mb_cols),
+                    16 * (index // mb_cols), width, height))
+                mbs_parsed += 1
+    except DecodeError as exc:
+        if not robust:
+            raise
+        frame_index = len(sequence.frames) - 1 if sequence.frames else None
+        events.append(StreamEvent(exc.code, reader.position, frame_index,
+                                  str(exc)))
+    mbs_lost = 0
+    while len(sequence.frames) < frame_count:
+        sequence.frames.append(
+            CodedFrame("I" if not sequence.frames else "P"))
+    for frame in sequence.frames:
+        while len(frame.macroblocks) < mb_count:
+            frame.macroblocks.append(
+                _lost_macroblock(len(frame.macroblocks), mb_cols))
+            mbs_lost += 1
+    return RobustParse(sequence, events, reader.position, mbs_parsed,
+                       mbs_lost, 0, resilient=False)
+
+
+# -- robust parse -------------------------------------------------------------
+
+def parse_robust(payload: bytes) -> RobustParse:
+    """Parse a possibly corrupt payload, concealing instead of raising.
+
+    Resilient streams re-enter at the next valid marker after an error;
+    legacy streams (no markers) lose everything after the first error.
+    Never raises on corruption — every anomaly becomes a
+    :class:`StreamEvent` in the result.
+    """
+    if payload[:2] == RESILIENT_MAGIC:
+        return _parse_resilient_robust(payload)
+    return _parse_legacy(payload, robust=True)
+
+
+@dataclass
+class _Unit:
+    """One marker-introduced element found by the robust scanner."""
+
+    kind: str                 # "frame" | "slice"
+    offset: int               # byte offset of the marker
+    data_start: int           # byte offset just past the header's CRC-8
+    frame_index: int
+    is_intra: bool
+    # frame: (payload_len, crc16); slice: (first_mb, mb_count)
+    a: int = 0
+    b: int = 0
+
+
+def _scan_unit(payload: bytes, start: int, frame_count: int,
+               mb_count: int) -> Optional[_Unit]:
+    """The first marker at byte offset >= ``start`` whose header parses,
+    CRC-checks and satisfies the geometry — CRC-8 plus the range checks
+    make accidental marker emulation inside entropy data overwhelmingly
+    unlikely to be accepted."""
+    position = start
+    while True:
+        frame_at = payload.find(FRAME_MARKER, position)
+        slice_at = payload.find(RESYNC_MARKER, position)
+        candidates = [at for at in (frame_at, slice_at) if at >= 0]
+        if not candidates:
+            return None
+        offset = min(candidates)
+        kind = "frame" if offset == frame_at else "slice"
+        reader = BitReader(payload)
+        reader.seek_bit(8 * (offset + 3))
+        try:
+            if kind == "frame":
+                frame_index, is_intra, payload_len, checksum = \
+                    _read_frame_header(reader)
+                if frame_index < frame_count \
+                        and payload_len <= len(payload):
+                    return _Unit("frame", offset, reader.position // 8,
+                                 frame_index, is_intra, payload_len, checksum)
+            else:
+                frame_index, is_intra, first_mb, count = \
+                    _read_slice_header(reader)
+                if frame_index < frame_count and first_mb < mb_count \
+                        and 1 <= count <= mb_count - first_mb:
+                    return _Unit("slice", offset, reader.position // 8,
+                                 frame_index, is_intra, first_mb, count)
+        except DecodeError:
+            pass
+        position = offset + 1
+
+
+def _parse_resilient_robust(payload: bytes) -> RobustParse:
+    events: List[StreamEvent] = []
+    reader = BitReader(payload)
+    try:
+        reader.read_bytes(2)  # magic
+        width, height, qp, frame_count, resync_every = \
+            _read_sequence_header(reader)
+    except DecodeError as exc:
+        events.append(StreamEvent(exc.code, reader.position, None, str(exc)))
+        return RobustParse(None, events, reader.position, 0, 0, 0,
+                           resilient=True)
+    mb_cols = width // 16
+    mb_count = mb_cols * (height // 16)
+    filled: List[Dict[int, CodedMacroblock]] = \
+        [dict() for _ in range(frame_count)]
+    frame_types: List[Optional[str]] = [None] * frame_count
+    checksum_failures = 0
+    mbs_parsed = 0
+    bits_consumed = reader.position
+    position = reader.position // 8
+    end = len(payload)
+    while position < end:
+        unit = _scan_unit(payload, position, frame_count, mb_count)
+        if unit is None:
+            if any(len(fills) < mb_count for fills in filled):
+                events.append(StreamEvent(
+                    ResyncLost.code, 8 * position, None,
+                    f"no further valid marker after byte {position}; "
+                    f"remaining macroblocks concealed"))
+            bits_consumed = 8 * end
+            break
+        if unit.offset > position:
+            events.append(StreamEvent(
+                StreamSyntaxError.code, 8 * position, unit.frame_index,
+                f"skipped {unit.offset - position} unparseable bytes "
+                f"before the {unit.kind} marker at byte {unit.offset}"))
+        claimed = "I" if unit.is_intra else "P"
+        if frame_types[unit.frame_index] is None:
+            frame_types[unit.frame_index] = claimed
+        elif frame_types[unit.frame_index] != claimed:
+            events.append(StreamEvent(
+                FieldRangeError.code, 8 * unit.offset, unit.frame_index,
+                f"{unit.kind} header claims frame {unit.frame_index} is "
+                f"{claimed}, previously seen as "
+                f"{frame_types[unit.frame_index]}; ignored"))
+            position = unit.offset + 3
+            continue
+        if unit.kind == "frame":
+            payload_len, checksum = unit.a, unit.b
+            available = end - unit.data_start
+            if payload_len > available:
+                events.append(StreamEvent(
+                    BitstreamExhausted.code, 8 * unit.data_start,
+                    unit.frame_index,
+                    f"frame {unit.frame_index} payload truncated: "
+                    f"{payload_len} bytes declared, {available} present"))
+            elif crc16(payload[unit.data_start:unit.data_start
+                               + payload_len]) != checksum:
+                checksum_failures += 1
+                events.append(StreamEvent(
+                    ChecksumMismatch.code, 8 * unit.data_start,
+                    unit.frame_index,
+                    f"frame {unit.frame_index} payload checksum mismatch"))
+            position = unit.data_start
+            bits_consumed = max(bits_consumed, 8 * unit.data_start)
+            continue
+        # slice: decode its macroblocks until the count or an error
+        first_mb, count = unit.a, unit.b
+        frame_type = frame_types[unit.frame_index]
+        mb_reader = BitReader(payload)
+        mb_reader.seek_bit(8 * unit.data_start)
+        try:
+            for index in range(first_mb, first_mb + count):
+                macroblock = _read_macroblock(
+                    mb_reader, frame_type, 16 * (index % mb_cols),
+                    16 * (index // mb_cols), width, height)
+                if index not in filled[unit.frame_index]:
+                    filled[unit.frame_index][index] = macroblock
+                    mbs_parsed += 1
+        except DecodeError as exc:
+            events.append(StreamEvent(exc.code, mb_reader.position,
+                                      unit.frame_index, str(exc)))
+            position = max(mb_reader.position // 8, unit.offset + 3)
+        else:
+            mb_reader.align()
+            position = mb_reader.position // 8
+        bits_consumed = max(bits_consumed, mb_reader.position)
+    sequence = CodedSequence(width, height, qp, resync_every=resync_every)
+    mbs_lost = 0
+    for frame_index in range(frame_count):
+        frame_type = frame_types[frame_index] \
+            or ("I" if frame_index == 0 else "P")
         frame = CodedFrame(frame_type)
         for index in range(mb_count):
-            mb_x = 16 * (index % (width // 16))
-            mb_y = 16 * (index // (width // 16))
-            if frame_type == "I":
-                mode = INTRA
-            else:
-                mode = INTRA if reader.read_bit() else INTER
-            mv = (0, 0)
-            if mode == INTER:
-                mv = (reader.read_se(), reader.read_se())
-            blocks = [_read_block(reader, mode == INTRA) for _ in range(6)]
-            frame.macroblocks.append(
-                CodedMacroblock(mb_x, mb_y, mode, mv, blocks))
+            macroblock = filled[frame_index].get(index)
+            if macroblock is None:
+                macroblock = _lost_macroblock(index, mb_cols)
+                mbs_lost += 1
+            frame.macroblocks.append(macroblock)
         sequence.frames.append(frame)
-    return sequence
+    return RobustParse(sequence, events, bits_consumed, mbs_parsed,
+                       mbs_lost, checksum_failures, resilient=True)

@@ -86,6 +86,80 @@ class CodecError(ReproError):
     hint = "frame dimensions must be macroblock-aligned and QP in range"
 
 
+# -- decode taxonomy ----------------------------------------------------------
+#
+# Raised by the bitstream reader, the syntax parsers and the decoders.  The
+# robust decode path (`repro.codec.decoder.RobustDecoder`) catches exactly
+# these classes — anything else escaping a decode is a genuine bug, which is
+# what the fuzz harness (`python -m repro fuzz-decode`) asserts.  Each error
+# message carries the bit offset at which the stream stopped making sense,
+# and each event recorded in a `DecodeHealth` report references the code.
+
+class DecodeError(CodecError):
+    """Base class for structured bitstream-decode failures."""
+
+    code = "REPRO-DEC-000"
+    hint = ("the stream is corrupt or truncated; decode with robust=True "
+            "to conceal instead of failing")
+
+
+class BitstreamExhausted(DecodeError):
+    """A read ran past the end of the payload (truncation signature)."""
+
+    code = "REPRO-DEC-EXHAUSTED"
+    hint = ("the payload ends mid-field — classic truncation; the robust "
+            "decoder conceals every macroblock after the cut")
+
+
+class ExpGolombCorrupt(DecodeError):
+    """An exp-Golomb zero-prefix cannot terminate inside the payload."""
+
+    code = "REPRO-DEC-EXPGOLOMB"
+    hint = ("a run of zero bits longer than any code the remaining payload "
+            "could hold — bit corruption upstream of this offset")
+
+
+class StreamSyntaxError(DecodeError):
+    """A structural stream element (magic, marker, header, block layout)
+    did not parse."""
+
+    code = "REPRO-DEC-SYNTAX"
+    hint = "the stream violates the coded-sequence grammar at this offset"
+
+
+class FieldRangeError(DecodeError):
+    """A decoded field is outside its legal range for the frame geometry
+    (dimensions, QP, MB index, motion vector, level magnitude, run)."""
+
+    code = "REPRO-DEC-RANGE"
+    hint = ("the field decoded fine but its value is geometrically "
+            "impossible — corruption that exp-Golomb framing cannot catch")
+
+
+class ChecksumMismatch(DecodeError):
+    """A frame payload or header failed its embedded checksum."""
+
+    code = "REPRO-DEC-CHECKSUM"
+    hint = ("the payload parses but its bits changed in flight; robust "
+            "mode records the event and keeps the decoded data")
+
+
+class ResyncLost(DecodeError):
+    """No further valid resync marker exists in the remaining payload."""
+
+    code = "REPRO-DEC-RESYNC"
+    hint = ("concealment scanned to end of stream without re-entering; "
+            "every remaining macroblock is concealed")
+
+
+class ReferenceMissing(DecodeError):
+    """An inter macroblock appeared where no reference frame exists."""
+
+    code = "REPRO-DEC-NOREF"
+    hint = ("the first (or an intra-refresh) frame cannot carry inter "
+            "macroblocks — mode bits were likely corrupted")
+
+
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently."""
 

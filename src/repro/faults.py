@@ -17,6 +17,13 @@ injector is:
   :func:`install`; the default is a no-op plan with zero overhead at the
   fire points (one ``is None`` check).
 
+The module also hosts the **bitstream fuzzer** (:func:`corrupt_bitstream`)
+— the codec-layer counterpart of the sweep injector: a seeded grammar of
+channel errors (bit flips, bursts, truncation, duplication, garbage
+insertion) over a serialized :class:`repro.codec.syntax.CodedSequence`,
+pure in ``(seed, kind, offset)``, which drives ``python -m repro
+fuzz-decode`` and the robust-decoder property tests.
+
 Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
 
     SPEC   := [ 'seed=' INT ';' ] clause ( (';' | ',') clause )*
@@ -57,7 +64,7 @@ import os
 import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultSpecError, TransientCellError
 
@@ -287,3 +294,108 @@ def replay_perturbation(scenario: str, attempt: int = 0) -> int:
     if plan is None:
         return 0
     return 1 if plan.decide("diverge", scenario, attempt) is not None else 0
+
+
+# -- bitstream fuzzing --------------------------------------------------------
+#
+# The codec-side counterpart of the sweep fault injector: a seeded grammar
+# of channel errors applied to a serialized CodedSequence, pure in
+# (seed, kind, offset), driving `python -m repro fuzz-decode` and
+# tests/test_bitstream_fuzz.py.  Unlike the plan-based injectors above it
+# needs no installation — corruption is an explicit function call.
+
+#: corruption kinds corrupt_bitstream understands, in application order
+BITSTREAM_KINDS = ("bitflip", "burst", "truncate", "duplicate", "insert")
+
+
+@dataclass(frozen=True)
+class BitstreamCorruption:
+    """One applied corruption: kind, byte offset, human-readable detail."""
+
+    kind: str
+    offset: int
+    detail: str
+
+
+def _fuzz_draw(seed: int, kind: str, offset: int, salt: str = "") -> float:
+    """Uniform [0,1) draw, pure in (seed, kind, offset, salt)."""
+    blob = f"fuzz:{seed}:{kind}:{offset}:{salt}"
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _fuzz_int(seed: int, kind: str, offset: int, salt: str, low: int,
+              high: int) -> int:
+    """Integer in [low, high], pure in (seed, kind, offset, salt)."""
+    return low + int(_fuzz_draw(seed, kind, offset, salt)
+                     * (high - low + 1))
+
+
+def corrupt_bitstream(payload: bytes, seed: int,
+                      kinds: Tuple[str, ...] = BITSTREAM_KINDS,
+                      rate: float = 1e-3,
+                      ) -> Tuple[bytes, List[BitstreamCorruption]]:
+    """Apply seeded channel errors to a serialized bitstream.
+
+    Every decision — whether a corruption fires at a byte offset, which
+    bit flips, how long a burst runs — is a pure function of
+    ``(seed, kind, offset)``, so a (payload, seed, kinds, rate) tuple
+    always produces the same corrupted bytes, across runs and processes.
+    ``rate`` scales roughly with corrupted-bits-per-payload-bit;
+    ``rate=0`` returns the payload unchanged.  Returns the corrupted
+    payload and the list of applied corruptions.
+    """
+    for kind in kinds:
+        if kind not in BITSTREAM_KINDS:
+            raise FaultSpecError(
+                f"unknown bitstream corruption kind {kind!r}; expected a "
+                f"subset of {', '.join(BITSTREAM_KINDS)}")
+    if rate < 0:
+        raise FaultSpecError(f"corruption rate must be >= 0, got {rate}")
+    if not payload or rate == 0:
+        return payload, []
+    events: List[BitstreamCorruption] = []
+    truncate_at: Optional[int] = None
+    if "truncate" in kinds and \
+            _fuzz_draw(seed, "truncate", 0) < min(1.0, rate * len(payload)):
+        truncate_at = 1 + _fuzz_int(seed, "truncate", 0, "at", 0,
+                                    len(payload) - 2)
+    out = bytearray()
+    burst_left = 0
+    for offset, byte in enumerate(payload):
+        if truncate_at is not None and offset >= truncate_at:
+            events.append(BitstreamCorruption(
+                "truncate", offset,
+                f"cut {len(payload) - offset} trailing bytes"))
+            break
+        if "insert" in kinds and \
+                _fuzz_draw(seed, "insert", offset) < rate / 4:
+            count = 1 + _fuzz_int(seed, "insert", offset, "len", 0, 15)
+            out.extend(_fuzz_int(seed, "insert", offset, f"byte{i}", 0, 255)
+                       for i in range(count))
+            events.append(BitstreamCorruption(
+                "insert", offset, f"inserted {count} garbage bytes"))
+        if "duplicate" in kinds and offset and \
+                _fuzz_draw(seed, "duplicate", offset) < rate / 4:
+            window = 1 + _fuzz_int(seed, "duplicate", offset, "len", 0,
+                                   min(15, offset - 1))
+            out.extend(payload[offset - window:offset])
+            events.append(BitstreamCorruption(
+                "duplicate", offset,
+                f"replayed the previous {window} bytes"))
+        if "burst" in kinds and burst_left == 0 and \
+                _fuzz_draw(seed, "burst", offset) < rate / 4:
+            burst_left = 2 + _fuzz_int(seed, "burst", offset, "len", 0, 14)
+            events.append(BitstreamCorruption(
+                "burst", offset, f"{burst_left}-byte error burst"))
+        if burst_left:
+            byte ^= _fuzz_int(seed, "burst", offset, "xor", 1, 255)
+            burst_left -= 1
+        elif "bitflip" in kinds and \
+                _fuzz_draw(seed, "bitflip", offset) < rate * 8:
+            bit = _fuzz_int(seed, "bitflip", offset, "bit", 0, 7)
+            byte ^= 0x80 >> bit
+            events.append(BitstreamCorruption(
+                "bitflip", offset, f"flipped bit {bit}"))
+        out.append(byte)
+    return bytes(out), events

@@ -1,0 +1,202 @@
+"""Property tests for the bitstream fuzzing harness.
+
+The contract under test, for *any* corruption of a valid stream (and for
+arbitrary garbage): the strict parser either succeeds or raises a
+structured :class:`repro.errors.DecodeError` — never ``IndexError``,
+``ValueError`` or a hang — and the robust path never raises at all,
+always returning geometrically valid concealed frames.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.codec import (
+    EncoderConfig,
+    Mpeg4Encoder,
+    deserialize,
+    robust_decode,
+    serialize,
+)
+from repro.codec.motion import ThreeStepSearch
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.errors import DecodeError, FaultSpecError
+from repro.faults import BITSTREAM_KINDS, corrupt_bitstream
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    """One small encode, serialized in both wire layouts."""
+    frames = synthetic_sequence(
+        SyntheticSequenceConfig(width=48, height=48, frames=3))
+    report = Mpeg4Encoder(EncoderConfig(strategy=ThreeStepSearch(2),
+                                        resync_every=1)).encode(frames)
+    return {"resilient": report.serialize(),
+            "legacy": serialize(report.coded, resync_every=0)}
+
+
+def strict_is_structured(payload: bytes) -> bool:
+    """Strict-parse a payload; DecodeError is the only legal failure.
+
+    Anything unstructured propagates and fails the calling test."""
+    try:
+        deserialize(payload)
+        return True
+    except DecodeError:
+        return False
+
+
+def assert_robust_contract(payload: bytes):
+    """The robust path never raises and returns valid geometry."""
+    frames, health = robust_decode(payload)
+    assert health.bits_total == 8 * len(payload)
+    for frame in frames:
+        assert frame.width % 16 == 0 and frame.height % 16 == 0
+    if frames:
+        mb_total = len(frames) * frames[0].mb_cols * frames[0].mb_rows
+        assert health.mbs_decoded + health.mbs_concealed == mb_total
+    return frames, health
+
+
+class TestGarbageInput:
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_garbage_never_unstructured(self, garbage):
+        strict_is_structured(garbage)
+        assert_robust_contract(garbage)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_garbage_behind_magic_never_unstructured(self, garbage):
+        payload = b"\xa5\x4d" + garbage
+        strict_is_structured(payload)
+        assert_robust_contract(payload)
+
+
+class TestTruncation:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_is_structured(self, payloads, data):
+        layout = data.draw(st.sampled_from(["resilient", "legacy"]))
+        payload = payloads[layout]
+        cut = data.draw(st.integers(0, len(payload) - 1))
+        truncated = payload[:cut]
+        # a strict prefix always raises: every byte carries payload bits
+        assert not strict_is_structured(truncated)
+        frames, health = assert_robust_contract(truncated)
+        if frames:
+            # header survived: full frame count, the tail concealed
+            assert len(frames) == 3
+            assert health.mbs_concealed > 0 or cut == len(payload)
+
+
+class TestByteCorruption:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_xor_resilient_always_detected(self, payloads,
+                                                       data):
+        """A one-byte error is a burst of <= 8 bits; CRC-8 headers and
+        CRC-16 payloads detect every such burst, so the strict parser
+        must reject any single-byte corruption of a resilient stream."""
+        payload = payloads["resilient"]
+        offset = data.draw(st.integers(0, len(payload) - 1))
+        mask = data.draw(st.integers(1, 255))
+        corrupted = payload[:offset] \
+            + bytes([payload[offset] ^ mask]) + payload[offset + 1:]
+        assert not strict_is_structured(corrupted)
+        assert_robust_contract(corrupted)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_byte_xor_legacy_never_unstructured(self, payloads,
+                                                       data):
+        payload = payloads["legacy"]
+        offset = data.draw(st.integers(0, len(payload) - 1))
+        mask = data.draw(st.integers(1, 255))
+        corrupted = payload[:offset] \
+            + bytes([payload[offset] ^ mask]) + payload[offset + 1:]
+        strict_is_structured(corrupted)  # legacy has no checksums: either
+        assert_robust_contract(corrupted)  # outcome, but never unstructured
+
+
+class TestSeededFuzzer:
+    @given(st.integers(0, 2**31), st.floats(0.0, 0.05))
+    @settings(max_examples=60, deadline=None)
+    def test_corrupt_bitstream_is_deterministic(self, payloads, seed, rate):
+        payload = payloads["resilient"]
+        first, events_a = corrupt_bitstream(payload, seed, rate=rate)
+        second, events_b = corrupt_bitstream(payload, seed, rate=rate)
+        assert first == second
+        assert events_a == events_b
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_fuzzed_streams_honor_the_contract(self, payloads, seed):
+        for layout in ("resilient", "legacy"):
+            corrupted, events = corrupt_bitstream(payloads[layout], seed,
+                                                  rate=3e-3)
+            if not events:
+                assert corrupted == payloads[layout]
+            strict_is_structured(corrupted)
+            assert_robust_contract(corrupted)
+
+    def test_rate_zero_is_identity(self, payloads):
+        corrupted, events = corrupt_bitstream(payloads["legacy"], 7,
+                                              rate=0.0)
+        assert corrupted == payloads["legacy"]
+        assert events == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError):
+            corrupt_bitstream(b"abc", 0, kinds=("scramble",))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(FaultSpecError):
+            corrupt_bitstream(b"abc", 0, rate=-1.0)
+
+    def test_truncate_only_shortens(self, payloads):
+        payload = payloads["legacy"]
+        for seed in range(40):
+            corrupted, events = corrupt_bitstream(payload, seed,
+                                                  kinds=("truncate",),
+                                                  rate=1e-2)
+            assert len(corrupted) <= len(payload)
+            assert payload.startswith(corrupted)
+            if events:
+                assert all(e.kind == "truncate" for e in events)
+
+    def test_all_kinds_fire_somewhere(self, payloads):
+        fired = set()
+        for seed in range(60):
+            _, events = corrupt_bitstream(payloads["resilient"], seed,
+                                          rate=5e-3)
+            fired.update(event.kind for event in events)
+        assert fired == set(BITSTREAM_KINDS)
+
+
+class TestCliSmoke:
+    def test_decode_roundtrip_robust(self, capsys):
+        assert main(["decode", "--frames", "2", "--resync-every", "2",
+                     "--robust"]) == 0
+        out = capsys.readouterr().out
+        assert "resilient" in out
+        assert "bit-exactly: yes" in out
+
+    def test_decode_roundtrip_legacy_strict(self, capsys):
+        assert main(["decode", "--frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy" in out
+        assert "bit-exactly: yes" in out
+
+    def test_fuzz_decode_writes_curve(self, tmp_path, capsys):
+        artifact = tmp_path / "curve.json"
+        assert main(["fuzz-decode", "--frames", "2", "--seeds", "3",
+                     "--rates", "1e-4,1e-2", "--json",
+                     str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "structured" in out
+        import json
+        curve = json.loads(artifact.read_text())
+        assert len(curve["degradation_curve"]) == 2
+        assert curve["unstructured_failures"] == 0
