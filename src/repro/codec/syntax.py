@@ -75,6 +75,15 @@ MAX_FRAMES = 1 << 16
 MV_LIMIT_HALFPEL = 128
 LEVEL_LIMIT = 2048
 
+#: cheapest legal macroblock on the wire: an all-empty intra macroblock
+#: is six ue(0) codes = 6 bits (P-frame mode bits and MVs only add more)
+MIN_MB_BITS = 6
+#: concealment backfill allowed beyond what the payload itself could
+#: carry — one maximum-size frame's worth of macroblocks, so truncated
+#: streams still conceal in full without a forged header being able to
+#: demand unbounded work
+MAX_BACKFILL_MBS = (MAX_DIMENSION // 16) ** 2
+
 
 @dataclass
 class CodedBlock:
@@ -171,6 +180,24 @@ def _check_sequence_header(width: int, height: int, qp: int,
     if frame_count > MAX_FRAMES:
         raise FieldRangeError(
             f"implausible frame count {frame_count} in stream header "
+            f"(bit {position})")
+
+
+def _check_stream_budget(frame_count: int, mb_count: int, payload_len: int,
+                         position: int) -> None:
+    """Reject headers whose claimed decode work cannot come from the
+    payload.  Every coded macroblock costs at least :data:`MIN_MB_BITS`
+    on the wire, so a tiny payload claiming billions of macroblocks is
+    corruption — and without this bound the robust backfill would build
+    ``frame_count * mb_count`` lost-macroblock objects (and the decoder a
+    frame per claim), a decode-of-hostile-input DoS."""
+    total = frame_count * mb_count
+    budget = MAX_BACKFILL_MBS + 8 * payload_len // MIN_MB_BITS
+    if total > budget:
+        raise FieldRangeError(
+            f"header claims {frame_count} frames x {mb_count} macroblocks "
+            f"({total} total), beyond the {budget} a {payload_len}-byte "
+            f"payload could carry at {MIN_MB_BITS} bits/macroblock "
             f"(bit {position})")
 
 
@@ -279,8 +306,14 @@ def _verify_header_crc(reader: BitReader, rebuild: BitWriter,
                        what: str, start: int) -> None:
     """Align, read the CRC-8 byte, and compare against the canonical
     re-encoding of the parsed fields (exp-Golomb codes are canonical, so
-    re-serializing the fields reproduces the original header bytes)."""
-    reader.align()
+    re-serializing the fields reproduces the original header bytes).
+    The alignment padding must be zero: the rebuild reproduces canonical
+    zero padding, so a flipped padding bit would otherwise slip past the
+    CRC unnoticed."""
+    while reader.position % 8:
+        if reader.read_bit():
+            raise ChecksumMismatch(
+                f"{what} header padding corrupt (bit {reader.position - 1})")
     stored = reader.read_bytes(1)[0]
     rebuild.align()
     if crc8(rebuild.getvalue()) != stored:
@@ -436,6 +469,8 @@ def _deserialize_resilient(payload: bytes) -> CodedSequence:
         _read_sequence_header(reader)
     mb_cols = width // 16
     mb_count = mb_cols * (height // 16)
+    _check_stream_budget(frame_count, mb_count, len(payload),
+                         reader.position)
     sequence = CodedSequence(width, height, qp, resync_every=resync_every)
     for expected_index in range(frame_count):
         start = reader.position
@@ -514,6 +549,8 @@ def _parse_legacy(payload: bytes, robust: bool) -> RobustParse:
         qp = reader.read_ue()
         frame_count = reader.read_ue()
         _check_sequence_header(width, height, qp, frame_count, start)
+        _check_stream_budget(frame_count, (width // 16) * (height // 16),
+                             len(payload), start)
     except DecodeError as exc:
         if not robust:
             raise
@@ -524,6 +561,7 @@ def _parse_legacy(payload: bytes, robust: bool) -> RobustParse:
     mb_count = mb_cols * (height // 16)
     sequence = CodedSequence(width, height, qp)
     mbs_parsed = 0
+    complete = False
     try:
         for _ in range(frame_count):
             frame = CodedFrame("I" if reader.read_bit() else "P")
@@ -533,12 +571,22 @@ def _parse_legacy(payload: bytes, robust: bool) -> RobustParse:
                     reader, frame.frame_type, 16 * (index % mb_cols),
                     16 * (index // mb_cols), width, height))
                 mbs_parsed += 1
+        complete = True
     except DecodeError as exc:
         if not robust:
             raise
         frame_index = len(sequence.frames) - 1 if sequence.frames else None
         events.append(StreamEvent(exc.code, reader.position, frame_index,
                                   str(exc)))
+    if complete and reader.bits_remaining() > 7:
+        # only the final byte's zero padding may follow the last frame,
+        # mirroring the resilient strict path
+        message = (f"{reader.bits_remaining()} trailing bits after the "
+                   f"final frame (bit {reader.position})")
+        if not robust:
+            raise StreamSyntaxError(message)
+        events.append(StreamEvent(StreamSyntaxError.code, reader.position,
+                                  None, message))
     mbs_lost = 0
     while len(sequence.frames) < frame_count:
         sequence.frames.append(
@@ -625,6 +673,8 @@ def _parse_resilient_robust(payload: bytes) -> RobustParse:
         reader.read_bytes(2)  # magic
         width, height, qp, frame_count, resync_every = \
             _read_sequence_header(reader)
+        _check_stream_budget(frame_count, (width // 16) * (height // 16),
+                             len(payload), reader.position)
     except DecodeError as exc:
         events.append(StreamEvent(exc.code, reader.position, None, str(exc)))
         return RobustParse(None, events, reader.position, 0, 0, 0,

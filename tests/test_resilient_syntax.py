@@ -221,6 +221,59 @@ class TestConcealment:
                               frames[0].y[16:32, 16:32])
 
 
+def _forged_resilient_header(width, height, qp, frame_count, resync_every):
+    """A resilient stream that is nothing but a CRC-valid sequence header
+    claiming the given geometry — the forged-header DoS vector."""
+    writer = BitWriter()
+    writer.write_bytes(RESILIENT_MAGIC)
+    header = BitWriter()
+    for value in (width, height, qp, frame_count, resync_every):
+        header.write_ue(value)
+    header.align()
+    data = header.getvalue()
+    writer.write_bytes(data)
+    writer.write_bytes(bytes([crc8(data)]))
+    return writer.getvalue()
+
+
+class TestStreamBudget:
+    """A header's claimed decode work must be coverable by the payload:
+    at least 6 bits per macroblock on the wire, plus one max-size frame's
+    concealment floor.  Without this bound a ~9-byte forged header could
+    demand ~4.3e9 lost-macroblock objects from the robust backfill."""
+
+    def test_legacy_header_claiming_huge_geometry_rejected(self):
+        writer = BitWriter()
+        for value in (4096, 4096, 1, 256):  # 4096x4096, 256 frames
+            writer.write_ue(value)
+        payload = writer.getvalue()
+        assert len(payload) < 16  # tiny on the wire, enormous claim
+        with pytest.raises(FieldRangeError):
+            deserialize(payload)
+        frames, health = robust_decode(payload)
+        assert frames == []
+        assert any(event.code == FieldRangeError.code
+                   for event in health.events)
+
+    def test_forged_resilient_header_rejected(self):
+        payload = _forged_resilient_header(4096, 4096, 1, 65536, 256)
+        with pytest.raises(FieldRangeError):
+            deserialize(payload)
+        frames, health = robust_decode(payload)
+        assert frames == []
+        assert any(event.code == FieldRangeError.code
+                   for event in health.events)
+
+    def test_truncation_stays_within_the_backfill_floor(self,
+                                                        legacy_payload):
+        # a legitimate truncation still conceals the full claimed
+        # geometry: the floor covers it (27 MBs << one max-size frame)
+        frames, health = robust_decode(legacy_payload[:4])
+        if frames:
+            assert len(frames) == 3
+            assert health.mbs_decoded + health.mbs_concealed == 27
+
+
 class TestStrictValidation:
     def test_inter_mb_in_first_frame_has_code_and_context(self):
         sequence = deserialize(serialize(
@@ -250,6 +303,34 @@ class TestStrictValidation:
     def test_trailing_garbage_rejected(self, resilient_payload):
         with pytest.raises(StreamSyntaxError):
             deserialize(resilient_payload + b"\x5a")
+
+    def test_header_padding_corruption_detected(self, resilient_payload):
+        # the sequence header's fields end mid-byte, so its final byte
+        # carries zero padding ahead of the CRC-8; the CRC is checked
+        # against a re-encoding of the fields (which reproduces canonical
+        # zero padding), so a flipped padding bit must be caught by the
+        # explicit padding check, not slip through unnoticed
+        crc_at = resilient_payload.find(FRAME_MARKER) - 1
+        corrupted = bytearray(resilient_payload)
+        corrupted[crc_at - 1] ^= 0x01
+        corrupted = bytes(corrupted)
+        with pytest.raises(DecodeError):
+            deserialize(corrupted)
+        _, health = robust_decode(corrupted)
+        assert any(event.code.startswith("REPRO-DEC-")
+                   for event in health.events)
+
+    def test_legacy_trailing_garbage_rejected(self, legacy_payload):
+        with pytest.raises(StreamSyntaxError):
+            deserialize(legacy_payload + b"\x5a")
+
+    def test_legacy_trailing_garbage_is_an_event_in_robust(self,
+                                                           legacy_payload):
+        frames, health = robust_decode(legacy_payload + b"\x5a\x5a")
+        assert len(frames) == 3
+        assert health.mbs_concealed == 0
+        assert any(event.code == StreamSyntaxError.code
+                   for event in health.events)
 
     def test_error_codes_are_stable(self):
         assert BitstreamExhausted.code == "REPRO-DEC-EXHAUSTED"
