@@ -1,5 +1,18 @@
 """Microbenchmarks of the architectural substrate itself: scheduler,
-cycle-level core, cache model and GetSad kernel compilation."""
+cycle-level core, cache model and GetSad kernel compilation.
+
+Run directly (``python benchmarks/bench_micro.py``) this file is the
+schedule-quality gate: it prints the per-kernel static schedule lengths of
+every scheduling tier (paper / paper+fill / sweep / modulo) over the
+GetSad, MC and DCT inner loops and enforces the quality gates:
+
+* sweep and same-cycle fill are never worse than the paper schedule;
+* the seeded sweep is deterministic (two runs, identical lengths) and its
+  on-disk cache serves warm hits on the second run;
+* modulo scheduling shortens the GetSad a1/align0/HV inner loop by >= 20%
+  (the issue's headline gap-closing target);
+* sweep shortens its best GetSad loop (a3/align0/V) by >= 5%.
+"""
 
 import numpy as np
 
@@ -89,3 +102,231 @@ def bench_golden_sad_numpy(benchmark):
 
     total = benchmark(sad_sweep)
     assert total > 0
+
+
+# ---------------------------------------------------------------------------
+# schedule-quality gate (run this file directly; CI uploads the table)
+# ---------------------------------------------------------------------------
+
+#: the issue's headline gate: modulo scheduling must shorten this GetSad
+#: inner loop by at least this fraction vs the paper-mode schedule
+MODULO_GATE_KERNEL = ("a1", 0, InterpMode.HV)
+MODULO_GATE_MIN_GAIN = 0.20
+#: the sweep tier's own gate kernel and threshold
+SWEEP_GATE_KERNEL = ("a3", 0, InterpMode.V)
+SWEEP_GATE_MIN_GAIN = 0.05
+
+
+def _getsad_latency_of():
+    from repro.rfu import RfuUnit, standard_registry
+    rfu = RfuUnit(standard_registry(), beta=1.0)
+
+    def latency_of(op):
+        if op.spec.latency is not None:
+            return op.spec.latency
+        if op.opcode in ("rfuinit", "rfusend", "rfupft"):
+            return 1
+        return rfu.latency(op.imm)
+
+    return latency_of
+
+
+def _loop_blocks(program):
+    """The counted-loop bodies of a kernel (labels containing 'loop')."""
+    return [block for block in program.blocks if "loop" in block.label]
+
+
+def _measure_program(name, program, latency_of, config, sweep_seeds):
+    """Per-loop schedule lengths of every tier for one kernel program."""
+    from repro.program import schedule_block, schedule_program
+
+    rows = []
+    modes = {}
+    for mode in ("paper", "sweep", "modulo"):
+        modes[mode] = schedule_program(
+            program, latency_of, config.capacity, config.issue_width,
+            pressure_limit=config.pressure_limit, mode=mode,
+            sweep_seeds=sweep_seeds)
+    pipelined = {loop.label: loop
+                 for loop in getattr(modes["modulo"], "pipelined", [])}
+    for block in _loop_blocks(program):
+        lengths = {}
+        for mode in ("paper", "sweep"):
+            scheduled = next(b for b in modes[mode].blocks
+                             if b.label == block.label)
+            lengths[mode] = scheduled.length
+        filled = schedule_block(
+            block, latency_of, config.capacity, config.issue_width,
+            pressure_limit=config.pressure_limit, fill_same_cycle=True)
+        lengths["fill"] = filled.length
+        loop = pipelined.get(block.label)
+        lengths["modulo_ii"] = loop.ii if loop else None
+        rows.append((f"{name}:{block.label}", lengths))
+    return rows
+
+
+def _collect_rows(sweep_seeds):
+    from repro.kernels.getsad import (
+        KernelShape, build_getsad_kernel, kernel_rfu_issue_width)
+    from repro.kernels.mc import build_mc_kernel
+    from repro.kernels.dct_kernel import build_dct_kernel
+    from repro.machine import MachineConfig
+
+    rows = []
+    getsad_latency = _getsad_latency_of()
+    for variant in ("orig", "a1", "a2", "a3"):
+        config = MachineConfig().with_rfu_issue(
+            kernel_rfu_issue_width(variant))
+        for alignment in (0, 1):
+            for mode in InterpMode:
+                shape = KernelShape(alignment, mode)
+                program = build_getsad_kernel(variant, shape)
+                rows += _measure_program(
+                    f"getsad/{variant}/{shape.label}", program,
+                    getsad_latency, config, sweep_seeds)
+    config = MachineConfig()
+    for alignment in (0, 1):
+        for mode in InterpMode:
+            shape = KernelShape(alignment, mode)
+            rows += _measure_program(
+                f"mc/{shape.label}", build_mc_kernel(shape), None,
+                config, sweep_seeds)
+    rows += _measure_program("dct", build_dct_kernel(), None, config,
+                             sweep_seeds)
+    return rows
+
+
+def _format_table(rows):
+    lines = [f"{'kernel loop':<28s} {'paper':>6s} {'fill':>6s} "
+             f"{'sweep':>6s} {'mod-II':>6s} {'best-gain':>9s}"]
+    for name, lengths in rows:
+        paper = lengths["paper"]
+        best = min(value for value in (lengths["fill"], lengths["sweep"],
+                                       lengths["modulo_ii"])
+                   if value is not None)
+        gain = 100.0 * (paper - best) / paper
+        modulo = f"{lengths['modulo_ii']:>6d}" \
+            if lengths["modulo_ii"] is not None else f"{'--':>6s}"
+        lines.append(f"{name:<28s} {paper:>6d} {lengths['fill']:>6d} "
+                     f"{lengths['sweep']:>6d} {modulo} {gain:>8.1f}%")
+    return "\n".join(lines)
+
+
+def _check_sweep_determinism(sweep_seeds, errors):
+    """Two sweeps of the gate kernel: identical lengths + warm disk hits."""
+    import tempfile
+
+    from repro.kernels.getsad import KernelShape, build_getsad_kernel, \
+        kernel_rfu_issue_width
+    from repro.machine import MachineConfig
+    from repro.program import sweep_schedule_block, sweep_stats
+    from repro.program.priorities import clear_sweep_memo, reset_sweep_stats
+
+    variant, alignment, mode = MODULO_GATE_KERNEL
+    program = build_getsad_kernel(variant, KernelShape(alignment, mode))
+    config = MachineConfig().with_rfu_issue(kernel_rfu_issue_width(variant))
+    latency_of = _getsad_latency_of()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        def one_run():
+            clear_sweep_memo()
+            reset_sweep_stats()
+            return [sweep_schedule_block(
+                block, latency_of, config.capacity, config.issue_width,
+                pressure_limit=config.pressure_limit, seeds=sweep_seeds,
+                cache_dir=cache_dir).length for block in program.blocks]
+
+        cold = one_run()
+        cold_stats = sweep_stats()
+        warm = one_run()
+        warm_stats = sweep_stats()
+    if cold != warm:
+        errors.append(f"sweep is not deterministic: {cold} != {warm}")
+    if cold_stats["disk_hits"]:
+        errors.append(f"cold sweep run claimed disk hits: {cold_stats}")
+    if warm_stats["disk_hits"] < len(program.blocks):
+        errors.append(f"warm sweep run missed the on-disk cache: "
+                      f"{warm_stats} over {len(program.blocks)} blocks")
+    return cold_stats, warm_stats
+
+
+def _row(rows, prefix):
+    for name, lengths in rows:
+        if name.startswith(prefix):
+            return lengths
+    raise KeyError(prefix)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.kernels.getsad import KernelShape
+
+    parser = argparse.ArgumentParser(
+        description="per-kernel schedule-length table + quality gates")
+    parser.add_argument("--sweep-seeds", type=int, default=16)
+    parser.add_argument("--output", "-o", default=None,
+                        help="also write the table to this file (the CI "
+                             "artifact)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="print the table without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    rows = _collect_rows(args.sweep_seeds)
+    table = _format_table(rows)
+    print(table)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+        print(f"table written to {args.output}")
+    if args.no_check:
+        return 0
+
+    errors = []
+    for name, lengths in rows:
+        if lengths["sweep"] > lengths["paper"]:
+            errors.append(f"{name}: sweep ({lengths['sweep']}) worse than "
+                          f"paper ({lengths['paper']})")
+        if lengths["fill"] > lengths["paper"]:
+            errors.append(f"{name}: same-cycle fill ({lengths['fill']}) "
+                          f"worse than paper ({lengths['paper']})")
+
+    variant, alignment, mode = MODULO_GATE_KERNEL
+    gate = _row(rows, f"getsad/{variant}/{KernelShape(alignment, mode).label}")
+    if gate["modulo_ii"] is None:
+        errors.append("modulo gate kernel did not pipeline")
+    else:
+        gain = (gate["paper"] - gate["modulo_ii"]) / gate["paper"]
+        status = "OK" if gain >= MODULO_GATE_MIN_GAIN else "FAIL"
+        print(f"modulo gate  getsad/{variant} align{alignment} {mode.name}: "
+              f"loop {gate['paper']} -> II {gate['modulo_ii']} "
+              f"({100 * gain:.1f}% >= {100 * MODULO_GATE_MIN_GAIN:.0f}%) "
+              f"{status}")
+        if gain < MODULO_GATE_MIN_GAIN:
+            errors.append(f"modulo gate: {100 * gain:.1f}% < "
+                          f"{100 * MODULO_GATE_MIN_GAIN:.0f}%")
+
+    variant, alignment, mode = SWEEP_GATE_KERNEL
+    gate = _row(rows, f"getsad/{variant}/{KernelShape(alignment, mode).label}")
+    gain = (gate["paper"] - gate["sweep"]) / gate["paper"]
+    status = "OK" if gain >= SWEEP_GATE_MIN_GAIN else "FAIL"
+    print(f"sweep gate   getsad/{variant} align{alignment} {mode.name}: "
+          f"loop {gate['paper']} -> {gate['sweep']} "
+          f"({100 * gain:.1f}% >= {100 * SWEEP_GATE_MIN_GAIN:.0f}%) {status}")
+    if gain < SWEEP_GATE_MIN_GAIN:
+        errors.append(f"sweep gate: {100 * gain:.1f}% < "
+                      f"{100 * SWEEP_GATE_MIN_GAIN:.0f}%")
+
+    cold, warm = _check_sweep_determinism(args.sweep_seeds, errors)
+    print(f"sweep cache  cold {cold}, warm {warm}")
+
+    if errors:
+        for error in errors:
+            print(f"GATE FAILED: {error}")
+        return 1
+    print("all schedule-quality gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

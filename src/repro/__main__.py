@@ -19,8 +19,11 @@ Commands:
   corruption rates × seeds over a serialized stream, asserts the robust
   decoder only ever fails structurally (``REPRO-DEC-*``), and emits the
   corruption-rate → concealed-PSNR degradation curve (``--json``);
-* ``kernels``  — compile, verify and time every GetSad kernel shape;
-* ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule.
+* ``kernels``  — compile, verify and time every GetSad kernel shape
+  (``--sched-mode {paper,sweep,modulo}`` selects the scheduling tier;
+  ``paper`` pins the seed heuristic bit-identically);
+* ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule
+  (also ``--sched-mode``/``--sweep-seeds``).
 """
 
 from __future__ import annotations
@@ -371,9 +374,10 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     variants = [args.variant] if args.variant else list(VARIANTS)
     header = f"{'variant':>8s} {'align':>5s}" \
         + "".join(f" {mode.name:>6s}" for mode in InterpMode)
-    print(header + "   (cycles per GetSad call, verified bit-exact)")
+    print(header + f"   (cycles per GetSad call, verified bit-exact; "
+                   f"sched-mode {args.sched_mode})")
     for variant in variants:
-        library = KernelLibrary(variant)
+        library = KernelLibrary(variant, sched_mode=args.sched_mode)
         for alignment in range(4):
             cells = "".join(
                 f" {library.static_cycles(alignment, mode):>6d}"
@@ -385,11 +389,13 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
 def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.isa.asmparser import parse_program
     from repro.isa.instruction import format_schedule
-    from repro.machine import compile_kernel
+    from repro.machine import MachineConfig, compile_kernel
     from repro.program.analysis import occupancy_chart, utilisation_report
     with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
-    loaded = compile_kernel(program)
+    config = MachineConfig().with_sched_mode(args.sched_mode,
+                                             args.sweep_seeds)
+    loaded = compile_kernel(program, config=config)
     print(f"kernel {program.name}: {loaded.static_length} static cycles, "
           f"{loaded.scheduled.op_count()} ops")
     for block in loaded.scheduled.blocks:
@@ -571,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
     kernels = sub.add_parser("kernels", help="time every GetSad kernel")
     kernels.add_argument("--variant", choices=("orig", "a1", "a2", "a3"),
                          default=None)
+    kernels.add_argument("--sched-mode",
+                         choices=("paper", "sweep", "modulo"),
+                         default="paper",
+                         help="scheduling tier: 'paper' pins the seed "
+                              "heuristic bit-identically; 'sweep' runs "
+                              "seeded priority sweeps; 'modulo' software-"
+                              "pipelines the inner loops")
     kernels.set_defaults(handler=_cmd_kernels)
 
     schedule = sub.add_parser("schedule", help="assemble and schedule a "
@@ -578,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("file")
     schedule.add_argument("--stats", action="store_true",
                           help="print utilisation and occupancy analysis")
+    schedule.add_argument("--sched-mode",
+                          choices=("paper", "sweep", "modulo"),
+                          default="paper",
+                          help="scheduling tier (see 'kernels --sched-mode')")
+    schedule.add_argument("--sweep-seeds", type=int, default=None,
+                          help="candidate seeds per block in sweep mode")
     schedule.set_defaults(handler=_cmd_schedule)
     return parser
 

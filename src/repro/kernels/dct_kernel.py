@@ -96,7 +96,8 @@ class DctKernelTiming:
     max_error: float
 
 
-def measure_dct_kernel(seed: int = 3) -> DctKernelTiming:
+def measure_dct_kernel(seed: int = 3,
+                       sched_mode: str = "paper") -> DctKernelTiming:
     """Compile, run and verify the DCT kernel on a random residual block."""
     rng = np.random.default_rng(seed)
     block = rng.integers(-255, 256, (8, 8)).astype(np.float64)
@@ -104,8 +105,9 @@ def measure_dct_kernel(seed: int = 3) -> DctKernelTiming:
     for index, value in enumerate(block.astype(np.int64).ravel()):
         memory.main.store_word(_IN_BASE + 4 * index, int(value) & 0xFFFFFFFF)
 
-    loaded = compile_kernel(build_dct_kernel())
-    core = Core(memory)
+    config = MachineConfig().with_sched_mode(sched_mode)
+    loaded = compile_kernel(build_dct_kernel(), config=config)
+    core = Core(memory, config=config)
     args = [_IN_BASE, _TMP_BASE, _OUT_BASE]
     core.run(loaded, args)           # warm caches
     measured = core.run(loaded, args)

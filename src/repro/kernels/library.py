@@ -32,12 +32,14 @@ _TEST_PLANE_SIZE = 64
 _TEST_PLANE_BASE = 0x0002_0000
 _TEST_STRIDE = _TEST_PLANE_SIZE
 
-#: process-wide measured timings, keyed (variant, beta, shape).  The
-#: measurement is deterministic — fresh memory system, fixed rng seed —
-#: so every KernelLibrary instance of the same configuration would
-#: measure identical numbers; sharing them means a fresh TraceReplayer
-#: (e.g. each side of the replay benchmark) skips recompilation.
-_SHARED_TIMINGS: Dict[Tuple[str, float, "KernelShape"], "ShapeTiming"] = {}
+#: process-wide measured timings, keyed (variant, beta, sched_mode,
+#: shape).  The measurement is deterministic — fresh memory system, fixed
+#: rng seed — so every KernelLibrary instance of the same configuration
+#: would measure identical numbers; sharing them means a fresh
+#: TraceReplayer (e.g. each side of the replay benchmark) skips
+#: recompilation.
+_SHARED_TIMINGS: Dict[Tuple[str, float, str, "KernelShape"],
+                      "ShapeTiming"] = {}
 
 
 @dataclass(frozen=True)
@@ -63,13 +65,15 @@ def _test_environment() -> Tuple[MemorySystem, np.ndarray]:
 class KernelLibrary:
     """Lazily compiles, verifies and times GetSad kernels for one variant."""
 
-    def __init__(self, variant: str, beta: float = 1.0):
+    def __init__(self, variant: str, beta: float = 1.0,
+                 sched_mode: str = "paper"):
         if variant not in VARIANTS:
             raise CodecError(f"unknown kernel variant {variant!r}")
         self.variant = variant
         self.beta = beta
+        self.sched_mode = sched_mode
         self.config = MachineConfig().with_rfu_issue(
-            kernel_rfu_issue_width(variant))
+            kernel_rfu_issue_width(variant)).with_sched_mode(sched_mode)
         self._loaded: Dict[KernelShape, LoadedProgram] = {}
         self._timing: Dict[KernelShape, ShapeTiming] = {}
 
@@ -119,7 +123,7 @@ class KernelLibrary:
 
     def timing(self, shape: KernelShape) -> ShapeTiming:
         if shape not in self._timing:
-            shared_key = (self.variant, self.beta, shape)
+            shared_key = (self.variant, self.beta, self.sched_mode, shape)
             if shared_key not in _SHARED_TIMINGS:
                 _SHARED_TIMINGS[shared_key] = self._measure(shape)
             self._timing[shape] = _SHARED_TIMINGS[shared_key]

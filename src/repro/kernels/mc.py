@@ -126,8 +126,8 @@ class McShapeTiming:
 class McKernelLibrary:
     """Compiles, verifies and times the baseline MC kernels."""
 
-    def __init__(self):
-        self.config = MachineConfig()
+    def __init__(self, sched_mode: str = "paper"):
+        self.config = MachineConfig().with_sched_mode(sched_mode)
         self._loaded: Dict[KernelShape, LoadedProgram] = {}
         self._timing: Dict[KernelShape, McShapeTiming] = {}
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -31,17 +32,23 @@ class MachineConfig:
     #: simulate instruction fetch through the I-cache
     model_icache: bool = True
     max_cycles: int = 50_000_000
+    #: scheduling tier: "paper" (bit-identical to the seed heuristic),
+    #: "sweep" (seeded priority sweeps) or "modulo" (software pipelining)
+    sched_mode: str = "paper"
+    #: candidates per block in the sweep tier (ignored by other modes)
+    sweep_seeds: Optional[int] = None
+    #: live-value ceiling forwarded to the scheduler's pressure heuristic
+    pressure_limit: int = 44
 
     def with_rfu_issue(self, rfu_per_cycle: int) -> "MachineConfig":
         """Copy of this config with a different RFU issue capacity (the A1
         scenario assumes up to 4 of its simple RFU ops per cycle)."""
         capacity = dict(self.capacity)
         capacity[Resource.RFU] = rfu_per_cycle
-        return MachineConfig(
-            issue_width=self.issue_width,
-            capacity=capacity,
-            taken_branch_penalty=self.taken_branch_penalty,
-            text_base=self.text_base,
-            model_icache=self.model_icache,
-            max_cycles=self.max_cycles,
-        )
+        return dataclasses.replace(self, capacity=capacity)
+
+    def with_sched_mode(self, sched_mode: str,
+                        sweep_seeds: Optional[int] = None) -> "MachineConfig":
+        """Copy of this config compiling under a different scheduling tier."""
+        return dataclasses.replace(self, sched_mode=sched_mode,
+                                   sweep_seeds=sweep_seeds)

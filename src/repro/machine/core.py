@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import MachineError
+from repro.errors import MachineError, RegisterAllocationError
 from repro.isa.instruction import Bundle, Operation
 from repro.isa.registers import (
     NUM_BR,
@@ -91,8 +91,22 @@ def compile_kernel(program: Program, rfu: Optional[RfuUnit] = None,
         return rfu.latency(op.imm)
 
     scheduled = schedule_program(program, latency_of, config.capacity,
-                                 config.issue_width)
-    mapping = allocate_registers(scheduled)
+                                 config.issue_width,
+                                 pressure_limit=config.pressure_limit,
+                                 mode=config.sched_mode,
+                                 sweep_seeds=config.sweep_seeds)
+    try:
+        mapping = allocate_registers(scheduled)
+    except RegisterAllocationError:
+        if config.sched_mode != "modulo":
+            raise
+        # pipelined overlap can stretch temporaries past the register
+        # file; fall back to the flat list schedule for this kernel
+        scheduled = schedule_program(program, latency_of, config.capacity,
+                                     config.issue_width,
+                                     pressure_limit=config.pressure_limit,
+                                     mode="paper")
+        mapping = allocate_registers(scheduled)
     return LoadedProgram(scheduled, mapping)
 
 

@@ -11,7 +11,21 @@ preserves the experiments' behaviour.
 from repro.program.ir import BasicBlock, Program
 from repro.program.builder import KernelBuilder
 from repro.program.dag import DependenceGraph, build_dependence_graph
-from repro.program.scheduler import ScheduledBlock, schedule_block, schedule_program
+from repro.program.scheduler import (
+    SCHED_MODES,
+    LivenessTracker,
+    ScheduledBlock,
+    ScheduledProgram,
+    schedule_block,
+    schedule_program,
+)
+from repro.program.legality import is_legal_block_schedule, verify_block_schedule
+from repro.program.modulo import schedule_program_modulo, try_pipeline_block
+from repro.program.priorities import (
+    seeded_priority,
+    sweep_schedule_block,
+    sweep_stats,
+)
 from repro.program.regalloc import allocate_registers
 from repro.program.analysis import (
     BlockAnalysis,
@@ -26,14 +40,24 @@ __all__ = [
     "BlockAnalysis",
     "DependenceGraph",
     "KernelBuilder",
+    "LivenessTracker",
     "Program",
+    "SCHED_MODES",
     "ScheduledBlock",
+    "ScheduledProgram",
     "allocate_registers",
     "analyse_block",
     "analyse_program",
     "build_dependence_graph",
+    "is_legal_block_schedule",
     "occupancy_chart",
     "schedule_block",
     "schedule_program",
+    "schedule_program_modulo",
+    "seeded_priority",
+    "sweep_schedule_block",
+    "sweep_stats",
+    "try_pipeline_block",
     "utilisation_report",
+    "verify_block_schedule",
 ]

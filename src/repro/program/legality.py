@@ -1,0 +1,111 @@
+"""Shared schedule legality checking for every scheduler tier.
+
+A schedule is legal when (1) every operation of the source block appears
+exactly once, (2) no bundle exceeds the issue width or any per-cycle
+resource capacity, and (3) every dependence edge of the block's DAG is
+respected: the consumer issues at least ``distance`` cycles after the
+producer, and a distance-0 edge whose endpoints share a cycle keeps the
+producer earlier in the bundle's operation order (the machine executes a
+bundle's operations in list order, so a WAR pair sharing a cycle is legal
+only reader-first).
+
+Both the list-scheduling tiers (``paper``/``sweep``) and the modulo
+scheduler validate through the bundle-level checks here; the modulo tier
+additionally verifies its cross-iteration constraints in
+:mod:`repro.program.modulo` where the iteration-distance edges live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.isa.instruction import Bundle
+from repro.isa.opcodes import Resource
+from repro.program.dag import build_dependence_graph
+from repro.program.ir import BasicBlock
+
+
+def check_bundle_limits(bundles: List[Bundle],
+                        capacity: Dict[Resource, int],
+                        issue_width: int,
+                        label: str) -> None:
+    """Raise :class:`ScheduleError` if any bundle oversubscribes the core."""
+    for cycle, bundle in enumerate(bundles):
+        if len(bundle.ops) > issue_width:
+            raise ScheduleError(
+                f"block {label!r} cycle {cycle}: {len(bundle.ops)} ops "
+                f"exceed the issue width {issue_width}")
+        used: Dict[Resource, int] = {}
+        for op in bundle.ops:
+            resource = op.spec.resource
+            used[resource] = used.get(resource, 0) + 1
+        for resource, count in used.items():
+            limit = capacity.get(resource, 0)
+            if count > limit:
+                raise ScheduleError(
+                    f"block {label!r} cycle {cycle}: {count} "
+                    f"{resource.value!r} ops exceed capacity {limit}")
+
+
+def verify_block_schedule(block: BasicBlock,
+                          bundles: List[Bundle],
+                          latency_of=None,
+                          capacity: Optional[Dict[Resource, int]] = None,
+                          issue_width: int = 4) -> None:
+    """Verify a flat (non-pipelined) schedule of ``block``.
+
+    Raises :class:`ScheduleError` describing the first violation found.
+    """
+    from repro.program.scheduler import DEFAULT_CAPACITY, default_latency
+    latency_of = latency_of or default_latency
+    capacity = dict(capacity or DEFAULT_CAPACITY)
+    label = block.label
+
+    check_bundle_limits(bundles, capacity, issue_width, label)
+
+    # every source op exactly once, nothing foreign
+    position: Dict[int, Tuple[int, int]] = {}
+    for cycle, bundle in enumerate(bundles):
+        for slot, op in enumerate(bundle.ops):
+            if op.uid in position:
+                raise ScheduleError(
+                    f"block {label!r}: {op} scheduled more than once")
+            position[op.uid] = (cycle, slot)
+    source_uids = [op.uid for op in block.ops]
+    if sorted(position) != sorted(source_uids):
+        missing = set(source_uids) - set(position)
+        extra = set(position) - set(source_uids)
+        raise ScheduleError(
+            f"block {label!r}: schedule does not cover the block "
+            f"(missing {len(missing)} ops, foreign {len(extra)} ops)")
+
+    graph = build_dependence_graph(block, latency_of)
+    for src, edges in graph.succs.items():
+        src_cycle, src_slot = position[graph.ops[src].uid]
+        for dst, distance in edges:
+            dst_cycle, dst_slot = position[graph.ops[dst].uid]
+            if dst_cycle < src_cycle + distance:
+                raise ScheduleError(
+                    f"block {label!r}: {graph.ops[dst]} at cycle "
+                    f"{dst_cycle} violates distance {distance} from "
+                    f"{graph.ops[src]} at cycle {src_cycle}")
+            if (distance == 0 and dst_cycle == src_cycle
+                    and dst_slot < src_slot):
+                raise ScheduleError(
+                    f"block {label!r} cycle {dst_cycle}: {graph.ops[dst]} "
+                    f"must follow {graph.ops[src]} within the bundle "
+                    f"(distance-0 edge shared a cycle in reverse order)")
+
+
+def is_legal_block_schedule(block: BasicBlock, bundles: List[Bundle],
+                            latency_of=None,
+                            capacity: Optional[Dict[Resource, int]] = None,
+                            issue_width: int = 4) -> bool:
+    """Boolean wrapper over :func:`verify_block_schedule`."""
+    try:
+        verify_block_schedule(block, bundles, latency_of, capacity,
+                              issue_width)
+    except ScheduleError:
+        return False
+    return True

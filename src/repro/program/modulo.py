@@ -1,0 +1,512 @@
+"""Modulo scheduling (software pipelining) of counted loops.
+
+The SAD/DCT/MC kernels all share one loop shape: a straight-line body
+followed by the ``counted_loop`` trio (``addi counter,-1`` /
+``cmpnei counter,0`` / ``br``) branching back to the block's own label,
+with the trip count established by a single ``movi`` in an earlier block.
+This module overlaps successive iterations of such loops:
+
+1. :func:`find_counted_loop` proves the shape (self-loop, counter and
+   condition untouched by the body, statically known trip count, no other
+   branch entering the loop);
+2. the body's dependence graph is extended with iteration-crossing edges
+   (``omega`` = iteration distance): loop-carried RAW through registers
+   read before they are (re)defined, WAR/WAW against the next iteration's
+   redefinition, conservative ordering of all RFU ops (the reconfigurable
+   unit is stateful — DIAG configurations interleave ``send``/``exec``
+   through a shared operand buffer, so the whole RFU program order is kept
+   across iterations), and store-group memory ordering;
+3. the minimum initiation interval (MII) comes from resource usage
+   (including the loop-control ops), issue width and self-recurrences;
+   iterative modulo scheduling (Rau-style, with eviction and a placement
+   budget) then searches II = MII, MII+1, ... strictly below the list
+   schedule's length;
+4. the placement is verified (every edge, the modulo reservation table,
+   register-lifetime bounds) and emitted as up to three scheduled blocks:
+   ``<label>.pro`` (prologue: first ``S-1`` partial iterations plus one
+   bundle adjusting the counter by ``-(S-1)``), the steady-state kernel —
+   which keeps the original label so the back edge branches to it — and
+   ``<label>.epi`` (drain).  The :class:`~repro.program.ir.Program` object
+   is left untouched; only the scheduled view gains blocks.
+
+Register correctness under overlap does not rely on modulo variable
+expansion: every value's uses are constrained to finish strictly inside
+one II window of its definition (encoded as ordinary WAR edges against
+the next iteration's redefinition, with older iterations ordered first
+inside shared bundles), so the allocator's one-physical-register-per-
+virtual policy stays sound.
+
+Any loop that fails a precondition — or for which no II shorter than the
+list schedule is found — simply falls back to list scheduling, as does
+any block that is not a counted loop.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.isa.instruction import Bundle, Operation
+from repro.isa.opcodes import Resource
+from repro.program.dag import build_dependence_graph
+from repro.program.ir import BasicBlock, Program
+from repro.program.legality import check_bundle_limits
+from repro.program.scheduler import (
+    DEFAULT_CAPACITY,
+    ISSUE_WIDTH,
+    PRESSURE_LIMIT,
+    ScheduledBlock,
+    ScheduledProgram,
+    default_latency,
+    schedule_block,
+)
+
+#: an edge in the loop dependence graph: (src, dst, min distance, omega);
+#: the constraint is ``t[dst] + omega * II >= t[src] + distance``.
+LoopEdge = Tuple[int, int, int, int]
+
+
+@dataclass
+class CountedLoop:
+    """A provably pipelineable counted loop."""
+
+    block: BasicBlock
+    body: List[Operation]          # everything before the control trio
+    control: List[Operation]       # [addi, cmpnei, br]
+    counter: object
+    cond: object
+    trip: int                      # static iteration count
+
+
+@dataclass
+class PipelinedLoop:
+    """Result of pipelining one loop (attached for benches/CLI)."""
+
+    label: str
+    ii: int
+    stages: int
+    trip: int
+    baseline_length: int
+
+
+def find_counted_loop(program: Program,
+                      block: BasicBlock) -> Optional[CountedLoop]:
+    """Prove ``block`` is a pipelineable counted loop, or return None.
+
+    Requirements: the block ends in the ``counted_loop`` trio branching to
+    itself; the body never touches the counter or the condition register;
+    every branch in the program is a self-loop (so block order is
+    execution order and nothing jumps into the loop past the prologue);
+    and the counter's last write before the loop is a single ``movi`` with
+    a positive immediate — the trip count.
+    """
+    if len(block.ops) < 4 or not block.terminated:
+        return None
+    branch = block.ops[-1]
+    compare = block.ops[-2]
+    decrement = block.ops[-3]
+    if branch.opcode != "br" or branch.label != block.label:
+        return None
+    if compare.opcode != "cmpnei" or compare.imm != 0:
+        return None
+    if decrement.opcode != "addi" or decrement.imm != -1:
+        return None
+    cond = compare.dest
+    counter = decrement.dest
+    if branch.srcs != (cond,):
+        return None
+    if decrement.srcs != (counter,) or compare.srcs != (counter,):
+        return None
+    body = block.ops[:-3]
+    for op in body:
+        if op.dest is not None and op.dest in (counter, cond):
+            return None
+        if counter in op.srcs or cond in op.srcs:
+            return None
+
+    trip: Optional[int] = None
+    before_loop = True
+    for other in program.blocks:
+        if other is block:
+            before_loop = False
+            continue
+        for op in other.ops:
+            if op.spec.is_branch and op.label != other.label:
+                return None  # non-self branch: block order != execution order
+            if op.spec.is_branch and op.label == block.label:
+                return None  # something else enters the loop
+            if cond in op.srcs or (op.dest is not None and op.dest == cond):
+                return None
+            if before_loop and op.dest is not None and op.dest == counter:
+                trip = op.imm if op.opcode == "movi" else None
+    if trip is None or trip < 1:
+        return None
+    return CountedLoop(block=block, body=list(body),
+                       control=[decrement, compare, branch],
+                       counter=counter, cond=cond, trip=trip)
+
+
+def _body_edges(body: List[Operation], latency_of) -> List[LoopEdge]:
+    """Intra- and cross-iteration dependence edges of a loop body."""
+    edges: List[LoopEdge] = []
+    sub = BasicBlock("body", list(body))
+    intra = build_dependence_graph(sub, latency_of)
+    for src, succ_edges in intra.succs.items():
+        for dst, distance in succ_edges:
+            edges.append((src, dst, distance, 0))
+
+    defs: Dict[object, List[int]] = defaultdict(list)
+    uses: Dict[object, List[int]] = defaultdict(list)
+    for index, op in enumerate(body):
+        for src in op.srcs:
+            uses[src].append(index)
+        if op.dest is not None:
+            defs[op.dest].append(index)
+
+    for reg, reg_defs in defs.items():
+        first_def, last_def = reg_defs[0], reg_defs[-1]
+        carried_latency = max(1, latency_of(body[last_def]))
+        for use in uses.get(reg, ()):
+            if use < first_def:
+                # reads the previous iteration's (last) definition
+                edges.append((last_def, use, carried_latency, 1))
+            elif use >= last_def:
+                # value must die before the next iteration redefines it
+                edges.append((use, first_def, 0, 1))
+        edges.append((last_def, first_def, 1, 1))  # WAW across iterations
+
+    # memory: any tag group containing a store keeps conservative order
+    # across iterations (addresses advance, but the model orders by tag)
+    groups: Dict[object, List[int]] = defaultdict(list)
+    for index, op in enumerate(body):
+        spec = op.spec
+        if spec.is_load or spec.is_store or spec.is_prefetch:
+            groups[op.mem_tag].append(index)
+    for members in groups.values():
+        if any(body[i].spec.is_store for i in members):
+            for src in members:
+                for dst in members:
+                    edges.append((src, dst, 1, 1))
+
+    # the RFU is stateful (shared FIFOs, send/exec operand buffers): keep
+    # ALL RFU ops in strict program order within and across iterations
+    rfu_ops = [i for i, op in enumerate(body)
+               if op.spec.resource is Resource.RFU]
+    for earlier, later in zip(rfu_ops, rfu_ops[1:]):
+        edges.append((earlier, later,
+                      max(1, latency_of(body[earlier])), 0))
+    if rfu_ops:
+        edges.append((rfu_ops[-1], rfu_ops[0],
+                      max(1, latency_of(body[rfu_ops[-1]])), 1))
+    return edges
+
+
+def _body_heights(body: List[Operation], edges: List[LoopEdge],
+                  latency_of) -> List[int]:
+    """Critical-path heights over the intra-iteration (omega 0) edges.
+
+    All omega-0 edges point forward in program order, so descending index
+    order is a reverse topological order.
+    """
+    succs = defaultdict(list)
+    for src, dst, distance, omega in edges:
+        if omega == 0 and src != dst:
+            succs[src].append((dst, distance))
+    heights = [0] * len(body)
+    for index in reversed(range(len(body))):
+        best = 0
+        for dst, distance in succs[index]:
+            best = max(best, distance + heights[dst])
+        heights[index] = best + max(1, latency_of(body[index]))
+    return heights
+
+
+def _place_body(body: List[Operation], edges: List[LoopEdge],
+                heights: List[int], ii: int,
+                capacity: Dict[Resource, int], issue_width: int,
+                reserved: List[Tuple[int, Resource]]
+                ) -> Optional[Dict[int, int]]:
+    """Iterative modulo scheduling of the body at initiation interval ``ii``.
+
+    Returns op index -> nominal issue time, or None when the placement
+    budget is exhausted or a conflict cannot be evicted (reserved control
+    slots are immovable).
+    """
+    count = len(body)
+    preds = defaultdict(list)
+    succs = defaultdict(list)
+    for src, dst, distance, omega in edges:
+        succs[src].append((dst, distance, omega))
+        preds[dst].append((src, distance, omega))
+
+    mrt_res: List[Dict[Resource, int]] = [defaultdict(int) for _ in range(ii)]
+    mrt_issue = [0] * ii
+    slot_ops: List[List[int]] = [[] for _ in range(ii)]
+    for slot, resource in reserved:
+        mrt_res[slot][resource] += 1
+        mrt_issue[slot] += 1
+
+    time: Dict[int, int] = {}
+    last_placed: Dict[int, int] = {}
+    priority = {i: (-heights[i], i) for i in range(count)}
+    pending = set(range(count))
+    budget = 60 * count + 200
+
+    def unplace(index: int) -> None:
+        slot = time[index] % ii
+        slot_ops[slot].remove(index)
+        mrt_res[slot][body[index].spec.resource] -= 1
+        mrt_issue[slot] -= 1
+        del time[index]
+        pending.add(index)
+
+    while pending:
+        budget -= 1
+        if budget < 0:
+            return None
+        index = min(pending, key=lambda i: priority[i])
+        resource = body[index].spec.resource
+        earliest = 0
+        for src, distance, omega in preds[index]:
+            if src in time and src != index:
+                earliest = max(earliest, time[src] + distance - omega * ii)
+        start = max(earliest, 0)
+        placed_at: Optional[int] = None
+        for t in range(start, start + ii):
+            slot = t % ii
+            if (mrt_issue[slot] < issue_width
+                    and mrt_res[slot][resource] < capacity.get(resource, 0)):
+                placed_at = t
+                break
+        if placed_at is None:
+            # forced placement with eviction (never past the budget)
+            placed_at = max(start, last_placed.get(index, -1) + 1)
+            slot = placed_at % ii
+            if mrt_res[slot][resource] >= capacity.get(resource, 0):
+                victims = [i for i in slot_ops[slot]
+                           if body[i].spec.resource is resource]
+                if not victims:
+                    return None  # only immovable control ops hold the slot
+                unplace(max(victims, key=lambda i: priority[i]))
+            while mrt_issue[slot] >= issue_width:
+                if not slot_ops[slot]:
+                    return None
+                unplace(max(slot_ops[slot], key=lambda i: priority[i]))
+        slot = placed_at % ii
+        time[index] = placed_at
+        last_placed[index] = placed_at
+        slot_ops[slot].append(index)
+        mrt_res[slot][resource] += 1
+        mrt_issue[slot] += 1
+        pending.discard(index)
+        # evict anything the new placement now violates
+        for dst, distance, omega in succs[index]:
+            if dst in time and dst != index:
+                if time[dst] + omega * ii < time[index] + distance:
+                    unplace(dst)
+        for src, distance, omega in preds[index]:
+            if src in time and src != index:
+                if time[index] + omega * ii < time[src] + distance:
+                    unplace(src)
+    return time
+
+
+def _verify_placement(loop: CountedLoop, edges: List[LoopEdge],
+                      time: Dict[int, int], ii: int,
+                      capacity: Dict[Resource, int], issue_width: int,
+                      reserved: List[Tuple[int, Resource]]) -> None:
+    """Internal consistency check of a modulo placement.
+
+    Every edge constraint must hold at the chosen II, and the modulo
+    reservation table (body ops folded into their slots, plus the reserved
+    control slots) must fit the machine.  Raises on violation — these are
+    scheduler bugs, not input errors, but a wrong overlap corrupts
+    results silently, so it is always checked.
+    """
+    body = loop.body
+    label = loop.block.label
+    if sorted(time) != list(range(len(body))):
+        raise ScheduleError(
+            f"modulo {label!r}: placement does not cover the body")
+    for src, dst, distance, omega in edges:
+        if time[dst] + omega * ii < time[src] + distance:
+            raise ScheduleError(
+                f"modulo {label!r}: edge {body[src]} -> {body[dst]} "
+                f"(distance {distance}, omega {omega}) violated at II {ii}")
+    usage: List[Dict[Resource, int]] = [defaultdict(int) for _ in range(ii)]
+    width = [0] * ii
+    for slot, resource in reserved:
+        usage[slot][resource] += 1
+        width[slot] += 1
+    for index, t in time.items():
+        usage[t % ii][body[index].spec.resource] += 1
+        width[t % ii] += 1
+    for slot in range(ii):
+        if width[slot] > issue_width:
+            raise ScheduleError(
+                f"modulo {label!r}: slot {slot} exceeds issue width")
+        for resource, used in usage[slot].items():
+            if used > capacity.get(resource, 0):
+                raise ScheduleError(
+                    f"modulo {label!r}: slot {slot} oversubscribes "
+                    f"{resource.value!r}")
+
+
+def _emit_blocks(loop: CountedLoop, time: Dict[int, int], ii: int,
+                 capacity: Dict[Resource, int],
+                 issue_width: int) -> List[ScheduledBlock]:
+    """Flatten a placement into prologue / kernel / epilogue blocks.
+
+    Iteration ``i``'s copy of an op placed at nominal time ``t`` issues at
+    absolute cycle ``i*II + t``.  The prologue covers absolute cycles
+    ``[0, (S-1)*II)``; the kernel window holds each op once at slot
+    ``t mod II`` (executed ``trip - S + 1`` times); the epilogue drains
+    the remaining partial iterations.  Within a bundle, instances from
+    older iterations come first and same-iteration instances keep program
+    order, which is exactly the order distance-0 (reader-before-writer)
+    pairs require.
+    """
+    body = loop.body
+    decrement, compare, branch = loop.control
+    label = loop.block.label
+    max_t = max(time.values()) if time else 0
+    stages = max_t // ii + 1
+
+    def sort_bundle(entries: List[Tuple[int, int]]) -> List[Operation]:
+        # entries: (iteration rank, body index); older iterations first
+        return [body[index] for _, index in sorted(entries)]
+
+    blocks: List[ScheduledBlock] = []
+
+    if stages > 1:
+        pro_cycles = (stages - 1) * ii
+        pro: List[List[Tuple[int, int]]] = [[] for _ in range(pro_cycles)]
+        for index, t in time.items():
+            for iteration in range(stages - 1):
+                cycle = iteration * ii + t
+                if cycle < pro_cycles:
+                    pro[cycle].append((iteration, index))
+        adjust = Operation("addi", dest=loop.counter, srcs=(loop.counter,),
+                           imm=-(stages - 1),
+                           comment="pipeline fill: kernel runs fewer times")
+        bundles = [Bundle([adjust])]
+        bundles += [Bundle(sort_bundle(entries)) for entries in pro]
+        blocks.append(ScheduledBlock(f"{label}.pro", bundles))
+
+    kernel: List[List[Tuple[int, int]]] = [[] for _ in range(ii)]
+    for index, t in time.items():
+        stage = t // ii
+        # iteration rank: within one kernel window, higher stages are
+        # instances of older (earlier-started) iterations
+        kernel[t % ii].append((stages - 1 - stage, index))
+    kernel_bundles = [Bundle(sort_bundle(entries)) for entries in kernel]
+    kernel_bundles[ii - 4].ops.append(decrement)
+    kernel_bundles[ii - 3].ops.append(compare)
+    kernel_bundles[ii - 1].ops.append(branch)
+    blocks.append(ScheduledBlock(label, kernel_bundles))
+
+    if stages > 1:
+        epi_cycles = max_t + 1 - ii
+        epi: List[List[Tuple[int, int]]] = [[] for _ in range(epi_cycles)]
+        for index, t in time.items():
+            for drain in range(1, stages):
+                if t >= drain * ii:
+                    # iteration trip - drain; larger drain = older
+                    epi[t - drain * ii].append((-drain, index))
+        blocks.append(ScheduledBlock(
+            f"{label}.epi", [Bundle(sort_bundle(entries)) for entries in epi]))
+
+    for scheduled in blocks:
+        check_bundle_limits(scheduled.bundles, capacity, issue_width,
+                            scheduled.label)
+    return blocks
+
+
+def try_pipeline_block(program: Program, block: BasicBlock,
+                       latency_of, capacity: Dict[Resource, int],
+                       issue_width: int, pressure_limit: int
+                       ) -> Optional[Tuple[List[ScheduledBlock],
+                                           PipelinedLoop]]:
+    """Pipeline one block if it is a counted loop and pipelining wins.
+
+    Returns the scheduled blocks plus a :class:`PipelinedLoop` summary, or
+    None to fall back to list scheduling.
+    """
+    loop = find_counted_loop(program, block)
+    if loop is None or not loop.body:
+        return None
+    labels = {blk.label for blk in program.blocks}
+    if f"{block.label}.pro" in labels or f"{block.label}.epi" in labels:
+        return None
+    baseline = schedule_block(block, latency_of, capacity, issue_width,
+                              pressure_limit)
+    body = loop.body
+    resources = Counter(op.spec.resource for op in body + loop.control)
+    for resource, count in resources.items():
+        if capacity.get(resource, 0) < 1:
+            return None
+    res_mii = max(math.ceil(count / capacity[resource])
+                  for resource, count in resources.items())
+    issue_mii = math.ceil((len(body) + len(loop.control)) / issue_width)
+    edges = _body_edges(body, latency_of)
+    self_mii = max((distance for src, dst, distance, omega in edges
+                    if src == dst and omega == 1), default=1)
+    # the control trio needs slots II-4 (addi), II-3 (cmpnei, latency 2)
+    # and II-1 (br), so II >= 4
+    mii = max(res_mii, issue_mii, self_mii, 4)
+    heights = _body_heights(body, edges, latency_of)
+
+    for ii in range(mii, baseline.length):
+        reserved = [(ii - 4, Resource.ALU), (ii - 3, Resource.ALU),
+                    (ii - 1, Resource.BRANCH)]
+        time = _place_body(body, edges, heights, ii, capacity, issue_width,
+                           reserved)
+        if time is None:
+            continue
+        stages = max(time.values()) // ii + 1
+        if loop.trip < stages:
+            continue  # not enough iterations to fill the pipeline
+        _verify_placement(loop, edges, time, ii, capacity, issue_width,
+                          reserved)
+        blocks = _emit_blocks(loop, time, ii, capacity, issue_width)
+        summary = PipelinedLoop(label=block.label, ii=ii, stages=stages,
+                                trip=loop.trip,
+                                baseline_length=baseline.length)
+        return blocks, summary
+    return None
+
+
+def schedule_program_modulo(program: Program,
+                            latency_of=None,
+                            capacity: Optional[Dict[Resource, int]] = None,
+                            issue_width: int = ISSUE_WIDTH,
+                            pressure_limit: int = PRESSURE_LIMIT
+                            ) -> ScheduledProgram:
+    """Schedule ``program``, software-pipelining every eligible loop.
+
+    Non-loop blocks (and loops that fail the preconditions or gain
+    nothing) use the paper list scheduler.  The returned program carries a
+    ``pipelined`` attribute listing a :class:`PipelinedLoop` per
+    transformed loop.
+    """
+    latency_of = latency_of or default_latency
+    capacity = dict(capacity or DEFAULT_CAPACITY)
+    program.validate()
+    blocks: List[ScheduledBlock] = []
+    pipelined: List[PipelinedLoop] = []
+    for blk in program.blocks:
+        attempt = try_pipeline_block(program, blk, latency_of, capacity,
+                                     issue_width, pressure_limit)
+        if attempt is None:
+            blocks.append(schedule_block(blk, latency_of, capacity,
+                                         issue_width, pressure_limit))
+        else:
+            new_blocks, summary = attempt
+            blocks.extend(new_blocks)
+            pipelined.append(summary)
+    scheduled = ScheduledProgram(program.name, blocks, program)
+    scheduled.pipelined = pipelined
+    return scheduled

@@ -1,4 +1,4 @@
-"""Cycle-by-cycle VLIW list scheduler.
+"""Cycle-by-cycle VLIW list scheduler and the scheduling-mode dispatcher.
 
 Classic critical-path list scheduling: operations become candidates once all
 predecessors have issued far enough in the past to satisfy edge distances;
@@ -11,12 +11,31 @@ issues first, subject to the cluster's per-cycle resource limits
 
 The returned :class:`ScheduledBlock` stores the bundle list; its length is
 the block's static schedule length in cycles.
+
+:func:`schedule_program` additionally dispatches between the scheduling
+tiers (``SCHED_MODES``):
+
+* ``paper`` — the heuristic above, bit-identical to the original seed so
+  every reproduction table stays byte-stable;
+* ``sweep`` — seeded priority sweeps over the same list scheduler
+  (:mod:`repro.program.priorities`): perturbed heights and random
+  tie-breaks, N seeds, shortest legal schedule wins;
+* ``modulo`` — software pipelining of counted loops
+  (:mod:`repro.program.modulo`), falling back to list scheduling for
+  blocks that are not pipelineable.
+
+``schedule_block`` itself stays single-heuristic but exposes the two hooks
+the sweep tier builds on: ``priority_key`` to replace the ``(-height,
+index)`` sort key, and ``fill_same_cycle`` to re-scan the ready list after
+distance-0 (WAR) successors are released mid-cycle, so they can fill the
+remaining slots of the current bundle.  Both default to the paper
+behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ScheduleError
 from repro.isa.instruction import Bundle, Operation
@@ -34,7 +53,12 @@ DEFAULT_CAPACITY: Dict[Resource, int] = {
 }
 ISSUE_WIDTH = 4
 
+#: The scheduling tiers accepted by :func:`schedule_program` and the CLI.
+SCHED_MODES = ("paper", "sweep", "modulo")
+
 LatencyFn = Callable[[Operation], int]
+#: ``priority_key(index, height)`` -> sort key; lower sorts first.
+PriorityKey = Callable[[int, int], object]
 
 
 def default_latency(op: Operation) -> int:
@@ -65,11 +89,70 @@ class ScheduledBlock:
 PRESSURE_LIMIT = 44
 
 
+class LivenessTracker:
+    """Live-range accounting shared by the normal and emergency issue paths.
+
+    A register is *live* while it has been defined by an issued op and still
+    has unissued readers.  Tracking the open ranges as a set (rather than a
+    bare counter) keeps the count exact: consuming a live-in value that no
+    issued op defined never decrements the count below zero, which the old
+    inline bookkeeping got wrong.
+    """
+
+    def __init__(self, ops: List[Operation]):
+        self.remaining_uses: Dict[object, int] = {}
+        for op in ops:
+            for src in op.srcs:
+                self.remaining_uses[src] = self.remaining_uses.get(src, 0) + 1
+        self._open: Set[object] = set()
+
+    @property
+    def live(self) -> int:
+        """Number of currently open live ranges (never negative)."""
+        return len(self._open)
+
+    def pressure_delta(self, op: Operation) -> Tuple[int, int]:
+        """``(closes, opens)`` issuing ``op`` would cause; does not mutate.
+
+        ``closes`` counts open ranges whose last use this op consumes;
+        ``opens`` is 1 when the destination starts a range with readers
+        still to come (a dead def, or a redefinition of an already-open
+        range, opens nothing).
+        """
+        closes = sum(
+            1 for src in set(op.srcs)
+            if src in self._open
+            and self.remaining_uses.get(src, 0) == op.srcs.count(src))
+        opens = 0
+        if op.dest is not None and op.dest not in self._open:
+            remaining_after = (self.remaining_uses.get(op.dest, 0)
+                               - op.srcs.count(op.dest))
+            if remaining_after > 0:
+                opens = 1
+        return closes, opens
+
+    def issue(self, op: Operation) -> None:
+        """Account for ``op`` issuing: consume sources, open the dest."""
+        for src in op.srcs:
+            self.remaining_uses[src] -= 1
+            if self.remaining_uses[src] == 0:
+                self._open.discard(src)
+        if op.dest is not None and self.remaining_uses.get(op.dest, 0) > 0:
+            self._open.add(op.dest)
+
+
+def _paper_priority(index: int, height: int) -> Tuple[int, int]:
+    """Highest critical path first; ties broken by program order."""
+    return (-height, index)
+
+
 def schedule_block(block: BasicBlock,
                    latency_of: Optional[LatencyFn] = None,
                    capacity: Optional[Dict[Resource, int]] = None,
                    issue_width: int = ISSUE_WIDTH,
-                   pressure_limit: int = PRESSURE_LIMIT) -> ScheduledBlock:
+                   pressure_limit: int = PRESSURE_LIMIT,
+                   priority_key: Optional[PriorityKey] = None,
+                   fill_same_cycle: bool = False) -> ScheduledBlock:
     """List-schedule one basic block into bundles.
 
     Critical-path priority with a register-pressure guard: once the number
@@ -77,9 +160,15 @@ def schedule_block(block: BasicBlock,
     ``pressure_limit``, operations that would open a new live range are
     deferred in favour of ops that close ranges, mirroring what a
     production VLIW scheduler's pressure heuristic does.
+
+    ``priority_key`` replaces the default ``(-height, index)`` candidate
+    ordering and ``fill_same_cycle`` lets distance-0 successors released
+    mid-cycle fill the current bundle's remaining slots; both are reserved
+    for the non-``paper`` tiers and default to the paper behaviour.
     """
     latency_of = latency_of or default_latency
     capacity = dict(capacity or DEFAULT_CAPACITY)
+    priority_key = priority_key or _paper_priority
     if not block.ops:
         return ScheduledBlock(block.label, [Bundle()])
 
@@ -88,15 +177,9 @@ def schedule_block(block: BasicBlock,
     num_ops = len(graph.ops)
     remaining_preds = [len(graph.preds.get(i, ())) for i in range(num_ops)]
     earliest = [0] * num_ops
-    issued_cycle: Dict[int, int] = {}
     unscheduled = set(range(num_ops))
     bundles: List[Bundle] = []
-
-    remaining_uses: Dict[object, int] = {}
-    for op in graph.ops:
-        for src in op.srcs:
-            remaining_uses[src] = remaining_uses.get(src, 0) + 1
-    live = 0
+    liveness = LivenessTracker(graph.ops)
 
     cycle = 0
     guard = 0
@@ -107,55 +190,69 @@ def schedule_block(block: BasicBlock,
                 f"scheduler failed to converge on block {block.label!r}")
         bundle = Bundle()
         used: Dict[Resource, int] = {resource: 0 for resource in capacity}
-        ready = [i for i in unscheduled
-                 if remaining_preds[i] == 0 and earliest[i] <= cycle]
-        # highest critical path first; ties broken by program order
-        ready.sort(key=lambda i: (-heights[i], i))
-        deferred_for_pressure = False
-        for index in ready:
+        issued_this_cycle: List[int] = []
+
+        def issue(index: int, op: Operation) -> None:
+            bundle.ops.append(op)
+            liveness.issue(op)
+            unscheduled.discard(index)
+            issued_this_cycle.append(index)
+
+        def attempt(index: int) -> str:
             op = graph.ops[index]
             resource = op.spec.resource
-            if len(bundle) >= issue_width:
-                break
+            if len(bundle.ops) >= issue_width:
+                return "full"
+            if resource not in capacity:
+                raise ScheduleError(
+                    f"block {block.label!r}: {op} needs a "
+                    f"{resource.value!r} unit, but the capacity map only "
+                    f"provides {sorted(r.value for r in capacity)}")
             if used[resource] >= capacity[resource]:
-                continue
-            closes = sum(1 for src in set(op.srcs)
-                         if remaining_uses.get(src, 0) == op.srcs.count(src))
-            opens = 1 if (op.dest is not None
-                          and remaining_uses.get(op.dest, 0) > 0) else 0
-            if live >= pressure_limit and opens > closes:
-                deferred_for_pressure = True
-                continue
-            bundle.ops.append(op)
+                return "no_unit"
+            closes, opens = liveness.pressure_delta(op)
+            if liveness.live >= pressure_limit and opens > closes:
+                return "pressure"
             used[resource] += 1
-            issued_cycle[index] = cycle
-            unscheduled.discard(index)
-            for src in op.srcs:
-                remaining_uses[src] -= 1
-                if remaining_uses[src] == 0:
-                    live -= 1
-            live += opens
+            issue(index, op)
+            return "issued"
+
+        def release(indices: List[int]) -> None:
+            for index in indices:
+                for succ, distance in graph.succs.get(index, ()):
+                    remaining_preds[succ] -= 1
+                    earliest[succ] = max(earliest[succ], cycle + distance)
+
+        ready = [i for i in unscheduled
+                 if remaining_preds[i] == 0 and earliest[i] <= cycle]
+        ready.sort(key=lambda i: priority_key(i, heights[i]))
+        deferred_for_pressure = False
+        for index in ready:
+            outcome = attempt(index)
+            if outcome == "full":
+                break
+            if outcome == "pressure":
+                deferred_for_pressure = True
         if not bundle.ops and deferred_for_pressure and ready:
             # liveness cannot drop without issuing something: emergency
             # issue of the highest-priority ready op to guarantee progress
             index = ready[0]
             op = graph.ops[index]
-            bundle.ops.append(op)
-            issued_cycle[index] = cycle
-            unscheduled.discard(index)
-            for src in op.srcs:
-                remaining_uses[src] -= 1
-                if remaining_uses[src] == 0:
-                    live -= 1
-            if op.dest is not None and remaining_uses.get(op.dest, 0) > 0:
-                live += 1
-        # release successors of everything issued this cycle
-        for index in list(issued_cycle):
-            if issued_cycle[index] != cycle:
-                continue
-            for succ, distance in graph.succs.get(index, ()):
-                remaining_preds[succ] -= 1
-                earliest[succ] = max(earliest[succ], cycle + distance)
+            used[op.spec.resource] = used.get(op.spec.resource, 0) + 1
+            issue(index, op)
+        release(issued_this_cycle)
+        if fill_same_cycle:
+            while len(bundle.ops) < issue_width:
+                extra = [i for i in unscheduled
+                         if remaining_preds[i] == 0 and earliest[i] <= cycle]
+                extra.sort(key=lambda i: priority_key(i, heights[i]))
+                before = len(issued_this_cycle)
+                for index in extra:
+                    if attempt(index) == "full":
+                        break
+                if len(issued_this_cycle) == before:
+                    break
+                release(issued_this_cycle[before:])
         bundles.append(bundle)
         cycle += 1
     return ScheduledBlock(block.label, bundles)
@@ -163,7 +260,13 @@ def schedule_block(block: BasicBlock,
 
 @dataclass
 class ScheduledProgram:
-    """A fully scheduled program: blocks in original order."""
+    """A fully scheduled program: blocks in original order.
+
+    Under ``modulo`` scheduling a pipelined loop contributes up to three
+    blocks (``<label>.pro``, ``<label>`` — the steady-state kernel, which
+    keeps the original label so branches resolve to it — and
+    ``<label>.epi``), so ``blocks`` may be longer than ``program.blocks``.
+    """
 
     name: str
     blocks: List[ScheduledBlock]
@@ -184,9 +287,38 @@ class ScheduledProgram:
 def schedule_program(program: Program,
                      latency_of: Optional[LatencyFn] = None,
                      capacity: Optional[Dict[Resource, int]] = None,
-                     issue_width: int = ISSUE_WIDTH) -> ScheduledProgram:
-    """Schedule every block of ``program`` independently."""
+                     issue_width: int = ISSUE_WIDTH,
+                     pressure_limit: int = PRESSURE_LIMIT,
+                     mode: str = "paper",
+                     sweep_seeds: Optional[int] = None,
+                     sweep_cache_dir=None) -> ScheduledProgram:
+    """Schedule every block of ``program`` under the selected tier.
+
+    ``mode`` selects the scheduling tier (see :data:`SCHED_MODES`);
+    ``pressure_limit`` now reaches :func:`schedule_block` for every block
+    instead of being silently pinned to the default.  ``sweep_seeds`` and
+    ``sweep_cache_dir`` only apply to the ``sweep`` tier.
+    """
+    if mode not in SCHED_MODES:
+        raise ScheduleError(
+            f"unknown scheduling mode {mode!r}; expected one of "
+            f"{', '.join(SCHED_MODES)}")
     program.validate()
-    blocks = [schedule_block(blk, latency_of, capacity, issue_width)
-              for blk in program.blocks]
+    if mode == "modulo":
+        # local import: modulo builds on this module
+        from repro.program.modulo import schedule_program_modulo
+        return schedule_program_modulo(
+            program, latency_of, capacity, issue_width,
+            pressure_limit=pressure_limit)
+    if mode == "sweep":
+        from repro.program.priorities import sweep_schedule_block
+        blocks = [sweep_schedule_block(blk, latency_of, capacity, issue_width,
+                                       pressure_limit=pressure_limit,
+                                       seeds=sweep_seeds,
+                                       cache_dir=sweep_cache_dir)
+                  for blk in program.blocks]
+    else:
+        blocks = [schedule_block(blk, latency_of, capacity, issue_width,
+                                 pressure_limit)
+                  for blk in program.blocks]
     return ScheduledProgram(program.name, blocks, program)
