@@ -1,0 +1,267 @@
+"""Serving-layer benchmark: multi-stream throughput, latency, and gates.
+
+Standalone usage (CI runs the small form and uploads the JSON artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--streams 4]
+        [--frames 8] [--workers 2] [--json artifact.json]
+
+Correctness comes before any timing, as in every benchmark here:
+
+* one stream fed through the service in segments must produce a
+  bitstream **byte-identical** to a one-shot encode (the differential
+  guarantee the serving tests pin);
+* every segment result of the timed run must be ``ok``.
+
+Then two timed phases over the same ``--streams`` synthetic sequences:
+
+* **baseline** — sequential one-shot encodes, one stream after another,
+  in this process (what the repo offered before the service existed);
+* **service** — the same frames through :class:`repro.serve.CodecService`
+  on a ``--workers`` pool, segments interleaved round-robin across
+  streams, collecting as results arrive.
+
+Gates (exit non-zero on violation, so the script doubles as CI's
+``serving-gate``):
+
+* **scaling** — aggregate service throughput (stream-frames/s) must reach
+  ``--min-scaling`` x the sequential baseline.  This gate is CPU-aware:
+  real scaling needs >= 2 cores and >= 2 workers (CI runners have 2
+  vCPUs); on a single-core host — where a process pool cannot beat a
+  sequential loop — the gate degrades to an overhead bound
+  (``--min-1core-efficiency`` of baseline) and says so loudly;
+* **p99 latency** — the 99th-percentile submit-to-collect segment
+  latency must stay under ``--p99-budget``;
+* **cache** — the workers' shared plane cache must report a positive
+  hit rate (the segmented encoder re-derives planes otherwise).
+
+``--json`` writes every measured number for trending.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.codec import EncoderConfig, Mpeg4Encoder
+from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
+from repro.serve import CodecService, StreamConfig
+
+DEFAULT_STREAMS = 4
+DEFAULT_FRAMES = 8
+DEFAULT_SEGMENT_FRAMES = 2
+DEFAULT_WORKERS = 2
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 48
+DEFAULT_QP = 10
+DEFAULT_RESYNC_EVERY = 1
+DEFAULT_MIN_SCALING = 1.05
+DEFAULT_MIN_1CORE_EFFICIENCY = 0.55
+DEFAULT_P99_BUDGET_S = 10.0
+
+
+def _percentile(values, pct):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _make_streams(args):
+    return [synthetic_sequence(SyntheticSequenceConfig(
+        width=args.width, height=args.height, frames=args.frames,
+        seed=1000 + index)) for index in range(args.streams)]
+
+
+def _knobs(args):
+    return dict(qp=args.qp, resync_every=args.resync_every)
+
+
+def _run_service(args, streams, collect_latencies=True):
+    """All streams through the pool, interleaved; returns measurements."""
+    latencies = []
+    payloads = {}
+    bad = 0
+    with CodecService(workers=args.workers,
+                      max_pending=args.max_pending) as service:
+        # the pool is long-lived in real operation; its spawn cost is not
+        # part of steady-state throughput, so the clock starts here
+        started = time.perf_counter()
+        ids = [service.open_stream(StreamConfig(kind="encode",
+                                                **_knobs(args)))
+               for _ in streams]
+        segment = args.segment_frames
+        for start in range(0, args.frames, segment):
+            for stream_id, frames in zip(ids, streams):
+                service.submit_segment(stream_id,
+                                       frames[start:start + segment])
+            for stream_id in ids:     # drain opportunistically
+                for result in service.collect(stream_id):
+                    latencies.append(result.latency_s)
+                    bad += 0 if result.ok else 1
+        cache = {}
+        for stream_id in ids:
+            summary = service.close_stream(stream_id)
+            for result in summary.uncollected:
+                latencies.append(result.latency_s)
+                bad += 0 if result.ok else 1
+            payloads[stream_id] = summary.payload
+            cache = summary.cache or cache
+        wall = time.perf_counter() - started
+    return {
+        "wall_s": wall,
+        "latencies": latencies if collect_latencies else [],
+        "payloads": [payloads[stream_id] for stream_id in ids],
+        "bad_segments": bad,
+        "cache": cache,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--streams", type=int, default=DEFAULT_STREAMS)
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES,
+                        help="frames per stream")
+    parser.add_argument("--segment-frames", type=int,
+                        default=DEFAULT_SEGMENT_FRAMES)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--max-pending", type=int, default=8)
+    parser.add_argument("--width", type=int, default=DEFAULT_WIDTH)
+    parser.add_argument("--height", type=int, default=DEFAULT_HEIGHT)
+    parser.add_argument("--qp", type=int, default=DEFAULT_QP)
+    parser.add_argument("--resync-every", type=int,
+                        default=DEFAULT_RESYNC_EVERY)
+    parser.add_argument("--min-scaling", type=float,
+                        default=DEFAULT_MIN_SCALING,
+                        help="service/baseline throughput floor when the "
+                             "host can actually scale (>=2 cores and "
+                             ">=2 workers)")
+    parser.add_argument("--min-1core-efficiency", type=float,
+                        default=DEFAULT_MIN_1CORE_EFFICIENCY,
+                        help="throughput floor relative to baseline on "
+                             "hosts where scaling is impossible "
+                             "(single core, or workers < 2)")
+    parser.add_argument("--p99-budget", type=float,
+                        default=DEFAULT_P99_BUDGET_S,
+                        help="p99 submit-to-collect segment latency "
+                             "ceiling, seconds")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the measurement artifact here")
+    args = parser.parse_args()
+
+    failures = []
+    streams = _make_streams(args)
+    total_frames = args.streams * args.frames
+
+    # correctness first: the differential guarantee, per stream
+    references = [
+        Mpeg4Encoder(EncoderConfig(**_knobs(args))).encode(frames)
+        .serialize() for frames in streams]
+    warmup = _run_service(args, streams, collect_latencies=False)
+    for index, (payload, reference) in enumerate(
+            zip(warmup["payloads"], references)):
+        if payload != reference:
+            failures.append(f"stream {index}: service bitstream is not "
+                            f"byte-identical to the one-shot encode")
+    if warmup["bad_segments"]:
+        failures.append(f"{warmup['bad_segments']} segment(s) failed in "
+                        f"the warmup run")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    # baseline: sequential one-shot encodes
+    started = time.perf_counter()
+    for frames in streams:
+        Mpeg4Encoder(EncoderConfig(**_knobs(args))).encode(frames)
+    baseline_wall = time.perf_counter() - started
+    baseline_fps = total_frames / baseline_wall
+
+    # timed service run
+    run = _run_service(args, streams)
+    service_fps = total_frames / run["wall_s"]
+    scaling = service_fps / baseline_fps
+    p50 = _percentile(run["latencies"], 50)
+    p99 = _percentile(run["latencies"], 99)
+    plane_stats = (run["cache"] or {}).get("shared_planes", {})
+    hit_rate = plane_stats.get("hit_rate", 0.0)
+
+    cores = os.cpu_count() or 1
+    can_scale = cores >= 2 and args.workers >= 2
+    if run["bad_segments"]:
+        failures.append(f"{run['bad_segments']} segment(s) failed in the "
+                        f"timed run")
+    if can_scale:
+        if scaling < args.min_scaling:
+            failures.append(
+                f"service throughput is {scaling:.2f}x baseline, under "
+                f"the {args.min_scaling:.2f}x scaling gate "
+                f"({cores} cores, {args.workers} workers)")
+    else:
+        print(f"WARNING: host cannot scale ({cores} core(s), "
+              f"{args.workers} worker(s)) — degrading the scaling gate "
+              f"to a {args.min_1core_efficiency:.0%}-of-baseline "
+              f"overhead bound", file=sys.stderr)
+        if scaling < args.min_1core_efficiency:
+            failures.append(
+                f"service throughput is {scaling:.2f}x baseline, under "
+                f"the degraded {args.min_1core_efficiency:.2f}x "
+                f"single-core efficiency gate")
+    if p99 > args.p99_budget:
+        failures.append(f"p99 segment latency {p99:.3f}s exceeds the "
+                        f"{args.p99_budget:.3f}s budget")
+    if hit_rate <= 0.0:
+        failures.append("the shared plane cache never hit — segmented "
+                        "encoding is re-deriving half-sample planes")
+
+    print(f"serving x{args.streams} streams x{args.frames} frames "
+          f"({args.width}x{args.height}), segments of "
+          f"{args.segment_frames}, {args.workers} worker(s), "
+          f"{cores} core(s)")
+    print(f"  baseline: {baseline_wall:6.3f}s sequential "
+          f"({baseline_fps:6.1f} stream-frames/s)")
+    print(f"  service:  {run['wall_s']:6.3f}s interleaved "
+          f"({service_fps:6.1f} stream-frames/s, {scaling:.2f}x)")
+    print(f"  latency:  p50 {p50 * 1000:7.1f} ms, p99 {p99 * 1000:7.1f} ms "
+          f"over {len(run['latencies'])} segments")
+    print(f"  cache:    shared-plane hit rate {hit_rate:.1%}")
+
+    if args.json:
+        artifact = {
+            "streams": args.streams,
+            "frames_per_stream": args.frames,
+            "segment_frames": args.segment_frames,
+            "workers": args.workers,
+            "width": args.width,
+            "height": args.height,
+            "cores": cores,
+            "scaling_gate_active": can_scale,
+            "baseline_wall_s": baseline_wall,
+            "baseline_fps": baseline_fps,
+            "service_wall_s": run["wall_s"],
+            "service_fps": service_fps,
+            "scaling": scaling,
+            "latency_p50_s": p50,
+            "latency_p99_s": p99,
+            "p99_budget_s": args.p99_budget,
+            "shared_plane_hit_rate": hit_rate,
+            "failures": failures,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"  artifact: {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    gate = "scaling" if can_scale else "single-core efficiency"
+    print(f"OK: byte-identical bitstreams, every segment ok, {gate} and "
+          f"p99 gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,18 @@ Commands:
   (``--sched-mode {paper,sweep,modulo}`` selects the scheduling tier;
   ``paper`` pins the seed heuristic bit-identically);
 * ``schedule`` — assemble a ``.s`` kernel file and print its VLIW schedule
-  (also ``--sched-mode``/``--sweep-seeds``).
+  (also ``--sched-mode``/``--sweep-seeds``);
+* ``serve``    — run the concurrent streaming codec service: many
+  encode/decode streams multiplexed over a bounded fork worker pool,
+  spoken to over a TCP/JSON-lines transport (``--workers``,
+  ``--max-pending``; operator guide in ``docs/SERVING.md``);
+* ``client``   — drive a running ``serve`` instance: stream a YUV file or
+  the synthetic sequence through an encode session segment by segment and
+  write the returned bitstream;
+* ``cli-docs`` — regenerate ``docs/CLI.md`` from this argparse tree
+  (``--check`` verifies instead, as ``tests/test_cli_docs.py`` does).
+
+The full generated flag reference is ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -410,6 +421,121 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import faults
+    from repro.serve import CodecService, run_server
+    if args.inject_faults:
+        faults.install(args.inject_faults)
+    service = CodecService(workers=args.workers,
+                           max_pending=args.max_pending,
+                           cache_capacity=args.cache_capacity)
+
+    def ready(bound):
+        mode = f"{service.workers} worker process(es)" if service.workers \
+            else "in-process execution"
+        print(f"serving on {bound[0]}:{bound[1]} ({mode}, max "
+              f"{service.max_pending} pending segments per stream)",
+              flush=True)
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port, ready))
+    except KeyboardInterrupt:
+        print("interrupted; shutting the pool down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serve import ServiceClient, StreamConfig
+    if args.input:
+        frames = _load_yuv_frames(args.input, args.width, args.height)
+        if args.frames:
+            frames = frames[:args.frames]
+    else:
+        from repro.codec import SyntheticSequenceConfig, synthetic_sequence
+        frames = synthetic_sequence(SyntheticSequenceConfig(
+            frames=args.frames or 10, seed=args.seed))
+    config = StreamConfig(kind="encode", qp=args.qp,
+                          gop_size=args.gop_size,
+                          resync_every=args.resync_every,
+                          verify_decode=args.verify_decode)
+    segment = max(1, args.segment_frames)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            stream = client.open_stream(config)
+            submitted = collected = 0
+            results = []
+            for start in range(0, len(frames), segment):
+                client.submit_segment(stream, frames[start:start + segment])
+                submitted += 1
+                batch = client.collect(stream)
+                results.extend(batch)
+                collected += len(batch)
+            summary = client.close_stream(stream)
+    except ReproError as exc:
+        print(exc.describe(), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    results.extend(summary["uncollected"])
+    print(f"stream {stream}: {submitted} segments submitted, "
+          f"{len(results)} results")
+    for result in sorted(results, key=lambda r: r.segment):
+        psnr = f"{result.psnr_y:6.2f}" if result.psnr_y is not None \
+            else "   inf"
+        status = "ok" if result.ok else f"FAILED [{result.error_code}]"
+        print(f"  segment {result.segment}: {status}, "
+              f"{result.frames} frames, {result.bits:,} bits, "
+              f"PSNR-Y {psnr}, latency {result.latency_s * 1000:.0f} ms "
+              f"(worker {result.worker}, {result.attempts} attempt(s))")
+    mean = summary["mean_psnr_y"]
+    print(f"closed: {summary['frames']} frames, {summary['bits']:,} bits, "
+          f"mean PSNR-Y "
+          f"{'inf' if mean is None else f'{mean:.2f}'} dB")
+    cache = summary.get("cache") or {}
+    for pool in ("shared_planes", "shared_blocks"):
+        stats = cache.get(pool)
+        if stats:
+            print(f"  {pool}: {stats['hits']}/{stats['hits'] + stats['builds']}"
+                  f" hits ({100 * stats['hit_rate']:.1f}%), "
+                  f"{stats['entries']}/{stats['capacity']} entries")
+    if summary.get("health"):
+        print(f"  verify-decode health: {summary['health']}")
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(summary["payload"])
+        print(f"bitstream ({len(summary['payload']):,} bytes) written to "
+              f"{args.output}")
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_cli_docs(args: argparse.Namespace) -> int:
+    from repro.clidoc import render_cli_markdown
+    rendered = render_cli_markdown(build_parser())
+    if args.check:
+        try:
+            with open(args.output, encoding="utf-8") as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            committed = ""
+        if committed != rendered:
+            print(f"{args.output} is stale: regenerate it with "
+                  f"'python -m repro cli-docs'", file=sys.stderr)
+            return 1
+        print(f"{args.output} matches the argparse tree")
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(f"CLI reference written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -598,6 +724,71 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--sweep-seeds", type=int, default=None,
                           help="candidate seeds per block in sweep mode")
     schedule.set_defaults(handler=_cmd_schedule)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent streaming codec service (TCP JSON-lines)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7007,
+                       help="TCP port (0 picks a free port; default 7007)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the pool (0 = run "
+                            "segments in-process; default 2)")
+    serve.add_argument("--max-pending", type=int, default=8,
+                       help="per-stream bound on submitted-but-uncollected "
+                            "segments before submits are shed with "
+                            "REPRO-SRV-BACKPRESSURE (default 8)")
+    serve.add_argument("--cache-capacity", type=int, default=16,
+                       help="entries in each worker's shared cross-stream "
+                            "plane/block cache (default 16)")
+    serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault-injection spec (kinds "
+                            "raise/latency/slowclient/disconnect exercise "
+                            "the serving paths); see repro.faults")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="stream frames through a running 'serve' instance")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7007)
+    client.add_argument("--frames", type=int, default=None,
+                        help="frame count (default 10 synthetic, or every "
+                             "frame of --input)")
+    client.add_argument("--seed", type=int, default=2002)
+    client.add_argument("--qp", type=int, default=10)
+    client.add_argument("--gop-size", type=int, default=0,
+                        help="intra-refresh period (0 = first frame only)")
+    client.add_argument("--resync-every", type=int, default=0,
+                        metavar="ROWS",
+                        help="error-resilient stream layout period "
+                             "(0 = legacy compact layout)")
+    client.add_argument("--segment-frames", type=int, default=4,
+                        help="frames per submitted segment (default 4)")
+    client.add_argument("--input", default=None, metavar="FILE",
+                        help="raw planar YUV420 file to stream instead of "
+                             "the synthetic sequence")
+    client.add_argument("--width", type=int, default=176,
+                        help="luma width of --input (default QCIF 176)")
+    client.add_argument("--height", type=int, default=144,
+                        help="luma height of --input (default QCIF 144)")
+    client.add_argument("--verify-decode", action="store_true",
+                        help="have the service robust-decode the final "
+                             "bitstream and report its DecodeHealth")
+    client.add_argument("--output", "-o", default=None, metavar="FILE",
+                        help="write the returned bitstream here")
+    client.set_defaults(handler=_cmd_client)
+
+    cli_docs = sub.add_parser(
+        "cli-docs",
+        help="regenerate docs/CLI.md from this argparse tree")
+    cli_docs.add_argument("--output", "-o", default="docs/CLI.md",
+                          help="where the reference lands "
+                               "(default docs/CLI.md)")
+    cli_docs.add_argument("--check", action="store_true",
+                          help="verify the committed file matches instead "
+                               "of writing (exit 1 on drift)")
+    cli_docs.set_defaults(handler=_cmd_cli_docs)
     return parser
 
 

@@ -1,0 +1,124 @@
+"""Generate ``docs/CLI.md`` from the live argparse tree.
+
+The CLI reference is *derived*, never hand-maintained: this module walks
+:func:`repro.__main__.build_parser`'s subparser tree and renders one
+markdown section per subcommand — every flag, its default, its choices,
+its help string.  ``python -m repro cli-docs`` writes the file;
+``python -m repro cli-docs --check`` (and ``tests/test_cli_docs.py``)
+diff the rendering against the committed file, so a flag added without
+regenerating the doc fails CI rather than silently drifting.
+
+The rendering is deliberately independent of terminal width and argparse
+formatter internals: it reads ``option_strings`` / ``default`` /
+``choices`` / ``help`` off each action directly, so the output is
+byte-stable across environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+_HEADER = """\
+# `python -m repro` — CLI reference
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with:  PYTHONPATH=src python -m repro cli-docs
+     tests/test_cli_docs.py fails when this file drifts from the
+     argparse tree in src/repro/__main__.py. -->
+"""
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if isinstance(action, (argparse._StoreTrueAction,
+                           argparse._StoreFalseAction)):
+        return "off" if not action.default else "on"
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return "—"
+    return f"`{action.default}`"
+
+
+def _flag_cell(action: argparse.Action) -> str:
+    if not action.option_strings:          # positional argument
+        name = action.metavar or action.dest
+        return f"`{name}`"
+    flags = ", ".join(f"`{flag}`" for flag in action.option_strings)
+    if action.choices is not None:
+        values = "\\|".join(str(choice) for choice in action.choices)
+        return f"{flags} `{{{values}}}`"
+    if action.metavar and not isinstance(
+            action, (argparse._StoreTrueAction, argparse._StoreFalseAction,
+                     argparse._VersionAction, argparse._HelpAction)):
+        return f"{flags} `{action.metavar}`"
+    return flags
+
+
+def _action_rows(parser: argparse.ArgumentParser) -> List[str]:
+    rows = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction,
+                               argparse._SubParsersAction)):
+            continue
+        rows.append(f"| {_flag_cell(action)} | {_default_cell(action)} | "
+                    f"{_escape(action.help or '')} |")
+    return rows
+
+
+def _subparsers_action(parser: argparse.ArgumentParser
+                       ) -> argparse._SubParsersAction:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    raise ValueError("the parser has no subcommands")
+
+
+def render_cli_markdown(parser: argparse.ArgumentParser) -> str:
+    """The full, deterministic markdown reference for ``parser``."""
+    sub = _subparsers_action(parser)
+    lines = [_HEADER]
+    if parser.description:
+        lines.append(parser.description)
+        lines.append("")
+    lines.append("## Commands")
+    lines.append("")
+    lines.append("| command | summary |")
+    lines.append("| --- | --- |")
+    for name, choice in sub.choices.items():
+        help_text = next((item.help for item in sub._choices_actions
+                          if item.dest == name), "") or ""
+        lines.append(f"| [`repro {name}`](#repro-{name}) | "
+                     f"{_escape(help_text)} |")
+    lines.append("")
+    global_rows = _action_rows(parser)
+    if global_rows:
+        lines.append("## Global options")
+        lines.append("")
+        lines.append("| flag | default | description |")
+        lines.append("| --- | --- | --- |")
+        lines.extend(global_rows)
+        lines.append("")
+    for name, choice in sub.choices.items():
+        lines.append(f"## `repro {name}`")
+        lines.append("")
+        help_text = next((item.help for item in sub._choices_actions
+                          if item.dest == name), None)
+        description = choice.description or help_text
+        if description:
+            lines.append(f"{description.rstrip('.')}." if not
+                         description.rstrip().endswith(".") else description)
+            lines.append("")
+        lines.append(f"```\npython -m repro {name} [options]\n```")
+        lines.append("")
+        rows = _action_rows(choice)
+        if rows:
+            lines.append("| flag | default | description |")
+            lines.append("| --- | --- | --- |")
+            lines.extend(rows)
+        else:
+            lines.append("*(no options)*")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

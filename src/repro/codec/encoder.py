@@ -106,12 +106,20 @@ class EncoderReport:
 
 
 class Mpeg4Encoder:
-    """MPEG4-SP encoder over YUV 4:2:0 frames."""
+    """MPEG4-SP encoder over YUV 4:2:0 frames.
 
-    def __init__(self, config: Optional[EncoderConfig] = None):
+    ``engine`` optionally injects a pre-built
+    :class:`~repro.codec.fastme.FastSadEngine` (the serving layer passes
+    one wired to its shared cross-stream caches); by default the
+    estimator builds a private engine per
+    ``EncoderConfig.use_fast_engine``.
+    """
+
+    def __init__(self, config: Optional[EncoderConfig] = None, engine=None):
         self.config = config or EncoderConfig()
         self.estimator = MotionEstimator(
             self.config.strategy, self.config.refine_halfpel,
+            engine=engine,
             use_fast_engine=self.config.use_fast_engine,
             early_terminate=self.config.early_terminate)
 
@@ -257,21 +265,47 @@ class Mpeg4Encoder:
         """Encode a sequence; the first frame is intra, the rest are P."""
         if not frames:
             raise CodecError("cannot encode an empty sequence")
-        report = EncoderReport()
-        report.coded = CodedSequence(frames[0].width, frames[0].height,
-                                     self.config.qp,
-                                     resync_every=self.config.resync_every)
-        report.frame_stats.append(
-            self._encode_intra_frame(frames[0], 0, report))
-        report.work.frames += 1
-        for index in range(1, len(frames)):
-            if self.config.gop_size and index % self.config.gop_size == 0:
+        return self.encode_segment(frames)
+
+    def encode_segment(self, frames: List[YuvFrame],
+                       report: Optional[EncoderReport] = None
+                       ) -> EncoderReport:
+        """Encode a chunk of frames, continuing an earlier report.
+
+        The streaming form of :meth:`encode`: with ``report=None`` a fresh
+        run starts (frame 0 is intra); passing back the returned report
+        continues the same run, so splitting a sequence into arbitrary
+        segments yields a :class:`~repro.codec.syntax.CodedSequence` —
+        and therefore a serialized bitstream — **byte-identical** to one
+        :meth:`encode` call over the concatenation.  Each frame's global
+        index drives the GOP logic, and each P frame predicts from the
+        last reconstructed frame, which is all the state a continuation
+        needs: a caller bounding memory may trim
+        ``report.reconstructed`` down to its final entry (and reset the
+        trace) between segments, exactly what the serving layer does.
+        """
+        if report is None:
+            report = EncoderReport()
+        if report.coded is None:
+            if not frames:
+                raise CodecError("cannot start a run from an empty segment")
+            report.coded = CodedSequence(frames[0].width, frames[0].height,
+                                         self.config.qp,
+                                         resync_every=self.config.resync_every)
+        start = report.work.frames
+        for offset, frame in enumerate(frames):
+            index = start + offset
+            if index == 0 or (self.config.gop_size
+                              and index % self.config.gop_size == 0):
                 report.frame_stats.append(
-                    self._encode_intra_frame(frames[index], index, report))
+                    self._encode_intra_frame(frame, index, report))
             else:
-                reference = report.reconstructed[index - 1]
+                if not report.reconstructed:
+                    raise CodecError(
+                        f"cannot continue at frame {index}: the previous "
+                        f"reconstructed frame was trimmed from the report")
                 report.frame_stats.append(
-                    self._encode_inter_frame(frames[index], reference,
+                    self._encode_inter_frame(frame, report.reconstructed[-1],
                                              index, report))
             report.work.frames += 1
         return report

@@ -243,12 +243,24 @@ class FastSadEngine:
     fresh array per frame), holding a strong reference so ids cannot be
     recycled while cached.  Mutating a cached reference array in place is
     not supported — replace the array instead (the encoder always does).
+
+    By default both LRUs (half-sample planes, current-macroblock matrices)
+    are private to the engine.  The serving layer instead passes shared
+    ``plane_cache``/``block_cache`` backends (any object with
+    ``get_or_build(array, build) -> value`` — see
+    :class:`repro.serve.shared_cache.SharedArrayCache`) so many streams
+    draw from one capacity pool with fleet-wide hit/miss counters; the
+    engine's own hit/build counters keep counting either way, and
+    :meth:`cache_stats` reports both views.
     """
 
-    def __init__(self, max_cached_references: int = 4):
+    def __init__(self, max_cached_references: int = 4,
+                 plane_cache=None, block_cache=None):
         if max_cached_references < 1:
             raise CodecError("the plane cache needs at least one slot")
         self.max_cached_references = max_cached_references
+        self.plane_cache = plane_cache
+        self.block_cache = block_cache
         #: id(plane) -> (plane, ReferencePlanes); insertion order = LRU
         self._cache: "OrderedDict[int, Tuple[np.ndarray, ReferencePlanes]]" \
             = OrderedDict()
@@ -257,9 +269,19 @@ class FastSadEngine:
             = OrderedDict()
         self.plane_builds = 0   # cache misses (interpolations performed)
         self.plane_hits = 0
+        self.block_builds = 0
+        self.block_hits = 0
 
     def planes(self, reference: np.ndarray) -> ReferencePlanes:
         """The (cached) half-sample planes of ``reference``."""
+        if self.plane_cache is not None:
+            built, hit = self.plane_cache.get_or_build(
+                reference, ReferencePlanes.build)
+            if hit:
+                self.plane_hits += 1
+            else:
+                self.plane_builds += 1
+            return built
         key = id(reference)
         entry = self._cache.get(key)
         if entry is not None and entry[0] is reference:
@@ -273,6 +295,47 @@ class FastSadEngine:
         while len(self._cache) > self.max_cached_references:
             self._cache.popitem(last=False)
         return built
+
+    # -- cache observability -------------------------------------------------
+    @staticmethod
+    def _rate(hits: int, builds: int) -> float:
+        total = hits + builds
+        return hits / total if total else 0.0
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/build counters and entry counts of both LRUs.
+
+        ``plane_*``/``block_*`` count this engine's lookups (hits + builds
+        = lookups); ``*_entries`` are the private LRUs' current sizes
+        (zero when a shared backend is attached — the entries live
+        there, under ``shared_planes``/``shared_blocks``, which carry the
+        backend's own :meth:`~repro.serve.shared_cache.SharedArrayCache.stats`
+        across every engine sharing it)."""
+        stats: Dict[str, object] = {
+            "plane_hits": self.plane_hits,
+            "plane_builds": self.plane_builds,
+            "plane_hit_rate": self._rate(self.plane_hits, self.plane_builds),
+            "plane_entries": len(self._cache),
+            "block_hits": self.block_hits,
+            "block_builds": self.block_builds,
+            "block_hit_rate": self._rate(self.block_hits, self.block_builds),
+            "block_entries": len(self._blocks),
+        }
+        if self.plane_cache is not None:
+            stats["shared_planes"] = self.plane_cache.stats()
+        if self.block_cache is not None:
+            stats["shared_blocks"] = self.block_cache.stats()
+        return stats
+
+    def clear(self) -> None:
+        """Drop the private LRUs' entries and zero this engine's counters.
+
+        Shared backends are left untouched — they serve other engines;
+        clear those via their own ``clear()``."""
+        self._cache.clear()
+        self._blocks.clear()
+        self.plane_builds = self.plane_hits = 0
+        self.block_builds = self.block_hits = 0
 
     def block(self, current: np.ndarray, mb_x: int, mb_y: int) -> np.ndarray:
         """The current macroblock pre-cast for the SAD reductions.
@@ -291,22 +354,36 @@ class FastSadEngine:
         matrix = self.block_matrix(current)
         return matrix[mb_y // 16, mb_x // 16].reshape(16, 16)
 
+    @staticmethod
+    def _build_block_matrix(current: np.ndarray) -> np.ndarray:
+        height, width = current.shape
+        grid_h, grid_w = height // 16, width // 16
+        return (current[:grid_h * 16, :grid_w * 16]
+                .astype(np.int16)
+                .reshape(grid_h, 16, grid_w, 16)
+                .swapaxes(1, 2)
+                .reshape(grid_h, grid_w, 256))
+
     def block_matrix(self, current: np.ndarray) -> np.ndarray:
         """The cached ``(rows, cols, 256)`` int16 macroblock matrix of a
         frame: every grid-aligned macroblock flattened to one contiguous
         row, cast once per frame."""
+        if self.block_cache is not None:
+            matrix, hit = self.block_cache.get_or_build(
+                current, self._build_block_matrix)
+            if hit:
+                self.block_hits += 1
+            else:
+                self.block_builds += 1
+            return matrix
         key = id(current)
         entry = self._blocks.get(key)
         if entry is not None and entry[0] is current:
             self._blocks.move_to_end(key)
+            self.block_hits += 1
             return entry[1]
-        height, width = current.shape
-        grid_h, grid_w = height // 16, width // 16
-        matrix = (current[:grid_h * 16, :grid_w * 16]
-                  .astype(np.int16)
-                  .reshape(grid_h, 16, grid_w, 16)
-                  .swapaxes(1, 2)
-                  .reshape(grid_h, grid_w, 256))
+        matrix = self._build_block_matrix(current)
+        self.block_builds += 1
         self._blocks[key] = (current, matrix)
         while len(self._blocks) > self.max_cached_references:
             self._blocks.popitem(last=False)

@@ -167,6 +167,86 @@ class ExperimentError(ReproError):
     hint = "check cell names, scenario names and workload knobs"
 
 
+# -- serving taxonomy ---------------------------------------------------------
+#
+# Raised by the concurrent streaming codec service (:mod:`repro.serve`).
+# Every client-visible failure of the session API — in-process or over the
+# TCP/JSON-lines transport — is one of these classes, so a client can
+# branch on the stable code instead of parsing prose.  Transport responses
+# carry the code verbatim in their ``code`` field.
+
+class ServiceError(ReproError):
+    """Base class for the streaming codec service's failure modes."""
+
+    code = "REPRO-SRV-000"
+    hint = "see the service stats and the stream's health report"
+
+
+class StreamUnknown(ServiceError):
+    """A request referenced a stream id the service does not know.
+
+    Either the id was never opened, or the stream was closed/aborted and
+    its state released (ids are never reused within one service).
+    """
+
+    code = "REPRO-SRV-UNKNOWN"
+    hint = ("the stream id was never opened or is already closed; open a "
+            "new stream and keep its id")
+
+
+class StreamClosed(ServiceError):
+    """A segment was submitted to a stream that is closing or closed."""
+
+    code = "REPRO-SRV-CLOSED"
+    hint = ("close_stream was already called (or the stream was aborted "
+            "after a disconnect); open a new stream to submit more")
+
+
+class BackpressureReject(ServiceError):
+    """A submit was shed because the stream's bounded queue is full.
+
+    ``pending`` (submitted minus collected segments) reached the
+    service's ``max_pending``.  This is load shedding, not failure: the
+    segment was **not** enqueued, and the client should collect finished
+    results (or back off) and resubmit the same segment.
+    """
+
+    code = "REPRO-SRV-BACKPRESSURE"
+    hint = ("collect() finished segments to drain the queue, then "
+            "resubmit; raise --max-pending only with the memory to back it")
+
+
+class SegmentFailed(ServiceError):
+    """A segment failed in its worker after exhausting transient retries.
+
+    The stream itself stays open (later segments of other streams are
+    unaffected — failures never take down the pool), but an encode
+    stream's bitstream is no longer continuable, so the client should
+    abort it.
+    """
+
+    code = "REPRO-SRV-SEGMENT"
+    hint = ("the worker-side traceback is in the result's error field; "
+            "abort the stream — its encoder state is past the failure")
+
+
+class ServiceProtocolError(ServiceError):
+    """A transport request was malformed (bad JSON, unknown op, missing
+    field, oversized line)."""
+
+    code = "REPRO-SRV-PROTOCOL"
+    hint = ("requests are one JSON object per line with an 'op' field; "
+            "see docs/SERVING.md for the request grammar")
+
+
+class ServiceUnavailable(ServiceError):
+    """The service (or the worker owning this stream) is shut down."""
+
+    code = "REPRO-SRV-UNAVAILABLE"
+    hint = ("the service is shutting down or a worker process died; "
+            "reconnect/reopen streams against a fresh service")
+
+
 # -- resilience taxonomy ------------------------------------------------------
 #
 # Raised (or referenced by code) by the fault-tolerant sweep layer.  Each
@@ -266,7 +346,7 @@ class FaultSpecError(ReproError):
     code = "REPRO-FAULT-SPEC-001"
     hint = ("grammar: [seed=<int>;]<kind>:<target>[:times=<n>|p=<f>|"
             "delay=<s>][;...] with kind in kill|raise|latency|corrupt|"
-            "truncate|diverge")
+            "truncate|diverge|slowclient|disconnect")
 
 
 def event_code(exc_type: type, default: Optional[str] = None) -> str:

@@ -29,8 +29,8 @@ Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
     SPEC   := [ 'seed=' INT ';' ] clause ( (';' | ',') clause )*
     clause := KIND ':' TARGET ( ':' PARAM )*
     KIND   := 'kill' | 'raise' | 'latency' | 'corrupt' | 'truncate'
-              | 'diverge'
-    TARGET := cell or scenario name, or '*' (any)
+              | 'diverge' | 'slowclient' | 'disconnect'
+    TARGET := cell, scenario or stream name, or '*' (any)
     PARAM  := 'times=' INT   -- fire on the first INT attempts (default 1)
             | 'p=' FLOAT     -- fire with this probability per attempt
             | 'delay=' FLOAT -- seconds of injected latency ('latency')
@@ -53,6 +53,14 @@ Kinds and their fire points:
 ``diverge``  perturbs a columnar replay result before the sampled
              differential guard compares it to the legacy walk — the
              ``--verify-replay`` detection + fallback path.
+``slowclient``  injects ``delay`` seconds into a stream's ``collect`` on
+             the codec service (:mod:`repro.serve`) — a consumer that
+             stops draining, which is what fills the bounded per-stream
+             queue and exercises the backpressure/shedding path.
+``disconnect``  makes the TCP transport drop a connection mid-session
+             before answering a request for the target stream — the
+             vanished-client signature; the server must abort the
+             connection's streams and release their worker state.
 ===========  ================================================================
 """
 
@@ -68,7 +76,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultSpecError, TransientCellError
 
-KINDS = ("kill", "raise", "latency", "corrupt", "truncate", "diverge")
+KINDS = ("kill", "raise", "latency", "corrupt", "truncate", "diverge",
+         "slowclient", "disconnect")
 
 #: environment variable holding a spec (inherited by forked workers)
 ENV_VAR = "REPRO_FAULTS"
@@ -186,6 +195,7 @@ def parse_spec(spec: str) -> FaultPlan:
 # -- installation -------------------------------------------------------------
 
 _PLAN: Optional[FaultPlan] = None
+_SPEC: Optional[str] = None
 
 
 def install(spec: Optional[str]) -> Optional[FaultPlan]:
@@ -194,22 +204,36 @@ def install(spec: Optional[str]) -> Optional[FaultPlan]:
     Also mirrors the spec into :data:`ENV_VAR` so pool workers spawned by
     any start method — not just ``fork`` — inherit it.
     """
-    global _PLAN
+    global _PLAN, _SPEC
     if spec is None:
         _PLAN = None
+        _SPEC = None
         os.environ.pop(ENV_VAR, None)
         return None
     _PLAN = parse_spec(spec)
+    _SPEC = spec
     os.environ[ENV_VAR] = spec
     return _PLAN
 
 
 def install_from_environment() -> Optional[FaultPlan]:
     """Adopt :data:`ENV_VAR` if set and no plan is installed yet."""
-    global _PLAN
+    global _PLAN, _SPEC
     if _PLAN is None and os.environ.get(ENV_VAR):
-        _PLAN = parse_spec(os.environ[ENV_VAR])
+        _SPEC = os.environ[ENV_VAR]
+        _PLAN = parse_spec(_SPEC)
     return _PLAN
+
+
+def active_spec() -> Optional[str]:
+    """The raw spec string behind the installed plan (None when off).
+
+    The streaming service ships this with every pool task so a plan
+    installed (or cleared) in the parent after its workers forked still
+    governs them — clause decisions are pure in (seed, kind, target,
+    attempt), so a worker re-parsing the spec decides identically.
+    """
+    return _SPEC
 
 
 def active() -> Optional[FaultPlan]:
@@ -285,6 +309,33 @@ def maybe_truncate_file(path: pathlib.Path, target: str = "*",
     keep = cut + int((len(body) - cut) * keep_fraction)
     path.write_bytes(data[:max(keep, 1)])
     return True
+
+
+def client_delay(stream: str, attempt: int = 0) -> float:
+    """Seconds of injected slow-client latency for a stream's ``collect``.
+
+    Fire point of the ``slowclient`` kind, called by
+    :meth:`repro.serve.CodecService.collect` with the stream's collect
+    count as the attempt number — so ``times=N`` stalls the first N
+    collects of a stream and ``p=``/``delay=`` shape a persistently slow
+    consumer.  Returns 0.0 when no plan is installed or nothing fires.
+    """
+    plan = _PLAN
+    if plan is None:
+        return 0.0
+    clause = plan.decide("slowclient", stream, attempt)
+    return clause.delay_s if clause is not None else 0.0
+
+
+def should_disconnect(stream: str, attempt: int = 0) -> bool:
+    """Whether the transport should drop the connection before answering
+    a request for ``stream`` — the ``disconnect`` kind's fire point,
+    called by the JSON-lines server with the connection's request count
+    as the attempt number."""
+    plan = _PLAN
+    if plan is None:
+        return False
+    return plan.decide("disconnect", stream, attempt) is not None
 
 
 def replay_perturbation(scenario: str, attempt: int = 0) -> int:

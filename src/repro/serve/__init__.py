@@ -1,0 +1,51 @@
+"""Concurrent streaming codec service (sessions, pool, caches, transport).
+
+The package splits into three layers, bottom up:
+
+* :mod:`repro.serve.shared_cache` — lock-striped cross-stream LRU pools
+  behind the ``fastme`` engine's plane/block caches;
+* :mod:`repro.serve.service` — :class:`CodecService`: the session API
+  (``open_stream`` / ``submit_segment`` / ``collect`` / ``close_stream``)
+  over a bounded fork worker pool with per-stream backpressure;
+* :mod:`repro.serve.transport` — the TCP/JSON-lines server and the
+  blocking :class:`ServiceClient`.
+
+Operator guide: ``docs/SERVING.md``.  Guarantee pinned by the tests: a
+stream's bitstream is byte-identical to a one-shot encode of the same
+frames, regardless of segmentation, interleaving, worker count, or
+injected worker faults survived by the retry budget.
+"""
+
+from repro.serve.service import (
+    CodecService,
+    DECODE,
+    ENCODE,
+    SegmentProcessor,
+    SegmentResult,
+    StreamConfig,
+    StreamSummary,
+)
+from repro.serve.shared_cache import SharedArrayCache
+from repro.serve.transport import (
+    ServiceClient,
+    ServiceServer,
+    frame_to_wire,
+    run_server,
+    wire_to_frame,
+)
+
+__all__ = [
+    "CodecService",
+    "DECODE",
+    "ENCODE",
+    "SegmentProcessor",
+    "SegmentResult",
+    "ServiceClient",
+    "ServiceServer",
+    "SharedArrayCache",
+    "StreamConfig",
+    "StreamSummary",
+    "frame_to_wire",
+    "run_server",
+    "wire_to_frame",
+]

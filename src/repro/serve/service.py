@@ -1,0 +1,752 @@
+"""The concurrent streaming codec service: many streams, one bounded pool.
+
+The codec so far is a one-shot CLI — ``encode -> serialize -> decode`` over
+a whole sequence in one process.  The paper's actual workload shape is the
+opposite: *sustained* QCIF video at a fixed frame rate, many independent
+streams at once, each wanting bounded latency (Wolf's MPSoC multimedia
+survey frames exactly this many-streams, bounded-latency operating point
+as where video codecs are deployed).  :class:`CodecService` is that shape:
+
+* **sessions** — ``open_stream`` / ``submit_segment`` / ``collect`` /
+  ``close_stream``.  A stream is either an *encode* stream (YUV frame
+  segments in, per-segment stats out, the full serialized bitstream at
+  close) or a *decode* stream (serialized payloads in,
+  :class:`~repro.codec.decoder.DecodeHealth` reports out — malformed
+  segments are concealed by the robust decoder, never fatal to the pool);
+* **worker pool** — streams are pinned round-robin onto ``workers``
+  forked processes (per-stream FIFO order is free: one queue per worker),
+  or run in-process with ``workers=0`` (same code path, same results);
+* **backpressure** — per-stream pending (submitted minus collected) is
+  bounded by ``max_pending``; a submit over the bound is *shed* with a
+  structured :class:`~repro.errors.BackpressureReject` (REPRO-SRV-
+  BACKPRESSURE) rather than queued, so a client that stops collecting
+  cannot grow service memory;
+* **segmented encoding** — each worker continues its stream's
+  :meth:`~repro.codec.encoder.Mpeg4Encoder.encode_segment` run, trimming
+  reconstruction history to the single reference frame a continuation
+  needs, and serializes the accumulated coded sequence at close — the
+  bitstream is **byte-identical** to a one-shot encode of the same frames
+  (``tests/test_serving.py`` asserts this for interleaved streams, clean
+  and under injected worker faults);
+* **shared caches** — every stream on a worker draws its half-sample
+  planes and macroblock matrices from one lock-striped
+  :class:`~repro.serve.shared_cache.SharedArrayCache` pair (one capacity
+  knob and one hit-rate signal per worker, not per stream), surfaced in
+  the close summary's ``cache`` block;
+* **fault discipline** — segment execution runs under the deterministic
+  injector (:mod:`repro.faults`): ``raise`` clauses retry with a bounded
+  budget, ``latency`` clauses stretch segment latency, ``slowclient`` /
+  ``disconnect`` clauses exercise backpressure and transport cleanup.
+
+The TCP/JSON-lines transport over this API lives in
+:mod:`repro.serve.transport`; the operator guide is ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro import faults
+from repro.errors import (
+    BackpressureReject,
+    CodecError,
+    SegmentFailed,
+    ServiceError,
+    ServiceUnavailable,
+    StreamClosed,
+    StreamUnknown,
+    TransientCellError,
+    event_code,
+)
+
+ENCODE = "encode"
+DECODE = "decode"
+
+
+@dataclass
+class StreamConfig:
+    """Per-stream settings, fixed at ``open_stream``.
+
+    ``kind`` selects the pipeline (:data:`ENCODE` or :data:`DECODE`);
+    the encoder knobs mirror :class:`~repro.codec.encoder.EncoderConfig`.
+    ``keep_history`` retains full reconstruction/trace history in the
+    worker (unbounded memory — debugging only); the default trims to the
+    single reference frame a continuation needs.  ``verify_decode`` makes
+    the close path robust-decode the final bitstream and attach its
+    :class:`~repro.codec.decoder.DecodeHealth` to the summary.
+    ``max_retries`` bounds transient-fault retries per segment.
+    """
+
+    kind: str = ENCODE
+    qp: int = 10
+    resync_every: int = 0
+    gop_size: int = 0
+    keep_history: bool = False
+    verify_decode: bool = False
+    max_retries: int = 2
+
+    def __post_init__(self):
+        if self.kind not in (ENCODE, DECODE):
+            raise ServiceError(
+                f"stream kind must be {ENCODE!r} or {DECODE!r}, "
+                f"got {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "qp": self.qp,
+            "resync_every": self.resync_every, "gop_size": self.gop_size,
+            "keep_history": self.keep_history,
+            "verify_decode": self.verify_decode,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamConfig":
+        known = {name: data[name] for name in cls.__dataclass_fields__
+                 if name in data}
+        unknown = set(data) - set(known)
+        if unknown:
+            raise ServiceError(
+                f"unknown stream config fields {sorted(unknown)}")
+        return cls(**known)
+
+
+@dataclass
+class SegmentResult:
+    """One processed segment, as the client collects it.
+
+    ``ok`` is False only for a failed segment (worker-side error after
+    retries); ``latency_s`` is submit-to-ready as the parent saw it,
+    ``wall_s`` the worker-side processing time.  Decode segments carry
+    the robust decoder's health dict; encode segments the coding stats.
+    """
+
+    stream: str
+    segment: int
+    kind: str
+    ok: bool
+    frames: int = 0
+    bits: int = 0
+    psnr_y: Optional[float] = None
+    getsad_calls: int = 0
+    mbs_concealed: int = 0
+    health: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    error_code: Optional[str] = None
+    attempts: int = 1
+    worker: int = -1
+    wall_s: float = 0.0
+    latency_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SegmentResult":
+        return cls(**{name: data[name] for name in cls.__dataclass_fields__
+                      if name in data})
+
+
+@dataclass
+class StreamSummary:
+    """What ``close_stream`` returns: the stream's whole run.
+
+    For encode streams ``payload`` is the serialized bitstream —
+    byte-identical to a one-shot encode of every submitted frame in
+    order.  ``cache`` is the worker engine's
+    :meth:`~repro.codec.fastme.FastSadEngine.cache_stats` (including the
+    shared-pool view); ``health`` is the aggregate decode health (decode
+    streams) or the verification decode's health (``verify_decode``).
+    ``uncollected`` holds any segment results the client never collected.
+    """
+
+    stream: str
+    kind: str
+    segments: int = 0
+    frames: int = 0
+    bits: int = 0
+    mean_psnr_y: Optional[float] = None
+    payload: bytes = b""
+    cache: Dict[str, object] = field(default_factory=dict)
+    health: Optional[Dict[str, object]] = None
+    uncollected: List[SegmentResult] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+        data["uncollected"] = [result.to_dict()
+                               for result in self.uncollected]
+        return data
+
+
+# -- worker-side processing ---------------------------------------------------
+
+class _WorkerStream:
+    """One stream's worker-side state."""
+
+    __slots__ = ("config", "encoder", "report", "segments", "frames",
+                 "health_totals", "failed")
+
+    def __init__(self, config: StreamConfig, plane_cache, block_cache):
+        self.config = config
+        self.encoder = None
+        self.report = None
+        if config.kind == ENCODE:
+            from repro.codec.encoder import EncoderConfig, Mpeg4Encoder
+            from repro.codec.fastme import FastSadEngine
+            self.encoder = Mpeg4Encoder(
+                EncoderConfig(qp=config.qp, gop_size=config.gop_size,
+                              resync_every=config.resync_every),
+                engine=FastSadEngine(plane_cache=plane_cache,
+                                     block_cache=block_cache))
+        self.segments = 0
+        self.frames = 0
+        #: decode streams: summed DecodeHealth counters across segments
+        self.health_totals: Dict[str, int] = collections.defaultdict(int)
+        self.failed = False
+
+
+class SegmentProcessor:
+    """The execution engine: runs in each pool worker, or in-process.
+
+    Owns the worker's shared cross-stream caches and every stream pinned
+    to it.  All methods return plain dicts (queue-friendly); exceptions
+    never escape ``segment`` — a failing segment becomes a structured
+    error result and the pool lives on.
+    """
+
+    def __init__(self, worker_index: int = 0, cache_capacity: int = 16,
+                 cache_stripes: int = 8):
+        from repro.serve.shared_cache import SharedArrayCache
+        self.worker_index = worker_index
+        self.plane_cache = SharedArrayCache(cache_capacity, cache_stripes,
+                                            name="planes")
+        self.block_cache = SharedArrayCache(cache_capacity, cache_stripes,
+                                            name="blocks")
+        self.streams: Dict[str, _WorkerStream] = {}
+
+    def open(self, stream_id: str, config: StreamConfig) -> None:
+        self.streams[stream_id] = _WorkerStream(
+            config, self.plane_cache, self.block_cache)
+
+    def abort(self, stream_id: str) -> None:
+        self.streams.pop(stream_id, None)
+
+    def segment(self, stream_id: str, index: int,
+                payload: object) -> Dict[str, object]:
+        state = self.streams.get(stream_id)
+        base: Dict[str, object] = {
+            "stream": stream_id, "segment": index,
+            "worker": self.worker_index, "ok": False, "attempts": 1,
+        }
+        if state is None:
+            # the stream was aborted with segments still queued
+            base.update(kind=ENCODE, error="stream aborted",
+                        error_code=StreamUnknown.code)
+            return base
+        base["kind"] = state.config.kind
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                faults.fire_worker_faults(stream_id, attempt)
+                if state.config.kind == ENCODE:
+                    result = self._encode_segment(state, payload, base)
+                else:
+                    result = self._decode_segment(state, payload, base)
+                attempts = attempt + 1
+                break
+            except TransientCellError as exc:
+                attempt += 1
+                if attempt > state.config.max_retries:
+                    state.failed = True
+                    base.update(error=str(exc),
+                                error_code=SegmentFailed.code)
+                    result = base
+                    attempts = attempt     # already counts the final try
+                    break
+            except Exception as exc:  # noqa: BLE001 -- never kill the pool
+                state.failed = True
+                base.update(error=f"{type(exc).__name__}: {exc}",
+                            error_code=event_code(type(exc),
+                                                  SegmentFailed.code))
+                result = base
+                attempts = attempt + 1
+                break
+        result["attempts"] = attempts
+        result["wall_s"] = time.perf_counter() - started
+        return result
+
+    def _encode_segment(self, state: _WorkerStream, frames,
+                        base: Dict[str, object]) -> Dict[str, object]:
+        if state.failed:
+            raise SegmentFailed(
+                "an earlier segment of this stream failed; its encoder "
+                "state is not continuable")
+        stats_before = len(state.report.frame_stats) if state.report else 0
+        state.report = state.encoder.encode_segment(frames, state.report)
+        segment_stats = state.report.frame_stats[stats_before:]
+        if not state.config.keep_history:
+            # a continuation only needs the final reconstructed frame
+            del state.report.reconstructed[:-1]
+            state.report.motion_vectors.clear()
+            from repro.codec.tracer import MeTrace
+            state.report.trace = MeTrace()
+        state.segments += 1
+        state.frames += len(frames)
+        finite = [s.psnr_y for s in segment_stats
+                  if s.psnr_y != float("inf")]
+        base.update(
+            ok=True,
+            frames=len(segment_stats),
+            bits=sum(s.bits for s in segment_stats),
+            psnr_y=sum(finite) / len(finite) if finite else None,
+            getsad_calls=sum(s.getsad_calls for s in segment_stats),
+        )
+        return base
+
+    def _decode_segment(self, state: _WorkerStream, payload,
+                        base: Dict[str, object]) -> Dict[str, object]:
+        from repro.codec.decoder import robust_decode
+        if not isinstance(payload, (bytes, bytearray)):
+            raise CodecError(
+                f"decode streams take bytes segments, got "
+                f"{type(payload).__name__}")
+        frames, health = robust_decode(bytes(payload))
+        state.segments += 1
+        state.frames += len(frames)
+        for key in ("frames_decoded", "mbs_decoded", "mbs_concealed",
+                    "checksum_failures"):
+            state.health_totals[key] += getattr(health, key)
+        state.health_totals["events"] += len(health.events)
+        base.update(
+            ok=True,
+            frames=len(frames),
+            mbs_concealed=health.mbs_concealed,
+            health=health.to_dict(),
+        )
+        return base
+
+    def close(self, stream_id: str) -> Dict[str, object]:
+        state = self.streams.pop(stream_id, None)
+        if state is None:
+            return {"stream": stream_id, "kind": ENCODE,
+                    "error": "stream unknown to its worker",
+                    "error_code": StreamUnknown.code}
+        summary: Dict[str, object] = {
+            "stream": stream_id, "kind": state.config.kind,
+            "segments": state.segments, "frames": state.frames,
+            "bits": 0, "mean_psnr_y": None, "payload": b"",
+            "health": None,
+        }
+        if state.config.kind == ENCODE:
+            summary["cache"] = state.encoder.estimator.engine.cache_stats() \
+                if state.encoder.estimator.engine is not None else {}
+            if state.report is not None and not state.failed:
+                summary["bits"] = state.report.total_bits
+                mean = state.report.mean_psnr_y
+                summary["mean_psnr_y"] = None if mean == float("inf") \
+                    else mean
+                summary["payload"] = state.report.serialize()
+                if state.config.verify_decode:
+                    from repro.codec.decoder import robust_decode
+                    _, health = robust_decode(summary["payload"])
+                    summary["health"] = health.to_dict()
+        else:
+            summary["cache"] = {}
+            summary["health"] = dict(state.health_totals)
+        return summary
+
+    def cache_stats(self) -> Dict[str, object]:
+        return {"planes": self.plane_cache.stats(),
+                "blocks": self.block_cache.stats()}
+
+
+def _worker_main(worker_index: int, tasks, results) -> None:
+    """Pool worker loop: drain one task queue until the shutdown marker.
+
+    Every task carries the parent's current fault spec as its final
+    element (clause decisions are pure in (seed, kind, target, attempt),
+    so re-parsing in the worker preserves determinism) — a plan installed
+    or cleared in the parent after the fork still reaches the pool.
+    """
+    processor = SegmentProcessor(worker_index)
+    current_spec = faults.active_spec()
+    while True:
+        message = tasks.get()
+        op = message[0]
+        if op == "shutdown":
+            break
+        spec = message[-1]
+        message = message[:-1]
+        if spec != current_spec:
+            faults.install(spec)
+            current_spec = spec
+        try:
+            if op == "open":
+                processor.open(message[1], message[2])
+            elif op == "segment":
+                results.put(("segment", message[1],
+                             processor.segment(message[1], message[2],
+                                               message[3])))
+            elif op == "close":
+                results.put(("closed", message[1],
+                             processor.close(message[1])))
+            elif op == "abort":
+                processor.abort(message[1])
+        except Exception as exc:  # noqa: BLE001 -- surface, never die
+            results.put(("fatal", message[1] if len(message) > 1 else None,
+                         f"{type(exc).__name__}: {exc}"))
+
+
+# -- parent-side orchestration ------------------------------------------------
+
+class _StreamState:
+    """Parent-side bookkeeping for one stream."""
+
+    __slots__ = ("id", "config", "worker", "submitted", "completed",
+                 "collected", "closing", "summary", "failed", "results",
+                 "submit_times", "collects", "rejects")
+
+    def __init__(self, stream_id: str, config: StreamConfig, worker: int):
+        self.id = stream_id
+        self.config = config
+        self.worker = worker
+        self.submitted = 0
+        self.completed = 0
+        self.collected = 0
+        self.closing = False
+        self.summary: Optional[Dict[str, object]] = None
+        self.failed = False
+        self.results: Deque[SegmentResult] = collections.deque()
+        self.submit_times: Dict[int, float] = {}
+        self.collects = 0
+        self.rejects = 0
+
+
+class CodecService:
+    """Long-lived multi-stream encode/decode service (see module doc).
+
+    ``workers=0`` runs every segment in-process (synchronously inside
+    ``submit_segment``, under one processor lock) with one shared cache
+    pair across all streams; ``workers>=1`` forks that many pool
+    processes and pins streams to them round-robin.  All public methods
+    are thread-safe — the TCP transport calls them from the event loop's
+    thread pool.
+    """
+
+    def __init__(self, workers: int = 2, max_pending: int = 8,
+                 cache_capacity: int = 16, cache_stripes: int = 8):
+        if workers < 0:
+            raise ServiceError("workers must be >= 0 (0 = in-process)")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._streams: Dict[str, _StreamState] = {}
+        self._next_stream = 0
+        self._closed_streams = 0
+        self._next_worker = 0
+        self._shutdown = False
+        self._processor: Optional[SegmentProcessor] = None
+        self._processor_lock = threading.Lock()
+        self._processes: List[multiprocessing.Process] = []
+        self._task_queues = []
+        self._drainer: Optional[threading.Thread] = None
+        if workers == 0:
+            self._processor = SegmentProcessor(
+                0, cache_capacity, cache_stripes)
+        else:
+            context = multiprocessing.get_context("fork")
+            self._result_queue = context.Queue()
+            for index in range(workers):
+                tasks = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(index, tasks, self._result_queue), daemon=True)
+                process.start()
+                self._task_queues.append(tasks)
+                self._processes.append(process)
+            self._drainer = threading.Thread(target=self._drain, daemon=True)
+            self._drainer.start()
+
+    # -- lifecycle ------------------------------------------------------------
+    def __enter__(self) -> "CodecService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def workers(self) -> int:
+        return len(self._processes)
+
+    def shutdown(self) -> None:
+        """Stop the pool; open streams are dropped without summaries."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._ready.notify_all()
+        for tasks in self._task_queues:
+            tasks.put(("shutdown",))
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+        if self._drainer is not None:
+            self._drainer.join(timeout=10)
+
+    def _put(self, worker: int, message: Tuple) -> None:
+        """Enqueue a pool task, stamped with the current fault spec (the
+        worker re-installs on change — see :func:`_worker_main`)."""
+        self._task_queues[worker].put(message + (faults.active_spec(),))
+
+    def _drain(self) -> None:
+        """Drainer thread: route worker results into stream states."""
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                if self._shutdown:
+                    return
+                continue
+            kind = message[0]
+            with self._lock:
+                state = self._streams.get(message[1])
+                if kind == "segment" and state is not None:
+                    self._deliver(state, message[2])
+                elif kind == "closed" and state is not None:
+                    state.summary = message[2]
+                self._ready.notify_all()
+
+    def _deliver(self, state: _StreamState,
+                 result: Dict[str, object]) -> None:
+        submitted_at = state.submit_times.pop(result["segment"], None)
+        latency = time.perf_counter() - submitted_at \
+            if submitted_at is not None else 0.0
+        segment = SegmentResult.from_dict(result)
+        segment.latency_s = latency
+        if not segment.ok and state.config.kind == ENCODE:
+            state.failed = True
+        state.completed += 1
+        state.results.append(segment)
+
+    # -- session API ----------------------------------------------------------
+    def open_stream(self, config: Optional[StreamConfig] = None,
+                    stream_id: Optional[str] = None) -> str:
+        """Register a stream; returns its id (never reused)."""
+        config = config or StreamConfig()
+        with self._lock:
+            self._require_up()
+            if stream_id is None:
+                stream_id = f"s{self._next_stream:04d}"
+            elif stream_id in self._streams:
+                raise ServiceError(f"stream id {stream_id!r} already open")
+            self._next_stream += 1
+            worker = 0
+            if self._processes:
+                worker = self._next_worker % len(self._processes)
+                self._next_worker += 1
+            self._streams[stream_id] = _StreamState(stream_id, config,
+                                                    worker)
+        if self._processes:
+            self._put(worker, ("open", stream_id, config))
+        else:
+            with self._processor_lock:
+                self._processor.open(stream_id, config)
+        return stream_id
+
+    def _state(self, stream_id: str) -> _StreamState:
+        state = self._streams.get(stream_id)
+        if state is None:
+            raise StreamUnknown(f"unknown stream {stream_id!r}")
+        return state
+
+    def _require_up(self) -> None:
+        if self._shutdown:
+            raise ServiceUnavailable("the service is shut down")
+
+    def submit_segment(self, stream_id: str, payload: object) -> int:
+        """Enqueue one segment; returns its index within the stream.
+
+        Sheds with :class:`~repro.errors.BackpressureReject` when the
+        stream's pending window is full — the segment is NOT enqueued.
+        """
+        with self._lock:
+            self._require_up()
+            state = self._state(stream_id)
+            if state.closing:
+                raise StreamClosed(
+                    f"stream {stream_id!r} is closed to new segments")
+            if state.failed:
+                raise SegmentFailed(
+                    f"stream {stream_id!r} failed at segment "
+                    f"{state.completed - 1}; abort it and open a new one")
+            pending = state.submitted - state.collected
+            if pending >= self.max_pending:
+                state.rejects += 1
+                raise BackpressureReject(
+                    f"stream {stream_id!r} has {pending} pending segments "
+                    f"(max {self.max_pending}); collect before submitting")
+            index = state.submitted
+            state.submitted += 1
+            state.submit_times[index] = time.perf_counter()
+            worker = state.worker
+        if self._processes:
+            if not self._processes[worker].is_alive():
+                raise ServiceUnavailable(
+                    f"worker {worker} owning stream {stream_id!r} died")
+            self._put(worker, ("segment", stream_id, index, payload))
+        else:
+            with self._processor_lock:
+                result = self._processor.segment(stream_id, index, payload)
+            with self._lock:
+                self._deliver(state, result)
+                self._ready.notify_all()
+        return index
+
+    def collect(self, stream_id: str, timeout: Optional[float] = None
+                ) -> List[SegmentResult]:
+        """Drain every finished segment result, oldest first.
+
+        With ``timeout`` set, blocks up to that long for at least one
+        result; ``timeout=None`` returns immediately with whatever is
+        ready (possibly nothing).
+        """
+        delay = faults.client_delay(stream_id, self._collects_of(stream_id))
+        if delay:
+            time.sleep(delay)
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
+        with self._lock:
+            state = self._state(stream_id)
+            state.collects += 1
+            while not state.results and deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._shutdown:
+                    break
+                self._ready.wait(remaining)
+                state = self._state(stream_id)
+            collected = list(state.results)
+            state.results.clear()
+            state.collected += len(collected)
+        return collected
+
+    def _collects_of(self, stream_id: str) -> int:
+        with self._lock:
+            state = self._streams.get(stream_id)
+            return state.collects if state is not None else 0
+
+    def close_stream(self, stream_id: str,
+                     timeout: Optional[float] = 120.0) -> StreamSummary:
+        """Finish a stream: flush its queue, return the summary.
+
+        For encode streams the summary's ``payload`` is the final
+        bitstream.  Results the client never collected ride along in
+        ``summary.uncollected``.
+        """
+        with self._lock:
+            self._require_up()
+            state = self._state(stream_id)
+            if state.closing:
+                raise StreamClosed(f"stream {stream_id!r} already closing")
+            state.closing = True
+            worker = state.worker
+        if self._processes:
+            if not self._processes[worker].is_alive():
+                with self._lock:
+                    self._streams.pop(stream_id, None)
+                raise ServiceUnavailable(
+                    f"worker {worker} owning stream {stream_id!r} died")
+            self._put(worker, ("close", stream_id))
+        else:
+            with self._processor_lock:
+                summary = self._processor.close(stream_id)
+            with self._lock:
+                state.summary = summary
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
+        with self._lock:
+            while state.summary is None:
+                remaining = None if deadline is None \
+                    else deadline - time.perf_counter()
+                if self._shutdown or (remaining is not None
+                                      and remaining <= 0):
+                    self._streams.pop(stream_id, None)
+                    raise ServiceUnavailable(
+                        f"no close summary for stream {stream_id!r} "
+                        f"within {timeout}s")
+                self._ready.wait(remaining if remaining is not None
+                                 else 0.5)
+            raw = state.summary
+            uncollected = list(state.results)
+            self._streams.pop(stream_id, None)
+            self._closed_streams += 1
+        summary = StreamSummary(
+            stream=stream_id, kind=raw.get("kind", state.config.kind),
+            segments=raw.get("segments", 0), frames=raw.get("frames", 0),
+            bits=raw.get("bits", 0),
+            mean_psnr_y=raw.get("mean_psnr_y"),
+            payload=raw.get("payload", b""),
+            cache=raw.get("cache", {}) or {},
+            health=raw.get("health"),
+            uncollected=uncollected,
+        )
+        return summary
+
+    def abort_stream(self, stream_id: str) -> None:
+        """Drop a stream without a summary (client vanished)."""
+        with self._lock:
+            state = self._streams.pop(stream_id, None)
+            if state is None:
+                return
+            self._closed_streams += 1
+            worker = state.worker
+        if self._processes:
+            if self._processes[worker].is_alive():
+                self._put(worker, ("abort", stream_id))
+        else:
+            with self._processor_lock:
+                self._processor.abort(stream_id)
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Service-wide and per-stream queue/throughput counters."""
+        with self._lock:
+            streams = {
+                state.id: {
+                    "kind": state.config.kind,
+                    "worker": state.worker,
+                    "submitted": state.submitted,
+                    "completed": state.completed,
+                    "collected": state.collected,
+                    "pending": state.submitted - state.collected,
+                    "rejects": state.rejects,
+                    "closing": state.closing,
+                    "failed": state.failed,
+                }
+                for state in self._streams.values()
+            }
+            totals = {
+                "workers": len(self._processes),
+                "max_pending": self.max_pending,
+                "streams_open": len(self._streams),
+                "streams_closed": self._closed_streams,
+                "segments_submitted": sum(s["submitted"]
+                                          for s in streams.values()),
+                "segments_completed": sum(s["completed"]
+                                          for s in streams.values()),
+                "rejects": sum(s["rejects"] for s in streams.values()),
+            }
+        if self._processor is not None:
+            totals["cache"] = self._processor.cache_stats()
+        return {"totals": totals, "streams": streams}

@@ -1,0 +1,123 @@
+"""Lock-striped shared LRU caches for cross-stream codec state.
+
+The ``fastme`` engine ships with *per-encoder* LRUs for its two expensive
+derived artefacts — half-sample :class:`~repro.codec.fastme.ReferencePlanes`
+and per-frame macroblock matrices.  One encoder per stream means one
+capacity knob *per stream*: a service hosting 50 streams would hold up to
+50 × 4 plane sets with no global bound and no fleet-wide hit-rate signal.
+
+:class:`SharedArrayCache` lifts that state behind one shared, thread-safe
+pool.  Like the private LRUs it is keyed on array *identity* (``id``)
+with a strong reference to the key array, so entries can never be served
+for a recycled id; capacity is global across every stream/engine sharing
+the cache.  Concurrency is **lock-striped**: keys hash onto
+``stripes`` independent ``(lock, OrderedDict)`` shards, so two worker
+threads touching different reference frames almost never contend, and no
+lock is ever held across the expensive ``build`` call — two threads
+racing to build the same key do redundant work once instead of
+serialising every build behind a global lock (the loser's value wins the
+slot; both values are bit-identical because builds are pure).
+
+Counters (hits / builds / evictions, per stripe, summed by
+:meth:`SharedArrayCache.stats`) feed the serving layer's per-stream and
+service-wide health output — the observability half of the
+``cache_stats()`` fix this module rode in with.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+class _Stripe:
+    """One shard: its lock, LRU entries and counters."""
+
+    __slots__ = ("lock", "entries", "hits", "builds", "evictions")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        #: id(array) -> (array, value); insertion order = LRU
+        self.entries: "OrderedDict[int, Tuple[np.ndarray, object]]" = \
+            OrderedDict()
+        self.hits = 0
+        self.builds = 0
+        self.evictions = 0
+
+
+class SharedArrayCache:
+    """A lock-striped, identity-keyed LRU shared by many engines.
+
+    ``capacity`` bounds the total entry count across all stripes (each
+    stripe holds at most ``ceil(capacity / stripes)``, so the bound holds
+    under any key distribution); ``stripes`` sets the concurrency grain.
+    """
+
+    def __init__(self, capacity: int = 16, stripes: int = 8,
+                 name: str = "shared"):
+        if capacity < 1:
+            raise CodecError("shared cache capacity must be >= 1")
+        if stripes < 1:
+            raise CodecError("shared cache needs at least one stripe")
+        self.name = name
+        self.capacity = capacity
+        self._per_stripe = -(-capacity // stripes)  # ceil
+        self._stripes: List[_Stripe] = [_Stripe()
+                                        for _ in range(min(stripes, capacity))]
+
+    def get_or_build(self, array: np.ndarray,
+                     build: Callable[[np.ndarray], object]
+                     ) -> Tuple[object, bool]:
+        """The cached value for ``array``, building it on a miss.
+
+        Returns ``(value, hit)`` so callers can keep their own counters
+        (the :class:`~repro.codec.fastme.FastSadEngine` contract).
+        """
+        key = id(array)
+        stripe = self._stripes[key % len(self._stripes)]
+        with stripe.lock:
+            entry = stripe.entries.get(key)
+            if entry is not None and entry[0] is array:
+                stripe.entries.move_to_end(key)
+                stripe.hits += 1
+                return entry[1], True
+        value = build(array)          # deliberately outside the lock
+        with stripe.lock:
+            stripe.builds += 1
+            stripe.entries[key] = (array, value)
+            stripe.entries.move_to_end(key)
+            while len(stripe.entries) > self._per_stripe:
+                stripe.entries.popitem(last=False)
+                stripe.evictions += 1
+        return value, False
+
+    def __len__(self) -> int:
+        return sum(len(stripe.entries) for stripe in self._stripes)
+
+    def stats(self) -> Dict[str, object]:
+        """Summed per-stripe counters plus the current occupancy."""
+        hits = sum(stripe.hits for stripe in self._stripes)
+        builds = sum(stripe.builds for stripe in self._stripes)
+        lookups = hits + builds
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "stripes": len(self._stripes),
+            "entries": len(self),
+            "hits": hits,
+            "builds": builds,
+            "evictions": sum(stripe.evictions for stripe in self._stripes),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and zero every counter (all stripes)."""
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.entries.clear()
+                stripe.hits = stripe.builds = stripe.evictions = 0

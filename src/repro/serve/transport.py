@@ -1,0 +1,365 @@
+"""TCP/JSON-lines transport for the streaming codec service.
+
+One request per line, one JSON object per request, in both directions —
+the lowest-dependency wire format the standard library can serve
+(``asyncio.start_server``) and any language can speak.  The server is a
+thin shell over :class:`~repro.serve.service.CodecService`: each request
+maps onto one session-API call executed in the event loop's thread pool,
+so the asyncio side stays responsive while segments grind in the worker
+pool.
+
+Request grammar (all ops)::
+
+    {"op": "open",    "config": {...StreamConfig fields...}}
+    {"op": "submit",  "stream": "s0000", "frames": [<frame>...]}   encode
+    {"op": "submit",  "stream": "s0000", "payload": "<base64>"}    decode
+    {"op": "collect", "stream": "s0000", "timeout": 5.0}
+    {"op": "close",   "stream": "s0000"}
+    {"op": "abort",   "stream": "s0000"}
+    {"op": "stats"}
+
+where ``<frame>`` is ``{"width": W, "height": H, "data": "<base64>"}``
+with ``data`` the planar YUV 4:2:0 bytes (Y then U then V, the same
+layout ``python -m repro encode`` reads from disk).  Responses are
+``{"ok": true, ...}`` or ``{"ok": false, "code": "REPRO-SRV-...",
+"error": "..."}`` — the ``code`` is the stable
+:mod:`repro.errors` identifier, so clients branch on it, not on prose.
+
+Failure semantics the tests pin down:
+
+* malformed requests (bad JSON, unknown op, missing field) get a
+  ``REPRO-SRV-PROTOCOL`` response and the connection stays up;
+* a line over the 32 MiB limit closes the connection (there is no way
+  to resynchronise a JSON-lines stream mid-line);
+* a client disconnect aborts every stream that connection opened and
+  never collected a close for — worker state is not leaked;
+* a deterministic ``disconnect`` fault clause (:mod:`repro.faults`)
+  drops the connection *before* the response is written, which is how
+  the chaos tests exercise that cleanup path.
+
+:class:`ServiceClient` is the blocking counterpart (plain socket), used
+by ``python -m repro client`` and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import socket
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import faults
+from repro.codec.frame import YuvFrame
+from repro.errors import (
+    BackpressureReject,
+    ReproError,
+    SegmentFailed,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailable,
+    StreamClosed,
+    StreamUnknown,
+)
+from repro.serve.service import (
+    CodecService,
+    DECODE,
+    ENCODE,
+    SegmentResult,
+    StreamConfig,
+)
+
+#: one JSON line must fit a whole segment of base64 frames (a QCIF frame
+#: is ~50 KB of base64; 32 MiB leaves room for ~600-frame segments)
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: client-visible service errors, by wire code (for re-raising client-side)
+_CODE_TO_ERROR = {
+    cls.code: cls
+    for cls in (ServiceError, StreamUnknown, StreamClosed,
+                BackpressureReject, SegmentFailed, ServiceProtocolError,
+                ServiceUnavailable)
+}
+
+
+# -- wire encoding ------------------------------------------------------------
+
+def frame_to_wire(frame: YuvFrame) -> Dict[str, object]:
+    """One frame as its JSON-safe wire form (planar YUV420, base64)."""
+    raw = frame.y.tobytes() + frame.u.tobytes() + frame.v.tobytes()
+    return {"width": frame.width, "height": frame.height,
+            "data": base64.b64encode(raw).decode("ascii")}
+
+
+def wire_to_frame(data: Dict[str, object]) -> YuvFrame:
+    """Parse one wire frame; raises ServiceProtocolError on bad shape."""
+    try:
+        width, height = int(data["width"]), int(data["height"])
+        raw = base64.b64decode(data["data"], validate=True)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"bad frame object: {exc}") from exc
+    y_size = width * height
+    c_size = (width // 2) * (height // 2)
+    if len(raw) != y_size + 2 * c_size:
+        raise ServiceProtocolError(
+            f"frame data is {len(raw)} bytes; {width}x{height} planar "
+            f"YUV420 needs {y_size + 2 * c_size}")
+    buffer = np.frombuffer(raw, dtype=np.uint8)
+    return YuvFrame(
+        y=buffer[:y_size].reshape(height, width).copy(),
+        u=buffer[y_size:y_size + c_size]
+        .reshape(height // 2, width // 2).copy(),
+        v=buffer[y_size + c_size:]
+        .reshape(height // 2, width // 2).copy(),
+    )
+
+
+def _result_to_wire(result: SegmentResult) -> Dict[str, object]:
+    return result.to_dict()
+
+
+# -- server -------------------------------------------------------------------
+
+class ServiceServer:
+    """Asyncio JSON-lines front end over one :class:`CodecService`."""
+
+    def __init__(self, service: CodecService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        owned: set = set()     # streams this connection opened, not yet closed
+        requests = 0
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # past the line limit the stream cannot be re-framed
+                    break
+                if not line:
+                    break
+                requests += 1
+                response, stream_id = await asyncio.to_thread(
+                    self._dispatch, line, owned)
+                if stream_id is not None and faults.should_disconnect(
+                        stream_id, requests):
+                    break      # injected disconnect: drop before replying
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for stream_id in owned:
+                try:
+                    await asyncio.to_thread(self.service.abort_stream,
+                                            stream_id)
+                except ReproError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- request handling (runs in the thread pool) ---------------------------
+    def _dispatch(self, line: bytes,
+                  owned: set) -> Tuple[Dict[str, object], Optional[str]]:
+        stream_id: Optional[str] = None
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ServiceProtocolError(
+                    f"request is not valid JSON: {exc}") from exc
+            if not isinstance(request, dict) or "op" not in request:
+                raise ServiceProtocolError(
+                    "a request is a JSON object with an 'op' field")
+            op = request["op"]
+            stream_id = request.get("stream")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise ServiceProtocolError(f"unknown op {op!r}")
+            response = handler(request, owned)
+            response["ok"] = True
+            return response, stream_id
+        except ReproError as exc:
+            return {"ok": False, "code": exc.code, "error": str(exc),
+                    "hint": exc.hint}, stream_id
+
+    @staticmethod
+    def _required(request: Dict[str, object], field: str) -> object:
+        if field not in request:
+            raise ServiceProtocolError(
+                f"op {request.get('op')!r} needs a {field!r} field")
+        return request[field]
+
+    def _op_open(self, request, owned) -> Dict[str, object]:
+        config = request.get("config") or {}
+        if not isinstance(config, dict):
+            raise ServiceProtocolError("'config' must be a JSON object")
+        stream_id = self.service.open_stream(StreamConfig.from_dict(config))
+        owned.add(stream_id)
+        return {"stream": stream_id}
+
+    def _op_submit(self, request, owned) -> Dict[str, object]:
+        stream_id = self._required(request, "stream")
+        if "frames" in request:
+            payload: object = [wire_to_frame(item)
+                               for item in request["frames"]]
+        elif "payload" in request:
+            try:
+                payload = base64.b64decode(request["payload"],
+                                           validate=True)
+            except (TypeError, ValueError) as exc:
+                raise ServiceProtocolError(
+                    f"'payload' is not valid base64: {exc}") from exc
+        else:
+            raise ServiceProtocolError(
+                "submit needs 'frames' (encode) or 'payload' (decode)")
+        index = self.service.submit_segment(stream_id, payload)
+        return {"stream": stream_id, "segment": index}
+
+    def _op_collect(self, request, owned) -> Dict[str, object]:
+        stream_id = self._required(request, "stream")
+        timeout = request.get("timeout")
+        results = self.service.collect(
+            stream_id, None if timeout is None else float(timeout))
+        return {"stream": stream_id,
+                "results": [_result_to_wire(r) for r in results]}
+
+    def _op_close(self, request, owned) -> Dict[str, object]:
+        stream_id = self._required(request, "stream")
+        summary = self.service.close_stream(stream_id)
+        owned.discard(stream_id)
+        data = summary.to_dict()
+        data["payload"] = base64.b64encode(summary.payload).decode("ascii")
+        return {"summary": data}
+
+    def _op_abort(self, request, owned) -> Dict[str, object]:
+        stream_id = self._required(request, "stream")
+        self.service.abort_stream(stream_id)
+        owned.discard(stream_id)
+        return {"stream": stream_id}
+
+    def _op_stats(self, request, owned) -> Dict[str, object]:
+        return {"stats": self.service.stats()}
+
+
+async def run_server(service: CodecService, host: str, port: int,
+                     ready=None) -> None:
+    """Serve until cancelled; ``ready`` (if given) receives (host, port)."""
+    server = ServiceServer(service, host, port)
+    bound = await server.start()
+    if ready is not None:
+        ready(bound)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+# -- blocking client ----------------------------------------------------------
+
+class ServiceClient:
+    """Blocking JSON-lines client (``python -m repro client``, tests).
+
+    Mirrors the in-process session API; server-side failures re-raise as
+    the matching :mod:`repro.errors` class, mapped from the wire code.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 120.0):
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, request: Dict[str, object]) -> Dict[str, object]:
+        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceUnavailable(
+                "the server closed the connection mid-request")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = _CODE_TO_ERROR.get(response.get("code"), ServiceError)
+            raise error(response.get("error", "request failed"))
+        return response
+
+    # -- session API ----------------------------------------------------------
+    def open_stream(self, config: Optional[StreamConfig] = None) -> str:
+        request: Dict[str, object] = {"op": "open"}
+        if config is not None:
+            request["config"] = config.to_dict()
+        return self._request(request)["stream"]
+
+    def submit_segment(self, stream_id: str, payload) -> int:
+        request: Dict[str, object] = {"op": "submit", "stream": stream_id}
+        if isinstance(payload, (bytes, bytearray)):
+            request["payload"] = base64.b64encode(
+                bytes(payload)).decode("ascii")
+        else:
+            request["frames"] = [frame_to_wire(frame) for frame in payload]
+        return self._request(request)["segment"]
+
+    def collect(self, stream_id: str,
+                timeout: Optional[float] = None) -> List[SegmentResult]:
+        request: Dict[str, object] = {"op": "collect", "stream": stream_id}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return [SegmentResult.from_dict(item)
+                for item in self._request(request)["results"]]
+
+    def close_stream(self, stream_id: str) -> Dict[str, object]:
+        summary = self._request({"op": "close",
+                                 "stream": stream_id})["summary"]
+        summary["payload"] = base64.b64decode(summary["payload"])
+        summary["uncollected"] = [SegmentResult.from_dict(item)
+                                  for item in summary["uncollected"]]
+        return summary
+
+    def abort_stream(self, stream_id: str) -> None:
+        self._request({"op": "abort", "stream": stream_id})
+
+    def stats(self) -> Dict[str, object]:
+        return self._request({"op": "stats"})["stats"]

@@ -1,0 +1,57 @@
+"""``docs/CLI.md`` must track the argparse tree, byte for byte.
+
+The reference is generated (:mod:`repro.clidoc`), so the only way it can
+be wrong is by not being regenerated after a CLI change — which is
+exactly what these tests catch: the committed file must equal a fresh
+rendering, and the rendering itself must be deterministic and complete
+(every subcommand, every flag).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import build_parser
+from repro.clidoc import render_cli_markdown
+
+DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "CLI.md"
+
+
+def test_committed_cli_doc_matches_the_argparse_tree():
+    rendered = render_cli_markdown(build_parser())
+    committed = DOC.read_text(encoding="utf-8")
+    assert committed == rendered, (
+        "docs/CLI.md is stale — regenerate it with "
+        "'PYTHONPATH=src python -m repro cli-docs'")
+
+
+def test_rendering_is_deterministic():
+    assert render_cli_markdown(build_parser()) == \
+        render_cli_markdown(build_parser())
+
+
+def test_every_subcommand_and_flag_is_documented():
+    rendered = render_cli_markdown(build_parser())
+    parser = build_parser()
+    sub = next(action for action in parser._actions
+               if hasattr(action, "choices") and action.choices)
+    for name, choice in sub.choices.items():
+        assert f"## `repro {name}`" in rendered, name
+        for action in choice._actions:
+            for flag in action.option_strings:
+                if flag in ("-h", "--help"):
+                    continue
+                assert f"`{flag}`" in rendered, (name, flag)
+
+
+def test_generated_header_warns_against_hand_edits():
+    assert "GENERATED FILE" in DOC.read_text(encoding="utf-8")
+
+
+def test_check_mode_detects_drift(tmp_path, capsys):
+    from repro.__main__ import main
+    stale = tmp_path / "CLI.md"
+    stale.write_text("stale\n", encoding="utf-8")
+    assert main(["cli-docs", "--check", "--output", str(stale)]) == 1
+    assert main(["cli-docs", "--output", str(stale)]) == 0
+    assert main(["cli-docs", "--check", "--output", str(stale)]) == 0

@@ -1,0 +1,491 @@
+"""The concurrent streaming codec service, pinned by its differential.
+
+The load-bearing guarantee: a stream fed through the service **in
+segments, interleaved with other streams, on a worker pool** produces a
+bitstream *byte-identical* to a one-shot ``Mpeg4Encoder.encode`` of the
+same frames — clean and under injected worker faults survived by the
+retry budget.  Around it:
+
+* the lock-striped shared cache (capacity bound, counters, identity
+  keying) and the ``fastme`` engine's new ``cache_stats``/``clear``;
+* backpressure: submits over ``max_pending`` are shed with
+  ``REPRO-SRV-BACKPRESSURE`` and service memory stays bounded when a
+  client stops collecting;
+* decode streams: malformed segments are concealed (health events),
+  never fatal to the stream or the pool;
+* failed segments: exhausting the retry budget yields a structured
+  ``REPRO-SRV-SEGMENT`` result, poisons only that stream, and leaves
+  sibling streams' bitstreams untouched;
+* the TCP/JSON-lines transport: round trip, protocol errors, stable
+  error codes over the wire, and disconnect-fault cleanup (a dropped
+  connection aborts its streams — no worker-state leak).
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.codec import (
+    EncoderConfig,
+    Mpeg4Encoder,
+    SyntheticSequenceConfig,
+    synthetic_sequence,
+)
+from repro.codec.fastme import FastSadEngine
+from repro.errors import (
+    BackpressureReject,
+    SegmentFailed,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailable,
+    StreamClosed,
+    StreamUnknown,
+)
+from repro.serve import (
+    CodecService,
+    ServiceClient,
+    ServiceServer,
+    SharedArrayCache,
+    StreamConfig,
+    wire_to_frame,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _frames(count, seed=2002):
+    """A tiny (64x48) sequence so per-test encodes stay fast."""
+    return synthetic_sequence(SyntheticSequenceConfig(
+        width=64, height=48, frames=count, seed=seed))
+
+
+def _one_shot(frames, **knobs):
+    return Mpeg4Encoder(EncoderConfig(**knobs)).encode(frames).serialize()
+
+
+def _drain(service, stream, want, timeout=30.0):
+    results = []
+    while len(results) < want:
+        batch = service.collect(stream, timeout=timeout)
+        assert batch, f"no result within {timeout}s ({len(results)}/{want})"
+        results.extend(batch)
+    return results
+
+
+class TestSharedArrayCache:
+    def test_identity_keyed_hit_and_counters(self):
+        cache = SharedArrayCache(capacity=4, stripes=2)
+        array = np.arange(8)
+        value, hit = cache.get_or_build(array, lambda a: a.sum())
+        again, hit2 = cache.get_or_build(array, lambda a: pytest.fail(
+            "a hit must not rebuild"))
+        assert (value, hit, again, hit2) == (28, False, 28, True)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["builds"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_capacity_bound_holds_under_any_key_distribution(self):
+        cache = SharedArrayCache(capacity=4, stripes=3)
+        arrays = [np.full(4, i) for i in range(40)]
+        for array in arrays:
+            cache.get_or_build(array, lambda a: None)
+        # ceil(4/3)=2 per stripe, 3 stripes -> at most 6 live entries
+        assert len(cache) <= 6
+        assert cache.stats()["evictions"] >= 34
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = SharedArrayCache(capacity=4)
+        cache.get_or_build(np.arange(3), lambda a: 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["builds"] == 0
+
+    def test_validates_construction(self):
+        with pytest.raises(Exception):
+            SharedArrayCache(capacity=0)
+
+
+class TestEngineCacheStats:
+    def test_stats_and_clear(self):
+        engine = FastSadEngine()
+        reference = np.zeros((48, 64), dtype=np.uint8)
+        engine.planes(reference)
+        engine.planes(reference)
+        stats = engine.cache_stats()
+        assert stats["plane_builds"] == 1 and stats["plane_hits"] == 1
+        assert stats["plane_hit_rate"] == 0.5
+        assert stats["plane_entries"] == 1
+        engine.clear()
+        stats = engine.cache_stats()
+        assert stats["plane_builds"] == 0 and stats["plane_entries"] == 0
+
+    def test_shared_backend_view(self):
+        shared = SharedArrayCache(capacity=4, name="planes")
+        engine = FastSadEngine(plane_cache=shared)
+        reference = np.zeros((48, 64), dtype=np.uint8)
+        engine.planes(reference)
+        engine.planes(reference)
+        stats = engine.cache_stats()
+        assert stats["shared_planes"]["hits"] == 1
+        assert stats["plane_hits"] == 1   # local counters still tally
+
+    def test_two_engines_share_one_pool(self):
+        shared = SharedArrayCache(capacity=4, name="planes")
+        reference = np.zeros((48, 64), dtype=np.uint8)
+        first = FastSadEngine(plane_cache=shared)
+        second = FastSadEngine(plane_cache=shared)
+        first.planes(reference)
+        second.planes(reference)   # other engine, same array: a hit
+        assert shared.stats() == pytest.approx(
+            {**shared.stats(), "hits": 1, "builds": 1})
+
+
+class TestSegmentedEncoder:
+    @pytest.mark.parametrize("gop,resync", [(0, 0), (3, 2)])
+    def test_segments_are_byte_identical_to_one_shot(self, gop, resync):
+        frames = _frames(7)
+        reference = _one_shot(frames, qp=10, gop_size=gop,
+                              resync_every=resync)
+        encoder = Mpeg4Encoder(EncoderConfig(qp=10, gop_size=gop,
+                                             resync_every=resync))
+        report = None
+        for cut in ((0, 1), (1, 4), (4, 7)):      # ragged segmentation
+            report = encoder.encode_segment(frames[cut[0]:cut[1]], report)
+        assert report.serialize() == reference
+
+    def test_empty_first_segment_is_an_error(self):
+        encoder = Mpeg4Encoder()
+        with pytest.raises(Exception):
+            encoder.encode_segment([])
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+class TestServiceDifferential:
+    def test_interleaved_streams_match_sequential_encodes(self, workers):
+        streams = {
+            "a": (_frames(5, seed=1), dict(qp=10, gop_size=3,
+                                           resync_every=1)),
+            "b": (_frames(5, seed=2), dict(qp=14, gop_size=0,
+                                           resync_every=0)),
+            "c": (_frames(5, seed=3), dict(qp=8, gop_size=2,
+                                           resync_every=2)),
+        }
+        references = {name: _one_shot(frames, **knobs)
+                      for name, (frames, knobs) in streams.items()}
+        with CodecService(workers=workers, max_pending=8) as service:
+            ids = {name: service.open_stream(StreamConfig(
+                kind="encode", **knobs))
+                for name, (_, knobs) in streams.items()}
+            # interleave: submit segment i of every stream before i+1
+            for start in range(0, 5, 2):
+                for name, (frames, _) in streams.items():
+                    service.submit_segment(ids[name],
+                                           frames[start:start + 2])
+            for name in streams:
+                results = _drain(service, ids[name], 3)
+                assert all(result.ok for result in results)
+                summary = service.close_stream(ids[name])
+                assert summary.payload == references[name], name
+                assert summary.frames == 5
+
+    def test_identical_under_injected_worker_faults(self, workers):
+        frames = _frames(4, seed=5)
+        reference = _one_shot(frames, qp=10, resync_every=1)
+        # every stream's first attempt raises; the retry budget absorbs it
+        faults.install("seed=7;raise:*:times=1;latency:*:delay=0.01")
+        with CodecService(workers=workers, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(
+                kind="encode", qp=10, resync_every=1, max_retries=2))
+            for start in range(0, 4, 2):
+                service.submit_segment(stream, frames[start:start + 2])
+            results = _drain(service, stream, 2)
+            assert all(result.ok for result in results)
+            assert results[0].attempts == 2     # the injected retry
+            assert service.close_stream(stream).payload == reference
+
+    def test_failed_segment_poisons_only_its_stream(self, workers):
+        frames = _frames(4, seed=6)
+        reference = _one_shot(frames, qp=10)
+        with CodecService(workers=workers, max_pending=8) as service:
+            healthy = service.open_stream(StreamConfig(kind="encode",
+                                                       qp=10))
+            doomed = service.open_stream(StreamConfig(
+                kind="encode", qp=10, max_retries=1))
+            # exceed doomed's retry budget, leave the sibling untouched
+            faults.install(f"raise:{doomed}:times=5")
+            service.submit_segment(doomed, frames[:2])
+            failed = _drain(service, doomed, 1)[0]
+            assert not failed.ok
+            assert failed.error_code == SegmentFailed.code
+            assert failed.attempts == 2         # 1 try + max_retries=1
+            with pytest.raises(SegmentFailed):
+                service.submit_segment(doomed, frames[2:])
+            service.abort_stream(doomed)
+            for start in range(0, 4, 2):
+                service.submit_segment(healthy, frames[start:start + 2])
+            _drain(service, healthy, 2)
+            assert service.close_stream(healthy).payload == reference
+
+
+class TestBackpressure:
+    def test_submit_over_the_bound_is_shed(self):
+        frames = _frames(4)
+        with CodecService(workers=0, max_pending=2) as service:
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            service.submit_segment(stream, frames[:1])
+            service.submit_segment(stream, frames[1:2])
+            with pytest.raises(BackpressureReject) as exc_info:
+                service.submit_segment(stream, frames[2:3])
+            assert exc_info.value.code == "REPRO-SRV-BACKPRESSURE"
+            # the rejected segment was NOT enqueued...
+            assert service.stats()["streams"][stream]["pending"] == 2
+            assert service.stats()["streams"][stream]["rejects"] == 1
+            # ...and collecting reopens the window for the same segment
+            service.collect(stream)
+            index = service.submit_segment(stream, frames[2:3])
+            assert index == 2
+
+    def test_memory_stays_bounded_when_the_client_stops_collecting(self):
+        frames = _frames(1)
+        with CodecService(workers=0, max_pending=3) as service:
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            accepted = rejected = 0
+            for _ in range(20):                 # a client that never collects
+                try:
+                    service.submit_segment(stream, frames)
+                    accepted += 1
+                except BackpressureReject:
+                    rejected += 1
+            assert accepted == 3 and rejected == 17
+            state = service.stats()["streams"][stream]
+            assert state["pending"] == 3        # bounded, not 20
+            # the uncollected results ride along on close, none lost
+            summary = service.close_stream(stream)
+            assert len(summary.uncollected) == 3
+
+    def test_slowclient_fault_delays_collect(self):
+        faults.install("slowclient:*:times=1:delay=0.05")
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            import time
+            started = time.perf_counter()
+            service.collect(stream)
+            assert time.perf_counter() - started >= 0.05
+
+
+class TestDecodeStreams:
+    def test_malformed_segments_are_concealed_not_fatal(self):
+        frames = _frames(3)
+        payload = _one_shot(frames, qp=10, resync_every=1)
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(kind="decode"))
+            service.submit_segment(stream, payload)
+            service.submit_segment(stream, payload[:len(payload) // 2])
+            service.submit_segment(stream, b"\x00" * 40)
+            results = _drain(service, stream, 3)
+            assert [result.ok for result in results] == [True] * 3
+            assert results[0].mbs_concealed == 0
+            assert results[1].mbs_concealed > 0   # truncation concealed
+            summary = service.close_stream(stream)
+            assert summary.health["mbs_concealed"] > 0
+            # the pool survived: a fresh stream still works
+            fresh = service.open_stream(StreamConfig(kind="decode"))
+            service.submit_segment(fresh, payload)
+            assert _drain(service, fresh, 1)[0].ok
+            service.abort_stream(fresh)
+
+    def test_wrong_payload_type_is_a_structured_failure(self):
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(kind="decode"))
+            service.submit_segment(stream, _frames(1))   # frames, not bytes
+            result = _drain(service, stream, 1)[0]
+            assert not result.ok and result.error_code
+
+
+class TestSessionApi:
+    def test_unknown_and_closed_stream_codes(self):
+        with CodecService(workers=0) as service:
+            with pytest.raises(StreamUnknown):
+                service.submit_segment("nope", _frames(1))
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            service.submit_segment(stream, _frames(1))
+            service.collect(stream, timeout=10)
+            service.close_stream(stream)
+            with pytest.raises(StreamUnknown):
+                service.collect(stream)
+
+    def test_submit_after_close_is_rejected(self):
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            state = service._streams[stream]
+            state.closing = True
+            with pytest.raises(StreamClosed):
+                service.submit_segment(stream, _frames(1))
+
+    def test_shutdown_rejects_new_work(self):
+        service = CodecService(workers=0)
+        service.shutdown()
+        with pytest.raises(ServiceUnavailable):
+            service.open_stream(StreamConfig())
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            StreamConfig(kind="transcode")
+        with pytest.raises(ServiceError):
+            StreamConfig.from_dict({"kind": "encode", "bogus": 1})
+        with pytest.raises(ServiceError):
+            CodecService(workers=0, max_pending=0)
+
+    def test_close_summary_reports_shared_cache_stats(self):
+        frames = _frames(3)
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(kind="encode"))
+            service.submit_segment(stream, frames)
+            _drain(service, stream, 1)
+            summary = service.close_stream(stream)
+            shared = summary.cache["shared_planes"]
+            assert shared["builds"] >= 1
+            assert 0.0 <= shared["hit_rate"] <= 1.0
+            assert "hit_rate" in service.stats()["totals"]["cache"]["planes"]
+
+
+class _ServerHarness:
+    """One event-loop thread hosting a ServiceServer for client tests."""
+
+    def __init__(self, service):
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self.server = ServiceServer(service, "127.0.0.1", 0)
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            ready.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert ready.wait(10)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.service.shutdown()
+
+
+@pytest.fixture()
+def harness():
+    harness = _ServerHarness(CodecService(workers=0, max_pending=4))
+    yield harness
+    harness.stop()
+
+
+class TestTransport:
+    def test_round_trip_matches_one_shot(self, harness):
+        frames = _frames(4, seed=9)
+        reference = _one_shot(frames, qp=10, resync_every=1)
+        with ServiceClient(port=harness.port) as client:
+            stream = client.open_stream(StreamConfig(
+                kind="encode", qp=10, resync_every=1, verify_decode=True))
+            for start in range(0, 4, 2):
+                client.submit_segment(stream, frames[start:start + 2])
+            results = []
+            while len(results) < 2:
+                results.extend(client.collect(stream, timeout=10))
+            assert all(result.ok for result in results)
+            summary = client.close_stream(stream)
+            assert summary["payload"] == reference
+            assert summary["health"]["mbs_concealed"] == 0
+            assert client.stats()["totals"]["streams_open"] == 0
+
+    def test_wire_frame_round_trip_and_validation(self):
+        from repro.serve import frame_to_wire
+        frame = _frames(1)[0]
+        back = wire_to_frame(frame_to_wire(frame))
+        assert np.array_equal(back.y, frame.y)
+        assert np.array_equal(back.v, frame.v)
+        with pytest.raises(ServiceProtocolError):
+            wire_to_frame({"width": 64, "height": 48, "data": "AAAA"})
+        with pytest.raises(ServiceProtocolError):
+            wire_to_frame({"width": 64})
+
+    def test_protocol_errors_keep_the_connection_alive(self, harness):
+        with socket.create_connection(("127.0.0.1", harness.port),
+                                      timeout=10) as raw:
+            handle = raw.makefile("rwb")
+            for line, expect in [
+                    (b"this is not json\n", "REPRO-SRV-PROTOCOL"),
+                    (b'{"op": "nonsense"}\n', "REPRO-SRV-PROTOCOL"),
+                    (b'{"op": "submit"}\n', "REPRO-SRV-PROTOCOL"),
+                    (b'{"op": "collect", "stream": "ghost"}\n',
+                     "REPRO-SRV-UNKNOWN"),
+            ]:
+                handle.write(line)
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response == {**response, "ok": False, "code": expect}
+            # after all that abuse the connection still serves good requests
+            handle.write(b'{"op": "stats"}\n')
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_backpressure_code_crosses_the_wire(self, harness):
+        frames = _frames(1)
+        with ServiceClient(port=harness.port) as client:
+            stream = client.open_stream(StreamConfig(kind="encode"))
+            for _ in range(4):
+                client.submit_segment(stream, frames)
+            with pytest.raises(BackpressureReject):
+                client.submit_segment(stream, frames)
+
+    def test_disconnect_fault_aborts_the_connections_streams(self, harness):
+        frames = _frames(1)
+        with ServiceClient(port=harness.port) as client:
+            stream = client.open_stream(StreamConfig(kind="encode"))
+            client.submit_segment(stream, frames)
+            # drop the connection before the next response is written
+            # (p=1 fires on every consult regardless of the request count)
+            faults.install(f"disconnect:{stream}:p=1")
+            with pytest.raises(ServiceUnavailable):
+                client.collect(stream)
+        faults.clear()
+        # the dropped connection's stream was aborted server-side
+        deadline = 50
+        with ServiceClient(port=harness.port) as client:
+            for _ in range(deadline):
+                if client.stats()["totals"]["streams_open"] == 0:
+                    break
+                import time
+                time.sleep(0.1)
+            assert client.stats()["totals"]["streams_open"] == 0
+
+    def test_client_disconnect_without_close_aborts_streams(self, harness):
+        frames = _frames(1)
+        client = ServiceClient(port=harness.port)
+        stream = client.open_stream(StreamConfig(kind="encode"))
+        client.submit_segment(stream, frames)
+        client.close()          # vanish without closing the stream
+        import time
+        with ServiceClient(port=harness.port) as probe:
+            for _ in range(50):
+                if probe.stats()["totals"]["streams_open"] == 0:
+                    break
+                time.sleep(0.1)
+            assert probe.stats()["totals"]["streams_open"] == 0
