@@ -1,0 +1,77 @@
+"""Cross-PR perf trajectory: append benchmark rows to ``BENCH_sweep.json``.
+
+Every gate-bearing benchmark (``bench_sweep.py``, ``bench_serving.py``)
+records one row per run into a repo-root artifact so perf history is
+trackable across PRs (CI uploads the file).  A row carries the bench
+name, the measured wall times, the gate values it was judged against,
+and the git sha it measured — enough to plot a trajectory without
+re-running anything.
+
+The file is a JSON object ``{"schema": 1, "rows": [...]}``; rows append
+in run order and the write is atomic (tmp + rename), so a crashed bench
+never leaves a half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import time
+from typing import Dict, Optional
+
+#: repo root = parent of benchmarks/
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ARTIFACT = "BENCH_sweep.json"
+
+SCHEMA = 1
+
+
+def _git_sha(root: pathlib.Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, capture_output=True,
+            text=True, timeout=10, check=False)
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def record_trajectory(bench: str, *, wall_s: Dict[str, float],
+                      gates: Dict[str, object],
+                      extra: Optional[Dict[str, object]] = None,
+                      path: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Append one benchmark row; returns the artifact path.
+
+    ``wall_s`` maps phase name -> seconds; ``gates`` maps gate name ->
+    the value the gate saw (thresholds and measurements alike, so a row
+    is self-describing); ``extra`` rides along verbatim.
+    """
+    target = pathlib.Path(path) if path is not None \
+        else REPO_ROOT / ARTIFACT
+    doc = {"schema": SCHEMA, "rows": []}
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text(encoding="utf-8"))
+            if isinstance(loaded.get("rows"), list):
+                doc["rows"] = loaded["rows"]
+        except (json.JSONDecodeError, OSError):
+            pass   # a corrupt artifact restarts the trajectory
+    row = {
+        "bench": bench,
+        "git_sha": _git_sha(target.parent),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "wall_s": {name: round(float(value), 4)
+                   for name, value in wall_s.items()},
+        "gates": gates,
+    }
+    if extra:
+        row["extra"] = extra
+    doc["rows"].append(row)
+    tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(target)
+    return target

@@ -49,6 +49,8 @@ from repro.codec import EncoderConfig, Mpeg4Encoder
 from repro.codec.sequence import SyntheticSequenceConfig, synthetic_sequence
 from repro.serve import CodecService, StreamConfig
 
+from _trajectory import record_trajectory
+
 DEFAULT_STREAMS = 4
 DEFAULT_FRAMES = 8
 DEFAULT_SEGMENT_FRAMES = 2
@@ -252,6 +254,23 @@ def main() -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2)
         print(f"  artifact: {args.json}")
+
+    trajectory = record_trajectory(
+        "bench_serving",
+        wall_s={"baseline": baseline_wall, "service": run["wall_s"]},
+        gates={
+            "min_scaling": args.min_scaling,
+            "min_1core_efficiency": args.min_1core_efficiency,
+            "scaling_gate_active": can_scale,
+            "scaling": scaling,
+            "p99_budget_s": args.p99_budget,
+            "latency_p99_s": p99,
+            "shared_plane_hit_rate": hit_rate,
+            "passed": not failures,
+        },
+        extra={"streams": args.streams, "frames": args.frames,
+               "workers": args.workers, "cores": cores})
+    print(f"  trajectory: {trajectory}")
 
     if failures:
         for failure in failures:

@@ -8,7 +8,7 @@ Standalone usage (the acceptance smoke of the sweep work; CI runs the
                                                     [--min-hit-rate 0.8]
                                                     [--max-overhead 0.05]
 
-The script runs the full experiment sweep four times against fresh
+The script runs the full experiment sweep five times against fresh
 temporary sweep directories:
 
 1. **cold** — empty cache: every cell executes (``--jobs`` of them
@@ -20,11 +20,15 @@ temporary sweep directories:
    the encode), one with the defaults and one with the resilience layer
    armed (a generous ``--cell-timeout`` plus the retry budget),
    measuring what the fault-tolerance machinery costs when nothing
-   fails.
+   fails;
+4. **warm-incremental** — a decoder-only touch in a copied tree, then
+   ``--incremental`` against the warm root: the import-graph keys must
+   invalidate **zero** cells and the re-sweep must finish within
+   ``--max-incremental-fraction`` of the cold wall.
 
 It then asserts, before reporting any timing:
 
-* all four reports are **byte-identical**;
+* all five reports are **byte-identical**;
 * the warm run's cache-hit rate is at least ``--min-hit-rate`` (default
   0.8, i.e. a warm rerun skips >= 80% of the runner work), verified from
   the ``cache_hit`` events in the JSONL run log, not just the summary;
@@ -33,24 +37,33 @@ It then asserts, before reporting any timing:
 * no cell failed in any run.
 
 Exit status is non-zero on any violation, so the script doubles as a CI
-gate.
+gate.  Every run appends its walls and gate values to the repo-root
+``BENCH_sweep.json`` trajectory (see :mod:`_trajectory`), which CI
+uploads so perf history is comparable across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 import tempfile
 import time
 from pathlib import Path
 
+import repro
 from repro.sweep import SweepConfig, read_events, run_sweep
+from repro.sweep.deps import reset_scan_cache
+
+from _trajectory import record_trajectory
 
 DEFAULT_FRAMES = 3
 DEFAULT_JOBS = 2
 DEFAULT_MIN_HIT_RATE = 0.8
 DEFAULT_MAX_OVERHEAD = 0.05
 DEFAULT_OVERHEAD_SLACK_S = 0.75
+DEFAULT_MAX_INCREMENTAL_FRACTION = 0.25
+DEFAULT_INCREMENTAL_SLACK_S = 0.25
 
 
 def main() -> int:
@@ -67,6 +80,14 @@ def main() -> int:
                         default=DEFAULT_OVERHEAD_SLACK_S,
                         help="absolute seconds of timer noise tolerated "
                              "on top of --max-overhead")
+    parser.add_argument("--max-incremental-fraction", type=float,
+                        default=DEFAULT_MAX_INCREMENTAL_FRACTION,
+                        help="warm-incremental wall-time ceiling as a "
+                             "fraction of the cold wall (0.25 = 25%%)")
+    parser.add_argument("--incremental-slack", type=float,
+                        default=DEFAULT_INCREMENTAL_SLACK_S,
+                        help="absolute seconds of timer noise tolerated "
+                             "on top of --max-incremental-fraction")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
@@ -92,6 +113,23 @@ def main() -> int:
                                       cell_timeout_s=600.0,
                                       max_retries=2))
         armed_s = time.perf_counter() - started
+        # warm-incremental: touch ONE module outside every cell's import
+        # closure (the decoder) in a copy of the tree, then re-sweep the
+        # warm root with --incremental semantics — nothing may
+        # re-execute and the wall must stay a small fraction of cold
+        code_copy = Path(tmp) / "touched" / "repro"
+        shutil.copytree(Path(repro.__file__).parent, code_copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        with open(code_copy / "codec" / "decoder.py", "a",
+                  encoding="utf-8") as handle:
+            handle.write("\n# bench: single-module touch\n")
+        reset_scan_cache()
+        started = time.perf_counter()
+        incremental = run_sweep(SweepConfig(
+            frames=args.frames, jobs=args.jobs, root=Path(tmp),
+            incremental=True, code_root=code_copy))
+        incremental_s = time.perf_counter() - started
+        reset_scan_cache()
 
         failures = []
         if cold.failures or warm.failures or plain.failures \
@@ -123,6 +161,23 @@ def main() -> int:
                 f"{overhead_budget_s:.2f}s budget (plain {plain_s:.2f}s "
                 f"x {1 + args.max_overhead:.2f} + {args.overhead_slack}s "
                 f"slack)")
+        reexecuted = read_events(incremental.run_log, "cell_start")
+        if reexecuted:
+            failures.append(
+                f"warm-incremental re-executed "
+                f"{sorted(e['cell'] for e in reexecuted)} after a "
+                f"decoder-only touch (expected nothing)")
+        if incremental.report != cold.report:
+            failures.append(
+                "warm-incremental report is not byte-identical to cold")
+        incremental_budget_s = cold_s * args.max_incremental_fraction \
+            + args.incremental_slack
+        if incremental_s > incremental_budget_s:
+            failures.append(
+                f"warm-incremental took {incremental_s:.2f}s, over the "
+                f"{incremental_budget_s:.2f}s budget (cold {cold_s:.2f}s "
+                f"x {args.max_incremental_fraction} + "
+                f"{args.incremental_slack}s slack)")
 
         print(f"sweep x{len(cold.cells)} cells, {args.frames} frames, "
               f"jobs={args.jobs}")
@@ -134,12 +189,33 @@ def main() -> int:
         print(f"  plain: {plain_s:6.2f}s  (cold cache, warm context)")
         print(f"  armed: {armed_s:6.2f}s  (timeouts+retries armed, "
               f"{100 * (armed_s / max(plain_s, 1e-9) - 1):+.1f}% vs plain)")
+        print(f"  incr:  {incremental_s:6.2f}s  (decoder-only touch, "
+              f"{len(reexecuted)} cells re-executed, "
+              f"{100 * incremental_s / max(cold_s, 1e-9):.0f}% of cold)")
+        artifact = record_trajectory(
+            "bench_sweep",
+            wall_s={"cold": cold_s, "warm": warm_s, "plain": plain_s,
+                    "armed": armed_s, "warm_incremental": incremental_s},
+            gates={
+                "min_hit_rate": args.min_hit_rate,
+                "warm_hit_rate": hit_rate,
+                "max_armed_overhead": args.max_overhead,
+                "armed_overhead": armed_s / max(plain_s, 1e-9) - 1.0,
+                "max_incremental_fraction": args.max_incremental_fraction,
+                "incremental_fraction":
+                    incremental_s / max(cold_s, 1e-9),
+                "incremental_reexecuted": len(reexecuted),
+                "passed": not failures,
+            },
+            extra={"frames": args.frames, "jobs": args.jobs,
+                   "cells": len(cold.cells)})
+        print(f"  trajectory: {artifact}")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print("OK: byte-identical reports, cache gate and resilience "
-              "overhead gate passed")
+        print("OK: byte-identical reports, cache, resilience-overhead "
+              "and warm-incremental gates passed")
         return 0
 
 

@@ -7,9 +7,15 @@ Commands:
   tolerant sweep orchestrator (``--jobs``, ``--only``, ``--no-cache``;
   resilience knobs ``--cell-timeout``, ``--max-retries``,
   ``--retry-backoff``, ``--max-pool-deaths``; chaos/verification hooks
-  ``--inject-faults``, ``--verify-replay``; run logs and
-  ``sweep_report.json`` land under ``--sweep-dir``, default
-  ``.repro-sweep/``);
+  ``--inject-faults``, ``--verify-replay``; ``--incremental`` re-executes
+  only cells whose import-closure fingerprint changed; ``--distributed
+  HOST:PORT`` runs the misses on the multi-host work-stealing fleet,
+  optionally self-hosting ``--spawn-workers N``; run logs,
+  ``sweep_report.json`` and the ``sweep_timing.json`` sidecar land under
+  ``--sweep-dir``, default ``.repro-sweep/``);
+* ``sweep-worker`` — join a ``sweep --distributed`` coordinator
+  (``--connect HOST:PORT``) and execute leased cells until the sweep
+  drains;
 * ``encode``   — run the MPEG4-SP encoder substrate and print statistics;
 * ``decode``   — encode → serialize → decode round trip (on a raw YUV420
   file or the synthetic sequence), reporting stream size, per-frame PSNR
@@ -110,6 +116,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_pool_deaths=args.max_pool_deaths,
         verify_replay_pct=args.verify_replay or 0.0,
         fault_spec=args.inject_faults,
+        incremental=args.incremental,
+        distributed=args.distributed,
+        spawn_workers=args.spawn_workers,
+        worker_wait_s=args.worker_wait,
     )
     progress = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
@@ -142,6 +152,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{cell.error.strip().splitlines()[-1]}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.sweep.distributed import parse_bind, run_worker
+    host, port = parse_bind(args.connect)
+    return run_worker(host, port, label=args.label, reconnects=args.reconnects,
+                      out=lambda message: print(message, file=sys.stderr,
+                                                flush=True))
 
 
 def _cmd_encode(args: argparse.Namespace) -> int:
@@ -624,7 +642,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "'kill:table3;latency:table5:delay=30' (also "
                             "via the REPRO_FAULTS env var); see "
                             "repro.faults for the grammar")
+    sweep.add_argument("--incremental", action="store_true",
+                       help="diff per-cell code fingerprints against the "
+                            "previous sweep_report.json and re-execute "
+                            "only invalidated cells (requires the cache; "
+                            "the full report is still written, byte-"
+                            "identical to a cold sweep)")
+    sweep.add_argument("--distributed", default=None, metavar="HOST:PORT",
+                       help="bind the multi-host work-stealing "
+                            "coordinator here and run cache misses on "
+                            "joined sweep-worker processes instead of "
+                            "the local pool")
+    sweep.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                       help="with --distributed: also spawn N local "
+                            "worker subprocesses (their logs land under "
+                            "<sweep-dir>/runs/)")
+    sweep.add_argument("--worker-wait", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="with --distributed: how long the "
+                            "coordinator waits for a first or "
+                            "replacement worker before degrading to "
+                            "serial execution (default 30)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    worker = sub.add_parser(
+        "sweep-worker",
+        help="join a 'sweep --distributed' coordinator and execute "
+             "leased cells")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to join")
+    worker.add_argument("--label", default=None,
+                        help="worker label (defaults to 'worker'; the "
+                             "wire identity is host-pid-label)")
+    worker.add_argument("--reconnects", type=int, default=3,
+                        help="reconnection attempts after losing the "
+                             "coordinator before giving up (default 3)")
+    worker.set_defaults(handler=_cmd_sweep_worker)
 
     encode = sub.add_parser("encode", help="run the encoder substrate")
     encode.add_argument("--frames", type=int, default=10)

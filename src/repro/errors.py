@@ -340,13 +340,59 @@ class ReplayDivergence(ResilienceError):
             "--legacy-replay and file the replay_divergence diagnostic")
 
 
+# -- distributed-sweep taxonomy -----------------------------------------------
+#
+# Raised (or referenced by code) by the multi-host sweep runner
+# (:mod:`repro.sweep.distributed`): the work-stealing coordinator, the
+# ``python -m repro sweep-worker`` loop and the cache-service protocol
+# between them.  Worker losses map onto run-log events the same way the
+# single-host pool deaths do.
+
+class DistributedSweepError(ResilienceError):
+    """Base class for the distributed sweep runner's failure modes."""
+
+    code = "REPRO-DIST-000"
+    hint = "see the coordinator's run log for worker_join/worker_lost events"
+
+
+class WorkerLost(DistributedSweepError):
+    """A sweep worker's connection dropped with cells still leased.
+
+    The coordinator requeues every leased cell with an incremented
+    attempt (``worker_lost`` event) — the cross-host analogue of the
+    pool's ``pool_respawn``.  After ``max_pool_deaths`` consecutive
+    losses without progress and with no workers left, the sweep degrades
+    to serial in-process execution.
+    """
+
+    code = "REPRO-DIST-WORKER-LOST"
+    hint = ("the worker died or its network path broke; its cells were "
+            "requeued — check the worker host if this recurs")
+
+
+class CoordinatorUnreachable(DistributedSweepError):
+    """A worker could not reach (or lost) its sweep coordinator."""
+
+    code = "REPRO-DIST-UNREACHABLE"
+    hint = ("check --connect HOST:PORT and that the coordinating "
+            "`python -m repro sweep --distributed` is still running")
+
+
+class DistProtocolError(DistributedSweepError):
+    """A coordinator/worker message was malformed or out of protocol."""
+
+    code = "REPRO-DIST-PROTOCOL"
+    hint = ("coordinator and worker versions must match; requests are "
+            "one JSON object per line with an 'op' field")
+
+
 class FaultSpecError(ReproError):
     """An ``--inject-faults`` specification did not parse."""
 
     code = "REPRO-FAULT-SPEC-001"
     hint = ("grammar: [seed=<int>;]<kind>:<target>[:times=<n>|p=<f>|"
             "delay=<s>][;...] with kind in kill|raise|latency|corrupt|"
-            "truncate|diverge|slowclient|disconnect")
+            "truncate|diverge|slowclient|disconnect|dropresult")
 
 
 def event_code(exc_type: type, default: Optional[str] = None) -> str:

@@ -96,10 +96,15 @@ def render_sweep_provenance(sweep_report: Dict) -> str:
     The block records the generation timestamp, workload, code version,
     job count and per-cell timing (wall seconds, or "cache" for restored
     cells, or "FAILED"), so a stamped EXPERIMENTS.md states exactly which
-    sweep produced its numbers and what that sweep cost.
+    sweep produced its numbers and what that sweep cost.  Distributed
+    sweeps additionally attribute each cell to the worker that executed
+    it and summarise the fleet (the ``hosts`` block of
+    ``sweep_timing.json``), so a number's provenance names the host it
+    was measured on.
     """
     workload = sweep_report.get("workload", {})
     totals = sweep_report.get("totals", {})
+    hosts = sweep_report.get("hosts") or {}
     lines = [
         "### Timing provenance",
         "",
@@ -113,9 +118,23 @@ def render_sweep_provenance(sweep_report: Dict) -> str:
         f"{totals.get('errors', 0)} errors) in "
         f"{totals.get('wall_s', 0):.1f}s.",
         "",
-        "| cell | wall s | source |",
-        "|---|---|---|",
     ]
+    if hosts:
+        fleet = ", ".join(
+            f"`{worker}` ({entry.get('cells', 0)} cells)"
+            for worker, entry in sorted(hosts.items()))
+        lines.extend([
+            f"Executed by a distributed fleet of {len(hosts)} "
+            f"worker(s): {fleet}.",
+            "",
+            "| cell | wall s | source | worker |",
+            "|---|---|---|---|",
+        ])
+    else:
+        lines.extend([
+            "| cell | wall s | source |",
+            "|---|---|---|",
+        ])
     for cell in sweep_report.get("cells", []):
         if cell.get("error"):
             source = "FAILED"
@@ -123,8 +142,11 @@ def render_sweep_provenance(sweep_report: Dict) -> str:
             source = "cache"
         else:
             source = "executed"
-        lines.append(f"| {cell['name']} | {cell.get('wall_s', 0):.2f} "
-                     f"| {source} |")
+        row = (f"| {cell['name']} | {cell.get('wall_s', 0):.2f} "
+               f"| {source} |")
+        if hosts:
+            row += f" {cell.get('worker') or '-'} |"
+        lines.append(row)
     return "\n".join(lines)
 
 

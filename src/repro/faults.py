@@ -29,7 +29,7 @@ Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
     SPEC   := [ 'seed=' INT ';' ] clause ( (';' | ',') clause )*
     clause := KIND ':' TARGET ( ':' PARAM )*
     KIND   := 'kill' | 'raise' | 'latency' | 'corrupt' | 'truncate'
-              | 'diverge' | 'slowclient' | 'disconnect'
+              | 'diverge' | 'slowclient' | 'disconnect' | 'dropresult'
     TARGET := cell, scenario or stream name, or '*' (any)
     PARAM  := 'times=' INT   -- fire on the first INT attempts (default 1)
             | 'p=' FLOAT     -- fire with this probability per attempt
@@ -61,6 +61,12 @@ Kinds and their fire points:
              before answering a request for the target stream — the
              vanished-client signature; the server must abort the
              connection's streams and release their worker state.
+``dropresult``  a distributed sweep worker finishes the target cell but
+             drops its coordinator connection *before* reporting the
+             result — the completed-but-unreported death signature; the
+             coordinator must requeue the cell and the replacement
+             attempt recovers the finished payload through the shared
+             cache service.
 ===========  ================================================================
 """
 
@@ -77,7 +83,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import FaultSpecError, TransientCellError
 
 KINDS = ("kill", "raise", "latency", "corrupt", "truncate", "diverge",
-         "slowclient", "disconnect")
+         "slowclient", "disconnect", "dropresult")
 
 #: environment variable holding a spec (inherited by forked workers)
 ENV_VAR = "REPRO_FAULTS"
@@ -246,8 +252,26 @@ def clear() -> None:
     install(None)
 
 
+_FORCED_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Declare this process a sweep worker for fault-injection purposes.
+
+    Pool workers are recognised automatically through
+    ``multiprocessing.parent_process()``, but a ``python -m repro
+    sweep-worker`` process is spawned as a plain subprocess (possibly on
+    another host), which that check cannot see.  The worker entry point
+    calls this so ``kill`` clauses are honoured there too — while the
+    coordinator process and the degraded serial path stay exempt, which
+    is what guarantees degradation always terminates.
+    """
+    global _FORCED_WORKER
+    _FORCED_WORKER = True
+
+
 def _in_worker() -> bool:
-    return multiprocessing.parent_process() is not None
+    return _FORCED_WORKER or multiprocessing.parent_process() is not None
 
 
 # -- fire points --------------------------------------------------------------
@@ -336,6 +360,18 @@ def should_disconnect(stream: str, attempt: int = 0) -> bool:
     if plan is None:
         return False
     return plan.decide("disconnect", stream, attempt) is not None
+
+
+def should_drop_result(cell: str, attempt: int = 0) -> bool:
+    """Whether a distributed sweep worker should drop its coordinator
+    connection *after* finishing ``cell`` but *before* reporting the
+    result — the ``dropresult`` kind's fire point, called by the
+    ``sweep-worker`` loop.  The decision is pure in (seed, kind, cell,
+    attempt), so the requeued attempt sees the clause already spent."""
+    plan = _PLAN
+    if plan is None:
+        return False
+    return plan.decide("dropresult", cell, attempt) is not None
 
 
 def replay_perturbation(scenario: str, attempt: int = 0) -> int:

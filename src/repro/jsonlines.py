@@ -1,0 +1,177 @@
+"""Shared TCP/JSON-lines plumbing for the repro network services.
+
+One request per line, one JSON object per request, in both directions —
+the lowest-dependency wire format the standard library can serve
+(``asyncio.start_server``) and any language can speak.  Two services ride
+on it: the streaming codec service (:mod:`repro.serve.transport`) and the
+distributed sweep coordinator (:mod:`repro.sweep.distributed`).  This
+module holds exactly the plumbing they share, so framing rules and
+failure semantics cannot drift apart:
+
+* :class:`JsonLinesServer` — the asyncio accept/read/respond/cleanup
+  loop.  Subclasses implement :meth:`~JsonLinesServer.respond` (one
+  request line → one response dict, plus a drop flag for injected
+  disconnects), and may carry per-connection state via
+  :meth:`~JsonLinesServer.connection_state` /
+  :meth:`~JsonLinesServer.on_disconnect`;
+* :class:`JsonLinesClient` — the blocking (plain socket) counterpart.
+  Subclasses map ``{"ok": false, "code": ...}`` responses back onto
+  :mod:`repro.errors` classes via :meth:`~JsonLinesClient.error_for`.
+
+Shared failure semantics:
+
+* a line over :data:`MAX_LINE_BYTES` closes the connection — there is no
+  way to resynchronise a JSON-lines stream mid-line;
+* client/server disconnects surface as closed connections, never
+  unstructured exceptions escaping the loop;
+* per-connection cleanup (:meth:`~JsonLinesServer.on_disconnect`) always
+  runs, whether the peer closed cleanly, vanished, or an injected
+  ``disconnect`` fault dropped the connection first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServiceUnavailable
+
+#: one JSON line must fit a whole request (a QCIF frame is ~50 KB of
+#: base64; 32 MiB leaves room for ~600-frame segments — and a rendered
+#: sweep cell is far smaller)
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class JsonLinesServer:
+    """Asyncio JSON-lines server shell: bind, frame, dispatch, clean up.
+
+    Subclasses implement :meth:`respond`; everything else — line framing,
+    the over-limit close, peer-reset tolerance, guaranteed per-connection
+    cleanup — lives here once.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- per-connection hooks --------------------------------------------------
+
+    def connection_state(self) -> object:
+        """Fresh per-connection state, handed to every :meth:`respond`
+        call and to :meth:`on_disconnect` (default: None)."""
+        return None
+
+    async def respond(self, line: bytes, state: object,
+                      requests: int) -> Tuple[Dict[str, object], bool]:
+        """Handle one request line; returns ``(response, drop)``.
+
+        ``requests`` counts this connection's requests (1-based).  A true
+        ``drop`` closes the connection *without* writing the response —
+        the injected-disconnect hook.
+        """
+        raise NotImplementedError
+
+    async def on_disconnect(self, state: object) -> None:
+        """Connection teardown (always runs, however the peer left)."""
+
+    # -- the shared loop -------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        state = self.connection_state()
+        requests = 0
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # past the line limit the stream cannot be re-framed
+                    break
+                if not line:
+                    break
+                requests += 1
+                response, drop = await self.respond(line, state, requests)
+                if drop:
+                    break      # injected disconnect: drop before replying
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await self.on_disconnect(state)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class JsonLinesClient:
+    """Blocking JSON-lines client over a plain socket.
+
+    :meth:`request` writes one JSON object and returns the parsed
+    response; responses with ``ok`` false re-raise as whatever
+    :meth:`error_for` maps their wire ``code`` onto.
+    """
+
+    #: raised when the server closes the connection mid-request;
+    #: subclasses override with their service's unavailability class
+    unavailable_error = ServiceUnavailable
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 120.0):
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "JsonLinesClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def error_for(self, response: Dict[str, object]) -> ReproError:
+        """The exception a failed response re-raises as (subclass hook)."""
+        return ReproError(str(response.get("error", "request failed")))
+
+    def request(self, request: Dict[str, object]) -> Dict[str, object]:
+        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise self.unavailable_error(
+                "the server closed the connection mid-request")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise self.error_for(response)
+        return response

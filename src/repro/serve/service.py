@@ -36,7 +36,14 @@ as where video codecs are deployed).  :class:`CodecService` is that shape:
 * **fault discipline** — segment execution runs under the deterministic
   injector (:mod:`repro.faults`): ``raise`` clauses retry with a bounded
   budget, ``latency`` clauses stretch segment latency, ``slowclient`` /
-  ``disconnect`` clauses exercise backpressure and transport cleanup.
+  ``disconnect`` clauses exercise backpressure and transport cleanup;
+* **worker respawn** — a pool worker that dies is replaced (bounded by
+  ``max_respawns``, counted in ``stats()``): only its in-flight
+  segments fail (synthesized :class:`SegmentResult` errors), decode
+  streams keep serving on the replacement, and encode streams whose
+  worker-side state is lost get a structured
+  :class:`~repro.errors.SegmentFailed` on their next submit instead of
+  a permanent ``REPRO-SRV-UNAVAILABLE``.
 
 The TCP/JSON-lines transport over this API lives in
 :mod:`repro.serve.transport`; the operator guide is ``docs/SERVING.md``.
@@ -443,12 +450,14 @@ class CodecService:
     """
 
     def __init__(self, workers: int = 2, max_pending: int = 8,
-                 cache_capacity: int = 16, cache_stripes: int = 8):
+                 cache_capacity: int = 16, cache_stripes: int = 8,
+                 max_respawns: int = 3):
         if workers < 0:
             raise ServiceError("workers must be >= 0 (0 = in-process)")
         if max_pending < 1:
             raise ServiceError("max_pending must be >= 1")
         self.max_pending = max_pending
+        self.max_respawns = max_respawns
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._streams: Dict[str, _StreamState] = {}
@@ -460,23 +469,33 @@ class CodecService:
         self._processor_lock = threading.Lock()
         self._processes: List[multiprocessing.Process] = []
         self._task_queues = []
-        self._drainer: Optional[threading.Thread] = None
+        # one result queue + drainer thread PER worker: a worker killed
+        # mid-send can leave a queue's shared write lock held forever,
+        # so a respawn must abandon the poisoned queue, not inherit it
+        self._result_queues = []
+        self._drainers: List[threading.Thread] = []
+        self._respawn_lock = threading.Lock()
+        self._respawns = 0
         if workers == 0:
             self._processor = SegmentProcessor(
                 0, cache_capacity, cache_stripes)
         else:
             context = multiprocessing.get_context("fork")
-            self._result_queue = context.Queue()
             for index in range(workers):
                 tasks = context.Queue()
+                results = context.Queue()
                 process = context.Process(
                     target=_worker_main,
-                    args=(index, tasks, self._result_queue), daemon=True)
+                    args=(index, tasks, results), daemon=True)
                 process.start()
                 self._task_queues.append(tasks)
+                self._result_queues.append(results)
                 self._processes.append(process)
-            self._drainer = threading.Thread(target=self._drain, daemon=True)
-            self._drainer.start()
+            for index, results in enumerate(self._result_queues):
+                drainer = threading.Thread(
+                    target=self._drain, args=(index, results), daemon=True)
+                drainer.start()
+                self._drainers.append(drainer)
 
     # -- lifecycle ------------------------------------------------------------
     def __enter__(self) -> "CodecService":
@@ -502,19 +521,95 @@ class CodecService:
             process.join(timeout=10)
             if process.is_alive():
                 process.terminate()
-        if self._drainer is not None:
-            self._drainer.join(timeout=10)
+        for drainer in self._drainers:
+            drainer.join(timeout=10)
 
     def _put(self, worker: int, message: Tuple) -> None:
         """Enqueue a pool task, stamped with the current fault spec (the
         worker re-installs on change — see :func:`_worker_main`)."""
         self._task_queues[worker].put(message + (faults.active_spec(),))
 
-    def _drain(self) -> None:
-        """Drainer thread: route worker results into stream states."""
+    def _ensure_worker(self, worker: int) -> bool:
+        """Respawn a dead pool worker; returns False only when the
+        respawn budget is spent (the caller's old permanent-
+        ``ServiceUnavailable`` path).
+
+        The sweep pool's respawn discipline, applied to serving: a
+        worker death costs exactly the segments that were in flight on
+        it — each is synthesized as a failed :class:`SegmentResult` —
+        never the whole service.  Streams pinned to the dead worker are
+        re-opened on its replacement: decode streams (stateless across
+        segments) keep serving; encode streams whose worker-side
+        encoder state is lost are marked failed, so the next submit
+        gets a structured :class:`~repro.errors.SegmentFailed` telling
+        the client to abort and reopen.
+        """
+        if not self._processes or self._processes[worker].is_alive():
+            return True
+        with self._respawn_lock:
+            if self._processes[worker].is_alive():
+                return True    # another caller already respawned it
+            if self._respawns >= self.max_respawns:
+                return False
+            self._respawns += 1
+            context = multiprocessing.get_context("fork")
+            # fresh queues on BOTH sides: whatever was queued to the dead
+            # worker died with it (accounted for segment by segment
+            # below), and a worker terminated mid-send leaves its result
+            # queue's shared write lock held forever — the replacement
+            # must never inherit that poisoned pipe
+            tasks = context.Queue()
+            results = context.Queue()
+            old_drainer = self._drainers[worker]
+            self._result_queues[worker] = results
+            # the old drainer exits once it sees its queue was replaced;
+            # joining it before synthesizing casualties keeps delivery
+            # single-writer per segment (no late stale result can race
+            # the synthesized failure below)
+            old_drainer.join(timeout=10)
+            replacement = context.Process(
+                target=_worker_main,
+                args=(worker, tasks, results), daemon=True)
+            replacement.start()
+            self._task_queues[worker] = tasks
+            self._processes[worker] = replacement
+            drainer = threading.Thread(
+                target=self._drain, args=(worker, results), daemon=True)
+            drainer.start()
+            self._drainers[worker] = drainer
+            with self._lock:
+                casualties = [state for state in self._streams.values()
+                              if state.worker == worker]
+                for state in casualties:
+                    had_history = state.submitted > 0
+                    for index in sorted(state.submit_times):
+                        self._deliver(state, {
+                            "stream": state.id, "segment": index,
+                            "kind": state.config.kind, "ok": False,
+                            "worker": worker, "attempts": 1,
+                            "error": f"worker {worker} died with this "
+                                     f"segment in flight",
+                            "error_code": SegmentFailed.code,
+                        })
+                    if state.config.kind == ENCODE and had_history:
+                        # the encoder state died with the worker; a
+                        # continuation would silently restart the stream
+                        state.failed = True
+                self._ready.notify_all()
+            for state in casualties:
+                self._put(worker, ("open", state.id, state.config))
+        return True
+
+    def _drain(self, worker: int, results) -> None:
+        """Drainer thread: route one worker's results into stream states.
+
+        Exits when the service shuts down or when ``results`` is no
+        longer the worker's current queue (a respawn abandoned it)."""
         while True:
+            if self._result_queues[worker] is not results:
+                return
             try:
-                message = self._result_queue.get(timeout=0.1)
+                message = results.get(timeout=0.1)
             except queue_module.Empty:
                 if self._shutdown:
                     return
@@ -559,6 +654,12 @@ class CodecService:
             self._streams[stream_id] = _StreamState(stream_id, config,
                                                     worker)
         if self._processes:
+            if not self._ensure_worker(worker):
+                with self._lock:
+                    self._streams.pop(stream_id, None)
+                raise ServiceUnavailable(
+                    f"worker {worker} died and the respawn budget is "
+                    f"exhausted")
             self._put(worker, ("open", stream_id, config))
         else:
             with self._processor_lock:
@@ -603,8 +704,14 @@ class CodecService:
             worker = state.worker
         if self._processes:
             if not self._processes[worker].is_alive():
-                raise ServiceUnavailable(
-                    f"worker {worker} owning stream {stream_id!r} died")
+                if not self._ensure_worker(worker):
+                    raise ServiceUnavailable(
+                        f"worker {worker} owning stream {stream_id!r} "
+                        f"died and the respawn budget is exhausted")
+                # the respawn synthesized a failure for this just-
+                # reserved segment; the client collects it like any
+                # other failed segment
+                return index
             self._put(worker, ("segment", stream_id, index, payload))
         else:
             with self._processor_lock:
@@ -662,11 +769,12 @@ class CodecService:
             state.closing = True
             worker = state.worker
         if self._processes:
-            if not self._processes[worker].is_alive():
+            if not self._ensure_worker(worker):
                 with self._lock:
                     self._streams.pop(stream_id, None)
                 raise ServiceUnavailable(
-                    f"worker {worker} owning stream {stream_id!r} died")
+                    f"worker {worker} owning stream {stream_id!r} died "
+                    f"and the respawn budget is exhausted")
             self._put(worker, ("close", stream_id))
         else:
             with self._processor_lock:
@@ -739,6 +847,7 @@ class CodecService:
             totals = {
                 "workers": len(self._processes),
                 "max_pending": self.max_pending,
+                "respawns": self._respawns,
                 "streams_open": len(self._streams),
                 "streams_closed": self._closed_streams,
                 "segments_submitted": sum(s["submitted"]

@@ -46,7 +46,6 @@ from __future__ import annotations
 import asyncio
 import base64
 import json
-import socket
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -63,6 +62,10 @@ from repro.errors import (
     StreamClosed,
     StreamUnknown,
 )
+# the framing layer (line limit, disconnect tolerance, cleanup) is shared
+# with the distributed sweep coordinator; MAX_LINE_BYTES is re-exported
+# because it is part of this module's documented contract
+from repro.jsonlines import MAX_LINE_BYTES, JsonLinesClient, JsonLinesServer
 from repro.serve.service import (
     CodecService,
     DECODE,
@@ -70,10 +73,6 @@ from repro.serve.service import (
     SegmentResult,
     StreamConfig,
 )
-
-#: one JSON line must fit a whole segment of base64 frames (a QCIF frame
-#: is ~50 KB of base64; 32 MiB leaves room for ~600-frame segments)
-MAX_LINE_BYTES = 32 * 1024 * 1024
 
 #: client-visible service errors, by wire code (for re-raising client-side)
 _CODE_TO_ERROR = {
@@ -122,71 +121,38 @@ def _result_to_wire(result: SegmentResult) -> Dict[str, object]:
 
 # -- server -------------------------------------------------------------------
 
-class ServiceServer:
-    """Asyncio JSON-lines front end over one :class:`CodecService`."""
+class ServiceServer(JsonLinesServer):
+    """Asyncio JSON-lines front end over one :class:`CodecService`.
+
+    The accept/frame/cleanup loop comes from
+    :class:`repro.jsonlines.JsonLinesServer`; this class contributes the
+    op dispatch (run in the event loop's thread pool so segments grind
+    without blocking the loop), the injected-disconnect fault hook, and
+    the on-disconnect abort of the connection's unclosed streams.
+    """
 
     def __init__(self, service: CodecService, host: str = "127.0.0.1",
                  port: int = 0):
+        super().__init__(host, port)
         self.service = service
-        self.host = host
-        self.port = port
-        self._server: Optional[asyncio.AbstractServer] = None
 
-    async def start(self) -> Tuple[str, int]:
-        """Bind and start serving; returns the bound (host, port)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port,
-            limit=MAX_LINE_BYTES)
-        bound = self._server.sockets[0].getsockname()
-        self.host, self.port = bound[0], bound[1]
-        return self.host, self.port
+    def connection_state(self) -> set:
+        return set()   # streams this connection opened, not yet closed
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def respond(self, line: bytes, owned: set,
+                      requests: int) -> Tuple[Dict[str, object], bool]:
+        response, stream_id = await asyncio.to_thread(
+            self._dispatch, line, owned)
+        drop = stream_id is not None and faults.should_disconnect(
+            stream_id, requests)
+        return response, drop
 
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        owned: set = set()     # streams this connection opened, not yet closed
-        requests = 0
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # past the line limit the stream cannot be re-framed
-                    break
-                if not line:
-                    break
-                requests += 1
-                response, stream_id = await asyncio.to_thread(
-                    self._dispatch, line, owned)
-                if stream_id is not None and faults.should_disconnect(
-                        stream_id, requests):
-                    break      # injected disconnect: drop before replying
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            for stream_id in owned:
-                try:
-                    await asyncio.to_thread(self.service.abort_stream,
-                                            stream_id)
-                except ReproError:
-                    pass
-            writer.close()
+    async def on_disconnect(self, owned: set) -> None:
+        for stream_id in owned:
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+                await asyncio.to_thread(self.service.abort_stream,
+                                        stream_id)
+            except ReproError:
                 pass
 
     # -- request handling (runs in the thread pool) ---------------------------
@@ -288,43 +254,20 @@ async def run_server(service: CodecService, host: str, port: int,
 
 # -- blocking client ----------------------------------------------------------
 
-class ServiceClient:
+class ServiceClient(JsonLinesClient):
     """Blocking JSON-lines client (``python -m repro client``, tests).
 
     Mirrors the in-process session API; server-side failures re-raise as
     the matching :mod:`repro.errors` class, mapped from the wire code.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: Optional[float] = 120.0):
-        self._socket = socket.create_connection((host, port),
-                                                timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+    unavailable_error = ServiceUnavailable
 
-    def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._socket.close()
+    def error_for(self, response: Dict[str, object]) -> ReproError:
+        error = _CODE_TO_ERROR.get(response.get("code"), ServiceError)
+        return error(response.get("error", "request failed"))
 
-    def __enter__(self) -> "ServiceClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _request(self, request: Dict[str, object]) -> Dict[str, object]:
-        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ServiceUnavailable(
-                "the server closed the connection mid-request")
-        response = json.loads(line)
-        if not response.get("ok"):
-            error = _CODE_TO_ERROR.get(response.get("code"), ServiceError)
-            raise error(response.get("error", "request failed"))
-        return response
+    _request = JsonLinesClient.request
 
     # -- session API ----------------------------------------------------------
     def open_stream(self, config: Optional[StreamConfig] = None) -> str:

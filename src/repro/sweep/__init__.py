@@ -10,9 +10,20 @@ configuration, repository code).  This package exploits that purity:
   forked *after* the shared encoder run and baseline replay are warm, so
   they inherit the expensive state instead of recomputing it;
 * :mod:`~repro.sweep.cache` memoises rendered cells on disk, keyed by a
-  content hash of (workload config, cell name, repo code version), so a
+  content hash of (workload config, cell name, code version), so a
   re-run after an unrelated edit replays only invalidated cells and an
   interrupted sweep resumes where it stopped;
+* :mod:`~repro.sweep.deps` makes those code versions **per cell**: a
+  static import-graph walk fingerprints each cell's reachable module
+  closure, so a codec-only edit leaves every replay-timing cell's key —
+  and its cache entry — intact.  ``--incremental`` diffs the keys
+  against the previous ``sweep_report.json`` and re-executes only
+  invalidated cells;
+* :mod:`~repro.sweep.distributed` runs the misses on a multi-host
+  work-stealing fleet (``--distributed HOST:PORT`` +
+  ``python -m repro sweep-worker``): pull-based leasing over
+  TCP/JSON-lines, the cache re-exported as a network service, and the
+  same resilience accounting across worker deaths and disconnects;
 * :mod:`~repro.sweep.events` records structured start/finish/cache-hit
   events (wall time, cycle totals) to a JSONL run log and distils them
   into the ``sweep_report.json`` artifact that
@@ -38,7 +49,10 @@ and the CI chaos job.
 """
 
 from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
-from repro.sweep.events import RunLog, read_events
+from repro.sweep.deps import cell_closure, cell_code_version, \
+    cell_code_versions
+from repro.sweep.events import RunLog, merge_sweep_report, read_events, \
+    split_sweep_report
 from repro.sweep.executor import WORKLOAD_CELL, CellResult, \
     ResiliencePolicy, execute_cell, run_cells
 from repro.sweep.orchestrator import SweepConfig, SweepResult, run_sweep
@@ -51,10 +65,15 @@ __all__ = [
     "SweepConfig",
     "SweepResult",
     "WORKLOAD_CELL",
+    "cell_closure",
+    "cell_code_version",
+    "cell_code_versions",
     "cell_key",
     "code_fingerprint",
     "execute_cell",
+    "merge_sweep_report",
     "read_events",
     "run_cells",
     "run_sweep",
+    "split_sweep_report",
 ]

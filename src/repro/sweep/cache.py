@@ -11,10 +11,14 @@ Invalidation rules (documented in EXPERIMENTS.md):
 
 * changing any workload knob (``--frames``, seed, Q, ...) invalidates every
   cell, because each key embeds the full workload fingerprint;
-* editing any module under ``src/repro/`` **except** this ``sweep/``
-  package invalidates every cell — :func:`code_fingerprint` hashes the
-  model/experiment sources, and the orchestration layer is deliberately
-  excluded because it cannot change what a cell computes;
+* editing a module under ``src/repro/`` invalidates exactly the cells
+  whose static import closure reaches it — each cell's ``code_version``
+  is the per-module-closure fingerprint from
+  :func:`repro.sweep.deps.cell_code_version` (a codec-only edit no
+  longer touches the replay-timing cells).  The orchestration layer
+  (``sweep/``, the fault injector, the CLI shim) is excluded outright
+  because it cannot change what a cell computes; cells unknown to the
+  registry fall back to the whole-tree :func:`code_fingerprint`;
 * editing docs, tests, benchmarks or examples invalidates nothing.
 
 Writes are atomic (temp file + :func:`os.replace`), so a sweep killed

@@ -1,0 +1,278 @@
+"""Static import-graph dependency analysis for fine-grained cache keys.
+
+The sweep cache's original invalidation rule was blunt: one
+:func:`repro.sweep.cache.code_fingerprint` over *all* of ``src/repro``
+(minus the orchestration layer), so editing any model file invalidated
+every cached cell — a decoder-only fix re-ran the replay-timing cells it
+cannot possibly affect.  This module computes what each cell *actually
+depends on*:
+
+1. :func:`scan` parses every module under the ``repro`` package with
+   :mod:`ast` and records, per module, a content fingerprint and the set
+   of ``repro.*`` modules it imports (function-level imports included —
+   ``ast.walk`` sees them all);
+2. :func:`closure` walks that graph transitively from a set of roots;
+3. :func:`cell_code_version` hashes the (module → fingerprint) map of a
+   cell's closure into the ``code_version`` component of its cache key,
+   so a cell's key moves **only** when a module it can reach changes.
+
+Root selection mirrors how :func:`repro.sweep.executor.execute_cell`
+dispatches: every registered cell roots at its runner's defining module
+(``RUNNERS[name][1].__module__``); context-backed cells (tables,
+extensions, the ``workload`` header) additionally root at
+``repro.experiments.workload``, whose closure covers the shared encoder
+run and replay engine those cells consume.  ``repro.experiments.runner``
+itself is folded in *shallow* (file hash only, not its closure): every
+cell renders through its ``run_cell``, but rooting its full closure would
+pull every experiment module into every key and defeat the analysis.
+
+Two deliberate approximations, both conservative in the direction that
+matters:
+
+* **ancestor package ``__init__`` files are not implicit members** —
+  Python executes them on import, but a re-export shim cannot change what
+  a cell computes unless a module it re-exports changes, and *that*
+  module enters the closure wherever it is actually imported.  An
+  ``__init__`` **is** a member when an import resolves to it by name
+  (``from repro.codec import Mpeg4Encoder`` pulls ``codec/__init__`` and,
+  through it, everything the shim imports);
+* the orchestration exclusions of the global fingerprint carry over —
+  ``repro.sweep.*``, ``repro.faults`` and ``repro.__main__`` never enter
+  a closure, because they cannot change what a cell computes.
+
+Cells the registry does not know fall back to the global
+:func:`~repro.sweep.cache.code_fingerprint`, so an unknown cell is never
+under-invalidated.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.sweep.cache import code_fingerprint
+
+#: the package every analysed module lives under
+PACKAGE = "repro"
+
+#: closure of every context-backed cell: the shared encoder/replay state
+CONTEXT_MODULE = "repro.experiments.workload"
+
+#: rendered through by every cell; folded in shallow (file hash only)
+DISPATCH_MODULES = ("repro.experiments.runner",)
+
+#: the synthetic header cell (mirrors repro.sweep.executor.WORKLOAD_CELL,
+#: spelled literally to keep this module import-light)
+_WORKLOAD_CELL = "workload"
+
+_SCANS: Dict[str, Dict[str, "ModuleInfo"]] = {}
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One scanned module: where it lives, its hash, what it imports."""
+
+    name: str
+    path: str
+    fingerprint: str
+    imports: Tuple[str, ...]
+
+
+def _excluded(name: str) -> bool:
+    """Orchestration modules that can never change what a cell computes
+    (the same exclusion set as the global code fingerprint)."""
+    return (name.startswith("repro.sweep")
+            or name in ("repro.faults", "repro.__main__",
+                        "repro.jsonlines"))
+
+
+def _module_name(rel: pathlib.PurePath) -> str:
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join([PACKAGE] + parts)
+
+
+def _package_parts(name: str, is_package: bool) -> Tuple[str, ...]:
+    """The package a module's relative imports resolve against."""
+    parts = tuple(name.split("."))
+    return parts if is_package else parts[:-1]
+
+
+def _resolve(parts: Tuple[str, ...], known: Set[str]) -> Optional[str]:
+    """Map a dotted import target onto the module file that defines it.
+
+    ``repro.codec.frame`` → that module; ``repro.codec`` → the package
+    ``__init__``; ``repro.codec.frame.YuvFrame`` (a symbol) → its longest
+    known module prefix.  Targets outside ``repro`` resolve to None.
+    """
+    if not parts or parts[0] != PACKAGE:
+        return None
+    while parts:
+        name = ".".join(parts)
+        if name in known:
+            return name
+        parts = parts[:-1]
+    return None
+
+
+def _imports_of(tree: ast.AST, module: str, is_package: bool,
+                known: Set[str]) -> Tuple[str, ...]:
+    found: Set[str] = set()
+    base = _package_parts(module, is_package)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = _resolve(tuple(alias.name.split(".")), known)
+                if target:
+                    found.add(target)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                anchor = base[:len(base) - (node.level - 1)]
+            else:
+                anchor = ()
+            prefix = anchor + tuple(
+                node.module.split(".") if node.module else ())
+            for alias in node.names:
+                target = _resolve(prefix + (alias.name,), known)
+                if target is None:
+                    target = _resolve(prefix, known)
+                if target:
+                    found.add(target)
+    found.discard(module)
+    return tuple(sorted(found))
+
+
+def scan(package_root: Optional[pathlib.Path] = None
+         ) -> Dict[str, ModuleInfo]:
+    """Parse every module under ``repro`` into the import graph.
+
+    Memoised per resolved root for the life of the process (the sweep
+    computes one key per cell; re-parsing the tree each time would cost
+    more than the cells).  Pass an explicit ``package_root`` to analyse a
+    modified copy of the tree (the incremental benchmark does).
+    """
+    if package_root is None:
+        import repro
+        package_root = pathlib.Path(repro.__file__).parent
+    root = pathlib.Path(package_root)
+    token = str(root.resolve())
+    if token in _SCANS:
+        return _SCANS[token]
+    paths = {path: _module_name(path.relative_to(root))
+             for path in sorted(root.rglob("*.py"))}
+    known = set(paths.values())
+    modules: Dict[str, ModuleInfo] = {}
+    for path, name in paths.items():
+        source = path.read_bytes()
+        rel = path.relative_to(root).as_posix()
+        fingerprint = hashlib.sha256(
+            rel.encode("utf-8") + b"\0" + source).hexdigest()[:16]
+        try:
+            tree = ast.parse(source, filename=str(path))
+            imports = _imports_of(tree, name, path.name == "__init__.py",
+                                  known)
+        except SyntaxError:
+            # an unparseable module cannot execute either; fingerprint it
+            # (so edits still invalidate) with no outgoing edges
+            imports = ()
+        modules[name] = ModuleInfo(name=name, path=rel,
+                                   fingerprint=fingerprint,
+                                   imports=imports)
+    _SCANS[token] = modules
+    return modules
+
+
+def reset_scan_cache() -> None:
+    """Forget memoised scans (tests that edit a tree in place)."""
+    _SCANS.clear()
+
+
+def closure(roots: Iterable[str],
+            modules: Dict[str, ModuleInfo]) -> Set[str]:
+    """Transitive import closure of ``roots``, excluded modules skipped."""
+    seen: Set[str] = set()
+    stack = [name for name in roots if name in modules
+             and not _excluded(name)]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(dep for dep in modules[name].imports
+                     if dep not in seen and not _excluded(dep))
+    return seen
+
+
+def cell_roots(name: str) -> Optional[Tuple[str, ...]]:
+    """The modules a cell's execution is rooted at, or None if the cell
+    is unknown to the registry (caller falls back to the global
+    fingerprint)."""
+    if name == _WORKLOAD_CELL:
+        return (CONTEXT_MODULE,)
+    from repro.experiments.runner import RUNNERS
+    entry = RUNNERS.get(name)
+    if entry is None:
+        return None
+    kind, runner = entry
+    roots = [runner.__module__]
+    if kind != "figure":
+        roots.append(CONTEXT_MODULE)
+    return tuple(dict.fromkeys(roots))
+
+
+def cell_closure(name: str,
+                 package_root: Optional[pathlib.Path] = None
+                 ) -> Optional[Tuple[str, ...]]:
+    """Sorted module closure backing one cell's cache key (None when the
+    cell falls back to the global fingerprint)."""
+    roots = cell_roots(name)
+    if roots is None:
+        return None
+    modules = scan(package_root)
+    if any(root not in modules for root in roots):
+        return None
+    members = closure(roots, modules)
+    members.update(mod for mod in DISPATCH_MODULES if mod in modules)
+    return tuple(sorted(members))
+
+
+def cell_code_version(name: str,
+                      package_root: Optional[pathlib.Path] = None) -> str:
+    """The ``code_version`` cache-key component of one cell.
+
+    A 16-hex digest over the (module → fingerprint) map of the cell's
+    import closure — stable across processes and hosts, and moved only
+    by edits to modules the cell can actually reach.
+    """
+    members = cell_closure(name, package_root)
+    if members is None:
+        return code_fingerprint(package_root)
+    modules = scan(package_root)
+    blob = json.dumps({mod: modules[mod].fingerprint for mod in members},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def cell_code_versions(names: Iterable[str],
+                       package_root: Optional[pathlib.Path] = None
+                       ) -> Dict[str, str]:
+    """Per-cell code versions for a whole sweep (one tree scan)."""
+    return {name: cell_code_version(name, package_root) for name in names}
+
+
+def sweep_code_version(cell_versions: Dict[str, str]) -> str:
+    """The sweep-level ``code_version``: a digest of the per-cell map.
+
+    This is what the deterministic report and the provenance stamp
+    carry — it moves when any *reachable* module changes and stays put
+    for edits outside every cell's closure (the byte-identity the
+    incremental gate ``cmp``s after a codec-only edit).
+    """
+    blob = json.dumps(cell_versions, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

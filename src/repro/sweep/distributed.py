@@ -1,0 +1,578 @@
+"""Multi-host work-stealing execution of sweep cells.
+
+One sweep process becomes the **coordinator** (``python -m repro sweep
+--distributed HOST:PORT``): it binds a TCP/JSON-lines endpoint (the same
+framing layer as the codec service, :mod:`repro.jsonlines`), holds the
+queue of cache-miss cells, and serves the content-addressed cache to the
+fleet.  Any number of **workers** (``python -m repro sweep-worker
+--connect HOST:PORT``) connect — before the sweep, or mid-sweep — and
+pull work instead of being pushed it, which is all "work stealing" needs
+here: a fast host simply leases more cells, and a worker that joins late
+leases whatever is left.
+
+Protocol (one JSON object per line, worker → coordinator)::
+
+    {"op": "hello", "worker": ..., "host": ..., "pid": ...}
+        → {"ok": true, "frames": N, "seed": S, "timeout_s": T|null,
+           "faults": SPEC|null}
+    {"op": "lease"}
+        → {"ok": true, "cell": NAME, "attempt": A, "key": KEY}
+        | {"ok": true, "wait": true, "backoff_s": B}   nothing leasable yet
+        | {"ok": true, "done": true}                   sweep finished
+    {"op": "result", "cell": NAME, "attempt": A, "restored": bool,
+     "result": {...CellResult fields...}}
+        → {"ok": true, "accepted": bool}
+    {"op": "cache_get", "key": KEY} → {"ok": true, "payload": {...}|null}
+    {"op": "cache_put", "key": KEY, "payload": {...}} → {"ok": true}
+
+The cache service is backed by the sweep's memoisation cache *and* its
+crash-recovery checkpoint, so it works under ``--no-cache`` too; a worker
+probes it at lease time and publishes every finished cell, which is what
+makes the ``dropresult`` fault recoverable without re-execution.
+
+Resilience is the PR-4 discipline stretched across hosts:
+
+* a connection that drops with cells leased gets them **requeued at
+  attempt + 1** (``worker_lost`` event, code ``REPRO-DIST-WORKER-LOST``)
+  — the cross-host analogue of ``pool_respawn``;
+* retryable failures (timeouts, :class:`~repro.errors.TransientCellError`)
+  are requeued with the same bounded exponential backoff as the pool
+  path (``cell_retry`` events);
+* after ``max_pool_deaths`` consecutive losses without progress — or if
+  no worker shows up within ``worker_wait_s`` — the coordinator gives up
+  and the orchestrator runs the remainder serially in-process
+  (``degraded_serial``), which always terminates because injected kills
+  are honoured only in marked worker processes.
+
+Because a cell's rendered text and cycle totals are a pure function of
+(workload, code), none of this scheduling nondeterminism can reach the
+report: the orchestrator's deterministic artifacts are byte-identical to
+a serial run for any worker count, any join/death schedule, clean or
+faulted — the property CI's ``distributed-gate`` job ``cmp``s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import faults
+from repro.errors import (
+    CoordinatorUnreachable,
+    DistProtocolError,
+    DistributedSweepError,
+    ExperimentError,
+    ReproError,
+    WorkerLost,
+)
+from repro.jsonlines import JsonLinesClient, JsonLinesServer
+from repro.sweep.cache import SweepCache
+from repro.sweep.events import host_label, origin_label
+from repro.sweep.executor import (
+    CellResult,
+    ResiliencePolicy,
+    _note_attempt,
+    _retry_reason,
+    execute_cell,
+)
+
+#: how long a worker sleeps when the coordinator has nothing leasable
+DEFAULT_POLL_S = 0.1
+
+#: wire fields a worker ships back for one finished cell
+_RESULT_FIELDS = ("rendered", "wall_s", "error", "cycles", "attempts",
+                  "timed_out", "transient", "error_code")
+
+_CODE_TO_ERROR = {cls.code: cls for cls in
+                  (DistributedSweepError, WorkerLost,
+                   CoordinatorUnreachable, DistProtocolError)}
+
+
+def parse_bind(spec: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → (host, port); bare ``:PORT`` binds loopback."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ExperimentError(
+            f"bad bind/connect address {spec!r}; expected HOST:PORT")
+    return host or "127.0.0.1", int(port)
+
+
+@dataclass(eq=False)   # identity semantics: connections live in a set
+class _Conn:
+    """Per-connection coordinator state."""
+
+    worker: str = "?"
+    joined: bool = False
+    #: cells this connection holds a lease on: name -> attempt
+    leased: Dict[str, int] = field(default_factory=dict)
+
+
+class SweepCoordinator(JsonLinesServer):
+    """The queue, the cache service and the loss accounting, in one
+    single-threaded event loop (handlers never block on cell work — the
+    workers do that — so state needs no locks)."""
+
+    def __init__(self, items: Sequence[Tuple[str, int]],
+                 keys: Dict[str, str], frames: int, seed: int,
+                 policy: ResiliencePolicy, cache: SweepCache,
+                 checkpoint: SweepCache, workload: Dict,
+                 cell_versions: Dict[str, str],
+                 emit: Callable[..., None],
+                 on_start: Optional[Callable[[str], None]] = None,
+                 on_result: Optional[Callable[[CellResult], None]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 worker_wait_s: float = 30.0):
+        super().__init__(host, port)
+        #: [name, attempt, not_before] — leasable once not_before passes
+        self._queue: List[List] = [[name, attempt, 0.0]
+                                   for name, attempt in items]
+        self._expected = [name for name, _ in items]
+        self.keys = keys
+        self.frames = frames
+        self.seed = seed
+        self.policy = policy
+        self.cache = cache
+        self.checkpoint = checkpoint
+        self.workload = workload
+        self.cell_versions = cell_versions
+        self.emit = emit
+        self.on_start = on_start
+        self.on_result = on_result
+        self.worker_wait_s = worker_wait_s
+        self.results: Dict[str, CellResult] = {}
+        self.hosts: Dict[str, Dict] = {}
+        self.gave_up: Optional[str] = None
+        self._started: Set[str] = set()
+        self._conns: Set[_Conn] = set()
+        self._losses = 0
+        self._ever_joined = False
+        self._last_activity = time.monotonic()
+        self.done = asyncio.Event()
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _complete(self) -> bool:
+        return all(name in self.results for name in self._expected)
+
+    def remaining(self) -> List[Tuple[str, int]]:
+        """Unresolved (cell, attempt) pairs, queued or still leased, in
+        original cell order — what the degraded serial path takes over."""
+        attempts = {name: attempt for name, attempt, _ in self._queue}
+        for conn in self._conns:
+            attempts.update(conn.leased)
+        return [(name, attempts[name]) for name in self._expected
+                if name in attempts and name not in self.results]
+
+    def _requeue(self, name: str, attempt: int, delay: float) -> None:
+        self._queue.append([name, attempt, time.monotonic() + delay])
+
+    def _give_up(self, reason: str) -> None:
+        if not self.done.is_set():
+            self.gave_up = reason
+            self.done.set()
+
+    async def watchdog(self) -> None:
+        """Degrade instead of hanging when the fleet never materialises
+        or has died off: no connected workers and none joining for
+        ``worker_wait_s`` means nobody is coming for the queue."""
+        while not self.done.is_set():
+            await asyncio.sleep(min(0.1, self.worker_wait_s / 4))
+            if self._complete() or self._conns:
+                continue
+            if time.monotonic() - self._last_activity > self.worker_wait_s:
+                self._give_up(
+                    "no workers joined" if not self._ever_joined
+                    else "all workers lost and none returned")
+
+    # -- connection lifecycle --------------------------------------------------
+
+    def connection_state(self) -> _Conn:
+        return _Conn()
+
+    async def on_disconnect(self, conn: _Conn) -> None:
+        self._conns.discard(conn)
+        if not conn.leased or self.done.is_set():
+            return
+        requeued = sorted(conn.leased)
+        self._losses += 1
+        for name, attempt in conn.leased.items():
+            # the leased cell may be what killed the worker: bump its
+            # attempt so injected faults spend their budget (and real
+            # repeat offenders stay bounded by max_pool_deaths)
+            self._requeue(name, attempt + 1,
+                          self.policy.backoff_s(attempt + 1))
+        conn.leased = {}
+        self.emit("worker_lost", worker=conn.worker, requeued=requeued,
+                  losses=self._losses, code=WorkerLost.code,
+                  max_pool_deaths=self.policy.max_pool_deaths)
+        if self._losses >= self.policy.max_pool_deaths:
+            self._give_up(f"{self._losses} consecutive worker losses")
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def respond(self, line: bytes, conn: _Conn,
+                      requests: int) -> Tuple[Dict[str, object], bool]:
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DistProtocolError(
+                    f"request is not valid JSON: {exc}") from exc
+            if not isinstance(request, dict) or "op" not in request:
+                raise DistProtocolError(
+                    "a request is a JSON object with an 'op' field")
+            op = request["op"]
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise DistProtocolError(f"unknown op {op!r}")
+            if op != "hello" and not conn.joined:
+                raise DistProtocolError("send 'hello' before any other op")
+            response = handler(conn, request)
+            response["ok"] = True
+            return response, False
+        except ReproError as exc:
+            return {"ok": False, "code": exc.code, "error": str(exc),
+                    "hint": exc.hint}, False
+
+    def _op_hello(self, conn: _Conn, request: Dict) -> Dict:
+        conn.worker = str(request.get("worker") or "anonymous")
+        conn.joined = True
+        self._conns.add(conn)
+        self._ever_joined = True
+        self._last_activity = time.monotonic()
+        self.hosts.setdefault(conn.worker, {
+            "host": request.get("host"), "pid": request.get("pid"),
+            "cells": 0})
+        self.emit("worker_join", worker=conn.worker,
+                  host=request.get("host"), pid=request.get("pid"))
+        return {"frames": self.frames, "seed": self.seed,
+                "timeout_s": self.policy.cell_timeout_s,
+                "max_retries": self.policy.max_retries,
+                "faults": faults.active_spec()}
+
+    def _op_lease(self, conn: _Conn, request: Dict) -> Dict:
+        if self.done.is_set() or self._complete():
+            self.done.set()
+            return {"done": True}
+        now = time.monotonic()
+        for index, (name, attempt, not_before) in enumerate(self._queue):
+            if not_before <= now:
+                del self._queue[index]
+                conn.leased[name] = attempt
+                if attempt == 0 and name not in self._started:
+                    self._started.add(name)
+                    if self.on_start:
+                        self.on_start(name)
+                return {"cell": name, "attempt": attempt,
+                        "key": self.keys[name]}
+        pending = [not_before - now for _, _, not_before in self._queue]
+        backoff = max(min(pending), 0.01) if pending else DEFAULT_POLL_S
+        return {"wait": True, "backoff_s": round(backoff, 4)}
+
+    def _op_result(self, conn: _Conn, request: Dict) -> Dict:
+        name = request.get("cell")
+        attempt = int(request.get("attempt", 0))
+        conn.leased.pop(name, None)
+        if name not in self.keys:
+            raise DistProtocolError(f"result for unknown cell {name!r}")
+        if name in self.results:
+            # a lost worker's cell was requeued and finished elsewhere
+            # before this (resurfaced) result arrived; first one wins
+            self.emit("duplicate_result", cell=name, worker=conn.worker)
+            return {"accepted": False}
+        wire = request.get("result") or {}
+        result = CellResult(
+            name, worker=conn.worker,
+            **{field_: wire[field_] for field_ in _RESULT_FIELDS
+               if field_ in wire})
+        if request.get("restored"):
+            self.emit("dist_cache_hit", cell=name, key=self.keys[name],
+                      worker=conn.worker)
+        if result.error:
+            _note_attempt(result, attempt, self.policy, self.emit)
+            reason = _retry_reason(result)
+            if reason and attempt < self.policy.max_retries:
+                delay = self.policy.backoff_s(attempt + 1)
+                self.emit("cell_retry", cell=name, attempt=attempt + 1,
+                          reason=reason, backoff_s=round(delay, 4),
+                          code=result.error_code)
+                self._requeue(name, attempt + 1, delay)
+                return {"accepted": True, "requeued": True}
+        self.results[name] = result
+        self._losses = 0
+        self._last_activity = time.monotonic()
+        if conn.worker in self.hosts:
+            self.hosts[conn.worker]["cells"] += 1
+        if self.on_result:
+            self.on_result(result)
+        if self._complete():
+            self.done.set()
+        return {"accepted": True}
+
+    def _op_cache_get(self, conn: _Conn, request: Dict) -> Dict:
+        key = str(request.get("key", ""))
+        payload = self.cache.get(key)
+        if payload is None:
+            payload = self.checkpoint.get(key)
+        return {"payload": payload}
+
+    def _op_cache_put(self, conn: _Conn, request: Dict) -> Dict:
+        key = str(request.get("key", ""))
+        payload = request.get("payload")
+        if not isinstance(payload, dict) or "rendered" not in payload:
+            raise DistProtocolError(
+                "cache_put payload must be a cell payload object")
+        payload.setdefault("workload", self.workload)
+        payload.setdefault(
+            "code_version",
+            self.cell_versions.get(str(payload.get("cell")), ""))
+        # the checkpoint (always on) makes this durable under --no-cache;
+        # the memoisation cache makes it shareable with later sweeps
+        self.checkpoint.put(key, payload)
+        self.cache.put(key, payload)
+        return {}
+
+
+# -- spawned local workers -----------------------------------------------------
+
+class _Spawner:
+    """``--spawn-workers N``: keep N local worker subprocesses alive,
+    respawning dead ones while the sweep is unresolved (bounded by the
+    policy's ``max_pool_deaths``, the same budget the coordinator's loss
+    accounting degrades on)."""
+
+    def __init__(self, count: int, host: str, port: int,
+                 policy: ResiliencePolicy, log_dir: pathlib.Path,
+                 label: str):
+        self.count = count
+        self.host = host
+        self.port = port
+        self.policy = policy
+        self.log_dir = pathlib.Path(log_dir)
+        self.label = label
+        self.respawns = 0
+        self._procs: List[subprocess.Popen] = []
+        self._logs: List = []
+
+    def _spawn_one(self, index: int) -> subprocess.Popen:
+        package_dir = pathlib.Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(package_dir.parent)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        log = open(self.log_dir / f"{self.label}-worker{index}.log", "a",
+                   encoding="utf-8")
+        self._logs.append(log)
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep-worker",
+             "--connect", f"{self.host}:{self.port}",
+             "--label", f"spawn{index}"],
+            stdout=log, stderr=subprocess.STDOUT, env=env)
+
+    def start(self) -> None:
+        self._procs = [self._spawn_one(index)
+                       for index in range(self.count)]
+
+    def reap_and_respawn(self) -> None:
+        """Respawn exited workers while the respawn budget lasts."""
+        for index, proc in enumerate(self._procs):
+            if proc.poll() is not None \
+                    and self.respawns < self.policy.max_pool_deaths:
+                self.respawns += 1
+                self._procs[index] = self._spawn_one(index)
+
+    def stop(self) -> None:
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=max(deadline - time.monotonic(), 0.1))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        for log in self._logs:
+            log.close()
+
+
+def run_distributed(items: Sequence[Tuple[str, int]], *,
+                    keys: Dict[str, str], frames: int, seed: int,
+                    policy: ResiliencePolicy, cache: SweepCache,
+                    checkpoint: SweepCache, workload: Dict,
+                    cell_versions: Dict[str, str],
+                    host: str, port: int,
+                    emit: Callable[..., None],
+                    on_start: Optional[Callable[[str], None]] = None,
+                    on_result: Optional[Callable[[CellResult], None]] = None,
+                    spawn_workers: int = 0, worker_wait_s: float = 30.0,
+                    log_dir: Optional[pathlib.Path] = None,
+                    label: str = "sweep",
+                    ready: Optional[Callable[[Tuple[str, int]], None]] = None,
+                    ) -> Tuple[Dict[str, CellResult],
+                               List[Tuple[str, int]], Dict[str, Dict]]:
+    """Coordinate ``items`` across the worker fleet; blocks until every
+    cell resolved or the coordinator degraded.
+
+    Returns ``(results, remaining, hosts)``: resolved cells, unresolved
+    (cell, attempt) pairs for the serial fallback, and the per-worker
+    attribution block for the timing sidecar.  ``ready`` (if given)
+    receives the bound (host, port) once the endpoint accepts workers —
+    tests use it to connect in-process workers.
+    """
+    coordinator = SweepCoordinator(
+        items, keys, frames, seed, policy, cache, checkpoint, workload,
+        cell_versions, emit, on_start=on_start, on_result=on_result,
+        host=host, port=port, worker_wait_s=worker_wait_s)
+
+    async def _main():
+        bound = await coordinator.start()
+        if ready is not None:
+            ready(bound)
+        spawner = None
+        if spawn_workers > 0:
+            spawner = _Spawner(spawn_workers, bound[0], bound[1], policy,
+                               log_dir or pathlib.Path("."), label)
+            spawner.start()
+        watchdog = asyncio.create_task(coordinator.watchdog())
+        try:
+            while not coordinator.done.is_set():
+                if spawner is not None:
+                    spawner.reap_and_respawn()
+                try:
+                    await asyncio.wait_for(coordinator.done.wait(), 0.2)
+                except asyncio.TimeoutError:
+                    pass
+            # grace: let connected workers lease once more and see "done"
+            deadline = time.monotonic() + 2.0
+            while coordinator._conns and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+        finally:
+            watchdog.cancel()
+            await coordinator.stop()
+            if spawner is not None:
+                spawner.stop()
+
+    asyncio.run(_main())
+    return coordinator.results, coordinator.remaining(), coordinator.hosts
+
+
+# -- the worker side -----------------------------------------------------------
+
+class WorkerClient(JsonLinesClient):
+    """Blocking coordinator connection of one sweep worker."""
+
+    unavailable_error = CoordinatorUnreachable
+
+    def error_for(self, response: Dict[str, object]) -> ReproError:
+        error = _CODE_TO_ERROR.get(response.get("code"),
+                                   DistributedSweepError)
+        return error(str(response.get("error", "request failed")))
+
+
+def run_worker(host: str, port: int, label: Optional[str] = None,
+               poll_s: float = DEFAULT_POLL_S, reconnects: int = 3,
+               out: Callable[[str], None] = print) -> int:
+    """``python -m repro sweep-worker``: lease, execute, report, repeat.
+
+    Returns a process exit status: 0 when the coordinator said ``done``,
+    3 when it became unreachable past the reconnect budget.  The worker
+    adopts the coordinator's fault spec (hello response) — a determinism
+    requirement: every host must decide injected faults identically.
+    ``kill`` clauses are honoured here (:func:`repro.faults.
+    mark_worker_process`), and a ``dropresult`` clause drops the
+    connection after the cell's payload reaches the shared cache but
+    before the result is reported — the coordinator's requeue then
+    recovers it without re-execution.
+    """
+    faults.mark_worker_process()
+    worker_id = origin_label(label or "worker")
+    attempts_left = reconnects + 1
+    while attempts_left > 0:
+        attempts_left -= 1
+        try:
+            client = WorkerClient(host, port, timeout=None)
+        except OSError as exc:
+            out(f"{worker_id}: coordinator {host}:{port} unreachable "
+                f"({exc}); {attempts_left} reconnect(s) left")
+            time.sleep(0.2)
+            continue
+        try:
+            hello = client.request({
+                "op": "hello", "worker": worker_id,
+                "host": host_label(), "pid": os.getpid(),
+            })
+            frames = int(hello["frames"])
+            seed = int(hello["seed"])
+            timeout_s = hello.get("timeout_s")
+            faults.install(hello.get("faults"))
+            out(f"{worker_id}: joined {host}:{port} "
+                f"(frames={frames} seed={seed})")
+            while True:
+                lease = client.request({"op": "lease"})
+                if lease.get("done"):
+                    out(f"{worker_id}: sweep done")
+                    client.close()
+                    return 0
+                if lease.get("wait"):
+                    time.sleep(float(lease.get("backoff_s", poll_s)))
+                    continue
+                name = lease["cell"]
+                attempt = int(lease.get("attempt", 0))
+                key = lease["key"]
+                cached = client.request(
+                    {"op": "cache_get", "key": key}).get("payload")
+                restored = cached is not None
+                if restored:
+                    result = CellResult(
+                        name, rendered=cached["rendered"],
+                        wall_s=cached.get("wall_s", 0.0),
+                        cycles=cached.get("cycles"),
+                        attempts=attempt + 1)
+                else:
+                    result = execute_cell(name, frames, seed, attempt,
+                                          timeout_s)
+                    if result.ok:
+                        client.request({
+                            "op": "cache_put", "key": key,
+                            "payload": {
+                                "cell": name,
+                                "rendered": result.rendered,
+                                "wall_s": round(result.wall_s, 4),
+                                "cycles": result.cycles,
+                            }})
+                if faults.should_drop_result(name, attempt):
+                    # injected completed-but-unreported death: the payload
+                    # is in the shared cache, the report is not sent
+                    out(f"{worker_id}: dropping connection after "
+                        f"{name} (injected dropresult)")
+                    client.close()
+                    break    # reconnect and keep working
+                wire = dataclasses.asdict(result)
+                client.request({
+                    "op": "result", "cell": name, "attempt": attempt,
+                    "restored": restored,
+                    "result": {field_: wire[field_]
+                               for field_ in _RESULT_FIELDS}})
+                out(f"{worker_id}: {name} "
+                    f"{'restored' if restored else 'done'} "
+                    f"({result.wall_s:.2f}s)")
+        except (CoordinatorUnreachable, ConnectionError, OSError) as exc:
+            out(f"{worker_id}: lost coordinator ({exc}); "
+                f"{attempts_left} reconnect(s) left")
+            time.sleep(0.2)
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+    return 3

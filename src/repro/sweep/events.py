@@ -1,6 +1,6 @@
 """Structured observability for sweep runs.
 
-Two artifacts record what a sweep did and how long it took:
+Three artifacts record what a sweep did and how long it took:
 
 * the **run log** — an append-only JSONL stream (:class:`RunLog`), one
   event per line: ``sweep_start``, then per cell either ``cache_hit``,
@@ -8,17 +8,36 @@ Two artifacts record what a sweep did and how long it took:
   (with wall time and cycle totals), interleaved with the resilience
   layer's recovery events — ``cell_retry``, ``cell_timeout``,
   ``pool_respawn``, ``degraded_serial``, ``cache_corrupt``,
-  ``replay_divergence``, each tagged with its :mod:`repro.errors` code —
-  then ``sweep_finish`` with the totals.  Because each line is flushed as
-  it is written, a killed sweep still leaves a parseable prefix —
-  :func:`read_events` tolerates a truncated final line (and raises
-  :class:`~repro.errors.RunLogCorrupt` on mid-stream corruption);
-* the **sweep report** — ``sweep_report.json``
-  (:func:`build_sweep_report`), the per-cell summary that
-  :func:`repro.experiments.report.render_sweep_provenance` consumes to
-  stamp EXPERIMENTS.md with timing provenance.
+  ``replay_divergence``, the distributed runner's ``worker_join`` /
+  ``worker_lost`` / ``dist_cache_hit`` and the incremental planner's
+  ``incremental_plan`` / ``incremental_skip`` / ``incremental_invalidated``
+  / ``incremental_miss``, each tagged with its :mod:`repro.errors` code —
+  then ``sweep_finish`` with the totals.  Every event carries an
+  ``origin`` (``host-pid``, workers append their label), so run logs
+  merged across hosts stay unambiguous; :func:`origin_label` builds it
+  and the orchestrator folds the same host component into run-log file
+  names.  Because each line is flushed as it is written, a killed sweep
+  still leaves a parseable prefix — :func:`read_events` tolerates a
+  truncated final line (and raises :class:`~repro.errors.RunLogCorrupt`
+  on mid-stream corruption);
+* the **sweep report** — ``sweep_report.json``, the *deterministic*
+  per-cell summary (names, cache keys, per-cell code versions, cycle
+  totals, errors).  It contains nothing host-, timing- or
+  schedule-dependent, so a serial run, a 4-job pool run and a multi-host
+  distributed run of the same workload write byte-identical files — the
+  differential suites ``cmp`` them directly.  It is also the input the
+  ``--incremental`` planner diffs new keys against;
+* the **timing sidecar** — ``sweep_timing.json``, everything the report
+  deliberately leaves out: wall times, cache hits, attempts, job count,
+  per-worker attribution and the replay-engine breakdown.
 
-Cycle totals in both artifacts come from
+:func:`build_sweep_report` assembles one in-memory superset dict (what
+:class:`repro.sweep.orchestrator.SweepResult` exposes and the
+EXPERIMENTS.md provenance stamp consumes); :func:`split_sweep_report`
+divides it into the two on-disk artifacts and :func:`merge_sweep_report`
+reassembles them when stamping from disk.
+
+Cycle totals come from
 :meth:`repro.core.timing.MeTimingResult.as_dict` — deterministic replay
 numbers, so a serial and a parallel sweep of the same workload report
 identical cycles (only the wall times differ).
@@ -27,24 +46,57 @@ identical cycles (only the wall times differ).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import re
+import socket
 import time
 from typing import Dict, List, Optional
 
 from repro.errors import RunLogCorrupt
 
+#: per-cell fields that are a pure function of (workload, code); they
+#: land in sweep_report.json and must be byte-identical across runners
+DETERMINISTIC_CELL_FIELDS = ("name", "key", "code_version", "cycles",
+                             "error", "error_code")
+
+#: per-cell fields that depend on scheduling, caching or the host; they
+#: land in the sweep_timing.json sidecar
+TIMING_CELL_FIELDS = ("name", "cached", "wall_s", "attempts", "worker")
+
+
+def host_label() -> str:
+    """This machine's hostname, sanitised for file names and labels."""
+    name = socket.gethostname() or "localhost"
+    return re.sub(r"[^A-Za-z0-9.-]+", "-", name)[:32] or "localhost"
+
+
+def origin_label(worker: Optional[str] = None) -> str:
+    """``host-pid[-worker]`` — the namespace component that keeps labels
+    and events from different hosts (and workers on one host) distinct
+    when their run logs are merged."""
+    origin = f"{host_label()}-{os.getpid()}"
+    return f"{origin}-{worker}" if worker else origin
+
 
 class RunLog:
-    """Append-only JSONL event stream, flushed per event."""
+    """Append-only JSONL event stream, flushed per event.
 
-    def __init__(self, path: pathlib.Path):
+    ``origin`` namespaces every event with the writing host and process
+    (see :func:`origin_label`); events that already carry an explicit
+    ``origin`` field (e.g. relayed from a remote worker) keep it.
+    """
+
+    def __init__(self, path: pathlib.Path, origin: Optional[str] = None):
         self.path = pathlib.Path(path)
+        self.origin = origin or origin_label()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def event(self, kind: str, **fields) -> None:
         """Write one event line: ``{"t": ..., "event": kind, **fields}``."""
-        record = {"t": round(time.time(), 3), "event": kind}
+        record = {"t": round(time.time(), 3), "event": kind,
+                  "origin": self.origin}
         record.update(fields)
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
@@ -95,13 +147,21 @@ def read_events(path: pathlib.Path, kind: Optional[str] = None,
 
 def build_sweep_report(workload: Dict, code_version: str, jobs: int,
                        cells: List, wall_s: float,
-                       replay: Optional[Dict] = None) -> Dict:
-    """Distil a sweep's cell results into the ``sweep_report.json`` dict.
+                       replay: Optional[Dict] = None,
+                       keys: Optional[Dict[str, str]] = None,
+                       cell_versions: Optional[Dict[str, str]] = None,
+                       hosts: Optional[Dict] = None) -> Dict:
+    """Distil a sweep's cell results into the in-memory report dict.
 
     ``cells`` are :class:`repro.sweep.executor.CellResult` objects in
-    report order.  The dict is stable apart from wall times and the
-    generation timestamp, so differential tests compare its cycle numbers
-    directly.  ``replay`` is the replay-engine observability block
+    report order; ``keys``/``cell_versions`` map cell names onto their
+    cache keys and per-module-closure code versions
+    (:func:`repro.sweep.deps.cell_code_version`); ``hosts`` is the
+    distributed runner's per-worker attribution block.  The returned
+    dict is the superset of both on-disk artifacts — feed it to
+    :func:`split_sweep_report` to get the deterministic
+    ``sweep_report.json`` half and the ``sweep_timing.json`` sidecar.
+    ``replay`` is the replay-engine observability block
     (:meth:`repro.experiments.workload.ExperimentContext.replay_breakdown`)
     of the run's warmed context, when one exists.
     """
@@ -114,20 +174,27 @@ def build_sweep_report(workload: Dict, code_version: str, jobs: int,
             "error": cell.error.strip().splitlines()[-1] if cell.error
             else None,
         }
+        if keys and cell.name in keys:
+            row["key"] = keys[cell.name]
+        if cell_versions and cell.name in cell_versions:
+            row["code_version"] = cell_versions[cell.name]
         if cell.cycles is not None:
             row["cycles"] = cell.cycles
         if cell.attempts > 1:
             row["attempts"] = cell.attempts
         if cell.error_code:
             row["error_code"] = cell.error_code
+        if getattr(cell, "worker", None):
+            row["worker"] = cell.worker
         cell_rows.append(row)
     return {
-        "version": 1,
+        "version": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "workload": workload,
         "code_version": code_version,
         "jobs": jobs,
         "replay": replay,
+        "hosts": hosts,
         "cells": cell_rows,
         "totals": {
             "cells": len(cells),
@@ -138,4 +205,85 @@ def build_sweep_report(workload: Dict, code_version: str, jobs: int,
             "retries": sum(cell.attempts - 1 for cell in cells),
             "wall_s": round(wall_s, 4),
         },
+    }
+
+
+def split_sweep_report(report: Dict) -> tuple:
+    """Split the superset dict into ``(deterministic, timing)`` halves.
+
+    The deterministic half is a pure function of (workload, code): cell
+    names, cache keys, per-cell code versions, cycle totals and error
+    outcomes — every runner (serial, pooled, distributed, incremental)
+    of the same inputs writes identical bytes.  The timing half carries
+    the rest: timestamps, wall times, cache/attempt/worker attribution,
+    job count, hosts, the replay breakdown.
+    """
+    det_cells = []
+    timing_cells = []
+    for row in report["cells"]:
+        det_cells.append({field: row[field]
+                          for field in DETERMINISTIC_CELL_FIELDS
+                          if field in row})
+        timing_cells.append({field: row[field]
+                             for field in TIMING_CELL_FIELDS
+                             if field in row})
+    totals = report["totals"]
+    deterministic = {
+        "version": report["version"],
+        "workload": report["workload"],
+        "code_version": report["code_version"],
+        "cells": det_cells,
+        "totals": {"cells": totals["cells"], "errors": totals["errors"]},
+    }
+    timing = {
+        "version": report["version"],
+        "generated_at": report["generated_at"],
+        "jobs": report["jobs"],
+        "replay": report["replay"],
+        "hosts": report.get("hosts"),
+        "cells": timing_cells,
+        "totals": {key: totals[key]
+                   for key in ("cache_hits", "executed", "retries",
+                               "wall_s")},
+    }
+    return deterministic, timing
+
+
+def merge_sweep_report(deterministic: Dict,
+                       timing: Optional[Dict] = None) -> Dict:
+    """Reassemble the superset dict from the two on-disk artifacts.
+
+    The timing sidecar is optional (someone may ship only the
+    deterministic report); missing timing fields get neutral defaults so
+    the provenance renderer still works.
+    """
+    timing = timing or {}
+    timing_rows = {row["name"]: row for row in timing.get("cells", [])}
+    cells = []
+    for det_row in deterministic["cells"]:
+        row = dict(det_row)
+        extra = timing_rows.get(det_row["name"], {})
+        row.setdefault("cached", extra.get("cached", False))
+        row.setdefault("wall_s", extra.get("wall_s", 0.0))
+        for field in ("attempts", "worker"):
+            if field in extra:
+                row[field] = extra[field]
+        cells.append(row)
+    totals = dict(deterministic["totals"])
+    totals.update(timing.get("totals", {}))
+    totals.setdefault("cache_hits", 0)
+    totals.setdefault("executed",
+                      totals["cells"] - totals["errors"])
+    totals.setdefault("retries", 0)
+    totals.setdefault("wall_s", 0.0)
+    return {
+        "version": deterministic["version"],
+        "generated_at": timing.get("generated_at", "unknown"),
+        "workload": deterministic["workload"],
+        "code_version": deterministic["code_version"],
+        "jobs": timing.get("jobs", 1),
+        "replay": timing.get("replay"),
+        "hosts": timing.get("hosts"),
+        "cells": cells,
+        "totals": totals,
     }

@@ -118,6 +118,9 @@ class CellResult:
     transient: bool = False
     #: stable repro.errors code of the failure, when one applies
     error_code: Optional[str] = None
+    #: distributed-worker attribution (``host-pid-label``), None when the
+    #: cell ran locally; lands in the sweep_timing.json sidecar only
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -13,18 +13,33 @@ serial runner does, but treats each section as an independent, memoisable
    interrupted earlier run restore next (``checkpoint_restore``) — this
    works even with ``--no-cache``, because the checkpoint is the crash-
    recovery journal, not the memoisation cache;
-3. fan the misses across the process pool (``--jobs``) under the
-   resilience policy: per-cell timeouts, bounded retry-with-backoff,
-   pool respawn after worker deaths and serial degradation as the last
-   resort — every recovery action logged as a structured event
-   (``cell_timeout`` / ``cell_retry`` / ``pool_respawn`` /
-   ``degraded_serial``).  Each finished cell is written to the cache and
-   the checkpoint atomically, so an interrupted sweep resumes from what
-   it finished;
+3. fan the misses across the process pool (``--jobs``) — or, with
+   ``--distributed HOST:PORT``, across the multi-host work-stealing
+   fleet (:mod:`repro.sweep.distributed`) — under the resilience
+   policy: per-cell timeouts, bounded retry-with-backoff, pool respawn
+   (or cross-host requeue) after worker deaths and serial degradation
+   as the last resort — every recovery action logged as a structured
+   event (``cell_timeout`` / ``cell_retry`` / ``pool_respawn`` /
+   ``worker_lost`` / ``degraded_serial``).  Each finished cell is
+   written to the cache and the checkpoint atomically, so an
+   interrupted sweep resumes from what it finished;
 4. assemble the report in deterministic cell order — byte-identical
-   regardless of job count, cache state, or how many faults were
-   recovered from — and write ``sweep_report.json`` next to the run
-   logs.  A fully successful sweep clears its checkpoint.
+   regardless of job count, worker fleet, cache state, or how many
+   faults were recovered from — and write the deterministic
+   ``sweep_report.json`` plus the ``sweep_timing.json`` sidecar next to
+   the run logs (:func:`repro.sweep.events.split_sweep_report`).  A
+   fully successful sweep clears its checkpoint.
+
+Cache keys are **per-cell**: each cell's ``code_version`` is the
+fingerprint of its static import closure
+(:func:`repro.sweep.deps.cell_code_version`), so an edit invalidates
+exactly the cells that can reach the edited module.  ``--incremental``
+leans on that: it diffs the new keys against the previous on-disk
+``sweep_report.json``, logs the plan (``incremental_plan``, then
+``incremental_skip`` / ``incremental_invalidated`` / ``incremental_miss``
+per cell), restores every unchanged cell from the cache and re-executes
+only the invalidated ones — and still writes the full report, byte-for-
+byte identical to a cold sweep of the same tree.
 
 Failures are isolated per cell: the report carries an error marker
 section, the run log carries the traceback, and the caller (the ``sweep``
@@ -42,28 +57,36 @@ chaos tests and the CI chaos job drive these paths with.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.core.exploration import ExplorationConfig
 from repro.core.timing import set_replay_verification
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepWorkerDied
 from repro.experiments.runner import RUNNERS, cell_names, error_section
 from repro.experiments.workload import (
     DEFAULT_FRAMES,
     peek_context,
     workload_fingerprint,
 )
-from repro.sweep.cache import SweepCache, cell_key, code_fingerprint
-from repro.sweep.events import RunLog, build_sweep_report
+from repro.sweep.cache import SweepCache, cell_key
+from repro.sweep.deps import cell_code_versions, sweep_code_version
+from repro.sweep.events import (
+    RunLog,
+    build_sweep_report,
+    host_label,
+    split_sweep_report,
+)
 from repro.sweep.executor import (
     WORKLOAD_CELL,
     CellResult,
     ResiliencePolicy,
+    _run_serial,
     run_cells,
 )
 
@@ -101,6 +124,20 @@ class SweepConfig:
     #: deterministic fault-injection spec (see :mod:`repro.faults`);
     #: None also adopts the REPRO_FAULTS environment variable
     fault_spec: Optional[str] = None
+    #: diff cell keys against the previous sweep_report.json and
+    #: re-execute only invalidated cells (requires the cache)
+    incremental: bool = False
+    #: ``HOST:PORT`` to bind the multi-host coordinator on (None = the
+    #: single-host pool path)
+    distributed: Optional[str] = None
+    #: local worker subprocesses the coordinator spawns itself
+    spawn_workers: int = 0
+    #: how long the coordinator waits for a (first or replacement)
+    #: worker before degrading to serial execution
+    worker_wait_s: float = 30.0
+    #: analyse this tree instead of the installed package when
+    #: fingerprinting code (benchmarks point it at a modified copy)
+    code_root: Optional[pathlib.Path] = None
 
     def resolve_cells(self) -> List[str]:
         names = [WORKLOAD_CELL] + cell_names(self.extensions)
@@ -126,13 +163,20 @@ class SweepConfig:
 
 @dataclass
 class SweepResult:
-    """A finished sweep: the report text plus its observability record."""
+    """A finished sweep: the report text plus its observability record.
+
+    ``sweep_report`` is the in-memory superset dict; on disk it is split
+    into the deterministic ``report_path`` (byte-identical across
+    runners) and the ``timing_path`` sidecar — see
+    :func:`repro.sweep.events.split_sweep_report`.
+    """
 
     report: str
     cells: List[CellResult]
     sweep_report: Dict
     run_log: pathlib.Path
     report_path: pathlib.Path
+    timing_path: Optional[pathlib.Path] = None
 
     @property
     def failures(self) -> List[CellResult]:
@@ -141,6 +185,21 @@ class SweepResult:
     @property
     def cache_hits(self) -> int:
         return sum(1 for cell in self.cells if cell.cached)
+
+
+def _previous_cells(report_path: pathlib.Path) -> Optional[Dict[str, Dict]]:
+    """The previous deterministic report's cells by name, or None when
+    no (readable, keyed) previous report exists — an unreadable previous
+    report downgrades --incremental to a plain sweep, never an error."""
+    try:
+        with open(report_path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+        rows = {row["name"]: row for row in previous["cells"]}
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if not all("key" in row for row in rows.values()):
+        return None   # pre-keyed report format: nothing to diff against
+    return rows
 
 
 def _assemble(cells: List[CellResult]) -> str:
@@ -186,22 +245,34 @@ def run_sweep(config: Optional[SweepConfig] = None,
     names = config.resolve_cells()
     workload = workload_fingerprint(
         ExplorationConfig(frames=config.frames, seed=config.seed))
-    code_version = code_fingerprint()
+    cell_versions = cell_code_versions(names, config.code_root)
+    code_version = sweep_code_version(cell_versions)
     cache = SweepCache(config.cache_dir or config.root / "cache",
                        enabled=config.use_cache)
     #: the crash-recovery journal: always on, cleared by a clean finish,
     #: so an interrupted sweep resumes its completed cells even when the
     #: memoisation cache is disabled
     checkpoint = SweepCache(config.root / "checkpoint")
-    # pid + per-process counter: two sweeps in the same process and second
-    # must not append to the same run log
+    # host + pid + per-process counter: sweeps started the same second —
+    # in one process, or on different hosts writing one shared run
+    # directory — must not append to the same run log
     label = (time.strftime("run-%Y%m%d-%H%M%S")
-             + f"-{os.getpid()}-{next(_RUN_SEQUENCE)}")
+             + f"-{host_label()}-{os.getpid()}-{next(_RUN_SEQUENCE)}")
     started = time.perf_counter()
+    report_path = config.root / "sweep_report.json"
 
-    keys = {name: cell_key(name, workload, code_version) for name in names}
+    keys = {name: cell_key(name, workload, cell_versions[name])
+            for name in names}
+    previous: Optional[Dict[str, Dict]] = None
+    if config.incremental:
+        if not config.use_cache:
+            raise ExperimentError(
+                "--incremental diffs against cached cells and cannot "
+                "run with --no-cache")
+        previous = _previous_cells(report_path)
     results: Dict[str, CellResult] = {}
     misses: List[str] = []
+    hosts: Optional[Dict] = None
     log_path = config.root / "runs" / f"{label}.jsonl"
     with RunLog(log_path) as log:
         cache.on_corrupt = checkpoint.on_corrupt = \
@@ -213,8 +284,31 @@ def run_sweep(config: Optional[SweepConfig] = None,
                   cell_timeout_s=config.cell_timeout_s,
                   max_retries=config.max_retries,
                   verify_replay_pct=config.verify_replay_pct,
+                  incremental=config.incremental,
+                  distributed=config.distributed,
                   faults=faults.active() is not None)
+        if previous is not None:
+            unchanged = [name for name in names
+                         if previous.get(name, {}).get("key")
+                         == keys[name]]
+            invalidated = [name for name in names if name not in unchanged]
+            log.event("incremental_plan", previous=str(report_path),
+                      unchanged=unchanged, invalidated=invalidated)
         for name in names:
+            unchanged = False
+            if previous is not None:
+                prev_row = previous.get(name) or {}
+                unchanged = prev_row.get("key") == keys[name]
+                if unchanged:
+                    log.event("incremental_skip", cell=name,
+                              key=keys[name])
+                else:
+                    log.event("incremental_invalidated", cell=name,
+                              key=keys[name],
+                              previous_key=prev_row.get("key"),
+                              code_version=cell_versions[name],
+                              previous_code_version=prev_row.get(
+                                  "code_version"))
             payload = cache.get(keys[name])
             if payload is not None:
                 results[name] = _restored_result(name, payload)
@@ -235,6 +329,11 @@ def run_sweep(config: Optional[SweepConfig] = None,
                 if progress:
                     progress(f"{name}: restored from checkpoint")
                 continue
+            if unchanged:
+                # the planner expected a restore but the entry is gone
+                # (evicted, cleared or quarantined): record the broken
+                # expectation, then execute honestly
+                log.event("incremental_miss", cell=name, key=keys[name])
             misses.append(name)
 
         def on_start(name: str) -> None:
@@ -268,7 +367,7 @@ def run_sweep(config: Optional[SweepConfig] = None,
                 "wall_s": round(result.wall_s, 4),
                 "cycles": result.cycles,
                 "workload": workload,
-                "code_version": code_version,
+                "code_version": cell_versions[result.name],
             }
             key = keys[result.name]
             checkpoint.put(key, payload)
@@ -280,12 +379,38 @@ def run_sweep(config: Optional[SweepConfig] = None,
                 faults.maybe_corrupt_file(cache.entry_path(key),
                                           result.name)
 
-        for result in run_cells(misses, config.frames, config.seed,
-                                jobs=config.jobs, on_start=on_start,
-                                on_result=on_result,
-                                policy=config.policy(),
-                                on_event=on_event):
-            results[result.name] = result
+        if config.distributed is not None and misses:
+            from repro.sweep.distributed import parse_bind, run_distributed
+            bind_host, bind_port = parse_bind(config.distributed)
+            resolved, remaining, hosts = run_distributed(
+                [(name, 0) for name in misses], keys=keys,
+                frames=config.frames, seed=config.seed,
+                policy=config.policy(), cache=cache,
+                checkpoint=checkpoint, workload=workload,
+                cell_versions=cell_versions, host=bind_host,
+                port=bind_port, emit=on_event, on_start=on_start,
+                on_result=on_result,
+                spawn_workers=config.spawn_workers,
+                worker_wait_s=config.worker_wait_s,
+                log_dir=config.root / "runs", label=label)
+            results.update(resolved)
+            if remaining:
+                # the fleet never materialised or died off: finish the
+                # unresolved cells serially in-process, where injected
+                # kills are not honoured, so the sweep still terminates
+                on_event("degraded_serial",
+                         cells=[name for name, _ in remaining],
+                         code=SweepWorkerDied.code)
+                results.update(_run_serial(
+                    remaining, config.frames, config.seed,
+                    config.policy(), on_start, on_result, on_event))
+        else:
+            for result in run_cells(misses, config.frames, config.seed,
+                                    jobs=config.jobs, on_start=on_start,
+                                    on_result=on_result,
+                                    policy=config.policy(),
+                                    on_event=on_event):
+                results[result.name] = result
 
         ordered = [results[name] for name in names if name in results]
         wall_s = time.perf_counter() - started
@@ -298,7 +423,9 @@ def run_sweep(config: Optional[SweepConfig] = None,
                 log.event("replay_divergence", **record)
         sweep_report = build_sweep_report(workload, code_version,
                                           config.jobs, ordered, wall_s,
-                                          replay=replay)
+                                          replay=replay, keys=keys,
+                                          cell_versions=cell_versions,
+                                          hosts=hosts)
         log.event("sweep_finish", **sweep_report["totals"])
 
     # chaos hook: a ``truncate`` clause shears the final run-log line,
@@ -307,12 +434,19 @@ def run_sweep(config: Optional[SweepConfig] = None,
     if len(ordered) == len(names) and not any(c.error for c in ordered):
         checkpoint.clear()
 
-    report_path = config.root / "sweep_report.json"
-    _write_json(report_path, sweep_report)
+    # split before writing: sweep_report.json carries only fields that
+    # are pure functions of (workload, code), so serial / pooled /
+    # distributed / incremental runs of the same tree produce it
+    # byte-for-byte; everything schedule-dependent lands in the sidecar
+    deterministic, timing = split_sweep_report(sweep_report)
+    timing_path = config.root / "sweep_timing.json"
+    _write_json(report_path, deterministic)
+    _write_json(timing_path, timing)
     return SweepResult(
         report=_assemble(ordered),
         cells=ordered,
         sweep_report=sweep_report,
         run_log=log_path,
         report_path=report_path,
+        timing_path=timing_path,
     )

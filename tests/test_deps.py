@@ -1,0 +1,190 @@
+"""Static import-graph analysis behind the per-cell cache keys.
+
+The load-bearing guarantees:
+
+* the scan sees function-level imports and resolves symbol imports to
+  their defining module;
+* orchestration modules (sweep/, faults, __main__, jsonlines) never
+  enter a closure;
+* the decoder is reachable from no registered cell, so a decoder-only
+  edit moves no cell's code version — the incremental-sweep premise;
+* an encoder edit moves context-backed cells (tables run the encoder via
+  the shared workload) but no pure replay figure;
+* unknown cells fall back to the global fingerprint (never
+  under-invalidated).
+"""
+
+import pathlib
+import shutil
+
+import repro
+from repro.experiments.runner import RUNNERS, cell_names
+from repro.sweep import cell_closure, cell_code_version, code_fingerprint
+from repro.sweep.deps import (
+    ModuleInfo,
+    cell_code_versions,
+    cell_roots,
+    closure,
+    reset_scan_cache,
+    scan,
+)
+
+PACKAGE_ROOT = pathlib.Path(repro.__file__).parent
+
+
+def _graph(**imports):
+    """A synthetic import graph: name -> tuple of imported names."""
+    return {name: ModuleInfo(name=name, path=f"{name}.py",
+                             fingerprint="0" * 16, imports=deps)
+            for name, deps in imports.items()}
+
+
+class TestScan:
+    def test_real_tree_scan_is_plausible(self):
+        modules = scan()
+        assert "repro.codec.decoder" in modules
+        assert "repro.experiments.workload" in modules
+        assert "repro.codec" in modules       # package __init__
+        info = modules["repro.experiments.workload"]
+        assert "repro.core.exploration" in info.imports
+        assert len(info.fingerprint) == 16
+
+    def test_function_level_imports_are_seen(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "late.py").write_text(
+            "def f():\n    from repro import helper\n    return helper\n")
+        (pkg / "helper.py").write_text("X = 1\n")
+        modules = scan(pkg)
+        assert modules["repro.late"].imports == ("repro.helper",)
+
+    def test_relative_and_symbol_imports_resolve(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "sub" / "__init__.py").write_text("")
+        (pkg / "sub" / "a.py").write_text("from . import b\n")
+        (pkg / "sub" / "b.py").write_text(
+            "from repro.sub.c import Thing\n")
+        (pkg / "sub" / "c.py").write_text("class Thing:\n    pass\n")
+        modules = scan(pkg)
+        assert modules["repro.sub.a"].imports == ("repro.sub.b",)
+        assert modules["repro.sub.b"].imports == ("repro.sub.c",)
+
+    def test_syntax_error_is_fingerprinted_without_edges(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "broken.py").write_text("def oops(:\n")
+        modules = scan(pkg)
+        assert modules["repro.broken"].imports == ()
+        assert len(modules["repro.broken"].fingerprint) == 16
+
+
+class TestClosure:
+    def test_transitive_walk(self):
+        graph = _graph(**{"repro.a": ("repro.b",),
+                          "repro.b": ("repro.c",),
+                          "repro.c": (),
+                          "repro.d": ()})
+        assert closure(["repro.a"], graph) \
+            == {"repro.a", "repro.b", "repro.c"}
+
+    def test_excluded_modules_are_skipped(self):
+        graph = _graph(**{"repro.a": ("repro.faults",
+                                      "repro.sweep.cache",
+                                      "repro.jsonlines", "repro.b"),
+                          "repro.faults": ("repro.c",),
+                          "repro.sweep.cache": (),
+                          "repro.jsonlines": (),
+                          "repro.b": (), "repro.c": ()})
+        assert closure(["repro.a"], graph) == {"repro.a", "repro.b"}
+
+    def test_cycles_terminate(self):
+        graph = _graph(**{"repro.a": ("repro.b",),
+                          "repro.b": ("repro.a",)})
+        assert closure(["repro.a"], graph) == {"repro.a", "repro.b"}
+
+
+class TestCellClosures:
+    def test_every_registered_cell_has_a_closure(self):
+        for name in ["workload"] + cell_names(True):
+            members = cell_closure(name)
+            assert members, name
+            assert "repro.experiments.runner" in members, name
+
+    def test_decoder_is_in_no_cell_closure(self):
+        # the premise of the incremental acceptance test: nothing the
+        # sweep runs can reach the decoder, so a decoder edit moves no key
+        for name in ["workload"] + cell_names(True):
+            assert "repro.codec.decoder" not in cell_closure(name), name
+
+    def test_figures_do_not_close_over_the_encoder(self):
+        # figures replay recorded traces; only context-backed cells
+        # (which run the encoder via the shared workload) see codec code
+        for name, (kind, _) in RUNNERS.items():
+            members = cell_closure(name)
+            if kind == "figure":
+                assert "repro.codec.encoder" not in members, name
+            else:
+                assert "repro.codec.encoder" in members, name
+
+    def test_orchestration_never_enters_a_closure(self):
+        for name in ["workload"] + cell_names(True):
+            for member in cell_closure(name):
+                assert not member.startswith("repro.sweep"), name
+                assert member not in ("repro.faults", "repro.__main__",
+                                      "repro.jsonlines"), name
+
+    def test_unknown_cell_falls_back_to_global_fingerprint(self):
+        assert cell_roots("no-such-cell") is None
+        assert cell_closure("no-such-cell") is None
+        assert cell_code_version("no-such-cell") == code_fingerprint()
+
+
+class TestCodeVersions:
+    @staticmethod
+    def _copy_tree(tmp_path, name):
+        copy = tmp_path / name / "repro"
+        shutil.copytree(PACKAGE_ROOT, copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        return copy
+
+    def test_decoder_edit_moves_no_cell(self, tmp_path):
+        copy = self._copy_tree(tmp_path, "edited")
+        baseline = cell_code_versions(["workload"] + cell_names(True),
+                                      PACKAGE_ROOT)
+        with open(copy / "codec" / "decoder.py", "a") as handle:
+            handle.write("\n# decoder-only edit\n")
+        reset_scan_cache()
+        try:
+            edited = cell_code_versions(list(baseline), copy)
+        finally:
+            reset_scan_cache()
+        assert edited == baseline
+
+    def test_encoder_edit_moves_tables_but_not_figures(self, tmp_path):
+        copy = self._copy_tree(tmp_path, "edited")
+        names = ["workload"] + cell_names(True)
+        baseline = cell_code_versions(names, PACKAGE_ROOT)
+        with open(copy / "codec" / "encoder.py", "a") as handle:
+            handle.write("\n# encoder edit\n")
+        reset_scan_cache()
+        try:
+            edited = cell_code_versions(names, copy)
+        finally:
+            reset_scan_cache()
+        for name in names:
+            kind = RUNNERS[name][0] if name in RUNNERS else "table"
+            if kind == "figure":
+                assert edited[name] == baseline[name], name
+            else:
+                assert edited[name] != baseline[name], name
+
+    def test_versions_are_stable_across_scans(self):
+        names = cell_names(False)
+        reset_scan_cache()
+        first = cell_code_versions(names)
+        reset_scan_cache()
+        assert cell_code_versions(names) == first

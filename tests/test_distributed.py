@@ -1,0 +1,308 @@
+"""The multi-host work-stealing sweep: protocol, resilience, identity.
+
+The load-bearing guarantees:
+
+* a loopback fleet resolves every cell and the orchestrator's
+  deterministic artifacts are **byte-identical** to a serial sweep —
+  clean, under injected worker deaths, and with workers joining
+  mid-sweep;
+* a connection lost with cells leased gets them requeued at attempt + 1
+  (``worker_lost``), and repeated losses degrade to serial in-process
+  execution instead of hanging;
+* an injected ``dropresult`` (cell finished, connection dropped before
+  the report) is recovered from the shared cache without re-execution
+  (``dist_cache_hit``);
+* protocol misuse gets a typed ``REPRO-DIST-PROTOCOL`` reply, never a
+  dead connection.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.core.exploration import ExplorationConfig
+from repro.errors import DistProtocolError, ExperimentError
+from repro.experiments.workload import workload_fingerprint
+from repro.sweep import (
+    ResiliencePolicy,
+    SweepCache,
+    SweepConfig,
+    cell_code_versions,
+    cell_key,
+    read_events,
+    run_sweep,
+)
+from repro.sweep.distributed import (
+    WorkerClient,
+    parse_bind,
+    run_distributed,
+    run_worker,
+)
+
+FRAMES = 3
+
+#: cheap deterministic cells: figures replay recorded traces
+CELLS = ["figure1", "figure3"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    faults.clear()
+    faults._FORCED_WORKER = False   # run_worker marks the test process
+    yield
+    faults.clear()
+    faults._FORCED_WORKER = False
+
+
+def _collector():
+    events = []
+    lock = threading.Lock()
+
+    def emit(kind, **fields):
+        with lock:
+            events.append({"event": kind, **fields})
+
+    return events, emit
+
+
+def _dist(tmp_path, items, workers=1, policy=None, worker_wait_s=10.0,
+          ready_extra=None):
+    """Run ``items`` through a loopback coordinator with ``workers``
+    in-process worker threads (joined before returning)."""
+    events, emit = _collector()
+    cache = SweepCache(tmp_path / "cache")
+    checkpoint = SweepCache(tmp_path / "checkpoint")
+    workload = workload_fingerprint(ExplorationConfig(frames=FRAMES))
+    names = [name for name, _ in items]
+    versions = cell_code_versions(names)
+    keys = {name: cell_key(name, workload, versions[name])
+            for name in names}
+    threads = []
+
+    # ready() runs inside the coordinator's event loop: everything that
+    # talks to it (workers, probes) must live on its own thread.  The
+    # gate sequences them — the probe acts first, then workers drain.
+    gate = threading.Event()
+    if ready_extra is None:
+        gate.set()
+
+    def _probe(bound):
+        try:
+            ready_extra(bound)
+        finally:
+            gate.set()
+
+    def _worker(bound, index):
+        gate.wait(timeout=20)
+        run_worker(bound[0], bound[1], label=f"t{index}",
+                   out=lambda _: None)
+
+    def ready(bound):
+        if ready_extra is not None:
+            thread = threading.Thread(target=_probe, args=(bound,),
+                                      daemon=True)
+            thread.start()
+            threads.append(thread)
+        for index in range(workers):
+            thread = threading.Thread(target=_worker,
+                                      args=(bound, index), daemon=True)
+            thread.start()
+            threads.append(thread)
+
+    results, remaining, hosts = run_distributed(
+        items, keys=keys, frames=FRAMES, seed=2002,
+        policy=policy or ResiliencePolicy(), cache=cache,
+        checkpoint=checkpoint, workload=workload,
+        cell_versions=versions, host="127.0.0.1", port=0, emit=emit,
+        worker_wait_s=worker_wait_s, ready=ready)
+    for thread in threads:
+        thread.join(timeout=20)
+    return results, remaining, hosts, events
+
+
+class TestParseBind:
+    def test_host_and_port(self):
+        assert parse_bind("10.0.0.5:4000") == ("10.0.0.5", 4000)
+
+    def test_bare_port_binds_loopback(self):
+        assert parse_bind(":0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["nope", "host:", ":port", ""])
+    def test_bad_addresses_raise(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_bind(bad)
+
+
+class TestWorkStealing:
+    def test_fleet_resolves_every_cell(self, tmp_path):
+        items = [(name, 0) for name in CELLS]
+        results, remaining, hosts, events = _dist(tmp_path, items,
+                                                  workers=2)
+        assert remaining == []
+        assert set(results) == set(CELLS)
+        assert all(results[name].ok for name in CELLS)
+        assert sum(entry["cells"] for entry in hosts.values()) \
+            == len(CELLS)
+        joins = [e for e in events if e["event"] == "worker_join"]
+        assert len(joins) == 2
+
+    def test_results_match_serial_execution(self, tmp_path):
+        from repro.sweep.executor import execute_cell
+        items = [(name, 0) for name in CELLS]
+        results, _, _, _ = _dist(tmp_path, items, workers=2)
+        for name in CELLS:
+            serial = execute_cell(name, FRAMES, 2002, 0, None)
+            assert results[name].rendered == serial.rendered
+            assert results[name].cycles == serial.cycles
+
+    def test_worker_attribution_lands_on_results(self, tmp_path):
+        items = [(name, 0) for name in CELLS]
+        results, _, hosts, _ = _dist(tmp_path, items, workers=1)
+        for name in CELLS:
+            assert results[name].worker in hosts
+
+    def test_lost_worker_requeues_at_next_attempt(self, tmp_path):
+        lost = []
+
+        def lease_and_vanish(bound):
+            client = WorkerClient(bound[0], bound[1])
+            client.request({"op": "hello", "worker": "vanisher"})
+            lease = client.request({"op": "lease"})
+            lost.append(lease["cell"])
+            client.close()   # leased cell never reported
+
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(
+            tmp_path, items, workers=1, ready_extra=lease_and_vanish)
+        assert remaining == []
+        assert set(results) == set(CELLS)
+        losses = [e for e in events if e["event"] == "worker_lost"]
+        assert losses and losses[0]["worker"] == "vanisher"
+        assert losses[0]["requeued"] == lost
+        # the requeued cell ran at attempt 1, not 0
+        assert results[lost[0]].attempts == 2
+
+    def test_no_workers_degrades_with_full_remainder(self, tmp_path):
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(tmp_path, items, workers=0,
+                                              worker_wait_s=0.3)
+        assert results == {}
+        assert remaining == items
+        assert not any(e["event"] == "worker_lost" for e in events)
+
+    def test_dropresult_is_recovered_from_the_shared_cache(self, tmp_path):
+        faults.install(f"dropresult:{CELLS[0]}")
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(tmp_path, items, workers=1)
+        assert remaining == []
+        assert set(results) == set(CELLS)
+        kinds = [e["event"] for e in events]
+        assert "worker_lost" in kinds       # the injected drop
+        assert "dist_cache_hit" in kinds    # recovery without re-execution
+        hit = next(e for e in events if e["event"] == "dist_cache_hit")
+        assert hit["cell"] == CELLS[0]
+
+
+class TestProtocol:
+    def _coordinator_probe(self, tmp_path, probe):
+        """Run ``probe(bound)`` against a live coordinator that one real
+        worker eventually drains."""
+        outcome = {}
+
+        def ready_extra(bound):
+            outcome["value"] = probe(bound)
+
+        _dist(tmp_path, [(CELLS[0], 0)], workers=1,
+              ready_extra=ready_extra)
+        return outcome["value"]
+
+    def test_lease_before_hello_is_a_protocol_error(self, tmp_path):
+        def probe(bound):
+            with WorkerClient(bound[0], bound[1]) as client:
+                with pytest.raises(DistProtocolError):
+                    client.request({"op": "lease"})
+            return True
+
+        assert self._coordinator_probe(tmp_path, probe)
+
+    def test_unknown_op_and_bad_json_keep_the_connection(self, tmp_path):
+        def probe(bound):
+            with WorkerClient(bound[0], bound[1]) as client:
+                client.request({"op": "hello", "worker": "probe"})
+                with pytest.raises(DistProtocolError):
+                    client.request({"op": "launder"})
+                client._file.write(b"not json\n")
+                client._file.flush()
+                reply = json.loads(client._file.readline())
+                assert reply["ok"] is False
+                assert reply["code"] == DistProtocolError.code
+                # the connection survived both
+                assert client.request({"op": "lease"})["ok"]
+            return True
+
+        assert self._coordinator_probe(tmp_path, probe)
+
+    def test_result_for_unknown_cell_is_rejected(self, tmp_path):
+        def probe(bound):
+            with WorkerClient(bound[0], bound[1]) as client:
+                client.request({"op": "hello", "worker": "probe"})
+                with pytest.raises(DistProtocolError):
+                    client.request({"op": "result", "cell": "bogus",
+                                    "attempt": 0, "result": {}})
+            return True
+
+        assert self._coordinator_probe(tmp_path, probe)
+
+    def test_cache_put_requires_a_payload_object(self, tmp_path):
+        def probe(bound):
+            with WorkerClient(bound[0], bound[1]) as client:
+                client.request({"op": "hello", "worker": "probe"})
+                with pytest.raises(DistProtocolError):
+                    client.request({"op": "cache_put", "key": "k",
+                                    "payload": {"no": "rendered"}})
+            return True
+
+        assert self._coordinator_probe(tmp_path, probe)
+
+
+class TestOrchestratorIntegration:
+    def _serial(self, tmp_path):
+        return run_sweep(SweepConfig(
+            frames=FRAMES, root=tmp_path / "serial", only=CELLS))
+
+    def _distributed(self, tmp_path, **overrides):
+        ready_holder = overrides.pop("ready_holder", None)
+        config = SweepConfig(
+            frames=FRAMES, root=tmp_path / "dist", only=CELLS,
+            distributed="127.0.0.1:0", **overrides)
+        if ready_holder is None:
+            return run_sweep(config)
+        return run_sweep(config)
+
+    def test_watchdog_degrades_to_serial_and_stays_identical(
+            self, tmp_path):
+        serial = self._serial(tmp_path)
+        # no workers ever join: the watchdog gives up fast and the
+        # orchestrator finishes every cell serially in-process
+        dist = self._distributed(tmp_path, worker_wait_s=0.3)
+        assert dist.report == serial.report
+        assert [e["event"] for e in read_events(dist.run_log)
+                ].count("degraded_serial") == 1
+        assert dist.report_path.read_bytes() \
+            == serial.report_path.read_bytes()
+
+    def test_spawned_fleet_is_byte_identical_to_serial(self, tmp_path):
+        serial = self._serial(tmp_path)
+        dist = self._distributed(tmp_path, spawn_workers=2,
+                                 worker_wait_s=60.0)
+        assert not dist.failures
+        assert dist.report == serial.report
+        assert dist.report_path.read_bytes() \
+            == serial.report_path.read_bytes()
+        events = [e["event"] for e in read_events(dist.run_log)]
+        assert "worker_join" in events
+        assert "degraded_serial" not in events
+        timing = json.loads(dist.timing_path.read_text())
+        assert timing["hosts"], "per-worker attribution missing"

@@ -25,6 +25,7 @@ import asyncio
 import json
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -113,6 +114,99 @@ class TestSharedArrayCache:
     def test_validates_construction(self):
         with pytest.raises(Exception):
             SharedArrayCache(capacity=0)
+
+
+class TestSharedArrayCacheContention:
+    """The lock-striping contract under real thread contention."""
+
+    @staticmethod
+    def _hammer(threads, target):
+        """Barrier-start ``threads`` copies of ``target``; re-raise the
+        first failure so assertion errors inside workers fail the test."""
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def run():
+            try:
+                barrier.wait(timeout=10)
+                target()
+            except Exception as exc:  # noqa: BLE001 -- surfaced below
+                failures.append(exc)
+
+        pool = [threading.Thread(target=run) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "contention worker hung"
+        if failures:
+            raise failures[0]
+
+    def test_counters_and_bound_survive_a_thread_storm(self):
+        threads, rounds = 8, 50
+        cache = SharedArrayCache(capacity=6, stripes=3)
+        arrays = [np.full(4, value) for value in range(12)]
+        expected = {id(array): array.sum() for array in arrays}
+        bound = 2 * 3   # ceil(6/3) per stripe, 3 stripes
+
+        def worker():
+            rng = np.random.default_rng(
+                threading.get_ident() % (2 ** 32))
+            for _ in range(rounds):
+                array = arrays[int(rng.integers(len(arrays)))]
+                value, _ = cache.get_or_build(array, lambda a: a.sum())
+                assert value == expected[id(array)]
+                assert len(cache) <= bound
+
+        self._hammer(threads, worker)
+        stats = cache.stats()
+        # every lookup is accounted exactly once: no lost increments
+        assert stats["hits"] + stats["builds"] == threads * rounds
+        assert len(cache) <= bound
+
+    def test_racing_builds_of_one_key_agree_and_land_one_entry(self):
+        threads = 8
+        cache = SharedArrayCache(capacity=4, stripes=2)
+        array = np.arange(64)
+        values = []
+        lock = threading.Lock()
+
+        def slow_build(a):
+            time.sleep(0.02)   # widen the race window
+            return int(a.sum())
+
+        def worker():
+            value, _ = cache.get_or_build(array, slow_build)
+            with lock:
+                values.append(value)
+
+        self._hammer(threads, worker)
+        # losers redo the pure build but every caller sees the same
+        # value, and the key occupies exactly one slot
+        assert values == [int(array.sum())] * threads
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["builds"] >= 1
+        assert stats["hits"] + stats["builds"] == threads
+
+    def test_concurrent_clear_never_corrupts(self):
+        threads, rounds = 6, 30
+        cache = SharedArrayCache(capacity=8, stripes=4)
+        arrays = [np.full(2, value) for value in range(8)]
+
+        def worker():
+            me = threading.get_ident()
+            for index in range(rounds):
+                cache.get_or_build(arrays[(me + index) % len(arrays)],
+                                   lambda a: a.sum())
+                if index % 10 == 9:
+                    cache.clear()
+
+        self._hammer(threads, worker)
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats["hits"] == stats["builds"] == stats["evictions"] == 0
 
 
 class TestEngineCacheStats:
@@ -235,6 +329,85 @@ class TestServiceDifferential:
                 service.submit_segment(healthy, frames[start:start + 2])
             _drain(service, healthy, 2)
             assert service.close_stream(healthy).payload == reference
+
+
+class TestWorkerRespawn:
+    """A dead pool worker is replaced; only in-flight segments fail."""
+
+    @staticmethod
+    def _kill_worker(service, index=0):
+        process = service._processes[index]
+        process.terminate()
+        process.join(timeout=10)
+        assert not process.is_alive()
+
+    def test_decode_stream_survives_a_worker_death(self):
+        payload = _one_shot(_frames(2), qp=10)
+        with CodecService(workers=1, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(kind="decode"))
+            service.submit_segment(stream, payload)
+            assert _drain(service, stream, 1)[0].ok
+            self._kill_worker(service)
+            # the submit that detects the death is the in-flight
+            # casualty: it fails structurally, the stream lives on
+            index = service.submit_segment(stream, payload)
+            casualty = _drain(service, stream, 1)[0]
+            assert casualty.segment == index and not casualty.ok
+            assert casualty.error_code == SegmentFailed.code
+            service.submit_segment(stream, payload)
+            assert _drain(service, stream, 1)[0].ok
+            assert service.stats()["totals"]["respawns"] == 1
+            summary = service.close_stream(stream)
+            assert summary.kind == "decode"
+
+    def test_encode_stream_with_history_fails_structured(self):
+        frames = _frames(4, seed=9)
+        reference = _one_shot(frames, qp=10)
+        with CodecService(workers=1, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(kind="encode",
+                                                      qp=10))
+            service.submit_segment(stream, frames[:2])
+            assert _drain(service, stream, 1)[0].ok
+            self._kill_worker(service)
+            # the encoder state died with the worker: the detecting
+            # submit fails, then the stream is poisoned — not the pool
+            service.submit_segment(stream, frames[2:])
+            assert not _drain(service, stream, 1)[0].ok
+            with pytest.raises(SegmentFailed):
+                service.submit_segment(stream, frames[2:])
+            service.abort_stream(stream)
+            # a fresh stream on the respawned worker is byte-identical
+            fresh = service.open_stream(StreamConfig(kind="encode",
+                                                     qp=10))
+            for start in range(0, 4, 2):
+                service.submit_segment(fresh, frames[start:start + 2])
+            _drain(service, fresh, 2)
+            assert service.close_stream(fresh).payload == reference
+
+    def test_fresh_encode_stream_is_reopened_on_the_replacement(self):
+        frames = _frames(2, seed=11)
+        with CodecService(workers=1, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(kind="encode",
+                                                      qp=10))
+            self._kill_worker(service)
+            # nothing was in flight: the respawn re-opens the stream
+            # with no casualties and encoding proceeds untouched
+            another = service.open_stream(StreamConfig(kind="encode",
+                                                       qp=10))
+            service.submit_segment(stream, frames)
+            assert _drain(service, stream, 1)[0].ok
+            assert service.close_stream(stream).payload \
+                == _one_shot(frames, qp=10)
+            service.abort_stream(another)
+            assert service.stats()["totals"]["respawns"] == 1
+
+    def test_respawn_budget_exhaustion_is_unavailable(self):
+        with CodecService(workers=1, max_pending=8,
+                          max_respawns=0) as service:
+            stream = service.open_stream(StreamConfig(kind="decode"))
+            self._kill_worker(service)
+            with pytest.raises(ServiceUnavailable):
+                service.submit_segment(stream, b"x")
 
 
 class TestBackpressure:

@@ -269,6 +269,18 @@ class TestProvenance:
         assert f"code version `{result.sweep_report['code_version']}`" \
             in block
 
+    def test_distributed_reports_attribute_workers(self, tmp_path):
+        result = _sweep(tmp_path, only=["figure1"])
+        report = dict(result.sweep_report)
+        report["hosts"] = {"vm-1": {"cells": 2}}
+        report["cells"] = [dict(cell, worker="vm-1")
+                           for cell in report["cells"]]
+        block = render_sweep_provenance(report)
+        assert "distributed fleet of 1 worker(s)" in block
+        assert "`vm-1` (2 cells)" in block
+        assert "| worker |" in block
+        assert "| vm-1 |" in block
+
     def test_stamp_inserts_and_replaces(self, tmp_path):
         result = _sweep(tmp_path, only=["figure1"])
         doc = "# EXPERIMENTS\n\nbody\n"
@@ -282,8 +294,18 @@ class TestProvenance:
     def test_sweep_report_artifact_written(self, tmp_path):
         result = _sweep(tmp_path, only=["figure1"])
         on_disk = json.loads(result.report_path.read_text())
-        assert on_disk["totals"] == result.sweep_report["totals"]
+        # the on-disk report is the deterministic half of the in-memory
+        # superset: schedule-dependent totals live in sweep_timing.json
+        assert on_disk["totals"] == {
+            "cells": result.sweep_report["totals"]["cells"],
+            "errors": result.sweep_report["totals"]["errors"],
+        }
         assert on_disk["workload"]["frames"] == FRAMES
+        timing = json.loads(result.timing_path.read_text())
+        assert timing["totals"]["executed"] \
+            == result.sweep_report["totals"]["executed"]
+        assert {row["name"] for row in on_disk["cells"]} \
+            == {row["name"] for row in timing["cells"]}
 
 
 class TestParallelExploration:
@@ -305,3 +327,77 @@ class TestParallelExploration:
         context.prime(jobs=2)
         assert set(context._results) \
             == {s.name for s in all_scenarios()}
+
+
+class TestIncremental:
+    """--incremental: diff per-cell keys, re-execute only what moved."""
+
+    @staticmethod
+    def _package_copy(tmp_path):
+        import pathlib
+        import shutil
+
+        import repro
+        copy = tmp_path / "tree" / "repro"
+        shutil.copytree(pathlib.Path(repro.__file__).parent, copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        return copy
+
+    def test_incremental_requires_the_cache(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            _sweep(tmp_path, incremental=True, use_cache=False)
+
+    def test_unchanged_tree_executes_nothing(self, tmp_path):
+        first = _sweep(tmp_path, only=["figure1"])
+        first_bytes = first.report_path.read_bytes()
+        second = _sweep(tmp_path, only=["figure1"], incremental=True)
+        events = [e["event"] for e in read_events(second.run_log)]
+        assert "cell_start" not in events
+        assert "incremental_plan" in events
+        assert events.count("incremental_skip") == 2   # workload + figure1
+        assert second.report == first.report
+        assert second.report_path.read_bytes() == first_bytes
+
+    def test_codec_only_edit_invalidates_no_cell(self, tmp_path):
+        # the acceptance scenario: a decoder edit is reachable from no
+        # cell, so the incremental re-sweep restores everything from
+        # cache and reproduces the report byte-for-byte
+        first = _sweep(tmp_path)
+        first_bytes = first.report_path.read_bytes()
+        copy = self._package_copy(tmp_path)
+        with open(copy / "codec" / "decoder.py", "a") as handle:
+            handle.write("\n# decoder-only edit\n")
+        second = _sweep(tmp_path, incremental=True, code_root=copy)
+        events = [e["event"] for e in read_events(second.run_log)]
+        assert "cell_start" not in events
+        assert "incremental_invalidated" not in events
+        assert second.report == first.report
+        assert second.report_path.read_bytes() == first_bytes
+
+    def test_model_edit_re_executes_only_reachable_cells(self, tmp_path):
+        first = _sweep(tmp_path, only=["table1", "figure1"])
+        copy = self._package_copy(tmp_path)
+        with open(copy / "codec" / "encoder.py", "a") as handle:
+            handle.write("\n# encoder edit\n")
+        second = _sweep(tmp_path, only=["table1", "figure1"],
+                        incremental=True, code_root=copy)
+        started = [e["cell"] for e in read_events(second.run_log)
+                   if e["event"] == "cell_start"]
+        invalidated = [e["cell"] for e in read_events(second.run_log)
+                       if e["event"] == "incremental_invalidated"]
+        # the workload context and table1 run the encoder; figure1 is a
+        # pure trace replay and must be restored, not re-run
+        assert set(invalidated) == {WORKLOAD_CELL, "table1"}
+        assert set(started) == {WORKLOAD_CELL, "table1"}
+        assert second.report == first.report
+
+    def test_incremental_miss_executes_honestly(self, tmp_path):
+        first = _sweep(tmp_path, only=["figure1"])
+        # the previous report promises a restore, but the cache is gone
+        import shutil
+        shutil.rmtree(tmp_path / "sweep" / "cache")
+        second = _sweep(tmp_path, only=["figure1"], incremental=True)
+        events = [e["event"] for e in read_events(second.run_log)]
+        assert "incremental_miss" in events
+        assert "cell_start" in events
+        assert second.report == first.report
