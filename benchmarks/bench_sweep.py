@@ -24,11 +24,19 @@ temporary sweep directories:
 4. **warm-incremental** — a decoder-only touch in a copied tree, then
    ``--incremental`` against the warm root: the import-graph keys must
    invalidate **zero** cells and the re-sweep must finish within
-   ``--max-incremental-fraction`` of the cold wall.
+   ``--max-incremental-fraction`` of the cold wall;
+5. **dist-clean / dist-hang** — the supervision pair: two spawned
+   two-worker distributed sweeps with a tight heartbeat budget, one
+   clean and one with an injected ``hang`` freezing a worker mid-lease.
+   The hung lease must be detected within ``--detection-factor`` times
+   the lease budget (measured from the ``lease_expired`` event's
+   ``since_beat_s``), the faulted wall must stay within
+   ``--max-dist-overhead`` of the clean distributed wall, and both
+   reports must stay byte-identical to cold.
 
 It then asserts, before reporting any timing:
 
-* all five reports are **byte-identical**;
+* all seven reports are **byte-identical**;
 * the warm run's cache-hit rate is at least ``--min-hit-rate`` (default
   0.8, i.e. a warm rerun skips >= 80% of the runner work), verified from
   the ``cache_hit`` events in the JSONL run log, not just the summary;
@@ -52,6 +60,7 @@ import time
 from pathlib import Path
 
 import repro
+from repro import faults
 from repro.sweep import SweepConfig, read_events, run_sweep
 from repro.sweep.deps import reset_scan_cache
 
@@ -64,6 +73,15 @@ DEFAULT_MAX_OVERHEAD = 0.05
 DEFAULT_OVERHEAD_SLACK_S = 0.75
 DEFAULT_MAX_INCREMENTAL_FRACTION = 0.25
 DEFAULT_INCREMENTAL_SLACK_S = 0.25
+DEFAULT_MAX_DIST_OVERHEAD = 0.25
+DEFAULT_DIST_SLACK_S = 1.0
+DEFAULT_DETECTION_FACTOR = 2.0
+#: supervision knobs of the distributed pair: tight enough that the
+#: injected hang is caught in ~a second, loose enough not to flake
+DIST_HEARTBEAT_S = 0.2
+DIST_LEASE_TIMEOUT_S = 1.0
+#: the cell the dist-hang run freezes (first lease attempt only)
+DIST_HANG_SPEC = "hang:figure1:times=1:delay=3"
 
 
 def main() -> int:
@@ -88,6 +106,18 @@ def main() -> int:
                         default=DEFAULT_INCREMENTAL_SLACK_S,
                         help="absolute seconds of timer noise tolerated "
                              "on top of --max-incremental-fraction")
+    parser.add_argument("--max-dist-overhead", type=float,
+                        default=DEFAULT_MAX_DIST_OVERHEAD,
+                        help="faulted distributed wall ceiling relative "
+                             "to the clean distributed wall (0.25 = 25%%)")
+    parser.add_argument("--dist-slack", type=float,
+                        default=DEFAULT_DIST_SLACK_S,
+                        help="absolute seconds of noise tolerated on top "
+                             "of --max-dist-overhead")
+    parser.add_argument("--detection-factor", type=float,
+                        default=DEFAULT_DETECTION_FACTOR,
+                        help="hung-lease detection ceiling as a multiple "
+                             "of the lease budget")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
@@ -130,6 +160,26 @@ def main() -> int:
             incremental=True, code_root=code_copy))
         incremental_s = time.perf_counter() - started
         reset_scan_cache()
+        # the supervision pair: spawned two-worker fleets with a tight
+        # heartbeat budget, fresh caches so every cell really executes —
+        # one clean, one with a worker frozen mid-lease by an injected
+        # hang that the lease watchdog must revoke and requeue
+        def _dist_config(label, fault_spec=None):
+            return SweepConfig(
+                frames=args.frames, jobs=args.jobs,
+                root=Path(tmp) / label, distributed="127.0.0.1:0",
+                spawn_workers=2, worker_wait_s=60.0,
+                heartbeat_s=DIST_HEARTBEAT_S,
+                lease_timeout_s=DIST_LEASE_TIMEOUT_S,
+                fault_spec=fault_spec)
+
+        started = time.perf_counter()
+        dist_clean = run_sweep(_dist_config("dist-clean"))
+        dist_clean_s = time.perf_counter() - started
+        started = time.perf_counter()
+        dist_hang = run_sweep(_dist_config("dist-hang", DIST_HANG_SPEC))
+        dist_hang_s = time.perf_counter() - started
+        faults.clear()   # the hang spec was installed process-wide
 
         failures = []
         if cold.failures or warm.failures or plain.failures \
@@ -178,6 +228,37 @@ def main() -> int:
                 f"{incremental_budget_s:.2f}s budget (cold {cold_s:.2f}s "
                 f"x {args.max_incremental_fraction} + "
                 f"{args.incremental_slack}s slack)")
+        if dist_clean.failures or dist_hang.failures:
+            failures.append(
+                f"distributed failures: "
+                f"clean={[c.name for c in dist_clean.failures]} "
+                f"hang={[c.name for c in dist_hang.failures]}")
+        if dist_clean.report != cold.report \
+                or dist_hang.report != cold.report:
+            failures.append(
+                "distributed reports are not byte-identical to cold")
+        expiries = read_events(dist_hang.run_log, "lease_expired")
+        if not expiries:
+            failures.append(
+                f"the injected hang ({DIST_HANG_SPEC}) never expired a "
+                f"lease — supervision did not engage")
+        detection_s = max((e["since_beat_s"] for e in expiries),
+                          default=0.0)
+        detection_budget_s = args.detection_factor * DIST_LEASE_TIMEOUT_S
+        if detection_s > detection_budget_s:
+            failures.append(
+                f"hung lease detected after {detection_s:.2f}s, over the "
+                f"{detection_budget_s:.2f}s budget "
+                f"({args.detection_factor}x the {DIST_LEASE_TIMEOUT_S}s "
+                f"lease budget)")
+        dist_budget_s = dist_clean_s * (1.0 + args.max_dist_overhead) \
+            + args.dist_slack
+        if dist_hang_s > dist_budget_s:
+            failures.append(
+                f"faulted distributed run took {dist_hang_s:.2f}s, over "
+                f"the {dist_budget_s:.2f}s budget (clean "
+                f"{dist_clean_s:.2f}s x {1 + args.max_dist_overhead:.2f} "
+                f"+ {args.dist_slack}s slack)")
 
         print(f"sweep x{len(cold.cells)} cells, {args.frames} frames, "
               f"jobs={args.jobs}")
@@ -192,10 +273,16 @@ def main() -> int:
         print(f"  incr:  {incremental_s:6.2f}s  (decoder-only touch, "
               f"{len(reexecuted)} cells re-executed, "
               f"{100 * incremental_s / max(cold_s, 1e-9):.0f}% of cold)")
+        print(f"  dist:  {dist_clean_s:6.2f}s  (2 spawned workers, clean)")
+        print(f"  hang:  {dist_hang_s:6.2f}s  (injected hang, detected "
+              f"in {detection_s:.2f}s, "
+              f"{100 * (dist_hang_s / max(dist_clean_s, 1e-9) - 1):+.1f}% "
+              f"vs clean)")
         artifact = record_trajectory(
             "bench_sweep",
             wall_s={"cold": cold_s, "warm": warm_s, "plain": plain_s,
-                    "armed": armed_s, "warm_incremental": incremental_s},
+                    "armed": armed_s, "warm_incremental": incremental_s,
+                    "dist_clean": dist_clean_s, "dist_hang": dist_hang_s},
             gates={
                 "min_hit_rate": args.min_hit_rate,
                 "warm_hit_rate": hit_rate,
@@ -205,17 +292,24 @@ def main() -> int:
                 "incremental_fraction":
                     incremental_s / max(cold_s, 1e-9),
                 "incremental_reexecuted": len(reexecuted),
+                "max_detection_s": detection_budget_s,
+                "hang_detection_s": detection_s,
+                "max_dist_overhead": args.max_dist_overhead,
+                "dist_overhead":
+                    dist_hang_s / max(dist_clean_s, 1e-9) - 1.0,
                 "passed": not failures,
             },
             extra={"frames": args.frames, "jobs": args.jobs,
-                   "cells": len(cold.cells)})
+                   "cells": len(cold.cells),
+                   "lease_timeout_s": DIST_LEASE_TIMEOUT_S,
+                   "heartbeat_s": DIST_HEARTBEAT_S})
         print(f"  trajectory: {artifact}")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print("OK: byte-identical reports, cache, resilience-overhead "
-              "and warm-incremental gates passed")
+        print("OK: byte-identical reports, cache, resilience-overhead, "
+              "warm-incremental and supervision gates passed")
         return 0
 
 

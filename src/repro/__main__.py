@@ -10,9 +10,12 @@ Commands:
   ``--inject-faults``, ``--verify-replay``; ``--incremental`` re-executes
   only cells whose import-closure fingerprint changed; ``--distributed
   HOST:PORT`` runs the misses on the multi-host work-stealing fleet,
-  optionally self-hosting ``--spawn-workers N``; run logs,
-  ``sweep_report.json`` and the ``sweep_timing.json`` sidecar land under
-  ``--sweep-dir``, default ``.repro-sweep/``);
+  optionally self-hosting ``--spawn-workers N``, supervised by heartbeat
+  leases (``--heartbeat-s``, ``--lease-timeout-s``) and optionally
+  authenticated (``--auth-token``); ``--cache-max-bytes`` prunes the
+  shared cell cache LRU-by-mtime; run logs, ``sweep_report.json`` and
+  the ``sweep_timing.json`` sidecar land under ``--sweep-dir``, default
+  ``.repro-sweep/``);
 * ``sweep-worker`` — join a ``sweep --distributed`` coordinator
   (``--connect HOST:PORT``) and execute leased cells until the sweep
   drains;
@@ -33,7 +36,10 @@ Commands:
 * ``serve``    — run the concurrent streaming codec service: many
   encode/decode streams multiplexed over a bounded fork worker pool,
   spoken to over a TCP/JSON-lines transport (``--workers``,
-  ``--max-pending``; operator guide in ``docs/SERVING.md``);
+  ``--max-pending``; ``--migrate/--no-migrate`` and
+  ``--segment-timeout-s`` control hung/dead-worker stream migration;
+  ``--auth-token`` requires the HMAC handshake; operator guide in
+  ``docs/SERVING.md``);
 * ``client``   — drive a running ``serve`` instance: stream a YUV file or
   the synthetic sequence through an encode session segment by segment and
   write the returned bitstream;
@@ -120,6 +126,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         distributed=args.distributed,
         spawn_workers=args.spawn_workers,
         worker_wait_s=args.worker_wait,
+        heartbeat_s=args.heartbeat_s,
+        lease_timeout_s=args.lease_timeout_s,
+        auth_token=args.auth_token,
+        cache_max_bytes=args.cache_max_bytes,
     )
     progress = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
@@ -158,6 +168,7 @@ def _cmd_sweep_worker(args: argparse.Namespace) -> int:
     from repro.sweep.distributed import parse_bind, run_worker
     host, port = parse_bind(args.connect)
     return run_worker(host, port, label=args.label, reconnects=args.reconnects,
+                      auth_token=args.auth_token,
                       out=lambda message: print(message, file=sys.stderr,
                                                 flush=True))
 
@@ -442,13 +453,15 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro import faults
+    from repro import faults, supervise
     from repro.serve import CodecService, run_server
     if args.inject_faults:
         faults.install(args.inject_faults)
     service = CodecService(workers=args.workers,
                            max_pending=args.max_pending,
-                           cache_capacity=args.cache_capacity)
+                           cache_capacity=args.cache_capacity,
+                           migrate=args.migrate,
+                           segment_timeout_s=args.segment_timeout_s)
 
     def ready(bound):
         mode = f"{service.workers} worker process(es)" if service.workers \
@@ -458,7 +471,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               flush=True)
 
     try:
-        asyncio.run(run_server(service, args.host, args.port, ready))
+        asyncio.run(run_server(
+            service, args.host, args.port, ready,
+            auth_token=supervise.resolve_token(args.auth_token)))
     except KeyboardInterrupt:
         print("interrupted; shutting the pool down", file=sys.stderr)
     finally:
@@ -483,7 +498,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                           verify_decode=args.verify_decode)
     segment = max(1, args.segment_frames)
     try:
-        with ServiceClient(args.host, args.port) as client:
+        with ServiceClient(args.host, args.port,
+                           auth_token=args.auth_token) as client:
             stream = client.open_stream(config)
             submitted = collected = 0
             results = []
@@ -663,6 +679,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "coordinator waits for a first or "
                             "replacement worker before degrading to "
                             "serial execution (default 30)")
+    sweep.add_argument("--heartbeat-s", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="with --distributed: interval at which "
+                            "workers heartbeat their active lease "
+                            "(default 5)")
+    sweep.add_argument("--lease-timeout-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --distributed: a lease missing its "
+                            "heartbeats this long is revoked and its "
+                            "cell requeued (REPRO-DIST-LEASE-EXPIRED; "
+                            "default 4x --heartbeat-s)")
+    sweep.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="shared secret for the coordinator socket "
+                            "(also via REPRO_AUTH_TOKEN); workers prove "
+                            "it by HMAC challenge-response, a mismatch "
+                            "is a structured REPRO-DIST-AUTH rejection")
+    sweep.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="prune the cell cache LRU-by-mtime down to "
+                            "this many bytes after the sweep; entries "
+                            "this run touched are never evicted")
     sweep.set_defaults(handler=_cmd_sweep)
 
     worker = sub.add_parser(
@@ -677,6 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--reconnects", type=int, default=3,
                         help="reconnection attempts after losing the "
                              "coordinator before giving up (default 3)")
+    worker.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="shared secret matching the coordinator's "
+                             "--auth-token (also via REPRO_AUTH_TOKEN)")
     worker.set_defaults(handler=_cmd_sweep_worker)
 
     encode = sub.add_parser("encode", help="run the encoder substrate")
@@ -794,10 +834,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=16,
                        help="entries in each worker's shared cross-stream "
                             "plane/block cache (default 16)")
+    serve.add_argument("--migrate", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="move a dead or hung worker's streams to a "
+                            "live worker and resume from checkpoints "
+                            "(byte-identical bitstreams); --no-migrate "
+                            "restores the poison-on-death semantics")
+    serve.add_argument("--segment-timeout-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="declare a worker hung when its oldest "
+                            "in-flight segment exceeds this age, then "
+                            "terminate and recover it (default: no "
+                            "deadline)")
+    serve.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="require clients to prove this shared secret "
+                            "via HMAC challenge-response (also via "
+                            "REPRO_AUTH_TOKEN); a mismatch is a "
+                            "structured REPRO-SRV-AUTH rejection")
     serve.add_argument("--inject-faults", default=None, metavar="SPEC",
                        help="deterministic fault-injection spec (kinds "
-                            "raise/latency/slowclient/disconnect exercise "
-                            "the serving paths); see repro.faults")
+                            "raise/hang/latency/slowclient/disconnect "
+                            "exercise the serving paths); see repro.faults")
     serve.set_defaults(handler=_cmd_serve)
 
     client = sub.add_parser(
@@ -828,6 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--verify-decode", action="store_true",
                         help="have the service robust-decode the final "
                              "bitstream and report its DecodeHealth")
+    client.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="shared secret matching the server's "
+                             "--auth-token (also via REPRO_AUTH_TOKEN)")
     client.add_argument("--output", "-o", default=None, metavar="FILE",
                         help="write the returned bitstream here")
     client.set_defaults(handler=_cmd_client)

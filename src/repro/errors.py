@@ -247,6 +247,22 @@ class ServiceUnavailable(ServiceError):
             "reconnect/reopen streams against a fresh service")
 
 
+class ServiceAuthError(ServiceError):
+    """A transport connection failed the shared-secret handshake.
+
+    The server is running with ``--auth-token`` (or ``REPRO_AUTH_TOKEN``)
+    and the connection either skipped the challenge–response handshake or
+    presented a proof computed with a different token.  Rejected with this
+    structured code — never a silent drop — so a misconfigured client can
+    tell auth failure apart from a network problem.
+    """
+
+    code = "REPRO-SRV-AUTH"
+    hint = ("client and server must share the same --auth-token / "
+            "REPRO_AUTH_TOKEN secret; the client must authenticate before "
+            "any other request")
+
+
 # -- resilience taxonomy ------------------------------------------------------
 #
 # Raised (or referenced by code) by the fault-tolerant sweep layer.  Each
@@ -386,13 +402,44 @@ class DistProtocolError(DistributedSweepError):
             "one JSON object per line with an 'op' field")
 
 
+class LeaseExpired(DistributedSweepError):
+    """A leased cell missed its heartbeat budget and was revoked.
+
+    The worker's TCP connection may still be open — heartbeats, not
+    connection liveness, are the liveness signal.  The coordinator
+    requeues the cell at attempt+1 (``lease_expired`` event); if the
+    original worker eventually finishes, first-result-wins dedup makes
+    its straggler result harmless.
+    """
+
+    code = "REPRO-DIST-LEASE-EXPIRED"
+    hint = ("the worker stopped heartbeating (hung, paused, or stalled "
+            "I/O); raise --lease-timeout-s if cells legitimately block "
+            "longer than the budget")
+
+
+class DistAuthError(DistributedSweepError):
+    """A worker failed the coordinator's shared-secret handshake.
+
+    The coordinator is running with ``--auth-token`` (or
+    ``REPRO_AUTH_TOKEN``) and the hello frame carried no proof, or a
+    proof computed with a different token.  Rejected with this
+    structured code — never a silent drop — and never retried: auth
+    mismatch is deterministic, not transient.
+    """
+
+    code = "REPRO-DIST-AUTH"
+    hint = ("worker and coordinator must share the same --auth-token / "
+            "REPRO_AUTH_TOKEN secret")
+
+
 class FaultSpecError(ReproError):
     """An ``--inject-faults`` specification did not parse."""
 
     code = "REPRO-FAULT-SPEC-001"
     hint = ("grammar: [seed=<int>;]<kind>:<target>[:times=<n>|p=<f>|"
-            "delay=<s>][;...] with kind in kill|raise|latency|corrupt|"
-            "truncate|diverge|slowclient|disconnect|dropresult")
+            "delay=<s>][;...] with kind in kill|raise|hang|latency|"
+            "corrupt|truncate|diverge|slowclient|disconnect|dropresult")
 
 
 def event_code(exc_type: type, default: Optional[str] = None) -> str:

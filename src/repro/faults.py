@@ -28,12 +28,14 @@ Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
 
     SPEC   := [ 'seed=' INT ';' ] clause ( (';' | ',') clause )*
     clause := KIND ':' TARGET ( ':' PARAM )*
-    KIND   := 'kill' | 'raise' | 'latency' | 'corrupt' | 'truncate'
-              | 'diverge' | 'slowclient' | 'disconnect' | 'dropresult'
+    KIND   := 'kill' | 'raise' | 'hang' | 'latency' | 'corrupt'
+              | 'truncate' | 'diverge' | 'slowclient' | 'disconnect'
+              | 'dropresult'
     TARGET := cell, scenario or stream name, or '*' (any)
     PARAM  := 'times=' INT   -- fire on the first INT attempts (default 1)
             | 'p=' FLOAT     -- fire with this probability per attempt
-            | 'delay=' FLOAT -- seconds of injected latency ('latency')
+            | 'delay=' FLOAT -- seconds of injected latency
+                                ('latency' / 'hang')
 
 Kinds and their fire points:
 
@@ -44,6 +46,13 @@ Kinds and their fire points:
              serial path always terminates).
 ``raise``    raises :class:`repro.errors.TransientCellError` at cell start
              — the retry-with-backoff path.
+``hang``     freezes the worker for ``delay`` seconds (default 30) while it
+             holds work: a distributed sweep worker hangs after leasing a
+             cell and *before* its first heartbeat (the lease-expiry
+             path), a serve pool worker hangs at segment start (the
+             per-segment deadline / migration path).  Like ``kill`` it is
+             honoured only inside worker processes, so the degraded
+             serial path and in-process services always terminate.
 ``latency``  sleeps ``delay`` seconds inside the cell's deadline — the
              ``--cell-timeout`` path.
 ``corrupt``  flips one byte of a just-written cache entry — the checksum
@@ -82,8 +91,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultSpecError, TransientCellError
 
-KINDS = ("kill", "raise", "latency", "corrupt", "truncate", "diverge",
-         "slowclient", "disconnect", "dropresult")
+KINDS = ("kill", "raise", "hang", "latency", "corrupt", "truncate",
+         "diverge", "slowclient", "disconnect", "dropresult")
+
+#: default freeze duration of a ``hang`` clause without ``delay=``
+HANG_DEFAULT_S = 30.0
 
 #: environment variable holding a spec (inherited by forked workers)
 ENV_VAR = "REPRO_FAULTS"
@@ -360,6 +372,27 @@ def should_disconnect(stream: str, attempt: int = 0) -> bool:
     if plan is None:
         return False
     return plan.decide("disconnect", stream, attempt) is not None
+
+
+def hang_delay(target: str, attempt: int = 0) -> float:
+    """Seconds a ``hang`` clause freezes this worker for, else 0.0.
+
+    Fire point of the ``hang`` kind.  The distributed sweep worker calls
+    it with the leased cell and attempt number right after leasing —
+    *before* starting heartbeats, so the freeze suppresses them exactly
+    like a genuinely hung process would.  The serve pool worker calls it
+    at segment start with the stream id and the parent's per-stream
+    dispatch sequence number, so a migrated re-dispatch (attempt+1) runs
+    clean.  Honoured only inside worker processes (like ``kill``) so the
+    degraded serial path and in-process services always terminate.
+    """
+    plan = _PLAN
+    if plan is None or not _in_worker():
+        return 0.0
+    clause = plan.decide("hang", target, attempt)
+    if clause is None:
+        return 0.0
+    return clause.delay_s if clause.delay_s > 0 else HANG_DEFAULT_S
 
 
 def should_drop_result(cell: str, attempt: int = 0) -> bool:

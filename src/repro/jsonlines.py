@@ -20,10 +20,17 @@ failure semantics cannot drift apart:
 
 Shared failure semantics:
 
-* a line over :data:`MAX_LINE_BYTES` closes the connection — there is no
-  way to resynchronise a JSON-lines stream mid-line;
-* client/server disconnects surface as closed connections, never
-  unstructured exceptions escaping the loop;
+* a line over the server's line limit (:data:`MAX_LINE_BYTES` by
+  default) gets a structured ``{"ok": false, "code": ...}`` rejection
+  and then closes the connection — there is no way to resynchronise a
+  JSON-lines stream mid-line, but the peer always hears *why*;
+* client/server disconnects surface as closed connections or the
+  client's structured ``unavailable_error`` — never unstructured
+  exceptions escaping the loop (a truncated or garbage response line is
+  mapped the same way);
+* :meth:`JsonLinesClient.request` is thread-safe: a lock serialises the
+  write/read cycle so a heartbeat thread can share a worker's single
+  connection with the main loop without interleaving frames;
 * per-connection cleanup (:meth:`~JsonLinesServer.on_disconnect`) always
   runs, whether the peer closed cleanly, vanished, or an injected
   ``disconnect`` fault dropped the connection first.
@@ -34,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError, ServiceUnavailable
@@ -52,16 +60,22 @@ class JsonLinesServer:
     cleanup — lives here once.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    #: error class whose code/hint a framing rejection (oversize line)
+    #: carries; subclasses override with their protocol-error class
+    frame_error = ReproError
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_line_bytes: int = MAX_LINE_BYTES):
         self.host = host
         self.port = port
+        self.max_line_bytes = max_line_bytes
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> Tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
-            limit=MAX_LINE_BYTES)
+            limit=self.max_line_bytes)
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
         return self.host, self.port
@@ -109,7 +123,18 @@ class JsonLinesServer:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    # past the line limit the stream cannot be re-framed
+                    # past the line limit the stream cannot be re-framed;
+                    # reject with a structured code, then close
+                    rejection = {
+                        "ok": False,
+                        "code": self.frame_error.code,
+                        "error": (f"request line exceeds the "
+                                  f"{self.max_line_bytes}-byte limit"),
+                        "hint": self.frame_error.hint,
+                    }
+                    writer.write(
+                        json.dumps(rejection).encode("utf-8") + b"\n")
+                    await writer.drain()
                     break
                 if not line:
                     break
@@ -147,6 +172,9 @@ class JsonLinesClient:
         self._socket = socket.create_connection((host, port),
                                                 timeout=timeout)
         self._file = self._socket.makefile("rwb")
+        # serialises the write/read cycle so threads (e.g. a heartbeat
+        # sender) can share this connection without interleaving frames
+        self._lock = threading.Lock()
 
     def close(self) -> None:
         try:
@@ -165,13 +193,25 @@ class JsonLinesClient:
         return ReproError(str(response.get("error", "request failed")))
 
     def request(self, request: Dict[str, object]) -> Dict[str, object]:
-        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        with self._lock:
+            self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
         if not line:
             raise self.unavailable_error(
                 "the server closed the connection mid-request")
-        response = json.loads(line)
+        if not line.endswith(b"\n"):
+            # EOF mid-line: the server died while writing this frame
+            raise self.unavailable_error(
+                "the connection closed mid-frame (truncated response)")
+        try:
+            response = json.loads(line)
+        except ValueError:
+            raise self.unavailable_error(
+                "the server sent a malformed response line") from None
+        if not isinstance(response, dict):
+            raise self.unavailable_error(
+                "the server sent a non-object response line")
         if not response.get("ok"):
             raise self.error_for(response)
         return response

@@ -37,13 +37,26 @@ as where video codecs are deployed).  :class:`CodecService` is that shape:
   injector (:mod:`repro.faults`): ``raise`` clauses retry with a bounded
   budget, ``latency`` clauses stretch segment latency, ``slowclient`` /
   ``disconnect`` clauses exercise backpressure and transport cleanup;
-* **worker respawn** — a pool worker that dies is replaced (bounded by
-  ``max_respawns``, counted in ``stats()``): only its in-flight
-  segments fail (synthesized :class:`SegmentResult` errors), decode
-  streams keep serving on the replacement, and encode streams whose
-  worker-side state is lost get a structured
-  :class:`~repro.errors.SegmentFailed` on their next submit instead of
-  a permanent ``REPRO-SRV-UNAVAILABLE``.
+* **worker respawn + stream migration** — a pool worker that dies is
+  replaced (bounded by ``max_respawns``, counted in ``stats()``), and a
+  worker whose oldest in-flight segment exceeds ``segment_timeout_s``
+  is declared *hung*, terminated, and handled the same way.  With
+  ``migrate=True`` (the default) the casualty's streams **migrate**: a
+  worker ships each encode stream's continuation checkpoint (the single
+  reference frame plus encoder state left after history trimming) back
+  with every segment result, the parent retains every in-flight
+  segment's input frames, and on a death/hang it re-opens the stream on
+  a live worker, restores the last checkpoint and re-dispatches the
+  pending segments — the resulting bitstream is **byte-identical** to
+  an unfaulted run (tests/test_serving.py asserts this, clean and under
+  injected ``kill``/``hang`` faults).  ``close_stream`` rebalances the
+  pinning counts so new streams land on the least-loaded worker.  With
+  ``migrate=False`` the PR-8 poison semantics apply: in-flight segments
+  fail (synthesized :class:`SegmentResult` errors), decode streams keep
+  serving on the replacement, and encode streams whose worker-side
+  state is lost get a structured :class:`~repro.errors.SegmentFailed`
+  on their next submit instead of a permanent
+  ``REPRO-SRV-UNAVAILABLE``.
 
 The TCP/JSON-lines transport over this API lives in
 :mod:`repro.serve.transport`; the operator guide is ``docs/SERVING.md``.
@@ -230,7 +243,7 @@ class SegmentProcessor:
     """
 
     def __init__(self, worker_index: int = 0, cache_capacity: int = 16,
-                 cache_stripes: int = 8):
+                 cache_stripes: int = 8, checkpoints: bool = False):
         from repro.serve.shared_cache import SharedArrayCache
         self.worker_index = worker_index
         self.plane_cache = SharedArrayCache(cache_capacity, cache_stripes,
@@ -238,6 +251,9 @@ class SegmentProcessor:
         self.block_cache = SharedArrayCache(cache_capacity, cache_stripes,
                                             name="blocks")
         self.streams: Dict[str, _WorkerStream] = {}
+        #: attach a migration checkpoint to every successful segment
+        #: result (pool workers under migrate=True)
+        self.checkpoints = checkpoints
 
     def open(self, stream_id: str, config: StreamConfig) -> None:
         self.streams[stream_id] = _WorkerStream(
@@ -246,8 +262,36 @@ class SegmentProcessor:
     def abort(self, stream_id: str) -> None:
         self.streams.pop(stream_id, None)
 
-    def segment(self, stream_id: str, index: int,
-                payload: object) -> Dict[str, object]:
+    def restore(self, stream_id: str, checkpoint: Dict[str, object]) -> None:
+        """Adopt a migrated stream's continuation state (after ``open``).
+
+        The checkpoint is what :meth:`segment` shipped with the last
+        result the parent saw delivered: segment/frame counters, decode
+        health totals, and — for encode streams — the
+        :class:`~repro.codec.encoder.EncoderReport` continuation state
+        (already history-trimmed to the single reference frame).
+        ``encode_segment`` resumes from it exactly as it would on the
+        original worker, which is what keeps migrated bitstreams
+        byte-identical.
+        """
+        state = self.streams.get(stream_id)
+        if state is None:
+            return
+        state.segments = int(checkpoint.get("segments", 0))
+        state.frames = int(checkpoint.get("frames", 0))
+        state.health_totals = collections.defaultdict(
+            int, checkpoint.get("health_totals") or {})
+        report = checkpoint.get("report")
+        if report is not None:
+            state.report = report
+
+    def segment(self, stream_id: str, index: int, payload: object,
+                dispatch: int = 0) -> Dict[str, object]:
+        hang_s = faults.hang_delay(stream_id, dispatch)
+        if hang_s:
+            # a hung worker: alive, holding work, making no progress —
+            # the parent's per-segment deadline must catch this
+            time.sleep(hang_s)
         state = self.streams.get(stream_id)
         base: Dict[str, object] = {
             "stream": stream_id, "segment": index,
@@ -289,6 +333,18 @@ class SegmentProcessor:
                 break
         result["attempts"] = attempts
         result["wall_s"] = time.perf_counter() - started
+        if self.checkpoints and result.get("ok"):
+            # everything a replacement worker needs to continue this
+            # stream after ``open`` + ``restore`` — for encode streams
+            # the history-trimmed report already carries exactly the one
+            # reference frame a continuation reads
+            result["checkpoint"] = {
+                "segments": state.segments,
+                "frames": state.frames,
+                "health_totals": dict(state.health_totals),
+                "report": state.report
+                          if state.config.kind == ENCODE else None,
+            }
         return result
 
     def _encode_segment(self, state: _WorkerStream, frames,
@@ -376,7 +432,8 @@ class SegmentProcessor:
                 "blocks": self.block_cache.stats()}
 
 
-def _worker_main(worker_index: int, tasks, results) -> None:
+def _worker_main(worker_index: int, tasks, results,
+                 checkpoints: bool = False) -> None:
     """Pool worker loop: drain one task queue until the shutdown marker.
 
     Every task carries the parent's current fault spec as its final
@@ -384,7 +441,7 @@ def _worker_main(worker_index: int, tasks, results) -> None:
     so re-parsing in the worker preserves determinism) — a plan installed
     or cleared in the parent after the fork still reaches the pool.
     """
-    processor = SegmentProcessor(worker_index)
+    processor = SegmentProcessor(worker_index, checkpoints=checkpoints)
     current_spec = faults.active_spec()
     while True:
         message = tasks.get()
@@ -399,10 +456,13 @@ def _worker_main(worker_index: int, tasks, results) -> None:
         try:
             if op == "open":
                 processor.open(message[1], message[2])
+            elif op == "restore":
+                processor.restore(message[1], message[2])
             elif op == "segment":
                 results.put(("segment", message[1],
                              processor.segment(message[1], message[2],
-                                               message[3])))
+                                               message[4],
+                                               dispatch=message[3])))
             elif op == "close":
                 results.put(("closed", message[1],
                              processor.close(message[1])))
@@ -420,7 +480,8 @@ class _StreamState:
 
     __slots__ = ("id", "config", "worker", "submitted", "completed",
                  "collected", "closing", "summary", "failed", "results",
-                 "submit_times", "collects", "rejects")
+                 "submit_times", "collects", "rejects", "dispatches",
+                 "pending_inputs", "checkpoint", "opened", "close_queued")
 
     def __init__(self, stream_id: str, config: StreamConfig, worker: int):
         self.id = stream_id
@@ -436,6 +497,19 @@ class _StreamState:
         self.submit_times: Dict[int, float] = {}
         self.collects = 0
         self.rejects = 0
+        #: per-stream dispatch sequence — the fault injector's attempt
+        #: axis for ``hang`` clauses, so a migrated re-dispatch of the
+        #: same segment is a *new* attempt and runs clean
+        self.dispatches = 0
+        #: in-flight segment inputs, retained under migrate=True so a
+        #: casualty's segments can be re-dispatched on a live worker
+        self.pending_inputs: Dict[int, object] = {}
+        #: latest delivered worker checkpoint (migrate=True pools only)
+        self.checkpoint: Optional[Dict[str, object]] = None
+        #: the open op reached a worker queue (migration skips others)
+        self.opened = False
+        #: a close op is already queued somewhere — never queue twice
+        self.close_queued = False
 
 
 class CodecService:
@@ -451,13 +525,21 @@ class CodecService:
 
     def __init__(self, workers: int = 2, max_pending: int = 8,
                  cache_capacity: int = 16, cache_stripes: int = 8,
-                 max_respawns: int = 3):
+                 max_respawns: int = 3, migrate: bool = True,
+                 segment_timeout_s: Optional[float] = None):
         if workers < 0:
             raise ServiceError("workers must be >= 0 (0 = in-process)")
         if max_pending < 1:
             raise ServiceError("max_pending must be >= 1")
         self.max_pending = max_pending
         self.max_respawns = max_respawns
+        #: move a casualty's streams to a live worker instead of
+        #: poisoning them (module doc: "worker respawn + stream
+        #: migration"); only meaningful for subprocess pools
+        self._migrate = migrate
+        #: a worker whose oldest in-flight segment is older than this is
+        #: declared hung and terminated (None disables the deadline)
+        self._segment_timeout_s = segment_timeout_s
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._streams: Dict[str, _StreamState] = {}
@@ -476,6 +558,11 @@ class CodecService:
         self._drainers: List[threading.Thread] = []
         self._respawn_lock = threading.Lock()
         self._respawns = 0
+        self._migrations = 0
+        self._hangs_detected = 0
+        #: streams currently pinned per worker — opens go to the least
+        #: loaded worker and closes rebalance the counts
+        self._pinned: List[int] = [0] * workers
         if workers == 0:
             self._processor = SegmentProcessor(
                 0, cache_capacity, cache_stripes)
@@ -486,7 +573,8 @@ class CodecService:
                 results = context.Queue()
                 process = context.Process(
                     target=_worker_main,
-                    args=(index, tasks, results), daemon=True)
+                    args=(index, tasks, results, self._migrate),
+                    daemon=True)
                 process.start()
                 self._task_queues.append(tasks)
                 self._result_queues.append(results)
@@ -535,14 +623,21 @@ class CodecService:
         ``ServiceUnavailable`` path).
 
         The sweep pool's respawn discipline, applied to serving: a
-        worker death costs exactly the segments that were in flight on
-        it — each is synthesized as a failed :class:`SegmentResult` —
-        never the whole service.  Streams pinned to the dead worker are
-        re-opened on its replacement: decode streams (stateless across
-        segments) keep serving; encode streams whose worker-side
-        encoder state is lost are marked failed, so the next submit
-        gets a structured :class:`~repro.errors.SegmentFailed` telling
-        the client to abort and reopen.
+        worker death (or a hang terminated by the per-segment deadline)
+        costs wall time, never correctness, and never the whole
+        service.  With ``migrate=True`` the casualty's streams move to
+        the least-loaded worker: re-open, restore the last delivered
+        checkpoint, re-dispatch every retained in-flight input under
+        fresh dispatch numbers (so a ``hang`` clause with ``times=1``
+        does not re-fire), and re-queue the close if one was pending —
+        the resulting bitstream is byte-identical to an unfaulted run.
+        With ``migrate=False`` each in-flight segment is synthesized as
+        a failed :class:`SegmentResult`; decode streams (stateless
+        across segments) keep serving on the replacement; encode
+        streams whose worker-side encoder state is lost are marked
+        failed, so the next submit gets a structured
+        :class:`~repro.errors.SegmentFailed` telling the client to
+        abort and reopen.
         """
         if not self._processes or self._processes[worker].is_alive():
             return True
@@ -563,13 +658,16 @@ class CodecService:
             old_drainer = self._drainers[worker]
             self._result_queues[worker] = results
             # the old drainer exits once it sees its queue was replaced;
-            # joining it before synthesizing casualties keeps delivery
-            # single-writer per segment (no late stale result can race
-            # the synthesized failure below)
-            old_drainer.join(timeout=10)
+            # joining it before migrating/synthesizing casualties keeps
+            # delivery single-writer per segment (no late stale result
+            # can race the recovery below).  The hung-worker path calls
+            # this FROM that very drainer — it stops draining the
+            # moment it returns, so there is nothing to join.
+            if old_drainer is not threading.current_thread():
+                old_drainer.join(timeout=10)
             replacement = context.Process(
                 target=_worker_main,
-                args=(worker, tasks, results), daemon=True)
+                args=(worker, tasks, results, self._migrate), daemon=True)
             replacement.start()
             self._task_queues[worker] = tasks
             self._processes[worker] = replacement
@@ -577,10 +675,35 @@ class CodecService:
                 target=self._drain, args=(worker, results), daemon=True)
             drainer.start()
             self._drainers[worker] = drainer
+            moves = []     # (state, target, [(index, dispatch), ...])
+            poisoned = []
             with self._lock:
                 casualties = [state for state in self._streams.values()
                               if state.worker == worker]
+                now = time.perf_counter()
                 for state in casualties:
+                    if state.summary is not None:
+                        # close summary already delivered; nothing worker-
+                        # side left to recover
+                        continue
+                    if self._migrate and not state.failed and state.opened:
+                        self._pinned[worker] -= 1
+                        target = min(range(len(self._processes)),
+                                     key=self._pinned.__getitem__)
+                        self._pinned[target] += 1
+                        state.worker = target
+                        resubmits = []
+                        for index in sorted(state.pending_inputs):
+                            resubmits.append((index, state.dispatches))
+                            state.dispatches += 1
+                            # restart the per-segment deadline clock, or
+                            # the re-dispatched work would instantly
+                            # re-trip the hang detector
+                            state.submit_times[index] = now
+                        self._migrations += 1
+                        moves.append((state, target, resubmits))
+                        continue
+                    poisoned.append(state)
                     had_history = state.submitted > 0
                     for index in sorted(state.submit_times):
                         self._deliver(state, {
@@ -596,12 +719,30 @@ class CodecService:
                         # continuation would silently restart the stream
                         state.failed = True
                 self._ready.notify_all()
-            for state in casualties:
+            for state, target, resubmits in moves:
+                self._put(target, ("open", state.id, state.config))
+                if state.checkpoint is not None:
+                    self._put(target, ("restore", state.id,
+                                       state.checkpoint))
+                for index, dispatch in resubmits:
+                    self._put(target, ("segment", state.id, index,
+                                       dispatch,
+                                       state.pending_inputs[index]))
+                if state.closing:
+                    state.close_queued = True
+                    self._put(target, ("close", state.id))
+            for state in poisoned:
                 self._put(worker, ("open", state.id, state.config))
         return True
 
     def _drain(self, worker: int, results) -> None:
         """Drainer thread: route one worker's results into stream states.
+
+        Also the per-segment deadline's watch point: between queue polls
+        it checks whether this worker's oldest in-flight segment is
+        overdue (:meth:`_check_hung`) — a kill is detected by the next
+        submit/close, but only a deadline can catch a worker that is
+        alive and silent.
 
         Exits when the service shuts down or when ``results`` is no
         longer the worker's current queue (a respawn abandoned it)."""
@@ -613,6 +754,8 @@ class CodecService:
             except queue_module.Empty:
                 if self._shutdown:
                     return
+                if self._check_hung(worker):
+                    return    # the respawn replaced this very queue
                 continue
             kind = message[0]
             with self._lock:
@@ -623,15 +766,51 @@ class CodecService:
                     state.summary = message[2]
                 self._ready.notify_all()
 
+    def _check_hung(self, worker: int) -> bool:
+        """Terminate a worker whose oldest in-flight segment blew its
+        per-segment deadline; returns True when it did (the calling
+        drainer must exit — the respawn replaced its result queue).
+
+        Detection latency is bounded by ``segment_timeout_s`` plus one
+        0.1 s poll; recovery is the ordinary :meth:`_ensure_worker`
+        path, so a hang and a kill converge on the same migration (or
+        poison) semantics.
+        """
+        if self._segment_timeout_s is None or self._shutdown:
+            return False
+        process = self._processes[worker]
+        if not process.is_alive():
+            return False   # a death; the submit/close paths handle it
+        with self._lock:
+            oldest = min(
+                (stamp for state in self._streams.values()
+                 if state.worker == worker
+                 for stamp in state.submit_times.values()),
+                default=None)
+        if oldest is None or \
+                time.perf_counter() - oldest <= self._segment_timeout_s:
+            return False
+        process.terminate()
+        process.join(timeout=10)
+        self._hangs_detected += 1
+        self._ensure_worker(worker)
+        with self._lock:
+            self._ready.notify_all()
+        return True
+
     def _deliver(self, state: _StreamState,
                  result: Dict[str, object]) -> None:
+        checkpoint = result.pop("checkpoint", None)
         submitted_at = state.submit_times.pop(result["segment"], None)
+        state.pending_inputs.pop(result["segment"], None)
         latency = time.perf_counter() - submitted_at \
             if submitted_at is not None else 0.0
         segment = SegmentResult.from_dict(result)
         segment.latency_s = latency
         if not segment.ok and state.config.kind == ENCODE:
             state.failed = True
+        elif segment.ok and checkpoint is not None:
+            state.checkpoint = checkpoint
         state.completed += 1
         state.results.append(segment)
 
@@ -649,18 +828,26 @@ class CodecService:
             self._next_stream += 1
             worker = 0
             if self._processes:
-                worker = self._next_worker % len(self._processes)
-                self._next_worker += 1
+                # least-loaded pinning: closes decrement the counts, so
+                # long-lived services stay balanced as streams churn
+                worker = min(range(len(self._processes)),
+                             key=self._pinned.__getitem__)
+                self._pinned[worker] += 1
             self._streams[stream_id] = _StreamState(stream_id, config,
                                                     worker)
         if self._processes:
             if not self._ensure_worker(worker):
                 with self._lock:
-                    self._streams.pop(stream_id, None)
+                    if self._streams.pop(stream_id, None) is not None:
+                        self._pinned[worker] -= 1
                 raise ServiceUnavailable(
                     f"worker {worker} died and the respawn budget is "
                     f"exhausted")
             self._put(worker, ("open", stream_id, config))
+            with self._lock:
+                state = self._streams.get(stream_id)
+                if state is not None:
+                    state.opened = True
         else:
             with self._processor_lock:
                 self._processor.open(stream_id, config)
@@ -701,18 +888,33 @@ class CodecService:
             index = state.submitted
             state.submitted += 1
             state.submit_times[index] = time.perf_counter()
+            dispatch = state.dispatches
+            state.dispatches += 1
+            if self._migrate and self._processes:
+                # retained until the result arrives, so a migration can
+                # re-dispatch this exact input on a live worker
+                state.pending_inputs[index] = payload
             worker = state.worker
+            alive = (not self._processes
+                     or self._processes[worker].is_alive())
+            if self._processes and alive:
+                # dispatch under the same lock as the reservation:
+                # migrations also hold it, so this segment is queued
+                # exactly once — here, or (if the worker is found dead)
+                # by the migration's re-dispatch of pending_inputs
+                self._put(worker, ("segment", stream_id, index,
+                                   dispatch, payload))
         if self._processes:
-            if not self._processes[worker].is_alive():
+            if not alive:
                 if not self._ensure_worker(worker):
                     raise ServiceUnavailable(
                         f"worker {worker} owning stream {stream_id!r} "
                         f"died and the respawn budget is exhausted")
-                # the respawn synthesized a failure for this just-
-                # reserved segment; the client collects it like any
-                # other failed segment
-                return index
-            self._put(worker, ("segment", stream_id, index, payload))
+                # migrate=True: the respawn re-dispatched this just-
+                # reserved segment on the stream's new worker;
+                # migrate=False: it synthesized a failure for it — the
+                # client collects either like any other result
+            return index
         else:
             with self._processor_lock:
                 result = self._processor.segment(stream_id, index, payload)
@@ -771,11 +973,18 @@ class CodecService:
         if self._processes:
             if not self._ensure_worker(worker):
                 with self._lock:
-                    self._streams.pop(stream_id, None)
+                    if self._streams.pop(stream_id, None) is not None:
+                        self._unpin(state)
                 raise ServiceUnavailable(
                     f"worker {worker} owning stream {stream_id!r} died "
                     f"and the respawn budget is exhausted")
-            self._put(worker, ("close", stream_id))
+            with self._lock:
+                # re-read: _ensure_worker may have just migrated the
+                # stream — and then it queued the close itself (closing
+                # was already set), so never queue a second one
+                if not state.close_queued:
+                    state.close_queued = True
+                    self._put(state.worker, ("close", stream_id))
         else:
             with self._processor_lock:
                 summary = self._processor.close(stream_id)
@@ -789,7 +998,8 @@ class CodecService:
                     else deadline - time.perf_counter()
                 if self._shutdown or (remaining is not None
                                       and remaining <= 0):
-                    self._streams.pop(stream_id, None)
+                    if self._streams.pop(stream_id, None) is not None:
+                        self._unpin(state)
                     raise ServiceUnavailable(
                         f"no close summary for stream {stream_id!r} "
                         f"within {timeout}s")
@@ -797,7 +1007,8 @@ class CodecService:
                                  else 0.5)
             raw = state.summary
             uncollected = list(state.results)
-            self._streams.pop(stream_id, None)
+            if self._streams.pop(stream_id, None) is not None:
+                self._unpin(state)
             self._closed_streams += 1
         summary = StreamSummary(
             stream=stream_id, kind=raw.get("kind", state.config.kind),
@@ -811,12 +1022,20 @@ class CodecService:
         )
         return summary
 
+    def _unpin(self, state: _StreamState) -> None:
+        """Rebalance: drop a removed stream's pinning count (caller
+        holds the lock)."""
+        if self._pinned and 0 <= state.worker < len(self._pinned):
+            self._pinned[state.worker] = max(
+                0, self._pinned[state.worker] - 1)
+
     def abort_stream(self, stream_id: str) -> None:
         """Drop a stream without a summary (client vanished)."""
         with self._lock:
             state = self._streams.pop(stream_id, None)
             if state is None:
                 return
+            self._unpin(state)
             self._closed_streams += 1
             worker = state.worker
         if self._processes:
@@ -848,6 +1067,9 @@ class CodecService:
                 "workers": len(self._processes),
                 "max_pending": self.max_pending,
                 "respawns": self._respawns,
+                "migrate": self._migrate,
+                "migrations": self._migrations,
+                "hangs_detected": self._hangs_detected,
                 "streams_open": len(self._streams),
                 "streams_closed": self._closed_streams,
                 "segments_submitted": sum(s["submitted"]

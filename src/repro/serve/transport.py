@@ -10,6 +10,8 @@ pool.
 
 Request grammar (all ops)::
 
+    {"op": "auth_challenge"}
+    {"op": "auth",    "proof": "<hmac-sha256 hex>"}
     {"op": "open",    "config": {...StreamConfig fields...}}
     {"op": "submit",  "stream": "s0000", "frames": [<frame>...]}   encode
     {"op": "submit",  "stream": "s0000", "payload": "<base64>"}    decode
@@ -29,6 +31,12 @@ Failure semantics the tests pin down:
 
 * malformed requests (bad JSON, unknown op, missing field) get a
   ``REPRO-SRV-PROTOCOL`` response and the connection stays up;
+* with ``--auth-token`` (or ``REPRO_AUTH_TOKEN``) set on the server,
+  every op except the ``auth_challenge``/``auth`` handshake is rejected
+  with a structured ``REPRO-SRV-AUTH`` until the connection proves
+  knowledge of the shared secret via HMAC-SHA256 challenge-response
+  (:mod:`repro.supervise`) — the token itself never crosses the wire,
+  and a mismatch is an explicit error, never a silent drop;
 * a line over the 32 MiB limit closes the connection (there is no way
   to resynchronise a JSON-lines stream mid-line);
 * a client disconnect aborts every stream that connection opened and
@@ -50,12 +58,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import faults
+from repro import faults, supervise
 from repro.codec.frame import YuvFrame
 from repro.errors import (
     BackpressureReject,
     ReproError,
     SegmentFailed,
+    ServiceAuthError,
     ServiceError,
     ServiceProtocolError,
     ServiceUnavailable,
@@ -79,7 +88,7 @@ _CODE_TO_ERROR = {
     cls.code: cls
     for cls in (ServiceError, StreamUnknown, StreamClosed,
                 BackpressureReject, SegmentFailed, ServiceProtocolError,
-                ServiceUnavailable)
+                ServiceUnavailable, ServiceAuthError)
 }
 
 
@@ -121,34 +130,50 @@ def _result_to_wire(result: SegmentResult) -> Dict[str, object]:
 
 # -- server -------------------------------------------------------------------
 
+class _ConnState:
+    """Per-connection state: owned streams plus the auth handshake."""
+
+    __slots__ = ("owned", "challenge", "authed")
+
+    def __init__(self):
+        self.owned: set = set()    # opened here, not yet closed
+        self.challenge: Optional[str] = None
+        self.authed = False
+
+
 class ServiceServer(JsonLinesServer):
     """Asyncio JSON-lines front end over one :class:`CodecService`.
 
     The accept/frame/cleanup loop comes from
     :class:`repro.jsonlines.JsonLinesServer`; this class contributes the
     op dispatch (run in the event loop's thread pool so segments grind
-    without blocking the loop), the injected-disconnect fault hook, and
-    the on-disconnect abort of the connection's unclosed streams.
+    without blocking the loop), the shared-secret auth gate, the
+    injected-disconnect fault hook, and the on-disconnect abort of the
+    connection's unclosed streams.
     """
 
+    #: an oversize request line is rejected with this protocol code
+    frame_error = ServiceProtocolError
+
     def __init__(self, service: CodecService, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, auth_token: Optional[str] = None):
         super().__init__(host, port)
         self.service = service
+        self.auth_token = auth_token
 
-    def connection_state(self) -> set:
-        return set()   # streams this connection opened, not yet closed
+    def connection_state(self) -> _ConnState:
+        return _ConnState()
 
-    async def respond(self, line: bytes, owned: set,
+    async def respond(self, line: bytes, state: _ConnState,
                       requests: int) -> Tuple[Dict[str, object], bool]:
         response, stream_id = await asyncio.to_thread(
-            self._dispatch, line, owned)
+            self._dispatch, line, state)
         drop = stream_id is not None and faults.should_disconnect(
             stream_id, requests)
         return response, drop
 
-    async def on_disconnect(self, owned: set) -> None:
-        for stream_id in owned:
+    async def on_disconnect(self, state: _ConnState) -> None:
+        for stream_id in state.owned:
             try:
                 await asyncio.to_thread(self.service.abort_stream,
                                         stream_id)
@@ -156,8 +181,8 @@ class ServiceServer(JsonLinesServer):
                 pass
 
     # -- request handling (runs in the thread pool) ---------------------------
-    def _dispatch(self, line: bytes,
-                  owned: set) -> Tuple[Dict[str, object], Optional[str]]:
+    def _dispatch(self, line: bytes, state: _ConnState
+                  ) -> Tuple[Dict[str, object], Optional[str]]:
         stream_id: Optional[str] = None
         try:
             try:
@@ -170,10 +195,15 @@ class ServiceServer(JsonLinesServer):
                     "a request is a JSON object with an 'op' field")
             op = request["op"]
             stream_id = request.get("stream")
+            if self.auth_token is not None and not state.authed \
+                    and op not in ("auth_challenge", "auth"):
+                raise ServiceAuthError(
+                    "this server requires authentication; complete the "
+                    "auth_challenge/auth handshake first")
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
                 raise ServiceProtocolError(f"unknown op {op!r}")
-            response = handler(request, owned)
+            response = handler(request, state)
             response["ok"] = True
             return response, stream_id
         except ReproError as exc:
@@ -187,15 +217,33 @@ class ServiceServer(JsonLinesServer):
                 f"op {request.get('op')!r} needs a {field!r} field")
         return request[field]
 
-    def _op_open(self, request, owned) -> Dict[str, object]:
+    def _op_auth_challenge(self, request, state) -> Dict[str, object]:
+        # a null challenge tells the client auth is not required here
+        if self.auth_token is None:
+            return {"challenge": None}
+        state.challenge = supervise.auth_challenge()
+        return {"challenge": state.challenge}
+
+    def _op_auth(self, request, state) -> Dict[str, object]:
+        proof = request.get("proof")
+        if not supervise.auth_verify(self.auth_token, state.challenge,
+                                     proof if isinstance(proof, str)
+                                     else None):
+            raise ServiceAuthError(
+                "authentication failed: the proof does not match this "
+                "server's token (or no challenge was requested first)")
+        state.authed = True
+        return {"authed": True}
+
+    def _op_open(self, request, state) -> Dict[str, object]:
         config = request.get("config") or {}
         if not isinstance(config, dict):
             raise ServiceProtocolError("'config' must be a JSON object")
         stream_id = self.service.open_stream(StreamConfig.from_dict(config))
-        owned.add(stream_id)
+        state.owned.add(stream_id)
         return {"stream": stream_id}
 
-    def _op_submit(self, request, owned) -> Dict[str, object]:
+    def _op_submit(self, request, state) -> Dict[str, object]:
         stream_id = self._required(request, "stream")
         if "frames" in request:
             payload: object = [wire_to_frame(item)
@@ -213,7 +261,7 @@ class ServiceServer(JsonLinesServer):
         index = self.service.submit_segment(stream_id, payload)
         return {"stream": stream_id, "segment": index}
 
-    def _op_collect(self, request, owned) -> Dict[str, object]:
+    def _op_collect(self, request, state) -> Dict[str, object]:
         stream_id = self._required(request, "stream")
         timeout = request.get("timeout")
         results = self.service.collect(
@@ -221,28 +269,29 @@ class ServiceServer(JsonLinesServer):
         return {"stream": stream_id,
                 "results": [_result_to_wire(r) for r in results]}
 
-    def _op_close(self, request, owned) -> Dict[str, object]:
+    def _op_close(self, request, state) -> Dict[str, object]:
         stream_id = self._required(request, "stream")
         summary = self.service.close_stream(stream_id)
-        owned.discard(stream_id)
+        state.owned.discard(stream_id)
         data = summary.to_dict()
         data["payload"] = base64.b64encode(summary.payload).decode("ascii")
         return {"summary": data}
 
-    def _op_abort(self, request, owned) -> Dict[str, object]:
+    def _op_abort(self, request, state) -> Dict[str, object]:
         stream_id = self._required(request, "stream")
         self.service.abort_stream(stream_id)
-        owned.discard(stream_id)
+        state.owned.discard(stream_id)
         return {"stream": stream_id}
 
-    def _op_stats(self, request, owned) -> Dict[str, object]:
+    def _op_stats(self, request, state) -> Dict[str, object]:
         return {"stats": self.service.stats()}
 
 
 async def run_server(service: CodecService, host: str, port: int,
-                     ready=None) -> None:
+                     ready=None,
+                     auth_token: Optional[str] = None) -> None:
     """Serve until cancelled; ``ready`` (if given) receives (host, port)."""
-    server = ServiceServer(service, host, port)
+    server = ServiceServer(service, host, port, auth_token=auth_token)
     bound = await server.start()
     if ready is not None:
         ready(bound)
@@ -259,9 +308,26 @@ class ServiceClient(JsonLinesClient):
 
     Mirrors the in-process session API; server-side failures re-raise as
     the matching :mod:`repro.errors` class, mapped from the wire code.
+    On connect it asks the server for an auth challenge and — when the
+    server requires auth — answers with an HMAC proof of ``auth_token``
+    (default: the ``REPRO_AUTH_TOKEN`` environment variable).  A missing
+    or wrong token surfaces as a structured
+    :class:`~repro.errors.ServiceAuthError` before any session call.
     """
 
     unavailable_error = ServiceUnavailable
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 120.0,
+                 auth_token: Optional[str] = None):
+        super().__init__(host, port, timeout)
+        challenge = self._request(
+            {"op": "auth_challenge"}).get("challenge")
+        if challenge is not None:
+            token = supervise.resolve_token(auth_token)
+            self._request({"op": "auth",
+                           "proof": supervise.auth_proof(token or "",
+                                                         challenge)})
 
     def error_for(self, response: Dict[str, object]) -> ReproError:
         error = _CODE_TO_ERROR.get(response.get("code"), ServiceError)

@@ -1,0 +1,221 @@
+"""Shared supervision primitives for the multi-process fabrics.
+
+Both fabrics — the distributed sweep (:mod:`repro.sweep.distributed`) and
+the streaming codec service (:mod:`repro.serve`) — detect *death* for
+free (TCP disconnect, ``Process.is_alive``) but strand work when a peer
+merely *hangs*: the connection stays open, the process stays alive, and
+nothing ever finishes.  This module hosts the pieces both sides share:
+
+* :class:`LeaseTable` — deadline supervision over a set of keyed work
+  items.  A lease is granted with a time budget; refreshing it
+  (:meth:`LeaseTable.beat`) pushes the deadline out; :meth:`expired`
+  pops every lease past its deadline so the supervisor can revoke and
+  requeue.  The sweep coordinator keys leases by cell name and refreshes
+  them from worker ``{"op": "heartbeat"}`` frames; the codec service
+  keys them by ``(stream, segment)`` with no refreshes at all — there
+  the budget *is* the per-segment deadline.
+
+* :class:`HeartbeatSender` — a daemon thread that invokes a callback at
+  a fixed interval until stopped, swallowing nothing: the first callback
+  exception stops the sender and is re-raised from :meth:`stop` (a
+  worker whose heartbeats fail should hear about it, not beat on).
+
+* The shared-secret handshake (:func:`auth_challenge`, :func:`auth_proof`,
+  :func:`auth_verify`, :func:`resolve_token`): HMAC-SHA256
+  challenge–response so the token itself never crosses the wire.  The
+  server mints a nonce per connection; the client proves knowledge of
+  the token by returning ``HMAC(token, nonce)``; comparison is
+  constant-time.  Both fabrics speak exactly this handshake, differing
+  only in which frame carries the proof.
+
+Everything here is synchronous and dependency-free so the asyncio
+coordinator, the blocking worker loop, and the drainer threads of the
+service can all use it directly.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+#: environment variable consulted when no explicit token is given
+AUTH_ENV_VAR = "REPRO_AUTH_TOKEN"
+
+
+# -- leases -------------------------------------------------------------------
+
+@dataclass
+class Lease:
+    """One supervised work item: who holds it, until when."""
+
+    key: Hashable
+    attempt: int
+    budget_s: float
+    granted_at: float
+    #: monotonic time of the most recent grant/refresh
+    last_beat: float
+    deadline: float
+    beats: int = 0
+    #: free-form payload the supervisor wants back on expiry
+    data: dict = field(default_factory=dict)
+
+    def overdue_s(self, now: float) -> float:
+        """How far past the deadline the lease is (<= 0 while live)."""
+        return now - self.deadline
+
+    def since_beat_s(self, now: float) -> float:
+        """Detection latency: time since the last sign of life."""
+        return now - self.last_beat
+
+
+class LeaseTable:
+    """Deadline supervision over keyed leases.
+
+    Not thread-safe by itself — the sweep coordinator mutates it only
+    from its single-threaded event loop; the codec service guards it
+    with the service lock.  Times are ``time.monotonic()`` floats; every
+    method takes an optional ``now`` so tests can drive the clock.
+    """
+
+    def __init__(self, budget_s: float):
+        if budget_s <= 0:
+            raise ValueError(f"lease budget must be > 0, got {budget_s}")
+        self.budget_s = budget_s
+        self._leases: Dict[Hashable, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._leases
+
+    def get(self, key: Hashable) -> Optional[Lease]:
+        return self._leases.get(key)
+
+    def keys(self):
+        return self._leases.keys()
+
+    def values(self):
+        return self._leases.values()
+
+    def grant(self, key: Hashable, attempt: int = 0,
+              now: Optional[float] = None, **data) -> Lease:
+        """Grant (or re-grant) a lease with a fresh full budget."""
+        now = time.monotonic() if now is None else now
+        lease = Lease(key=key, attempt=attempt, budget_s=self.budget_s,
+                      granted_at=now, last_beat=now,
+                      deadline=now + self.budget_s, data=dict(data))
+        self._leases[key] = lease
+        return lease
+
+    def beat(self, key: Hashable,
+             now: Optional[float] = None) -> Optional[Lease]:
+        """Refresh a lease's deadline; None if it is unknown/revoked."""
+        lease = self._leases.get(key)
+        if lease is None:
+            return None
+        now = time.monotonic() if now is None else now
+        lease.last_beat = now
+        lease.deadline = now + self.budget_s
+        lease.beats += 1
+        return lease
+
+    def release(self, key: Hashable) -> Optional[Lease]:
+        """Drop a lease (work finished or holder gone); None if absent."""
+        return self._leases.pop(key, None)
+
+    def expired(self, now: Optional[float] = None) -> List[Lease]:
+        """Pop and return every lease past its deadline."""
+        now = time.monotonic() if now is None else now
+        dead = [lease for lease in self._leases.values()
+                if lease.deadline < now]
+        for lease in dead:
+            del self._leases[lease.key]
+        return dead
+
+    def oldest(self) -> Optional[Lease]:
+        """The lease with the earliest deadline, or None when empty."""
+        if not self._leases:
+            return None
+        return min(self._leases.values(), key=lambda lease: lease.deadline)
+
+
+# -- heartbeats ---------------------------------------------------------------
+
+class HeartbeatSender:
+    """A daemon thread beating ``send`` every ``interval_s`` until stopped.
+
+    The first send that raises stops the loop; :meth:`stop` re-raises it
+    in the caller's thread so a worker whose coordinator vanished fails
+    loudly instead of silently going heartbeat-less.
+    """
+
+    def __init__(self, interval_s: float, send: Callable[[], None]):
+        if interval_s <= 0:
+            raise ValueError(
+                f"heartbeat interval must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        self._send = send
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self.sent = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._send()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in stop()
+                self._error = exc
+                return
+            self.sent += 1
+
+    def start(self) -> "HeartbeatSender":
+        self._thread.start()
+        return self
+
+    def stop(self, reraise: bool = True) -> int:
+        """Stop beating, join the thread, and return the beat count.
+
+        Re-raises the first send error by default — pass
+        ``reraise=False`` when the caller is already unwinding.
+        """
+        self._stop.set()
+        self._thread.join()
+        if reraise and self._error is not None:
+            raise self._error
+        return self.sent
+
+
+# -- shared-secret handshake --------------------------------------------------
+
+def resolve_token(explicit: Optional[str] = None) -> Optional[str]:
+    """The effective auth token: explicit flag, else the environment."""
+    if explicit:
+        return explicit
+    return os.environ.get(AUTH_ENV_VAR) or None
+
+
+def auth_challenge() -> str:
+    """A fresh per-connection nonce (hex, 128 bits)."""
+    return secrets.token_hex(16)
+
+
+def auth_proof(token: str, challenge: str) -> str:
+    """``HMAC-SHA256(token, challenge)`` — the client's proof."""
+    return hmac.new(token.encode("utf-8"), challenge.encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def auth_verify(token: str, challenge: Optional[str],
+                proof: Optional[str]) -> bool:
+    """Constant-time check of a client's proof against the minted nonce."""
+    if not challenge or not isinstance(proof, str) or not proof:
+        return False
+    return hmac.compare_digest(auth_proof(token, challenge), proof)

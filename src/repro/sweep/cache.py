@@ -109,13 +109,22 @@ class SweepCache:
     branch on ``--no-cache`` themselves.  ``on_corrupt`` receives a dict
     ``{key, path, reason, code}`` whenever an entry is quarantined; with
     no callback the report goes to stderr — corruption is never silent.
+
+    ``max_bytes`` bounds the store for long-lived shared caches:
+    :meth:`evict` prunes least-recently-written entries (LRU by mtime)
+    until the total fits, never touching an entry this process read or
+    wrote — the current run's working set is always safe.
     """
 
     def __init__(self, root: pathlib.Path, enabled: bool = True,
-                 on_corrupt: Optional[Callable[[Dict], None]] = None):
+                 on_corrupt: Optional[Callable[[Dict], None]] = None,
+                 max_bytes: Optional[int] = None):
         self.root = pathlib.Path(root)
         self.enabled = enabled
         self.on_corrupt = on_corrupt
+        self.max_bytes = max_bytes
+        #: keys this run touched (get hits + puts) — never evicted
+        self._protected: set = set()
 
     def entry_path(self, key: str) -> pathlib.Path:
         """Where the entry for ``key`` lives on disk."""
@@ -180,6 +189,7 @@ class SweepCache:
         except (ValueError, KeyError, TypeError) as exc:
             self._quarantine(key, path, str(exc))
             return None
+        self._protected.add(key)
         return payload
 
     def put(self, key: str, payload: Dict) -> None:
@@ -202,6 +212,46 @@ class SweepCache:
             except OSError:
                 pass
             raise
+        self._protected.add(key)
+
+    def evict(self) -> Dict[str, int]:
+        """Prune least-recently-written entries down to ``max_bytes``.
+
+        Entries this run read or wrote are never candidates, so a bound
+        smaller than the current working set simply keeps the working
+        set.  Returns ``{"evicted": N, "reclaimed_bytes": B,
+        "kept": K, "kept_bytes": ...}`` (all zero when no bound is set
+        or the store already fits) — the orchestrator turns a non-empty
+        result into a ``cache_evicted`` run-log event.
+        """
+        stats = {"evicted": 0, "reclaimed_bytes": 0, "kept": 0,
+                 "kept_bytes": 0}
+        if not self.enabled or self.max_bytes is None \
+                or not self.root.is_dir():
+            return stats
+        entries = []   # (mtime, size, key, path)
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue   # raced with another run's eviction
+            entries.append((stat.st_mtime, stat.st_size, path.stem, path))
+        total = sum(size for _, size, _, _ in entries)
+        for mtime, size, key, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if key in self._protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            stats["evicted"] += 1
+            stats["reclaimed_bytes"] += size
+        stats["kept"] = len(entries) - stats["evicted"]
+        stats["kept_bytes"] = total
+        return stats
 
     def clear(self) -> int:
         """Delete every cached cell; returns how many were removed."""

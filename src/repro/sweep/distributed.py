@@ -12,13 +12,18 @@ leases whatever is left.
 
 Protocol (one JSON object per line, worker → coordinator)::
 
-    {"op": "hello", "worker": ..., "host": ..., "pid": ...}
+    {"op": "auth_challenge"}
+        → {"ok": true, "challenge": NONCE|null}        null: auth not required
+    {"op": "hello", "worker": ..., "host": ..., "pid": ...,
+     "proof": HMAC(token, NONCE)}                      proof only under auth
         → {"ok": true, "frames": N, "seed": S, "timeout_s": T|null,
-           "faults": SPEC|null}
+           "faults": SPEC|null, "heartbeat_s": H, "lease_timeout_s": L}
     {"op": "lease"}
         → {"ok": true, "cell": NAME, "attempt": A, "key": KEY}
         | {"ok": true, "wait": true, "backoff_s": B}   nothing leasable yet
         | {"ok": true, "done": true}                   sweep finished
+    {"op": "heartbeat", "cell": NAME}
+        → {"ok": true, "leased": bool}                 false: lease revoked
     {"op": "result", "cell": NAME, "attempt": A, "restored": bool,
      "result": {...CellResult fields...}}
         → {"ok": true, "accepted": bool}
@@ -35,6 +40,18 @@ Resilience is the PR-4 discipline stretched across hosts:
 * a connection that drops with cells leased gets them **requeued at
   attempt + 1** (``worker_lost`` event, code ``REPRO-DIST-WORKER-LOST``)
   — the cross-host analogue of ``pool_respawn``;
+* every lease carries a **heartbeat deadline**
+  (:class:`repro.supervise.LeaseTable`): workers beat every
+  ``heartbeat_s`` while executing, and a lease silent past
+  ``lease_timeout_s`` is revoked and requeued at attempt + 1
+  (``lease_expired`` event, code ``REPRO-DIST-LEASE-EXPIRED``) even
+  while its TCP connection stays open — a *hung* worker is handled
+  exactly like a dead one, and first-result-wins dedup makes its
+  eventual straggler result harmless;
+* with ``--auth-token`` (or ``REPRO_AUTH_TOKEN``) set, hello frames
+  must prove knowledge of the shared secret via HMAC challenge–response
+  (:mod:`repro.supervise`); a mismatch is rejected with the structured
+  ``REPRO-DIST-AUTH`` code, never silently dropped;
 * retryable failures (timeouts, :class:`~repro.errors.TransientCellError`)
   are requeued with the same bounded exponential backoff as the pool
   path (``cell_retry`` events);
@@ -64,12 +81,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro import faults
+from repro import faults, supervise
 from repro.errors import (
     CoordinatorUnreachable,
+    DistAuthError,
     DistProtocolError,
     DistributedSweepError,
     ExperimentError,
+    LeaseExpired,
     ReproError,
     WorkerLost,
 )
@@ -93,7 +112,11 @@ _RESULT_FIELDS = ("rendered", "wall_s", "error", "cycles", "attempts",
 
 _CODE_TO_ERROR = {cls.code: cls for cls in
                   (DistributedSweepError, WorkerLost,
-                   CoordinatorUnreachable, DistProtocolError)}
+                   CoordinatorUnreachable, DistProtocolError,
+                   DistAuthError, LeaseExpired)}
+
+#: default worker heartbeat interval while executing a leased cell
+DEFAULT_HEARTBEAT_S = 5.0
 
 
 def parse_bind(spec: str) -> Tuple[str, int]:
@@ -113,12 +136,16 @@ class _Conn:
     joined: bool = False
     #: cells this connection holds a lease on: name -> attempt
     leased: Dict[str, int] = field(default_factory=dict)
+    #: nonce minted for this connection's auth handshake
+    challenge: Optional[str] = None
 
 
 class SweepCoordinator(JsonLinesServer):
     """The queue, the cache service and the loss accounting, in one
     single-threaded event loop (handlers never block on cell work — the
     workers do that — so state needs no locks)."""
+
+    frame_error = DistProtocolError
 
     def __init__(self, items: Sequence[Tuple[str, int]],
                  keys: Dict[str, str], frames: int, seed: int,
@@ -129,7 +156,10 @@ class SweepCoordinator(JsonLinesServer):
                  on_start: Optional[Callable[[str], None]] = None,
                  on_result: Optional[Callable[[CellResult], None]] = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 worker_wait_s: float = 30.0):
+                 worker_wait_s: float = 30.0,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                 lease_timeout_s: Optional[float] = None,
+                 auth_token: Optional[str] = None):
         super().__init__(host, port)
         #: [name, attempt, not_before] — leasable once not_before passes
         self._queue: List[List] = [[name, attempt, 0.0]
@@ -147,6 +177,12 @@ class SweepCoordinator(JsonLinesServer):
         self.on_start = on_start
         self.on_result = on_result
         self.worker_wait_s = worker_wait_s
+        self.heartbeat_s = heartbeat_s
+        self.lease_timeout_s = (lease_timeout_s if lease_timeout_s
+                                else 4.0 * heartbeat_s)
+        self.auth_token = auth_token
+        #: cell name -> live Lease (data carries the holding connection)
+        self._leases = supervise.LeaseTable(self.lease_timeout_s)
         self.results: Dict[str, CellResult] = {}
         self.hosts: Dict[str, Dict] = {}
         self.gave_up: Optional[str] = None
@@ -179,12 +215,42 @@ class SweepCoordinator(JsonLinesServer):
             self.gave_up = reason
             self.done.set()
 
+    def _revoke_expired(self) -> None:
+        """Revoke every lease past its heartbeat deadline: requeue the
+        cell at attempt + 1 and emit ``lease_expired``.  The holder's
+        connection may still be open — a hung worker looks exactly like
+        this — so its eventual straggler result is absorbed by the
+        first-result-wins dedup in :meth:`_op_result`."""
+        now = time.monotonic()
+        for lease in self._leases.expired(now):
+            conn = lease.data.get("conn")
+            if conn is not None:
+                conn.leased.pop(lease.key, None)
+            if lease.key in self.results:
+                continue
+            self._losses += 1
+            delay = self.policy.backoff_s(lease.attempt + 1)
+            self._requeue(lease.key, lease.attempt + 1, delay)
+            self.emit("lease_expired", cell=lease.key,
+                      worker=conn.worker if conn is not None else "?",
+                      attempt=lease.attempt,
+                      budget_s=round(self._leases.budget_s, 4),
+                      since_beat_s=round(lease.since_beat_s(now), 4),
+                      overdue_s=round(lease.overdue_s(now), 4),
+                      beats=lease.beats, losses=self._losses,
+                      code=LeaseExpired.code)
+            if self._losses >= self.policy.max_pool_deaths:
+                self._give_up(f"{self._losses} consecutive worker losses")
+
     async def watchdog(self) -> None:
-        """Degrade instead of hanging when the fleet never materialises
-        or has died off: no connected workers and none joining for
-        ``worker_wait_s`` means nobody is coming for the queue."""
+        """Revoke expired leases, and degrade instead of hanging when
+        the fleet never materialises or has died off: no connected
+        workers and none joining for ``worker_wait_s`` means nobody is
+        coming for the queue."""
         while not self.done.is_set():
-            await asyncio.sleep(min(0.1, self.worker_wait_s / 4))
+            await asyncio.sleep(min(0.1, self.worker_wait_s / 4,
+                                    self.lease_timeout_s / 4))
+            self._revoke_expired()
             if self._complete() or self._conns:
                 continue
             if time.monotonic() - self._last_activity > self.worker_wait_s:
@@ -199,6 +265,10 @@ class SweepCoordinator(JsonLinesServer):
 
     async def on_disconnect(self, conn: _Conn) -> None:
         self._conns.discard(conn)
+        for name in conn.leased:
+            lease = self._leases.get(name)
+            if lease is not None and lease.data.get("conn") is conn:
+                self._leases.release(name)
         if not conn.leased or self.done.is_set():
             return
         requeued = sorted(conn.leased)
@@ -233,7 +303,7 @@ class SweepCoordinator(JsonLinesServer):
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
                 raise DistProtocolError(f"unknown op {op!r}")
-            if op != "hello" and not conn.joined:
+            if op not in ("hello", "auth_challenge") and not conn.joined:
                 raise DistProtocolError("send 'hello' before any other op")
             response = handler(conn, request)
             response["ok"] = True
@@ -242,7 +312,19 @@ class SweepCoordinator(JsonLinesServer):
             return {"ok": False, "code": exc.code, "error": str(exc),
                     "hint": exc.hint}, False
 
+    def _op_auth_challenge(self, conn: _Conn, request: Dict) -> Dict:
+        """Mint a per-connection nonce; null when auth is not required."""
+        if self.auth_token is None:
+            return {"challenge": None}
+        conn.challenge = supervise.auth_challenge()
+        return {"challenge": conn.challenge}
+
     def _op_hello(self, conn: _Conn, request: Dict) -> Dict:
+        if self.auth_token is not None and not supervise.auth_verify(
+                self.auth_token, conn.challenge, request.get("proof")):
+            raise DistAuthError(
+                "hello rejected: missing or invalid auth proof "
+                "(request a challenge, then prove the shared token)")
         conn.worker = str(request.get("worker") or "anonymous")
         conn.joined = True
         self._conns.add(conn)
@@ -256,17 +338,23 @@ class SweepCoordinator(JsonLinesServer):
         return {"frames": self.frames, "seed": self.seed,
                 "timeout_s": self.policy.cell_timeout_s,
                 "max_retries": self.policy.max_retries,
-                "faults": faults.active_spec()}
+                "faults": faults.active_spec(),
+                "heartbeat_s": self.heartbeat_s,
+                "lease_timeout_s": self.lease_timeout_s}
 
     def _op_lease(self, conn: _Conn, request: Dict) -> Dict:
         if self.done.is_set() or self._complete():
             self.done.set()
             return {"done": True}
+        # drop queue entries a revoked lease's straggler already resolved
+        self._queue = [entry for entry in self._queue
+                       if entry[0] not in self.results]
         now = time.monotonic()
         for index, (name, attempt, not_before) in enumerate(self._queue):
             if not_before <= now:
                 del self._queue[index]
                 conn.leased[name] = attempt
+                self._leases.grant(name, attempt, conn=conn)
                 if attempt == 0 and name not in self._started:
                     self._started.add(name)
                     if self.on_start:
@@ -277,10 +365,25 @@ class SweepCoordinator(JsonLinesServer):
         backoff = max(min(pending), 0.01) if pending else DEFAULT_POLL_S
         return {"wait": True, "backoff_s": round(backoff, 4)}
 
+    def _op_heartbeat(self, conn: _Conn, request: Dict) -> Dict:
+        """Refresh a lease's deadline; ``leased`` false tells a worker
+        its lease was revoked (it should still finish and report — the
+        result is either first, and wins, or deduplicated)."""
+        name = str(request.get("cell", ""))
+        lease = self._leases.get(name)
+        if lease is None or lease.data.get("conn") is not conn:
+            return {"leased": False}
+        self._leases.beat(name)
+        self._last_activity = time.monotonic()
+        return {"leased": True, "beats": lease.beats}
+
     def _op_result(self, conn: _Conn, request: Dict) -> Dict:
         name = request.get("cell")
         attempt = int(request.get("attempt", 0))
         conn.leased.pop(name, None)
+        lease = self._leases.get(name)
+        if lease is not None and lease.data.get("conn") is conn:
+            self._leases.release(name)
         if name not in self.keys:
             raise DistProtocolError(f"result for unknown cell {name!r}")
         if name in self.results:
@@ -351,13 +454,14 @@ class _Spawner:
 
     def __init__(self, count: int, host: str, port: int,
                  policy: ResiliencePolicy, log_dir: pathlib.Path,
-                 label: str):
+                 label: str, auth_token: Optional[str] = None):
         self.count = count
         self.host = host
         self.port = port
         self.policy = policy
         self.log_dir = pathlib.Path(log_dir)
         self.label = label
+        self.auth_token = auth_token
         self.respawns = 0
         self._procs: List[subprocess.Popen] = []
         self._logs: List = []
@@ -368,6 +472,8 @@ class _Spawner:
         env["PYTHONPATH"] = os.pathsep.join(
             [str(package_dir.parent)]
             + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        if self.auth_token:
+            env[supervise.AUTH_ENV_VAR] = self.auth_token
         self.log_dir.mkdir(parents=True, exist_ok=True)
         log = open(self.log_dir / f"{self.label}-worker{index}.log", "a",
                    encoding="utf-8")
@@ -415,6 +521,9 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
                     on_start: Optional[Callable[[str], None]] = None,
                     on_result: Optional[Callable[[CellResult], None]] = None,
                     spawn_workers: int = 0, worker_wait_s: float = 30.0,
+                    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                    lease_timeout_s: Optional[float] = None,
+                    auth_token: Optional[str] = None,
                     log_dir: Optional[pathlib.Path] = None,
                     label: str = "sweep",
                     ready: Optional[Callable[[Tuple[str, int]], None]] = None,
@@ -432,7 +541,9 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
     coordinator = SweepCoordinator(
         items, keys, frames, seed, policy, cache, checkpoint, workload,
         cell_versions, emit, on_start=on_start, on_result=on_result,
-        host=host, port=port, worker_wait_s=worker_wait_s)
+        host=host, port=port, worker_wait_s=worker_wait_s,
+        heartbeat_s=heartbeat_s, lease_timeout_s=lease_timeout_s,
+        auth_token=auth_token)
 
     async def _main():
         bound = await coordinator.start()
@@ -441,7 +552,8 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
         spawner = None
         if spawn_workers > 0:
             spawner = _Spawner(spawn_workers, bound[0], bound[1], policy,
-                               log_dir or pathlib.Path("."), label)
+                               log_dir or pathlib.Path("."), label,
+                               auth_token=auth_token)
             spawner.start()
         watchdog = asyncio.create_task(coordinator.watchdog())
         try:
@@ -481,21 +593,29 @@ class WorkerClient(JsonLinesClient):
 
 def run_worker(host: str, port: int, label: Optional[str] = None,
                poll_s: float = DEFAULT_POLL_S, reconnects: int = 3,
+               auth_token: Optional[str] = None,
                out: Callable[[str], None] = print) -> int:
     """``python -m repro sweep-worker``: lease, execute, report, repeat.
 
     Returns a process exit status: 0 when the coordinator said ``done``,
-    3 when it became unreachable past the reconnect budget.  The worker
-    adopts the coordinator's fault spec (hello response) — a determinism
-    requirement: every host must decide injected faults identically.
-    ``kill`` clauses are honoured here (:func:`repro.faults.
-    mark_worker_process`), and a ``dropresult`` clause drops the
-    connection after the cell's payload reaches the shared cache but
-    before the result is reported — the coordinator's requeue then
-    recovers it without re-execution.
+    3 when it became unreachable past the reconnect budget, 4 on an auth
+    rejection (deterministic — never retried).  The worker adopts the
+    coordinator's fault spec and heartbeat interval (hello response) — a
+    determinism requirement: every host must decide injected faults
+    identically.  While a cell executes, a background
+    :class:`repro.supervise.HeartbeatSender` shares this connection
+    (serialised by the client's request lock) so the coordinator can
+    tell busy from hung.  ``kill`` and ``hang`` clauses are honoured
+    here (:func:`repro.faults.mark_worker_process`): a ``hang`` freezes
+    the worker after leasing and *before* the first heartbeat — exactly
+    what a stuck process looks like — driving the lease-expiry path.  A
+    ``dropresult`` clause drops the connection after the cell's payload
+    reaches the shared cache but before the result is reported — the
+    coordinator's requeue then recovers it without re-execution.
     """
     faults.mark_worker_process()
     worker_id = origin_label(label or "worker")
+    token = supervise.resolve_token(auth_token)
     attempts_left = reconnects + 1
     while attempts_left > 0:
         attempts_left -= 1
@@ -507,13 +627,28 @@ def run_worker(host: str, port: int, label: Optional[str] = None,
             time.sleep(0.2)
             continue
         try:
-            hello = client.request({
+            hello_request = {
                 "op": "hello", "worker": worker_id,
                 "host": host_label(), "pid": os.getpid(),
-            })
+            }
+            if token is not None:
+                challenge = client.request(
+                    {"op": "auth_challenge"}).get("challenge")
+                if challenge:
+                    hello_request["proof"] = supervise.auth_proof(
+                        token, str(challenge))
+            try:
+                hello = client.request(hello_request)
+            except DistAuthError as exc:
+                out(f"{worker_id}: rejected by coordinator: "
+                    f"{exc.describe()}")
+                client.close()
+                return 4
             frames = int(hello["frames"])
             seed = int(hello["seed"])
             timeout_s = hello.get("timeout_s")
+            heartbeat_s = float(hello.get("heartbeat_s",
+                                          DEFAULT_HEARTBEAT_S))
             faults.install(hello.get("faults"))
             out(f"{worker_id}: joined {host}:{port} "
                 f"(frames={frames} seed={seed})")
@@ -529,27 +664,42 @@ def run_worker(host: str, port: int, label: Optional[str] = None,
                 name = lease["cell"]
                 attempt = int(lease.get("attempt", 0))
                 key = lease["key"]
-                cached = client.request(
-                    {"op": "cache_get", "key": key}).get("payload")
-                restored = cached is not None
-                if restored:
-                    result = CellResult(
-                        name, rendered=cached["rendered"],
-                        wall_s=cached.get("wall_s", 0.0),
-                        cycles=cached.get("cycles"),
-                        attempts=attempt + 1)
-                else:
-                    result = execute_cell(name, frames, seed, attempt,
-                                          timeout_s)
-                    if result.ok:
-                        client.request({
-                            "op": "cache_put", "key": key,
-                            "payload": {
-                                "cell": name,
-                                "rendered": result.rendered,
-                                "wall_s": round(result.wall_s, 4),
-                                "cycles": result.cycles,
-                            }})
+                hang_s = faults.hang_delay(name, attempt)
+                if hang_s:
+                    # freeze before the first heartbeat: the coordinator
+                    # sees exactly what a stuck process looks like and
+                    # must revoke the lease while this sleep runs
+                    out(f"{worker_id}: hanging {hang_s}s on {name} "
+                        f"(injected hang)")
+                    time.sleep(hang_s)
+                beat = supervise.HeartbeatSender(
+                    heartbeat_s,
+                    lambda cell=name: client.request(
+                        {"op": "heartbeat", "cell": cell})).start()
+                try:
+                    cached = client.request(
+                        {"op": "cache_get", "key": key}).get("payload")
+                    restored = cached is not None
+                    if restored:
+                        result = CellResult(
+                            name, rendered=cached["rendered"],
+                            wall_s=cached.get("wall_s", 0.0),
+                            cycles=cached.get("cycles"),
+                            attempts=attempt + 1)
+                    else:
+                        result = execute_cell(name, frames, seed, attempt,
+                                              timeout_s)
+                        if result.ok:
+                            client.request({
+                                "op": "cache_put", "key": key,
+                                "payload": {
+                                    "cell": name,
+                                    "rendered": result.rendered,
+                                    "wall_s": round(result.wall_s, 4),
+                                    "cycles": result.cycles,
+                                }})
+                finally:
+                    beat.stop(reraise=False)
                 if faults.should_drop_result(name, attempt):
                     # injected completed-but-unreported death: the payload
                     # is in the shared cache, the report is not sent

@@ -64,7 +64,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro import faults
+from repro import faults, supervise
 from repro.core.exploration import ExplorationConfig
 from repro.core.timing import set_replay_verification
 from repro.errors import ExperimentError, SweepWorkerDied
@@ -135,6 +135,17 @@ class SweepConfig:
     #: how long the coordinator waits for a (first or replacement)
     #: worker before degrading to serial execution
     worker_wait_s: float = 30.0
+    #: distributed workers heartbeat at this interval while executing
+    heartbeat_s: float = 5.0
+    #: a lease silent this long is revoked and requeued (None = 4x the
+    #: heartbeat interval)
+    lease_timeout_s: Optional[float] = None
+    #: shared secret workers must prove over HMAC challenge-response
+    #: (None also adopts the REPRO_AUTH_TOKEN environment variable)
+    auth_token: Optional[str] = None
+    #: LRU-by-mtime bound on the memoisation cache; entries this run
+    #: touched are never evicted (None = unbounded)
+    cache_max_bytes: Optional[int] = None
     #: analyse this tree instead of the installed package when
     #: fingerprinting code (benchmarks point it at a modified copy)
     code_root: Optional[pathlib.Path] = None
@@ -248,7 +259,8 @@ def run_sweep(config: Optional[SweepConfig] = None,
     cell_versions = cell_code_versions(names, config.code_root)
     code_version = sweep_code_version(cell_versions)
     cache = SweepCache(config.cache_dir or config.root / "cache",
-                       enabled=config.use_cache)
+                       enabled=config.use_cache,
+                       max_bytes=config.cache_max_bytes)
     #: the crash-recovery journal: always on, cleared by a clean finish,
     #: so an interrupted sweep resumes its completed cells even when the
     #: memoisation cache is disabled
@@ -392,6 +404,9 @@ def run_sweep(config: Optional[SweepConfig] = None,
                 on_result=on_result,
                 spawn_workers=config.spawn_workers,
                 worker_wait_s=config.worker_wait_s,
+                heartbeat_s=config.heartbeat_s,
+                lease_timeout_s=config.lease_timeout_s,
+                auth_token=supervise.resolve_token(config.auth_token),
                 log_dir=config.root / "runs", label=label)
             results.update(resolved)
             if remaining:
@@ -426,6 +441,10 @@ def run_sweep(config: Optional[SweepConfig] = None,
                                           replay=replay, keys=keys,
                                           cell_versions=cell_versions,
                                           hosts=hosts)
+        evicted = cache.evict()
+        if evicted["evicted"]:
+            log.event("cache_evicted", max_bytes=config.cache_max_bytes,
+                      **evicted)
         log.event("sweep_finish", **sweep_report["totals"])
 
     # chaos hook: a ``truncate`` clause shears the final run-log line,

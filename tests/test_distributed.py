@@ -12,6 +12,13 @@ The load-bearing guarantees:
 * an injected ``dropresult`` (cell finished, connection dropped before
   the report) is recovered from the shared cache without re-execution
   (``dist_cache_hit``);
+* a leased cell whose holder stops heartbeating is revoked and requeued
+  at attempt + 1 (``lease_expired``) even while the TCP connection stays
+  open — a hung worker is handled exactly like a dead one, and its
+  straggler result is absorbed by first-result-wins dedup;
+* with a shared token configured, hello frames must prove knowledge of
+  it (HMAC challenge–response); mismatches get the structured
+  ``REPRO-DIST-AUTH`` code, never a silent drop;
 * protocol misuse gets a typed ``REPRO-DIST-PROTOCOL`` reply, never a
   dead connection.
 """
@@ -21,9 +28,14 @@ import threading
 
 import pytest
 
-from repro import faults
+from repro import faults, supervise
 from repro.core.exploration import ExplorationConfig
-from repro.errors import DistProtocolError, ExperimentError
+from repro.errors import (
+    DistAuthError,
+    DistProtocolError,
+    ExperimentError,
+    LeaseExpired,
+)
 from repro.experiments.workload import workload_fingerprint
 from repro.sweep import (
     ResiliencePolicy,
@@ -68,9 +80,11 @@ def _collector():
 
 
 def _dist(tmp_path, items, workers=1, policy=None, worker_wait_s=10.0,
-          ready_extra=None):
+          ready_extra=None, **coordinator_extra):
     """Run ``items`` through a loopback coordinator with ``workers``
-    in-process worker threads (joined before returning)."""
+    in-process worker threads (joined before returning).  Extra keyword
+    arguments (``heartbeat_s``, ``lease_timeout_s``, ``auth_token``)
+    pass through to :func:`run_distributed`."""
     events, emit = _collector()
     cache = SweepCache(tmp_path / "cache")
     checkpoint = SweepCache(tmp_path / "checkpoint")
@@ -116,7 +130,7 @@ def _dist(tmp_path, items, workers=1, policy=None, worker_wait_s=10.0,
         policy=policy or ResiliencePolicy(), cache=cache,
         checkpoint=checkpoint, workload=workload,
         cell_versions=versions, host="127.0.0.1", port=0, emit=emit,
-        worker_wait_s=worker_wait_s, ready=ready)
+        worker_wait_s=worker_wait_s, ready=ready, **coordinator_extra)
     for thread in threads:
         thread.join(timeout=20)
     return results, remaining, hosts, events
@@ -203,6 +217,118 @@ class TestWorkStealing:
         assert "dist_cache_hit" in kinds    # recovery without re-execution
         hit = next(e for e in events if e["event"] == "dist_cache_hit")
         assert hit["cell"] == CELLS[0]
+
+
+class TestLeases:
+    def test_expired_lease_requeues_without_disconnect(self, tmp_path):
+        held = {}
+        release = threading.Event()
+
+        def lease_and_freeze(bound):
+            client = WorkerClient(bound[0], bound[1])
+            client.request({"op": "hello", "worker": "sloth"})
+            held["cell"] = client.request({"op": "lease"})["cell"]
+
+            def hold():
+                # keep the TCP connection healthy but never heartbeat:
+                # revocation must not depend on the socket dying
+                release.wait(timeout=30)
+                client.close()
+
+            threading.Thread(target=hold, daemon=True).start()
+
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(
+            tmp_path, items, workers=1, ready_extra=lease_and_freeze,
+            heartbeat_s=0.05, lease_timeout_s=0.4)
+        release.set()
+        assert remaining == []
+        assert set(results) == set(CELLS)
+        assert all(results[name].ok for name in CELLS)
+        expiry = next(e for e in events if e["event"] == "lease_expired")
+        assert expiry["cell"] == held["cell"]
+        assert expiry["worker"] == "sloth"
+        assert expiry["code"] == LeaseExpired.code
+        assert expiry["since_beat_s"] >= expiry["budget_s"]
+        # the revoked cell re-ran at attempt 1 on the live worker
+        assert results[held["cell"]].attempts == 2
+
+    def test_heartbeats_keep_slow_cells_leased(self, tmp_path):
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(
+            tmp_path, items, workers=1,
+            heartbeat_s=0.05, lease_timeout_s=0.3)
+        assert remaining == []
+        assert all(results[name].ok for name in CELLS)
+        assert not any(e["event"] == "lease_expired" for e in events)
+        assert all(results[name].attempts == 1 for name in CELLS)
+
+    def test_injected_hang_is_revoked_and_stays_identical(self, tmp_path):
+        from repro.sweep.executor import execute_cell
+        faults.install(f"hang:{CELLS[0]}:times=1:delay=2")
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, events = _dist(
+            tmp_path, items, workers=2,
+            heartbeat_s=0.05, lease_timeout_s=0.4)
+        assert remaining == []
+        assert all(results[name].ok for name in CELLS)
+        expiries = [e for e in events if e["event"] == "lease_expired"]
+        assert expiries and expiries[0]["cell"] == CELLS[0]
+        # whichever report landed first — the woken straggler's or the
+        # attempt-1 re-lease's — the cell is identical to serial
+        serial = execute_cell(CELLS[0], FRAMES, 2002, 0, None)
+        assert results[CELLS[0]].rendered == serial.rendered
+
+
+class TestAuth:
+    def test_fleet_with_shared_token_drains(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(supervise.AUTH_ENV_VAR, "sesame")
+        items = [(name, 0) for name in CELLS]
+        results, remaining, _, _ = _dist(
+            tmp_path, items, workers=1, auth_token="sesame")
+        assert remaining == []
+        assert all(results[name].ok for name in CELLS)
+
+    def test_wrong_or_missing_proof_is_structured(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv(supervise.AUTH_ENV_VAR, "sesame")
+        rejected = {}
+
+        def bad_probe(bound):
+            with WorkerClient(bound[0], bound[1]) as client:
+                challenge = client.request(
+                    {"op": "auth_challenge"})["challenge"]
+                assert challenge
+                with pytest.raises(DistAuthError):
+                    client.request({
+                        "op": "hello", "worker": "mallory",
+                        "proof": supervise.auth_proof("wrong", challenge)})
+                with pytest.raises(DistAuthError):
+                    client.request({"op": "hello", "worker": "mallory"})
+            rejected["ok"] = True
+
+        results, remaining, _, _ = _dist(
+            tmp_path, [(CELLS[0], 0)], workers=1,
+            ready_extra=bad_probe, auth_token="sesame")
+        assert rejected["ok"]
+        assert remaining == []
+        assert results[CELLS[0]].ok
+
+    def test_mismatched_worker_exits_with_auth_status(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv(supervise.AUTH_ENV_VAR, "sesame")
+        status = {}
+
+        def doomed(bound):
+            status["exit"] = run_worker(bound[0], bound[1], label="bad",
+                                        auth_token="wrong",
+                                        out=lambda _: None)
+
+        _, remaining, _, _ = _dist(
+            tmp_path, [(CELLS[0], 0)], workers=1, ready_extra=doomed,
+            auth_token="sesame")
+        assert status["exit"] == 4
+        assert remaining == []
 
 
 class TestProtocol:
@@ -306,3 +432,16 @@ class TestOrchestratorIntegration:
         assert "degraded_serial" not in events
         timing = json.loads(dist.timing_path.read_text())
         assert timing["hosts"], "per-worker attribution missing"
+
+    def test_hang_chaos_fleet_is_byte_identical_to_serial(self, tmp_path):
+        serial = self._serial(tmp_path)
+        dist = self._distributed(
+            tmp_path, spawn_workers=2, worker_wait_s=60.0,
+            heartbeat_s=0.1, lease_timeout_s=0.5,
+            fault_spec=f"hang:{CELLS[0]}:times=1:delay=2")
+        assert not dist.failures
+        assert dist.report == serial.report
+        assert dist.report_path.read_bytes() \
+            == serial.report_path.read_bytes()
+        events = [e["event"] for e in read_events(dist.run_log)]
+        assert "lease_expired" in events

@@ -1,0 +1,183 @@
+"""Framing failure semantics of the shared JSON-lines plumbing.
+
+Both network fabrics ride on :mod:`repro.jsonlines`, so its edges are
+pinned here once: an oversize request line is rejected with a structured
+code (then the connection closes — a JSON-lines stream cannot re-frame
+mid-line), truncated or garbage response frames surface as the client's
+structured ``unavailable_error``, and the client's request lock keeps
+concurrent writers (a heartbeat thread sharing a worker's connection)
+from interleaving frames.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ReproError, ServiceUnavailable
+from repro.jsonlines import MAX_LINE_BYTES, JsonLinesClient, JsonLinesServer
+
+
+class _FramingError(ReproError):
+    code = "REPRO-TEST-FRAME"
+    hint = "shrink the request line"
+
+
+class _EchoServer(JsonLinesServer):
+    """Echoes ``value`` back with the connection's request counter."""
+
+    frame_error = _FramingError
+
+    async def respond(self, line, state, requests):
+        request = json.loads(line)
+        return {"ok": True, "echo": request.get("value"),
+                "n": requests}, False
+
+
+class _EchoHarness:
+    """One event-loop thread hosting an :class:`_EchoServer`."""
+
+    def __init__(self, **server_kwargs):
+        self.server = _EchoServer("127.0.0.1", 0, **server_kwargs)
+        self.loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            ready.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert ready.wait(10)
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+@pytest.fixture()
+def echo():
+    harness = _EchoHarness(max_line_bytes=1024)
+    yield harness
+    harness.stop()
+
+
+def _raw_line_server(lines):
+    """A one-connection TCP server that reads one request line, writes
+    the raw byte strings from ``lines`` verbatim (no framing discipline
+    at all), and closes.  Returns its bound port."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def serve():
+        conn, _ = listener.accept()
+        with conn:
+            handle = conn.makefile("rwb")
+            handle.readline()              # consume the request cleanly
+            for raw in lines:
+                handle.write(raw)
+            handle.flush()
+        listener.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return listener.getsockname()[1]
+
+
+class TestServerFraming:
+    def test_round_trip_counts_requests(self, echo):
+        with JsonLinesClient(port=echo.port) as client:
+            assert client.request({"value": "a"})["echo"] == "a"
+            assert client.request({"value": "b"})["n"] == 2
+
+    def test_oversize_line_is_structured_then_closed(self, echo):
+        with JsonLinesClient(port=echo.port) as client:
+            client._file.write(b'{"value": "' + b"x" * 2048 + b'"}\n')
+            client._file.flush()
+            rejection = json.loads(client._file.readline())
+            assert rejection["ok"] is False
+            assert rejection["code"] == _FramingError.code
+            assert rejection["hint"] == _FramingError.hint
+            assert "1024-byte limit" in rejection["error"]
+            # mid-line there is no way to resynchronise: the server
+            # closes after rejecting, and the client sees clean EOF
+            assert client._file.readline() == b""
+
+    def test_oversize_rejection_raises_through_request(self, echo):
+        with JsonLinesClient(port=echo.port) as client:
+            with pytest.raises(ReproError):
+                client.request({"value": "x" * 2048})
+
+    def test_default_line_limit_is_generous(self):
+        assert MAX_LINE_BYTES >= 16 * 1024 * 1024
+
+
+class TestClientFraming:
+    def test_truncated_response_is_unavailable(self):
+        port = _raw_line_server([b'{"ok": true'])   # no trailing newline
+        with JsonLinesClient(port=port) as client:
+            with pytest.raises(ServiceUnavailable) as exc_info:
+                client.request({"op": "x"})
+            assert "truncated" in str(exc_info.value)
+
+    def test_garbage_response_is_unavailable(self):
+        port = _raw_line_server([b"!!! not json !!!\n"])
+        with JsonLinesClient(port=port) as client:
+            with pytest.raises(ServiceUnavailable) as exc_info:
+                client.request({"op": "x"})
+            assert "malformed" in str(exc_info.value)
+
+    def test_non_object_response_is_unavailable(self):
+        port = _raw_line_server([b"[1, 2, 3]\n"])
+        with JsonLinesClient(port=port) as client:
+            with pytest.raises(ServiceUnavailable):
+                client.request({"op": "x"})
+
+    def test_closed_connection_is_unavailable(self):
+        port = _raw_line_server([])                  # close immediately
+        with JsonLinesClient(port=port) as client:
+            with pytest.raises(ServiceUnavailable) as exc_info:
+                client.request({"op": "x"})
+            assert "closed the connection" in str(exc_info.value)
+
+
+class TestConcurrentWriters:
+    def test_shared_client_never_interleaves_frames(self, echo):
+        """8 threads share one connection; the request lock must pair
+        every response with its own request (the heartbeat-over-the-
+        worker-connection pattern)."""
+        threads, rounds = 8, 25
+        client = JsonLinesClient(port=echo.port)
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def worker(me):
+            try:
+                barrier.wait(timeout=10)
+                for index in range(rounds):
+                    value = f"w{me}-{index}"
+                    response = client.request({"value": value})
+                    assert response["echo"] == value
+            except Exception as exc:  # noqa: BLE001 -- surfaced below
+                failures.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(me,))
+                for me in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "writer hung"
+        client.close()
+        if failures:
+            raise failures[0]

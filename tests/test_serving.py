@@ -16,8 +16,13 @@ retry budget.  Around it:
 * failed segments: exhausting the retry budget yields a structured
   ``REPRO-SRV-SEGMENT`` result, poisons only that stream, and leaves
   sibling streams' bitstreams untouched;
+* supervision: a dead or hung pool worker's streams migrate to a live
+  worker (checkpoint restore + re-dispatch of retained inputs) and the
+  final bitstream stays byte-identical; ``migrate=False`` keeps the
+  older poison-the-casualties semantics;
 * the TCP/JSON-lines transport: round trip, protocol errors, stable
-  error codes over the wire, and disconnect-fault cleanup (a dropped
+  error codes over the wire, optional shared-token auth
+  (``REPRO-SRV-AUTH``), and disconnect-fault cleanup (a dropped
   connection aborts its streams — no worker-state leak).
 """
 
@@ -41,6 +46,7 @@ from repro.codec.fastme import FastSadEngine
 from repro.errors import (
     BackpressureReject,
     SegmentFailed,
+    ServiceAuthError,
     ServiceError,
     ServiceProtocolError,
     ServiceUnavailable,
@@ -332,7 +338,9 @@ class TestServiceDifferential:
 
 
 class TestWorkerRespawn:
-    """A dead pool worker is replaced; only in-flight segments fail."""
+    """A dead pool worker is replaced.  With ``migrate=False`` (these
+    tests) only the in-flight segments fail — the poison-the-casualties
+    semantics migration superseded as the default."""
 
     @staticmethod
     def _kill_worker(service, index=0):
@@ -343,7 +351,8 @@ class TestWorkerRespawn:
 
     def test_decode_stream_survives_a_worker_death(self):
         payload = _one_shot(_frames(2), qp=10)
-        with CodecService(workers=1, max_pending=8) as service:
+        with CodecService(workers=1, max_pending=8,
+                          migrate=False) as service:
             stream = service.open_stream(StreamConfig(kind="decode"))
             service.submit_segment(stream, payload)
             assert _drain(service, stream, 1)[0].ok
@@ -363,7 +372,8 @@ class TestWorkerRespawn:
     def test_encode_stream_with_history_fails_structured(self):
         frames = _frames(4, seed=9)
         reference = _one_shot(frames, qp=10)
-        with CodecService(workers=1, max_pending=8) as service:
+        with CodecService(workers=1, max_pending=8,
+                          migrate=False) as service:
             stream = service.open_stream(StreamConfig(kind="encode",
                                                       qp=10))
             service.submit_segment(stream, frames[:2])
@@ -386,7 +396,8 @@ class TestWorkerRespawn:
 
     def test_fresh_encode_stream_is_reopened_on_the_replacement(self):
         frames = _frames(2, seed=11)
-        with CodecService(workers=1, max_pending=8) as service:
+        with CodecService(workers=1, max_pending=8,
+                          migrate=False) as service:
             stream = service.open_stream(StreamConfig(kind="encode",
                                                       qp=10))
             self._kill_worker(service)
@@ -408,6 +419,111 @@ class TestWorkerRespawn:
             self._kill_worker(service)
             with pytest.raises(ServiceUnavailable):
                 service.submit_segment(stream, b"x")
+
+
+class TestStreamMigration:
+    """``migrate=True`` (the default): a casualty worker's streams
+    resume on a live worker — checkpoint restore plus re-dispatch of
+    the retained segment inputs — and the final bitstream is
+    byte-identical to a run that never saw the fault."""
+
+    def test_killed_worker_stream_migrates_byte_identically(self):
+        frames = _frames(6, seed=21)
+        reference = _one_shot(frames, qp=10, resync_every=1)
+        with CodecService(workers=2, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(
+                kind="encode", qp=10, resync_every=1))
+            service.submit_segment(stream, frames[:2])
+            assert _drain(service, stream, 1)[0].ok   # checkpoint lands
+            victim = service._streams[stream].worker
+            process = service._processes[victim]
+            process.terminate()
+            process.join(timeout=10)
+            # the submit that detects the death migrates the stream and
+            # re-dispatches it from the delivered checkpoint
+            service.submit_segment(stream, frames[2:4])
+            service.submit_segment(stream, frames[4:6])
+            results = _drain(service, stream, 2)
+            assert all(result.ok for result in results)
+            summary = service.close_stream(stream)
+            assert summary.payload == reference
+            totals = service.stats()["totals"]
+            assert totals["migrations"] == 1
+            assert totals["respawns"] == 1
+
+    def test_inflight_segments_are_redispatched_not_failed(self):
+        frames = _frames(6, seed=22)
+        reference = _one_shot(frames, qp=10)
+        with CodecService(workers=2, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(kind="encode",
+                                                      qp=10))
+            victim = service._streams[stream].worker
+            for start in range(0, 6, 2):
+                service.submit_segment(stream, frames[start:start + 2])
+            process = service._processes[victim]
+            process.terminate()
+            process.join(timeout=10)
+            # whatever was in flight when the worker died — queued,
+            # executing, or delivered — close re-dispatches the rest
+            # from the retained inputs and stays byte-identical
+            summary = service.close_stream(stream)
+            assert summary.payload == reference
+            assert len(summary.uncollected) == 3
+            assert all(result.ok for result in summary.uncollected)
+
+    def test_hung_worker_is_detected_and_streams_migrate(self):
+        frames = _frames(4, seed=23)
+        reference = _one_shot(frames, qp=10)
+        # the first dispatch of any segment freezes its worker for 30s;
+        # the drainer's deadline must catch it long before that
+        faults.install("hang:*:times=1:delay=30")
+        with CodecService(workers=2, max_pending=8,
+                          segment_timeout_s=1.0) as service:
+            stream = service.open_stream(StreamConfig(kind="encode",
+                                                      qp=10))
+            service.submit_segment(stream, frames[:2])
+            service.submit_segment(stream, frames[2:])
+            results = _drain(service, stream, 2, timeout=60.0)
+            assert all(result.ok for result in results)
+            summary = service.close_stream(stream)
+            assert summary.payload == reference
+            totals = service.stats()["totals"]
+            assert totals["hangs_detected"] == 1
+            assert totals["migrations"] == 1
+            assert totals["respawns"] == 1
+
+    def test_decode_stream_migrates_with_health_totals(self):
+        payload = _one_shot(_frames(2), qp=10)
+        with CodecService(workers=1, max_pending=8) as service:
+            stream = service.open_stream(StreamConfig(kind="decode"))
+            service.submit_segment(stream, payload)
+            assert _drain(service, stream, 1)[0].ok
+            process = service._processes[0]
+            process.terminate()
+            process.join(timeout=10)
+            # migrated, not a casualty: the next submit succeeds
+            service.submit_segment(stream, payload)
+            assert _drain(service, stream, 1)[0].ok
+            summary = service.close_stream(stream)
+            assert summary.segments == 2     # checkpoint carried them
+            assert summary.health["mbs_concealed"] == 0
+
+    def test_close_rebalances_stream_pinning(self):
+        with CodecService(workers=2, max_pending=8) as service:
+            first = service.open_stream(StreamConfig(kind="decode"))
+            second = service.open_stream(StreamConfig(kind="decode"))
+            assert sorted(service._pinned) == [1, 1]
+            workers = {service._streams[first].worker,
+                       service._streams[second].worker}
+            assert workers == {0, 1}
+            freed = service._streams[first].worker
+            service.close_stream(first)
+            third = service.open_stream(StreamConfig(kind="decode"))
+            # the new stream lands on the worker the close freed up
+            assert service._streams[third].worker == freed
+            service.close_stream(second)
+            service.close_stream(third)
+            assert service._pinned == [0, 0]
 
 
 class TestBackpressure:
@@ -535,10 +651,11 @@ class TestSessionApi:
 class _ServerHarness:
     """One event-loop thread hosting a ServiceServer for client tests."""
 
-    def __init__(self, service):
+    def __init__(self, service, auth_token=None):
         self.service = service
         self.loop = asyncio.new_event_loop()
-        self.server = ServiceServer(service, "127.0.0.1", 0)
+        self.server = ServiceServer(service, "127.0.0.1", 0,
+                                    auth_token=auth_token)
         ready = threading.Event()
 
         def run():
@@ -662,3 +779,57 @@ class TestTransport:
                     break
                 time.sleep(0.1)
             assert probe.stats()["totals"]["streams_open"] == 0
+
+
+class TestTransportAuth:
+    """Shared-token HMAC challenge–response on the serving socket."""
+
+    TOKEN = "open-sesame"
+
+    @pytest.fixture()
+    def auth_harness(self):
+        harness = _ServerHarness(CodecService(workers=0, max_pending=4),
+                                 auth_token=self.TOKEN)
+        yield harness
+        harness.stop()
+
+    def test_right_token_serves_normally(self, auth_harness):
+        frames = _frames(2, seed=13)
+        with ServiceClient(port=auth_harness.port,
+                           auth_token=self.TOKEN) as client:
+            stream = client.open_stream(StreamConfig(kind="encode",
+                                                     qp=10))
+            client.submit_segment(stream, frames)
+            while not client.collect(stream, timeout=10):
+                pass
+            summary = client.close_stream(stream)
+            assert summary["payload"] == _one_shot(frames, qp=10)
+
+    def test_wrong_token_is_a_structured_rejection(self, auth_harness):
+        with pytest.raises(ServiceAuthError):
+            ServiceClient(port=auth_harness.port, auth_token="nope")
+
+    def test_missing_token_is_a_structured_rejection(self, auth_harness):
+        with pytest.raises(ServiceAuthError):
+            ServiceClient(port=auth_harness.port)
+
+    def test_ops_before_the_handshake_are_rejected(self, auth_harness):
+        with socket.create_connection(("127.0.0.1", auth_harness.port),
+                                      timeout=10) as raw:
+            handle = raw.makefile("rwb")
+            handle.write(b'{"op": "stats"}\n')
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            assert response["code"] == ServiceAuthError.code
+            # the rejection is structured, not a dropped connection:
+            # the handshake still works on the same socket
+            handle.write(b'{"op": "auth_challenge"}\n')
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_unauthenticated_server_ignores_tokens(self, harness):
+        # no token on the server: clients with or without one both work
+        with ServiceClient(port=harness.port,
+                           auth_token="unneeded") as client:
+            assert client.stats()["totals"]["streams_open"] == 0

@@ -1,0 +1,198 @@
+"""Unit contracts of the shared supervision layer (:mod:`repro.supervise`)
+and the sweep cache's LRU eviction.
+
+These primitives back both multi-process fabrics, so their edges are
+pinned in isolation: lease deadlines under a driven clock, heartbeat
+threads that fail loudly, the HMAC challenge–response round trip, and
+disk-cache eviction that never touches the current run's working set.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import supervise
+from repro.sweep.cache import SweepCache
+
+
+class TestLeaseTable:
+    def test_grant_beat_release_lifecycle(self):
+        table = supervise.LeaseTable(budget_s=10.0)
+        lease = table.grant("cell-a", attempt=2, now=100.0, conn="c1")
+        assert "cell-a" in table and len(table) == 1
+        assert lease.deadline == 110.0
+        assert lease.attempt == 2
+        assert lease.data == {"conn": "c1"}
+        beaten = table.beat("cell-a", now=105.0)
+        assert beaten.deadline == 115.0
+        assert beaten.beats == 1
+        released = table.release("cell-a")
+        assert released is lease
+        assert "cell-a" not in table
+        assert table.release("cell-a") is None      # idempotent
+        assert table.beat("cell-a", now=120.0) is None
+
+    def test_expired_pops_only_overdue_leases(self):
+        table = supervise.LeaseTable(budget_s=5.0)
+        table.grant("early", now=0.0)
+        table.grant("late", now=3.0)
+        dead = table.expired(now=6.0)               # early: deadline 5.0
+        assert [lease.key for lease in dead] == ["early"]
+        assert "early" not in table and "late" in table
+        assert table.expired(now=6.0) == []         # popped, not re-reported
+
+    def test_beat_extends_past_the_original_deadline(self):
+        table = supervise.LeaseTable(budget_s=5.0)
+        table.grant("k", now=0.0)
+        table.beat("k", now=4.0)                    # deadline now 9.0
+        assert table.expired(now=6.0) == []
+        dead = table.expired(now=9.5)
+        assert [lease.key for lease in dead] == ["k"]
+        assert dead[0].since_beat_s(9.5) == 5.5
+        assert dead[0].overdue_s(9.5) == 0.5
+
+    def test_oldest_orders_by_deadline(self):
+        table = supervise.LeaseTable(budget_s=5.0)
+        assert table.oldest() is None
+        table.grant("younger", now=2.0)
+        table.grant("older", now=1.0)
+        assert table.oldest().key == "older"
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            supervise.LeaseTable(budget_s=0.0)
+
+
+class TestHeartbeatSender:
+    def test_beats_at_the_interval_then_stops_cold(self):
+        sent = []
+        beat = supervise.HeartbeatSender(
+            0.01, lambda: sent.append(1)).start()
+        time.sleep(0.15)
+        count = beat.stop()
+        assert count >= 3
+        assert count == len(sent) == beat.sent
+        time.sleep(0.05)
+        assert beat.sent == count                   # stopped means stopped
+
+    def test_send_errors_stop_the_loop_and_surface_on_stop(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise RuntimeError("coordinator vanished")
+
+        beat = supervise.HeartbeatSender(0.01, boom).start()
+        time.sleep(0.1)
+        assert calls == [1]                         # stopped after the first
+        with pytest.raises(RuntimeError):
+            beat.stop()
+
+    def test_stop_can_swallow_for_unwinding_callers(self):
+        def boom():
+            raise RuntimeError("already unwinding")
+
+        beat = supervise.HeartbeatSender(0.01, boom).start()
+        time.sleep(0.05)
+        assert beat.stop(reraise=False) == 0
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            supervise.HeartbeatSender(0.0, lambda: None)
+
+
+class TestAuthHandshake:
+    def test_proof_round_trip(self):
+        challenge = supervise.auth_challenge()
+        proof = supervise.auth_proof("secret", challenge)
+        assert supervise.auth_verify("secret", challenge, proof)
+        assert not supervise.auth_verify("other", challenge, proof)
+        assert not supervise.auth_verify("secret", challenge, proof + "0")
+        assert not supervise.auth_verify(
+            "secret", supervise.auth_challenge(), proof)
+
+    def test_missing_pieces_never_verify(self):
+        challenge = supervise.auth_challenge()
+        assert not supervise.auth_verify("secret", None, "proof")
+        assert not supervise.auth_verify("secret", "", "proof")
+        assert not supervise.auth_verify("secret", challenge, None)
+        assert not supervise.auth_verify("secret", challenge, "")
+        assert not supervise.auth_verify("secret", challenge, 12345)
+
+    def test_challenges_are_unique_per_connection(self):
+        assert supervise.auth_challenge() != supervise.auth_challenge()
+
+    def test_resolve_token_prefers_explicit_over_env(self, monkeypatch):
+        monkeypatch.setenv(supervise.AUTH_ENV_VAR, "from-env")
+        assert supervise.resolve_token("explicit") == "explicit"
+        assert supervise.resolve_token(None) == "from-env"
+        assert supervise.resolve_token("") == "from-env"
+        monkeypatch.delenv(supervise.AUTH_ENV_VAR)
+        assert supervise.resolve_token(None) is None
+
+
+class TestCacheEviction:
+    """LRU-by-mtime pruning that spares the current run's working set."""
+
+    @staticmethod
+    def _seed_entries(root, count):
+        """An older run's entries with strictly increasing mtimes."""
+        older = SweepCache(root)
+        for index in range(count):
+            older.put(f"key{index}", {"rendered": "x" * 64,
+                                      "cell": f"cell{index}"})
+        base = time.time() - 1000
+        sizes = {}
+        for index in range(count):
+            path = older.entry_path(f"key{index}")
+            os.utime(path, (base + index, base + index))
+            sizes[f"key{index}"] = path.stat().st_size
+        return sizes
+
+    def test_evicts_oldest_first_down_to_the_bound(self, tmp_path):
+        sizes = self._seed_entries(tmp_path / "cache", 6)
+        per_entry = sizes["key0"]
+        cache = SweepCache(tmp_path / "cache", max_bytes=3 * per_entry)
+        stats = cache.evict()
+        assert stats["evicted"] == 3
+        assert stats["reclaimed_bytes"] == 3 * per_entry
+        assert stats["kept"] == 3 and stats["kept_bytes"] == 3 * per_entry
+        for index, key in enumerate(sizes):
+            assert cache.entry_path(key).exists() == (index >= 3)
+
+    def test_current_run_entries_are_never_evicted(self, tmp_path):
+        sizes = self._seed_entries(tmp_path / "cache", 6)
+        per_entry = sizes["key0"]
+        cache = SweepCache(tmp_path / "cache", max_bytes=3 * per_entry)
+        # reading the oldest entry makes it part of this run's working set
+        assert cache.get("key0") is not None
+        stats = cache.evict()
+        assert stats["evicted"] == 3                # key1..key3 went instead
+        assert cache.entry_path("key0").exists()
+        assert cache.entry_path("key4").exists()
+        assert cache.entry_path("key5").exists()
+
+    def test_written_entries_are_protected_too(self, tmp_path):
+        self._seed_entries(tmp_path / "cache", 2)
+        cache = SweepCache(tmp_path / "cache", max_bytes=1)
+        cache.put("fresh", {"rendered": "y"})
+        cache.evict()
+        assert cache.entry_path("fresh").exists()
+        assert not cache.entry_path("key0").exists()
+
+    def test_no_bound_or_fitting_store_is_a_noop(self, tmp_path):
+        self._seed_entries(tmp_path / "cache", 2)
+        unbounded = SweepCache(tmp_path / "cache")
+        assert unbounded.evict()["evicted"] == 0
+        roomy = SweepCache(tmp_path / "cache", max_bytes=10 ** 9)
+        stats = roomy.evict()
+        assert stats["evicted"] == 0 and stats["kept"] == 2
+        assert unbounded.get("key0") is not None    # nothing was touched
+
+    def test_disabled_cache_never_evicts(self, tmp_path):
+        self._seed_entries(tmp_path / "cache", 2)
+        disabled = SweepCache(tmp_path / "cache", enabled=False,
+                              max_bytes=1)
+        assert disabled.evict()["evicted"] == 0
+        assert disabled.root.is_dir()
