@@ -8,7 +8,7 @@ Standalone usage (the acceptance smoke of the sweep work; CI runs the
                                                     [--min-hit-rate 0.8]
                                                     [--max-overhead 0.05]
 
-The script runs the full experiment sweep five times against fresh
+The script runs the full experiment sweep eight times against fresh
 temporary sweep directories:
 
 1. **cold** — empty cache: every cell executes (``--jobs`` of them
@@ -32,11 +32,17 @@ temporary sweep directories:
    the lease budget (measured from the ``lease_expired`` event's
    ``since_beat_s``), the faulted wall must stay within
    ``--max-dist-overhead`` of the clean distributed wall, and both
-   reports must stay byte-identical to cold.
+   reports must stay byte-identical to cold;
+6. **dist-journal** — the durability-overhead run: the same clean
+   distributed sweep with ``--journal`` armed, so every lease grant and
+   result commit pays a write-ahead fsync barrier.  The journaled wall
+   must stay within ``--max-journal-overhead`` (default 5%) of the
+   unjournaled clean distributed wall, and the report byte-identical to
+   cold — durability must not tax the happy path.
 
 It then asserts, before reporting any timing:
 
-* all seven reports are **byte-identical**;
+* all eight reports are **byte-identical**;
 * the warm run's cache-hit rate is at least ``--min-hit-rate`` (default
   0.8, i.e. a warm rerun skips >= 80% of the runner work), verified from
   the ``cache_hit`` events in the JSONL run log, not just the summary;
@@ -76,6 +82,7 @@ DEFAULT_INCREMENTAL_SLACK_S = 0.25
 DEFAULT_MAX_DIST_OVERHEAD = 0.25
 DEFAULT_DIST_SLACK_S = 1.0
 DEFAULT_DETECTION_FACTOR = 2.0
+DEFAULT_MAX_JOURNAL_OVERHEAD = 0.05
 #: supervision knobs of the distributed pair: tight enough that the
 #: injected hang is caught in ~a second, loose enough not to flake
 DIST_HEARTBEAT_S = 0.2
@@ -118,6 +125,11 @@ def main() -> int:
                         default=DEFAULT_DETECTION_FACTOR,
                         help="hung-lease detection ceiling as a multiple "
                              "of the lease budget")
+    parser.add_argument("--max-journal-overhead", type=float,
+                        default=DEFAULT_MAX_JOURNAL_OVERHEAD,
+                        help="journaled clean distributed wall ceiling "
+                             "relative to the unjournaled clean wall "
+                             "(0.05 = 5%%)")
     args = parser.parse_args()
 
     with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
@@ -164,14 +176,16 @@ def main() -> int:
         # heartbeat budget, fresh caches so every cell really executes —
         # one clean, one with a worker frozen mid-lease by an injected
         # hang that the lease watchdog must revoke and requeue
-        def _dist_config(label, fault_spec=None):
+        def _dist_config(label, fault_spec=None, journal=False):
             return SweepConfig(
                 frames=args.frames, jobs=args.jobs,
                 root=Path(tmp) / label, distributed="127.0.0.1:0",
                 spawn_workers=2, worker_wait_s=60.0,
                 heartbeat_s=DIST_HEARTBEAT_S,
                 lease_timeout_s=DIST_LEASE_TIMEOUT_S,
-                fault_spec=fault_spec)
+                fault_spec=fault_spec,
+                journal_dir=Path(tmp) / label / "journal"
+                if journal else None)
 
         started = time.perf_counter()
         dist_clean = run_sweep(_dist_config("dist-clean"))
@@ -180,6 +194,12 @@ def main() -> int:
         dist_hang = run_sweep(_dist_config("dist-hang", DIST_HANG_SPEC))
         dist_hang_s = time.perf_counter() - started
         faults.clear()   # the hang spec was installed process-wide
+        # the durability-overhead run: same clean fleet, every control-
+        # plane commit paying its write-ahead fsync barrier
+        started = time.perf_counter()
+        dist_journal = run_sweep(_dist_config("dist-journal",
+                                              journal=True))
+        dist_journal_s = time.perf_counter() - started
 
         failures = []
         if cold.failures or warm.failures or plain.failures \
@@ -228,13 +248,16 @@ def main() -> int:
                 f"{incremental_budget_s:.2f}s budget (cold {cold_s:.2f}s "
                 f"x {args.max_incremental_fraction} + "
                 f"{args.incremental_slack}s slack)")
-        if dist_clean.failures or dist_hang.failures:
+        if dist_clean.failures or dist_hang.failures \
+                or dist_journal.failures:
             failures.append(
                 f"distributed failures: "
                 f"clean={[c.name for c in dist_clean.failures]} "
-                f"hang={[c.name for c in dist_hang.failures]}")
+                f"hang={[c.name for c in dist_hang.failures]} "
+                f"journal={[c.name for c in dist_journal.failures]}")
         if dist_clean.report != cold.report \
-                or dist_hang.report != cold.report:
+                or dist_hang.report != cold.report \
+                or dist_journal.report != cold.report:
             failures.append(
                 "distributed reports are not byte-identical to cold")
         expiries = read_events(dist_hang.run_log, "lease_expired")
@@ -259,6 +282,16 @@ def main() -> int:
                 f"the {dist_budget_s:.2f}s budget (clean "
                 f"{dist_clean_s:.2f}s x {1 + args.max_dist_overhead:.2f} "
                 f"+ {args.dist_slack}s slack)")
+        journal_budget_s = dist_clean_s \
+            * (1.0 + args.max_journal_overhead) + args.dist_slack
+        if dist_journal_s > journal_budget_s:
+            failures.append(
+                f"journaled distributed run took {dist_journal_s:.2f}s, "
+                f"over the {journal_budget_s:.2f}s budget (clean "
+                f"{dist_clean_s:.2f}s x "
+                f"{1 + args.max_journal_overhead:.2f} + "
+                f"{args.dist_slack}s slack) — write-ahead journaling is "
+                f"taxing the happy path")
 
         print(f"sweep x{len(cold.cells)} cells, {args.frames} frames, "
               f"jobs={args.jobs}")
@@ -278,11 +311,16 @@ def main() -> int:
               f"in {detection_s:.2f}s, "
               f"{100 * (dist_hang_s / max(dist_clean_s, 1e-9) - 1):+.1f}% "
               f"vs clean)")
+        print(f"  jrnl:  {dist_journal_s:6.2f}s  (write-ahead journal "
+              f"armed, "
+              f"{100 * (dist_journal_s / max(dist_clean_s, 1e-9) - 1):+.1f}%"
+              f" vs clean)")
         artifact = record_trajectory(
             "bench_sweep",
             wall_s={"cold": cold_s, "warm": warm_s, "plain": plain_s,
                     "armed": armed_s, "warm_incremental": incremental_s,
-                    "dist_clean": dist_clean_s, "dist_hang": dist_hang_s},
+                    "dist_clean": dist_clean_s, "dist_hang": dist_hang_s,
+                    "dist_journal": dist_journal_s},
             gates={
                 "min_hit_rate": args.min_hit_rate,
                 "warm_hit_rate": hit_rate,
@@ -297,6 +335,9 @@ def main() -> int:
                 "max_dist_overhead": args.max_dist_overhead,
                 "dist_overhead":
                     dist_hang_s / max(dist_clean_s, 1e-9) - 1.0,
+                "max_journal_overhead": args.max_journal_overhead,
+                "journal_overhead":
+                    dist_journal_s / max(dist_clean_s, 1e-9) - 1.0,
                 "passed": not failures,
             },
             extra={"frames": args.frames, "jobs": args.jobs,
@@ -309,7 +350,8 @@ def main() -> int:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
         print("OK: byte-identical reports, cache, resilience-overhead, "
-              "warm-incremental and supervision gates passed")
+              "warm-incremental, supervision and journal-overhead gates "
+              "passed")
         return 0
 
 

@@ -12,7 +12,11 @@ Commands:
   HOST:PORT`` runs the misses on the multi-host work-stealing fleet,
   optionally self-hosting ``--spawn-workers N``, supervised by heartbeat
   leases (``--heartbeat-s``, ``--lease-timeout-s``) and optionally
-  authenticated (``--auth-token``); ``--cache-max-bytes`` prunes the
+  authenticated (``--auth-token``); ``--journal DIR`` write-ahead
+  journals the coordinator's control plane and ``--resume-journal DIR``
+  replays it after a crash — committed results are restored and
+  interrupted cells requeued, with ``sweep_report.json`` byte-identical
+  to an uninterrupted run; ``--cache-max-bytes`` prunes the
   shared cell cache LRU-by-mtime; run logs, ``sweep_report.json`` and
   the ``sweep_timing.json`` sidecar land under ``--sweep-dir``, default
   ``.repro-sweep/``);
@@ -38,8 +42,10 @@ Commands:
   spoken to over a TCP/JSON-lines transport (``--workers``,
   ``--max-pending``; ``--migrate/--no-migrate`` and
   ``--segment-timeout-s`` control hung/dead-worker stream migration;
-  ``--auth-token`` requires the HMAC handshake; operator guide in
-  ``docs/SERVING.md``);
+  ``--journal DIR`` write-ahead journals stream opens and per-segment
+  checkpoints so a restarted service restores every open stream and
+  clients resubmit idempotently; ``--auth-token`` requires the HMAC
+  handshake; operator guide in ``docs/SERVING.md``);
 * ``client``   — drive a running ``serve`` instance: stream a YUV file or
   the synthetic sequence through an encode session segment by segment and
   write the returned bitstream;
@@ -130,6 +136,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         lease_timeout_s=args.lease_timeout_s,
         auth_token=args.auth_token,
         cache_max_bytes=args.cache_max_bytes,
+        journal_dir=pathlib.Path(args.journal) if args.journal else None,
+        resume_journal=pathlib.Path(args.resume_journal)
+        if args.resume_journal else None,
     )
     progress = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
@@ -461,7 +470,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            max_pending=args.max_pending,
                            cache_capacity=args.cache_capacity,
                            migrate=args.migrate,
-                           segment_timeout_s=args.segment_timeout_s)
+                           segment_timeout_s=args.segment_timeout_s,
+                           journal_dir=args.journal)
+    restored = service.stats()["totals"]["streams_restored"]
+    if restored:
+        print(f"journal {args.journal}: restored {restored} open "
+              f"stream(s) from their last checkpoints", flush=True)
 
     def ready(bound):
         mode = f"{service.workers} worker process(es)" if service.workers \
@@ -695,6 +709,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(also via REPRO_AUTH_TOKEN); workers prove "
                             "it by HMAC challenge-response, a mismatch "
                             "is a structured REPRO-DIST-AUTH rejection")
+    sweep.add_argument("--journal", default=None, metavar="DIR",
+                       help="with --distributed: write-ahead journal the "
+                            "coordinator's control plane (lease grants, "
+                            "result commits) into this directory so a "
+                            "killed sweep can be resumed with "
+                            "--resume-journal")
+    sweep.add_argument("--resume-journal", default=None, metavar="DIR",
+                       help="with --distributed: replay a previous run's "
+                            "journal — committed results are restored, "
+                            "interrupted cells requeued at attempt+1, and "
+                            "sweep_report.json comes out byte-identical "
+                            "to an uninterrupted run (journaling "
+                            "continues into the same directory)")
     sweep.add_argument("--cache-max-bytes", type=int, default=None,
                        metavar="BYTES",
                        help="prune the cell cache LRU-by-mtime down to "
@@ -846,6 +873,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-flight segment exceeds this age, then "
                             "terminate and recover it (default: no "
                             "deadline)")
+    serve.add_argument("--journal", default=None, metavar="DIR",
+                       help="write-ahead journal the control plane "
+                            "(stream opens, per-segment checkpoints, "
+                            "closes) into this directory; a restarted "
+                            "service pointed at the same directory "
+                            "restores every open stream and dedups "
+                            "client resubmissions by sequence number")
     serve.add_argument("--auth-token", default=None, metavar="TOKEN",
                        help="require clients to prove this shared secret "
                             "via HMAC challenge-response (also via "
@@ -853,8 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "structured REPRO-SRV-AUTH rejection")
     serve.add_argument("--inject-faults", default=None, metavar="SPEC",
                        help="deterministic fault-injection spec (kinds "
-                            "raise/hang/latency/slowclient/disconnect "
-                            "exercise the serving paths); see repro.faults")
+                            "raise/hang/latency/slowclient/disconnect/"
+                            "svckill exercise the serving paths); see "
+                            "repro.faults")
     serve.set_defaults(handler=_cmd_serve)
 
     client = sub.add_parser(

@@ -433,13 +433,70 @@ class DistAuthError(DistributedSweepError):
             "REPRO_AUTH_TOKEN secret")
 
 
+# -- journal taxonomy ---------------------------------------------------------
+#
+# Raised by the write-ahead journal (:mod:`repro.journal`) that both
+# control planes — the sweep coordinator and the codec service — commit
+# their durable state through.  Recovery code catches exactly these
+# classes: a journal that cannot be replayed fails structured, never with
+# a bare JSON/OS error.
+
+class JournalError(ReproError):
+    """Base class for write-ahead-journal failures."""
+
+    code = "REPRO-JRN-000"
+    hint = "see the journal directory's segment files"
+
+
+class JournalCorrupt(JournalError):
+    """A journal record other than the final one failed to parse or
+    failed its CRC.
+
+    A truncated *final* record is the expected signature of a crash
+    mid-append and is always tolerated (the record simply never
+    committed); corruption earlier in the stream — or in any segment
+    other than the last — means the journal cannot be trusted for
+    recovery and is raised on.
+    """
+
+    code = "REPRO-JRN-CORRUPT"
+    hint = ("mid-stream corruption: the journal cannot be replayed; "
+            "discard the journal directory and rerun from scratch "
+            "(determinism makes the rerun byte-identical)")
+
+
+class JournalEmpty(JournalError):
+    """A resume was requested from a journal with no usable records."""
+
+    code = "REPRO-JRN-EMPTY"
+    hint = ("the journal directory has no committed records — the "
+            "previous run died before its first commit barrier; rerun "
+            "without --resume-journal")
+
+
+class JournalMismatch(JournalError):
+    """A journal's recorded identity does not match the resuming run.
+
+    The workload fingerprint or per-cell code-version map in the
+    journal's identity record differs from what the resuming process
+    computed — replaying leases and results across a code or workload
+    edit would silently mix incompatible states.
+    """
+
+    code = "REPRO-JRN-MISMATCH"
+    hint = ("the workload or code changed since the journal was "
+            "written; resume with the original tree, or discard the "
+            "journal and rerun")
+
+
 class FaultSpecError(ReproError):
     """An ``--inject-faults`` specification did not parse."""
 
     code = "REPRO-FAULT-SPEC-001"
     hint = ("grammar: [seed=<int>;]<kind>:<target>[:times=<n>|p=<f>|"
             "delay=<s>][;...] with kind in kill|raise|hang|latency|"
-            "corrupt|truncate|diverge|slowclient|disconnect|dropresult")
+            "corrupt|truncate|diverge|slowclient|disconnect|dropresult|"
+            "coordkill|svckill")
 
 
 def event_code(exc_type: type, default: Optional[str] = None) -> str:

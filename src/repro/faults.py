@@ -30,7 +30,7 @@ Spec grammar (also in :class:`repro.errors.FaultSpecError.hint`)::
     clause := KIND ':' TARGET ( ':' PARAM )*
     KIND   := 'kill' | 'raise' | 'hang' | 'latency' | 'corrupt'
               | 'truncate' | 'diverge' | 'slowclient' | 'disconnect'
-              | 'dropresult'
+              | 'dropresult' | 'coordkill' | 'svckill'
     TARGET := cell, scenario or stream name, or '*' (any)
     PARAM  := 'times=' INT   -- fire on the first INT attempts (default 1)
             | 'p=' FLOAT     -- fire with this probability per attempt
@@ -76,6 +76,20 @@ Kinds and their fire points:
              coordinator must requeue the cell and the replacement
              attempt recovers the finished payload through the shared
              cache service.
+``coordkill``  the sweep *coordinator* process calls ``os._exit(13)``
+             right after journaling the target cell's result commit —
+             the control-plane SIGKILL signature.  Fired in the parent
+             (never gated on being a worker); because the fire point
+             sits *after* the journal's commit barrier, the targeted
+             cell is always durable, so a ``--resume-journal`` restart
+             restores it instead of re-committing and the clause never
+             re-fires.
+``svckill``  the codec *service* process calls ``os._exit(13)`` right
+             after journaling a segment commit for the target stream;
+             the attempt number is the absolute segment index, so
+             ``times=1`` kills after the stream's first segment and a
+             restarted service (``--journal``) resumes past it without
+             re-firing.
 ===========  ================================================================
 """
 
@@ -92,7 +106,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import FaultSpecError, TransientCellError
 
 KINDS = ("kill", "raise", "hang", "latency", "corrupt", "truncate",
-         "diverge", "slowclient", "disconnect", "dropresult")
+         "diverge", "slowclient", "disconnect", "dropresult",
+         "coordkill", "svckill")
 
 #: default freeze duration of a ``hang`` clause without ``delay=``
 HANG_DEFAULT_S = 30.0
@@ -405,6 +420,26 @@ def should_drop_result(cell: str, attempt: int = 0) -> bool:
     if plan is None:
         return False
     return plan.decide("dropresult", cell, attempt) is not None
+
+
+def control_kill(kind: str, target: str, attempt: int = 0) -> None:
+    """Fire point of the ``coordkill`` / ``svckill`` kinds.
+
+    Called by the sweep coordinator right after journaling a result
+    commit (``kind="coordkill"``, target = cell name, attempt = 0) and
+    by the codec service right after journaling a segment commit
+    (``kind="svckill"``, target = stream id, attempt = the absolute
+    segment index).  Unlike ``kill``/``hang`` this is *not* gated on
+    being a worker process — the whole point is to murder the
+    control-plane parent.  The exit happens after the journal's commit
+    barrier, so everything the clause's target describes is durable and
+    a journal-resumed restart never re-fires the same clause.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    if plan.decide(kind, target, attempt) is not None:
+        os._exit(KILL_EXIT_STATUS)
 
 
 def replay_perturbation(scenario: str, attempt: int = 0) -> int:

@@ -1,0 +1,354 @@
+"""Write-ahead journal: durable control-plane state for both fabrics.
+
+The data plane of this repo is already fault-tolerant — cell retries,
+worker respawn, heartbeat leases, hung-worker migration — but the
+control-plane processes (the sweep coordinator, the codec service) kept
+all of *their* state in memory: kill one mid-run and every lease, open
+stream, and committed result was gone.  This module gives both fabrics
+one durable substrate: an append-only journal of JSON records that a
+restarted process can replay to reconstruct exactly the state it had
+committed before dying.
+
+Format
+------
+A journal is a directory of numbered segment files
+(``journal-00000000.jsonl``, ``journal-00000001.jsonl``, ...).  Each
+line is one record: a JSON object carrying a monotonically increasing
+``seq``, a ``type`` tag, the writer's payload fields, and a ``crc`` —
+CRC32 over the canonical (sorted-key, compact) JSON encoding of the
+record *without* the crc field.  Records are appended buffered;
+:meth:`JournalWriter.commit` is the durability barrier: flush +
+``os.fsync``.  A record is *committed* only once a barrier has covered
+it — the writer's contract mirrors a database WAL, and both fabrics
+call ``commit()`` before acting on the state the record describes.
+Segment rotation (:meth:`JournalWriter.rotate`) fsyncs and closes the
+current segment, then opens the next numbered one, so a long-running
+service can bound per-file size without ever leaving a gap.
+
+Reading (:func:`read_journal`) walks the segments in order and applies
+the same tolerance policy as the run log (:mod:`repro.sweep.events`): a
+truncated or garbled *final* record of the *final* segment is the
+expected signature of a crash mid-append and is skipped silently — that
+record never committed.  Anything else — garbage mid-stream, a CRC
+mismatch, an out-of-order ``seq``, a malformed non-final segment —
+raises :class:`repro.errors.JournalCorrupt`: a journal that lies about
+the past must not be replayed into a live lease table.  An empty or
+absent journal raises :class:`repro.errors.JournalEmpty` so resume
+paths fail structured instead of silently starting fresh.
+
+Consumers
+---------
+The sweep coordinator journals its identity (workload fingerprint,
+per-cell code versions), lease grants/releases, and result commits so
+``--resume-journal`` can rebuild the queue; the codec service journals
+stream opens, per-segment checkpoints, and closes so ``--journal`` can
+restore every open stream after a restart.  Neither fabric stores
+payload *data* here — results live in the sweep checkpoint cache and
+bitstream checkpoints ride the records in pickled form — the journal is
+the control plane's source of truth, not a second data store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from typing import Dict, Iterator, List, Union
+
+from .errors import JournalCorrupt, JournalEmpty
+
+#: journal on-disk format; bumped on incompatible record changes
+JOURNAL_FORMAT = 1
+
+SEGMENT_PREFIX = "journal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+def _canonical(record: Dict) -> str:
+    """The byte-stable encoding the CRC covers (no crc field)."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def record_crc(record: Dict) -> int:
+    """CRC32 of a record's canonical encoding (crc field excluded)."""
+    return zlib.crc32(_canonical(record).encode("utf-8")) & 0xFFFFFFFF
+
+
+def segment_name(index: int) -> str:
+    return f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_paths(root: pathlib.Path) -> List[pathlib.Path]:
+    """The journal's segment files in replay order."""
+    if not root.is_dir():
+        return []
+    return sorted(root.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"))
+
+
+class JournalWriter:
+    """Append-only journal writer with explicit commit barriers.
+
+    ``append()`` buffers; ``commit()`` makes everything appended so far
+    durable (flush + fsync).  The distinction matters: a record that was
+    appended but never committed may or may not survive a crash, and the
+    reader treats a torn final record as "never happened" — so callers
+    must call :meth:`commit` *before* acting on the state a record
+    describes (granting the lease, replying to the client).
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path],
+                 max_segment_bytes: int = 4 * 1024 * 1024):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        existing = segment_paths(self.root)
+        if existing:
+            last = existing[-1]
+            self._segment_index = int(
+                last.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+            # validate the whole journal (raises JournalCorrupt on
+            # mid-stream damage) and count the committed records, then
+            # truncate the torn tail — appending after a half-written
+            # record would weld two records onto one line
+            self._seq = sum(1 for _ in read_journal(self.root,
+                                                    missing_ok=True))
+            _truncate_torn_tail(last)
+        else:
+            self._segment_index = 0
+            self._seq = 0
+        self._handle = open(self.root / segment_name(self._segment_index),
+                            "a", encoding="utf-8")
+        self._dirty = False
+
+    @property
+    def seq(self) -> int:
+        """The next record's sequence number."""
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def append(self, type_: str, **fields) -> Dict:
+        """Buffer one record; returns it (with seq and crc filled in).
+
+        Not durable until the next :meth:`commit`.
+        """
+        record = {"seq": self._seq, "type": type_}
+        record.update(fields)
+        record["crc"] = record_crc(record)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._seq += 1
+        self._dirty = True
+        if self._handle.tell() >= self.max_segment_bytes:
+            self.rotate()
+        return record
+
+    def commit(self) -> None:
+        """The durability barrier: flush buffered records and fsync."""
+        if not self._dirty:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._dirty = False
+
+    def rotate(self) -> pathlib.Path:
+        """Fsync + close the current segment, open the next numbered one.
+
+        Atomic in the only sense that matters for replay: the old
+        segment is complete and durable before the new one exists, and
+        the reader walks segments in index order, so a crash between the
+        two steps loses nothing.
+        """
+        self.commit()
+        self._handle.close()
+        self._segment_index += 1
+        path = self.root / segment_name(self._segment_index)
+        self._handle = open(path, "a", encoding="utf-8")
+        return path
+
+    def close(self) -> None:
+        """Commit and close; the journal stays replayable on disk."""
+        if self._handle.closed:
+            return
+        self.commit()
+        self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _validate_line(raw: bytes, expected_seq: int) -> Dict:
+    """Parse + CRC + seq-check one journal line; ValueError on any defect."""
+    record = json.loads(raw.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError("record is not a JSON object")
+    stored = record.get("crc")
+    if stored != record_crc(record):
+        raise ValueError(
+            f"CRC mismatch (stored {stored!r}, computed "
+            f"{record_crc(record)})")
+    if record.get("seq") != expected_seq:
+        raise ValueError(
+            f"sequence break: expected seq {expected_seq}, "
+            f"found {record.get('seq')!r}")
+    return record
+
+
+def _truncate_torn_tail(path: pathlib.Path) -> None:
+    """Chop a half-written final record off a segment before appending.
+
+    Only the byte-level tail is inspected — the caller has already
+    validated the journal as a whole.  A final line that is not
+    newline-terminated, or does not parse/CRC-check standalone, never
+    committed; appending after it would weld two records onto one line,
+    so the file is truncated back to the last good record boundary.
+    """
+    raw = path.read_bytes()
+    if not raw:
+        return
+    good = 0
+    start = 0
+    while start < len(raw):
+        end = raw.find(b"\n", start)
+        if end == -1:
+            break   # unterminated tail: torn by definition
+        line = raw[start:end]
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict) \
+                    or record.get("crc") != record_crc(record):
+                raise ValueError("bad record")
+        except (ValueError, UnicodeDecodeError):
+            break
+        good = end + 1
+        start = end + 1
+    if good < len(raw):
+        with open(path, "r+b") as handle:
+            handle.truncate(good)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def read_journal(root: Union[str, pathlib.Path], *,
+                 missing_ok: bool = False) -> Iterator[Dict]:
+    """Replay a journal's records in commit order.
+
+    Tolerates exactly one defect: a truncated/garbled *final* record of
+    the *final* segment (the crash-mid-append signature) is skipped, as
+    is a final record missing its newline terminator (same signature,
+    one byte earlier).  Everything else raises :class:`JournalCorrupt`
+    with the segment and line position; a journal with no records raises
+    :class:`JournalEmpty` unless ``missing_ok`` (used by the writer when
+    re-opening its own possibly-empty directory).
+    """
+    root = pathlib.Path(root)
+    segments = segment_paths(root)
+    if not segments:
+        if missing_ok:
+            return
+        raise JournalEmpty(f"no journal segments under {root}")
+    expected_seq = 0
+    yielded = False
+    for seg_pos, path in enumerate(segments):
+        final_segment = seg_pos == len(segments) - 1
+        raw = path.read_bytes()
+        terminated = raw.endswith(b"\n")
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for line_pos, line in enumerate(lines):
+            final_record = final_segment and line_pos == len(lines) - 1
+            where = f"{path.name}:{line_pos + 1}"
+            try:
+                if final_record and not terminated:
+                    raise ValueError("record is not newline-terminated")
+                record = _validate_line(line, expected_seq)
+            except (ValueError, UnicodeDecodeError) as exc:
+                if final_record:
+                    # torn final append: the record never committed
+                    return
+                raise JournalCorrupt(
+                    f"journal record {where} is corrupt mid-stream: "
+                    f"{exc}") from None
+            expected_seq += 1
+            yielded = True
+            yield record
+    if not yielded and not missing_ok:
+        raise JournalEmpty(
+            f"journal under {root} holds no committed records")
+
+
+def load_journal(root: Union[str, pathlib.Path]) -> List[Dict]:
+    """All committed records, eagerly (the common recovery entry)."""
+    return list(read_journal(root))
+
+
+def latest_by_key(records: List[Dict], type_: str,
+                  key_field: str) -> Dict[object, Dict]:
+    """Last-wins index of ``type_`` records by ``key_field``.
+
+    Duplicate commits for one key are legitimate after a
+    resume-of-a-resume (the second run re-commits what it re-executed);
+    recovery takes the newest and counts the rest, it never fails.
+    """
+    index: Dict[object, Dict] = {}
+    for record in records:
+        if record.get("type") == type_ and key_field in record:
+            index[record[key_field]] = record
+    return index
+
+
+def journal_stats(records: List[Dict]) -> Dict[str, int]:
+    """Record counts by type plus duplicate-commit totals (transcripts)."""
+    by_type: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("type"))
+        by_type[kind] = by_type.get(kind, 0) + 1
+    return by_type
+
+
+class Journal:
+    """Convenience facade: a writer plus typed append-and-commit.
+
+    Most call sites want "journal this fact durably, now" — one record,
+    one barrier.  :meth:`write` does exactly that; callers needing to
+    batch several records under one barrier use :meth:`append` +
+    :meth:`commit` directly.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path],
+                 max_segment_bytes: int = 4 * 1024 * 1024):
+        self.writer = JournalWriter(root,
+                                    max_segment_bytes=max_segment_bytes)
+        self.root = self.writer.root
+
+    def write(self, type_: str, **fields) -> Dict:
+        """Append one record and commit it (one durability barrier)."""
+        record = self.writer.append(type_, **fields)
+        self.writer.commit()
+        return record
+
+    def append(self, type_: str, **fields) -> Dict:
+        return self.writer.append(type_, **fields)
+
+    def commit(self) -> None:
+        self.writer.commit()
+
+    @property
+    def closed(self) -> bool:
+        return self.writer.closed
+
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

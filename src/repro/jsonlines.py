@@ -42,9 +42,11 @@ import asyncio
 import json
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError, ServiceUnavailable
+from repro.supervise import retry_backoff_s
 
 #: one JSON line must fit a whole request (a QCIF frame is ~50 KB of
 #: base64; 32 MiB leaves room for ~600-frame segments — and a rendered
@@ -161,6 +163,15 @@ class JsonLinesClient:
     :meth:`request` writes one JSON object and returns the parsed
     response; responses with ``ok`` false re-raise as whatever
     :meth:`error_for` maps their wire ``code`` onto.
+
+    Connecting retries transient ``ConnectionError``/``OSError`` with
+    bounded exponential backoff plus deterministic jitter
+    (:func:`repro.supervise.retry_backoff_s`) — a service mid-restart
+    looks exactly like a refused connection, and giving it a couple of
+    seconds is what makes journal-based recovery invisible to clients.
+    An exhausted budget raises the subclass's structured
+    ``unavailable_error`` (``REPRO-SRV-UNAVAILABLE`` /
+    ``REPRO-DIST-UNREACHABLE``), never a raw socket error.
     """
 
     #: raised when the server closes the connection mid-request;
@@ -168,9 +179,31 @@ class JsonLinesClient:
     unavailable_error = ServiceUnavailable
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: Optional[float] = 120.0):
-        self._socket = socket.create_connection((host, port),
-                                                timeout=timeout)
+                 timeout: Optional[float] = 120.0,
+                 connect_retries: int = 3,
+                 backoff_base_s: float = 0.1,
+                 backoff_max_s: float = 2.0,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        last_error: Optional[Exception] = None
+        for attempt in range(connect_retries + 1):
+            if attempt:
+                sleep(retry_backoff_s(attempt - 1, base_s=backoff_base_s,
+                                      max_s=backoff_max_s,
+                                      key=f"{host}:{port}"))
+            try:
+                self._socket = socket.create_connection((host, port),
+                                                        timeout=timeout)
+                break
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+        else:
+            raise self.unavailable_error(
+                f"could not connect to {host}:{port} after "
+                f"{connect_retries + 1} attempts: {last_error}"
+            ) from last_error
         self._file = self._socket.makefile("rwb")
         # serialises the write/read cycle so threads (e.g. a heartbeat
         # sender) can share this connection without interleaving frames

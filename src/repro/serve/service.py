@@ -37,6 +37,17 @@ as where video codecs are deployed).  :class:`CodecService` is that shape:
   injector (:mod:`repro.faults`): ``raise`` clauses retry with a bounded
   budget, ``latency`` clauses stretch segment latency, ``slowclient`` /
   ``disconnect`` clauses exercise backpressure and transport cleanup;
+* **durability** — with ``journal_dir`` set the service write-ahead
+  journals its control plane (:mod:`repro.journal`): every
+  ``open_stream`` config, every delivered segment result (with the
+  worker's migration checkpoint, pickled), every close/abort.  A
+  restarted service pointed at the same journal restores every stream
+  that was open when it died — original ids, last checkpoint, counters
+  advanced past the last committed segment — and clients resubmit
+  idempotently via per-stream sequence numbers: a duplicate of an
+  already-committed segment re-delivers the journaled result instead
+  of re-encoding, so the bitstream a client assembles across the
+  restart is byte-identical to an uninterrupted run;
 * **worker respawn + stream migration** — a pool worker that dies is
   replaced (bounded by ``max_respawns``, counted in ``stats()``), and a
   worker whose oldest in-flight segment exceeds ``segment_timeout_s``
@@ -64,13 +75,16 @@ The TCP/JSON-lines transport over this API lives in
 
 from __future__ import annotations
 
+import base64
 import collections
 import multiprocessing
+import pathlib
+import pickle
 import queue as queue_module
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro import faults
 from repro.errors import (
@@ -78,12 +92,14 @@ from repro.errors import (
     CodecError,
     SegmentFailed,
     ServiceError,
+    ServiceProtocolError,
     ServiceUnavailable,
     StreamClosed,
     StreamUnknown,
     TransientCellError,
     event_code,
 )
+from repro.journal import Journal, read_journal
 
 ENCODE = "encode"
 DECODE = "decode"
@@ -526,7 +542,8 @@ class CodecService:
     def __init__(self, workers: int = 2, max_pending: int = 8,
                  cache_capacity: int = 16, cache_stripes: int = 8,
                  max_respawns: int = 3, migrate: bool = True,
-                 segment_timeout_s: Optional[float] = None):
+                 segment_timeout_s: Optional[float] = None,
+                 journal_dir: Optional[Union[str, pathlib.Path]] = None):
         if workers < 0:
             raise ServiceError("workers must be >= 0 (0 = in-process)")
         if max_pending < 1:
@@ -537,6 +554,10 @@ class CodecService:
         #: poisoning them (module doc: "worker respawn + stream
         #: migration"); only meaningful for subprocess pools
         self._migrate = migrate
+        #: workers ship per-segment checkpoints when either consumer
+        #: needs them: migration (re-dispatch on a live worker) or the
+        #: write-ahead journal (restore across a service restart)
+        self._checkpoints = migrate or journal_dir is not None
         #: a worker whose oldest in-flight segment is older than this is
         #: declared hung and terminated (None disables the deadline)
         self._segment_timeout_s = segment_timeout_s
@@ -565,7 +586,8 @@ class CodecService:
         self._pinned: List[int] = [0] * workers
         if workers == 0:
             self._processor = SegmentProcessor(
-                0, cache_capacity, cache_stripes)
+                0, cache_capacity, cache_stripes,
+                checkpoints=journal_dir is not None)
         else:
             context = multiprocessing.get_context("fork")
             for index in range(workers):
@@ -573,7 +595,7 @@ class CodecService:
                 results = context.Queue()
                 process = context.Process(
                     target=_worker_main,
-                    args=(index, tasks, results, self._migrate),
+                    args=(index, tasks, results, self._checkpoints),
                     daemon=True)
                 process.start()
                 self._task_queues.append(tasks)
@@ -584,6 +606,14 @@ class CodecService:
                     target=self._drain, args=(index, results), daemon=True)
                 drainer.start()
                 self._drainers.append(drainer)
+        #: write-ahead journal plus the recovery state it feeds:
+        #: journaled results per restored stream keyed by segment index,
+        #: awaiting idempotent re-delivery to a resubmitting client
+        self._journal: Optional[Journal] = None
+        self._journaled: Dict[str, Dict[int, Dict[str, object]]] = {}
+        self._restored = 0
+        if journal_dir is not None:
+            self._open_journal(pathlib.Path(journal_dir))
 
     # -- lifecycle ------------------------------------------------------------
     def __enter__(self) -> "CodecService":
@@ -597,7 +627,9 @@ class CodecService:
         return len(self._processes)
 
     def shutdown(self) -> None:
-        """Stop the pool; open streams are dropped without summaries."""
+        """Stop the pool; open streams are dropped without summaries
+        (but survive on disk when a journal is configured — the next
+        service pointed at it restores them)."""
         with self._lock:
             if self._shutdown:
                 return
@@ -611,6 +643,105 @@ class CodecService:
                 process.terminate()
         for drainer in self._drainers:
             drainer.join(timeout=10)
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- write-ahead journal ---------------------------------------------------
+    def _open_journal(self, root: pathlib.Path) -> None:
+        """Replay the journal, restore every still-open stream, then
+        take over the journal for this service's own writes.
+
+        Replay folds the record stream into per-stream survivors: an
+        ``open_stream`` creates one, each ``segment_commit`` advances its
+        counters and adopts the newest checkpoint, a ``close_stream`` /
+        ``abort_stream`` retires it.  Opening the :class:`Journal` first
+        also validates the whole journal (structured
+        ``REPRO-JRN-CORRUPT`` on mid-stream damage) and truncates any
+        torn final record before we append after it.
+        """
+        self._journal = Journal(root)
+        survivors: Dict[str, Dict[str, object]] = {}
+        for record in read_journal(root, missing_ok=True):
+            kind = record.get("type")
+            stream_id = str(record.get("stream"))
+            if kind == "open_stream":
+                survivors[stream_id] = {
+                    "config": StreamConfig.from_dict(
+                        record.get("config") or {}),
+                    "results": {}, "checkpoint": None, "last": -1,
+                }
+                # stream ids stay unique across the journal's whole
+                # lifetime, even for streams that closed cleanly — a
+                # reused id could collide with a stale client's
+                # sequence tracking
+                if stream_id.startswith("s"):
+                    try:
+                        self._next_stream = max(self._next_stream,
+                                                int(stream_id[1:]) + 1)
+                    except ValueError:
+                        pass
+            elif kind == "segment_commit":
+                entry = survivors.get(stream_id)
+                if entry is None:
+                    continue
+                segment = int(record.get("segment", 0))
+                entry["results"][segment] = dict(record.get("result")
+                                                 or {})
+                raw = record.get("checkpoint")
+                if raw is not None:
+                    entry["checkpoint"] = pickle.loads(
+                        base64.b64decode(raw))
+                entry["last"] = max(entry["last"], segment)
+            elif kind in ("close_stream", "abort_stream"):
+                survivors.pop(stream_id, None)
+        for stream_id in sorted(survivors):
+            self._restore_stream(stream_id, survivors[stream_id])
+
+    def _restore_stream(self, stream_id: str,
+                        entry: Dict[str, object]) -> None:
+        """Re-open one journaled stream exactly where it left off."""
+        config = entry["config"]
+        committed = int(entry["last"]) + 1
+        worker = 0
+        if self._processes:
+            worker = min(range(len(self._processes)),
+                         key=self._pinned.__getitem__)
+            self._pinned[worker] += 1
+        state = _StreamState(stream_id, config, worker)
+        # every committed segment was submitted, completed AND (as far
+        # as this incarnation knows) collected; a resubmitting client
+        # un-collects journaled results one duplicate at a time
+        state.submitted = committed
+        state.completed = committed
+        state.collected = committed
+        state.dispatches = committed
+        state.opened = True
+        state.checkpoint = entry["checkpoint"]
+        if config.kind == ENCODE and any(
+                not result.get("ok")
+                for result in entry["results"].values()):
+            state.failed = True
+        self._streams[stream_id] = state
+        self._journaled[stream_id] = dict(entry["results"])
+        if self._processes:
+            self._put(worker, ("open", stream_id, config))
+            if state.checkpoint is not None:
+                self._put(worker, ("restore", stream_id,
+                                   state.checkpoint))
+        else:
+            with self._processor_lock:
+                self._processor.open(stream_id, config)
+                if state.checkpoint is not None:
+                    self._processor.restore(stream_id, state.checkpoint)
+        self._restored += 1
+
+    def _journal_stream_gone(self, stream_id: str,
+                             kind: str = "close_stream") -> None:
+        """Record that a stream left the service (caller holds the
+        lock), so a restart does not resurrect it."""
+        if self._journal is not None and not self._journal.closed:
+            self._journal.write(kind, stream=stream_id)
+        self._journaled.pop(stream_id, None)
 
     def _put(self, worker: int, message: Tuple) -> None:
         """Enqueue a pool task, stamped with the current fault spec (the
@@ -667,7 +798,8 @@ class CodecService:
                 old_drainer.join(timeout=10)
             replacement = context.Process(
                 target=_worker_main,
-                args=(worker, tasks, results, self._migrate), daemon=True)
+                args=(worker, tasks, results, self._checkpoints),
+                daemon=True)
             replacement.start()
             self._task_queues[worker] = tasks
             self._processes[worker] = replacement
@@ -813,6 +945,20 @@ class CodecService:
             state.checkpoint = checkpoint
         state.completed += 1
         state.results.append(segment)
+        if self._journal is not None:
+            fields: Dict[str, object] = {
+                "stream": state.id, "segment": segment.segment,
+                "result": segment.to_dict(),
+            }
+            if checkpoint is not None:
+                fields["checkpoint"] = base64.b64encode(
+                    pickle.dumps(checkpoint)).decode("ascii")
+            self._journal.write("segment_commit", **fields)
+            # deterministic service-kill fault: fires AFTER the commit
+            # barrier (attempt axis = absolute segment index), so the
+            # restarted service restores past this segment and the
+            # clause cannot re-fire on the same commit
+            faults.control_kill("svckill", state.id, segment.segment)
 
     # -- session API ----------------------------------------------------------
     def open_stream(self, config: Optional[StreamConfig] = None,
@@ -835,11 +981,18 @@ class CodecService:
                 self._pinned[worker] += 1
             self._streams[stream_id] = _StreamState(stream_id, config,
                                                     worker)
+            if self._journal is not None:
+                # write-ahead: the open is durable before any worker
+                # sees it, so a restart can always re-create the stream
+                self._journal.write("open_stream", stream=stream_id,
+                                    config=config.to_dict())
         if self._processes:
             if not self._ensure_worker(worker):
                 with self._lock:
                     if self._streams.pop(stream_id, None) is not None:
                         self._pinned[worker] -= 1
+                        self._journal_stream_gone(stream_id,
+                                                  "abort_stream")
                 raise ServiceUnavailable(
                     f"worker {worker} died and the respawn budget is "
                     f"exhausted")
@@ -863,11 +1016,21 @@ class CodecService:
         if self._shutdown:
             raise ServiceUnavailable("the service is shut down")
 
-    def submit_segment(self, stream_id: str, payload: object) -> int:
+    def submit_segment(self, stream_id: str, payload: object,
+                       seq: Optional[int] = None) -> int:
         """Enqueue one segment; returns its index within the stream.
 
         Sheds with :class:`~repro.errors.BackpressureReject` when the
         stream's pending window is full — the segment is NOT enqueued.
+
+        ``seq`` is the client's per-stream sequence number, the
+        idempotency key for journal-based recovery: a duplicate of an
+        already-committed segment (``seq < submitted``) is NOT
+        re-encoded — the journaled result is re-delivered for the
+        client to collect (exactly once per duplicate), keeping the
+        bitstream byte-identical across a service restart.  A ``seq``
+        ahead of the stream (``seq > submitted``) is a protocol error:
+        the client skipped a segment.
         """
         with self._lock:
             self._require_up()
@@ -875,6 +1038,22 @@ class CodecService:
             if state.closing:
                 raise StreamClosed(
                     f"stream {stream_id!r} is closed to new segments")
+            if seq is not None and seq != state.submitted:
+                if seq > state.submitted:
+                    raise ServiceProtocolError(
+                        f"stream {stream_id!r} expects seq "
+                        f"{state.submitted}, got {seq}: the client "
+                        f"skipped a segment")
+                # duplicate of a committed segment: re-deliver the
+                # journaled result (once), never re-encode
+                journaled = self._journaled.get(stream_id, {}).pop(
+                    seq, None)
+                if journaled is not None:
+                    state.results.append(
+                        SegmentResult.from_dict(journaled))
+                    state.collected -= 1
+                    self._ready.notify_all()
+                return seq
             if state.failed:
                 raise SegmentFailed(
                     f"stream {stream_id!r} failed at segment "
@@ -975,6 +1154,8 @@ class CodecService:
                 with self._lock:
                     if self._streams.pop(stream_id, None) is not None:
                         self._unpin(state)
+                        self._journal_stream_gone(stream_id,
+                                                  "abort_stream")
                 raise ServiceUnavailable(
                     f"worker {worker} owning stream {stream_id!r} died "
                     f"and the respawn budget is exhausted")
@@ -1000,6 +1181,8 @@ class CodecService:
                                       and remaining <= 0):
                     if self._streams.pop(stream_id, None) is not None:
                         self._unpin(state)
+                        self._journal_stream_gone(stream_id,
+                                                  "abort_stream")
                     raise ServiceUnavailable(
                         f"no close summary for stream {stream_id!r} "
                         f"within {timeout}s")
@@ -1009,6 +1192,7 @@ class CodecService:
             uncollected = list(state.results)
             if self._streams.pop(stream_id, None) is not None:
                 self._unpin(state)
+                self._journal_stream_gone(stream_id)
             self._closed_streams += 1
         summary = StreamSummary(
             stream=stream_id, kind=raw.get("kind", state.config.kind),
@@ -1036,6 +1220,7 @@ class CodecService:
             if state is None:
                 return
             self._unpin(state)
+            self._journal_stream_gone(stream_id, "abort_stream")
             self._closed_streams += 1
             worker = state.worker
         if self._processes:
@@ -1070,6 +1255,8 @@ class CodecService:
                 "migrate": self._migrate,
                 "migrations": self._migrations,
                 "hangs_detected": self._hangs_detected,
+                "journaled": self._journal is not None,
+                "streams_restored": self._restored,
                 "streams_open": len(self._streams),
                 "streams_closed": self._closed_streams,
                 "segments_submitted": sum(s["submitted"]

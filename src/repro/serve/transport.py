@@ -15,6 +15,10 @@ Request grammar (all ops)::
     {"op": "open",    "config": {...StreamConfig fields...}}
     {"op": "submit",  "stream": "s0000", "frames": [<frame>...]}   encode
     {"op": "submit",  "stream": "s0000", "payload": "<base64>"}    decode
+    (submit may carry "seq": N — the per-stream sequence number that
+    makes resubmission after a service restart idempotent: a duplicate
+    of a journal-committed segment re-delivers its recorded result
+    instead of re-encoding)
     {"op": "collect", "stream": "s0000", "timeout": 5.0}
     {"op": "close",   "stream": "s0000"}
     {"op": "abort",   "stream": "s0000"}
@@ -258,7 +262,13 @@ class ServiceServer(JsonLinesServer):
         else:
             raise ServiceProtocolError(
                 "submit needs 'frames' (encode) or 'payload' (decode)")
-        index = self.service.submit_segment(stream_id, payload)
+        seq = request.get("seq")
+        try:
+            seq = None if seq is None else int(seq)
+        except (TypeError, ValueError) as exc:
+            raise ServiceProtocolError(
+                f"'seq' must be an integer: {exc}") from exc
+        index = self.service.submit_segment(stream_id, payload, seq=seq)
         return {"stream": stream_id, "segment": index}
 
     def _op_collect(self, request, state) -> Dict[str, object]:
@@ -321,6 +331,10 @@ class ServiceClient(JsonLinesClient):
                  timeout: Optional[float] = 120.0,
                  auth_token: Optional[str] = None):
         super().__init__(host, port, timeout)
+        #: next sequence number per stream this client opened — sent
+        #: with every submit so a journaled server can dedup
+        #: resubmissions after a restart (see :meth:`submit_segment`)
+        self._seqs: Dict[str, int] = {}
         challenge = self._request(
             {"op": "auth_challenge"}).get("challenge")
         if challenge is not None:
@@ -340,16 +354,36 @@ class ServiceClient(JsonLinesClient):
         request: Dict[str, object] = {"op": "open"}
         if config is not None:
             request["config"] = config.to_dict()
-        return self._request(request)["stream"]
+        stream_id = self._request(request)["stream"]
+        self._seqs[stream_id] = 0
+        return stream_id
 
-    def submit_segment(self, stream_id: str, payload) -> int:
+    def attach_stream(self, stream_id: str, next_seq: int) -> None:
+        """Adopt a stream another client incarnation opened (recovery):
+        subsequent submits resume sequence numbering at ``next_seq``."""
+        self._seqs[stream_id] = int(next_seq)
+
+    def submit_segment(self, stream_id: str, payload,
+                       seq: Optional[int] = None) -> int:
+        """Submit one segment, stamped with its per-stream sequence
+        number.  Pass ``seq`` explicitly to resubmit a segment whose
+        fate is unknown after a server restart — the server re-delivers
+        the journaled result for already-committed duplicates instead
+        of re-encoding them."""
         request: Dict[str, object] = {"op": "submit", "stream": stream_id}
         if isinstance(payload, (bytes, bytearray)):
             request["payload"] = base64.b64encode(
                 bytes(payload)).decode("ascii")
         else:
             request["frames"] = [frame_to_wire(frame) for frame in payload]
-        return self._request(request)["segment"]
+        if seq is None:
+            seq = self._seqs.get(stream_id)
+        if seq is not None:
+            request["seq"] = seq
+        index = self._request(request)["segment"]
+        self._seqs[stream_id] = max(self._seqs.get(stream_id, 0),
+                                    index + 1)
+        return index
 
     def collect(self, stream_id: str,
                 timeout: Optional[float] = None) -> List[SegmentResult]:
@@ -365,10 +399,12 @@ class ServiceClient(JsonLinesClient):
         summary["payload"] = base64.b64decode(summary["payload"])
         summary["uncollected"] = [SegmentResult.from_dict(item)
                                   for item in summary["uncollected"]]
+        self._seqs.pop(stream_id, None)
         return summary
 
     def abort_stream(self, stream_id: str) -> None:
         self._request({"op": "abort", "stream": stream_id})
+        self._seqs.pop(stream_id, None)
 
     def stats(self) -> Dict[str, object]:
         return self._request({"op": "stats"})["stats"]

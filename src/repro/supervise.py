@@ -20,6 +20,12 @@ nothing ever finishes.  This module hosts the pieces both sides share:
   exception stops the sender and is re-raised from :meth:`stop` (a
   worker whose heartbeats fail should hear about it, not beat on).
 
+* :func:`retry_backoff_s` — the shared reconnect schedule: bounded
+  exponential backoff with deterministic (hash-derived) jitter.  The
+  transport clients and the sweep-worker reconnect loop all sleep by
+  this one function, so transient connection failures are retried the
+  same way everywhere and the schedule stays reproducible under test.
+
 * The shared-secret handshake (:func:`auth_challenge`, :func:`auth_proof`,
   :func:`auth_verify`, :func:`resolve_token`): HMAC-SHA256
   challenge–response so the token itself never crosses the wire.  The
@@ -191,6 +197,34 @@ class HeartbeatSender:
         if reraise and self._error is not None:
             raise self._error
         return self.sent
+
+
+# -- reconnect backoff --------------------------------------------------------
+
+def retry_backoff_s(attempt: int, *, base_s: float = 0.1,
+                    max_s: float = 2.0, jitter: float = 0.5,
+                    key: str = "") -> float:
+    """The delay before reconnect ``attempt`` (0-based): bounded
+    exponential backoff with deterministic jitter.
+
+    The base delay doubles per attempt and saturates at ``max_s``; on
+    top of that up to ``jitter`` (a fraction) of the delay is added,
+    derived by hashing ``(key, attempt)`` rather than from a live RNG so
+    a given client's retry schedule is reproducible — the same property
+    the fault injector relies on everywhere else.  Both transport
+    clients and the sweep-worker reconnect loop use exactly this
+    schedule so the two fabrics behave identically under a flapping
+    network.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    delay = min(base_s * (2.0 ** attempt), max_s)
+    if jitter > 0:
+        digest = hashlib.sha256(
+            f"{key}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        delay += delay * jitter * unit
+    return delay
 
 
 # -- shared-secret handshake --------------------------------------------------

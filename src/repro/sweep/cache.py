@@ -205,6 +205,11 @@ class SweepCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(envelope, handle, sort_keys=True)
+                # durability before visibility: a power-loss-style kill
+                # between rename and writeback must not leave a
+                # half-written entry for quarantine to eat
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self.entry_path(key))
         except BaseException:
             try:

@@ -52,6 +52,14 @@ Resilience is the PR-4 discipline stretched across hosts:
   must prove knowledge of the shared secret via HMAC challenge–response
   (:mod:`repro.supervise`); a mismatch is rejected with the structured
   ``REPRO-DIST-AUTH`` code, never silently dropped;
+* with ``--journal DIR`` the coordinator write-ahead journals its sweep
+  identity, lease grants/releases and result commits
+  (:mod:`repro.journal`, fsync on every commit barrier); a SIGKILLed
+  coordinator restarted with ``--resume-journal DIR`` restores every
+  committed cell, requeues outstanding leases at attempt + 1
+  (:func:`recover_from_journal`), re-admits reconnecting workers, and
+  still writes byte-identical deterministic artifacts — the
+  ``coordkill`` fault kind drives exactly this path in CI;
 * retryable failures (timeouts, :class:`~repro.errors.TransientCellError`)
   are requeued with the same bounded exponential backoff as the pool
   path (``cell_retry`` events);
@@ -92,6 +100,7 @@ from repro.errors import (
     ReproError,
     WorkerLost,
 )
+from repro.journal import Journal
 from repro.jsonlines import JsonLinesClient, JsonLinesServer
 from repro.sweep.cache import SweepCache
 from repro.sweep.events import host_label, origin_label
@@ -159,7 +168,8 @@ class SweepCoordinator(JsonLinesServer):
                  worker_wait_s: float = 30.0,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
                  lease_timeout_s: Optional[float] = None,
-                 auth_token: Optional[str] = None):
+                 auth_token: Optional[str] = None,
+                 journal: Optional[Journal] = None):
         super().__init__(host, port)
         #: [name, attempt, not_before] — leasable once not_before passes
         self._queue: List[List] = [[name, attempt, 0.0]
@@ -181,6 +191,8 @@ class SweepCoordinator(JsonLinesServer):
         self.lease_timeout_s = (lease_timeout_s if lease_timeout_s
                                 else 4.0 * heartbeat_s)
         self.auth_token = auth_token
+        #: write-ahead journal of grants/releases/commits (None: off)
+        self.journal = journal
         #: cell name -> live Lease (data carries the holding connection)
         self._leases = supervise.LeaseTable(self.lease_timeout_s)
         self.results: Dict[str, CellResult] = {}
@@ -231,6 +243,10 @@ class SweepCoordinator(JsonLinesServer):
             self._losses += 1
             delay = self.policy.backoff_s(lease.attempt + 1)
             self._requeue(lease.key, lease.attempt + 1, delay)
+            if self.journal is not None:
+                self.journal.append("lease_release", cell=lease.key,
+                                    attempt=lease.attempt,
+                                    reason="expired")
             self.emit("lease_expired", cell=lease.key,
                       worker=conn.worker if conn is not None else "?",
                       attempt=lease.attempt,
@@ -279,6 +295,9 @@ class SweepCoordinator(JsonLinesServer):
             # repeat offenders stay bounded by max_pool_deaths)
             self._requeue(name, attempt + 1,
                           self.policy.backoff_s(attempt + 1))
+            if self.journal is not None:
+                self.journal.append("lease_release", cell=name,
+                                    attempt=attempt, reason="worker_lost")
         conn.leased = {}
         self.emit("worker_lost", worker=conn.worker, requeued=requeued,
                   losses=self._losses, code=WorkerLost.code,
@@ -355,6 +374,12 @@ class SweepCoordinator(JsonLinesServer):
                 del self._queue[index]
                 conn.leased[name] = attempt
                 self._leases.grant(name, attempt, conn=conn)
+                if self.journal is not None:
+                    # durable before the worker hears about it: a killed
+                    # coordinator must know this lease was outstanding
+                    # so resume requeues the cell at attempt + 1
+                    self.journal.write("lease_grant", cell=name,
+                                       attempt=attempt, worker=conn.worker)
                 if attempt == 0 and name not in self._started:
                     self._started.add(name)
                     if self.on_start:
@@ -384,6 +409,11 @@ class SweepCoordinator(JsonLinesServer):
         lease = self._leases.get(name)
         if lease is not None and lease.data.get("conn") is conn:
             self._leases.release(name)
+            if self.journal is not None:
+                # buffered: a lost release is harmless (resume requeues
+                # the cell at attempt + 1 and dedup absorbs the rest)
+                self.journal.append("lease_release", cell=name,
+                                    attempt=attempt, reason="result")
         if name not in self.keys:
             raise DistProtocolError(f"result for unknown cell {name!r}")
         if name in self.results:
@@ -409,6 +439,17 @@ class SweepCoordinator(JsonLinesServer):
                           code=result.error_code)
                 self._requeue(name, attempt + 1, delay)
                 return {"accepted": True, "requeued": True}
+        if self.journal is not None:
+            # the commit barrier: once this record is fsynced the cell
+            # is durable and a resumed coordinator restores it instead
+            # of re-executing — which is also why the injected
+            # coordinator kill fires *after* the barrier
+            self.journal.write(
+                "result_commit", cell=name, attempt=attempt,
+                worker=conn.worker,
+                result={field_: getattr(result, field_)
+                        for field_ in _RESULT_FIELDS})
+            faults.control_kill("coordkill", name)
         self.results[name] = result
         self._losses = 0
         self._last_activity = time.monotonic()
@@ -527,6 +568,7 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
                     log_dir: Optional[pathlib.Path] = None,
                     label: str = "sweep",
                     ready: Optional[Callable[[Tuple[str, int]], None]] = None,
+                    journal: Optional[Journal] = None,
                     ) -> Tuple[Dict[str, CellResult],
                                List[Tuple[str, int]], Dict[str, Dict]]:
     """Coordinate ``items`` across the worker fleet; blocks until every
@@ -543,7 +585,7 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
         cell_versions, emit, on_start=on_start, on_result=on_result,
         host=host, port=port, worker_wait_s=worker_wait_s,
         heartbeat_s=heartbeat_s, lease_timeout_s=lease_timeout_s,
-        auth_token=auth_token)
+        auth_token=auth_token, journal=journal)
 
     async def _main():
         bound = await coordinator.start()
@@ -573,9 +615,50 @@ def run_distributed(items: Sequence[Tuple[str, int]], *,
             await coordinator.stop()
             if spawner is not None:
                 spawner.stop()
+            if journal is not None:
+                journal.commit()   # flush buffered lease releases
 
     asyncio.run(_main())
     return coordinator.results, coordinator.remaining(), coordinator.hosts
+
+
+def recover_from_journal(records: Sequence[Dict],
+                         ) -> Tuple[Dict[str, CellResult],
+                                    Dict[str, int], Dict[str, int]]:
+    """Rebuild coordinator state from a journal's committed records.
+
+    Returns ``(results, requeue, stats)``: cells whose results reached a
+    commit barrier (restored, not re-executed), outstanding leases as
+    ``cell -> attempt + 1`` (the resumed run requeues them one attempt
+    up, exactly like a lost worker), and counters for the
+    ``journal_recovered`` run-log event.  Duplicate commits for one cell
+    — legitimate after a resume-of-a-resume — resolve last-wins and are
+    counted, never raised on.
+    """
+    results: Dict[str, CellResult] = {}
+    leases: Dict[str, int] = {}
+    duplicates = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "lease_grant":
+            leases[str(record.get("cell"))] = int(record.get("attempt", 0))
+        elif kind == "lease_release":
+            leases.pop(str(record.get("cell")), None)
+        elif kind == "result_commit":
+            name = str(record.get("cell"))
+            if name in results:
+                duplicates += 1
+            wire = record.get("result") or {}
+            results[name] = CellResult(
+                name, worker=record.get("worker"),
+                **{field_: wire[field_] for field_ in _RESULT_FIELDS
+                   if field_ in wire})
+            leases.pop(name, None)
+    requeue = {name: attempt + 1 for name, attempt in leases.items()
+               if name not in results}
+    stats = {"results": len(results), "requeued": len(requeue),
+             "duplicate_commits": duplicates}
+    return results, requeue, stats
 
 
 # -- the worker side -----------------------------------------------------------
@@ -619,12 +702,13 @@ def run_worker(host: str, port: int, label: Optional[str] = None,
     attempts_left = reconnects + 1
     while attempts_left > 0:
         attempts_left -= 1
+        used = reconnects - attempts_left
         try:
             client = WorkerClient(host, port, timeout=None)
-        except OSError as exc:
+        except (CoordinatorUnreachable, OSError) as exc:
             out(f"{worker_id}: coordinator {host}:{port} unreachable "
                 f"({exc}); {attempts_left} reconnect(s) left")
-            time.sleep(0.2)
+            time.sleep(supervise.retry_backoff_s(used, key=worker_id))
             continue
         try:
             hello_request = {
@@ -717,9 +801,12 @@ def run_worker(host: str, port: int, label: Optional[str] = None,
                     f"{'restored' if restored else 'done'} "
                     f"({result.wall_s:.2f}s)")
         except (CoordinatorUnreachable, ConnectionError, OSError) as exc:
+            # bounded exponential backoff + jitter before rejoining: a
+            # coordinator restarting from its journal needs a moment,
+            # and a dead one is detected by the budget running out
             out(f"{worker_id}: lost coordinator ({exc}); "
                 f"{attempts_left} reconnect(s) left")
-            time.sleep(0.2)
+            time.sleep(supervise.retry_backoff_s(used, key=worker_id))
         finally:
             try:
                 client.close()

@@ -102,6 +102,13 @@ class RunLog:
         self._handle.flush()
 
     def close(self) -> None:
+        """Fsync then close: the log's tail must survive a power-loss-
+        style kill right after the sweep finishes, not just a process
+        exit (flush alone leaves the tail in the page cache)."""
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
 
     def __enter__(self) -> "RunLog":

@@ -22,7 +22,13 @@ serial runner does, but treats each section as an independent, memoisable
    event (``cell_timeout`` / ``cell_retry`` / ``pool_respawn`` /
    ``worker_lost`` / ``degraded_serial``).  Each finished cell is
    written to the cache and the checkpoint atomically, so an
-   interrupted sweep resumes from what it finished;
+   interrupted sweep resumes from what it finished.  With ``--journal
+   DIR`` the distributed coordinator additionally write-ahead journals
+   its control-plane state (:mod:`repro.journal`), and ``--resume-journal
+   DIR`` restarts a SIGKILLed coordinator from it: committed cells are
+   restored (``journal_recovered`` event), outstanding leases requeued
+   at attempt + 1, and the deterministic artifacts stay byte-identical
+   to an uninterrupted run;
 4. assemble the report in deterministic cell order — byte-identical
    regardless of job count, worker fleet, cache state, or how many
    faults were recovered from — and write the deterministic
@@ -67,7 +73,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import faults, supervise
 from repro.core.exploration import ExplorationConfig
 from repro.core.timing import set_replay_verification
-from repro.errors import ExperimentError, SweepWorkerDied
+from repro.errors import ExperimentError, JournalMismatch, SweepWorkerDied
+from repro.journal import Journal, load_journal, segment_paths
 from repro.experiments.runner import RUNNERS, cell_names, error_section
 from repro.experiments.workload import (
     DEFAULT_FRAMES,
@@ -143,6 +150,14 @@ class SweepConfig:
     #: shared secret workers must prove over HMAC challenge-response
     #: (None also adopts the REPRO_AUTH_TOKEN environment variable)
     auth_token: Optional[str] = None
+    #: write-ahead journal directory for the distributed coordinator's
+    #: control-plane state (lease grants/releases, result commits); a
+    #: fresh run clears any stale segments first
+    journal_dir: Optional[pathlib.Path] = None
+    #: resume a killed coordinator from this journal directory:
+    #: committed cells are restored, outstanding leases requeued at
+    #: attempt + 1, and journaling continues into the same directory
+    resume_journal: Optional[pathlib.Path] = None
     #: LRU-by-mtime bound on the memoisation cache; entries this run
     #: touched are never evicted (None = unbounded)
     cache_max_bytes: Optional[int] = None
@@ -241,12 +256,50 @@ def _restored_result(name: str, payload: Dict) -> CellResult:
         cycles=payload.get("cycles"))
 
 
+def _journal_identity(workload: Dict, frames: int, seed: int,
+                      cell_versions: Dict[str, str],
+                      keys: Dict[str, str]) -> Dict:
+    """What a journal must agree on before its records may be replayed:
+    replaying leases and results across a workload or code edit would
+    silently mix incompatible states."""
+    return {"workload": workload, "frames": frames, "seed": seed,
+            "cell_versions": cell_versions, "keys": keys}
+
+
+def _resume_from_journal(journal_dir: pathlib.Path, identity: Dict):
+    """Replay a killed coordinator's journal: ``(results, requeue,
+    stats)``.
+
+    Raises structured ``REPRO-JRN-*`` errors — an empty journal, a
+    corrupt one, or one written by a different (workload, code) tree
+    fails loudly; resume never silently starts fresh.
+    """
+    from repro.sweep.distributed import recover_from_journal
+    records = load_journal(journal_dir)
+    recorded = next((record for record in records
+                     if record.get("type") == "sweep_identity"), None)
+    if recorded is None:
+        raise JournalMismatch(
+            f"journal {journal_dir} carries no sweep_identity record")
+    for field_, value in identity.items():
+        if recorded.get(field_) != value:
+            raise JournalMismatch(
+                f"journal {journal_dir} was written by a different "
+                f"sweep: {field_} differs from the resuming run")
+    return recover_from_journal(records)
+
+
 def run_sweep(config: Optional[SweepConfig] = None,
               progress: Optional[Callable[[str], None]] = None
               ) -> SweepResult:
     """Run (or restore from cache/checkpoint) every requested cell and
     assemble the report; see the module docstring for the full pipeline."""
     config = config or SweepConfig()
+    if (config.journal_dir or config.resume_journal) \
+            and config.distributed is None:
+        raise ExperimentError(
+            "--journal/--resume-journal capture the distributed "
+            "coordinator's control-plane state and require --distributed")
     if config.fault_spec is not None:
         faults.install(config.fault_spec)
     else:
@@ -394,21 +447,71 @@ def run_sweep(config: Optional[SweepConfig] = None,
         if config.distributed is not None and misses:
             from repro.sweep.distributed import parse_bind, run_distributed
             bind_host, bind_port = parse_bind(config.distributed)
-            resolved, remaining, hosts = run_distributed(
-                [(name, 0) for name in misses], keys=keys,
-                frames=config.frames, seed=config.seed,
-                policy=config.policy(), cache=cache,
-                checkpoint=checkpoint, workload=workload,
-                cell_versions=cell_versions, host=bind_host,
-                port=bind_port, emit=on_event, on_start=on_start,
-                on_result=on_result,
-                spawn_workers=config.spawn_workers,
-                worker_wait_s=config.worker_wait_s,
-                heartbeat_s=config.heartbeat_s,
-                lease_timeout_s=config.lease_timeout_s,
-                auth_token=supervise.resolve_token(config.auth_token),
-                log_dir=config.root / "runs", label=label)
-            results.update(resolved)
+            journal = None
+            requeue: Dict[str, int] = {}
+            journal_dir = config.resume_journal or config.journal_dir
+            if journal_dir is not None:
+                journal_dir = pathlib.Path(journal_dir)
+                identity = _journal_identity(workload, config.frames,
+                                             config.seed, cell_versions,
+                                             keys)
+                if config.resume_journal:
+                    recovered, requeue, stats = _resume_from_journal(
+                        journal_dir, identity)
+                    restored = 0
+                    for name, result in recovered.items():
+                        if name not in keys or name in results \
+                                or name not in misses:
+                            continue
+                        results[name] = result
+                        restored += 1
+                        if result.ok:
+                            # a commit the kill window kept out of the
+                            # checkpoint: promote it now so later sweeps
+                            # (and the degraded path) see it normally
+                            payload = {
+                                "cell": name,
+                                "rendered": result.rendered,
+                                "wall_s": round(result.wall_s, 4),
+                                "cycles": result.cycles,
+                                "workload": workload,
+                                "code_version": cell_versions[name],
+                            }
+                            checkpoint.put(keys[name], payload)
+                            cache.put(keys[name], payload)
+                    on_event("journal_recovered", journal=str(journal_dir),
+                             restored=restored, **stats)
+                else:
+                    # a fresh --journal run owns the directory: stale
+                    # segments from an unrelated earlier sweep must not
+                    # poison a later resume
+                    for stale in segment_paths(journal_dir):
+                        stale.unlink()
+                journal = Journal(journal_dir)
+                if journal.writer.seq == 0:
+                    journal.write("sweep_identity", **identity)
+            items = [(name, requeue.get(name, 0)) for name in misses
+                     if name not in results]
+            remaining: List[Tuple[str, int]] = []
+            if items:
+                resolved, remaining, hosts = run_distributed(
+                    items, keys=keys,
+                    frames=config.frames, seed=config.seed,
+                    policy=config.policy(), cache=cache,
+                    checkpoint=checkpoint, workload=workload,
+                    cell_versions=cell_versions, host=bind_host,
+                    port=bind_port, emit=on_event, on_start=on_start,
+                    on_result=on_result,
+                    spawn_workers=config.spawn_workers,
+                    worker_wait_s=config.worker_wait_s,
+                    heartbeat_s=config.heartbeat_s,
+                    lease_timeout_s=config.lease_timeout_s,
+                    auth_token=supervise.resolve_token(config.auth_token),
+                    log_dir=config.root / "runs", label=label,
+                    journal=journal)
+                results.update(resolved)
+            if journal is not None:
+                journal.close()
             if remaining:
                 # the fleet never materialised or died off: finish the
                 # unresolved cells serially in-process, where injected
@@ -452,6 +555,12 @@ def run_sweep(config: Optional[SweepConfig] = None,
     faults.maybe_truncate_file(log_path, "runlog")
     if len(ordered) == len(names) and not any(c.error for c in ordered):
         checkpoint.clear()
+        # like the checkpoint, the journal is crash-recovery state: a
+        # clean finish retires it so a stale resume cannot replay it
+        retired = config.resume_journal or config.journal_dir
+        if retired is not None:
+            for segment in segment_paths(pathlib.Path(retired)):
+                segment.unlink()
 
     # split before writing: sweep_report.json carries only fields that
     # are pure functions of (workload, code), so serial / pooled /

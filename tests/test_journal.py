@@ -1,0 +1,486 @@
+"""The write-ahead journal and both fabrics' crash recovery.
+
+The load-bearing guarantees:
+
+* the journal itself: append/commit round trips, segment rotation,
+  gapless seq numbering across a reopen, and the torn-tail rule — a
+  half-written (or unterminated) final record never committed, is
+  skipped by the reader and truncated by the writer;
+* every corruption shape is **structured** (``REPRO-JRN-*``), never an
+  unhandled exception: garbage mid-stream, a CRC mismatch, a sequence
+  break, an empty or absent journal;
+* sweep-coordinator recovery (:func:`recover_from_journal`): committed
+  results are restored, outstanding leases requeue at attempt + 1,
+  duplicate commits resolve last-wins; the orchestrator refuses a
+  journal written by a different (workload, code) tree
+  (``REPRO-JRN-MISMATCH``);
+* lease-table recovery edges: a lease granted but never beaten expires
+  on its grant deadline, and an expired-at-recovery lease is revocable
+  immediately;
+* codec-service recovery: a restarted service restores every open
+  stream from its last journaled checkpoint; clients resubmit
+  idempotently by sequence number (duplicates re-deliver the journaled
+  result, never re-encode) and the bitstream assembled across the
+  restart is **byte-identical** to an uninterrupted encode;
+* the ``coordkill`` chaos path end to end: a journaled distributed
+  sweep SIGKILLed mid-commit resumes via ``--resume-journal`` into a
+  ``sweep_report.json`` byte-identical to a serial run.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults, supervise
+from repro.codec import (
+    EncoderConfig,
+    Mpeg4Encoder,
+    SyntheticSequenceConfig,
+    synthetic_sequence,
+)
+from repro.errors import (
+    ExperimentError,
+    JournalCorrupt,
+    JournalEmpty,
+    JournalMismatch,
+    ServiceProtocolError,
+)
+from repro.journal import (
+    Journal,
+    JournalWriter,
+    latest_by_key,
+    load_journal,
+    read_journal,
+    record_crc,
+    segment_paths,
+)
+from repro.serve import CodecService, StreamConfig
+from repro.sweep import SweepConfig, run_sweep
+from repro.sweep.distributed import recover_from_journal
+from repro.sweep.orchestrator import _resume_from_journal
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _fill(root, count=5, **extra):
+    """A committed journal of ``count`` simple records."""
+    with Journal(root) as journal:
+        for index in range(count):
+            journal.write("tick", index=index, **extra)
+    return root
+
+
+class TestWriterReaderRoundTrip:
+    def test_append_commit_read(self, tmp_path):
+        with Journal(tmp_path / "j") as journal:
+            journal.write("open", stream="s0")
+            journal.append("beat", n=1)
+            journal.append("beat", n=2)
+            journal.commit()
+        records = load_journal(tmp_path / "j")
+        assert [r["type"] for r in records] == ["open", "beat", "beat"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert all(r["crc"] == record_crc(r) for r in records)
+
+    def test_rotation_spans_segments(self, tmp_path):
+        with JournalWriter(tmp_path / "j", max_segment_bytes=64) as writer:
+            for index in range(20):
+                writer.append("tick", index=index)
+            writer.commit()
+        assert len(segment_paths(tmp_path / "j")) > 1
+        records = load_journal(tmp_path / "j")
+        assert [r["index"] for r in records] == list(range(20))
+
+    def test_reopen_continues_seq_gapless(self, tmp_path):
+        _fill(tmp_path / "j", count=3)
+        with Journal(tmp_path / "j") as journal:
+            assert journal.writer.seq == 3
+            journal.write("tick", index=3)
+        assert [r["seq"] for r in load_journal(tmp_path / "j")] \
+            == [0, 1, 2, 3]
+
+    def test_closed_property(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        assert not journal.closed
+        journal.close()
+        assert journal.closed
+
+    def test_latest_by_key_is_last_wins(self):
+        records = [{"type": "commit", "cell": "a", "v": 1},
+                   {"type": "commit", "cell": "b", "v": 2},
+                   {"type": "commit", "cell": "a", "v": 3}]
+        index = latest_by_key(records, "commit", "cell")
+        assert index["a"]["v"] == 3
+        assert index["b"]["v"] == 2
+
+
+class TestTornTail:
+    def test_truncated_final_record_is_skipped(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        raw = last.read_bytes()
+        last.write_bytes(raw[:-10])   # chop mid-record, no newline
+        assert [r["index"] for r in load_journal(root)] == [0, 1, 2]
+
+    def test_unterminated_valid_final_line_never_committed(self, tmp_path):
+        root = _fill(tmp_path / "j", count=3)
+        last = segment_paths(root)[-1]
+        # strip only the trailing newline: the bytes parse, but the
+        # record is torn by the one-byte-earlier signature
+        last.write_bytes(last.read_bytes()[:-1])
+        assert [r["index"] for r in load_journal(root)] == [0, 1]
+
+    def test_reopen_truncates_and_appends_cleanly(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        last.write_bytes(last.read_bytes()[:-10])
+        with Journal(root) as journal:
+            assert journal.writer.seq == 3   # the torn record is gone
+            journal.write("tick", index=99)
+        records = load_journal(root)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert records[-1]["index"] == 99
+
+
+class TestCorruptionIsStructured:
+    def test_garbage_mid_stream_raises_corrupt(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        lines = last.read_bytes().splitlines(keepends=True)
+        lines[1] = b"@@ not json @@\n"
+        last.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorrupt) as excinfo:
+            load_journal(root)
+        assert excinfo.value.code == "REPRO-JRN-CORRUPT"
+        assert "mid-stream" in str(excinfo.value)
+
+    def test_crc_mismatch_mid_stream_raises_corrupt(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        lines = last.read_bytes().splitlines(keepends=True)
+        # flip payload bytes without touching the stored crc
+        lines[1] = lines[1].replace(b'"index": 1', b'"index": 7')
+        last.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorrupt):
+            load_journal(root)
+
+    def test_seq_break_mid_stream_raises_corrupt(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        lines = last.read_bytes().splitlines(keepends=True)
+        del lines[1]
+        last.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorrupt) as excinfo:
+            load_journal(root)
+        assert "sequence break" in str(excinfo.value)
+
+    def test_missing_journal_raises_empty(self, tmp_path):
+        with pytest.raises(JournalEmpty) as excinfo:
+            load_journal(tmp_path / "nope")
+        assert excinfo.value.code == "REPRO-JRN-EMPTY"
+
+    def test_journal_with_no_records_raises_empty(self, tmp_path):
+        Journal(tmp_path / "j").close()   # creates an empty segment
+        with pytest.raises(JournalEmpty):
+            load_journal(tmp_path / "j")
+
+    def test_missing_ok_reader_yields_nothing(self, tmp_path):
+        assert list(read_journal(tmp_path / "nope", missing_ok=True)) == []
+
+    def test_writer_refuses_a_corrupt_journal(self, tmp_path):
+        root = _fill(tmp_path / "j", count=4)
+        last = segment_paths(root)[-1]
+        lines = last.read_bytes().splitlines(keepends=True)
+        lines[0] = b"garbage\n"
+        last.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorrupt):
+            JournalWriter(root)
+
+
+class TestCoordinatorRecovery:
+    @staticmethod
+    def _grant(cell, attempt=0):
+        return {"type": "lease_grant", "cell": cell, "attempt": attempt}
+
+    @staticmethod
+    def _release(cell, attempt=0):
+        return {"type": "lease_release", "cell": cell, "attempt": attempt}
+
+    @staticmethod
+    def _commit(cell, attempt=0, rendered="x"):
+        return {"type": "result_commit", "cell": cell, "attempt": attempt,
+                "worker": "w0", "result": {"rendered": rendered,
+                                           "wall_s": 0.1, "error": None,
+                                           "cycles": None, "attempts": 1}}
+
+    def test_committed_results_restore_and_leases_requeue(self):
+        records = [self._grant("a"), self._commit("a"),
+                   self._grant("b", attempt=1)]
+        results, requeue, stats = recover_from_journal(records)
+        assert results["a"].rendered == "x"
+        assert requeue == {"b": 2}   # interrupted lease: attempt + 1
+        assert stats == {"results": 1, "requeued": 1,
+                         "duplicate_commits": 0}
+
+    def test_released_lease_is_not_requeued(self):
+        records = [self._grant("a"), self._release("a")]
+        _, requeue, _ = recover_from_journal(records)
+        assert requeue == {}
+
+    def test_duplicate_commits_resolve_last_wins(self):
+        records = [self._commit("a", rendered="old"),
+                   self._commit("a", rendered="new")]
+        results, _, stats = recover_from_journal(records)
+        assert results["a"].rendered == "new"
+        assert stats["duplicate_commits"] == 1
+
+    def test_commit_wins_over_outstanding_lease(self):
+        # the coordkill window: result committed, release never written
+        records = [self._grant("a"), self._commit("a")]
+        results, requeue, _ = recover_from_journal(records)
+        assert "a" in results and requeue == {}
+
+    def test_resume_refuses_identity_mismatch(self, tmp_path):
+        identity = {"workload": {"frames": 3}, "frames": 3, "seed": 2002,
+                    "cell_versions": {}, "keys": {}}
+        with Journal(tmp_path / "j") as journal:
+            journal.write("sweep_identity", **dict(identity, frames=25))
+        with pytest.raises(JournalMismatch) as excinfo:
+            _resume_from_journal(tmp_path / "j", identity)
+        assert excinfo.value.code == "REPRO-JRN-MISMATCH"
+
+    def test_resume_requires_an_identity_record(self, tmp_path):
+        with Journal(tmp_path / "j") as journal:
+            journal.write("lease_grant", cell="a", attempt=0)
+        with pytest.raises(JournalMismatch):
+            _resume_from_journal(tmp_path / "j", {"frames": 3})
+
+    def test_resume_replays_a_matching_journal(self, tmp_path):
+        identity = {"workload": {"frames": 3}, "frames": 3, "seed": 2002,
+                    "cell_versions": {}, "keys": {}}
+        with Journal(tmp_path / "j") as journal:
+            journal.write("sweep_identity", **identity)
+            journal.write("lease_grant", cell="a", attempt=0)
+        _, requeue, _ = _resume_from_journal(tmp_path / "j", identity)
+        assert requeue == {"a": 1}
+
+    def test_journal_flags_require_distributed(self, tmp_path):
+        with pytest.raises(ExperimentError, match="--distributed"):
+            run_sweep(SweepConfig(frames=3, root=tmp_path,
+                                  journal_dir=tmp_path / "j"))
+
+
+class TestLeaseRecoveryEdges:
+    def test_granted_never_beaten_expires_on_grant_deadline(self):
+        table = supervise.LeaseTable(budget_s=1.0)
+        table.grant("a", 0, now=100.0)
+        assert table.expired(now=100.5) == []
+        expired = table.expired(now=101.5)
+        assert [lease.key for lease in expired] == ["a"]
+
+    def test_expired_at_recovery_is_revocable_immediately(self):
+        # a journal-restored lease whose holder died long ago: the
+        # first expiry sweep after recovery must reap it at once
+        table = supervise.LeaseTable(budget_s=0.5)
+        table.grant("a", 2, now=0.0)
+        expired = table.expired(now=1000.0)
+        assert expired and expired[0].attempt == 2
+        table.release("a")
+        assert table.expired(now=2000.0) == []
+
+
+class TestControlKillFaults:
+    def test_new_kinds_are_registered(self):
+        assert "coordkill" in faults.KINDS
+        assert "svckill" in faults.KINDS
+
+    def test_decide_fires_once_then_never_again(self):
+        faults.install("svckill:s0000:times=1")
+        plan = faults.active()
+        assert plan.decide("svckill", "s0000", 0) is not None
+        assert plan.decide("svckill", "s0000", 1) is None
+        assert plan.decide("svckill", "other", 0) is None
+
+    def test_control_kill_without_a_plan_is_a_noop(self):
+        faults.clear()
+        faults.control_kill("coordkill", "anything")   # must not exit
+
+
+# -- codec-service restart recovery -------------------------------------------
+
+def _frames(count, seed=2002):
+    return synthetic_sequence(SyntheticSequenceConfig(
+        width=64, height=48, frames=count, seed=seed))
+
+
+def _one_shot(frames, **knobs):
+    return Mpeg4Encoder(EncoderConfig(**knobs)).encode(frames).serialize()
+
+
+class TestServiceRestart:
+    def _run_segments(self, service, stream, frames, start, stop, per=2):
+        for index in range(start, stop):
+            service.submit_segment(stream, frames[index * per:
+                                                  (index + 1) * per],
+                                   seq=index)
+
+    def test_restart_restores_stream_byte_identical(self, tmp_path):
+        frames = _frames(8)
+        reference = _one_shot(frames, qp=10)
+        journal = tmp_path / "journal"
+        with CodecService(workers=0, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            self._run_segments(service, stream, frames, 0, 2)
+            service.collect(stream)
+            # no close: the service dies here with the stream open
+        with CodecService(workers=0, journal_dir=journal) as revived:
+            stats = revived.stats()["totals"]
+            assert stats["streams_restored"] == 1
+            self._run_segments(revived, stream, frames, 2, 4)
+            summary = revived.close_stream(stream)
+        assert summary.payload == reference
+        assert summary.segments == 4
+
+    def test_restart_restores_on_a_worker_pool(self, tmp_path):
+        frames = _frames(8)
+        reference = _one_shot(frames, qp=10)
+        journal = tmp_path / "journal"
+        with CodecService(workers=1, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            self._run_segments(service, stream, frames, 0, 2)
+            while service.stats()["streams"][stream]["completed"] < 2:
+                service.collect(stream, timeout=5.0)
+        with CodecService(workers=1, journal_dir=journal) as revived:
+            assert revived.stats()["totals"]["streams_restored"] == 1
+            self._run_segments(revived, stream, frames, 2, 4)
+            summary = revived.close_stream(stream)
+        assert summary.payload == reference
+
+    def test_duplicate_resubmits_are_deduped_not_reencoded(self, tmp_path):
+        frames = _frames(8)
+        journal = tmp_path / "journal"
+        with CodecService(workers=0, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            self._run_segments(service, stream, frames, 0, 2)
+            originals = {r.segment: r for r in service.collect(stream)}
+        with CodecService(workers=0, journal_dir=journal) as revived:
+            # the client is unsure which submits landed: resubmit all
+            self._run_segments(revived, stream, frames, 0, 4)
+            redelivered = {r.segment: r
+                           for r in revived.collect(stream)}
+            stats = revived.stats()["streams"][stream]
+            # only the two new segments were encoded this incarnation
+            assert stats["submitted"] == 4
+            summary = revived.close_stream(stream)
+        assert set(redelivered) == {0, 1, 2, 3}
+        for index in (0, 1):
+            assert redelivered[index].bits == originals[index].bits
+        assert summary.payload == _one_shot(frames, qp=10)
+        # worker-side counters never saw the duplicates again
+        assert summary.segments == 4
+
+    def test_second_duplicate_of_one_seq_is_acked_once(self, tmp_path):
+        frames = _frames(4)
+        journal = tmp_path / "journal"
+        with CodecService(workers=0, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            self._run_segments(service, stream, frames, 0, 2)
+            service.collect(stream)
+        with CodecService(workers=0, journal_dir=journal) as revived:
+            assert revived.submit_segment(stream, frames[0:2], seq=0) == 0
+            assert revived.submit_segment(stream, frames[0:2], seq=0) == 0
+            assert len(revived.collect(stream)) == 1
+
+    def test_seq_ahead_of_the_stream_is_a_protocol_error(self, tmp_path):
+        with CodecService(workers=0,
+                          journal_dir=tmp_path / "j") as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            with pytest.raises(ServiceProtocolError,
+                               match="skipped a segment"):
+                service.submit_segment(stream, _frames(2), seq=5)
+
+    def test_closed_stream_is_not_resurrected(self, tmp_path):
+        journal = tmp_path / "journal"
+        with CodecService(workers=0, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            service.submit_segment(stream, _frames(2), seq=0)
+            service.close_stream(stream)
+        with CodecService(workers=0, journal_dir=journal) as revived:
+            assert revived.stats()["totals"]["streams_restored"] == 0
+            # the retired id is never reused for a fresh stream
+            assert revived.open_stream(StreamConfig(qp=10)) != stream
+
+    def test_aborted_stream_is_not_resurrected(self, tmp_path):
+        journal = tmp_path / "journal"
+        with CodecService(workers=0, journal_dir=journal) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            service.abort_stream(stream)
+        with CodecService(workers=0, journal_dir=journal) as revived:
+            assert revived.stats()["totals"]["streams_restored"] == 0
+
+    def test_unjournaled_service_keeps_old_semantics(self, tmp_path):
+        frames = _frames(4)
+        with CodecService(workers=0) as service:
+            stream = service.open_stream(StreamConfig(qp=10))
+            assert service.submit_segment(stream, frames[0:2]) == 0
+            assert service.stats()["totals"]["streams_restored"] == 0
+            assert not service.stats()["totals"]["journaled"]
+
+
+# -- coordkill chaos: SIGKILLed sweep resumes byte-identical ------------------
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _sweep_cli(tmp_path, sweep_dir, *extra):
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO / "src"), PYTHONHASHSEED="0")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--frames", "3",
+         "--only", "figure1", "--only", "figure3", "--quiet",
+         "--sweep-dir", str(sweep_dir), *extra],
+        cwd=tmp_path, env=env, capture_output=True, text=True,
+        timeout=300)
+
+
+@pytest.mark.slow
+class TestCoordkillResumeCLI:
+    def test_killed_journaled_sweep_resumes_byte_identical(self, tmp_path):
+        serial = _sweep_cli(tmp_path, tmp_path / "serial")
+        assert serial.returncode == 0, serial.stderr
+        journal = tmp_path / "journal"
+        killed = _sweep_cli(
+            tmp_path, tmp_path / "dist",
+            "--distributed", "127.0.0.1:0", "--spawn-workers", "1",
+            "--journal", str(journal),
+            "--inject-faults", "coordkill:figure1:times=1")
+        assert killed.returncode == faults.KILL_EXIT_STATUS, killed.stderr
+        assert segment_paths(journal), "the kill left no journal behind"
+        # lose the cache and the checkpoint (scratch disk gone): the
+        # journal must now be the only durable record of the commit
+        for store in ("cache", "checkpoint"):
+            shutil.rmtree(tmp_path / "dist" / store, ignore_errors=True)
+        resumed = _sweep_cli(
+            tmp_path, tmp_path / "dist",
+            "--distributed", "127.0.0.1:0", "--spawn-workers", "1",
+            "--resume-journal", str(journal))
+        assert resumed.returncode == 0, resumed.stderr
+        report = tmp_path / "dist" / "sweep_report.json"
+        assert report.read_bytes() == \
+            (tmp_path / "serial" / "sweep_report.json").read_bytes()
+        recovered = [
+            json.loads(line)
+            for log in (tmp_path / "dist" / "runs").glob("*.jsonl")
+            for line in log.read_text().splitlines() if line.strip()
+            if '"journal_recovered"' in line]
+        assert recovered and recovered[0]["restored"] >= 1
